@@ -1,0 +1,70 @@
+// Experiment E7 — archival compression trade-off (paper §4.3): applying
+// LZ77-family compression on top of encoded segments shrinks storage
+// further but adds decompression cost to cold scans. Reports size and scan
+// time for plain vs archived (cold: segments evicted before each scan;
+// warm: already resident).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vstore;
+  const int64_t rows =
+      static_cast<int64_t>(bench::EnvDouble("VSTORE_BENCH_ROWS", 1000000));
+
+  std::printf("E7: archival compression, %lld rows/dataset\n\n",
+              static_cast<long long>(rows));
+  std::printf("%-18s %10s %10s %8s | %10s %11s %11s\n", "dataset",
+              "plain MiB", "arch MiB", "ratio", "plain ms", "cold ms",
+              "warm ms");
+
+  for (auto& archetype : bench::CompressionArchetypes(rows)) {
+    Catalog catalog;
+    ColumnStoreTable::Options options;
+    options.min_compress_rows = 1;
+    auto table = std::make_unique<ColumnStoreTable>(
+        "t", archetype.data.schema(), options);
+    table->BulkLoad(archetype.data).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    ColumnStoreTable* raw = table.get();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+
+    PlanBuilder b = PlanBuilder::Scan(catalog, "t");
+    std::vector<NamedAggSpec> aggs;
+    // Aggregate the first numeric column; count everything.
+    aggs.push_back({AggFn::kCountStar, "", "cnt"});
+    b.Aggregate({}, std::move(aggs));
+    PlanPtr plan = b.Build();
+    QueryExecutor exec(&catalog);
+
+    int64_t plain_bytes = raw->Sizes().Total();
+    double plain_ms =
+        bench::TimeMs([&] { exec.Execute(plan).status().CheckOK(); });
+
+    raw->Archive().CheckOK();
+    int64_t arch_bytes = raw->Sizes().TotalArchived();
+
+    double cold_ms = bench::TimeMs(
+        [&] {
+          raw->EvictAll();  // cold read: pay decompression
+          exec.Execute(plan).status().CheckOK();
+        });
+    double warm_ms =
+        bench::TimeMs([&] { exec.Execute(plan).status().CheckOK(); });
+
+    std::printf("%-18s %10.2f %10.2f %7.2fx | %10.2f %11.2f %11.2f\n",
+                archetype.name.c_str(), bench::MiB(plain_bytes),
+                bench::MiB(arch_bytes),
+                static_cast<double>(plain_bytes) /
+                    static_cast<double>(arch_bytes),
+                plain_ms, cold_ms, warm_ms);
+  }
+
+  std::printf(
+      "\nExpected shape: archival shrinks datasets whose encoded bytes still\n"
+      "carry redundancy (string dictionaries, bursty keys) and does nothing\n"
+      "for uniformly random codes; cold scans pay a decompression penalty\n"
+      "while warm scans match plain.\n");
+  return 0;
+}

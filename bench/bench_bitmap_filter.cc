@@ -1,0 +1,110 @@
+// Experiment E5 — bitmap (Bloom) filter pushdown (paper §5.2): a star join
+// with a selective dimension predicate. The hash join's build side produces
+// a Bloom filter pushed into the fact scan, discarding non-joining rows
+// before they reach the join. Reports elapsed time and rows dropped early,
+// with the optimizer's bloom placement on vs off.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+int main() {
+  using namespace vstore;
+  const int64_t fact_rows =
+      static_cast<int64_t>(bench::EnvDouble("VSTORE_BENCH_ROWS", 2000000));
+
+  Catalog catalog;
+  ColumnStoreTable::Options options;
+  options.min_compress_rows = 1;
+
+  // Dimension: fact_rows/4 products across 50 brands — large enough that
+  // the join hash table spills out of cache, which is exactly when a
+  // (much smaller) pushed bitmap filter pays off in the paper.
+  const int64_t num_products = std::max<int64_t>(fact_rows / 4, 1000);
+  {
+    Schema schema({{"event_date", DataType::kDate32, false},
+                   {"store_id", DataType::kInt64, false},
+                   {"product_id", DataType::kInt64, false},
+                   {"units", DataType::kInt64, false},
+                   {"revenue", DataType::kDouble, false}});
+    TableData facts(schema);
+    Random rng(11);
+    for (int64_t i = 0; i < fact_rows; ++i) {
+      facts.AppendRow({Value::Date32(static_cast<int32_t>(8000 + i % 730)),
+                       Value::Int64(rng.Uniform(1, 200)),
+                       Value::Int64(rng.Uniform(1, num_products)),
+                       Value::Int64(rng.Uniform(1, 20)),
+                       Value::Double(static_cast<double>(
+                                         rng.Uniform(100, 99999)) /
+                                     100.0)});
+    }
+    auto table =
+        std::make_unique<ColumnStoreTable>("facts", facts.schema(), options);
+    table->BulkLoad(facts).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+  }
+  {
+    Schema schema({{"pid", DataType::kInt64, false},
+                   {"brand", DataType::kInt64, false}});
+    TableData dim(schema);
+    for (int64_t p = 1; p <= num_products; ++p) {
+      dim.AppendRow({Value::Int64(p), Value::Int64(p % 50)});
+    }
+    auto table =
+        std::make_unique<ColumnStoreTable>("products", schema, options);
+    table->BulkLoad(dim).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+  }
+
+  std::printf("E5: bitmap filter pushdown, %lld fact rows\n\n",
+              static_cast<long long>(fact_rows));
+  std::printf("%-14s %12s %12s %14s %12s | %8s\n", "dim filter",
+              "bloom ms", "no-bloom ms", "bloom-dropped", "join rows",
+              "speedup");
+
+  // Sweep dimension selectivity: 1 brand of 50 ... all brands.
+  for (int64_t brands : {1, 5, 25, 50}) {
+    PlanBuilder dim = PlanBuilder::Scan(catalog, "products");
+    dim.Filter(expr::Lt(expr::Column(dim.schema(), "brand"),
+                        expr::Lit(Value::Int64(brands))));
+    PlanBuilder b = PlanBuilder::Scan(catalog, "facts");
+    b.Join(JoinType::kInner, dim.Build(), {"product_id"}, {"pid"});
+    b.Aggregate({}, {{AggFn::kSum, "revenue", "total"},
+                     {AggFn::kCountStar, "", "cnt"}});
+    PlanPtr plan = b.Build();
+
+    QueryOptions with_bloom;
+    with_bloom.optimizer.bloom_filters = true;
+    QueryExecutor exec_bloom(&catalog, with_bloom);
+    QueryResult probe = exec_bloom.Execute(plan).ValueOrDie();
+    double bloom_ms =
+        bench::TimeMs([&] { exec_bloom.Execute(plan).status().CheckOK(); });
+
+    QueryOptions no_bloom;
+    no_bloom.optimizer.bloom_filters = false;
+    QueryExecutor exec_plain(&catalog, no_bloom);
+    double plain_ms =
+        bench::TimeMs([&] { exec_plain.Execute(plan).status().CheckOK(); });
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "%lld/50 brands",
+                  static_cast<long long>(brands));
+    std::printf("%-14s %12.2f %12.2f %14lld %12lld | %7.2fx\n", label,
+                bloom_ms, plain_ms,
+                static_cast<long long>(probe.stats.rows_bloom_filtered),
+                static_cast<long long>(probe.data.column(1).GetInt64(0)),
+                plain_ms / bloom_ms);
+  }
+
+  std::printf(
+      "\nExpected shape: with a selective dimension filter the bitmap\n"
+      "removes nearly every non-joining fact row before the join; the\n"
+      "end-to-end win is modest here because the scan already materializes\n"
+      "payload columns lazily. With an unselective build the bitmap is\n"
+      "pure overhead — the reason the optimizer's placement rule requires\n"
+      "an estimated-selective or tiny build side.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Experiment E4 — batch-mode vs row-mode operator microbenchmarks
+// (paper §5: batch operators amortize per-tuple interpretation cost).
+// google-benchmark fixtures compare per-row cost of filter, hash join
+// probe, and hash aggregation in both engines.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/row/row_operator.h"
+#include "exec/scan.h"
+#include "query/catalog.h"
+
+namespace vstore {
+namespace {
+
+constexpr int64_t kRows = 1 << 18;
+
+// Shared fixture data: one column store + one row store with the same rows.
+struct Fixture {
+  TableData data;
+  std::unique_ptr<ColumnStoreTable> column_store;
+  std::unique_ptr<RowStoreTable> row_store;
+
+  Fixture() : data(bench::SortedFactTable(kRows, 7)) {
+    ColumnStoreTable::Options options;
+    options.min_compress_rows = 1;
+    column_store =
+        std::make_unique<ColumnStoreTable>("t", data.schema(), options);
+    column_store->BulkLoad(data).CheckOK();
+    column_store->CompressDeltaStores(true).status().CheckOK();
+    row_store = std::make_unique<RowStoreTable>("t", data.schema());
+    row_store->Append(data).CheckOK();
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+int64_t DrainBatchCount(BatchOperator* op) {
+  op->Open().CheckOK();
+  int64_t count = 0;
+  for (;;) {
+    Batch* batch = op->Next().ValueOrDie();
+    if (batch == nullptr) break;
+    count += batch->active_count();
+  }
+  op->Close();
+  return count;
+}
+
+int64_t DrainRowCount(RowOperator* op) {
+  op->Open().CheckOK();
+  int64_t count = 0;
+  std::vector<Value> row;
+  for (;;) {
+    auto more = op->Next(&row);
+    more.status().CheckOK();
+    if (!more.value()) break;
+    ++count;
+  }
+  op->Close();
+  return count;
+}
+
+void BM_BatchScanFilter(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ExecContext ctx;
+  for (auto _ : state) {
+    ColumnStoreScanOperator::Options options;
+    options.predicates = {{1, CompareOp::kLt, Value::Int64(20)}};
+    ColumnStoreScanOperator scan(f.column_store.get(), options, &ctx);
+    benchmark::DoNotOptimize(DrainBatchCount(&scan));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_BatchScanFilter);
+
+void BM_RowScanFilter(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto scan = std::make_unique<RowStoreScanOperator>(f.row_store.get());
+    ExprPtr pred = expr::Lt(expr::Column(f.data.schema(), "store_id"),
+                            expr::Lit(Value::Int64(20)));
+    RowFilterOperator filter(std::move(scan), pred);
+    benchmark::DoNotOptimize(DrainRowCount(&filter));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_RowScanFilter);
+
+void BM_BatchHashAggregate(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ExecContext ctx;
+  for (auto _ : state) {
+    auto scan = std::make_unique<ColumnStoreScanOperator>(
+        f.column_store.get(), ColumnStoreScanOperator::Options{}, &ctx);
+    HashAggregateOperator::Options options;
+    options.group_by = {1};  // store_id: 200 groups
+    options.aggregates = {{AggFn::kSum, 3, "units"},
+                          {AggFn::kAvg, 4, "rev"},
+                          {AggFn::kCountStar, -1, "cnt"}};
+    HashAggregateOperator agg(std::move(scan), options, &ctx);
+    benchmark::DoNotOptimize(DrainBatchCount(&agg));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_BatchHashAggregate);
+
+void BM_RowHashAggregate(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    RowHashAggregateOperator::Options options;
+    options.group_by = {1};
+    options.aggregates = {{AggFn::kSum, 3, "units"},
+                          {AggFn::kAvg, 4, "rev"},
+                          {AggFn::kCountStar, -1, "cnt"}};
+    RowHashAggregateOperator agg(
+        std::make_unique<RowStoreScanOperator>(f.row_store.get()), options);
+    benchmark::DoNotOptimize(DrainRowCount(&agg));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_RowHashAggregate);
+
+// Dimension table for join benchmarks: product_id -> name.
+TableData DimTable() {
+  Schema schema({{"pid", DataType::kInt64, false},
+                 {"pname", DataType::kString, false}});
+  TableData dim(schema);
+  for (int64_t i = 1; i <= 5000; ++i) {
+    dim.AppendRow({Value::Int64(i), Value::String("p" + std::to_string(i))});
+  }
+  return dim;
+}
+
+void BM_BatchHashJoin(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  static TableData* dim = new TableData(DimTable());
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    ColumnStoreTable::Options options;
+    options.min_compress_rows = 1;
+    auto t = std::make_unique<ColumnStoreTable>("dim", DimTable().schema(),
+                                                options);
+    t->BulkLoad(DimTable()).CheckOK();
+    t->CompressDeltaStores(true).status().CheckOK();
+    c->AddColumnStore(std::move(t)).CheckOK();
+    return c;
+  }();
+  (void)dim;
+  ExecContext ctx;
+  for (auto _ : state) {
+    auto probe = std::make_unique<ColumnStoreScanOperator>(
+        f.column_store.get(), ColumnStoreScanOperator::Options{}, &ctx);
+    auto build = std::make_unique<ColumnStoreScanOperator>(
+        catalog->GetColumnStore("dim"), ColumnStoreScanOperator::Options{},
+        &ctx);
+    HashJoinOperator::Options options;
+    options.probe_keys = {2};  // product_id
+    options.build_keys = {0};
+    HashJoinOperator join(std::move(probe), std::move(build), options, &ctx);
+    benchmark::DoNotOptimize(DrainBatchCount(&join));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_BatchHashJoin);
+
+void BM_RowHashJoin(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  static RowStoreTable* dim = [] {
+    TableData d = DimTable();
+    auto* t = new RowStoreTable("dim", d.schema());
+    t->Append(d).CheckOK();
+    return t;
+  }();
+  for (auto _ : state) {
+    RowHashJoinOperator::Options options;
+    options.join_type = JoinType::kInner;
+    options.probe_keys = {2};
+    options.build_keys = {0};
+    RowHashJoinOperator join(
+        std::make_unique<RowStoreScanOperator>(f.row_store.get()),
+        std::make_unique<RowStoreScanOperator>(dim), options);
+    benchmark::DoNotOptimize(DrainRowCount(&join));
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_RowHashJoin);
+
+}  // namespace
+}  // namespace vstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Experiment E2 — the paper's headline result: typical data-warehouse
+// queries run 10X-100X faster on column store indexes with batch-mode
+// processing than on row stores with row-at-a-time processing. Reproduced
+// on TPC-H: each query runs (a) row store + row mode, (b) column store +
+// batch mode, (c) batch mode with DOP 4. The absolute numbers differ from
+// the paper's testbed; the shape to check is batch-mode speedups in the
+// 10x-100x band.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace vstore;
+  double sf = bench::EnvDouble("VSTORE_BENCH_SF", 0.05);
+  std::printf("E2: TPC-H query elapsed times, SF=%.3f\n", sf);
+
+  tpch::Tables tables = tpch::Generate(sf);
+  Catalog catalog;
+  ColumnStoreTable::Options cs_options;
+  cs_options.optimize_row_order = false;  // keep load fast; E8 covers this
+  // Laptop-scale row groups (the paper's 1M-row groups assume much larger
+  // tables): gives segment elimination and DOP parallelism something to
+  // work with at small scale factors.
+  cs_options.row_group_size = 1 << 17;
+  tpch::LoadIntoCatalog(&catalog, tables, /*column_store=*/true,
+                        /*row_store=*/true, cs_options)
+      .CheckOK();
+  std::printf("lineitem rows: %lld\n\n",
+              static_cast<long long>(tables.lineitem.num_rows()));
+
+  std::printf("%-5s %12s %14s %14s | %9s %9s\n", "query", "row-mode ms",
+              "batch ms", "batch dop4 ms", "speedup", "dop4 x");
+
+  auto run = [&](const PlanPtr& plan, ExecutionMode mode, int dop) {
+    QueryOptions options;
+    options.mode = mode;
+    options.dop = dop;
+    QueryExecutor exec(&catalog, options);
+    double ms = bench::TimeMs(
+        [&] { exec.Execute(plan).status().CheckOK(); },
+        mode == ExecutionMode::kRow ? 1 : 3);
+    return ms;
+  };
+
+  for (const auto& named : tpch::AllQueries(catalog)) {
+    double row_ms = run(named.plan, ExecutionMode::kRow, 1);
+    double batch_ms = run(named.plan, ExecutionMode::kBatch, 1);
+    double batch4_ms = run(named.plan, ExecutionMode::kBatch, 4);
+    std::printf("%-5s %12.1f %14.2f %14.2f | %8.1fx %8.1fx\n",
+                named.name.c_str(), row_ms, batch_ms, batch4_ms,
+                row_ms / batch_ms, row_ms / batch4_ms);
+  }
+
+  std::printf(
+      "\nExpected shape: batch mode 10x-100x faster than row mode, with\n"
+      "the largest gains on scan-heavy aggregation queries (Q1, Q6).\n");
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc <= 1) {
+    std::printf(
+        "NOTE: this host reports a single CPU; DOP-4 plans (parallel scan +\n"
+        "partial aggregation under an exchange) cannot beat DOP-1 here and\n"
+        "mainly measure threading overhead.\n");
+  }
+  return 0;
+}

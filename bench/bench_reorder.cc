@@ -1,0 +1,91 @@
+// Experiment E8 — row-reordering compression optimization (paper §4.2):
+// within a row group rows may be stored in any order, so ordering them to
+// lengthen runs improves RLE. Sweeps column correlation strength and
+// reports encoded sizes with and without the optimization.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "storage/column_store.h"
+
+namespace vstore {
+namespace {
+
+// `correlation` in [0,1]: probability that dependent columns follow the
+// category (1.0 = functionally determined, 0 = independent).
+//
+// The table is deliberately wider than the reorderer's sort-key budget
+// (max 4 columns): columns outside the sort key form runs only when they
+// are correlated with the sorted ones, which is exactly the effect this
+// experiment isolates.
+TableData CorrelatedTable(int64_t rows, double correlation, uint64_t seed) {
+  Schema schema({{"category", DataType::kInt64, false},
+                 {"subtype", DataType::kInt64, false},
+                 {"label", DataType::kString, false},
+                 {"attr1", DataType::kInt64, false},
+                 {"attr2", DataType::kInt64, false},
+                 {"attr3", DataType::kInt64, false},
+                 {"attr4", DataType::kInt64, false},
+                 {"noise", DataType::kInt64, false}});
+  TableData data(schema);
+  Random rng(seed);
+  const char* labels[] = {"l0", "l1", "l2", "l3", "l4", "l5", "l6", "l7"};
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t cat = rng.Uniform(0, 63);
+    data.column(0).AppendInt64(cat);
+    bool follow = rng.NextBool(correlation);
+    data.column(1).AppendInt64(follow ? cat % 16 : rng.Uniform(0, 15));
+    data.column(2).AppendString(
+        labels[follow ? cat % 8 : rng.Uniform(0, 7)]);
+    for (int a = 0; a < 4; ++a) {
+      bool f = rng.NextBool(correlation);
+      data.column(3 + a).AppendInt64(f ? (cat * (a + 3)) % 32
+                                       : rng.Uniform(0, 31));
+    }
+    data.column(7).AppendInt64(rng.Uniform(0, 1 << 30));
+  }
+  return data;
+}
+
+int64_t BuildSize(const TableData& data, bool reorder) {
+  ColumnStoreTable::Options options;
+  options.min_compress_rows = 1;
+  options.optimize_row_order = reorder;
+  ColumnStoreTable table("t", data.schema(), options);
+  table.BulkLoad(data).CheckOK();
+  table.CompressDeltaStores(true).status().CheckOK();
+  return table.Sizes().Total();
+}
+
+}  // namespace
+}  // namespace vstore
+
+int main() {
+  using namespace vstore;
+  const int64_t rows =
+      static_cast<int64_t>(bench::EnvDouble("VSTORE_BENCH_ROWS", 500000));
+
+  std::printf("E8: row-reordering optimization, %lld rows\n\n",
+              static_cast<long long>(rows));
+  std::printf("%-13s %14s %14s | %9s %12s\n", "correlation", "plain MiB",
+              "reordered MiB", "savings", "build ms");
+
+  for (double correlation : {0.0, 0.5, 0.9, 1.0}) {
+    TableData data = CorrelatedTable(rows, correlation, 21);
+    int64_t plain = BuildSize(data, false);
+    int64_t reordered = 0;
+    double build_ms = bench::TimeMs(
+        [&] { reordered = BuildSize(data, true); }, 1);
+    std::printf("%12.0f%% %14.2f %14.2f | %8.1f%% %12.1f\n",
+                correlation * 100, bench::MiB(plain), bench::MiB(reordered),
+                100.0 * (1.0 - static_cast<double>(reordered) /
+                                   static_cast<double>(plain)),
+                build_ms);
+  }
+
+  std::printf(
+      "\nExpected shape: reordering converts low-cardinality and\n"
+      "correlated columns to long runs; savings grow with correlation\n"
+      "(the independent high-entropy noise column limits the ceiling).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E9 — hash join spilling (paper §5.3): earlier batch-mode hash
+// joins required the build side to fit in memory and fell back to row mode
+// otherwise; the enhanced join degrades gracefully by spilling partitions.
+// Sweeps the memory budget from "fits entirely" down to a small fraction
+// and reports elapsed time plus spill volume.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vstore;
+  const int64_t fact_rows =
+      static_cast<int64_t>(bench::EnvDouble("VSTORE_BENCH_ROWS", 1000000));
+  const int64_t build_rows = fact_rows / 4;
+
+  Catalog catalog;
+  ColumnStoreTable::Options options;
+  options.min_compress_rows = 1;
+  {
+    TableData facts = bench::SortedFactTable(fact_rows, 31);
+    auto table =
+        std::make_unique<ColumnStoreTable>("facts", facts.schema(), options);
+    table->BulkLoad(facts).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+  }
+  {
+    Schema schema({{"k", DataType::kInt64, false},
+                   {"payload", DataType::kString, false}});
+    TableData build(schema);
+    // Unique keys matching the fact table's product domain: each probe row
+    // joins at most one build row, so elapsed time reflects hash table and
+    // spill mechanics rather than output explosion.
+    for (int64_t i = 0; i < build_rows; ++i) {
+      build.AppendRow({Value::Int64(1 + i), Value::String("payload_" + std::to_string(i % 97))});
+    }
+    auto table =
+        std::make_unique<ColumnStoreTable>("build", schema, options);
+    table->BulkLoad(build).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+  }
+
+  PlanBuilder b = PlanBuilder::Scan(catalog, "facts");
+  b.Join(JoinType::kInner, PlanBuilder::Scan(catalog, "build").Build(),
+         {"product_id"}, {"k"});
+  b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  PlanPtr plan = b.Build();
+
+  // Calibrate: unlimited run to find the build side's natural size.
+  int64_t natural_bytes = build_rows * 64;  // serialized row estimate
+
+  std::printf("E9: hash join spilling, %lld probe x %lld build rows\n\n",
+              static_cast<long long>(fact_rows),
+              static_cast<long long>(build_rows));
+  std::printf("%-14s %12s %14s %14s %12s\n", "budget", "elapsed ms",
+              "build spilled", "probe spilled", "join rows");
+
+  for (double fraction : {0.0, 1.0, 0.5, 0.25, 0.1}) {
+    QueryOptions qopts;
+    qopts.operator_memory_budget =
+        fraction == 0.0
+            ? 0
+            : static_cast<int64_t>(static_cast<double>(natural_bytes) *
+                                   fraction);
+    qopts.optimizer.bloom_filters = false;  // isolate the spilling effect
+    QueryExecutor exec(&catalog, qopts);
+    QueryResult probe = exec.Execute(plan).ValueOrDie();
+    double ms = bench::TimeMs([&] { exec.Execute(plan).status().CheckOK(); });
+
+    char label[24];
+    if (fraction == 0.0) {
+      std::snprintf(label, sizeof(label), "unlimited");
+    } else {
+      std::snprintf(label, sizeof(label), "%3.0f%% of build",
+                    fraction * 100);
+    }
+    std::printf("%-14s %12.1f %14lld %14lld %12lld\n", label, ms,
+                static_cast<long long>(probe.stats.build_rows_spilled),
+                static_cast<long long>(probe.stats.probe_rows_spilled),
+                static_cast<long long>(probe.data.column(0).GetInt64(0)));
+  }
+
+  std::printf(
+      "\nExpected shape: identical results at every budget; elapsed time\n"
+      "degrades gradually as more partitions spill (no cliff), matching\n"
+      "the paper's graceful degradation claim.\n");
+  return 0;
+}

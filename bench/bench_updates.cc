@@ -1,0 +1,130 @@
+// Experiment E6 — updatable column store overheads (paper §3): trickle
+// insert throughput into delta stores, scan slowdown as the delta-store
+// fraction grows, the tuple mover's effect, and the cost of scanning with
+// increasingly populated delete bitmaps.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "storage/tuple_mover.h"
+
+namespace vstore {
+namespace {
+
+QueryResult RunCount(const Catalog& catalog, const char* table) {
+  PlanBuilder b = PlanBuilder::Scan(catalog, table);
+  b.Aggregate({}, {{AggFn::kSum, "units", "u"}, {AggFn::kCountStar, "", "c"}});
+  QueryExecutor exec(&catalog);
+  return exec.Execute(b.Build()).ValueOrDie();
+}
+
+}  // namespace
+}  // namespace vstore
+
+int main() {
+  using namespace vstore;
+  const int64_t base_rows =
+      static_cast<int64_t>(bench::EnvDouble("VSTORE_BENCH_ROWS", 1000000));
+
+  std::printf("E6: update support overheads, base table %lld rows\n\n",
+              static_cast<long long>(base_rows));
+
+  // --- Part 1: trickle insert throughput --------------------------------
+  {
+    TableData data = bench::SortedFactTable(1000, 1);
+    ColumnStoreTable table("t", data.schema());
+    const int64_t inserts = 200000;
+    double ms = bench::TimeMs(
+        [&] {
+          for (int64_t i = 0; i < inserts; ++i) {
+            table.Insert(data.GetRow(i % 1000)).ValueOrDie();
+          }
+        },
+        1);
+    std::printf("trickle insert: %lld rows in %.1f ms  (%.0f Krows/s)\n",
+                static_cast<long long>(inserts), ms,
+                static_cast<double>(inserts) / ms);
+  }
+
+  // --- Part 2: scan cost vs delta fraction -------------------------------
+  std::printf("\n%-16s %12s %14s | %8s\n", "delta fraction", "scan ms",
+              "post-move ms", "penalty");
+  for (double fraction : {0.0, 0.01, 0.05, 0.20}) {
+    TableData data = bench::SortedFactTable(base_rows, 2);
+    int64_t compressed_rows =
+        static_cast<int64_t>(static_cast<double>(base_rows) * (1 - fraction));
+
+    Catalog catalog;
+    ColumnStoreTable::Options options;
+    options.min_compress_rows = 1;
+    auto table =
+        std::make_unique<ColumnStoreTable>("t", data.schema(), options);
+    {
+      TableData bulk(data.schema());
+      for (int64_t i = 0; i < compressed_rows; ++i) {
+        bulk.AppendRow(data.GetRow(i));
+      }
+      table->BulkLoad(bulk).CheckOK();
+      table->CompressDeltaStores(true).status().CheckOK();
+    }
+    for (int64_t i = compressed_rows; i < base_rows; ++i) {
+      table->Insert(data.GetRow(i)).ValueOrDie();
+    }
+    ColumnStoreTable* raw = table.get();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+
+    double scan_ms = bench::TimeMs([&] { RunCount(catalog, "t"); });
+
+    // Tuple mover compresses the delta stores; rescan.
+    TupleMover::Options mover_options;
+    mover_options.include_open_stores = true;
+    TupleMover mover(raw, mover_options);
+    mover.RunOnce().ValueOrDie();
+    double moved_ms = bench::TimeMs([&] { RunCount(catalog, "t"); });
+
+    char label[24];
+    std::snprintf(label, sizeof(label), "%5.1f%%", fraction * 100);
+    std::printf("%-16s %12.2f %14.2f | %7.2fx\n", label, scan_ms, moved_ms,
+                scan_ms / moved_ms);
+  }
+
+  // --- Part 3: delete bitmap overhead -------------------------------------
+  std::printf("\n%-16s %12s %12s\n", "deleted rows", "scan ms", "rows out");
+  {
+    TableData data = bench::SortedFactTable(base_rows, 3);
+    Catalog catalog;
+    ColumnStoreTable::Options options;
+    options.min_compress_rows = 1;
+    auto table =
+        std::make_unique<ColumnStoreTable>("t", data.schema(), options);
+    table->BulkLoad(data).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    ColumnStoreTable* raw = table.get();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+
+    int64_t deleted = 0;
+    for (double target : {0.0, 0.01, 0.10, 0.30}) {
+      int64_t want = static_cast<int64_t>(static_cast<double>(base_rows) *
+                                          target);
+      // Spread deletions uniformly.
+      while (deleted < want) {
+        int64_t i = deleted * 7919 % base_rows;
+        RowId id = MakeCompressedRowId(i / raw->options().row_group_size,
+                                       i % raw->options().row_group_size);
+        if (raw->Delete(id).ok()) ++deleted;
+      }
+      QueryResult probe = RunCount(catalog, "t");
+      double ms = bench::TimeMs([&] { RunCount(catalog, "t"); });
+      char label[24];
+      std::snprintf(label, sizeof(label), "%5.1f%%", target * 100);
+      std::printf("%-16s %12.2f %12lld\n", label, ms,
+                  static_cast<long long>(probe.data.column(1).GetInt64(0)));
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: trickle inserts sustain high rates (B-tree delta\n"
+      "store); scans slow as delta fraction grows and recover after the\n"
+      "tuple mover runs; delete bitmaps add only incremental scan cost.\n");
+  return 0;
+}

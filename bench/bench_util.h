@@ -1,0 +1,194 @@
+#ifndef VSTORE_BENCH_BENCH_UTIL_H_
+#define VSTORE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/executor.h"
+#include "types/table_data.h"
+
+namespace vstore {
+namespace bench {
+
+// Wall-clock milliseconds of fn(), best of `repeats` runs.
+inline double TimeMs(const std::function<void()>& fn, int repeats = 3) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return best;
+}
+
+// Reads a double knob from the environment (benchmark scale factors).
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline double MiB(int64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// --- Compression archetype datasets (experiment E1) -----------------------
+// Each dataset mimics one class of customer database from the paper's
+// compression table: the ratio a column store achieves is a function of
+// per-column value distributions, which these archetypes span.
+
+struct Archetype {
+  std::string name;
+  std::string description;
+  TableData data;
+};
+
+inline TableData SortedFactTable(int64_t rows, uint64_t seed) {
+  Schema schema({{"event_date", DataType::kDate32, false},
+                 {"store_id", DataType::kInt64, false},
+                 {"product_id", DataType::kInt64, false},
+                 {"units", DataType::kInt64, false},
+                 {"revenue", DataType::kDouble, false}});
+  TableData data(schema);
+  Random rng(seed);
+  int64_t product = 1;
+  for (int64_t i = 0; i < rows; ++i) {
+    data.column(0).AppendInt64(8000 + i * 730 / rows);  // sorted dates
+    data.column(1).AppendInt64(rng.Uniform(1, 200));
+    // Products sell in bursts (basket locality): repeat the previous
+    // product half the time — realistic, and it gives the LZ stage of
+    // archival compression the local redundancy real fact tables have.
+    if (!rng.NextBool(0.5)) product = rng.Uniform(1, 5000);
+    data.column(2).AppendInt64(product);
+    data.column(3).AppendInt64(rng.Uniform(1, 20));
+    data.column(4).AppendDouble(
+        static_cast<double>(rng.Uniform(100, 99999)) / 100.0);
+  }
+  return data;
+}
+
+inline TableData LowCardinalityTelemetry(int64_t rows, uint64_t seed) {
+  Schema schema({{"sensor", DataType::kInt64, false},
+                 {"status", DataType::kString, false},
+                 {"severity", DataType::kInt64, false},
+                 {"code", DataType::kInt64, false}});
+  TableData data(schema);
+  Random rng(seed);
+  const char* statuses[] = {"OK", "WARN", "ERROR", "RETRY"};
+  for (int64_t i = 0; i < rows; ++i) {
+    data.column(0).AppendInt64(rng.Uniform(0, 31));
+    data.column(1).AppendString(statuses[rng.Uniform(0, 3)]);
+    data.column(2).AppendInt64(rng.Uniform(0, 4));
+    data.column(3).AppendInt64(rng.Uniform(0, 15) * 100);
+  }
+  return data;
+}
+
+inline TableData SkewedWebLog(int64_t rows, uint64_t seed) {
+  Schema schema({{"url_id", DataType::kInt64, false},
+                 {"user_id", DataType::kInt64, false},
+                 {"agent", DataType::kString, false},
+                 {"latency_ms", DataType::kInt64, false}});
+  TableData data(schema);
+  ZipfGenerator urls(10000, 1.2, seed);
+  ZipfGenerator agents(50, 1.4, seed ^ 1);
+  Random rng(seed ^ 2);
+  for (int64_t i = 0; i < rows; ++i) {
+    data.column(0).AppendInt64(urls.Next());
+    data.column(1).AppendInt64(rng.Uniform(1, 100000));
+    data.column(2).AppendString("agent_" + std::to_string(agents.Next()));
+    data.column(3).AppendInt64(rng.Uniform(1, 2000));
+  }
+  return data;
+}
+
+inline TableData RandomKeyTable(int64_t rows, uint64_t seed) {
+  Schema schema({{"uuid_hi", DataType::kInt64, false},
+                 {"uuid_lo", DataType::kInt64, false},
+                 {"score", DataType::kDouble, false}});
+  TableData data(schema);
+  Random rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    data.column(0).AppendInt64(static_cast<int64_t>(rng.Next() >> 1));
+    data.column(1).AppendInt64(static_cast<int64_t>(rng.Next() >> 1));
+    data.column(2).AppendDouble(rng.NextDouble());
+  }
+  return data;
+}
+
+inline TableData WideStringTable(int64_t rows, uint64_t seed) {
+  Schema schema({{"first", DataType::kString, false},
+                 {"last", DataType::kString, false},
+                 {"city", DataType::kString, false},
+                 {"notes", DataType::kString, false}});
+  TableData data(schema);
+  Random rng(seed);
+  const char* firsts[] = {"Ada", "Ben", "Cara", "Dan", "Eve", "Filip",
+                          "Gwen", "Hal"};
+  const char* lasts[] = {"Nguyen", "Garcia", "Smith", "Chen", "Okafor",
+                         "Larsen"};
+  const char* cities[] = {"Amsterdam", "Boston", "Cairo", "Denver", "Essen"};
+  const char* words[] = {"pending", "review", "approved", "flagged",
+                         "archived", "escalated"};
+  for (int64_t i = 0; i < rows; ++i) {
+    data.column(0).AppendString(firsts[rng.Uniform(0, 7)]);
+    data.column(1).AppendString(lasts[rng.Uniform(0, 5)]);
+    data.column(2).AppendString(cities[rng.Uniform(0, 4)]);
+    std::string notes;
+    for (int w = 0; w < 6; ++w) {
+      if (w > 0) notes += ' ';
+      notes += words[rng.Uniform(0, 5)];
+    }
+    data.column(3).AppendString(notes);
+  }
+  return data;
+}
+
+inline TableData CorrelatedDimensions(int64_t rows, uint64_t seed) {
+  // Columns functionally related: category determines department and tax
+  // class — the row-reordering optimization's best case.
+  Schema schema({{"category", DataType::kInt64, false},
+                 {"department", DataType::kString, false},
+                 {"tax_class", DataType::kInt64, false},
+                 {"sku", DataType::kInt64, false}});
+  TableData data(schema);
+  Random rng(seed);
+  const char* departments[] = {"grocery", "household", "apparel",
+                               "electronics"};
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t cat = rng.Uniform(0, 39);
+    data.column(0).AppendInt64(cat);
+    data.column(1).AppendString(departments[cat % 4]);
+    data.column(2).AppendInt64(cat % 7);
+    data.column(3).AppendInt64(cat * 100000 + rng.Uniform(0, 999));
+  }
+  return data;
+}
+
+inline std::vector<Archetype> CompressionArchetypes(int64_t rows) {
+  std::vector<Archetype> out;
+  out.push_back({"sorted_facts", "date-clustered retail fact table",
+                 SortedFactTable(rows, 1)});
+  out.push_back({"lowcard_telemetry", "few distinct values per column",
+                 LowCardinalityTelemetry(rows, 2)});
+  out.push_back({"skewed_weblog", "zipf keys, repeated agents",
+                 SkewedWebLog(rows, 3)});
+  out.push_back({"random_keys", "incompressible uuid-like keys",
+                 RandomKeyTable(rows, 4)});
+  out.push_back({"wide_strings", "string-heavy person records",
+                 WideStringTable(rows, 5)});
+  out.push_back({"correlated_dims", "functionally related columns",
+                 CorrelatedDimensions(rows, 6)});
+  return out;
+}
+
+}  // namespace bench
+}  // namespace vstore
+
+#endif  // VSTORE_BENCH_BENCH_UTIL_H_

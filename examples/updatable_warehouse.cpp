@@ -1,0 +1,128 @@
+// Updatable column store walkthrough (paper §3): a warehouse table that
+// keeps absorbing trickle inserts, deletes, and updates while staying
+// queryable, with the tuple mover reorganizing in the background.
+//
+//   $ ./build/examples/updatable_warehouse
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "query/executor.h"
+#include "storage/column_store.h"
+#include "storage/tuple_mover.h"
+
+using namespace vstore;
+
+namespace {
+
+void PrintState(const char* when, const ColumnStoreTable& table) {
+  auto sizes = table.Sizes();
+  std::printf(
+      "%-28s live=%-8lld groups=%-3lld delta_rows=%-7lld deleted=%-6lld "
+      "size=%lld KiB\n",
+      when, static_cast<long long>(table.num_rows()),
+      static_cast<long long>(table.num_row_groups()),
+      static_cast<long long>(table.num_delta_rows()),
+      static_cast<long long>(table.num_deleted_rows()),
+      static_cast<long long>(sizes.Total() / 1024));
+}
+
+}  // namespace
+
+int main() {
+  Schema schema({{"order_id", DataType::kInt64, false},
+                 {"status", DataType::kString, false},
+                 {"amount", DataType::kDouble, false}});
+  Catalog catalog;
+  ColumnStoreTable::Options options;
+  options.row_group_size = 100000;
+  options.min_compress_rows = 10000;
+  auto owned = std::make_unique<ColumnStoreTable>("orders", schema, options);
+  ColumnStoreTable* orders = owned.get();
+  catalog.AddColumnStore(std::move(owned)).CheckOK();
+
+  // Bulk load history: goes straight to compressed row groups.
+  {
+    TableData history(schema);
+    for (int64_t i = 1; i <= 500000; ++i) {
+      history.AppendRow({Value::Int64(i), Value::String("shipped"),
+                         Value::Double(static_cast<double>(i % 900) + 0.99)});
+    }
+    orders->BulkLoad(history).CheckOK();
+  }
+  PrintState("after bulk load:", *orders);
+
+  // Start the tuple mover on a short timer, as a server would.
+  TupleMover::Options mover_options;
+  mover_options.rebuild_deleted_fraction = 0.15;
+  TupleMover mover(orders, mover_options);
+  mover.Start(std::chrono::milliseconds(20));
+
+  // A day of OLTP-ish traffic: new orders arrive, some get amended, some
+  // get cancelled — all through the delta store / delete bitmap path.
+  //
+  // Caveat demonstrated here: the background tuple mover re-homes delta
+  // rows into compressed row groups, so a RowId held across reorganization
+  // may dangle (Delete/Update return NotFound). Production code locates
+  // rows by key; this example simply skips ids the mover already moved.
+  std::vector<RowId> todays;
+  int64_t moved_away = 0;
+  for (int64_t i = 1; i <= 250000; ++i) {
+    RowId id = orders
+                   ->Insert({Value::Int64(500000 + i), Value::String("open"),
+                             Value::Double(49.99)})
+                   .ValueOrDie();
+    todays.push_back(id);
+    if (i % 10 == 0) {
+      // Every tenth order is amended: update = delete + insert.
+      auto updated = orders->Update(todays.back(),
+                                    {Value::Int64(500000 + i),
+                                     Value::String("amended"),
+                                     Value::Double(59.99)});
+      if (updated.ok()) {
+        todays.back() = updated.value();
+      } else {
+        ++moved_away;  // id was re-homed by the tuple mover
+        todays.pop_back();
+      }
+    }
+    if (i % 25 == 0 && !todays.empty()) {
+      size_t pick = todays.size() / 2;
+      if (!orders->Delete(todays[pick]).ok()) ++moved_away;
+      todays.erase(todays.begin() + static_cast<long>(pick));
+    }
+  }
+  std::printf("(%lld held row ids were invalidated by the tuple mover)\n",
+              static_cast<long long>(moved_away));
+  PrintState("after a day of traffic:", *orders);
+
+  // Queries see everything immediately — compressed rows, delta rows, and
+  // the delete bitmap are merged by the scan.
+  {
+    PlanBuilder b = PlanBuilder::Scan(catalog, "orders");
+    b.Aggregate({"status"}, {{AggFn::kCountStar, "", "orders"},
+                             {AggFn::kSum, "amount", "value"}});
+    b.OrderBy({{"orders", false}});
+    QueryExecutor executor(&catalog);
+    QueryResult result = executor.Execute(b.Build()).ValueOrDie();
+    std::printf("\norders by status (%lld delta rows scanned inline):\n%s\n",
+                static_cast<long long>(result.stats.delta_rows_scanned),
+                FormatResult(result).c_str());
+  }
+
+  // Give the mover a few ticks, then force the remainder synchronously.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  mover.Stop();
+  orders->CompressDeltaStores(/*include_open=*/true).ValueOrDie();
+  orders->RemoveDeletedRows(0.0).ValueOrDie();
+  PrintState("after reorganize:", *orders);
+
+  // Archive cold data for long-term retention.
+  orders->Archive().CheckOK();
+  auto sizes = orders->Sizes();
+  std::printf("\narchival: %lld KiB -> %lld KiB\n",
+              static_cast<long long>(sizes.Total() / 1024),
+              static_cast<long long>(sizes.TotalArchived() / 1024));
+  return 0;
+}

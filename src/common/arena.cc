@@ -1,0 +1,44 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace vstore {
+
+uint8_t* Arena::Allocate(size_t size, size_t alignment) {
+  VSTORE_DCHECK((alignment & (alignment - 1)) == 0);
+  if (size == 0) size = 1;
+  if (!blocks_.empty()) {
+    Block& block = blocks_.back();
+    size_t aligned = (block.used + alignment - 1) & ~(alignment - 1);
+    if (aligned + size <= block.size) {
+      block.used = aligned + size;
+      bytes_allocated_ += size;
+      return block.data.get() + aligned;
+    }
+  }
+  // Start a new block; oversized requests get a dedicated block.
+  size_t block_size = std::max(next_block_size_, size + alignment);
+  next_block_size_ = std::min<size_t>(next_block_size_ * 2, 8 * 1024 * 1024);
+  Block block;
+  block.data = std::make_unique<uint8_t[]>(block_size);
+  block.size = block_size;
+  uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+  size_t offset = (alignment - (base & (alignment - 1))) & (alignment - 1);
+  block.used = offset + size;
+  bytes_allocated_ += size;
+  uint8_t* out = block.data.get() + offset;
+  blocks_.push_back(std::move(block));
+  return out;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    Block first = std::move(blocks_.front());
+    blocks_.clear();
+    blocks_.push_back(std::move(first));
+  }
+  if (!blocks_.empty()) blocks_.front().used = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace vstore

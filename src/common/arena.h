@@ -1,0 +1,55 @@
+#ifndef VSTORE_COMMON_ARENA_H_
+#define VSTORE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+// Bump allocator for short-lived, variable-length data (string payloads in
+// batches, hash-table build rows). Memory is freed all at once on Reset()
+// or destruction. Not thread-safe; each operator owns its own arena.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_size = 64 * 1024)
+      : next_block_size_(initial_block_size) {}
+
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  // Allocates `size` bytes aligned to `alignment` (power of two).
+  uint8_t* Allocate(size_t size, size_t alignment = 8);
+
+  // Copies `s` into the arena and returns a view over the stable copy.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return std::string_view();
+    uint8_t* dst = Allocate(s.size(), 1);
+    std::memcpy(dst, s.data(), s.size());
+    return std::string_view(reinterpret_cast<const char*>(dst), s.size());
+  }
+
+  // Frees all blocks except the first, which is recycled.
+  void Reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t next_block_size_;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_ARENA_H_

@@ -1,0 +1,24 @@
+#include "common/bit_util.h"
+
+#include <bit>
+
+namespace vstore {
+namespace bit_util {
+
+int64_t CountSetBits(const uint8_t* bits, int64_t num_bits) {
+  int64_t count = 0;
+  int64_t i = 0;
+  // Whole 64-bit words first.
+  for (; i + 64 <= num_bits; i += 64) {
+    uint64_t word;
+    std::memcpy(&word, bits + (i >> 3), sizeof(word));
+    count += std::popcount(word);
+  }
+  for (; i < num_bits; ++i) {
+    count += GetBit(bits, i);
+  }
+  return count;
+}
+
+}  // namespace bit_util
+}  // namespace vstore

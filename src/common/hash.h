@@ -1,0 +1,36 @@
+#ifndef VSTORE_COMMON_HASH_H_
+#define VSTORE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace vstore {
+
+// 64-bit hash of an arbitrary byte range (xxhash64-style mixing).
+// Deterministic across runs; used for hash tables, Bloom filters, and the
+// deterministic TPC-H generator.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+// Fast mix for already-integral keys (Murmur3 finalizer, a bijection).
+inline uint64_t HashInt64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines two hashes (boost-style with 64-bit constant).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_HASH_H_

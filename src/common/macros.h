@@ -1,0 +1,30 @@
+#ifndef VSTORE_COMMON_MACROS_H_
+#define VSTORE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant check that is active in all build modes. Database code paths
+// guarded by VSTORE_CHECK are ones where continuing would corrupt data.
+#define VSTORE_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define VSTORE_DCHECK(cond) VSTORE_CHECK(cond)
+#else
+#define VSTORE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+#define VSTORE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // VSTORE_COMMON_MACROS_H_

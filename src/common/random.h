@@ -1,0 +1,85 @@
+#ifndef VSTORE_COMMON_RANDOM_H_
+#define VSTORE_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+// Deterministic splitmix64/xoshiro-style PRNG. We avoid <random> engines so
+// generated datasets are bit-identical across standard libraries — the
+// TPC-H substrate depends on this for reproducible benchmarks.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {
+    // Warm up so small seeds diverge quickly.
+    Next();
+    Next();
+  }
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    VSTORE_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf-distributed generator over [0, n) with skew parameter `s`.
+// Precomputes the CDF; sampling is a binary search. Used for skewed
+// compression-archetype datasets (DESIGN.md experiment E1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double s, uint64_t seed) : rng_(seed), cdf_(n) {
+    VSTORE_CHECK(n > 0);
+    double sum = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<size_t>(i)] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  int64_t Next() {
+    double u = rng_.NextDouble();
+    // First index with cdf >= u.
+    int64_t lo = 0, hi = static_cast<int64_t>(cdf_.size()) - 1;
+    while (lo < hi) {
+      int64_t mid = (lo + hi) / 2;
+      if (cdf_[static_cast<size_t>(mid)] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Random rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_RANDOM_H_

@@ -1,0 +1,149 @@
+#ifndef VSTORE_COMMON_STATUS_H_
+#define VSTORE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vstore {
+
+// Error categories used across the library. Mirrors the usual database
+// taxonomy: user-visible errors (InvalidArgument, NotFound), resource errors
+// (ResourceExhausted used by spilling operators when a memory budget is hit),
+// and internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+};
+
+// Status carries success/failure without exceptions. All fallible public
+// APIs in vertistore return Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  std::string ToString() const;
+
+  // Aborts the process if this status is not OK. Used in tests, examples,
+  // and benchmark drivers where an error is a programming bug.
+  void CheckOK() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::get<Status>(data_).CheckOK();
+      std::abort();
+    }
+    return std::get<T>(std::move(data_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace vstore
+
+// Propagates a non-OK Status from an expression to the caller.
+#define VSTORE_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::vstore::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define VSTORE_CONCAT_IMPL(a, b) a##b
+#define VSTORE_CONCAT(a, b) VSTORE_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+// on failure returns the Status to the caller.
+#define VSTORE_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto VSTORE_CONCAT(_result_, __LINE__) = (expr);              \
+  if (!VSTORE_CONCAT(_result_, __LINE__).ok())                  \
+    return VSTORE_CONCAT(_result_, __LINE__).status();          \
+  lhs = std::move(VSTORE_CONCAT(_result_, __LINE__)).value()
+
+#endif  // VSTORE_COMMON_STATUS_H_

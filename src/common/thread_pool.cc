@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace vstore {
+
+ThreadPool::ThreadPool(int num_threads) {
+  VSTORE_CHECK(num_threads > 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VSTORE_CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  // Chunk indices so each worker grabs contiguous ranges; avoids one task
+  // object per index for large n.
+  std::atomic<int64_t> next{0};
+  int64_t chunk = std::max<int64_t>(1, n / (num_threads() * 8));
+  int tasks = num_threads();
+  for (int t = 0; t < tasks; ++t) {
+    Submit([&next, n, chunk, &fn] {
+      for (;;) {
+        int64_t begin = next.fetch_add(chunk);
+        if (begin >= n) return;
+        int64_t end = std::min(begin + chunk, n);
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace vstore

@@ -1,0 +1,50 @@
+#ifndef VSTORE_COMMON_THREAD_POOL_H_
+#define VSTORE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+// Fixed-size worker pool used by the exchange operator for parallel scans
+// and by the tuple mover for background row-group compression.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  // Enqueues a task; tasks may run in any order across workers.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_THREAD_POOL_H_

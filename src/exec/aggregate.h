@@ -1,0 +1,35 @@
+#ifndef VSTORE_EXEC_AGGREGATE_H_
+#define VSTORE_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace vstore {
+
+enum class AggFn {
+  kSum,
+  kCount,      // COUNT(col): non-null rows
+  kCountStar,  // COUNT(*)
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFnName(AggFn fn);
+
+// One aggregate to compute: fn over input column `column` (-1 for
+// COUNT(*)), named `name` in the output schema.
+struct AggSpec {
+  AggFn fn;
+  int column;
+  std::string name;
+};
+
+// Output type of an aggregate over an input of type `input`.
+DataType AggOutputType(AggFn fn, DataType input);
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_AGGREGATE_H_

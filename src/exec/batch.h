@@ -1,0 +1,117 @@
+#ifndef VSTORE_EXEC_BATCH_H_
+#define VSTORE_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/macros.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace vstore {
+
+// Rows per batch. The paper sizes batches so that one batch with a handful
+// of columns fits in L2 (~900 rows in SQL Server); we use the same number.
+constexpr int64_t kDefaultBatchSize = 900;
+
+// A column of values within a batch: a fixed-capacity typed array plus a
+// byte-per-row validity mask. Strings are views into stable memory (segment
+// dictionaries or the batch's arena).
+class ColumnVector {
+ public:
+  ColumnVector(DataType type, int64_t capacity);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ColumnVector);
+
+  DataType type() const { return type_; }
+  PhysicalType physical_type() const { return PhysicalTypeOf(type_); }
+  int64_t capacity() const { return capacity_; }
+
+  int64_t* mutable_ints() { return ints_.data(); }
+  double* mutable_doubles() { return doubles_.data(); }
+  std::string_view* mutable_strings() { return strings_.data(); }
+  const int64_t* ints() const { return ints_.data(); }
+  const double* doubles() const { return doubles_.data(); }
+  const std::string_view* strings() const { return strings_.data(); }
+
+  // validity()[i] == 1 when row i is non-null.
+  uint8_t* mutable_validity() { return validity_.data(); }
+  const uint8_t* validity() const { return validity_.data(); }
+  void SetAllValid(int64_t n) {
+    std::fill(validity_.begin(), validity_.begin() + n, uint8_t{1});
+  }
+
+  Value GetValue(int64_t i) const;
+  void SetValue(int64_t i, const Value& v, Arena* arena);
+
+  // Changes the logical type (physical family must match); used when an
+  // adapter reuses vectors across schemas.
+  void ResetType(DataType type);
+
+ private:
+  DataType type_;
+  int64_t capacity_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string_view> strings_;
+  std::vector<uint8_t> validity_;
+};
+
+// A batch of rows in columnar layout with a qualifying-rows mask: filters
+// mark rows inactive rather than compacting the batch (paper §5.1).
+class Batch {
+ public:
+  Batch(const Schema& schema, int64_t capacity);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(Batch);
+
+  const Schema& schema() const { return schema_; }
+  int64_t capacity() const { return capacity_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  int64_t num_rows() const { return num_rows_; }
+  void set_num_rows(int64_t n) {
+    VSTORE_DCHECK(n <= capacity_);
+    num_rows_ = n;
+  }
+
+  ColumnVector& column(int i) { return *columns_[static_cast<size_t>(i)]; }
+  const ColumnVector& column(int i) const {
+    return *columns_[static_cast<size_t>(i)];
+  }
+
+  // Qualifying-rows mask: active()[i] == 1 when row i is still logically
+  // present. active_count() tracks the number of 1s.
+  uint8_t* mutable_active() { return active_.data(); }
+  const uint8_t* active() const { return active_.data(); }
+  int64_t active_count() const { return active_count_; }
+  void set_active_count(int64_t n) { active_count_ = n; }
+
+  // Marks all num_rows_ rows active.
+  void ActivateAll();
+  // Recomputes active_count from the mask.
+  void RecountActive();
+
+  // Arena for strings computed during expression evaluation; reset by the
+  // producing operator when it refills the batch.
+  Arena* arena() { return &arena_; }
+
+  // Clears row content for reuse (does not shrink allocations).
+  void Reset();
+
+  std::vector<Value> GetActiveRow(int64_t i) const;
+
+ private:
+  Schema schema_;
+  int64_t capacity_;
+  int64_t num_rows_ = 0;
+  int64_t active_count_ = 0;
+  std::vector<std::unique_ptr<ColumnVector>> columns_;
+  std::vector<uint8_t> active_;
+  Arena arena_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_BATCH_H_

@@ -1,0 +1,17 @@
+#include "exec/bloom_filter.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace vstore {
+
+void BloomFilter::Init(int64_t expected_keys) {
+  // ~12 bits per key spread over 512-bit blocks keeps false positives near
+  // 1-2% with 3 in-block probes.
+  uint64_t bits =
+      static_cast<uint64_t>(std::max<int64_t>(expected_keys, 1)) * 12;
+  uint64_t blocks = std::bit_ceil(std::max<uint64_t>(bits / 512, 1));
+  blocks_.assign(blocks, Block{});
+}
+
+}  // namespace vstore

@@ -1,0 +1,112 @@
+#include "exec/exchange.h"
+
+#include "common/macros.h"
+
+namespace vstore {
+
+ExchangeOperator::ExchangeOperator(Schema output_schema,
+                                   FragmentFactory factory, int degree,
+                                   ExecContext* ctx)
+    : output_schema_(std::move(output_schema)),
+      factory_(std::move(factory)),
+      degree_(degree),
+      ctx_(ctx) {
+  VSTORE_CHECK(degree_ > 0);
+}
+
+ExchangeOperator::~ExchangeOperator() { Close(); }
+
+Status ExchangeOperator::Open() {
+  cancelled_ = false;
+  first_error_ = Status::OK();
+  active_producers_ = degree_;
+  fragment_ctxs_.clear();
+  for (int i = 0; i < degree_; ++i) {
+    auto fctx = std::make_unique<ExecContext>();
+    fctx->batch_size = ctx_->batch_size;
+    fctx->operator_memory_budget = ctx_->operator_memory_budget;
+    fragment_ctxs_.push_back(std::move(fctx));
+  }
+  workers_.reserve(static_cast<size_t>(degree_));
+  for (int i = 0; i < degree_; ++i) {
+    workers_.emplace_back([this, i] { RunFragment(i); });
+  }
+  return Status::OK();
+}
+
+void ExchangeOperator::Push(std::unique_ptr<Batch> batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_space_.wait(lock, [this] {
+    return cancelled_ || queue_.size() < kQueueCapacity;
+  });
+  if (cancelled_) return;
+  queue_.push(std::move(batch));
+  queue_ready_.notify_one();
+}
+
+void ExchangeOperator::RunFragment(int fragment) {
+  ExecContext* fctx = fragment_ctxs_[static_cast<size_t>(fragment)].get();
+  Status status;
+  auto op_result = factory_(fragment, fctx);
+  if (!op_result.ok()) {
+    status = op_result.status();
+  } else {
+    BatchOperatorPtr op = std::move(op_result).value();
+    status = op->Open();
+    while (status.ok()) {
+      auto batch_result = op->Next();
+      if (!batch_result.ok()) {
+        status = batch_result.status();
+        break;
+      }
+      Batch* batch = batch_result.value();
+      if (batch == nullptr) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cancelled_) break;
+      }
+      // Deep-copy: the fragment reuses its batch storage immediately.
+      auto copy = std::make_unique<Batch>(
+          output_schema_, std::max<int64_t>(batch->num_rows(), 1));
+      AppendActiveRows(*batch, copy.get());
+      Push(std::move(copy));
+    }
+    op->Close();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_->stats.MergeFrom(fctx->stats);
+  if (!status.ok() && first_error_.ok()) first_error_ = status;
+  if (--active_producers_ == 0) queue_ready_.notify_all();
+  else queue_ready_.notify_all();
+}
+
+Result<Batch*> ExchangeOperator::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_ready_.wait(lock, [this] {
+    return !queue_.empty() || active_producers_ == 0 || !first_error_.ok();
+  });
+  if (!first_error_.ok()) return first_error_;
+  if (queue_.empty()) return static_cast<Batch*>(nullptr);
+  current_ = std::move(queue_.front());
+  queue_.pop();
+  queue_space_.notify_one();
+  return current_.get();
+}
+
+void ExchangeOperator::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  queue_space_.notify_all();
+  queue_ready_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  std::queue<std::unique_ptr<Batch>>().swap(queue_);
+  current_.reset();
+}
+
+}  // namespace vstore

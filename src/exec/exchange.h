@@ -1,0 +1,66 @@
+#ifndef VSTORE_EXEC_EXCHANGE_H_
+#define VSTORE_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace vstore {
+
+// Exchange operator: runs `degree` plan fragments on worker threads and
+// funnels their output batches through a bounded queue (the paper's batch
+// exchange for parallel plans; fragments typically cover disjoint row-group
+// ranges of a scan, often with partial aggregation on top).
+//
+// Each fragment gets its own ExecContext; their stats are merged into the
+// parent context when the fragment finishes.
+class ExchangeOperator final : public BatchOperator {
+ public:
+  // Builds the operator tree for fragment `i` against `fragment_ctx`.
+  using FragmentFactory =
+      std::function<Result<BatchOperatorPtr>(int fragment,
+                                             ExecContext* fragment_ctx)>;
+
+  ExchangeOperator(Schema output_schema, FragmentFactory factory, int degree,
+                   ExecContext* ctx);
+  ~ExchangeOperator() override;
+
+  Status Open() override;
+  Result<Batch*> Next() override;
+  void Close() override;
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "Exchange"; }
+
+ private:
+  void RunFragment(int fragment);
+  void Push(std::unique_ptr<Batch> batch);
+
+  Schema output_schema_;
+  FragmentFactory factory_;
+  int degree_;
+  ExecContext* ctx_;
+
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<ExecContext>> fragment_ctxs_;
+
+  std::mutex mu_;
+  std::condition_variable queue_ready_;   // consumer waits
+  std::condition_variable queue_space_;   // producers wait
+  std::queue<std::unique_ptr<Batch>> queue_;
+  static constexpr size_t kQueueCapacity = 8;
+  int active_producers_ = 0;
+  bool cancelled_ = false;
+  Status first_error_;
+
+  std::unique_ptr<Batch> current_;  // batch handed to the consumer
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_EXCHANGE_H_

@@ -1,0 +1,627 @@
+#include "exec/expression.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+namespace {
+
+// Extracts the civil year from a days-since-epoch value.
+int64_t YearFromDays(int64_t days) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint64_t doe = static_cast<uint64_t>(z - era * 146097);
+  const uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint64_t mp = (5 * doy + 2) / 153;
+  const uint64_t m = mp + (mp < 10 ? 3 : static_cast<uint64_t>(-9));
+  return y + (m <= 2);
+}
+
+// Evaluates a child into a freshly sized vector.
+Status EvalChild(const Expr& child, const Batch& in, Arena* arena,
+                 std::unique_ptr<ColumnVector>* out) {
+  *out = std::make_unique<ColumnVector>(child.output_type(),
+                                        std::max<int64_t>(in.num_rows(), 1));
+  return child.EvalBatch(in, arena, out->get());
+}
+
+int CompareValuesSameFamily(const Value& a, const Value& b) {
+  switch (PhysicalTypeOf(a.type())) {
+    case PhysicalType::kString: {
+      int c = a.str().compare(b.str());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case PhysicalType::kDouble:
+    case PhysicalType::kInt64: {
+      if (a.type() == DataType::kDouble || b.type() == DataType::kDouble) {
+        double x = a.AsDouble(), y = b.AsDouble();
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      int64_t x = a.int64(), y = b.int64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// --- ColumnRefExpr --------------------------------------------------------
+
+Status ColumnRefExpr::EvalBatch(const Batch& in, Arena* arena,
+                                ColumnVector* out) const {
+  const ColumnVector& src = in.column(index_);
+  const int64_t n = in.num_rows();
+  std::memcpy(out->mutable_validity(), src.validity(),
+              static_cast<size_t>(n));
+  switch (src.physical_type()) {
+    case PhysicalType::kInt64:
+      std::memcpy(out->mutable_ints(), src.ints(),
+                  static_cast<size_t>(n) * sizeof(int64_t));
+      break;
+    case PhysicalType::kDouble:
+      std::memcpy(out->mutable_doubles(), src.doubles(),
+                  static_cast<size_t>(n) * sizeof(double));
+      break;
+    case PhysicalType::kString:
+      std::copy(src.strings(), src.strings() + n, out->mutable_strings());
+      break;
+  }
+  return Status::OK();
+}
+
+Status ColumnRefExpr::EvalRow(const std::vector<Value>& row,
+                              Value* out) const {
+  *out = row[static_cast<size_t>(index_)];
+  return Status::OK();
+}
+
+// --- LiteralExpr ------------------------------------------------------------
+
+Status LiteralExpr::EvalBatch(const Batch& in, Arena* arena,
+                              ColumnVector* out) const {
+  const int64_t n = in.num_rows();
+  if (value_.is_null()) {
+    std::fill(out->mutable_validity(), out->mutable_validity() + n, uint8_t{0});
+    return Status::OK();
+  }
+  out->SetAllValid(n);
+  switch (PhysicalTypeOf(value_.type())) {
+    case PhysicalType::kInt64:
+      std::fill(out->mutable_ints(), out->mutable_ints() + n, value_.int64());
+      break;
+    case PhysicalType::kDouble:
+      std::fill(out->mutable_doubles(), out->mutable_doubles() + n,
+                value_.dbl());
+      break;
+    case PhysicalType::kString: {
+      std::string_view sv = arena->CopyString(value_.str());
+      std::fill(out->mutable_strings(), out->mutable_strings() + n, sv);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status LiteralExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  *out = value_;
+  return Status::OK();
+}
+
+// --- CompareExpr ------------------------------------------------------------
+
+Status CompareExpr::EvalBatch(const Batch& in, Arena* arena,
+                              ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> lv, rv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*left_, in, arena, &lv));
+  VSTORE_RETURN_IF_ERROR(EvalChild(*right_, in, arena, &rv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  uint8_t* valid = out->mutable_validity();
+  const uint8_t* va = lv->validity();
+  const uint8_t* vb = rv->validity();
+
+  PhysicalType pl = lv->physical_type();
+  PhysicalType pr = rv->physical_type();
+  const CompareOp op = op_;
+
+  if (pl == PhysicalType::kString) {
+    const std::string_view* a = lv->strings();
+    const std::string_view* b = rv->strings();
+    for (int64_t i = 0; i < n; ++i) {
+      valid[i] = va[i] & vb[i];
+      int c = a[i].compare(b[i]);
+      res[i] = ApplyCompare(op, c < 0 ? -1 : (c > 0 ? 1 : 0));
+    }
+  } else if (pl == PhysicalType::kDouble || pr == PhysicalType::kDouble) {
+    // Promote mixed int/double comparisons to double.
+    auto load = [n](const ColumnVector& v, std::vector<double>* buf) {
+      if (v.physical_type() == PhysicalType::kDouble) return v.doubles();
+      buf->resize(static_cast<size_t>(n));
+      const int64_t* src = v.ints();
+      for (int64_t i = 0; i < n; ++i) {
+        (*buf)[static_cast<size_t>(i)] = static_cast<double>(src[i]);
+      }
+      return const_cast<const double*>(buf->data());
+    };
+    std::vector<double> abuf, bbuf;
+    const double* a = load(*lv, &abuf);
+    const double* b = load(*rv, &bbuf);
+    for (int64_t i = 0; i < n; ++i) {
+      valid[i] = va[i] & vb[i];
+      res[i] = ApplyCompare(op, a[i] < b[i] ? -1 : (a[i] > b[i] ? 1 : 0));
+    }
+  } else {
+    const int64_t* a = lv->ints();
+    const int64_t* b = rv->ints();
+    for (int64_t i = 0; i < n; ++i) {
+      valid[i] = va[i] & vb[i];
+      res[i] = ApplyCompare(op, a[i] < b[i] ? -1 : (a[i] > b[i] ? 1 : 0));
+    }
+  }
+  return Status::OK();
+}
+
+Status CompareExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value a, b;
+  VSTORE_RETURN_IF_ERROR(left_->EvalRow(row, &a));
+  VSTORE_RETURN_IF_ERROR(right_->EvalRow(row, &b));
+  if (a.is_null() || b.is_null()) {
+    *out = Value::Null(DataType::kBool);
+    return Status::OK();
+  }
+  *out = Value::Bool(ApplyCompare(op_, CompareValuesSameFamily(a, b)));
+  return Status::OK();
+}
+
+std::string CompareExpr::ToString() const {
+  return "(" + left_->ToString() + " " + CompareOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// --- ArithExpr ---------------------------------------------------------------
+
+Status ArithExpr::EvalBatch(const Batch& in, Arena* arena,
+                            ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> lv, rv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*left_, in, arena, &lv));
+  VSTORE_RETURN_IF_ERROR(EvalChild(*right_, in, arena, &rv));
+  const int64_t n = in.num_rows();
+  uint8_t* valid = out->mutable_validity();
+  const uint8_t* va = lv->validity();
+  const uint8_t* vb = rv->validity();
+
+  if (output_type() == DataType::kDouble) {
+    auto load = [n](const ColumnVector& v, std::vector<double>* buf) {
+      if (v.physical_type() == PhysicalType::kDouble) return v.doubles();
+      buf->resize(static_cast<size_t>(n));
+      const int64_t* src = v.ints();
+      for (int64_t i = 0; i < n; ++i) {
+        (*buf)[static_cast<size_t>(i)] = static_cast<double>(src[i]);
+      }
+      return const_cast<const double*>(buf->data());
+    };
+    std::vector<double> abuf, bbuf;
+    const double* a = load(*lv, &abuf);
+    const double* b = load(*rv, &bbuf);
+    double* res = out->mutable_doubles();
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i];
+          res[i] = a[i] + b[i];
+        }
+        break;
+      case ArithOp::kSub:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i];
+          res[i] = a[i] - b[i];
+        }
+        break;
+      case ArithOp::kMul:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i];
+          res[i] = a[i] * b[i];
+        }
+        break;
+      case ArithOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i] & (b[i] != 0.0 ? 1 : 0);
+          res[i] = b[i] != 0.0 ? a[i] / b[i] : 0.0;
+        }
+        break;
+    }
+  } else {
+    const int64_t* a = lv->ints();
+    const int64_t* b = rv->ints();
+    int64_t* res = out->mutable_ints();
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i];
+          res[i] = a[i] + b[i];
+        }
+        break;
+      case ArithOp::kSub:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i];
+          res[i] = a[i] - b[i];
+        }
+        break;
+      case ArithOp::kMul:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i];
+          res[i] = a[i] * b[i];
+        }
+        break;
+      case ArithOp::kDiv:
+        for (int64_t i = 0; i < n; ++i) {
+          valid[i] = va[i] & vb[i] & (b[i] != 0 ? 1 : 0);
+          res[i] = b[i] != 0 ? a[i] / b[i] : 0;
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ArithExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value a, b;
+  VSTORE_RETURN_IF_ERROR(left_->EvalRow(row, &a));
+  VSTORE_RETURN_IF_ERROR(right_->EvalRow(row, &b));
+  if (a.is_null() || b.is_null()) {
+    *out = Value::Null(output_type());
+    return Status::OK();
+  }
+  if (output_type() == DataType::kDouble) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd:
+        *out = Value::Double(x + y);
+        break;
+      case ArithOp::kSub:
+        *out = Value::Double(x - y);
+        break;
+      case ArithOp::kMul:
+        *out = Value::Double(x * y);
+        break;
+      case ArithOp::kDiv:
+        *out = y != 0.0 ? Value::Double(x / y)
+                        : Value::Null(DataType::kDouble);
+        break;
+    }
+  } else {
+    int64_t x = a.int64(), y = b.int64();
+    switch (op_) {
+      case ArithOp::kAdd:
+        *out = Value::Int64(x + y);
+        break;
+      case ArithOp::kSub:
+        *out = Value::Int64(x - y);
+        break;
+      case ArithOp::kMul:
+        *out = Value::Int64(x * y);
+        break;
+      case ArithOp::kDiv:
+        *out = y != 0 ? Value::Int64(x / y) : Value::Null(DataType::kInt64);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string ArithExpr::ToString() const {
+  const char* op = op_ == ArithOp::kAdd   ? "+"
+                   : op_ == ArithOp::kSub ? "-"
+                   : op_ == ArithOp::kMul ? "*"
+                                          : "/";
+  return "(" + left_->ToString() + " " + op + " " + right_->ToString() + ")";
+}
+
+// --- BoolExpr -----------------------------------------------------------------
+
+Status BoolExpr::EvalBatch(const Batch& in, Arena* arena,
+                           ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> lv, rv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*left_, in, arena, &lv));
+  VSTORE_RETURN_IF_ERROR(EvalChild(*right_, in, arena, &rv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  uint8_t* valid = out->mutable_validity();
+  const int64_t* a = lv->ints();
+  const int64_t* b = rv->ints();
+  const uint8_t* va = lv->validity();
+  const uint8_t* vb = rv->validity();
+  if (op_ == BoolOp::kAnd) {
+    for (int64_t i = 0; i < n; ++i) {
+      valid[i] = va[i] & vb[i];
+      res[i] = (a[i] != 0) & (b[i] != 0);
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      valid[i] = va[i] & vb[i];
+      res[i] = (a[i] != 0) | (b[i] != 0);
+    }
+  }
+  return Status::OK();
+}
+
+Status BoolExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value a, b;
+  VSTORE_RETURN_IF_ERROR(left_->EvalRow(row, &a));
+  VSTORE_RETURN_IF_ERROR(right_->EvalRow(row, &b));
+  if (a.is_null() || b.is_null()) {
+    *out = Value::Null(DataType::kBool);
+    return Status::OK();
+  }
+  bool x = a.int64() != 0, y = b.int64() != 0;
+  *out = Value::Bool(op_ == BoolOp::kAnd ? (x && y) : (x || y));
+  return Status::OK();
+}
+
+std::string BoolExpr::ToString() const {
+  return "(" + left_->ToString() +
+         (op_ == BoolOp::kAnd ? " AND " : " OR ") + right_->ToString() + ")";
+}
+
+// --- NotExpr -------------------------------------------------------------------
+
+Status NotExpr::EvalBatch(const Batch& in, Arena* arena,
+                          ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> cv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*input_, in, arena, &cv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  const int64_t* a = cv->ints();
+  std::memcpy(out->mutable_validity(), cv->validity(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) res[i] = a[i] == 0;
+  return Status::OK();
+}
+
+Status NotExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value v;
+  VSTORE_RETURN_IF_ERROR(input_->EvalRow(row, &v));
+  *out = v.is_null() ? Value::Null(DataType::kBool)
+                     : Value::Bool(v.int64() == 0);
+  return Status::OK();
+}
+
+// --- IsNullExpr ------------------------------------------------------------------
+
+Status IsNullExpr::EvalBatch(const Batch& in, Arena* arena,
+                             ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> cv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*input_, in, arena, &cv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  const uint8_t* va = cv->validity();
+  out->SetAllValid(n);
+  for (int64_t i = 0; i < n; ++i) res[i] = va[i] == 0;
+  return Status::OK();
+}
+
+Status IsNullExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value v;
+  VSTORE_RETURN_IF_ERROR(input_->EvalRow(row, &v));
+  *out = Value::Bool(v.is_null());
+  return Status::OK();
+}
+
+// --- YearExpr ---------------------------------------------------------------------
+
+Status YearExpr::EvalBatch(const Batch& in, Arena* arena,
+                           ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> cv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*input_, in, arena, &cv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  const int64_t* a = cv->ints();
+  std::memcpy(out->mutable_validity(), cv->validity(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) res[i] = YearFromDays(a[i]);
+  return Status::OK();
+}
+
+Status YearExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value v;
+  VSTORE_RETURN_IF_ERROR(input_->EvalRow(row, &v));
+  *out = v.is_null() ? Value::Null(DataType::kInt64)
+                     : Value::Int64(YearFromDays(v.int64()));
+  return Status::OK();
+}
+
+// --- StartsWithExpr ----------------------------------------------------------------
+
+Status StartsWithExpr::EvalBatch(const Batch& in, Arena* arena,
+                                 ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> cv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*input_, in, arena, &cv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  const std::string_view* a = cv->strings();
+  std::memcpy(out->mutable_validity(), cv->validity(), static_cast<size_t>(n));
+  const std::string_view prefix(prefix_);
+  for (int64_t i = 0; i < n; ++i) {
+    res[i] = a[i].substr(0, prefix.size()) == prefix;
+  }
+  return Status::OK();
+}
+
+Status StartsWithExpr::EvalRow(const std::vector<Value>& row,
+                               Value* out) const {
+  Value v;
+  VSTORE_RETURN_IF_ERROR(input_->EvalRow(row, &v));
+  if (v.is_null()) {
+    *out = Value::Null(DataType::kBool);
+    return Status::OK();
+  }
+  *out = Value::Bool(std::string_view(v.str()).substr(0, prefix_.size()) ==
+                     prefix_);
+  return Status::OK();
+}
+
+// --- InExpr -------------------------------------------------------------------------
+
+Status InExpr::EvalBatch(const Batch& in, Arena* arena,
+                         ColumnVector* out) const {
+  std::unique_ptr<ColumnVector> cv;
+  VSTORE_RETURN_IF_ERROR(EvalChild(*input_, in, arena, &cv));
+  const int64_t n = in.num_rows();
+  int64_t* res = out->mutable_ints();
+  std::memcpy(out->mutable_validity(), cv->validity(), static_cast<size_t>(n));
+  if (cv->physical_type() == PhysicalType::kString) {
+    const std::string_view* a = cv->strings();
+    for (int64_t i = 0; i < n; ++i) {
+      bool hit = false;
+      for (const Value& v : values_) {
+        if (!v.is_null() && a[i] == v.str()) {
+          hit = true;
+          break;
+        }
+      }
+      res[i] = hit;
+    }
+  } else if (cv->physical_type() == PhysicalType::kInt64) {
+    const int64_t* a = cv->ints();
+    for (int64_t i = 0; i < n; ++i) {
+      bool hit = false;
+      for (const Value& v : values_) {
+        if (!v.is_null() && a[i] == v.int64()) {
+          hit = true;
+          break;
+        }
+      }
+      res[i] = hit;
+    }
+  } else {
+    const double* a = cv->doubles();
+    for (int64_t i = 0; i < n; ++i) {
+      bool hit = false;
+      for (const Value& v : values_) {
+        if (!v.is_null() && a[i] == v.AsDouble()) {
+          hit = true;
+          break;
+        }
+      }
+      res[i] = hit;
+    }
+  }
+  return Status::OK();
+}
+
+Status InExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
+  Value v;
+  VSTORE_RETURN_IF_ERROR(input_->EvalRow(row, &v));
+  if (v.is_null()) {
+    *out = Value::Null(DataType::kBool);
+    return Status::OK();
+  }
+  for (const Value& candidate : values_) {
+    if (!candidate.is_null() && v == candidate) {
+      *out = Value::Bool(true);
+      return Status::OK();
+    }
+  }
+  *out = Value::Bool(false);
+  return Status::OK();
+}
+
+std::string InExpr::ToString() const {
+  std::string out = input_->ToString() + " IN (";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  return out + ")";
+}
+
+// --- Builders ------------------------------------------------------------------------
+
+namespace expr {
+
+ExprPtr Column(const Schema& schema, const std::string& name) {
+  int index = schema.IndexOf(name);
+  VSTORE_CHECK(index >= 0);
+  return std::make_shared<ColumnRefExpr>(index, schema.field(index).type,
+                                         name);
+}
+
+ExprPtr ColumnAt(const Schema& schema, int index) {
+  VSTORE_CHECK(index >= 0 && index < schema.num_columns());
+  return std::make_shared<ColumnRefExpr>(index, schema.field(index).type,
+                                         schema.field(index).name);
+}
+
+ExprPtr Lit(Value value) { return std::make_shared<LiteralExpr>(std::move(value)); }
+
+ExprPtr Cmp(CompareOp op, ExprPtr left, ExprPtr right) {
+  bool ls = PhysicalTypeOf(left->output_type()) == PhysicalType::kString;
+  bool rs = PhysicalTypeOf(right->output_type()) == PhysicalType::kString;
+  VSTORE_CHECK(ls == rs);
+  return std::make_shared<CompareExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  VSTORE_CHECK(IsNumeric(left->output_type()) &&
+               IsNumeric(right->output_type()));
+  DataType out = (left->output_type() == DataType::kDouble ||
+                  right->output_type() == DataType::kDouble)
+                     ? DataType::kDouble
+                     : DataType::kInt64;
+  return std::make_shared<ArithExpr>(op, std::move(left), std::move(right),
+                                     out);
+}
+
+ExprPtr And(ExprPtr left, ExprPtr right) {
+  return std::make_shared<BoolExpr>(BoolOp::kAnd, std::move(left),
+                                    std::move(right));
+}
+
+ExprPtr Or(ExprPtr left, ExprPtr right) {
+  return std::make_shared<BoolExpr>(BoolOp::kOr, std::move(left),
+                                    std::move(right));
+}
+
+ExprPtr Not(ExprPtr input) { return std::make_shared<NotExpr>(std::move(input)); }
+
+ExprPtr IsNull(ExprPtr input) {
+  return std::make_shared<IsNullExpr>(std::move(input));
+}
+
+ExprPtr Year(ExprPtr input) {
+  VSTORE_CHECK(PhysicalTypeOf(input->output_type()) == PhysicalType::kInt64);
+  return std::make_shared<YearExpr>(std::move(input));
+}
+
+ExprPtr StartsWith(ExprPtr input, std::string prefix) {
+  VSTORE_CHECK(input->output_type() == DataType::kString);
+  return std::make_shared<StartsWithExpr>(std::move(input), std::move(prefix));
+}
+
+ExprPtr In(ExprPtr input, std::vector<Value> values) {
+  return std::make_shared<InExpr>(std::move(input), std::move(values));
+}
+
+ExprPtr Between(ExprPtr input, Value lo, Value hi) {
+  return And(Ge(input, Lit(std::move(lo))), Le(input, Lit(std::move(hi))));
+}
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBool) {
+    const auto* b = static_cast<const BoolExpr*>(expr.get());
+    if (b->op() == BoolOp::kAnd) {
+      CollectConjuncts(b->left(), out);
+      CollectConjuncts(b->right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+}  // namespace expr
+
+}  // namespace vstore

@@ -1,0 +1,135 @@
+#ifndef VSTORE_EXEC_HASH_JOIN_H_
+#define VSTORE_EXEC_HASH_JOIN_H_
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "exec/bloom_filter.h"
+#include "exec/hash_table.h"
+#include "exec/operator.h"
+
+namespace vstore {
+
+enum class JoinType {
+  kInner,
+  kLeftOuter,  // all probe rows; unmatched ones null-extended
+  kLeftSemi,   // probe rows with at least one match (probe columns only)
+  kLeftAnti,   // probe rows with no match (probe columns only)
+};
+
+const char* JoinTypeName(JoinType type);
+
+// Batch-mode hash join (paper §5.3): consumes the build side into a hash
+// table of serialized rows, optionally publishing a Bloom filter for
+// pushdown into the probe-side scan, then streams probe batches against it.
+//
+// Memory-bounded: build rows are hash-partitioned; when the in-memory size
+// exceeds the context's operator_memory_budget, whole partitions spill to
+// temp files and the matching probe rows are spilled too, then partition
+// pairs are drained after the probe input is exhausted (grace hash join).
+// One level of partitioning is applied; a spilled partition is assumed to
+// fit in memory during its drain.
+//
+// Output schema: probe columns followed by build columns (probe columns
+// only for semi/anti joins).
+class HashJoinOperator final : public BatchOperator {
+ public:
+  struct Options {
+    JoinType join_type = JoinType::kInner;
+    std::vector<int> probe_keys;  // column indices in the probe schema
+    std::vector<int> build_keys;  // column indices in the build schema
+    // If non-null, the join Init()s and populates this externally-owned
+    // Bloom filter over the build keys during its build phase. The planner
+    // hands the same object to the probe-side scan (which only reads it
+    // after Open(), i.e. after the build completed). Only valid for
+    // inner/semi joins (outer/anti joins must see every probe row).
+    BloomFilter* bloom_target = nullptr;
+    int num_partitions = 16;  // power of two
+  };
+
+  HashJoinOperator(BatchOperatorPtr probe, BatchOperatorPtr build,
+                   Options options, ExecContext* ctx);
+  ~HashJoinOperator() override;
+
+  // Non-null iff options.bloom_target was set; populated once Open() returns.
+  const BloomFilter* bloom_filter() const { return bloom_; }
+
+  Status Open() override;
+  Result<Batch*> Next() override;
+  void Close() override;
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override;
+
+ private:
+  struct Partition {
+    std::unique_ptr<Arena> arena;
+    std::vector<uint8_t*> rows;  // entry pointers (header + payload)
+    int64_t bytes = 0;
+    bool spilled = false;
+    std::FILE* build_file = nullptr;
+    std::FILE* probe_file = nullptr;
+    int64_t build_rows_on_disk = 0;
+    int64_t probe_rows_on_disk = 0;
+    std::unique_ptr<SerializedRowHashTable> table;
+  };
+
+  int PartitionOf(uint64_t hash) const {
+    return static_cast<int>(hash >> partition_shift_);
+  }
+
+  Status RunBuildPhase();
+  Status SpillPartition(int p);
+  Status BuildInMemoryTables();
+
+  // Emits one output row at out_row: probe side from `probe`/`row` (or a
+  // serialized probe row) plus build side from `build_row` (nullptr =>
+  // null-extended).
+  void EmitFromBatch(const Batch& probe, int64_t row, const uint8_t* build_row,
+                     int64_t out_row);
+  void EmitFromSerialized(const uint8_t* probe_row, const uint8_t* build_row,
+                          int64_t out_row);
+
+  // Probe-streaming phase; returns true when a full/final batch is ready.
+  Result<bool> PumpProbe();
+  // Spill-drain phase; returns true when a batch is ready, false at EOS.
+  Result<bool> PumpSpill();
+
+  BatchOperatorPtr probe_;
+  BatchOperatorPtr build_;
+  Options options_;
+  ExecContext* ctx_;
+
+  Schema output_schema_;
+  RowFormat build_format_;
+  RowFormat probe_format_;
+  bool emit_build_columns_;
+
+  BloomFilter* bloom_ = nullptr;  // not owned
+  std::vector<Partition> partitions_;
+  int partition_shift_ = 60;
+  int64_t total_build_bytes_ = 0;
+
+  std::unique_ptr<Batch> output_;
+  int64_t out_rows_ = 0;
+
+  // Probe-streaming state.
+  enum class Phase { kBuild, kProbe, kSpillDrain, kDone };
+  Phase phase_ = Phase::kBuild;
+  Batch* probe_batch_ = nullptr;
+  int64_t probe_row_ = 0;
+  std::vector<uint64_t> probe_hashes_;
+  const uint8_t* chain_ = nullptr;  // resume point within a bucket chain
+  bool row_matched_ = false;        // for outer/semi/anti bookkeeping
+
+  // Spill-drain state.
+  int drain_partition_ = 0;
+  bool drain_loaded_ = false;
+  std::vector<uint8_t> drain_probe_row_;  // serialized current probe row
+  bool drain_row_pending_ = false;
+  Arena drain_arena_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_HASH_JOIN_H_

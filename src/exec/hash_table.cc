@@ -1,0 +1,272 @@
+#include "exec/hash_table.h"
+
+#include <bit>
+#include <cstring>
+
+namespace vstore {
+
+RowFormat::RowFormat(const Schema& schema) {
+  const int n = schema.num_columns();
+  types_.reserve(static_cast<size_t>(n));
+  offsets_.reserve(static_cast<size_t>(n));
+  // Validity bytes first, padded to 8.
+  size_t offset = (static_cast<size_t>(n) + 7) & ~size_t{7};
+  for (int c = 0; c < n; ++c) {
+    types_.push_back(schema.field(c).type);
+    offsets_.push_back(offset);
+    offset += PhysicalTypeOf(schema.field(c).type) == PhysicalType::kString
+                  ? 16
+                  : 8;
+  }
+  row_size_ = offset;
+}
+
+void RowFormat::Write(uint8_t* dst, const Batch& batch, int64_t row,
+                      Arena* arena) const {
+  for (int c = 0; c < num_columns(); ++c) {
+    const ColumnVector& cv = batch.column(c);
+    uint8_t valid = cv.validity()[row];
+    dst[c] = valid;
+    uint8_t* slot = dst + slot_offset(c);
+    if (!valid) {
+      std::memset(slot, 0, 8);
+      continue;
+    }
+    switch (cv.physical_type()) {
+      case PhysicalType::kInt64:
+        std::memcpy(slot, cv.ints() + row, 8);
+        break;
+      case PhysicalType::kDouble:
+        std::memcpy(slot, cv.doubles() + row, 8);
+        break;
+      case PhysicalType::kString: {
+        std::string_view stable = arena->CopyString(cv.strings()[row]);
+        const char* ptr = stable.data();
+        uint64_t len = stable.size();
+        std::memcpy(slot, &ptr, 8);
+        std::memcpy(slot + 8, &len, 8);
+        break;
+      }
+    }
+  }
+}
+
+void RowFormat::WriteValues(uint8_t* dst, const std::vector<Value>& row,
+                            Arena* arena) const {
+  for (int c = 0; c < num_columns(); ++c) {
+    const Value& v = row[static_cast<size_t>(c)];
+    dst[c] = v.is_null() ? 0 : 1;
+    uint8_t* slot = dst + slot_offset(c);
+    if (v.is_null()) {
+      std::memset(slot, 0, 8);
+      continue;
+    }
+    switch (PhysicalTypeOf(types_[static_cast<size_t>(c)])) {
+      case PhysicalType::kInt64: {
+        int64_t x = v.int64();
+        std::memcpy(slot, &x, 8);
+        break;
+      }
+      case PhysicalType::kDouble: {
+        double x = v.dbl();
+        std::memcpy(slot, &x, 8);
+        break;
+      }
+      case PhysicalType::kString: {
+        std::string_view stable = arena->CopyString(v.str());
+        const char* ptr = stable.data();
+        uint64_t len = stable.size();
+        std::memcpy(slot, &ptr, 8);
+        std::memcpy(slot + 8, &len, 8);
+        break;
+      }
+    }
+  }
+}
+
+int64_t RowFormat::GetInt64(const uint8_t* row, int c) const {
+  int64_t x;
+  std::memcpy(&x, row + slot_offset(c), 8);
+  return x;
+}
+
+double RowFormat::GetDouble(const uint8_t* row, int c) const {
+  double x;
+  std::memcpy(&x, row + slot_offset(c), 8);
+  return x;
+}
+
+std::string_view RowFormat::GetString(const uint8_t* row, int c) const {
+  const char* ptr;
+  uint64_t len;
+  std::memcpy(&ptr, row + slot_offset(c), 8);
+  std::memcpy(&len, row + slot_offset(c) + 8, 8);
+  return std::string_view(ptr, len);
+}
+
+Value RowFormat::GetValue(const uint8_t* row, int c) const {
+  DataType type = types_[static_cast<size_t>(c)];
+  if (IsNull(row, c)) return Value::Null(type);
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(GetInt64(row, c) != 0);
+    case DataType::kInt32:
+      return Value::Int32(static_cast<int32_t>(GetInt64(row, c)));
+    case DataType::kInt64:
+      return Value::Int64(GetInt64(row, c));
+    case DataType::kDate32:
+      return Value::Date32(static_cast<int32_t>(GetInt64(row, c)));
+    case DataType::kDouble:
+      return Value::Double(GetDouble(row, c));
+    case DataType::kString:
+      return Value::String(std::string(GetString(row, c)));
+  }
+  return Value::Null(type);
+}
+
+void RowFormat::CopyToVector(const uint8_t* row, int c, ColumnVector* dst,
+                             int64_t out_i, Arena* dst_arena) const {
+  bool valid = !IsNull(row, c);
+  dst->mutable_validity()[out_i] = valid ? 1 : 0;
+  if (!valid) return;
+  switch (dst->physical_type()) {
+    case PhysicalType::kInt64:
+      dst->mutable_ints()[out_i] = GetInt64(row, c);
+      break;
+    case PhysicalType::kDouble:
+      dst->mutable_doubles()[out_i] = GetDouble(row, c);
+      break;
+    case PhysicalType::kString:
+      dst->mutable_strings()[out_i] = dst_arena->CopyString(GetString(row, c));
+      break;
+  }
+}
+
+namespace {
+
+uint64_t HashSlot(DataType type, const uint8_t* row, const RowFormat& fmt,
+                  int c) {
+  if (fmt.IsNull(row, c)) return kNullKeyHashTag;
+  switch (PhysicalTypeOf(type)) {
+    case PhysicalType::kInt64:
+      return HashInt64(static_cast<uint64_t>(fmt.GetInt64(row, c)));
+    case PhysicalType::kDouble:
+      return HashInt64(std::bit_cast<uint64_t>(fmt.GetDouble(row, c)));
+    case PhysicalType::kString:
+      return Hash64(fmt.GetString(row, c));
+  }
+  return 0;
+}
+
+uint64_t HashBatchSlot(const ColumnVector& cv, int64_t i) {
+  if (!cv.validity()[i]) return kNullKeyHashTag;
+  switch (cv.physical_type()) {
+    case PhysicalType::kInt64:
+      return HashInt64(static_cast<uint64_t>(cv.ints()[i]));
+    case PhysicalType::kDouble:
+      return HashInt64(std::bit_cast<uint64_t>(cv.doubles()[i]));
+    case PhysicalType::kString:
+      return Hash64(cv.strings()[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t RowFormat::HashKeys(const uint8_t* row,
+                             const std::vector<int>& keys) const {
+  uint64_t h = kKeyHashSeed;
+  for (int k : keys) {
+    h = HashCombine(h, HashSlot(types_[static_cast<size_t>(k)], row, *this, k));
+  }
+  return h;
+}
+
+uint64_t RowFormat::HashKeysFromBatch(const Batch& batch, int64_t i,
+                                      const std::vector<int>& keys) const {
+  uint64_t h = kKeyHashSeed;
+  for (int k : keys) {
+    h = HashCombine(h, HashBatchSlot(batch.column(k), i));
+  }
+  return h;
+}
+
+bool RowFormat::KeysEqual(const uint8_t* a, const std::vector<int>& a_keys,
+                          const uint8_t* b,
+                          const std::vector<int>& b_keys) const {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    int ka = a_keys[i], kb = b_keys[i];
+    if (IsNull(a, ka) || IsNull(b, kb)) return false;
+    switch (PhysicalTypeOf(types_[static_cast<size_t>(ka)])) {
+      case PhysicalType::kInt64:
+        if (GetInt64(a, ka) != GetInt64(b, kb)) return false;
+        break;
+      case PhysicalType::kDouble:
+        if (GetDouble(a, ka) != GetDouble(b, kb)) return false;
+        break;
+      case PhysicalType::kString:
+        if (GetString(a, ka) != GetString(b, kb)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool RowFormat::KeysEqualBatch(const uint8_t* row,
+                               const std::vector<int>& row_keys,
+                               const Batch& batch, int64_t i,
+                               const std::vector<int>& batch_keys) const {
+  for (size_t k = 0; k < row_keys.size(); ++k) {
+    int rk = row_keys[k];
+    const ColumnVector& cv = batch.column(batch_keys[k]);
+    if (IsNull(row, rk) || !cv.validity()[i]) return false;
+    switch (cv.physical_type()) {
+      case PhysicalType::kInt64:
+        if (GetInt64(row, rk) != cv.ints()[i]) return false;
+        break;
+      case PhysicalType::kDouble:
+        if (GetDouble(row, rk) != cv.doubles()[i]) return false;
+        break;
+      case PhysicalType::kString:
+        if (GetString(row, rk) != cv.strings()[i]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+SerializedRowHashTable::SerializedRowHashTable(int64_t expected_rows) {
+  size_t buckets = std::bit_ceil(
+      static_cast<size_t>(std::max<int64_t>(expected_rows * 2, 16)));
+  buckets_.assign(buckets, nullptr);
+}
+
+void SerializedRowHashTable::Insert(uint8_t* entry, uint64_t hash) {
+  if (num_entries_ >= static_cast<int64_t>(buckets_.size())) Grow();
+  size_t b = static_cast<size_t>(hash) & (buckets_.size() - 1);
+  uint8_t* head = buckets_[b];
+  std::memcpy(entry, &head, sizeof(head));
+  std::memcpy(entry + 8, &hash, sizeof(hash));
+  buckets_[b] = entry;
+  ++num_entries_;
+}
+
+void SerializedRowHashTable::Grow() {
+  std::vector<uint8_t*> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, nullptr);
+  for (uint8_t* entry : old) {
+    while (entry != nullptr) {
+      uint8_t* next;
+      uint64_t hash;
+      std::memcpy(&next, entry, sizeof(next));
+      std::memcpy(&hash, entry + 8, sizeof(hash));
+      size_t b = static_cast<size_t>(hash) & (buckets_.size() - 1);
+      uint8_t* head = buckets_[b];
+      std::memcpy(entry, &head, sizeof(head));
+      buckets_[b] = entry;
+      entry = next;
+    }
+  }
+}
+
+}  // namespace vstore

@@ -1,0 +1,186 @@
+#include "exec/operator.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+int64_t AppendActiveRows(const Batch& src, Batch* dst) {
+  VSTORE_DCHECK(src.num_columns() == dst->num_columns());
+  const int64_t n = src.num_rows();
+  const uint8_t* active = src.active();
+  int64_t out_row = dst->num_rows();
+  int64_t copied = 0;
+
+  // Build the compaction index once, then copy column by column.
+  std::vector<int32_t> index;
+  index.reserve(static_cast<size_t>(src.active_count()));
+  for (int64_t i = 0; i < n; ++i) {
+    if (active[i]) index.push_back(static_cast<int32_t>(i));
+  }
+  copied = static_cast<int64_t>(index.size());
+  VSTORE_DCHECK(out_row + copied <= dst->capacity());
+
+  for (int c = 0; c < src.num_columns(); ++c) {
+    const ColumnVector& s = src.column(c);
+    ColumnVector& d = dst->column(c);
+    uint8_t* dv = d.mutable_validity();
+    const uint8_t* sv = s.validity();
+    switch (s.physical_type()) {
+      case PhysicalType::kInt64: {
+        const int64_t* in = s.ints();
+        int64_t* out = d.mutable_ints();
+        for (int64_t i = 0; i < copied; ++i) {
+          out[out_row + i] = in[index[static_cast<size_t>(i)]];
+          dv[out_row + i] = sv[index[static_cast<size_t>(i)]];
+        }
+        break;
+      }
+      case PhysicalType::kDouble: {
+        const double* in = s.doubles();
+        double* out = d.mutable_doubles();
+        for (int64_t i = 0; i < copied; ++i) {
+          out[out_row + i] = in[index[static_cast<size_t>(i)]];
+          dv[out_row + i] = sv[index[static_cast<size_t>(i)]];
+        }
+        break;
+      }
+      case PhysicalType::kString: {
+        const std::string_view* in = s.strings();
+        std::string_view* out = d.mutable_strings();
+        for (int64_t i = 0; i < copied; ++i) {
+          // Re-anchor payloads: the source batch's arena is reused on its
+          // next fill, so views must not escape it.
+          out[out_row + i] =
+              dst->arena()->CopyString(in[index[static_cast<size_t>(i)]]);
+          dv[out_row + i] = sv[index[static_cast<size_t>(i)]];
+        }
+        break;
+      }
+    }
+  }
+
+  int64_t new_rows = out_row + copied;
+  dst->set_num_rows(new_rows);
+  std::fill(dst->mutable_active() + out_row, dst->mutable_active() + new_rows,
+            uint8_t{1});
+  dst->set_active_count(dst->active_count() + copied);
+  return copied;
+}
+
+Result<Batch*> FilterOperator::Next() {
+  for (;;) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
+    if (batch == nullptr) return static_cast<Batch*>(nullptr);
+    if (batch->active_count() == 0) continue;
+
+    ColumnVector result(DataType::kBool, batch->num_rows());
+    VSTORE_RETURN_IF_ERROR(
+        predicate_->EvalBatch(*batch, batch->arena(), &result));
+    uint8_t* active = batch->mutable_active();
+    const int64_t* values = result.ints();
+    const uint8_t* valid = result.validity();
+    const int64_t n = batch->num_rows();
+    int64_t count = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      active[i] &= valid[i] & (values[i] != 0 ? 1 : 0);
+      count += active[i];
+    }
+    batch->set_active_count(count);
+    if (count > 0) return batch;
+  }
+}
+
+ProjectOperator::ProjectOperator(BatchOperatorPtr input,
+                                 std::vector<ExprPtr> exprs,
+                                 std::vector<std::string> names,
+                                 ExecContext* ctx)
+    : input_(std::move(input)), exprs_(std::move(exprs)), ctx_(ctx) {
+  VSTORE_CHECK(exprs_.size() == names.size());
+  std::vector<Field> fields;
+  fields.reserve(exprs_.size());
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    fields.push_back(Field{names[i], exprs_[i]->output_type(), true});
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+Result<Batch*> ProjectOperator::Next() {
+  for (;;) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
+    if (batch == nullptr) return static_cast<Batch*>(nullptr);
+    if (batch->active_count() == 0) continue;
+
+    if (output_ == nullptr) {
+      output_ = std::make_unique<Batch>(schema_, ctx_->batch_size);
+    }
+    output_->Reset();
+
+    const int64_t n = batch->num_rows();
+    // Evaluate into full-width scratch vectors, then compact active rows.
+    std::vector<std::unique_ptr<ColumnVector>> computed;
+    computed.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      auto cv = std::make_unique<ColumnVector>(e->output_type(),
+                                               std::max<int64_t>(n, 1));
+      VSTORE_RETURN_IF_ERROR(e->EvalBatch(*batch, output_->arena(), cv.get()));
+      computed.push_back(std::move(cv));
+    }
+
+    const uint8_t* active = batch->active();
+    int64_t out_row = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t c = 0; c < computed.size(); ++c) {
+        ColumnVector& dst = output_->column(static_cast<int>(c));
+        const ColumnVector& src = *computed[c];
+        dst.mutable_validity()[out_row] = src.validity()[i];
+        switch (src.physical_type()) {
+          case PhysicalType::kInt64:
+            dst.mutable_ints()[out_row] = src.ints()[i];
+            break;
+          case PhysicalType::kDouble:
+            dst.mutable_doubles()[out_row] = src.doubles()[i];
+            break;
+          case PhysicalType::kString:
+            dst.mutable_strings()[out_row] = src.strings()[i];
+            break;
+        }
+      }
+      ++out_row;
+    }
+    output_->set_num_rows(out_row);
+    output_->ActivateAll();
+    if (out_row > 0) return output_.get();
+  }
+}
+
+Result<Batch*> LimitOperator::Next() {
+  if (remaining_ <= 0) return static_cast<Batch*>(nullptr);
+  for (;;) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
+    if (batch == nullptr) return static_cast<Batch*>(nullptr);
+    if (batch->active_count() == 0) continue;
+    if (batch->active_count() <= remaining_) {
+      remaining_ -= batch->active_count();
+      return batch;
+    }
+    // Deactivate rows past the limit.
+    uint8_t* active = batch->mutable_active();
+    int64_t kept = 0;
+    for (int64_t i = 0; i < batch->num_rows(); ++i) {
+      if (!active[i]) continue;
+      if (kept >= remaining_) {
+        active[i] = 0;
+      } else {
+        ++kept;
+      }
+    }
+    batch->set_active_count(kept);
+    remaining_ = 0;
+    return batch;
+  }
+}
+
+}  // namespace vstore

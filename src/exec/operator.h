@@ -1,0 +1,145 @@
+#ifndef VSTORE_EXEC_OPERATOR_H_
+#define VSTORE_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/batch.h"
+#include "exec/expression.h"
+#include "types/schema.h"
+
+namespace vstore {
+
+// Counters surfaced to benchmarks and EXPLAIN-style output.
+struct ExecStats {
+  int64_t rows_scanned = 0;           // rows decoded from compressed groups
+  int64_t delta_rows_scanned = 0;     // rows read from delta stores
+  int64_t row_groups_scanned = 0;
+  int64_t row_groups_eliminated = 0;  // skipped via segment elimination
+  int64_t rows_bloom_filtered = 0;    // rows dropped by pushed bitmap filters
+  int64_t build_rows_spilled = 0;     // hash join/agg rows written to spill
+  int64_t probe_rows_spilled = 0;
+  int64_t spill_partitions = 0;
+
+  void MergeFrom(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    delta_rows_scanned += other.delta_rows_scanned;
+    row_groups_scanned += other.row_groups_scanned;
+    row_groups_eliminated += other.row_groups_eliminated;
+    rows_bloom_filtered += other.rows_bloom_filtered;
+    build_rows_spilled += other.build_rows_spilled;
+    probe_rows_spilled += other.probe_rows_spilled;
+    spill_partitions += other.spill_partitions;
+  }
+};
+
+class ThreadPool;
+
+// Shared execution state for one query. Not thread-safe; parallel fragments
+// get their own contexts whose stats are merged by the exchange operator.
+struct ExecContext {
+  int64_t batch_size = kDefaultBatchSize;
+  // Memory budget per stateful operator (hash join build side, hash
+  // aggregation state) before spilling kicks in. <= 0 means unlimited.
+  int64_t operator_memory_budget = 0;
+  ThreadPool* thread_pool = nullptr;  // used by exchange operators
+  ExecStats stats;
+};
+
+// Pull-based vectorized operator (paper §5: operators consume and produce
+// batches). Protocol: Open() once, then Next() until it yields nullptr,
+// then Close(). The returned batch is owned by the operator and valid until
+// the following Next()/Close().
+class BatchOperator {
+ public:
+  virtual ~BatchOperator() = default;
+
+  virtual Status Open() = 0;
+  virtual Result<Batch*> Next() = 0;
+  virtual void Close() {}
+
+  virtual const Schema& output_schema() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
+
+// --- Filter ----------------------------------------------------------------
+// Marks rows inactive when the predicate is false or null; never compacts
+// (the paper's qualifying-rows-vector behaviour).
+class FilterOperator final : public BatchOperator {
+ public:
+  FilterOperator(BatchOperatorPtr input, ExprPtr predicate, ExecContext* ctx)
+      : input_(std::move(input)), predicate_(std::move(predicate)), ctx_(ctx) {}
+
+  Status Open() override { return input_->Open(); }
+  Result<Batch*> Next() override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "Filter"; }
+
+ private:
+  BatchOperatorPtr input_;
+  ExprPtr predicate_;
+  ExecContext* ctx_;
+};
+
+// --- Project ---------------------------------------------------------------
+// Computes expressions over each input batch into a new batch. Compacts
+// active rows (downstream operators after a projection see dense batches).
+class ProjectOperator final : public BatchOperator {
+ public:
+  ProjectOperator(BatchOperatorPtr input, std::vector<ExprPtr> exprs,
+                  std::vector<std::string> names, ExecContext* ctx);
+
+  Status Open() override { return input_->Open(); }
+  Result<Batch*> Next() override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "Project"; }
+
+ private:
+  BatchOperatorPtr input_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+  ExecContext* ctx_;
+  std::unique_ptr<Batch> output_;
+};
+
+// --- Limit -------------------------------------------------------------------
+class LimitOperator final : public BatchOperator {
+ public:
+  LimitOperator(BatchOperatorPtr input, int64_t limit, ExecContext* ctx)
+      : input_(std::move(input)), limit_(limit), ctx_(ctx) {}
+
+  Status Open() override {
+    remaining_ = limit_;
+    return input_->Open();
+  }
+  Result<Batch*> Next() override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "Limit"; }
+
+ private:
+  BatchOperatorPtr input_;
+  int64_t limit_;
+  int64_t remaining_ = 0;
+  ExecContext* ctx_;
+};
+
+// Copies the active rows of `src` into `dst` starting at dst->num_rows(),
+// compacting as it goes. Returns rows copied. Both batches must share a
+// schema; string payloads are re-anchored in dst's arena.
+int64_t AppendActiveRows(const Batch& src, Batch* dst);
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_OPERATOR_H_

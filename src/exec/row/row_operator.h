@@ -1,0 +1,270 @@
+#ifndef VSTORE_EXEC_ROW_ROW_OPERATOR_H_
+#define VSTORE_EXEC_ROW_ROW_OPERATOR_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/expression.h"
+#include "exec/hash_join.h"
+#include "exec/operator.h"
+#include "exec/sort.h"
+#include "storage/column_store.h"
+#include "storage/row_store.h"
+
+namespace vstore {
+
+// Classic tuple-at-a-time Volcano operator — the row-mode baseline the
+// paper compares batch mode against, and the engine used above batch
+// operators in mixed-mode plans. Next() produces one row per call.
+class RowOperator {
+ public:
+  virtual ~RowOperator() = default;
+
+  virtual Status Open() = 0;
+  // Fills `row`; returns false at end of stream.
+  virtual Result<bool> Next(std::vector<Value>* row) = 0;
+  virtual void Close() {}
+
+  virtual const Schema& output_schema() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using RowOperatorPtr = std::unique_ptr<RowOperator>;
+
+// --- Scans -------------------------------------------------------------
+
+class RowStoreScanOperator final : public RowOperator {
+ public:
+  explicit RowStoreScanOperator(const RowStoreTable* table) : table_(table) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(std::vector<Value>* row) override;
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string name() const override { return "RowStoreScan"; }
+
+ private:
+  const RowStoreTable* table_;
+  int64_t pos_ = 0;
+};
+
+// Row-mode scan of a column store: decodes one row at a time via segment
+// point lookups (the access path row-mode plans use when a table only has a
+// columnstore — deliberately pays per-tuple decode cost).
+class ColumnStoreRowScanOperator final : public RowOperator {
+ public:
+  explicit ColumnStoreRowScanOperator(const ColumnStoreTable* table)
+      : table_(table) {}
+
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override { lock_.reset(); }
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string name() const override { return "ColumnStoreRowScan"; }
+
+ private:
+  const ColumnStoreTable* table_;
+  std::unique_ptr<std::shared_lock<std::shared_mutex>> lock_;
+  int64_t group_ = 0;
+  int64_t offset_ = 0;
+  int64_t delta_index_ = 0;
+  std::vector<std::vector<Value>> delta_rows_;
+  int64_t delta_pos_ = 0;
+  bool delta_loaded_ = false;
+};
+
+// --- Filter / Project -----------------------------------------------------
+
+class RowFilterOperator final : public RowOperator {
+ public:
+  RowFilterOperator(RowOperatorPtr input, ExprPtr predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+  Status Open() override { return input_->Open(); }
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "RowFilter"; }
+
+ private:
+  RowOperatorPtr input_;
+  ExprPtr predicate_;
+};
+
+class RowProjectOperator final : public RowOperator {
+ public:
+  RowProjectOperator(RowOperatorPtr input, std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names);
+
+  Status Open() override { return input_->Open(); }
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "RowProject"; }
+
+ private:
+  RowOperatorPtr input_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+  std::vector<Value> scratch_;
+};
+
+// --- Hash join --------------------------------------------------------------
+
+class RowHashJoinOperator final : public RowOperator {
+ public:
+  struct Options {
+    JoinType join_type;
+    std::vector<int> probe_keys;
+    std::vector<int> build_keys;
+  };
+
+  RowHashJoinOperator(RowOperatorPtr probe, RowOperatorPtr build,
+                      Options options);
+
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "RowHashJoin"; }
+
+ private:
+  std::string KeyOf(const std::vector<Value>& row,
+                    const std::vector<int>& keys, bool* has_null) const;
+  void Emit(const std::vector<Value>& probe_row,
+            const std::vector<Value>* build_row, std::vector<Value>* out) const;
+
+  RowOperatorPtr probe_;
+  RowOperatorPtr build_;
+  Options options_;
+  Schema output_schema_;
+  bool emit_build_columns_;
+
+  std::unordered_multimap<std::string, std::vector<Value>> table_;
+  std::vector<Value> probe_row_;
+  bool probe_valid_ = false;
+  std::pair<std::unordered_multimap<std::string, std::vector<Value>>::iterator,
+            std::unordered_multimap<std::string, std::vector<Value>>::iterator>
+      range_;
+  bool row_matched_ = false;
+};
+
+// --- Hash aggregate -----------------------------------------------------------
+
+class RowHashAggregateOperator final : public RowOperator {
+ public:
+  struct Options {
+    std::vector<int> group_by;
+    std::vector<AggSpec> aggregates;
+  };
+
+  RowHashAggregateOperator(RowOperatorPtr input, Options options);
+
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "RowHashAggregate"; }
+
+ private:
+  struct GroupState {
+    std::vector<Value> keys;
+    std::vector<double> sum_d;
+    std::vector<int64_t> sum_i;
+    std::vector<int64_t> count;
+    std::vector<Value> minmax;
+  };
+
+  RowOperatorPtr input_;
+  Options options_;
+  Schema output_schema_;
+  std::unordered_map<std::string, GroupState> groups_;
+  std::unordered_map<std::string, GroupState>::iterator emit_it_;
+  bool opened_ = false;
+};
+
+// --- Sort ------------------------------------------------------------------------
+
+class RowSortOperator final : public RowOperator {
+ public:
+  RowSortOperator(RowOperatorPtr input, std::vector<SortKey> keys,
+                  int64_t limit)
+      : input_(std::move(input)), keys_(std::move(keys)), limit_(limit) {}
+
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "RowSort"; }
+
+ private:
+  RowOperatorPtr input_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  std::vector<std::vector<Value>> rows_;
+  size_t pos_ = 0;
+};
+
+// --- Mode adapters (mixed-mode plans, paper §6) --------------------------------
+
+// Wraps a batch subtree so row-mode operators can sit on top.
+class BatchToRowAdapter final : public RowOperator {
+ public:
+  explicit BatchToRowAdapter(BatchOperatorPtr input)
+      : input_(std::move(input)) {}
+
+  Status Open() override {
+    batch_ = nullptr;
+    pos_ = 0;
+    return input_->Open();
+  }
+  Result<bool> Next(std::vector<Value>* row) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "BatchToRow"; }
+
+ private:
+  BatchOperatorPtr input_;
+  Batch* batch_ = nullptr;
+  int64_t pos_ = 0;
+};
+
+// Wraps a row subtree so batch operators can sit on top.
+class RowToBatchAdapter final : public BatchOperator {
+ public:
+  RowToBatchAdapter(RowOperatorPtr input, ExecContext* ctx)
+      : input_(std::move(input)), ctx_(ctx) {}
+
+  Status Open() override {
+    output_ = std::make_unique<Batch>(input_->output_schema(),
+                                      ctx_->batch_size);
+    return input_->Open();
+  }
+  Result<Batch*> Next() override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "RowToBatch"; }
+
+ private:
+  RowOperatorPtr input_;
+  ExecContext* ctx_;
+  std::unique_ptr<Batch> output_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_ROW_ROW_OPERATOR_H_

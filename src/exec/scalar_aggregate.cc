@@ -1,0 +1,144 @@
+#include "exec/scalar_aggregate.h"
+
+#include "common/macros.h"
+
+namespace vstore {
+
+ScalarAggregateOperator::ScalarAggregateOperator(BatchOperatorPtr input,
+                                                 std::vector<AggSpec> aggs,
+                                                 ExecContext* ctx)
+    : input_(std::move(input)), aggs_(std::move(aggs)), ctx_(ctx) {
+  std::vector<Field> fields;
+  const Schema& in = input_->output_schema();
+  for (const AggSpec& spec : aggs_) {
+    DataType input_type = spec.column >= 0 ? in.field(spec.column).type
+                                           : DataType::kInt64;
+    fields.push_back(
+        Field{spec.name, AggOutputType(spec.fn, input_type), true});
+  }
+  output_schema_ = Schema(std::move(fields));
+}
+
+Status ScalarAggregateOperator::Open() {
+  emitted_ = false;
+  states_.assign(aggs_.size(), State());
+  output_ = std::make_unique<Batch>(output_schema_, 1);
+  VSTORE_RETURN_IF_ERROR(input_->Open());
+
+  for (;;) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
+    if (batch == nullptr) break;
+    const uint8_t* active = batch->active();
+    const int64_t n = batch->num_rows();
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      State& s = states_[a];
+      if (spec.fn == AggFn::kCountStar) {
+        s.count += batch->active_count();
+        continue;
+      }
+      const ColumnVector& cv = batch->column(spec.column);
+      const uint8_t* valid = cv.validity();
+      switch (cv.physical_type()) {
+        case PhysicalType::kInt64: {
+          const int64_t* v = cv.ints();
+          for (int64_t i = 0; i < n; ++i) {
+            if (!active[i] || !valid[i]) continue;
+            s.sum_i += v[i];
+            s.sum_d += static_cast<double>(v[i]);
+            if (s.count == 0 || (spec.fn == AggFn::kMin ? v[i] < s.minmax_i
+                                                        : v[i] > s.minmax_i)) {
+              s.minmax_i = v[i];
+            }
+            ++s.count;
+          }
+          break;
+        }
+        case PhysicalType::kDouble: {
+          const double* v = cv.doubles();
+          for (int64_t i = 0; i < n; ++i) {
+            if (!active[i] || !valid[i]) continue;
+            s.sum_d += v[i];
+            if (s.count == 0 || (spec.fn == AggFn::kMin ? v[i] < s.minmax_d
+                                                        : v[i] > s.minmax_d)) {
+              s.minmax_d = v[i];
+            }
+            ++s.count;
+          }
+          break;
+        }
+        case PhysicalType::kString: {
+          const std::string_view* v = cv.strings();
+          for (int64_t i = 0; i < n; ++i) {
+            if (!active[i] || !valid[i]) continue;
+            if (s.count == 0 || (spec.fn == AggFn::kMin
+                                     ? v[i] < s.minmax_s
+                                     : v[i] > s.minmax_s)) {
+              s.minmax_s = std::string(v[i]);
+            }
+            ++s.count;
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Batch*> ScalarAggregateOperator::Next() {
+  if (emitted_) return static_cast<Batch*>(nullptr);
+  emitted_ = true;
+  output_->Reset();
+  const Schema& in = input_->output_schema();
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const AggSpec& spec = aggs_[a];
+    const State& s = states_[a];
+    ColumnVector& dst = output_->column(static_cast<int>(a));
+    if (spec.fn == AggFn::kCount || spec.fn == AggFn::kCountStar) {
+      dst.mutable_validity()[0] = 1;
+      dst.mutable_ints()[0] = s.count;
+      continue;
+    }
+    if (s.count == 0) {
+      dst.mutable_validity()[0] = 0;
+      continue;
+    }
+    dst.mutable_validity()[0] = 1;
+    DataType input_type = in.field(spec.column).type;
+    switch (spec.fn) {
+      case AggFn::kSum:
+        if (input_type == DataType::kDouble) {
+          dst.mutable_doubles()[0] = s.sum_d;
+        } else {
+          dst.mutable_ints()[0] = s.sum_i;
+        }
+        break;
+      case AggFn::kAvg:
+        dst.mutable_doubles()[0] = s.sum_d / static_cast<double>(s.count);
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        switch (PhysicalTypeOf(input_type)) {
+          case PhysicalType::kInt64:
+            dst.mutable_ints()[0] = s.minmax_i;
+            break;
+          case PhysicalType::kDouble:
+            dst.mutable_doubles()[0] = s.minmax_d;
+            break;
+          case PhysicalType::kString:
+            dst.mutable_strings()[0] =
+                output_->arena()->CopyString(s.minmax_s);
+            break;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  output_->set_num_rows(1);
+  output_->ActivateAll();
+  return output_.get();
+}
+
+}  // namespace vstore

@@ -1,0 +1,47 @@
+#ifndef VSTORE_EXEC_SCALAR_AGGREGATE_H_
+#define VSTORE_EXEC_SCALAR_AGGREGATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/operator.h"
+
+namespace vstore {
+
+// Aggregation without GROUP BY (one of the paper's newly added batch
+// operators). Always produces exactly one row, even for empty input
+// (COUNT = 0, other aggregates null), matching SQL.
+class ScalarAggregateOperator final : public BatchOperator {
+ public:
+  ScalarAggregateOperator(BatchOperatorPtr input, std::vector<AggSpec> aggs,
+                          ExecContext* ctx);
+
+  Status Open() override;
+  Result<Batch*> Next() override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return "ScalarAggregate"; }
+
+ private:
+  struct State {
+    double sum_d = 0;
+    int64_t sum_i = 0;
+    int64_t count = 0;
+    double minmax_d = 0;
+    int64_t minmax_i = 0;
+    std::string minmax_s;
+  };
+
+  BatchOperatorPtr input_;
+  std::vector<AggSpec> aggs_;
+  ExecContext* ctx_;
+  Schema output_schema_;
+  std::vector<State> states_;
+  std::unique_ptr<Batch> output_;
+  bool emitted_ = false;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_SCALAR_AGGREGATE_H_

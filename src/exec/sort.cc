@@ -1,0 +1,93 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace vstore {
+
+int CompareRowsOnKeys(const std::vector<Value>& a, const std::vector<Value>& b,
+                      const std::vector<SortKey>& keys) {
+  for (const SortKey& key : keys) {
+    const Value& va = a[static_cast<size_t>(key.column)];
+    const Value& vb = b[static_cast<size_t>(key.column)];
+    int cmp = 0;
+    if (va.is_null() || vb.is_null()) {
+      cmp = static_cast<int>(vb.is_null()) - static_cast<int>(va.is_null());
+    } else {
+      switch (PhysicalTypeOf(va.type())) {
+        case PhysicalType::kString: {
+          int c = va.str().compare(vb.str());
+          cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+          break;
+        }
+        case PhysicalType::kDouble: {
+          double x = va.AsDouble(), y = vb.AsDouble();
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+          break;
+        }
+        case PhysicalType::kInt64: {
+          int64_t x = va.int64(), y = vb.int64();
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+          break;
+        }
+      }
+    }
+    if (cmp != 0) return key.ascending ? cmp : -cmp;
+  }
+  return 0;
+}
+
+Status SortOperator::Open() {
+  rows_.clear();
+  emit_pos_ = 0;
+  output_ = std::make_unique<Batch>(input_->output_schema(), ctx_->batch_size);
+  VSTORE_RETURN_IF_ERROR(input_->Open());
+
+  auto less = [this](const std::vector<Value>& a,
+                     const std::vector<Value>& b) {
+    return CompareRowsOnKeys(a, b, keys_) < 0;
+  };
+
+  for (;;) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
+    if (batch == nullptr) break;
+    const uint8_t* active = batch->active();
+    for (int64_t i = 0; i < batch->num_rows(); ++i) {
+      if (!active[i]) continue;
+      rows_.push_back(batch->GetActiveRow(i));
+      // Top-N: keep a bounded working set — push-down heap semantics via
+      // periodic shrink keeps memory at O(2 * limit).
+      if (limit_ >= 0 &&
+          static_cast<int64_t>(rows_.size()) >= 2 * std::max<int64_t>(limit_, 1)) {
+        std::nth_element(rows_.begin(),
+                         rows_.begin() + static_cast<long>(limit_),
+                         rows_.end(), less);
+        rows_.resize(static_cast<size_t>(limit_));
+      }
+    }
+  }
+
+  std::sort(rows_.begin(), rows_.end(), less);
+  if (limit_ >= 0 && static_cast<int64_t>(rows_.size()) > limit_) {
+    rows_.resize(static_cast<size_t>(limit_));
+  }
+  return Status::OK();
+}
+
+Result<Batch*> SortOperator::Next() {
+  if (emit_pos_ >= rows_.size()) return static_cast<Batch*>(nullptr);
+  output_->Reset();
+  int64_t out_row = 0;
+  while (emit_pos_ < rows_.size() && out_row < output_->capacity()) {
+    const std::vector<Value>& row = rows_[emit_pos_++];
+    for (int c = 0; c < output_->num_columns(); ++c) {
+      output_->column(c).SetValue(out_row, row[static_cast<size_t>(c)],
+                                  output_->arena());
+    }
+    ++out_row;
+  }
+  output_->set_num_rows(out_row);
+  output_->ActivateAll();
+  return output_.get();
+}
+
+}  // namespace vstore

@@ -1,0 +1,54 @@
+#ifndef VSTORE_EXEC_SORT_H_
+#define VSTORE_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace vstore {
+
+struct SortKey {
+  int column;
+  bool ascending = true;
+};
+
+// Materializing sort. The paper keeps sorting in row mode (batch plans
+// switch to row mode for ORDER BY); this operator is the batch-boundary
+// equivalent: it materializes its input as rows, sorts, and re-emits
+// batches. With `limit` >= 0 it behaves as Top-N (partial sort).
+class SortOperator final : public BatchOperator {
+ public:
+  SortOperator(BatchOperatorPtr input, std::vector<SortKey> keys,
+               int64_t limit, ExecContext* ctx)
+      : input_(std::move(input)), keys_(std::move(keys)), limit_(limit),
+        ctx_(ctx) {}
+
+  Status Open() override;
+  Result<Batch*> Next() override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override {
+    return limit_ >= 0 ? "TopN" : "Sort";
+  }
+
+ private:
+  BatchOperatorPtr input_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  ExecContext* ctx_;
+
+  std::vector<std::vector<Value>> rows_;
+  size_t emit_pos_ = 0;
+  std::unique_ptr<Batch> output_;
+};
+
+// Compares two rows on the given sort keys; nulls sort first.
+int CompareRowsOnKeys(const std::vector<Value>& a, const std::vector<Value>& b,
+                      const std::vector<SortKey>& keys);
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_SORT_H_

@@ -1,0 +1,47 @@
+#ifndef VSTORE_EXEC_SPILL_H_
+#define VSTORE_EXEC_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/delta_store.h"  // row codec
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace vstore {
+
+// Length-prefixed row records in temp files, used by spilling hash joins
+// and hash aggregates. Files come from std::tmpfile() (unlinked on
+// creation, reclaimed on fclose/exit).
+
+inline Status WriteSpillRow(std::FILE* f, const Schema& schema,
+                            const std::vector<Value>& row) {
+  std::string bytes = EncodeRow(schema, row);
+  uint32_t len = static_cast<uint32_t>(bytes.size());
+  if (std::fwrite(&len, sizeof(len), 1, f) != 1 ||
+      (len > 0 && std::fwrite(bytes.data(), 1, len, f) != len)) {
+    return Status::Internal("spill write failed");
+  }
+  return Status::OK();
+}
+
+// Reads the next record; returns false at clean EOF.
+inline Result<bool> ReadSpillRow(std::FILE* f, const Schema& schema,
+                                 std::vector<Value>* row) {
+  uint32_t len;
+  size_t got = std::fread(&len, sizeof(len), 1, f);
+  if (got == 0) return false;  // EOF
+  std::string bytes(len, '\0');
+  if (len > 0 && std::fread(bytes.data(), 1, len, f) != len) {
+    return Status::Internal("spill read failed: truncated record");
+  }
+  VSTORE_RETURN_IF_ERROR(DecodeRow(schema, bytes, row));
+  return true;
+}
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_SPILL_H_

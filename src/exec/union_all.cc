@@ -1,0 +1,38 @@
+#include "exec/union_all.h"
+
+#include "common/macros.h"
+
+namespace vstore {
+
+UnionAllOperator::UnionAllOperator(std::vector<BatchOperatorPtr> children,
+                                   ExecContext* ctx)
+    : children_(std::move(children)), ctx_(ctx) {
+  VSTORE_CHECK(!children_.empty());
+  for (const auto& child : children_) {
+    VSTORE_CHECK(
+        child->output_schema().Equals(children_.front()->output_schema()));
+  }
+}
+
+Status UnionAllOperator::Open() {
+  current_ = 0;
+  for (auto& child : children_) {
+    VSTORE_RETURN_IF_ERROR(child->Open());
+  }
+  return Status::OK();
+}
+
+Result<Batch*> UnionAllOperator::Next() {
+  while (current_ < children_.size()) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, children_[current_]->Next());
+    if (batch != nullptr) return batch;
+    ++current_;
+  }
+  return static_cast<Batch*>(nullptr);
+}
+
+void UnionAllOperator::Close() {
+  for (auto& child : children_) child->Close();
+}
+
+}  // namespace vstore

@@ -1,0 +1,33 @@
+#ifndef VSTORE_EXEC_UNION_ALL_H_
+#define VSTORE_EXEC_UNION_ALL_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace vstore {
+
+// Concatenates children with identical schemas (a batch operator added in
+// the paper's expanded repertoire). Children are drained in order.
+class UnionAllOperator final : public BatchOperator {
+ public:
+  UnionAllOperator(std::vector<BatchOperatorPtr> children, ExecContext* ctx);
+
+  Status Open() override;
+  Result<Batch*> Next() override;
+  void Close() override;
+  const Schema& output_schema() const override {
+    return children_.front()->output_schema();
+  }
+  std::string name() const override { return "UnionAll"; }
+
+ private:
+  std::vector<BatchOperatorPtr> children_;
+  ExecContext* ctx_;
+  size_t current_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_UNION_ALL_H_

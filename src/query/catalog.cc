@@ -1,0 +1,59 @@
+#include "query/catalog.h"
+
+namespace vstore {
+
+Status Catalog::AddColumnStore(std::unique_ptr<ColumnStoreTable> table) {
+  Entry& entry = entries_[table->name()];
+  if (entry.column_store != nullptr) {
+    return Status::AlreadyExists("column store already registered: " +
+                                 table->name());
+  }
+  if (entry.row_store != nullptr &&
+      !entry.row_store->schema().Equals(table->schema())) {
+    return Status::InvalidArgument(
+        "schema mismatch between representations of " + table->name());
+  }
+  entry.column_store = table.get();
+  column_stores_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddRowStore(std::unique_ptr<RowStoreTable> table) {
+  Entry& entry = entries_[table->name()];
+  if (entry.row_store != nullptr) {
+    return Status::AlreadyExists("row store already registered: " +
+                                 table->name());
+  }
+  if (entry.column_store != nullptr &&
+      !entry.column_store->schema().Equals(table->schema())) {
+    return Status::InvalidArgument(
+        "schema mismatch between representations of " + table->name());
+  }
+  entry.row_store = table.get();
+  row_stores_.push_back(std::move(table));
+  return Status::OK();
+}
+
+const Catalog::Entry* Catalog::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Result<const Catalog::Entry*> Catalog::FindOrError(
+    const std::string& name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) return Status::NotFound("unknown table: " + name);
+  return entry;
+}
+
+ColumnStoreTable* Catalog::GetColumnStore(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry == nullptr ? nullptr : entry->column_store;
+}
+
+RowStoreTable* Catalog::GetRowStore(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry == nullptr ? nullptr : entry->row_store;
+}
+
+}  // namespace vstore

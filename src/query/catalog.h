@@ -1,0 +1,53 @@
+#ifndef VSTORE_QUERY_CATALOG_H_
+#define VSTORE_QUERY_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/column_store.h"
+#include "storage/row_store.h"
+
+namespace vstore {
+
+// Name -> table mapping. A logical table may have a column store
+// representation, a row store representation, or both (benchmarks register
+// both to compare access paths; the planner picks by execution mode).
+class Catalog {
+ public:
+  Catalog() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(Catalog);
+
+  struct Entry {
+    ColumnStoreTable* column_store = nullptr;  // owned by the catalog
+    RowStoreTable* row_store = nullptr;
+
+    const Schema& schema() const {
+      return column_store != nullptr ? column_store->schema()
+                                     : row_store->schema();
+    }
+    bool has_column_store() const { return column_store != nullptr; }
+    bool has_row_store() const { return row_store != nullptr; }
+  };
+
+  Status AddColumnStore(std::unique_ptr<ColumnStoreTable> table);
+  Status AddRowStore(std::unique_ptr<RowStoreTable> table);
+
+  // Returns nullptr when the table is unknown.
+  const Entry* Find(const std::string& name) const;
+  Result<const Entry*> FindOrError(const std::string& name) const;
+
+  ColumnStoreTable* GetColumnStore(const std::string& name) const;
+  RowStoreTable* GetRowStore(const std::string& name) const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+  std::vector<std::unique_ptr<ColumnStoreTable>> column_stores_;
+  std::vector<std::unique_ptr<RowStoreTable>> row_stores_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_CATALOG_H_

@@ -1,0 +1,94 @@
+#include "query/executor.h"
+
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
+  QueryResult result;
+  result.optimized_plan =
+      options_.optimize ? Optimize(*catalog_, plan, options_.optimizer)
+                        : ClonePlan(plan);
+  result.schema = result.optimized_plan->schema;
+  if (options_.materialize) {
+    result.data = TableData(result.schema);
+  }
+
+  ExecContext ctx;
+  ctx.batch_size = options_.batch_size;
+  ctx.operator_memory_budget = options_.operator_memory_budget;
+
+  PhysicalPlanOptions planner_options;
+  planner_options.mode = options_.mode;
+  planner_options.dop = options_.dop;
+  planner_options.include_deltas = options_.include_deltas;
+
+  auto start = std::chrono::steady_clock::now();
+  VSTORE_ASSIGN_OR_RETURN(
+      PhysicalPlan physical,
+      CreatePhysicalPlan(*catalog_, result.optimized_plan, &ctx,
+                         planner_options));
+
+  VSTORE_RETURN_IF_ERROR(physical.root->Open());
+  for (;;) {
+    VSTORE_ASSIGN_OR_RETURN(Batch * batch, physical.root->Next());
+    if (batch == nullptr) break;
+    result.rows_returned += batch->active_count();
+    if (options_.materialize) {
+      const uint8_t* active = batch->active();
+      for (int64_t i = 0; i < batch->num_rows(); ++i) {
+        if (active[i]) result.data.AppendRow(batch->GetActiveRow(i));
+      }
+    }
+  }
+  physical.root->Close();
+  auto end = std::chrono::steady_clock::now();
+
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.stats = ctx.stats;
+  return result;
+}
+
+std::string FormatResult(const QueryResult& result, int64_t max_rows) {
+  std::string out;
+  const Schema& schema = result.schema;
+  std::vector<size_t> widths;
+  for (const Field& f : schema.fields()) {
+    widths.push_back(f.name.size());
+  }
+  int64_t rows = std::min<int64_t>(result.data.num_rows(), max_rows);
+  std::vector<std::vector<std::string>> cells;
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      std::string cell = result.data.column(c).GetValue(r).ToString();
+      widths[static_cast<size_t>(c)] =
+          std::max(widths[static_cast<size_t>(c)], cell.size());
+      row.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(row));
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    out += pad(schema.field(c).name, widths[static_cast<size_t>(c)]) + "  ";
+  }
+  out += "\n";
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], widths[c]) + "  ";
+    }
+    out += "\n";
+  }
+  if (result.data.num_rows() > rows) {
+    out += "... (" + std::to_string(result.data.num_rows() - rows) +
+           " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace vstore

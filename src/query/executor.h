@@ -1,0 +1,59 @@
+#ifndef VSTORE_QUERY_EXECUTOR_H_
+#define VSTORE_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "query/optimizer.h"
+#include "query/physical_planner.h"
+#include "types/table_data.h"
+
+namespace vstore {
+
+// Per-query knobs the benchmarks sweep.
+struct QueryOptions {
+  ExecutionMode mode = ExecutionMode::kAuto;
+  int dop = 1;
+  int64_t batch_size = kDefaultBatchSize;
+  // Per-operator memory budget before spilling; 0 = unlimited.
+  int64_t operator_memory_budget = 0;
+  bool optimize = true;
+  OptimizerOptions optimizer;
+  // Materialize result rows into QueryResult::data (turn off for
+  // scan-throughput measurements where only counts matter).
+  bool materialize = true;
+  bool include_deltas = true;
+};
+
+struct QueryResult {
+  Schema schema;
+  TableData data;  // empty when materialize was false
+  int64_t rows_returned = 0;
+  ExecStats stats;
+  double elapsed_ms = 0;
+  PlanPtr optimized_plan;  // after rewrite, for EXPLAIN-style inspection
+};
+
+// Front door of the query layer: optimize, lower, drive to completion.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Catalog* catalog)
+      : QueryExecutor(catalog, QueryOptions()) {}
+  QueryExecutor(const Catalog* catalog, QueryOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<QueryResult> Execute(const PlanPtr& plan) const;
+
+  const QueryOptions& options() const { return options_; }
+  QueryOptions* mutable_options() { return &options_; }
+
+ private:
+  const Catalog* catalog_;
+  QueryOptions options_;
+};
+
+// Renders a result as an aligned text table (examples and debugging).
+std::string FormatResult(const QueryResult& result, int64_t max_rows = 20);
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_EXECUTOR_H_

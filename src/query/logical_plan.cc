@@ -1,0 +1,201 @@
+#include "query/logical_plan.h"
+
+#include "common/macros.h"
+
+namespace vstore {
+
+namespace {
+
+Schema JoinSchema(const Schema& probe, const Schema& build, JoinType type) {
+  bool emit_build =
+      type == JoinType::kInner || type == JoinType::kLeftOuter;
+  std::vector<Field> fields = probe.fields();
+  if (emit_build) {
+    for (const Field& f : build.fields()) {
+      Field nf = f;
+      nf.nullable = true;
+      fields.push_back(nf);
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+Schema AggregateSchema(const Schema& in,
+                       const std::vector<std::string>& group_by,
+                       const std::vector<NamedAggSpec>& aggs) {
+  std::vector<Field> fields;
+  for (const std::string& g : group_by) {
+    int idx = in.IndexOf(g);
+    VSTORE_CHECK(idx >= 0);
+    fields.push_back(in.field(idx));
+  }
+  for (const NamedAggSpec& spec : aggs) {
+    DataType input_type = DataType::kInt64;
+    if (!spec.column.empty()) {
+      int idx = in.IndexOf(spec.column);
+      VSTORE_CHECK(idx >= 0);
+      input_type = in.field(idx).type;
+    }
+    fields.push_back(
+        Field{spec.name, AggOutputType(spec.fn, input_type), true});
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "Scan(" + table + ")";
+      for (const NamedScanPredicate& p : pushed_predicates) {
+        out += " [" + p.column + " " + CompareOpName(p.op) + " " +
+               p.value.ToString() + "]";
+      }
+      break;
+    case PlanKind::kFilter:
+      out += "Filter(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kProject:
+      out += "Project";
+      break;
+    case PlanKind::kJoin:
+      out += std::string("Join(") + JoinTypeName(join_type) +
+             (use_bloom ? ", bloom" : "") + ")";
+      break;
+    case PlanKind::kAggregate:
+      out += group_by.empty() ? "ScalarAggregate" : "HashAggregate";
+      break;
+    case PlanKind::kSort:
+      out += limit >= 0 ? "TopN" : "Sort";
+      break;
+    case PlanKind::kLimit:
+      out += "Limit(" + std::to_string(limit) + ")";
+      break;
+    case PlanKind::kUnionAll:
+      out += "UnionAll";
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+PlanBuilder PlanBuilder::Scan(const Catalog& catalog,
+                              const std::string& table) {
+  const Catalog::Entry* entry = catalog.Find(table);
+  VSTORE_CHECK(entry != nullptr);
+  auto plan = std::make_shared<LogicalPlan>();
+  plan->kind = PlanKind::kScan;
+  plan->table = table;
+  plan->schema = entry->schema();
+  return PlanBuilder(std::move(plan));
+}
+
+PlanBuilder PlanBuilder::From(PlanPtr plan) {
+  VSTORE_CHECK(plan != nullptr);
+  return PlanBuilder(std::move(plan));
+}
+
+PlanBuilder& PlanBuilder::Filter(ExprPtr predicate) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kFilter;
+  node->schema = plan_->schema;
+  node->predicate = std::move(predicate);
+  node->children.push_back(plan_);
+  plan_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Project(std::vector<ExprPtr> exprs,
+                                  std::vector<std::string> names) {
+  VSTORE_CHECK(exprs.size() == names.size());
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kProject;
+  std::vector<Field> fields;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    fields.push_back(Field{names[i], exprs[i]->output_type(), true});
+  }
+  node->schema = Schema(std::move(fields));
+  node->exprs = std::move(exprs);
+  node->names = std::move(names);
+  node->children.push_back(plan_);
+  plan_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Select(const std::vector<std::string>& columns) {
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (const std::string& name : columns) {
+    exprs.push_back(expr::Column(plan_->schema, name));
+    names.push_back(name);
+  }
+  return Project(std::move(exprs), std::move(names));
+}
+
+PlanBuilder& PlanBuilder::Join(JoinType type, PlanPtr build,
+                               std::vector<std::string> left_keys,
+                               std::vector<std::string> right_keys) {
+  VSTORE_CHECK(!left_keys.empty() && left_keys.size() == right_keys.size());
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kJoin;
+  node->join_type = type;
+  node->schema = JoinSchema(plan_->schema, build->schema, type);
+  node->left_keys = std::move(left_keys);
+  node->right_keys = std::move(right_keys);
+  node->children.push_back(plan_);
+  node->children.push_back(std::move(build));
+  plan_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Aggregate(std::vector<std::string> group_by,
+                                    std::vector<NamedAggSpec> aggregates) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kAggregate;
+  node->schema = AggregateSchema(plan_->schema, group_by, aggregates);
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggregates);
+  node->children.push_back(plan_);
+  plan_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::OrderBy(std::vector<SortSpec> keys, int64_t limit) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kSort;
+  node->schema = plan_->schema;
+  node->sort_keys = std::move(keys);
+  node->limit = limit;
+  node->children.push_back(plan_);
+  plan_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Limit(int64_t n) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kLimit;
+  node->schema = plan_->schema;
+  node->limit = n;
+  node->children.push_back(plan_);
+  plan_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::UnionAll(PlanPtr other) {
+  VSTORE_CHECK(other->schema.Equals(plan_->schema));
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = PlanKind::kUnionAll;
+  node->schema = plan_->schema;
+  node->children.push_back(plan_);
+  node->children.push_back(std::move(other));
+  plan_ = std::move(node);
+  return *this;
+}
+
+}  // namespace vstore

@@ -1,0 +1,127 @@
+#ifndef VSTORE_QUERY_LOGICAL_PLAN_H_
+#define VSTORE_QUERY_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/expression.h"
+#include "exec/hash_join.h"
+#include "query/catalog.h"
+#include "types/compare_op.h"
+
+namespace vstore {
+
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,  // group_by empty => scalar aggregation
+  kSort,       // with optional limit (Top-N)
+  kLimit,
+  kUnionAll,
+};
+
+// A sargable predicate recorded on a scan node by the optimizer's pushdown
+// rule; resolved to a column index at physical planning.
+struct NamedScanPredicate {
+  std::string column;
+  CompareOp op;
+  Value value;
+};
+
+struct NamedAggSpec {
+  AggFn fn;
+  std::string column;  // empty for COUNT(*)
+  std::string name;    // output column name
+};
+
+struct SortSpec {
+  std::string column;
+  bool ascending = true;
+};
+
+// Logical relational operator tree. Column references inside expressions
+// are bound to the child schema at build time (PlanBuilder does this);
+// names elsewhere (keys, group-by, sort) are resolved during physical
+// planning.
+struct LogicalPlan {
+  PlanKind kind;
+  Schema schema;  // output schema
+  std::vector<std::shared_ptr<LogicalPlan>> children;
+
+  // kScan
+  std::string table;
+  std::vector<NamedScanPredicate> pushed_predicates;  // set by the optimizer
+  // Column-pruned projection (names, in output order); empty = all columns.
+  // Set by the optimizer; predicate columns need not appear here (the scan
+  // decodes them into scratch space).
+  std::vector<std::string> scan_columns;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+
+  // kJoin — children[0] = probe (left), children[1] = build (right)
+  JoinType join_type = JoinType::kInner;
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+  bool use_bloom = false;  // set by the optimizer
+
+  // kAggregate
+  std::vector<std::string> group_by;
+  std::vector<NamedAggSpec> aggregates;
+
+  // kSort / kLimit
+  std::vector<SortSpec> sort_keys;
+  int64_t limit = -1;
+
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::shared_ptr<LogicalPlan>;
+
+// Fluent builder for logical plans. Expressions passed to Filter/Project
+// must be built against the builder's current schema() — e.g.
+//
+//   PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem");
+//   b.Filter(expr::Le(expr::Column(b.schema(), "l_shipdate"),
+//                     expr::Lit(Value::Date("1998-09-02"))));
+//   b.Aggregate({"l_returnflag"}, {{AggFn::kSum, "l_quantity", "sum_qty"}});
+//   PlanPtr plan = b.Build();
+class PlanBuilder {
+ public:
+  static PlanBuilder Scan(const Catalog& catalog, const std::string& table);
+  // A plan rooted at an existing node (for subplans in joins/unions).
+  static PlanBuilder From(PlanPtr plan);
+
+  PlanBuilder& Filter(ExprPtr predicate);
+  PlanBuilder& Project(std::vector<ExprPtr> exprs,
+                       std::vector<std::string> names);
+  // Convenience: project a subset of columns by name.
+  PlanBuilder& Select(const std::vector<std::string>& columns);
+  PlanBuilder& Join(JoinType type, PlanPtr build,
+                    std::vector<std::string> left_keys,
+                    std::vector<std::string> right_keys);
+  PlanBuilder& Aggregate(std::vector<std::string> group_by,
+                         std::vector<NamedAggSpec> aggregates);
+  PlanBuilder& OrderBy(std::vector<SortSpec> keys, int64_t limit = -1);
+  PlanBuilder& Limit(int64_t n);
+  PlanBuilder& UnionAll(PlanPtr other);
+
+  const Schema& schema() const { return plan_->schema; }
+  PlanPtr Build() { return plan_; }
+
+ private:
+  explicit PlanBuilder(PlanPtr plan) : plan_(std::move(plan)) {}
+  PlanPtr plan_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_LOGICAL_PLAN_H_

@@ -1,0 +1,40 @@
+#ifndef VSTORE_QUERY_OPTIMIZER_H_
+#define VSTORE_QUERY_OPTIMIZER_H_
+
+#include "query/logical_plan.h"
+
+namespace vstore {
+
+// Rule-based optimizer implementing the paper's batch-plan rewrites (§6):
+//   1. Predicate pushdown — sargable conjuncts (column op literal) move
+//      into column store scans where they drive segment elimination;
+//      single-side conjuncts sink below joins.
+//   2. Star-join reordering — chains of inner joins over one fact input
+//      are reordered so the smallest (post-filter) build side joins first.
+//   3. Bitmap (Bloom) filter placement — selective inner/semi builds push
+//      a Bloom filter onto the probe-side scan column.
+struct OptimizerOptions {
+  bool pushdown = true;
+  bool join_reorder = true;
+  bool bloom_filters = true;
+  // Column pruning: scans decode only the columns the plan above them
+  // consumes — the core advantage of columnar storage.
+  bool column_pruning = true;
+  // Builds estimated larger than this do not get a Bloom filter (the filter
+  // would pass nearly everything).
+  double bloom_max_build_rows = 4e6;
+};
+
+// Returns an optimized copy; the input plan is not modified.
+PlanPtr Optimize(const Catalog& catalog, const PlanPtr& plan,
+                 const OptimizerOptions& options);
+
+// Crude cardinality estimate used by reordering and bloom placement.
+double EstimateRows(const Catalog& catalog, const PlanPtr& plan);
+
+// Deep-copies plan nodes (expressions are shared, they are immutable).
+PlanPtr ClonePlan(const PlanPtr& plan);
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_OPTIMIZER_H_

@@ -1,0 +1,565 @@
+#include "query/physical_planner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "exec/exchange.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/row/row_operator.h"
+#include "exec/scalar_aggregate.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "exec/union_all.h"
+
+namespace vstore {
+
+namespace {
+
+// A Bloom filter waiting to be attached to the probe-side scan column with
+// this name (propagates through filters, limits, and join probe sides).
+struct PendingBloom {
+  std::string column;
+  const BloomFilter* filter;
+};
+
+// Scan bounds injected into a fragment's lowering (parallel aggregation:
+// each fragment scans a disjoint row-group range).
+struct ForcedScanRange {
+  int64_t group_begin;
+  int64_t group_end;
+  bool include_deltas;
+};
+
+class Lowering {
+ public:
+  Lowering(const Catalog& catalog, ExecContext* ctx,
+           const PhysicalPlanOptions& options, PhysicalPlan* out)
+      : catalog_(catalog), ctx_(ctx), options_(options), out_(out) {}
+
+  Result<BatchOperatorPtr> BuildBatch(const PlanPtr& plan,
+                                      std::vector<PendingBloom> blooms);
+  Result<RowOperatorPtr> BuildRow(const PlanPtr& plan);
+
+  void set_forced_scan_range(const ForcedScanRange* range) {
+    forced_scan_range_ = range;
+  }
+
+ private:
+  Result<BatchOperatorPtr> BuildBatchScan(const PlanPtr& plan,
+                                          std::vector<PendingBloom> blooms);
+  // Parallel aggregation: partial aggregates in scan fragments, exchange,
+  // final aggregate. Returns nullptr when the pattern does not apply.
+  Result<BatchOperatorPtr> TryParallelAggregate(const PlanPtr& plan);
+
+  const Catalog& catalog_;
+  ExecContext* ctx_;
+  const PhysicalPlanOptions& options_;
+  PhysicalPlan* out_;
+  const ForcedScanRange* forced_scan_range_ = nullptr;
+};
+
+// True when the subtree is scan/filter/project only with a column store at
+// the bottom — the shape that parallelizes as independent fragments.
+bool IsFragmentableChain(const Catalog& catalog, const PlanPtr& plan,
+                         std::string* table_out) {
+  PlanPtr cursor = plan;
+  for (;;) {
+    switch (cursor->kind) {
+      case PlanKind::kScan: {
+        const Catalog::Entry* entry = catalog.Find(cursor->table);
+        if (entry == nullptr || !entry->has_column_store()) return false;
+        *table_out = cursor->table;
+        return true;
+      }
+      case PlanKind::kFilter:
+      case PlanKind::kProject:
+        cursor = cursor->children[0];
+        break;
+      default:
+        return false;
+    }
+  }
+}
+
+Result<std::vector<int>> ResolveColumns(const Schema& schema,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    int idx = schema.IndexOf(name);
+    if (idx < 0) return Status::InvalidArgument("unknown column: " + name);
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Result<std::vector<AggSpec>> ResolveAggs(
+    const Schema& schema, const std::vector<NamedAggSpec>& named) {
+  std::vector<AggSpec> out;
+  out.reserve(named.size());
+  for (const NamedAggSpec& spec : named) {
+    int idx = -1;
+    if (spec.fn != AggFn::kCountStar) {
+      idx = schema.IndexOf(spec.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown aggregate column: " +
+                                       spec.column);
+      }
+    }
+    out.push_back(AggSpec{spec.fn, idx, spec.name});
+  }
+  return out;
+}
+
+// Rebuilds a pushed predicate as an expression (row-mode scans evaluate
+// pushdowns as ordinary filters).
+ExprPtr PredicateToExpr(const Schema& schema, const NamedScanPredicate& pred) {
+  return expr::Cmp(pred.op, expr::Column(schema, pred.column),
+                   expr::Lit(pred.value));
+}
+
+// Tuple-at-a-time LIMIT for row-mode plans.
+class RowLimitOperator final : public RowOperator {
+ public:
+  RowLimitOperator(RowOperatorPtr input, int64_t limit)
+      : input_(std::move(input)), limit_(limit) {}
+
+  Status Open() override {
+    remaining_ = limit_;
+    return input_->Open();
+  }
+  Result<bool> Next(std::vector<Value>* row) override {
+    if (remaining_ <= 0) return false;
+    VSTORE_ASSIGN_OR_RETURN(bool more, input_->Next(row));
+    if (!more) return false;
+    --remaining_;
+    return true;
+  }
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "RowLimit"; }
+
+ private:
+  RowOperatorPtr input_;
+  int64_t limit_;
+  int64_t remaining_ = 0;
+};
+
+Result<BatchOperatorPtr> Lowering::BuildBatchScan(
+    const PlanPtr& plan, std::vector<PendingBloom> blooms) {
+  const Catalog::Entry* entry = catalog_.Find(plan->table);
+  if (entry == nullptr) return Status::NotFound("unknown table " + plan->table);
+
+  if (!entry->has_column_store()) {
+    // Batch plan over a row store: adapt a row scan, predicates become a
+    // batch filter (pending blooms cannot be pushed; drop them — the join
+    // still filters exactly).
+    RowOperatorPtr scan =
+        std::make_unique<RowStoreScanOperator>(entry->row_store);
+    BatchOperatorPtr batch =
+        std::make_unique<RowToBatchAdapter>(std::move(scan), ctx_);
+    for (const NamedScanPredicate& pred : plan->pushed_predicates) {
+      batch = std::make_unique<FilterOperator>(
+          std::move(batch), PredicateToExpr(entry->schema(), pred), ctx_);
+    }
+    if (!plan->scan_columns.empty()) {
+      std::vector<ExprPtr> exprs;
+      for (const std::string& name : plan->scan_columns) {
+        exprs.push_back(expr::Column(entry->schema(), name));
+      }
+      batch = std::make_unique<ProjectOperator>(
+          std::move(batch), std::move(exprs), plan->scan_columns, ctx_);
+    }
+    return batch;
+  }
+
+  const ColumnStoreTable* table = entry->column_store;
+  ColumnStoreScanOperator::Options scan_options;
+  scan_options.include_deltas = options_.include_deltas;
+  for (const std::string& name : plan->scan_columns) {
+    int idx = table->schema().IndexOf(name);
+    if (idx < 0) return Status::InvalidArgument("unknown scan column " + name);
+    scan_options.projection.push_back(idx);
+  }
+  for (const NamedScanPredicate& pred : plan->pushed_predicates) {
+    int idx = table->schema().IndexOf(pred.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown pushdown column " + pred.column);
+    }
+    scan_options.predicates.push_back(ScanPredicate{idx, pred.op, pred.value});
+  }
+  for (const PendingBloom& pb : blooms) {
+    int idx = table->schema().IndexOf(pb.column);
+    if (idx < 0) continue;  // column renamed away; join still filters
+    scan_options.bloom_filters.push_back(BloomFilterSpec{idx, pb.filter});
+  }
+
+  if (forced_scan_range_ != nullptr) {
+    scan_options.group_begin = forced_scan_range_->group_begin;
+    scan_options.group_end = forced_scan_range_->group_end;
+    scan_options.include_deltas =
+        scan_options.include_deltas && forced_scan_range_->include_deltas;
+    return BatchOperatorPtr(
+        std::make_unique<ColumnStoreScanOperator>(table, scan_options, ctx_));
+  }
+
+  int dop = options_.dop;
+  int64_t groups;
+  {
+    std::shared_lock lock(table->mutex());
+    groups = table->num_row_groups();
+  }
+  if (dop <= 1 || groups < 2) {
+    return BatchOperatorPtr(
+        std::make_unique<ColumnStoreScanOperator>(table, scan_options, ctx_));
+  }
+
+  // Parallel scan: stripe row groups across fragments; fragment 0 also
+  // covers delta stores.
+  dop = static_cast<int>(std::min<int64_t>(dop, groups));
+  Schema out_schema = table->schema().Project(
+      scan_options.projection.empty()
+          ? [&] {
+              std::vector<int> all;
+              for (int c = 0; c < table->schema().num_columns(); ++c) {
+                all.push_back(c);
+              }
+              return all;
+            }()
+          : scan_options.projection);
+  auto factory = [table, scan_options, groups, dop](
+                     int fragment,
+                     ExecContext* fctx) -> Result<BatchOperatorPtr> {
+    ColumnStoreScanOperator::Options frag = scan_options;
+    int64_t per = (groups + dop - 1) / dop;
+    frag.group_begin = fragment * per;
+    frag.group_end = std::min<int64_t>(frag.group_begin + per, groups);
+    frag.include_deltas = scan_options.include_deltas && fragment == 0;
+    return BatchOperatorPtr(
+        std::make_unique<ColumnStoreScanOperator>(table, frag, fctx));
+  };
+  return BatchOperatorPtr(std::make_unique<ExchangeOperator>(
+      out_schema, std::move(factory), dop, ctx_));
+}
+
+Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
+  std::string table_name;
+  if (!IsFragmentableChain(catalog_, plan->children[0], &table_name)) {
+    return BatchOperatorPtr(nullptr);
+  }
+  const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
+  int64_t groups;
+  {
+    std::shared_lock lock(table->mutex());
+    groups = table->num_row_groups();
+  }
+  int dop = static_cast<int>(std::min<int64_t>(options_.dop, groups));
+  if (dop < 2) return BatchOperatorPtr(nullptr);
+
+  const Schema& child_schema = plan->children[0]->schema;
+  VSTORE_ASSIGN_OR_RETURN(std::vector<AggSpec> aggs,
+                          ResolveAggs(child_schema, plan->aggregates));
+  VSTORE_ASSIGN_OR_RETURN(std::vector<int> group_by,
+                          ResolveColumns(child_schema, plan->group_by));
+  Schema partial_schema =
+      HashAggregateOperator::PartialSchema(child_schema, group_by, aggs);
+
+  // Fragments: chain + partial aggregation over a row-group stripe.
+  const Catalog* catalog = &catalog_;
+  const PhysicalPlanOptions* options = &options_;
+  PlanPtr child_plan = plan->children[0];
+  bool include_deltas = options_.include_deltas;
+  auto factory = [catalog, options, child_plan, aggs, group_by, groups, dop,
+                  include_deltas](int fragment, ExecContext* fctx)
+      -> Result<BatchOperatorPtr> {
+    PhysicalPlan scratch;  // fragments create no shared resources
+    Lowering sub(*catalog, fctx, *options, &scratch);
+    int64_t per = (groups + dop - 1) / dop;
+    ForcedScanRange range;
+    range.group_begin = fragment * per;
+    range.group_end = std::min<int64_t>(range.group_begin + per, groups);
+    range.include_deltas = include_deltas && fragment == 0;
+    sub.set_forced_scan_range(&range);
+    VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,
+                            sub.BuildBatch(child_plan, {}));
+    VSTORE_CHECK(scratch.bloom_filters.empty());
+    HashAggregateOperator::Options partial;
+    partial.group_by = group_by;
+    partial.aggregates = aggs;
+    partial.phase = AggPhase::kPartial;
+    return BatchOperatorPtr(std::make_unique<HashAggregateOperator>(
+        std::move(chain), std::move(partial), fctx));
+  };
+  BatchOperatorPtr exchange = std::make_unique<ExchangeOperator>(
+      partial_schema, std::move(factory), dop, ctx_);
+
+  // Final aggregation over the partial rows.
+  HashAggregateOperator::Options final_options;
+  final_options.phase = AggPhase::kFinal;
+  for (size_t k = 0; k < group_by.size(); ++k) {
+    final_options.group_by.push_back(static_cast<int>(k));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    AggSpec spec = aggs[a];
+    spec.column = static_cast<int>(group_by.size() + 2 * a);
+    final_options.aggregates.push_back(std::move(spec));
+  }
+  return BatchOperatorPtr(std::make_unique<HashAggregateOperator>(
+      std::move(exchange), std::move(final_options), ctx_));
+}
+
+Result<BatchOperatorPtr> Lowering::BuildBatch(
+    const PlanPtr& plan, std::vector<PendingBloom> blooms) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return BuildBatchScan(plan, std::move(blooms));
+
+    case PlanKind::kFilter: {
+      VSTORE_ASSIGN_OR_RETURN(
+          BatchOperatorPtr child,
+          BuildBatch(plan->children[0], std::move(blooms)));
+      return BatchOperatorPtr(std::make_unique<FilterOperator>(
+          std::move(child), plan->predicate, ctx_));
+    }
+
+    case PlanKind::kProject: {
+      // Bloom columns do not propagate through projections (names/exprs
+      // change); attach nothing below.
+      VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildBatch(plan->children[0], {}));
+      return BatchOperatorPtr(std::make_unique<ProjectOperator>(
+          std::move(child), plan->exprs, plan->names, ctx_));
+    }
+
+    case PlanKind::kJoin: {
+      VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr build,
+                              BuildBatch(plan->children[1], {}));
+      HashJoinOperator::Options join_options;
+      join_options.join_type = plan->join_type;
+      VSTORE_ASSIGN_OR_RETURN(
+          join_options.probe_keys,
+          ResolveColumns(plan->children[0]->schema, plan->left_keys));
+      VSTORE_ASSIGN_OR_RETURN(
+          join_options.build_keys,
+          ResolveColumns(plan->children[1]->schema, plan->right_keys));
+
+      if (plan->use_bloom) {
+        auto filter = std::make_unique<BloomFilter>();
+        // Single-key blooms only: multi-key combined hashes differ between
+        // the per-column scan hash and the joint key hash, so push the
+        // filter only when there is exactly one key.
+        if (plan->left_keys.size() == 1) {
+          blooms.push_back(PendingBloom{plan->left_keys[0], filter.get()});
+          join_options.bloom_target = filter.get();
+          out_->bloom_filters.push_back(std::move(filter));
+        }
+      }
+      VSTORE_ASSIGN_OR_RETURN(
+          BatchOperatorPtr probe,
+          BuildBatch(plan->children[0], std::move(blooms)));
+      return BatchOperatorPtr(std::make_unique<HashJoinOperator>(
+          std::move(probe), std::move(build), std::move(join_options), ctx_));
+    }
+
+    case PlanKind::kAggregate: {
+      if (options_.dop > 1 && forced_scan_range_ == nullptr) {
+        VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr parallel,
+                                TryParallelAggregate(plan));
+        if (parallel != nullptr) return parallel;
+      }
+      VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildBatch(plan->children[0], {}));
+      VSTORE_ASSIGN_OR_RETURN(
+          std::vector<AggSpec> aggs,
+          ResolveAggs(plan->children[0]->schema, plan->aggregates));
+      if (plan->group_by.empty()) {
+        return BatchOperatorPtr(std::make_unique<ScalarAggregateOperator>(
+            std::move(child), std::move(aggs), ctx_));
+      }
+      HashAggregateOperator::Options agg_options;
+      VSTORE_ASSIGN_OR_RETURN(
+          agg_options.group_by,
+          ResolveColumns(plan->children[0]->schema, plan->group_by));
+      agg_options.aggregates = std::move(aggs);
+      return BatchOperatorPtr(std::make_unique<HashAggregateOperator>(
+          std::move(child), std::move(agg_options), ctx_));
+    }
+
+    case PlanKind::kSort: {
+      VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildBatch(plan->children[0], {}));
+      std::vector<SortKey> keys;
+      for (const SortSpec& spec : plan->sort_keys) {
+        int idx = plan->children[0]->schema.IndexOf(spec.column);
+        if (idx < 0) {
+          return Status::InvalidArgument("unknown sort column " + spec.column);
+        }
+        keys.push_back(SortKey{idx, spec.ascending});
+      }
+      return BatchOperatorPtr(std::make_unique<SortOperator>(
+          std::move(child), std::move(keys), plan->limit, ctx_));
+    }
+
+    case PlanKind::kLimit: {
+      VSTORE_ASSIGN_OR_RETURN(
+          BatchOperatorPtr child,
+          BuildBatch(plan->children[0], std::move(blooms)));
+      return BatchOperatorPtr(
+          std::make_unique<LimitOperator>(std::move(child), plan->limit, ctx_));
+    }
+
+    case PlanKind::kUnionAll: {
+      std::vector<BatchOperatorPtr> children;
+      for (const PlanPtr& c : plan->children) {
+        VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr child, BuildBatch(c, {}));
+        children.push_back(std::move(child));
+      }
+      return BatchOperatorPtr(
+          std::make_unique<UnionAllOperator>(std::move(children), ctx_));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<RowOperatorPtr> Lowering::BuildRow(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      const Catalog::Entry* entry = catalog_.Find(plan->table);
+      if (entry == nullptr) {
+        return Status::NotFound("unknown table " + plan->table);
+      }
+      RowOperatorPtr scan;
+      if (entry->has_row_store()) {
+        scan = std::make_unique<RowStoreScanOperator>(entry->row_store);
+      } else {
+        scan =
+            std::make_unique<ColumnStoreRowScanOperator>(entry->column_store);
+      }
+      // Pushed predicates run as row filters (row mode has no segment
+      // elimination — that asymmetry is the point of experiment E3).
+      for (const NamedScanPredicate& pred : plan->pushed_predicates) {
+        scan = std::make_unique<RowFilterOperator>(
+            std::move(scan), PredicateToExpr(entry->schema(), pred));
+      }
+      if (!plan->scan_columns.empty()) {
+        // Column pruning only narrows the schema here: a row store still
+        // materializes whole rows first (the asymmetry columnar storage
+        // exploits).
+        std::vector<ExprPtr> exprs;
+        for (const std::string& name : plan->scan_columns) {
+          exprs.push_back(expr::Column(entry->schema(), name));
+        }
+        scan = std::make_unique<RowProjectOperator>(
+            std::move(scan), std::move(exprs), plan->scan_columns);
+      }
+      return scan;
+    }
+
+    case PlanKind::kFilter: {
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              BuildRow(plan->children[0]));
+      return RowOperatorPtr(std::make_unique<RowFilterOperator>(
+          std::move(child), plan->predicate));
+    }
+
+    case PlanKind::kProject: {
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              BuildRow(plan->children[0]));
+      return RowOperatorPtr(std::make_unique<RowProjectOperator>(
+          std::move(child), plan->exprs, plan->names));
+    }
+
+    case PlanKind::kJoin: {
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr probe,
+                              BuildRow(plan->children[0]));
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr build,
+                              BuildRow(plan->children[1]));
+      RowHashJoinOperator::Options join_options;
+      join_options.join_type = plan->join_type;
+      VSTORE_ASSIGN_OR_RETURN(
+          join_options.probe_keys,
+          ResolveColumns(plan->children[0]->schema, plan->left_keys));
+      VSTORE_ASSIGN_OR_RETURN(
+          join_options.build_keys,
+          ResolveColumns(plan->children[1]->schema, plan->right_keys));
+      return RowOperatorPtr(std::make_unique<RowHashJoinOperator>(
+          std::move(probe), std::move(build), std::move(join_options)));
+    }
+
+    case PlanKind::kAggregate: {
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              BuildRow(plan->children[0]));
+      RowHashAggregateOperator::Options agg_options;
+      VSTORE_ASSIGN_OR_RETURN(
+          agg_options.group_by,
+          ResolveColumns(plan->children[0]->schema, plan->group_by));
+      VSTORE_ASSIGN_OR_RETURN(
+          agg_options.aggregates,
+          ResolveAggs(plan->children[0]->schema, plan->aggregates));
+      return RowOperatorPtr(std::make_unique<RowHashAggregateOperator>(
+          std::move(child), std::move(agg_options)));
+    }
+
+    case PlanKind::kSort: {
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              BuildRow(plan->children[0]));
+      std::vector<SortKey> keys;
+      for (const SortSpec& spec : plan->sort_keys) {
+        int idx = plan->children[0]->schema.IndexOf(spec.column);
+        if (idx < 0) {
+          return Status::InvalidArgument("unknown sort column " + spec.column);
+        }
+        keys.push_back(SortKey{idx, spec.ascending});
+      }
+      return RowOperatorPtr(std::make_unique<RowSortOperator>(
+          std::move(child), std::move(keys), plan->limit));
+    }
+
+    case PlanKind::kLimit: {
+      VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              BuildRow(plan->children[0]));
+      return RowOperatorPtr(
+          std::make_unique<RowLimitOperator>(std::move(child), plan->limit));
+    }
+
+    case PlanKind::kUnionAll:
+      return Status::Unimplemented("row-mode UNION ALL");
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+bool AllScansHaveColumnStores(const Catalog& catalog, const PlanPtr& plan) {
+  if (plan->kind == PlanKind::kScan) {
+    const Catalog::Entry* entry = catalog.Find(plan->table);
+    return entry != nullptr && entry->has_column_store();
+  }
+  for (const PlanPtr& child : plan->children) {
+    if (!AllScansHaveColumnStores(catalog, child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> CreatePhysicalPlan(const Catalog& catalog,
+                                        const PlanPtr& plan, ExecContext* ctx,
+                                        const PhysicalPlanOptions& options) {
+  PhysicalPlan physical;
+  Lowering lowering(catalog, ctx, options, &physical);
+
+  bool batch = options.mode == ExecutionMode::kBatch ||
+               (options.mode == ExecutionMode::kAuto &&
+                AllScansHaveColumnStores(catalog, plan));
+  if (batch) {
+    VSTORE_ASSIGN_OR_RETURN(physical.root, lowering.BuildBatch(plan, {}));
+  } else {
+    VSTORE_ASSIGN_OR_RETURN(RowOperatorPtr root, lowering.BuildRow(plan));
+    physical.root = std::make_unique<RowToBatchAdapter>(std::move(root), ctx);
+  }
+  return physical;
+}
+
+}  // namespace vstore

@@ -1,0 +1,41 @@
+#ifndef VSTORE_QUERY_PHYSICAL_PLANNER_H_
+#define VSTORE_QUERY_PHYSICAL_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/bloom_filter.h"
+#include "exec/operator.h"
+#include "query/logical_plan.h"
+
+namespace vstore {
+
+// How plans execute. kAuto picks batch mode when every scanned table has a
+// column store (the paper's mode selection) and row mode otherwise.
+enum class ExecutionMode { kAuto, kBatch, kRow };
+
+struct PhysicalPlanOptions {
+  ExecutionMode mode = ExecutionMode::kAuto;
+  // Degree of parallelism for column store scans (exchange operator).
+  int dop = 1;
+  // Scan delta stores (disable to measure compressed-only paths).
+  bool include_deltas = true;
+};
+
+// A lowered plan: the operator tree plus resources (Bloom filters) that
+// must outlive execution.
+struct PhysicalPlan {
+  BatchOperatorPtr root;
+  std::vector<std::unique_ptr<BloomFilter>> bloom_filters;
+};
+
+// Lowers an optimized logical plan onto batch or row operators. Row-mode
+// trees are wrapped in a RowToBatchAdapter so the executor drives one
+// interface.
+Result<PhysicalPlan> CreatePhysicalPlan(const Catalog& catalog,
+                                        const PlanPtr& plan, ExecContext* ctx,
+                                        const PhysicalPlanOptions& options);
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_PHYSICAL_PLANNER_H_

@@ -1,0 +1,89 @@
+#include "storage/bit_pack.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace vstore {
+
+int64_t BitPacker::PackedBytes(int64_t n, int bit_width) {
+  // +7 bytes of slack lets the unpacker read whole 64-bit words safely.
+  if (bit_width == 0) return 0;
+  return bit_util::CeilDiv(n * bit_width, 8) + 7;
+}
+
+std::vector<uint8_t> BitPacker::Pack(const uint64_t* values, int64_t n,
+                                     int bit_width) {
+  VSTORE_DCHECK(bit_width >= 0 && bit_width <= 64);
+  std::vector<uint8_t> out(static_cast<size_t>(PackedBytes(n, bit_width)), 0);
+  if (bit_width == 0) return out;
+  uint8_t* data = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t v = values[i];
+    VSTORE_DCHECK(bit_width == 64 || (v >> bit_width) == 0);
+    int64_t bit_pos = i * bit_width;
+    int64_t byte_pos = bit_pos >> 3;
+    int shift = static_cast<int>(bit_pos & 7);
+    // Write up to 64+7 bits via two word stores.
+    uint64_t word;
+    std::memcpy(&word, data + byte_pos, sizeof(word));
+    word |= v << shift;
+    std::memcpy(data + byte_pos, &word, sizeof(word));
+    if (shift + bit_width > 64) {
+      uint64_t hi = v >> (64 - shift);
+      std::memcpy(&word, data + byte_pos + 8, sizeof(word));
+      word |= hi;
+      std::memcpy(data + byte_pos + 8, &word, sizeof(word));
+    }
+  }
+  return out;
+}
+
+uint64_t BitPacker::Get(const uint8_t* data, int bit_width, int64_t index) {
+  if (bit_width == 0) return 0;
+  int64_t bit_pos = index * bit_width;
+  int64_t byte_pos = bit_pos >> 3;
+  int shift = static_cast<int>(bit_pos & 7);
+  uint64_t word;
+  std::memcpy(&word, data + byte_pos, sizeof(word));
+  uint64_t v = word >> shift;
+  if (shift + bit_width > 64) {
+    uint64_t hi;
+    std::memcpy(&hi, data + byte_pos + 8, sizeof(hi));
+    v |= hi << (64 - shift);
+  }
+  if (bit_width < 64) v &= (uint64_t{1} << bit_width) - 1;
+  return v;
+}
+
+void BitPacker::Unpack(const uint8_t* data, int bit_width, int64_t start,
+                       int64_t n, uint64_t* out) {
+  if (bit_width == 0) {
+    std::memset(out, 0, static_cast<size_t>(n) * sizeof(uint64_t));
+    return;
+  }
+  // Streaming decode: advance a byte pointer + bit offset instead of
+  // recomputing positions; each value is one or two unaligned word loads.
+  const uint64_t mask =
+      bit_width == 64 ? ~uint64_t{0} : (uint64_t{1} << bit_width) - 1;
+  int64_t bit_pos = start * bit_width;
+  const uint8_t* p = data + (bit_pos >> 3);
+  int shift = static_cast<int>(bit_pos & 7);
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    uint64_t v = word >> shift;
+    if (shift + bit_width > 64) {
+      uint64_t hi;
+      std::memcpy(&hi, p + 8, sizeof(hi));
+      v |= hi << (64 - shift);
+    }
+    out[i] = v & mask;
+    shift += bit_width;
+    p += shift >> 3;
+    shift &= 7;
+  }
+}
+
+}  // namespace vstore

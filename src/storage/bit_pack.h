@@ -1,0 +1,32 @@
+#ifndef VSTORE_STORAGE_BIT_PACK_H_
+#define VSTORE_STORAGE_BIT_PACK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vstore {
+
+// Fixed-width bit packing of unsigned codes — the innermost compression
+// stage of every column segment (the paper's "bit packing"). Values are
+// packed little-endian into a byte buffer, `bit_width` bits each.
+// bit_width == 0 encodes the all-zero sequence in zero bytes.
+class BitPacker {
+ public:
+  // Packs values[0, n) at the given width. Caller guarantees every value
+  // fits in bit_width bits.
+  static std::vector<uint8_t> Pack(const uint64_t* values, int64_t n,
+                                   int bit_width);
+
+  // Unpacks n values starting at logical index `start`.
+  static void Unpack(const uint8_t* data, int bit_width, int64_t start,
+                     int64_t n, uint64_t* out);
+
+  // Random access to a single value.
+  static uint64_t Get(const uint8_t* data, int bit_width, int64_t index);
+
+  static int64_t PackedBytes(int64_t n, int bit_width);
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_BIT_PACK_H_

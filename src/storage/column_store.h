@@ -1,0 +1,167 @@
+#ifndef VSTORE_STORAGE_COLUMN_STORE_H_
+#define VSTORE_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/delete_bitmap.h"
+#include "storage/delta_store.h"
+#include "storage/dictionary.h"
+#include "storage/row_group.h"
+#include "types/schema.h"
+#include "types/table_data.h"
+
+namespace vstore {
+
+// --- Row ids ------------------------------------------------------------
+// Rows in compressed row groups are addressed as (group, offset); rows in
+// delta stores carry a sequence number with the top bit set. A row keeps
+// its id until the tuple mover compresses its delta store (then it gets a
+// compressed id) or a delete removes it. Consequently, RowIds held across
+// reorganization may dangle: Delete/Update/GetRow return NotFound for
+// them. Callers that reorganize concurrently must locate rows by value
+// (scan) rather than by stored id — the same caveat SQL Server's tuple
+// mover imposes on row locators.
+using RowId = uint64_t;
+
+constexpr RowId kDeltaRowIdBit = RowId{1} << 63;
+
+inline bool IsDeltaRowId(RowId id) { return (id & kDeltaRowIdBit) != 0; }
+inline RowId MakeCompressedRowId(int64_t group, int64_t offset) {
+  return (static_cast<RowId>(group) << 32) | static_cast<RowId>(offset);
+}
+inline RowId MakeDeltaRowId(uint64_t seq) { return kDeltaRowIdBit | seq; }
+inline int64_t RowIdGroup(RowId id) {
+  return static_cast<int64_t>((id & ~kDeltaRowIdBit) >> 32);
+}
+inline int64_t RowIdOffset(RowId id) {
+  return static_cast<int64_t>(id & 0xFFFFFFFFu);
+}
+
+// --- Column store table ---------------------------------------------------
+// The paper's clustered (updatable) column store index used as base table
+// storage: compressed row groups + delete bitmaps + delta stores, fed by
+// bulk loads and trickle inserts, reorganized by the tuple mover.
+//
+// Concurrency: writers (Insert/Delete/Update/BulkLoad/Reorganize/Archive)
+// take the table's mutex exclusively; scans take it shared for the duration
+// of the scan (see ColumnStoreScan).
+class ColumnStoreTable {
+ public:
+  struct Options {
+    // Max rows per compressed row group (paper: ~2^20).
+    int64_t row_group_size = 1 << 20;
+    // Bulk loads produce compressed row groups directly when a chunk has at
+    // least this many rows; smaller tails go through a delta store
+    // (matches the paper's bulk-insert behaviour).
+    int64_t min_compress_rows = 102400;
+    // Capacity of the shared per-column primary dictionaries.
+    int64_t primary_dict_capacity = 1 << 20;
+    // Row-reordering compression optimization (DESIGN.md E8).
+    bool optimize_row_order = false;
+    // Apply archival (LZSS) compression to every new row group (E7).
+    bool archival = false;
+  };
+
+  ColumnStoreTable(std::string name, Schema schema, Options options);
+  ColumnStoreTable(std::string name, Schema schema)
+      : ColumnStoreTable(std::move(name), std::move(schema), Options()) {}
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ColumnStoreTable);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const Options& options() const { return options_; }
+
+  // --- DML -------------------------------------------------------------
+  Status BulkLoad(const TableData& data);
+  Result<RowId> Insert(const std::vector<Value>& row);
+  Status Delete(RowId id);
+  // Deletes the old row and inserts the new version; returns the new id.
+  Result<RowId> Update(RowId id, const std::vector<Value>& row);
+  // Point lookup (bookmark support): fetches the live row with this id.
+  Status GetRow(RowId id, std::vector<Value>* row) const;
+
+  // Live row count (compressed minus deleted, plus delta rows).
+  int64_t num_rows() const;
+  int64_t num_deleted_rows() const;
+  int64_t num_delta_rows() const;
+
+  // --- Reorganization (tuple mover entry points) ------------------------
+  // Compresses closed delta stores into row groups; with `include_open`
+  // also compresses the open store (paper: REORGANIZE ... FORCE). Returns
+  // the number of delta stores compressed.
+  Result<int64_t> CompressDeltaStores(bool include_open = false);
+  // Rebuilds row groups whose deleted fraction exceeds `threshold`,
+  // physically removing deleted rows.
+  Result<int64_t> RemoveDeletedRows(double threshold = 0.1);
+
+  // --- Archival ----------------------------------------------------------
+  Status Archive();      // compress all row groups (COLUMNSTORE_ARCHIVE)
+  void EvictAll() const; // drop resident copies of archived segments
+
+  // --- Size accounting (compression experiments) -------------------------
+  struct SizeBreakdown {
+    int64_t segment_bytes = 0;      // packed codes + null bitmaps + local dicts
+    int64_t dictionary_bytes = 0;   // shared primary dictionaries
+    int64_t delete_bitmap_bytes = 0;
+    int64_t delta_store_bytes = 0;
+    int64_t archived_segment_bytes = 0;     // compressed sizes (if archived)
+    int64_t archived_dictionary_bytes = 0;  // primary dicts, compressed
+    int64_t Total() const {
+      return segment_bytes + dictionary_bytes + delete_bitmap_bytes +
+             delta_store_bytes;
+    }
+    int64_t TotalArchived() const {
+      return archived_segment_bytes + archived_dictionary_bytes +
+             delete_bitmap_bytes + delta_store_bytes;
+    }
+  };
+  SizeBreakdown Sizes() const;
+
+  // --- Read access (used by scans holding the shared lock) ---------------
+  std::shared_mutex& mutex() const { return mutex_; }
+  int64_t num_row_groups() const {
+    return static_cast<int64_t>(row_groups_.size());
+  }
+  const RowGroup& row_group(int64_t i) const {
+    return *row_groups_[static_cast<size_t>(i)];
+  }
+  const DeleteBitmap& delete_bitmap(int64_t i) const {
+    return delete_bitmaps_[static_cast<size_t>(i)];
+  }
+  int64_t num_delta_stores() const {
+    return static_cast<int64_t>(delta_stores_.size());
+  }
+  const DeltaStore& delta_store(int64_t i) const {
+    return *delta_stores_[static_cast<size_t>(i)];
+  }
+
+ private:
+  // Appends rows [begin, end) of `data` as one compressed row group.
+  Status AppendRowGroup(const TableData& data, int64_t begin, int64_t end);
+  // Returns the open delta store, creating one if needed.
+  DeltaStore* OpenDeltaStore();
+  Status InsertLocked(const std::vector<Value>& row, RowId* id);
+  Status CompressOneDeltaStore(size_t index);
+
+  std::string name_;
+  Schema schema_;
+  Options options_;
+
+  mutable std::shared_mutex mutex_;
+  std::vector<std::unique_ptr<RowGroup>> row_groups_;
+  std::vector<DeleteBitmap> delete_bitmaps_;
+  std::vector<std::unique_ptr<DeltaStore>> delta_stores_;
+  std::vector<std::shared_ptr<StringDictionary>> primary_dicts_;
+  uint64_t next_delta_seq_ = 0;
+  int64_t next_delta_id_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_COLUMN_STORE_H_

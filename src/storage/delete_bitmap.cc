@@ -1,0 +1,3 @@
+#include "storage/delete_bitmap.h"
+
+// Header-only; this translation unit anchors the target in the build.

@@ -1,0 +1,51 @@
+#ifndef VSTORE_STORAGE_DELETE_BITMAP_H_
+#define VSTORE_STORAGE_DELETE_BITMAP_H_
+
+#include <cstdint>
+
+#include "common/bit_util.h"
+
+namespace vstore {
+
+// Records which rows of one compressed row group have been logically
+// deleted (paper §3.1: "a delete bitmap indicating which rows have been
+// deleted"). Deleted rows are filtered during scans and physically removed
+// only when the row group is rebuilt.
+class DeleteBitmap {
+ public:
+  DeleteBitmap() = default;
+  explicit DeleteBitmap(int64_t num_rows) : bits_(num_rows) {}
+
+  int64_t num_rows() const { return bits_.size(); }
+  int64_t deleted_count() const { return deleted_; }
+  bool any_deleted() const { return deleted_ > 0; }
+
+  bool IsDeleted(int64_t row) const { return bits_.Get(row); }
+
+  // Returns false if the row was already deleted.
+  bool MarkDeleted(int64_t row) {
+    if (bits_.Get(row)) return false;
+    bits_.Set(row);
+    ++deleted_;
+    return true;
+  }
+
+  // Fills out[i] = 1 for live rows in [start, start+count).
+  void DecodeLiveness(int64_t start, int64_t count, uint8_t* out) const {
+    for (int64_t i = 0; i < count; ++i) {
+      out[i] = bits_.Get(start + i) ? 0 : 1;
+    }
+  }
+
+  int64_t MemoryBytes() const {
+    return bit_util::BytesForBits(bits_.size());
+  }
+
+ private:
+  bit_util::Bitmap bits_;
+  int64_t deleted_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_DELETE_BITMAP_H_

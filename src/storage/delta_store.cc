@@ -1,0 +1,311 @@
+#include "storage/delta_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vstore {
+
+// --- Row serialization -----------------------------------------------
+
+std::string EncodeRow(const Schema& schema, const std::vector<Value>& row) {
+  VSTORE_DCHECK(static_cast<int>(row.size()) == schema.num_columns());
+  std::string out;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const Value& v = row[static_cast<size_t>(c)];
+    if (v.is_null()) {
+      out.push_back(0);
+      continue;
+    }
+    out.push_back(1);
+    switch (PhysicalTypeOf(schema.field(c).type)) {
+      case PhysicalType::kInt64: {
+        int64_t x = v.int64();
+        out.append(reinterpret_cast<const char*>(&x), sizeof(x));
+        break;
+      }
+      case PhysicalType::kDouble: {
+        double x = v.dbl();
+        out.append(reinterpret_cast<const char*>(&x), sizeof(x));
+        break;
+      }
+      case PhysicalType::kString: {
+        uint32_t len = static_cast<uint32_t>(v.str().size());
+        out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out.append(v.str());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodeRow(const Schema& schema, std::string_view data,
+                 std::vector<Value>* row) {
+  row->clear();
+  row->reserve(static_cast<size_t>(schema.num_columns()));
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= data.size(); };
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (!need(1)) return Status::Internal("row decode: truncated null byte");
+    bool present = data[pos++] != 0;
+    DataType type = schema.field(c).type;
+    if (!present) {
+      row->push_back(Value::Null(type));
+      continue;
+    }
+    switch (PhysicalTypeOf(type)) {
+      case PhysicalType::kInt64: {
+        if (!need(8)) return Status::Internal("row decode: truncated int64");
+        int64_t x;
+        std::memcpy(&x, data.data() + pos, sizeof(x));
+        pos += sizeof(x);
+        switch (type) {
+          case DataType::kBool:
+            row->push_back(Value::Bool(x != 0));
+            break;
+          case DataType::kInt32:
+            row->push_back(Value::Int32(static_cast<int32_t>(x)));
+            break;
+          case DataType::kDate32:
+            row->push_back(Value::Date32(static_cast<int32_t>(x)));
+            break;
+          default:
+            row->push_back(Value::Int64(x));
+        }
+        break;
+      }
+      case PhysicalType::kDouble: {
+        if (!need(8)) return Status::Internal("row decode: truncated double");
+        double x;
+        std::memcpy(&x, data.data() + pos, sizeof(x));
+        pos += sizeof(x);
+        row->push_back(Value::Double(x));
+        break;
+      }
+      case PhysicalType::kString: {
+        if (!need(4)) return Status::Internal("row decode: truncated length");
+        uint32_t len;
+        std::memcpy(&len, data.data() + pos, sizeof(len));
+        pos += sizeof(len);
+        if (!need(len)) return Status::Internal("row decode: truncated string");
+        row->push_back(Value::String(std::string(data.substr(pos, len))));
+        pos += len;
+        break;
+      }
+    }
+  }
+  if (pos != data.size()) return Status::Internal("row decode: trailing bytes");
+  return Status::OK();
+}
+
+// --- B+-tree ----------------------------------------------------------
+
+namespace {
+constexpr int kMaxKeys = 64;
+}  // namespace
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  std::vector<uint64_t> keys;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BPlusTree::Leaf : BPlusTree::Node {
+  std::vector<std::string> values;
+  Leaf* next = nullptr;
+  Leaf() : Node(true) {}
+};
+
+struct BPlusTree::Internal : BPlusTree::Node {
+  // children.size() == keys.size() + 1; keys[i] is the smallest key
+  // reachable under children[i+1].
+  std::vector<Node*> children;
+  Internal() : Node(false) {}
+  ~Internal() override {
+    for (Node* child : children) delete child;
+  }
+};
+
+BPlusTree::BPlusTree() {
+  root_ = new Leaf();
+  memory_bytes_ = static_cast<int64_t>(sizeof(Leaf));
+}
+
+BPlusTree::~BPlusTree() { delete root_; }
+
+namespace {
+
+// Index of the child to descend into for `key`, given an internal node's
+// separator keys (keys[i] is the smallest key under child i+1).
+int ChildIndex(const std::vector<uint64_t>& keys, uint64_t key) {
+  return static_cast<int>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+bool BPlusTree::Insert(uint64_t key, std::string value) {
+  // Descend, remembering the path for splits.
+  std::vector<Internal*> path;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    Internal* internal = static_cast<Internal*>(node);
+    path.push_back(internal);
+    node = internal->children[static_cast<size_t>(ChildIndex(internal->keys, key))];
+  }
+  Leaf* leaf = static_cast<Leaf*>(node);
+
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  if (it != leaf->keys.end() && *it == key) return false;
+
+  memory_bytes_ += static_cast<int64_t>(value.size() + sizeof(uint64_t) +
+                                        sizeof(std::string));
+  leaf->keys.insert(it, key);
+  leaf->values.insert(leaf->values.begin() + static_cast<long>(pos),
+                      std::move(value));
+  ++size_;
+
+  if (static_cast<int>(leaf->keys.size()) <= kMaxKeys) return true;
+
+  // Split the leaf.
+  Leaf* right = new Leaf();
+  memory_bytes_ += static_cast<int64_t>(sizeof(Leaf));
+  size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
+                     leaf->keys.end());
+  right->values.assign(std::make_move_iterator(leaf->values.begin() +
+                                               static_cast<long>(mid)),
+                       std::make_move_iterator(leaf->values.end()));
+  leaf->keys.resize(mid);
+  leaf->values.resize(mid);
+  right->next = leaf->next;
+  leaf->next = right;
+
+  uint64_t separator = right->keys.front();
+  Node* new_child = right;
+
+  // Propagate splits up the path.
+  for (auto rit = path.rbegin(); rit != path.rend(); ++rit) {
+    Internal* parent = *rit;
+    int idx = ChildIndex(parent->keys, separator);
+    parent->keys.insert(parent->keys.begin() + idx, separator);
+    parent->children.insert(parent->children.begin() + idx + 1, new_child);
+    if (static_cast<int>(parent->keys.size()) <= kMaxKeys) return true;
+
+    Internal* right_internal = new Internal();
+    memory_bytes_ += static_cast<int64_t>(sizeof(Internal));
+    size_t m = parent->keys.size() / 2;
+    uint64_t up_key = parent->keys[m];
+    right_internal->keys.assign(parent->keys.begin() + static_cast<long>(m) + 1,
+                                parent->keys.end());
+    right_internal->children.assign(
+        parent->children.begin() + static_cast<long>(m) + 1,
+        parent->children.end());
+    parent->keys.resize(m);
+    parent->children.resize(m + 1);
+    separator = up_key;
+    new_child = right_internal;
+  }
+
+  // Root split.
+  Internal* new_root = new Internal();
+  memory_bytes_ += static_cast<int64_t>(sizeof(Internal));
+  new_root->keys.push_back(separator);
+  new_root->children.push_back(root_);
+  new_root->children.push_back(new_child);
+  root_ = new_root;
+  return true;
+}
+
+const std::string* BPlusTree::Find(uint64_t key) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const Internal* internal = static_cast<const Internal*>(node);
+    node = internal->children[static_cast<size_t>(ChildIndex(internal->keys, key))];
+  }
+  const Leaf* leaf = static_cast<const Leaf*>(node);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return nullptr;
+  return &leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+}
+
+bool BPlusTree::Erase(uint64_t key) {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    Internal* internal = static_cast<Internal*>(node);
+    node = internal->children[static_cast<size_t>(ChildIndex(internal->keys, key))];
+  }
+  Leaf* leaf = static_cast<Leaf*>(node);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  memory_bytes_ -= static_cast<int64_t>(leaf->values[pos].size() +
+                                        sizeof(uint64_t) + sizeof(std::string));
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + static_cast<long>(pos));
+  --size_;
+  return true;
+}
+
+// --- Iterator -----------------------------------------------------------
+
+uint64_t BPlusTree::Iterator::key() const {
+  return static_cast<const Leaf*>(leaf_)->keys[static_cast<size_t>(index_)];
+}
+
+const std::string& BPlusTree::Iterator::value() const {
+  return static_cast<const Leaf*>(leaf_)->values[static_cast<size_t>(index_)];
+}
+
+void BPlusTree::Iterator::SkipEmpty() {
+  const Leaf* leaf = static_cast<const Leaf*>(leaf_);
+  while (leaf != nullptr && index_ >= static_cast<int>(leaf->keys.size())) {
+    leaf = leaf->next;
+    index_ = 0;
+  }
+  leaf_ = leaf;
+}
+
+void BPlusTree::Iterator::Next() {
+  ++index_;
+  SkipEmpty();
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.front();
+  }
+  Iterator it;
+  it.leaf_ = static_cast<const Leaf*>(node);
+  it.index_ = 0;
+  it.SkipEmpty();
+  return it;
+}
+
+// --- DeltaStore ---------------------------------------------------------
+
+Status DeltaStore::Insert(uint64_t rowid, const std::vector<Value>& row) {
+  if (closed_) return Status::Aborted("delta store is closed");
+  if (static_cast<int>(row.size()) != schema_->num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  if (!tree_.Insert(rowid, EncodeRow(*schema_, row))) {
+    return Status::AlreadyExists("duplicate rowid in delta store");
+  }
+  min_rowid_ = std::min(min_rowid_, rowid);
+  max_rowid_ = std::max(max_rowid_, rowid);
+  return Status::OK();
+}
+
+bool DeltaStore::Delete(uint64_t rowid) { return tree_.Erase(rowid); }
+
+Status DeltaStore::Get(uint64_t rowid, std::vector<Value>* row) const {
+  const std::string* data = tree_.Find(rowid);
+  if (data == nullptr) return Status::NotFound("rowid not in delta store");
+  return DecodeRow(*schema_, *data, row);
+}
+
+}  // namespace vstore

@@ -1,0 +1,123 @@
+#ifndef VSTORE_STORAGE_DELTA_STORE_H_
+#define VSTORE_STORAGE_DELTA_STORE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace vstore {
+
+// --- Row serialization -----------------------------------------------
+// Compact row format used by the delta store and spill files: per column a
+// null byte, then the fixed-width payload (int64/double) or u32 length +
+// bytes (string).
+std::string EncodeRow(const Schema& schema, const std::vector<Value>& row);
+Status DecodeRow(const Schema& schema, std::string_view data,
+                 std::vector<Value>* row);
+
+// --- B+-tree ----------------------------------------------------------
+// In-memory B+-tree mapping uint64 keys to byte-string payloads. Leaves are
+// chained for ordered scans. Deletions do not rebalance (underfull nodes
+// are tolerated); delta stores are short-lived, so space is reclaimed when
+// the tuple mover drops the whole tree.
+class BPlusTree {
+ public:
+  BPlusTree();
+  ~BPlusTree();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(BPlusTree);
+
+  // Returns false if the key already exists (no overwrite).
+  bool Insert(uint64_t key, std::string value);
+  // Returns nullptr if absent. The pointer is invalidated by any mutation.
+  const std::string* Find(uint64_t key) const;
+  bool Erase(uint64_t key);
+
+  int64_t size() const { return size_; }
+  int64_t MemoryBytes() const { return memory_bytes_; }
+
+  // Forward iterator over live entries in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    uint64_t key() const;
+    const std::string& value() const;
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    const void* leaf_ = nullptr;
+    int index_ = 0;
+    void SkipEmpty();
+  };
+
+  Iterator Begin() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  Node* root_ = nullptr;
+  int64_t size_ = 0;
+  int64_t memory_bytes_ = 0;
+};
+
+// --- Delta store -------------------------------------------------------
+// Uncompressed staging area for trickle inserts (paper §3.1). Rows live in
+// a B+-tree keyed by row id until the store is closed (reaches row-group
+// size) and the tuple mover converts it into a compressed row group.
+class DeltaStore {
+ public:
+  DeltaStore(const Schema* schema, int64_t id)
+      : schema_(schema), id_(id) {}
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(DeltaStore);
+
+  int64_t id() const { return id_; }
+  bool closed() const { return closed_; }
+  void Close() { closed_ = true; }
+
+  Status Insert(uint64_t rowid, const std::vector<Value>& row);
+  // Returns false if the rowid is not present.
+  bool Delete(uint64_t rowid);
+  bool Contains(uint64_t rowid) const { return tree_.Find(rowid) != nullptr; }
+  Status Get(uint64_t rowid, std::vector<Value>* row) const;
+
+  int64_t num_rows() const { return tree_.size(); }
+  int64_t MemoryBytes() const { return tree_.MemoryBytes(); }
+  uint64_t min_rowid() const { return min_rowid_; }
+  uint64_t max_rowid() const { return max_rowid_; }
+
+  // Ordered iteration; `fn(rowid, row)` is called for each live row.
+  template <typename Fn>
+  Status ForEach(Fn fn) const {
+    std::vector<Value> row;
+    for (BPlusTree::Iterator it = tree_.Begin(); it.Valid(); it.Next()) {
+      VSTORE_RETURN_IF_ERROR(DecodeRow(*schema_, it.value(), &row));
+      fn(it.key(), row);
+    }
+    return Status::OK();
+  }
+
+  BPlusTree::Iterator Begin() const { return tree_.Begin(); }
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;  // owned by the table
+  int64_t id_;
+  bool closed_ = false;
+  BPlusTree tree_;
+  uint64_t min_rowid_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_rowid_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_DELTA_STORE_H_

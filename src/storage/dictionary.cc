@@ -1,0 +1,61 @@
+#include "storage/dictionary.h"
+
+#include "storage/lzss.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vstore {
+
+std::string_view StringDictionary::Intern(std::string_view value) {
+  if (value.empty()) return std::string_view();
+  if (chunk_used_ + value.size() > chunk_cap_) {
+    size_t cap = std::max(kChunkSize, value.size());
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, value.data(), value.size());
+  chunk_used_ += value.size();
+  heap_bytes_ += static_cast<int64_t>(value.size());
+  return std::string_view(dst, value.size());
+}
+
+int64_t StringDictionary::GetOrInsert(std::string_view value,
+                                      int64_t capacity_limit) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  if (size() >= capacity_limit) return -1;
+  std::string_view stable = Intern(value);
+  int64_t code = size();
+  slots_.push_back(stable);
+  index_.emplace(stable, code);
+  return code;
+}
+
+int64_t StringDictionary::Find(std::string_view value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int64_t StringDictionary::ArchivedBytes() const {
+  if (archived_at_size_ == size() && archived_bytes_ >= 0) {
+    return archived_bytes_;
+  }
+  // Serialize lengths + payloads and compress.
+  std::vector<uint8_t> plain;
+  plain.reserve(static_cast<size_t>(heap_bytes_) + slots_.size() * 4);
+  for (const std::string_view& s : slots_) {
+    uint32_t len = static_cast<uint32_t>(s.size());
+    const uint8_t* lp = reinterpret_cast<const uint8_t*>(&len);
+    plain.insert(plain.end(), lp, lp + sizeof(len));
+    plain.insert(plain.end(), s.begin(), s.end());
+  }
+  archived_bytes_ = static_cast<int64_t>(
+      Lzss::Compress(plain.data(), plain.size()).size());
+  archived_at_size_ = size();
+  return archived_bytes_;
+}
+
+}  // namespace vstore

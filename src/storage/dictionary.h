@@ -1,0 +1,81 @@
+#ifndef VSTORE_STORAGE_DICTIONARY_H_
+#define VSTORE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+// Dictionary of distinct string values with stable integer codes.
+//
+// Mirrors the paper's two-level scheme: each string column of a column
+// store has one *primary* (global) dictionary shared by all row groups,
+// holding values up to a size cap, plus per-row-group *local* dictionaries
+// for values that arrive after the primary fills up. A segment's code c
+// resolves to primary[c] when c < primary_size, else local[c - primary_size].
+//
+// Payload storage is chunked so string_views handed out by Get() remain
+// valid across later inserts. Concurrent reads are safe only against a
+// quiescent dictionary; the column store serializes DML against scans.
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(StringDictionary);
+
+  // Returns the code for `value`, inserting it if absent. Returns -1 if
+  // inserting would exceed `capacity_limit` entries (caller falls back to a
+  // local dictionary).
+  int64_t GetOrInsert(std::string_view value, int64_t capacity_limit);
+
+  // Returns the code for `value` or -1 if absent. Used to map equality
+  // predicates onto encoded data without decoding.
+  int64_t Find(std::string_view value) const;
+
+  std::string_view Get(int64_t code) const {
+    VSTORE_DCHECK(code >= 0 && code < size());
+    return slots_[static_cast<size_t>(code)];
+  }
+
+  int64_t size() const { return static_cast<int64_t>(slots_.size()); }
+
+  // Bytes used by payloads plus per-entry overhead — the dictionary's
+  // contribution to a column's compressed size.
+  int64_t MemoryBytes() const {
+    return heap_bytes_ +
+           static_cast<int64_t>(slots_.size() * sizeof(std::string_view));
+  }
+
+  // On-disk size under archival compression: the payload heap (with entry
+  // lengths) run through the LZSS codec. Dictionaries stay resident in
+  // plain form for reads — this models the stored representation the
+  // paper's COLUMNSTORE_ARCHIVE compresses. Cached; recomputed after
+  // inserts.
+  int64_t ArchivedBytes() const;
+
+ private:
+  static constexpr size_t kChunkSize = 256 * 1024;
+
+  // Copies `value` into chunked stable storage.
+  std::string_view Intern(std::string_view value);
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = 0;   // bytes used in the last chunk
+  size_t chunk_cap_ = 0;    // capacity of the last chunk
+  int64_t heap_bytes_ = 0;  // total payload bytes
+
+  std::vector<std::string_view> slots_;  // code -> stable payload view
+  std::unordered_map<std::string_view, int64_t> index_;
+
+  mutable int64_t archived_bytes_ = -1;   // cache; -1 = stale
+  mutable int64_t archived_at_size_ = -1;  // dictionary size when cached
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_DICTIONARY_H_

@@ -1,0 +1,169 @@
+#include "storage/lzss.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vstore {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxDistance = 65535;
+constexpr int kHashBits = 16;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+
+inline uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutCount(std::vector<uint8_t>* out, size_t count) {
+  while (count >= 255) {
+    out->push_back(255);
+    count -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(count));
+}
+
+// Emits one token: `lit_len` literals from `lit_start`, then a match of
+// `match_len` at `distance` (match_len == 0 means literals only, used for
+// the final token).
+void EmitToken(std::vector<uint8_t>* out, const uint8_t* lit_start,
+               size_t lit_len, size_t match_len, size_t distance) {
+  uint8_t lit_nibble = static_cast<uint8_t>(std::min<size_t>(lit_len, 15));
+  size_t match_extra = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+  uint8_t match_nibble = static_cast<uint8_t>(
+      match_len == 0 ? 0 : std::min<size_t>(match_extra + 1, 15));
+  out->push_back(static_cast<uint8_t>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutCount(out, lit_len - 15);
+  out->insert(out->end(), lit_start, lit_start + lit_len);
+  if (match_len == 0) return;
+  out->push_back(static_cast<uint8_t>(distance & 0xFF));
+  out->push_back(static_cast<uint8_t>(distance >> 8));
+  if (match_nibble == 15) PutCount(out, match_extra + 1 - 15);
+}
+
+}  // namespace
+
+std::vector<uint8_t> Lzss::Compress(const uint8_t* data, size_t len) {
+  std::vector<uint8_t> out;
+  out.reserve(len / 2 + 16);
+  if (len < kMinMatch + 4) {
+    EmitToken(&out, data, len, 0, 0);
+    return out;
+  }
+
+  // head[h] = most recent position with hash h; prev chains older ones.
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(len, -1);
+
+  const size_t last_hashable = len - 4;
+  size_t anchor = 0;  // start of pending literal run
+  size_t pos = 0;
+  while (pos <= last_hashable) {
+    uint32_t h = HashAt(data + pos);
+    int64_t candidate = head[h];
+    prev[pos] = candidate;
+    head[h] = static_cast<int64_t>(pos);
+
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int chain = 32;  // bounded chain walk keeps compression O(n)
+    while (candidate >= 0 && chain-- > 0) {
+      size_t dist = pos - static_cast<size_t>(candidate);
+      if (dist > kMaxDistance) break;
+      const uint8_t* a = data + pos;
+      const uint8_t* b = data + candidate;
+      size_t limit = len - pos;
+      size_t match = 0;
+      while (match < limit && a[match] == b[match]) ++match;
+      if (match > best_len) {
+        best_len = match;
+        best_dist = dist;
+      }
+      candidate = prev[static_cast<size_t>(candidate)];
+    }
+
+    if (best_len >= kMinMatch) {
+      EmitToken(&out, data + anchor, pos - anchor, best_len, best_dist);
+      // Insert hash entries inside the match so later data can reference it.
+      size_t end = pos + best_len;
+      for (size_t i = pos + 1; i < end && i <= last_hashable; ++i) {
+        uint32_t hh = HashAt(data + i);
+        prev[i] = head[hh];
+        head[hh] = static_cast<int64_t>(i);
+      }
+      pos = end;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  EmitToken(&out, data + anchor, len - anchor, 0, 0);
+  return out;
+}
+
+namespace {
+
+// Reads a 255-saturated extension count; returns false on truncation.
+bool GetCount(const uint8_t*& p, const uint8_t* end, size_t* count) {
+  for (;;) {
+    if (p >= end) return false;
+    uint8_t b = *p++;
+    *count += b;
+    if (b != 255) return true;
+  }
+}
+
+}  // namespace
+
+Status Lzss::Decompress(const uint8_t* data, size_t len, uint8_t* out,
+                        size_t out_len) {
+  const uint8_t* p = data;
+  const uint8_t* end = data + len;
+  uint8_t* dst = out;
+  uint8_t* dst_end = out + out_len;
+
+  while (p < end) {
+    uint8_t token = *p++;
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !GetCount(p, end, &lit_len)) {
+      return Status::Internal("lzss: truncated literal count");
+    }
+    if (p + lit_len > end || dst + lit_len > dst_end) {
+      return Status::Internal("lzss: literal overrun");
+    }
+    std::memcpy(dst, p, lit_len);
+    p += lit_len;
+    dst += lit_len;
+
+    size_t match_code = token & 0x0F;
+    if (match_code == 0) continue;  // literals-only token
+    if (p + 2 > end) return Status::Internal("lzss: truncated match");
+    size_t distance = static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    size_t match_len = match_code - 1;
+    if (match_code == 15 && !GetCount(p, end, &match_len)) {
+      return Status::Internal("lzss: truncated match count");
+    }
+    match_len += kMinMatch;
+    if (distance == 0 || static_cast<size_t>(dst - out) < distance) {
+      return Status::Internal("lzss: bad match distance");
+    }
+    if (dst + match_len > dst_end) {
+      return Status::Internal("lzss: match overrun");
+    }
+    // Byte-by-byte copy: overlapping matches (distance < length) are legal
+    // and encode runs.
+    const uint8_t* src = dst - distance;
+    for (size_t i = 0; i < match_len; ++i) dst[i] = src[i];
+    dst += match_len;
+  }
+  if (dst != dst_end) {
+    return Status::Internal("lzss: output length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace vstore

@@ -1,0 +1,32 @@
+#ifndef VSTORE_STORAGE_LZSS_H_
+#define VSTORE_STORAGE_LZSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vstore {
+
+// LZSS-style byte-oriented compressor standing in for the XPRESS8 codec the
+// paper uses for archival compression (COLUMNSTORE_ARCHIVE). LZ77 family:
+// a hash-chain match finder over a 64 KiB window emits (distance, length)
+// copies or literal runs, with a greedy-lazy parse. No entropy stage —
+// like XPRESS raw, speed is favoured over ratio.
+//
+// Format: a stream of tokens. Token byte = (literal_count << 4) | match_code.
+// Counts >= 15 continue with 255-saturated extension bytes (LZ4-like).
+// Matches are 2-byte little-endian distances, minimum match length 4.
+class Lzss {
+ public:
+  static std::vector<uint8_t> Compress(const uint8_t* data, size_t len);
+
+  // Decompresses into `out` which must be sized to the original length
+  // (stored externally by the segment). Returns an error on corruption.
+  static Status Decompress(const uint8_t* data, size_t len, uint8_t* out,
+                           size_t out_len);
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_LZSS_H_

@@ -1,0 +1,108 @@
+#include "storage/reorder.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace vstore {
+
+namespace {
+
+// Approximate distinct count from a sample of the slice.
+int64_t SampleDistinct(const ColumnData& col, int64_t begin, int64_t end) {
+  const int64_t n = end - begin;
+  const int64_t sample = std::min<int64_t>(n, 16384);
+  const int64_t stride = std::max<int64_t>(1, n / sample);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(sample));
+  for (int64_t i = begin; i < end; i += stride) {
+    uint64_t h;
+    if (col.IsNull(i)) {
+      h = 0;
+    } else {
+      switch (PhysicalTypeOf(col.type())) {
+        case PhysicalType::kInt64:
+          h = HashInt64(static_cast<uint64_t>(col.GetInt64(i))) | 1;
+          break;
+        case PhysicalType::kDouble:
+          h = HashInt64(static_cast<uint64_t>(col.GetDouble(i) * 1e6)) | 1;
+          break;
+        case PhysicalType::kString:
+          h = Hash64(col.GetString(i)) | 1;
+          break;
+        default:
+          h = 1;
+      }
+    }
+    seen.insert(h);
+  }
+  // Scale the sampled distinct count back up, capped at n.
+  int64_t scaled = static_cast<int64_t>(seen.size()) * stride;
+  return std::min(scaled, n);
+}
+
+// Three-way comparison of two rows on one column; nulls sort first.
+int CompareRows(const ColumnData& col, int64_t a, int64_t b) {
+  bool na = col.IsNull(a), nb = col.IsNull(b);
+  if (na || nb) return static_cast<int>(nb) - static_cast<int>(na);
+  switch (PhysicalTypeOf(col.type())) {
+    case PhysicalType::kInt64: {
+      int64_t va = col.GetInt64(a), vb = col.GetInt64(b);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case PhysicalType::kDouble: {
+      double va = col.GetDouble(a), vb = col.GetDouble(b);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case PhysicalType::kString: {
+      return col.GetString(a).compare(col.GetString(b)) < 0
+                 ? -1
+                 : (col.GetString(a) == col.GetString(b) ? 0 : 1);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<int64_t> ChooseRowOrder(const TableData& data, int64_t begin,
+                                    int64_t end, int max_sort_columns) {
+  const int64_t n = end - begin;
+  if (n <= 1) return {};
+
+  // Rank columns by estimated cardinality; ignore near-unique columns —
+  // sorting on them shuffles without creating runs elsewhere.
+  struct Candidate {
+    int column;
+    int64_t distinct;
+  };
+  std::vector<Candidate> candidates;
+  for (int c = 0; c < data.num_columns(); ++c) {
+    int64_t d = SampleDistinct(data.column(c), begin, end);
+    if (d <= n / 4) candidates.push_back({c, d});
+  }
+  if (candidates.empty()) return {};
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.distinct < b.distinct;
+            });
+  if (static_cast<int>(candidates.size()) > max_sort_columns) {
+    candidates.resize(static_cast<size_t>(max_sort_columns));
+  }
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = begin + i;
+
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (const Candidate& cand : candidates) {
+      int cmp = CompareRows(data.column(cand.column), a, b);
+      if (cmp != 0) return cmp < 0;
+    }
+    return a < b;  // stable tiebreak keeps the sort deterministic
+  });
+  return order;
+}
+
+}  // namespace vstore

@@ -1,0 +1,25 @@
+#ifndef VSTORE_STORAGE_REORDER_H_
+#define VSTORE_STORAGE_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "types/table_data.h"
+
+namespace vstore {
+
+// Row-reordering optimization (paper §4.2, the VertiPaq-style step): within
+// a row group, rows may be stored in any order, so we pick one that
+// maximizes run lengths for RLE. Greedy heuristic: sort rows
+// lexicographically by columns in ascending distinct-count order, so the
+// lowest-cardinality columns form the longest runs.
+//
+// Returns a permutation of absolute row indices [begin, end) giving the
+// storage order, or an empty vector when no reordering is beneficial
+// (e.g. all columns near-unique).
+std::vector<int64_t> ChooseRowOrder(const TableData& data, int64_t begin,
+                                    int64_t end, int max_sort_columns = 4);
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_REORDER_H_

@@ -1,0 +1,55 @@
+#ifndef VSTORE_STORAGE_RLE_H_
+#define VSTORE_STORAGE_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vstore {
+
+// Run-length encoding of a code stream, stored as two bit-packed arrays:
+// run values and run lengths (the paper's RLE stage, applied when the
+// column has long runs — typically after row reordering).
+struct RleEncoded {
+  std::vector<uint8_t> values;   // bit-packed run values
+  std::vector<uint8_t> lengths;  // bit-packed run lengths
+  int64_t num_runs = 0;
+  int64_t num_rows = 0;
+  int value_bits = 0;
+  int length_bits = 0;
+  // In-memory acceleration only (derivable from lengths, not part of the
+  // stored format): run_starts[r] is the first row of run r, enabling
+  // O(log runs) positioning for batched scans. Rebuild with
+  // RleCodec::BuildIndex after deserializing/decompressing `lengths`.
+  std::vector<int64_t> run_starts;
+
+  // Stored size; excludes the derived run index.
+  int64_t TotalBytes() const {
+    return static_cast<int64_t>(values.size() + lengths.size());
+  }
+};
+
+class RleCodec {
+ public:
+  // Counts the runs in codes[0, n) without encoding — used by the encoding
+  // chooser to estimate RLE size cheaply.
+  static int64_t CountRuns(const uint64_t* codes, int64_t n);
+
+  // Estimated encoded bytes given run count and the maximum code value.
+  static int64_t EstimateBytes(int64_t num_runs, int64_t n, uint64_t max_code);
+
+  static RleEncoded Encode(const uint64_t* codes, int64_t n);
+
+  // Recomputes run_starts from the packed lengths.
+  static void BuildIndex(RleEncoded* enc);
+
+  // Decodes rows [start, start+count) into out.
+  static void Decode(const RleEncoded& enc, int64_t start, int64_t count,
+                     uint64_t* out);
+
+  // Full decode convenience.
+  static std::vector<uint64_t> DecodeAll(const RleEncoded& enc);
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_RLE_H_

@@ -1,0 +1,60 @@
+#include "storage/row_group.h"
+
+#include "storage/reorder.h"
+
+namespace vstore {
+
+int64_t RowGroup::EncodedBytes() const {
+  int64_t total = 0;
+  for (const auto& seg : columns_) total += seg->EncodedBytes();
+  return total;
+}
+
+int64_t RowGroup::ArchivedBytes() const {
+  int64_t total = 0;
+  for (const auto& seg : columns_) total += seg->ArchivedBytes();
+  return total;
+}
+
+Status RowGroup::Archive() {
+  for (auto& seg : columns_) {
+    VSTORE_RETURN_IF_ERROR(seg->Archive());
+  }
+  return Status::OK();
+}
+
+void RowGroup::Evict() const {
+  for (const auto& seg : columns_) seg->Evict();
+}
+
+std::unique_ptr<RowGroup> RowGroupBuilder::Build(
+    const TableData& data, int64_t begin, int64_t end, int64_t id,
+    const std::vector<std::shared_ptr<StringDictionary>>& primary_dicts,
+    const Options& options) {
+  VSTORE_CHECK(static_cast<int>(primary_dicts.size()) == data.num_columns());
+  auto group = std::unique_ptr<RowGroup>(new RowGroup());
+  group->id_ = id;
+  group->num_rows_ = end - begin;
+
+  std::vector<int64_t> order;
+  if (options.optimize_row_order) {
+    order = ChooseRowOrder(data, begin, end);
+  }
+  const int64_t* order_ptr = order.empty() ? nullptr : order.data();
+
+  SegmentBuilder::Options seg_options;
+  seg_options.primary_dict_capacity = options.primary_dict_capacity;
+
+  group->columns_.reserve(static_cast<size_t>(data.num_columns()));
+  for (int c = 0; c < data.num_columns(); ++c) {
+    auto segment =
+        SegmentBuilder::Build(data.column(c), begin, end, order_ptr,
+                              primary_dicts[static_cast<size_t>(c)],
+                              seg_options);
+    if (options.archival) segment->Archive().CheckOK();
+    group->columns_.push_back(std::move(segment));
+  }
+  return group;
+}
+
+}  // namespace vstore

@@ -1,0 +1,67 @@
+#ifndef VSTORE_STORAGE_ROW_GROUP_H_
+#define VSTORE_STORAGE_ROW_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/segment.h"
+#include "types/schema.h"
+#include "types/table_data.h"
+
+namespace vstore {
+
+// A horizontal partition of roughly one million rows, stored as one
+// ColumnSegment per column (paper §2). Immutable once built; deletions are
+// recorded in the table's delete bitmap, never here.
+class RowGroup {
+ public:
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(RowGroup);
+
+  int64_t id() const { return id_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnSegment& column(int i) const {
+    return *columns_[static_cast<size_t>(i)];
+  }
+
+  // Sum of segment sizes (excluding shared primary dictionaries).
+  int64_t EncodedBytes() const;
+  int64_t ArchivedBytes() const;
+
+  Status Archive();
+  void Evict() const;
+
+ private:
+  friend class RowGroupBuilder;
+  RowGroup() = default;
+
+  int64_t id_ = 0;
+  int64_t num_rows_ = 0;
+  std::vector<std::unique_ptr<ColumnSegment>> columns_;
+};
+
+class RowGroupBuilder {
+ public:
+  struct Options {
+    int64_t primary_dict_capacity = 1 << 20;
+    // Apply the row-reordering compression optimization (DESIGN.md E8).
+    bool optimize_row_order = false;
+    // Archival-compress segments immediately after building.
+    bool archival = false;
+  };
+
+  // Encodes rows [begin, end) of `data`. `primary_dicts` has one entry per
+  // column (null for non-string columns) and is shared across row groups.
+  static std::unique_ptr<RowGroup> Build(
+      const TableData& data, int64_t begin, int64_t end, int64_t id,
+      const std::vector<std::shared_ptr<StringDictionary>>& primary_dicts,
+      const Options& options);
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_ROW_GROUP_H_

@@ -1,0 +1,54 @@
+#ifndef VSTORE_STORAGE_ROW_STORE_H_
+#define VSTORE_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/table_data.h"
+#include "types/value.h"
+
+namespace vstore {
+
+// Row-oriented baseline table: rows serialized back to back in an
+// append-only log. Plays the role SQL Server's B-tree/heap row store plays
+// in the paper — the thing the column store is compared against, and the
+// storage behind row-mode plans.
+class RowStoreTable {
+ public:
+  RowStoreTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(RowStoreTable);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return static_cast<int64_t>(offsets_.size()); }
+
+  Status Insert(const std::vector<Value>& row);
+  Status Append(const TableData& data);
+
+  Status GetRow(int64_t i, std::vector<Value>* row) const;
+
+  // Bytes of serialized row payloads — the "uncompressed" size used as the
+  // numerator of compression ratios (DESIGN.md E1).
+  int64_t UncompressedBytes() const { return static_cast<int64_t>(log_.size()); }
+
+  // Size of this table under a PAGE-compression-style scheme: per page of
+  // rows, per-column dictionaries of the page's distinct values plus
+  // minimal-width codes. Models SQL Server's PAGE compression baseline;
+  // computed analytically without rewriting storage.
+  int64_t PageCompressedBytes(int rows_per_page = 128) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::string log_;                // serialized rows, concatenated
+  std::vector<uint64_t> offsets_;  // start of each row; end = next offset
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_ROW_STORE_H_

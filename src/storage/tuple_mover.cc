@@ -1,0 +1,49 @@
+#include "storage/tuple_mover.h"
+
+namespace vstore {
+
+Result<int64_t> TupleMover::RunOnce() {
+  VSTORE_ASSIGN_OR_RETURN(
+      int64_t moved, table_->CompressDeltaStores(options_.include_open_stores));
+  if (options_.rebuild_deleted_fraction > 0) {
+    VSTORE_ASSIGN_OR_RETURN(
+        int64_t rebuilt,
+        table_->RemoveDeletedRows(options_.rebuild_deleted_fraction));
+    (void)rebuilt;
+  }
+  total_moved_.fetch_add(moved);
+  return moved;
+}
+
+void TupleMover::Start(std::chrono::milliseconds period) {
+  VSTORE_CHECK(!running_.load());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true);
+  worker_ = std::thread([this, period] { Loop(period); });
+}
+
+void TupleMover::Stop() {
+  if (!running_.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  worker_.join();
+  running_.store(false);
+}
+
+void TupleMover::Loop(std::chrono::milliseconds period) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    RunOnce().status().CheckOK();
+    lock.lock();
+    wake_.wait_for(lock, period, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace vstore

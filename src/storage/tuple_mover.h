@@ -1,0 +1,60 @@
+#ifndef VSTORE_STORAGE_TUPLE_MOVER_H_
+#define VSTORE_STORAGE_TUPLE_MOVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/column_store.h"
+
+namespace vstore {
+
+// Background reorganizer (paper §3.2): converts closed delta stores into
+// compressed row groups and rebuilds row groups with many deleted rows.
+// Can run on demand (RunOnce) or on a timer thread (Start/Stop).
+class TupleMover {
+ public:
+  struct Options {
+    // Also compress a non-empty open delta store (REORGANIZE ... FORCE).
+    bool include_open_stores = false;
+    // Rebuild row groups whose deleted fraction exceeds this; <= 0 disables.
+    double rebuild_deleted_fraction = 0.2;
+  };
+
+  explicit TupleMover(ColumnStoreTable* table)
+      : TupleMover(table, Options()) {}
+  TupleMover(ColumnStoreTable* table, Options options)
+      : table_(table), options_(options) {}
+  ~TupleMover() { Stop(); }
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(TupleMover);
+
+  // One reorganization pass. Returns the number of delta stores compressed.
+  Result<int64_t> RunOnce();
+
+  // Starts a background thread running RunOnce every `period`.
+  void Start(std::chrono::milliseconds period);
+  void Stop();
+  bool running() const { return running_.load(); }
+
+  int64_t total_stores_moved() const { return total_moved_.load(); }
+
+ private:
+  void Loop(std::chrono::milliseconds period);
+
+  ColumnStoreTable* table_;
+  Options options_;
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;
+  std::atomic<int64_t> total_moved_{0};
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_TUPLE_MOVER_H_

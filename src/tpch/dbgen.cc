@@ -1,0 +1,405 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace vstore {
+namespace tpch {
+
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+const char* kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                              "CAN", "DRUM"};
+const char* kWords[] = {
+    "furiously", "quickly",  "carefully", "express",  "pending",  "regular",
+    "ironic",    "special",  "silent",    "final",    "bold",     "even",
+    "deposits",  "requests", "accounts",  "packages", "theodolites",
+    "instructions", "foxes", "pinto",     "beans",    "dependencies",
+    "platelets", "sleep",    "haggle",    "nag",      "wake",     "cajole"};
+
+template <size_t N>
+const char* Pick(Random& rng, const char* (&arr)[N]) {
+  return arr[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(N) - 1))];
+}
+
+std::string Comment(Random& rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng.Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += Pick(rng, kWords);
+  }
+  return out;
+}
+
+std::string Phone(Random& rng, int nation) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d", 10 + nation,
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(100, 999)),
+                static_cast<int>(rng.Uniform(1000, 9999)));
+  return buf;
+}
+
+// Fixed-point money helper: dbgen uses cents internally.
+double Money(int64_t cents) { return static_cast<double>(cents) / 100.0; }
+
+Schema RegionSchema() {
+  return Schema({{"r_regionkey", DataType::kInt64, false},
+                 {"r_name", DataType::kString, false},
+                 {"r_comment", DataType::kString, true}});
+}
+Schema NationSchema() {
+  return Schema({{"n_nationkey", DataType::kInt64, false},
+                 {"n_name", DataType::kString, false},
+                 {"n_regionkey", DataType::kInt64, false},
+                 {"n_comment", DataType::kString, true}});
+}
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", DataType::kInt64, false},
+                 {"s_name", DataType::kString, false},
+                 {"s_address", DataType::kString, false},
+                 {"s_nationkey", DataType::kInt64, false},
+                 {"s_phone", DataType::kString, false},
+                 {"s_acctbal", DataType::kDouble, false},
+                 {"s_comment", DataType::kString, true}});
+}
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", DataType::kInt64, false},
+                 {"c_name", DataType::kString, false},
+                 {"c_address", DataType::kString, false},
+                 {"c_nationkey", DataType::kInt64, false},
+                 {"c_phone", DataType::kString, false},
+                 {"c_acctbal", DataType::kDouble, false},
+                 {"c_mktsegment", DataType::kString, false},
+                 {"c_comment", DataType::kString, true}});
+}
+Schema PartSchema() {
+  return Schema({{"p_partkey", DataType::kInt64, false},
+                 {"p_name", DataType::kString, false},
+                 {"p_mfgr", DataType::kString, false},
+                 {"p_brand", DataType::kString, false},
+                 {"p_type", DataType::kString, false},
+                 {"p_size", DataType::kInt64, false},
+                 {"p_container", DataType::kString, false},
+                 {"p_retailprice", DataType::kDouble, false},
+                 {"p_comment", DataType::kString, true}});
+}
+Schema PartsuppSchema() {
+  return Schema({{"ps_partkey", DataType::kInt64, false},
+                 {"ps_suppkey", DataType::kInt64, false},
+                 {"ps_availqty", DataType::kInt64, false},
+                 {"ps_supplycost", DataType::kDouble, false},
+                 {"ps_comment", DataType::kString, true}});
+}
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", DataType::kInt64, false},
+                 {"o_custkey", DataType::kInt64, false},
+                 {"o_orderstatus", DataType::kString, false},
+                 {"o_totalprice", DataType::kDouble, false},
+                 {"o_orderdate", DataType::kDate32, false},
+                 {"o_orderpriority", DataType::kString, false},
+                 {"o_clerk", DataType::kString, false},
+                 {"o_shippriority", DataType::kInt64, false},
+                 {"o_comment", DataType::kString, true}});
+}
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", DataType::kInt64, false},
+                 {"l_partkey", DataType::kInt64, false},
+                 {"l_suppkey", DataType::kInt64, false},
+                 {"l_linenumber", DataType::kInt64, false},
+                 {"l_quantity", DataType::kDouble, false},
+                 {"l_extendedprice", DataType::kDouble, false},
+                 {"l_discount", DataType::kDouble, false},
+                 {"l_tax", DataType::kDouble, false},
+                 {"l_returnflag", DataType::kString, false},
+                 {"l_linestatus", DataType::kString, false},
+                 {"l_shipdate", DataType::kDate32, false},
+                 {"l_commitdate", DataType::kDate32, false},
+                 {"l_receiptdate", DataType::kDate32, false},
+                 {"l_shipinstruct", DataType::kString, false},
+                 {"l_shipmode", DataType::kString, false},
+                 {"l_comment", DataType::kString, true}});
+}
+
+}  // namespace
+
+Schema SchemaOf(const std::string& table) {
+  if (table == "region") return RegionSchema();
+  if (table == "nation") return NationSchema();
+  if (table == "supplier") return SupplierSchema();
+  if (table == "customer") return CustomerSchema();
+  if (table == "part") return PartSchema();
+  if (table == "partsupp") return PartsuppSchema();
+  if (table == "orders") return OrdersSchema();
+  if (table == "lineitem") return LineitemSchema();
+  VSTORE_CHECK(false);
+  return Schema();
+}
+
+Tables Generate(double scale_factor, uint64_t seed) {
+  VSTORE_CHECK(scale_factor > 0);
+  Tables t;
+  const int64_t num_suppliers =
+      std::max<int64_t>(1, static_cast<int64_t>(10000 * scale_factor));
+  const int64_t num_customers =
+      std::max<int64_t>(1, static_cast<int64_t>(150000 * scale_factor));
+  const int64_t num_parts =
+      std::max<int64_t>(1, static_cast<int64_t>(200000 * scale_factor));
+  const int64_t num_orders =
+      std::max<int64_t>(1, static_cast<int64_t>(1500000 * scale_factor));
+
+  const int32_t kStartDate = DaysFromCivil(1992, 1, 1);
+  const int32_t kEndDate = DaysFromCivil(1998, 8, 2);
+  const int32_t kCurrentDate = DaysFromCivil(1995, 6, 17);
+
+  // region / nation.
+  t.region = TableData(RegionSchema());
+  {
+    Random rng(seed ^ 0x7265);
+    for (int64_t r = 0; r < 5; ++r) {
+      t.region.AppendRow({Value::Int64(r), Value::String(kRegionNames[r]),
+                          Value::String(Comment(rng, 3, 8))});
+    }
+  }
+  t.nation = TableData(NationSchema());
+  {
+    Random rng(seed ^ 0x6e61);
+    for (int64_t n = 0; n < 25; ++n) {
+      t.nation.AppendRow({Value::Int64(n), Value::String(kNations[n].name),
+                          Value::Int64(kNations[n].region),
+                          Value::String(Comment(rng, 3, 8))});
+    }
+  }
+
+  // supplier.
+  t.supplier = TableData(SupplierSchema());
+  {
+    Random rng(seed ^ 0x7375);
+    char buf[32];
+    for (int64_t s = 1; s <= num_suppliers; ++s) {
+      int nation = static_cast<int>(rng.Uniform(0, 24));
+      std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                    static_cast<long long>(s));
+      t.supplier.AppendRow(
+          {Value::Int64(s), Value::String(buf),
+           Value::String(Comment(rng, 2, 4)), Value::Int64(nation),
+           Value::String(Phone(rng, nation)),
+           Value::Double(Money(rng.Uniform(-99999, 999999))),
+           Value::String(Comment(rng, 5, 12))});
+    }
+  }
+
+  // customer.
+  t.customer = TableData(CustomerSchema());
+  {
+    Random rng(seed ^ 0x6375);
+    char buf[32];
+    for (int64_t c = 1; c <= num_customers; ++c) {
+      int nation = static_cast<int>(rng.Uniform(0, 24));
+      std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                    static_cast<long long>(c));
+      t.customer.AppendRow(
+          {Value::Int64(c), Value::String(buf),
+           Value::String(Comment(rng, 2, 4)), Value::Int64(nation),
+           Value::String(Phone(rng, nation)),
+           Value::Double(Money(rng.Uniform(-99999, 999999))),
+           Value::String(Pick(rng, kSegments)),
+           Value::String(Comment(rng, 5, 15))});
+    }
+  }
+
+  // part. Retail price formula follows the spec:
+  // 90000 + ((key/10) % 20001) + 100*(key % 1000), in cents.
+  t.part = TableData(PartSchema());
+  {
+    Random rng(seed ^ 0x7061);
+    char buf[48];
+    for (int64_t p = 1; p <= num_parts; ++p) {
+      std::snprintf(buf, sizeof(buf), "Brand#%d%d",
+                    static_cast<int>(rng.Uniform(1, 5)),
+                    static_cast<int>(rng.Uniform(1, 5)));
+      std::string brand = buf;
+      std::string type = std::string(Pick(rng, kTypes1)) + " " +
+                         Pick(rng, kTypes2) + " " + Pick(rng, kTypes3);
+      std::string container =
+          std::string(Pick(rng, kContainers1)) + " " + Pick(rng, kContainers2);
+      int64_t price_cents = 90000 + ((p / 10) % 20001) + 100 * (p % 1000);
+      std::snprintf(buf, sizeof(buf), "Manufacturer#%d",
+                    static_cast<int>(rng.Uniform(1, 5)));
+      std::string name = std::string(Pick(rng, kWords)) + " " +
+                         Pick(rng, kWords) + " " + Pick(rng, kWords);
+      t.part.AppendRow({Value::Int64(p), Value::String(name),
+                        Value::String(buf), Value::String(brand),
+                        Value::String(type),
+                        Value::Int64(rng.Uniform(1, 50)),
+                        Value::String(container),
+                        Value::Double(Money(price_cents)),
+                        Value::String(Comment(rng, 2, 6))});
+    }
+  }
+
+  // partsupp: 4 suppliers per part, spec's supplier spreading formula.
+  t.partsupp = TableData(PartsuppSchema());
+  {
+    Random rng(seed ^ 0x7073);
+    for (int64_t p = 1; p <= num_parts; ++p) {
+      for (int64_t i = 0; i < 4; ++i) {
+        int64_t s = 1 + (p + i * (num_suppliers / 4 +
+                                  (p - 1) / num_suppliers)) %
+                            num_suppliers;
+        t.partsupp.AppendRow({Value::Int64(p), Value::Int64(s),
+                              Value::Int64(rng.Uniform(1, 9999)),
+                              Value::Double(Money(rng.Uniform(100, 100000))),
+                              Value::String(Comment(rng, 4, 10))});
+      }
+    }
+  }
+
+  // orders + lineitem.
+  t.orders = TableData(OrdersSchema());
+  t.lineitem = TableData(LineitemSchema());
+  {
+    Random rng(seed ^ 0x6f72);
+    char buf[32];
+    // Part retail price lookup for extended price computation.
+    auto retail_cents = [](int64_t p) {
+      return 90000 + ((p / 10) % 20001) + 100 * (p % 1000);
+    };
+    for (int64_t o = 1; o <= num_orders; ++o) {
+      // Spec spaces order keys (only 1/4 of the key space is used).
+      int64_t orderkey = (o - 1) / 8 * 32 + (o - 1) % 8 + 1;
+      int64_t custkey = rng.Uniform(1, num_customers);
+      int32_t orderdate = static_cast<int32_t>(
+          rng.Uniform(kStartDate, kEndDate - 151));
+      int lines = static_cast<int>(rng.Uniform(1, 7));
+      int64_t total_cents = 0;
+      int filled = 0, open = 0;
+
+      for (int ln = 1; ln <= lines; ++ln) {
+        int64_t partkey = rng.Uniform(1, num_parts);
+        int64_t suppkey = rng.Uniform(1, num_suppliers);
+        int64_t quantity = rng.Uniform(1, 50);
+        int64_t discount = rng.Uniform(0, 10);  // percent
+        int64_t tax = rng.Uniform(0, 8);
+        int64_t ext_cents = quantity * retail_cents(partkey);
+        int32_t shipdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+        int32_t commitdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+        int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+
+        const char* returnflag;
+        if (receiptdate <= kCurrentDate) {
+          returnflag = rng.NextBool(0.5) ? "R" : "A";
+        } else {
+          returnflag = "N";
+        }
+        const char* linestatus = shipdate > kCurrentDate ? "O" : "F";
+        if (linestatus[0] == 'F') {
+          ++filled;
+        } else {
+          ++open;
+        }
+        total_cents += ext_cents * (100 - discount) * (100 + tax) / 10000;
+
+        t.lineitem.AppendRow(
+            {Value::Int64(orderkey), Value::Int64(partkey),
+             Value::Int64(suppkey), Value::Int64(ln),
+             Value::Double(static_cast<double>(quantity)),
+             Value::Double(Money(ext_cents)),
+             Value::Double(static_cast<double>(discount) / 100.0),
+             Value::Double(static_cast<double>(tax) / 100.0),
+             Value::String(returnflag), Value::String(linestatus),
+             Value::Date32(shipdate), Value::Date32(commitdate),
+             Value::Date32(receiptdate),
+             Value::String(Pick(rng, kInstructions)),
+             Value::String(Pick(rng, kShipModes)),
+             Value::String(Comment(rng, 2, 6))});
+      }
+
+      const char* status = open == 0 ? "F" : (filled == 0 ? "O" : "P");
+      std::snprintf(buf, sizeof(buf), "Clerk#%09lld",
+                    static_cast<long long>(rng.Uniform(
+                        1, std::max<int64_t>(1, num_orders / 1000))));
+      t.orders.AppendRow(
+          {Value::Int64(orderkey), Value::Int64(custkey),
+           Value::String(status), Value::Double(Money(total_cents)),
+           Value::Date32(orderdate), Value::String(Pick(rng, kPriorities)),
+           Value::String(buf), Value::Int64(0),
+           Value::String(Comment(rng, 4, 12))});
+    }
+  }
+  return t;
+}
+
+Status LoadIntoCatalog(Catalog* catalog, const Tables& tables,
+                       bool column_store, bool row_store,
+                       const ColumnStoreTable::Options& cs_options) {
+  struct Item {
+    const char* name;
+    const TableData* data;
+  };
+  const Item items[] = {
+      {"region", &tables.region},     {"nation", &tables.nation},
+      {"supplier", &tables.supplier}, {"customer", &tables.customer},
+      {"part", &tables.part},         {"partsupp", &tables.partsupp},
+      {"orders", &tables.orders},     {"lineitem", &tables.lineitem}};
+  for (const Item& item : items) {
+    if (column_store) {
+      auto table = std::make_unique<ColumnStoreTable>(
+          item.name, item.data->schema(), cs_options);
+      VSTORE_RETURN_IF_ERROR(table->BulkLoad(*item.data));
+      // Compress undersized load tails so every row is columnar (the
+      // equivalent of running REORGANIZE after a bulk load).
+      VSTORE_RETURN_IF_ERROR(table->CompressDeltaStores(true).status());
+      VSTORE_RETURN_IF_ERROR(catalog->AddColumnStore(std::move(table)));
+    }
+    if (row_store) {
+      auto table =
+          std::make_unique<RowStoreTable>(item.name, item.data->schema());
+      VSTORE_RETURN_IF_ERROR(table->Append(*item.data));
+      VSTORE_RETURN_IF_ERROR(catalog->AddRowStore(std::move(table)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpch
+}  // namespace vstore

@@ -1,0 +1,45 @@
+#ifndef VSTORE_TPCH_DBGEN_H_
+#define VSTORE_TPCH_DBGEN_H_
+
+#include <string>
+
+#include "query/catalog.h"
+#include "types/table_data.h"
+
+namespace vstore {
+namespace tpch {
+
+// From-scratch, deterministic equivalent of the TPC-H dbgen tool: all eight
+// tables with the benchmark's schema, key structure (orders->lineitem 1:N,
+// foreign keys into customer/part/supplier/nation/region), value ranges,
+// and the date/returnflag/linestatus correlation rules the queries rely on.
+// Text columns use a fixed vocabulary rather than dbgen's grammar — the
+// substitution is documented in DESIGN.md.
+struct Tables {
+  TableData region;
+  TableData nation;
+  TableData supplier;
+  TableData customer;
+  TableData part;
+  TableData partsupp;
+  TableData orders;
+  TableData lineitem;
+};
+
+// Row counts at scale factor 1 match the spec (6M lineitem, 1.5M orders...).
+Tables Generate(double scale_factor, uint64_t seed = 19940601);
+
+// The schema of one TPC-H table by name ("lineitem", "orders", ...).
+Schema SchemaOf(const std::string& table);
+
+// Registers every table in `catalog`. With `column_store` a column store
+// representation is bulk-loaded using `cs_options`; with `row_store` a row
+// store representation is appended. Either may be combined.
+Status LoadIntoCatalog(Catalog* catalog, const Tables& tables,
+                       bool column_store, bool row_store,
+                       const ColumnStoreTable::Options& cs_options);
+
+}  // namespace tpch
+}  // namespace vstore
+
+#endif  // VSTORE_TPCH_DBGEN_H_

@@ -1,0 +1,200 @@
+#include <cstdio>
+#include "tpch/queries.h"
+
+#include "common/macros.h"
+#include "types/data_type.h"
+
+namespace vstore {
+namespace tpch {
+
+namespace {
+
+Value DateLit(const std::string& iso) { return Value::Date(iso); }
+
+Value DatePlusDays(const std::string& iso, int days) {
+  return Value::Date32(ParseDate32(iso) + days);
+}
+
+Value DatePlusYears(const std::string& iso, int years) {
+  int32_t base = ParseDate32(iso);
+  // TPC-H interval '1 year' on the first of a month: 365/366-safe via civil
+  // math — re-parse with the year bumped.
+  int y, m, d;
+  VSTORE_CHECK(std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) == 3);
+  (void)base;
+  return Value::Date32(DaysFromCivil(y + years, m, d));
+}
+
+}  // namespace
+
+PlanPtr Q1(const Catalog& catalog, int delta_days) {
+  PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem");
+  const Schema& li = b.schema();
+  b.Filter(expr::Le(expr::Column(li, "l_shipdate"),
+                    expr::Lit(DatePlusDays("1998-12-01", -delta_days))));
+
+  ExprPtr ext = expr::Column(b.schema(), "l_extendedprice");
+  ExprPtr disc = expr::Column(b.schema(), "l_discount");
+  ExprPtr tax = expr::Column(b.schema(), "l_tax");
+  ExprPtr one = expr::Lit(Value::Double(1.0));
+  ExprPtr disc_price = expr::Mul(ext, expr::Sub(one, disc));
+  ExprPtr charge = expr::Mul(disc_price, expr::Add(one, tax));
+  b.Project({expr::Column(b.schema(), "l_returnflag"),
+             expr::Column(b.schema(), "l_linestatus"),
+             expr::Column(b.schema(), "l_quantity"), ext, disc_price, charge,
+             disc},
+            {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+             "disc_price", "charge", "l_discount"});
+
+  b.Aggregate({"l_returnflag", "l_linestatus"},
+              {{AggFn::kSum, "l_quantity", "sum_qty"},
+               {AggFn::kSum, "l_extendedprice", "sum_base_price"},
+               {AggFn::kSum, "disc_price", "sum_disc_price"},
+               {AggFn::kSum, "charge", "sum_charge"},
+               {AggFn::kAvg, "l_quantity", "avg_qty"},
+               {AggFn::kAvg, "l_extendedprice", "avg_price"},
+               {AggFn::kAvg, "l_discount", "avg_disc"},
+               {AggFn::kCountStar, "", "count_order"}});
+  b.OrderBy({{"l_returnflag", true}, {"l_linestatus", true}});
+  return b.Build();
+}
+
+PlanPtr Q3(const Catalog& catalog, const std::string& segment,
+           const std::string& date) {
+  // Build sides.
+  PlanBuilder orders = PlanBuilder::Scan(catalog, "orders");
+  orders.Filter(expr::Lt(expr::Column(orders.schema(), "o_orderdate"),
+                         expr::Lit(DateLit(date))));
+  PlanBuilder customer = PlanBuilder::Scan(catalog, "customer");
+  customer.Filter(expr::Eq(expr::Column(customer.schema(), "c_mktsegment"),
+                           expr::Lit(Value::String(segment))));
+
+  PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem");
+  b.Filter(expr::Gt(expr::Column(b.schema(), "l_shipdate"),
+                    expr::Lit(DateLit(date))));
+  b.Join(JoinType::kInner, orders.Build(), {"l_orderkey"}, {"o_orderkey"});
+  b.Join(JoinType::kInner, customer.Build(), {"o_custkey"}, {"c_custkey"});
+
+  ExprPtr revenue =
+      expr::Mul(expr::Column(b.schema(), "l_extendedprice"),
+                expr::Sub(expr::Lit(Value::Double(1.0)),
+                          expr::Column(b.schema(), "l_discount")));
+  b.Project({expr::Column(b.schema(), "l_orderkey"), revenue,
+             expr::Column(b.schema(), "o_orderdate"),
+             expr::Column(b.schema(), "o_shippriority")},
+            {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"});
+  b.Aggregate({"l_orderkey", "o_orderdate", "o_shippriority"},
+              {{AggFn::kSum, "revenue", "revenue"}});
+  b.OrderBy({{"revenue", false}, {"o_orderdate", true}}, 10);
+  return b.Build();
+}
+
+PlanPtr Q5(const Catalog& catalog, const std::string& region,
+           const std::string& date_lo) {
+  PlanBuilder orders = PlanBuilder::Scan(catalog, "orders");
+  orders.Filter(expr::And(
+      expr::Ge(expr::Column(orders.schema(), "o_orderdate"),
+               expr::Lit(DateLit(date_lo))),
+      expr::Lt(expr::Column(orders.schema(), "o_orderdate"),
+               expr::Lit(DatePlusYears(date_lo, 1)))));
+
+  PlanBuilder region_scan = PlanBuilder::Scan(catalog, "region");
+  region_scan.Filter(expr::Eq(expr::Column(region_scan.schema(), "r_name"),
+                              expr::Lit(Value::String(region))));
+  PlanBuilder nation = PlanBuilder::Scan(catalog, "nation");
+  nation.Join(JoinType::kInner, region_scan.Build(), {"n_regionkey"},
+              {"r_regionkey"});
+
+  PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem");
+  b.Join(JoinType::kInner, orders.Build(), {"l_orderkey"}, {"o_orderkey"});
+  b.Join(JoinType::kInner,
+         PlanBuilder::Scan(catalog, "customer").Build(), {"o_custkey"},
+         {"c_custkey"});
+  // The double key enforces TPC-H's "local supplier" condition
+  // (c_nationkey = s_nationkey) together with the FK join.
+  b.Join(JoinType::kInner,
+         PlanBuilder::Scan(catalog, "supplier").Build(),
+         {"l_suppkey", "c_nationkey"}, {"s_suppkey", "s_nationkey"});
+  b.Join(JoinType::kInner, nation.Build(), {"s_nationkey"}, {"n_nationkey"});
+
+  ExprPtr revenue =
+      expr::Mul(expr::Column(b.schema(), "l_extendedprice"),
+                expr::Sub(expr::Lit(Value::Double(1.0)),
+                          expr::Column(b.schema(), "l_discount")));
+  b.Project({expr::Column(b.schema(), "n_name"), revenue},
+            {"n_name", "revenue"});
+  b.Aggregate({"n_name"}, {{AggFn::kSum, "revenue", "revenue"}});
+  b.OrderBy({{"revenue", false}});
+  return b.Build();
+}
+
+PlanPtr Q6(const Catalog& catalog, const std::string& date_lo, double discount,
+           double quantity) {
+  PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem");
+  const Schema& li = b.schema();
+  // Epsilon-widened discount band keeps the BETWEEN inclusive under
+  // floating-point representation.
+  ExprPtr pred = expr::And(
+      expr::And(expr::Ge(expr::Column(li, "l_shipdate"),
+                         expr::Lit(DateLit(date_lo))),
+                expr::Lt(expr::Column(li, "l_shipdate"),
+                         expr::Lit(DatePlusYears(date_lo, 1)))),
+      expr::And(
+          expr::And(expr::Ge(expr::Column(li, "l_discount"),
+                             expr::Lit(Value::Double(discount - 0.0101))),
+                    expr::Le(expr::Column(li, "l_discount"),
+                             expr::Lit(Value::Double(discount + 0.0101)))),
+          expr::Lt(expr::Column(li, "l_quantity"),
+                   expr::Lit(Value::Double(quantity)))));
+  b.Filter(pred);
+  b.Project({expr::Mul(expr::Column(b.schema(), "l_extendedprice"),
+                       expr::Column(b.schema(), "l_discount"))},
+            {"revenue"});
+  b.Aggregate({}, {{AggFn::kSum, "revenue", "revenue"}});
+  return b.Build();
+}
+
+PlanPtr Q12(const Catalog& catalog, const std::vector<std::string>& modes,
+            const std::string& date_lo) {
+  PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem");
+  const Schema& li = b.schema();
+  std::vector<Value> mode_values;
+  for (const std::string& m : modes) mode_values.push_back(Value::String(m));
+  ExprPtr pred = expr::And(
+      expr::And(expr::In(expr::Column(li, "l_shipmode"),
+                         std::move(mode_values)),
+                expr::And(expr::Lt(expr::Column(li, "l_commitdate"),
+                                   expr::Column(li, "l_receiptdate")),
+                          expr::Lt(expr::Column(li, "l_shipdate"),
+                                   expr::Column(li, "l_commitdate")))),
+      expr::And(expr::Ge(expr::Column(li, "l_receiptdate"),
+                         expr::Lit(DateLit(date_lo))),
+                expr::Lt(expr::Column(li, "l_receiptdate"),
+                         expr::Lit(DatePlusYears(date_lo, 1)))));
+  b.Filter(pred);
+  b.Join(JoinType::kInner, PlanBuilder::Scan(catalog, "orders").Build(),
+         {"l_orderkey"}, {"o_orderkey"});
+
+  ExprPtr high = expr::Or(
+      expr::Eq(expr::Column(b.schema(), "o_orderpriority"),
+               expr::Lit(Value::String("1-URGENT"))),
+      expr::Eq(expr::Column(b.schema(), "o_orderpriority"),
+               expr::Lit(Value::String("2-HIGH"))));
+  b.Project({expr::Column(b.schema(), "l_shipmode"), high, expr::Not(high)},
+            {"l_shipmode", "is_high", "is_low"});
+  b.Aggregate({"l_shipmode"},
+              {{AggFn::kSum, "is_high", "high_line_count"},
+               {AggFn::kSum, "is_low", "low_line_count"}});
+  b.OrderBy({{"l_shipmode", true}});
+  return b.Build();
+}
+
+std::vector<NamedQuery> AllQueries(const Catalog& catalog) {
+  return {
+      {"Q1", Q1(catalog)},   {"Q3", Q3(catalog)}, {"Q5", Q5(catalog)},
+      {"Q6", Q6(catalog)},   {"Q12", Q12(catalog)},
+  };
+}
+
+}  // namespace tpch
+}  // namespace vstore

@@ -1,0 +1,48 @@
+#ifndef VSTORE_TPCH_QUERIES_H_
+#define VSTORE_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/logical_plan.h"
+
+namespace vstore {
+namespace tpch {
+
+// Logical plans for a representative slice of the TPC-H query suite —
+// the workload class the paper's evaluation uses (star-schema scans,
+// selective date ranges, multi-way joins, grouped aggregation).
+//
+// Each plan is built against table names registered by LoadIntoCatalog.
+
+// Q1: pricing summary report — scan + wide grouped aggregation.
+PlanPtr Q1(const Catalog& catalog, int delta_days = 90);
+
+// Q3: shipping priority — customer x orders x lineitem, Top-10 by revenue.
+PlanPtr Q3(const Catalog& catalog, const std::string& segment = "BUILDING",
+           const std::string& date = "1995-03-15");
+
+// Q5: local supplier volume — 6-way join, grouped by nation.
+PlanPtr Q5(const Catalog& catalog, const std::string& region = "ASIA",
+           const std::string& date_lo = "1994-01-01");
+
+// Q6: forecasting revenue change — highly selective scalar aggregation.
+PlanPtr Q6(const Catalog& catalog, const std::string& date_lo = "1994-01-01",
+           double discount = 0.06, double quantity = 24);
+
+// Q12: shipping modes and order priority — join + conditional counts.
+PlanPtr Q12(const Catalog& catalog,
+            const std::vector<std::string>& modes = {"MAIL", "SHIP"},
+            const std::string& date_lo = "1994-01-01");
+
+// All of the above, keyed by name, for benchmark sweeps.
+struct NamedQuery {
+  std::string name;
+  PlanPtr plan;
+};
+std::vector<NamedQuery> AllQueries(const Catalog& catalog);
+
+}  // namespace tpch
+}  // namespace vstore
+
+#endif  // VSTORE_TPCH_QUERIES_H_

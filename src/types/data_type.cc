@@ -1,0 +1,80 @@
+#include "types/data_type.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace vstore {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate32:
+      return "DATE32";
+  }
+  return "UNKNOWN";
+}
+
+bool IsNumeric(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kDate32:
+    case DataType::kBool:
+      return true;
+    case DataType::kString:
+      return false;
+  }
+  return false;
+}
+
+// Howard Hinnant's civil-days algorithm.
+int32_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int32_t>(era * 146097 + static_cast<int>(doe) - 719468);
+}
+
+std::string Date32ToString(int32_t days) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u",
+                static_cast<long long>(y + (m <= 2)), m, d);
+  return buf;
+}
+
+int32_t ParseDate32(const std::string& iso) {
+  int y, m, d;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+}  // namespace vstore

@@ -1,0 +1,55 @@
+#ifndef VSTORE_TYPES_DATA_TYPE_H_
+#define VSTORE_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vstore {
+
+// Logical column types supported by the engine.
+//
+// Physical representation during execution is deliberately narrow, matching
+// the paper's batch layout: BOOL/INT32/INT64/DATE32 all travel as int64
+// vectors, DOUBLE/DECIMAL as double vectors, STRING as string views backed
+// by segment or arena memory. Storage chooses a compact encoding per
+// segment regardless of logical width.
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  kDate32,  // days since 1970-01-01
+};
+
+// Physical families used by vectors and segments.
+enum class PhysicalType : uint8_t {
+  kInt64 = 0,
+  kDouble,
+  kString,
+};
+
+// Hot in every inner loop; inline.
+inline PhysicalType PhysicalTypeOf(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return PhysicalType::kDouble;
+    case DataType::kString:
+      return PhysicalType::kString;
+    default:
+      return PhysicalType::kInt64;
+  }
+}
+
+const char* DataTypeName(DataType type);
+bool IsNumeric(DataType type);
+
+// Parses/prints DATE32 values as ISO "YYYY-MM-DD". Proleptic Gregorian.
+int32_t DaysFromCivil(int year, int month, int day);
+std::string Date32ToString(int32_t days);
+// Returns INT32_MIN on parse failure.
+int32_t ParseDate32(const std::string& iso);
+
+}  // namespace vstore
+
+#endif  // VSTORE_TYPES_DATA_TYPE_H_

@@ -1,0 +1,43 @@
+#ifndef VSTORE_TYPES_SCHEMA_H_
+#define VSTORE_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace vstore {
+
+struct Field {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+};
+
+// Ordered list of named, typed columns. Immutable once constructed.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_columns() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Returns the index of the named column, or -1.
+  int IndexOf(const std::string& name) const;
+
+  // Schema containing only the given column indices, in order.
+  Schema Project(const std::vector<int>& indices) const;
+
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_TYPES_SCHEMA_H_

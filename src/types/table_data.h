@@ -1,0 +1,162 @@
+#ifndef VSTORE_TYPES_TABLE_DATA_H_
+#define VSTORE_TYPES_TABLE_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace vstore {
+
+// Uncompressed, column-oriented staging area for rows entering or leaving
+// the engine: bulk loads, query results, and the TPC-H generator all speak
+// TableData. Physical representation follows PhysicalTypeOf(): integers,
+// dates, and bools are widened to int64.
+class ColumnData {
+ public:
+  ColumnData() : type_(DataType::kInt64) {}
+  explicit ColumnData(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  int64_t size() const { return size_; }
+  bool has_nulls() const { return null_count_ > 0; }
+  int64_t null_count() const { return null_count_; }
+
+  void AppendInt64(int64_t v) {
+    VSTORE_DCHECK(PhysicalTypeOf(type_) == PhysicalType::kInt64);
+    ints_.push_back(v);
+    validity_.push_back(1);
+    ++size_;
+  }
+  void AppendDouble(double v) {
+    VSTORE_DCHECK(PhysicalTypeOf(type_) == PhysicalType::kDouble);
+    doubles_.push_back(v);
+    validity_.push_back(1);
+    ++size_;
+  }
+  void AppendString(std::string v) {
+    VSTORE_DCHECK(PhysicalTypeOf(type_) == PhysicalType::kString);
+    strings_.push_back(std::move(v));
+    validity_.push_back(1);
+    ++size_;
+  }
+  void AppendNull() {
+    switch (PhysicalTypeOf(type_)) {
+      case PhysicalType::kInt64:
+        ints_.push_back(0);
+        break;
+      case PhysicalType::kDouble:
+        doubles_.push_back(0);
+        break;
+      case PhysicalType::kString:
+        strings_.emplace_back();
+        break;
+    }
+    validity_.push_back(0);
+    ++null_count_;
+    ++size_;
+  }
+  void AppendValue(const Value& v) {
+    VSTORE_DCHECK(v.is_null() || v.type() == type_ ||
+                  PhysicalTypeOf(v.type()) == PhysicalTypeOf(type_));
+    if (v.is_null()) {
+      AppendNull();
+      return;
+    }
+    switch (PhysicalTypeOf(type_)) {
+      case PhysicalType::kInt64:
+        AppendInt64(v.int64());
+        break;
+      case PhysicalType::kDouble:
+        AppendDouble(v.dbl());
+        break;
+      case PhysicalType::kString:
+        AppendString(v.str());
+        break;
+    }
+  }
+
+  bool IsNull(int64_t i) const { return validity_[static_cast<size_t>(i)] == 0; }
+  int64_t GetInt64(int64_t i) const { return ints_[static_cast<size_t>(i)]; }
+  double GetDouble(int64_t i) const { return doubles_[static_cast<size_t>(i)]; }
+  const std::string& GetString(int64_t i) const {
+    return strings_[static_cast<size_t>(i)];
+  }
+
+  Value GetValue(int64_t i) const {
+    if (IsNull(i)) return Value::Null(type_);
+    switch (type_) {
+      case DataType::kBool:
+        return Value::Bool(GetInt64(i) != 0);
+      case DataType::kInt32:
+        return Value::Int32(static_cast<int32_t>(GetInt64(i)));
+      case DataType::kInt64:
+        return Value::Int64(GetInt64(i));
+      case DataType::kDate32:
+        return Value::Date32(static_cast<int32_t>(GetInt64(i)));
+      case DataType::kDouble:
+        return Value::Double(GetDouble(i));
+      case DataType::kString:
+        return Value::String(GetString(i));
+    }
+    return Value::Null(type_);
+  }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+ private:
+  DataType type_;
+  int64_t size_ = 0;
+  int64_t null_count_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> validity_;  // byte-per-row for cheap append
+};
+
+class TableData {
+ public:
+  TableData() = default;
+  explicit TableData(Schema schema) : schema_(std::move(schema)) {
+    columns_.reserve(static_cast<size_t>(schema_.num_columns()));
+    for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+  }
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  ColumnData& column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const ColumnData& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+
+  void AppendRow(const std::vector<Value>& row) {
+    VSTORE_DCHECK(static_cast<int>(row.size()) == num_columns());
+    for (size_t i = 0; i < row.size(); ++i) columns_[i].AppendValue(row[i]);
+  }
+
+  std::vector<Value> GetRow(int64_t i) const {
+    std::vector<Value> row;
+    row.reserve(columns_.size());
+    for (const auto& c : columns_) row.push_back(c.GetValue(i));
+    return row;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<ColumnData> columns_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_TYPES_TABLE_DATA_H_

@@ -1,0 +1,48 @@
+#include "types/value.h"
+
+#include <limits>
+
+namespace vstore {
+
+Value Value::Date(const std::string& iso) {
+  int32_t days = ParseDate32(iso);
+  VSTORE_CHECK(days != std::numeric_limits<int32_t>::min());
+  return Value::Date32(days);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  if (is_null_ || other.is_null_) return is_null_ == other.is_null_;
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt64:
+      return int64_ == other.int64_;
+    case PhysicalType::kDouble:
+      return double_ == other.double_;
+    case PhysicalType::kString:
+      return string_ == other.string_;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case DataType::kBool:
+      return int64_ ? "true" : "false";
+    case DataType::kInt32:
+    case DataType::kInt64:
+      return std::to_string(int64_);
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case DataType::kString:
+      return string_;
+    case DataType::kDate32:
+      return Date32ToString(static_cast<int32_t>(int64_));
+  }
+  return "?";
+}
+
+}  // namespace vstore

@@ -1,0 +1,87 @@
+#ifndef VSTORE_TYPES_VALUE_H_
+#define VSTORE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+#include "types/data_type.h"
+
+namespace vstore {
+
+// A single nullable scalar. Values appear at API boundaries (literals in
+// expressions, row ingestion, query results); inner loops operate on raw
+// vectors instead.
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), is_null_(true) {}
+
+  static Value Null(DataType type) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Bool(bool b) { return Value(DataType::kBool, b ? 1 : 0); }
+  static Value Int32(int32_t i) { return Value(DataType::kInt32, i); }
+  static Value Int64(int64_t i) { return Value(DataType::kInt64, i); }
+  static Value Date32(int32_t days) { return Value(DataType::kDate32, days); }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = DataType::kDouble;
+    v.is_null_ = false;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = DataType::kString;
+    v.is_null_ = false;
+    v.string_ = std::move(s);
+    return v;
+  }
+  // Parses "YYYY-MM-DD"; aborts on malformed input (test/ingest helper).
+  static Value Date(const std::string& iso);
+
+  DataType type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  int64_t int64() const {
+    VSTORE_DCHECK(!is_null_ && PhysicalTypeOf(type_) == PhysicalType::kInt64);
+    return int64_;
+  }
+  double dbl() const {
+    VSTORE_DCHECK(!is_null_ && type_ == DataType::kDouble);
+    return double_;
+  }
+  const std::string& str() const {
+    VSTORE_DCHECK(!is_null_ && type_ == DataType::kString);
+    return string_;
+  }
+
+  // Numeric view usable for any physical-int64 or double value.
+  double AsDouble() const {
+    VSTORE_DCHECK(!is_null_);
+    return type_ == DataType::kDouble ? double_
+                                      : static_cast<double>(int64_);
+  }
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  Value(DataType type, int64_t v) : type_(type), is_null_(false), int64_(v) {}
+
+  DataType type_;
+  bool is_null_;
+  int64_t int64_ = 0;
+  double double_ = 0;
+  std::string string_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_TYPES_VALUE_H_

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "exec/batch.h"
+#include "exec/operator.h"
+
+namespace vstore {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"a", DataType::kInt64, true},
+                 {"s", DataType::kString, true}});
+}
+
+TEST(ColumnVectorTest, TypedStorageAndValidity) {
+  ColumnVector v(DataType::kInt64, 10);
+  v.mutable_ints()[0] = 42;
+  v.mutable_validity()[1] = 0;
+  EXPECT_EQ(v.GetValue(0), Value::Int64(42));
+  EXPECT_TRUE(v.GetValue(1).is_null());
+}
+
+TEST(ColumnVectorTest, SetValueWithArena) {
+  Arena arena;
+  ColumnVector v(DataType::kString, 4);
+  v.SetValue(0, Value::String("hello"), &arena);
+  v.SetValue(1, Value::Null(DataType::kString), &arena);
+  EXPECT_EQ(v.GetValue(0), Value::String("hello"));
+  EXPECT_TRUE(v.GetValue(1).is_null());
+}
+
+TEST(ColumnVectorTest, ResetTypeWithinPhysicalFamily) {
+  ColumnVector v(DataType::kInt64, 4);
+  v.ResetType(DataType::kDate32);
+  EXPECT_EQ(v.type(), DataType::kDate32);
+  v.mutable_ints()[0] = 100;
+  EXPECT_EQ(v.GetValue(0), Value::Date32(100));
+}
+
+TEST(BatchTest, ActivateAndRecount) {
+  Batch batch(TwoColSchema(), 16);
+  batch.set_num_rows(5);
+  batch.ActivateAll();
+  EXPECT_EQ(batch.active_count(), 5);
+  batch.mutable_active()[2] = 0;
+  batch.RecountActive();
+  EXPECT_EQ(batch.active_count(), 4);
+}
+
+TEST(BatchTest, ResetClearsRowsAndArena) {
+  Batch batch(TwoColSchema(), 8);
+  batch.set_num_rows(3);
+  batch.ActivateAll();
+  batch.arena()->CopyString("payload");
+  batch.Reset();
+  EXPECT_EQ(batch.num_rows(), 0);
+  EXPECT_EQ(batch.active_count(), 0);
+  EXPECT_EQ(batch.arena()->bytes_allocated(), 0u);
+}
+
+TEST(BatchTest, GetActiveRowMaterializesValues) {
+  Batch batch(TwoColSchema(), 4);
+  batch.column(0).mutable_ints()[0] = 9;
+  batch.column(1).mutable_strings()[0] = "str";
+  batch.set_num_rows(1);
+  batch.ActivateAll();
+  std::vector<Value> row = batch.GetActiveRow(0);
+  EXPECT_EQ(row[0], Value::Int64(9));
+  EXPECT_EQ(row[1], Value::String("str"));
+}
+
+TEST(AppendActiveRowsTest, CompactsAndReanchorsStrings) {
+  Schema schema = TwoColSchema();
+  Batch src(schema, 8);
+  for (int i = 0; i < 6; ++i) {
+    src.column(0).mutable_ints()[i] = i;
+    std::string payload = "v" + std::to_string(i);
+    src.column(1).mutable_strings()[i] = src.arena()->CopyString(payload);
+  }
+  src.set_num_rows(6);
+  src.ActivateAll();
+  src.mutable_active()[1] = 0;
+  src.mutable_active()[4] = 0;
+  src.set_active_count(4);
+
+  Batch dst(schema, 8);
+  int64_t copied = AppendActiveRows(src, &dst);
+  EXPECT_EQ(copied, 4);
+  EXPECT_EQ(dst.num_rows(), 4);
+  EXPECT_EQ(dst.active_count(), 4);
+  EXPECT_EQ(dst.column(0).ints()[0], 0);
+  EXPECT_EQ(dst.column(0).ints()[1], 2);
+  EXPECT_EQ(dst.column(0).ints()[2], 3);
+  EXPECT_EQ(dst.column(0).ints()[3], 5);
+  // Source arena reuse must not corrupt dst strings.
+  src.Reset();
+  src.arena()->CopyString(std::string(1000, 'X'));
+  EXPECT_EQ(dst.column(1).strings()[3], "v5");
+}
+
+TEST(AppendActiveRowsTest, AppendsAfterExistingRows) {
+  Schema schema({{"a", DataType::kInt64, true}});
+  Batch src(schema, 4);
+  src.column(0).mutable_ints()[0] = 7;
+  src.set_num_rows(1);
+  src.ActivateAll();
+
+  Batch dst(schema, 8);
+  dst.column(0).mutable_ints()[0] = 1;
+  dst.set_num_rows(1);
+  dst.ActivateAll();
+
+  AppendActiveRows(src, &dst);
+  EXPECT_EQ(dst.num_rows(), 2);
+  EXPECT_EQ(dst.column(0).ints()[1], 7);
+  EXPECT_EQ(dst.active_count(), 2);
+}
+
+TEST(AppendActiveRowsTest, PreservesNulls) {
+  Schema schema({{"a", DataType::kInt64, true}});
+  Batch src(schema, 4);
+  src.column(0).mutable_ints()[0] = 1;
+  src.column(0).mutable_validity()[1] = 0;
+  src.set_num_rows(2);
+  src.ActivateAll();
+  Batch dst(schema, 4);
+  AppendActiveRows(src, &dst);
+  EXPECT_EQ(dst.column(0).validity()[0], 1);
+  EXPECT_EQ(dst.column(0).validity()[1], 0);
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/bit_pack.h"
+
+namespace vstore {
+namespace {
+
+TEST(BitPackTest, ZeroWidthEncodesNothing) {
+  std::vector<uint64_t> values(100, 0);
+  auto packed = BitPacker::Pack(values.data(), 100, 0);
+  EXPECT_TRUE(packed.empty());
+  std::vector<uint64_t> out(100, 7);
+  BitPacker::Unpack(packed.data(), 0, 0, 100, out.data());
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+}
+
+TEST(BitPackTest, SingleBitValues) {
+  std::vector<uint64_t> values = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  auto packed = BitPacker::Pack(values.data(),
+                                static_cast<int64_t>(values.size()), 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(BitPacker::Get(packed.data(), 1, static_cast<int64_t>(i)),
+              values[i]);
+  }
+}
+
+TEST(BitPackTest, RandomAccessMatchesSequential) {
+  Random rng(11);
+  std::vector<uint64_t> values(500);
+  for (auto& v : values) v = rng.Next() & 0x1FFF;  // 13 bits
+  auto packed = BitPacker::Pack(values.data(), 500, 13);
+  std::vector<uint64_t> out(500);
+  BitPacker::Unpack(packed.data(), 13, 0, 500, out.data());
+  EXPECT_EQ(out, values);
+  for (int64_t i = 0; i < 500; i += 17) {
+    EXPECT_EQ(BitPacker::Get(packed.data(), 13, i),
+              values[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(BitPackTest, PartialRangeUnpack) {
+  std::vector<uint64_t> values(100);
+  for (size_t i = 0; i < 100; ++i) values[i] = i;
+  auto packed = BitPacker::Pack(values.data(), 100, 7);
+  std::vector<uint64_t> out(10);
+  BitPacker::Unpack(packed.data(), 7, 45, 10, out.data());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], 45 + i);
+}
+
+TEST(BitPackTest, PackedBytesFormula) {
+  // 100 values * 13 bits = 1300 bits = 163 bytes, + 7 slack.
+  EXPECT_EQ(BitPacker::PackedBytes(100, 13), 163 + 7);
+  EXPECT_EQ(BitPacker::PackedBytes(100, 0), 0);
+}
+
+// Property sweep: roundtrip across every bit width.
+class BitPackWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackWidthTest, RoundTrip) {
+  const int width = GetParam();
+  Random rng(static_cast<uint64_t>(width) + 1);
+  const int64_t n = 257;  // crosses word boundaries at every width
+  std::vector<uint64_t> values(static_cast<size_t>(n));
+  uint64_t mask = width == 64 ? UINT64_MAX : ((uint64_t{1} << width) - 1);
+  for (auto& v : values) v = rng.Next() & mask;
+  // Force extremes into the mix.
+  values[0] = 0;
+  values[1] = mask;
+
+  auto packed = BitPacker::Pack(values.data(), n, width);
+  std::vector<uint64_t> out(static_cast<size_t>(n));
+  BitPacker::Unpack(packed.data(), width, 0, n, out.data());
+  EXPECT_EQ(out, values) << "width=" << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthTest,
+                         ::testing::Range(0, 65));
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "exec/bloom_filter.h"
+
+namespace vstore {
+namespace {
+
+TEST(BloomFilterTest, UninitializedPassesEverything) {
+  BloomFilter filter;
+  EXPECT_TRUE(filter.MayContain(123));
+  EXPECT_TRUE(filter.MayContain(0));
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(10000);
+  Random rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateBounded) {
+  BloomFilter filter(10000);
+  Random rng(2);
+  for (int i = 0; i < 10000; ++i) filter.Insert(HashInt64(rng.Next()));
+  // Probe with fresh keys from a disjoint stream.
+  Random probe_rng(999);
+  int64_t false_positives = 0;
+  const int64_t probes = 100000;
+  for (int64_t i = 0; i < probes; ++i) {
+    if (filter.MayContain(HashInt64(probe_rng.Next() | (1ull << 62)))) {
+      ++false_positives;
+    }
+  }
+  // Target ~1%; allow generous slack.
+  EXPECT_LT(false_positives, probes / 20);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsAfterInit) {
+  BloomFilter filter(100);
+  EXPECT_FALSE(filter.MayContain(HashInt64(42)));
+}
+
+TEST(BloomFilterTest, SizeScalesWithExpectedKeys) {
+  BloomFilter small(100);
+  BloomFilter large(1000000);
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes());
+}
+
+TEST(BloomFilterTest, TinyExpectedCountStillWorks) {
+  BloomFilter filter(1);
+  filter.Insert(HashInt64(7));
+  EXPECT_TRUE(filter.MayContain(HashInt64(7)));
+}
+
+}  // namespace
+}  // namespace vstore

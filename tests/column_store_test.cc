@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "storage/column_store.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+ColumnStoreTable::Options SmallGroups() {
+  ColumnStoreTable::Options options;
+  options.row_group_size = 1000;
+  options.min_compress_rows = 100;
+  return options;
+}
+
+std::vector<Value> SampleRow(int64_t id) {
+  return {Value::Int64(id), Value::Int64(id % 10),
+          Value::String(id % 2 == 0 ? "even" : "odd"),
+          Value::Double(static_cast<double>(id) / 4.0)};
+}
+
+TEST(ColumnStoreTest, BulkLoadSplitsIntoRowGroups) {
+  TableData data = testing_util::MakeTestTable(3500);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  // 3 full groups of 1000 + a 500-row tail (>= min_compress_rows).
+  EXPECT_EQ(table.num_row_groups(), 4);
+  EXPECT_EQ(table.num_delta_rows(), 0);
+  EXPECT_EQ(table.num_rows(), 3500);
+  EXPECT_EQ(table.row_group(3).num_rows(), 500);
+}
+
+TEST(ColumnStoreTest, SmallTailGoesToDeltaStore) {
+  TableData data = testing_util::MakeTestTable(1050);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  EXPECT_EQ(table.num_row_groups(), 1);
+  EXPECT_EQ(table.num_delta_rows(), 50);  // tail below the threshold
+  EXPECT_EQ(table.num_rows(), 1050);
+}
+
+TEST(ColumnStoreTest, SchemaMismatchRejected) {
+  Schema other({{"x", DataType::kInt64, false}});
+  TableData data(other);
+  ColumnStoreTable table("t", testing_util::MakeTestTable(1).schema(),
+                         SmallGroups());
+  EXPECT_TRUE(table.BulkLoad(data).IsInvalidArgument());
+}
+
+TEST(ColumnStoreTest, TrickleInsertAndGetRow) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  auto id_result = table.Insert(SampleRow(1));
+  ASSERT_TRUE(id_result.ok());
+  RowId id = id_result.value();
+  EXPECT_TRUE(IsDeltaRowId(id));
+  std::vector<Value> row;
+  ASSERT_TRUE(table.GetRow(id, &row).ok());
+  EXPECT_EQ(row, SampleRow(1));
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+TEST(ColumnStoreTest, DeltaStoreClosesWhenFull) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  for (int64_t i = 0; i < 2500; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  // 1000-row stores: two closed, one open with 500.
+  EXPECT_EQ(table.num_delta_stores(), 3);
+  EXPECT_TRUE(table.delta_store(0).closed());
+  EXPECT_TRUE(table.delta_store(1).closed());
+  EXPECT_FALSE(table.delta_store(2).closed());
+  EXPECT_EQ(table.num_rows(), 2500);
+}
+
+TEST(ColumnStoreTest, DeleteFromCompressedSetsBitmap) {
+  TableData data = testing_util::MakeTestTable(2000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  RowId id = MakeCompressedRowId(0, 5);
+  ASSERT_TRUE(table.Delete(id).ok());
+  EXPECT_EQ(table.num_deleted_rows(), 1);
+  EXPECT_EQ(table.num_rows(), 1999);
+  // Double delete fails.
+  EXPECT_TRUE(table.Delete(id).IsNotFound());
+  // Reading a deleted row fails.
+  std::vector<Value> row;
+  EXPECT_TRUE(table.GetRow(id, &row).IsNotFound());
+}
+
+TEST(ColumnStoreTest, DeleteFromDeltaRemovesRow) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  RowId id = table.Insert(SampleRow(7)).value();
+  ASSERT_TRUE(table.Delete(id).ok());
+  EXPECT_EQ(table.num_rows(), 0);
+  EXPECT_TRUE(table.Delete(id).IsNotFound());
+}
+
+TEST(ColumnStoreTest, DeleteOutOfRangeFails) {
+  TableData data = testing_util::MakeTestTable(100);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  EXPECT_TRUE(table.Delete(MakeCompressedRowId(99, 0)).IsNotFound());
+}
+
+TEST(ColumnStoreTest, UpdateIsDeletePlusInsert) {
+  TableData data = testing_util::MakeTestTable(1500);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  RowId old_id = MakeCompressedRowId(0, 10);
+  auto new_id = table.Update(old_id, SampleRow(9999));
+  ASSERT_TRUE(new_id.ok());
+  EXPECT_TRUE(IsDeltaRowId(new_id.value()));
+  EXPECT_EQ(table.num_rows(), 1500);  // count unchanged
+  EXPECT_EQ(table.num_deleted_rows(), 1);
+  std::vector<Value> row;
+  ASSERT_TRUE(table.GetRow(new_id.value(), &row).ok());
+  EXPECT_EQ(row[0].int64(), 9999);
+}
+
+TEST(ColumnStoreTest, GetRowFromCompressedGroup) {
+  TableData data = testing_util::MakeTestTable(1200);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  std::vector<Value> row;
+  ASSERT_TRUE(table.GetRow(MakeCompressedRowId(1, 50), &row).ok());
+  EXPECT_EQ(row[0].int64(), 1050);  // ids are sequential in the fixture
+}
+
+TEST(ColumnStoreTest, CompressDeltaStoresMovesClosedOnly) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  for (int64_t i = 0; i < 2500; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  auto moved = table.CompressDeltaStores(false);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 2);
+  EXPECT_EQ(table.num_row_groups(), 2);
+  EXPECT_EQ(table.num_delta_stores(), 1);  // open store remains
+  EXPECT_EQ(table.num_rows(), 2500);
+
+  // include_open sweeps the rest.
+  ASSERT_TRUE(table.CompressDeltaStores(true).ok());
+  EXPECT_EQ(table.num_delta_rows(), 0);
+  EXPECT_EQ(table.num_rows(), 2500);
+}
+
+TEST(ColumnStoreTest, RemoveDeletedRowsRebuildsGroups) {
+  TableData data = testing_util::MakeTestTable(1000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, i)).ok());
+  }
+  auto rebuilt = table.RemoveDeletedRows(0.1);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), 1);
+  EXPECT_EQ(table.num_deleted_rows(), 0);
+  EXPECT_EQ(table.num_rows(), 500);
+  EXPECT_EQ(table.row_group(0).num_rows(), 500);
+}
+
+TEST(ColumnStoreTest, RemoveDeletedRowsRespectsThreshold) {
+  TableData data = testing_util::MakeTestTable(1000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, 0)).ok());
+  auto rebuilt = table.RemoveDeletedRows(0.5);  // 0.1% < 50%
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), 0);
+  EXPECT_EQ(table.num_deleted_rows(), 1);
+}
+
+TEST(ColumnStoreTest, SizesBreakdown) {
+  TableData data = testing_util::MakeTestTable(2000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  auto sizes = table.Sizes();
+  EXPECT_GT(sizes.segment_bytes, 0);
+  EXPECT_GT(sizes.dictionary_bytes, 0);  // string column dictionary
+  EXPECT_EQ(sizes.archived_segment_bytes, 0);
+  EXPECT_GT(sizes.Total(), sizes.segment_bytes);
+}
+
+TEST(ColumnStoreTest, ArchiveShrinksAndStaysReadable) {
+  // Periodic data: the bit-packed code stream repeats byte-aligned, so the
+  // LZ stage finds long matches (random data would not shrink — archival
+  // trades CPU for size only where redundancy exists, as in the paper).
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  TableData data(schema);
+  for (int64_t i = 0; i < 20000; ++i) {
+    data.column(0).AppendInt64(i % 200);
+    data.column(1).AppendInt64(i % 8);
+    data.column(2).AppendString(i % 2 == 0 ? "even" : "odd");
+    data.column(3).AppendDouble(static_cast<double>(i % 50));
+  }
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  int64_t plain = table.Sizes().Total();
+  ASSERT_TRUE(table.Archive().ok());
+  auto sizes = table.Sizes();
+  EXPECT_GT(sizes.archived_segment_bytes, 0);
+  EXPECT_LT(sizes.TotalArchived(), plain);
+  table.EvictAll();
+  std::vector<Value> row;
+  ASSERT_TRUE(table.GetRow(MakeCompressedRowId(0, 3), &row).ok());
+  EXPECT_EQ(row[0].int64(), 3);
+}
+
+TEST(ColumnStoreTest, RowIdHelpers) {
+  RowId id = MakeCompressedRowId(5, 1234);
+  EXPECT_FALSE(IsDeltaRowId(id));
+  EXPECT_EQ(RowIdGroup(id), 5);
+  EXPECT_EQ(RowIdOffset(id), 1234);
+  RowId delta = MakeDeltaRowId(77);
+  EXPECT_TRUE(IsDeltaRowId(delta));
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "storage/delta_store.h"
+
+namespace vstore {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"name", DataType::kString, true},
+                 {"amount", DataType::kDouble, true},
+                 {"when", DataType::kDate32, true},
+                 {"flag", DataType::kBool, true}});
+}
+
+TEST(RowCodecTest, RoundTripAllTypes) {
+  Schema schema = TestSchema();
+  std::vector<Value> row = {Value::Int64(7), Value::String("abc"),
+                            Value::Double(1.25), Value::Date("1994-01-01"),
+                            Value::Bool(true)};
+  std::string encoded = EncodeRow(schema, row);
+  std::vector<Value> decoded;
+  ASSERT_TRUE(DecodeRow(schema, encoded, &decoded).ok());
+  EXPECT_EQ(decoded, row);
+}
+
+TEST(RowCodecTest, RoundTripNulls) {
+  Schema schema = TestSchema();
+  std::vector<Value> row = {Value::Int64(1), Value::Null(DataType::kString),
+                            Value::Null(DataType::kDouble),
+                            Value::Null(DataType::kDate32),
+                            Value::Null(DataType::kBool)};
+  std::vector<Value> decoded;
+  ASSERT_TRUE(DecodeRow(schema, EncodeRow(schema, row), &decoded).ok());
+  EXPECT_EQ(decoded, row);
+}
+
+TEST(RowCodecTest, EmptyString) {
+  Schema schema({{"s", DataType::kString, true}});
+  std::vector<Value> row = {Value::String("")};
+  std::vector<Value> decoded;
+  ASSERT_TRUE(DecodeRow(schema, EncodeRow(schema, row), &decoded).ok());
+  EXPECT_EQ(decoded[0].str(), "");
+  EXPECT_FALSE(decoded[0].is_null());
+}
+
+TEST(RowCodecTest, RejectsTruncation) {
+  Schema schema = TestSchema();
+  std::vector<Value> row = {Value::Int64(7), Value::String("abc"),
+                            Value::Double(1.0), Value::Date32(1),
+                            Value::Bool(false)};
+  std::string encoded = EncodeRow(schema, row);
+  std::vector<Value> decoded;
+  EXPECT_FALSE(
+      DecodeRow(schema, std::string_view(encoded).substr(0, 5), &decoded)
+          .ok());
+  EXPECT_FALSE(DecodeRow(schema, encoded + "x", &decoded).ok());
+}
+
+TEST(BPlusTreeTest, InsertFindErase) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(10, "ten"));
+  EXPECT_TRUE(tree.Insert(5, "five"));
+  EXPECT_FALSE(tree.Insert(10, "dup"));  // duplicate rejected
+  ASSERT_NE(tree.Find(10), nullptr);
+  EXPECT_EQ(*tree.Find(10), "ten");
+  EXPECT_EQ(tree.Find(7), nullptr);
+  EXPECT_TRUE(tree.Erase(10));
+  EXPECT_FALSE(tree.Erase(10));
+  EXPECT_EQ(tree.Find(10), nullptr);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(BPlusTreeTest, OrderedIteration) {
+  BPlusTree tree;
+  for (uint64_t k : {50, 10, 30, 20, 40}) {
+    tree.Insert(k, std::to_string(k));
+  }
+  std::vector<uint64_t> keys;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    keys.push_back(it.key());
+    EXPECT_EQ(it.value(), std::to_string(it.key()));
+  }
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(BPlusTreeTest, SplitsUnderSequentialLoad) {
+  BPlusTree tree;
+  const int n = 10000;  // forces multiple levels of splits
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<uint64_t>(i), std::to_string(i)));
+  }
+  EXPECT_EQ(tree.size(), n);
+  for (int i = 0; i < n; i += 97) {
+    ASSERT_NE(tree.Find(static_cast<uint64_t>(i)), nullptr);
+    EXPECT_EQ(*tree.Find(static_cast<uint64_t>(i)), std::to_string(i));
+  }
+  // Iteration covers everything in order.
+  uint64_t expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expected++);
+  }
+  EXPECT_EQ(expected, static_cast<uint64_t>(n));
+}
+
+TEST(BPlusTreeTest, RandomizedAgainstReference) {
+  BPlusTree tree;
+  std::map<uint64_t, std::string> reference;
+  Random rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Next() % 5000;
+    int action = static_cast<int>(rng.Next() % 3);
+    if (action < 2) {
+      std::string value = "v" + std::to_string(i);
+      bool inserted = tree.Insert(key, value);
+      bool ref_inserted = reference.emplace(key, value).second;
+      ASSERT_EQ(inserted, ref_inserted) << "key " << key;
+    } else {
+      ASSERT_EQ(tree.Erase(key), reference.erase(key) > 0) << "key " << key;
+    }
+  }
+  ASSERT_EQ(tree.size(), static_cast<int64_t>(reference.size()));
+  auto it = tree.Begin();
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), key);
+    EXPECT_EQ(it.value(), value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BPlusTreeTest, MemoryAccountingMovesWithContent) {
+  BPlusTree tree;
+  int64_t base = tree.MemoryBytes();
+  tree.Insert(1, std::string(1000, 'x'));
+  EXPECT_GE(tree.MemoryBytes(), base + 1000);
+  tree.Erase(1);
+  EXPECT_LT(tree.MemoryBytes(), base + 1000);
+}
+
+TEST(DeltaStoreTest, InsertGetDelete) {
+  Schema schema = TestSchema();
+  DeltaStore store(&schema, 0);
+  std::vector<Value> row = {Value::Int64(1), Value::String("a"),
+                            Value::Double(2.0), Value::Date32(10),
+                            Value::Bool(false)};
+  ASSERT_TRUE(store.Insert(100, row).ok());
+  EXPECT_TRUE(store.Contains(100));
+  std::vector<Value> out;
+  ASSERT_TRUE(store.Get(100, &out).ok());
+  EXPECT_EQ(out, row);
+  EXPECT_TRUE(store.Delete(100));
+  EXPECT_FALSE(store.Contains(100));
+  EXPECT_TRUE(store.Get(100, &out).IsNotFound());
+}
+
+TEST(DeltaStoreTest, RejectsWrongArityAndDuplicates) {
+  Schema schema = TestSchema();
+  DeltaStore store(&schema, 0);
+  EXPECT_TRUE(store.Insert(1, {Value::Int64(1)}).IsInvalidArgument());
+  std::vector<Value> row = {Value::Int64(1), Value::String("a"),
+                            Value::Double(2.0), Value::Date32(10),
+                            Value::Bool(false)};
+  ASSERT_TRUE(store.Insert(1, row).ok());
+  EXPECT_EQ(store.Insert(1, row).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DeltaStoreTest, ClosedStoreRejectsInserts) {
+  Schema schema = TestSchema();
+  DeltaStore store(&schema, 0);
+  store.Close();
+  std::vector<Value> row = {Value::Int64(1), Value::String("a"),
+                            Value::Double(2.0), Value::Date32(10),
+                            Value::Bool(false)};
+  EXPECT_EQ(store.Insert(1, row).code(), StatusCode::kAborted);
+}
+
+TEST(DeltaStoreTest, RowIdBoundsTracked) {
+  Schema schema({{"x", DataType::kInt64, false}});
+  DeltaStore store(&schema, 0);
+  store.Insert(50, {Value::Int64(0)}).CheckOK();
+  store.Insert(10, {Value::Int64(0)}).CheckOK();
+  store.Insert(90, {Value::Int64(0)}).CheckOK();
+  EXPECT_EQ(store.min_rowid(), 10u);
+  EXPECT_EQ(store.max_rowid(), 90u);
+}
+
+TEST(DeltaStoreTest, ForEachVisitsInRowIdOrder) {
+  Schema schema({{"x", DataType::kInt64, false}});
+  DeltaStore store(&schema, 0);
+  for (uint64_t id : {5, 1, 9, 3}) {
+    store.Insert(id, {Value::Int64(static_cast<int64_t>(id * 10))}).CheckOK();
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(store
+                  .ForEach([&](uint64_t rowid, const std::vector<Value>& row) {
+                    seen.push_back(rowid);
+                    EXPECT_EQ(row[0].int64(),
+                              static_cast<int64_t>(rowid * 10));
+                  })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1, 3, 5, 9}));
+}
+
+}  // namespace
+}  // namespace vstore

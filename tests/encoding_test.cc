@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "storage/encoding.h"
+
+namespace vstore {
+namespace {
+
+TEST(ValueEncodeIntsTest, BaseOffsetting) {
+  int64_t values[] = {1000, 1001, 1005, 1002};
+  CodeStream s = ValueEncodeInts(values, nullptr, 4);
+  EXPECT_EQ(s.venc.code_kind, CodeKind::kValueOffset);
+  EXPECT_EQ(s.venc.base, 1000);
+  EXPECT_EQ(s.venc.scale, 0);
+  EXPECT_EQ(s.max_code, 5u);
+  EXPECT_EQ(s.codes, (std::vector<uint64_t>{0, 1, 5, 2}));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(DecodeIntCode(s.codes[i], s.venc), values[i]);
+  }
+}
+
+TEST(ValueEncodeIntsTest, NegativeValues) {
+  int64_t values[] = {-100, -50, 0, 25};
+  CodeStream s = ValueEncodeInts(values, nullptr, 4);
+  EXPECT_EQ(s.venc.base, -100);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(DecodeIntCode(s.codes[i], s.venc), values[i]);
+  }
+}
+
+TEST(ValueEncodeIntsTest, CommonPowerOfTenDividedOut) {
+  // Prices in whole hundreds: the exponent trick shrinks the code range.
+  int64_t values[] = {100, 300, 200, 1000};
+  CodeStream s = ValueEncodeInts(values, nullptr, 4);
+  EXPECT_EQ(s.venc.scale, 2);
+  EXPECT_EQ(s.venc.base, 1);
+  EXPECT_EQ(s.max_code, 9u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(DecodeIntCode(s.codes[i], s.venc), values[i]);
+  }
+}
+
+TEST(ValueEncodeIntsTest, NullsGetCodeZeroAndIgnoredByStats) {
+  int64_t values[] = {0 /*null slot*/, 50, 60};
+  uint8_t validity[] = {0, 1, 1};
+  CodeStream s = ValueEncodeInts(values, validity, 3);
+  EXPECT_EQ(s.venc.base, 5);  // 50/10: scale 1 common to 50,60
+  EXPECT_EQ(s.codes[0], 0u);
+}
+
+TEST(ValueEncodeIntsTest, AllNullColumn) {
+  int64_t values[] = {0, 0};
+  uint8_t validity[] = {0, 0};
+  CodeStream s = ValueEncodeInts(values, validity, 2);
+  EXPECT_EQ(s.max_code, 0u);
+  EXPECT_EQ(s.venc.base, 0);
+}
+
+TEST(ValueEncodeIntsTest, AllZeroColumnHasNoScale) {
+  int64_t values[] = {0, 0, 0};
+  CodeStream s = ValueEncodeInts(values, nullptr, 3);
+  EXPECT_EQ(s.venc.scale, 0);
+  EXPECT_EQ(s.max_code, 0u);
+}
+
+TEST(ValueEncodeDoublesTest, TwoDecimalMoney) {
+  double values[] = {19.99, 5.00, 123.45};
+  CodeStream s = ValueEncodeDoubles(values, nullptr, 3);
+  EXPECT_EQ(s.venc.code_kind, CodeKind::kValueScaled);
+  EXPECT_EQ(s.venc.scale, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(DecodeDoubleCode(s.codes[i], s.venc), values[i]);
+  }
+}
+
+TEST(ValueEncodeDoublesTest, IntegersGetScaleZero) {
+  double values[] = {1.0, 2.0, 3.0};
+  CodeStream s = ValueEncodeDoubles(values, nullptr, 3);
+  EXPECT_EQ(s.venc.scale, 0);
+  EXPECT_EQ(s.venc.base, 1);
+}
+
+TEST(ValueEncodeDoublesTest, IrrationalFallsBackToRawBits) {
+  double values[] = {3.14159265358979, 2.71828182845905};
+  CodeStream s = ValueEncodeDoubles(values, nullptr, 2);
+  EXPECT_EQ(s.venc.code_kind, CodeKind::kRawDouble);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(DecodeDoubleCode(s.codes[i], s.venc), values[i]);
+  }
+}
+
+TEST(ValueEncodeDoublesTest, NegativeScaledValues) {
+  double values[] = {-1.5, 2.5, 0.0};
+  CodeStream s = ValueEncodeDoubles(values, nullptr, 3);
+  EXPECT_EQ(s.venc.code_kind, CodeKind::kValueScaled);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(DecodeDoubleCode(s.codes[i], s.venc), values[i]);
+  }
+}
+
+TEST(ValueEncodeDoublesTest, HugeValuesFallBackToRaw) {
+  double values[] = {1e300, -1e300};
+  CodeStream s = ValueEncodeDoubles(values, nullptr, 2);
+  EXPECT_EQ(s.venc.code_kind, CodeKind::kRawDouble);
+  EXPECT_DOUBLE_EQ(DecodeDoubleCode(s.codes[0], s.venc), 1e300);
+}
+
+TEST(EncodeIntValueTest, ForwardMapMatchesEncoding) {
+  int64_t values[] = {100, 300, 200, 1000};
+  CodeStream s = ValueEncodeInts(values, nullptr, 4);
+  uint64_t code;
+  ASSERT_TRUE(EncodeIntValue(300, s.venc, &code));
+  EXPECT_EQ(code, s.codes[1]);
+  // 150 is not a multiple of the scale divisor: provably absent.
+  EXPECT_FALSE(EncodeIntValue(150, s.venc, &code));
+  // Below the base: provably absent.
+  EXPECT_FALSE(EncodeIntValue(0, s.venc, &code));
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "query/executor.h"
+#include "test_operators.h"
+
+namespace vstore {
+namespace {
+
+using testing_util::MakeTestTable;
+using testing_util::SortRows;
+
+std::vector<std::vector<Value>> Materialize(const QueryResult& result) {
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < result.data.num_rows(); ++i) {
+    rows.push_back(result.data.GetRow(i));
+  }
+  SortRows(&rows);
+  return rows;
+}
+
+struct ExecFixture {
+  Catalog catalog;
+
+  explicit ExecFixture(int64_t rows = 5000) {
+    TableData data = MakeTestTable(rows);
+    ColumnStoreTable::Options options;
+    options.row_group_size = 1000;
+    options.min_compress_rows = 10;
+    auto cs = std::make_unique<ColumnStoreTable>("t", data.schema(), options);
+    cs->BulkLoad(data).CheckOK();
+    cs->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(cs)).CheckOK();
+    auto rs = std::make_unique<RowStoreTable>("t", data.schema());
+    rs->Append(data).CheckOK();
+    catalog.AddRowStore(std::move(rs)).CheckOK();
+  }
+};
+
+PlanPtr FilterAggPlan(const Catalog& catalog) {
+  PlanBuilder b = PlanBuilder::Scan(catalog, "t");
+  b.Filter(expr::Lt(expr::Column(b.schema(), "id"),
+                    expr::Lit(Value::Int64(2500))));
+  b.Aggregate({"bucket"}, {{AggFn::kCountStar, "", "cnt"},
+                           {AggFn::kSum, "amount", "total"}});
+  b.OrderBy({{"bucket", true}});
+  return b.Build();
+}
+
+TEST(ExecutorTest, BatchAndRowModesAgree) {
+  ExecFixture f;
+  PlanPtr plan = FilterAggPlan(f.catalog);
+
+  QueryOptions batch_options;
+  batch_options.mode = ExecutionMode::kBatch;
+  QueryExecutor batch_exec(&f.catalog, batch_options);
+  auto batch_result = batch_exec.Execute(plan);
+  ASSERT_TRUE(batch_result.ok()) << batch_result.status().ToString();
+
+  QueryOptions row_options;
+  row_options.mode = ExecutionMode::kRow;
+  QueryExecutor row_exec(&f.catalog, row_options);
+  auto row_result = row_exec.Execute(plan);
+  ASSERT_TRUE(row_result.ok()) << row_result.status().ToString();
+
+  EXPECT_EQ(batch_result->rows_returned, 10);
+  auto batch_rows = Materialize(*batch_result);
+  auto row_rows = Materialize(*row_result);
+  ASSERT_EQ(batch_rows.size(), row_rows.size());
+  for (size_t i = 0; i < batch_rows.size(); ++i) {
+    ASSERT_EQ(batch_rows[i].size(), row_rows[i].size());
+    for (size_t c = 0; c < batch_rows[i].size(); ++c) {
+      if (batch_rows[i][c].type() == DataType::kDouble) {
+        EXPECT_NEAR(batch_rows[i][c].AsDouble(), row_rows[i][c].AsDouble(),
+                    1e-6);
+      } else {
+        EXPECT_EQ(batch_rows[i][c], row_rows[i][c]);
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, AutoModePicksBatchWhenColumnStoreExists) {
+  ExecFixture f;
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(FilterAggPlan(f.catalog));
+  ASSERT_TRUE(result.ok());
+  // Batch mode scans compressed groups: rows_scanned counter moves.
+  EXPECT_GT(result->stats.rows_scanned, 0);
+}
+
+TEST(ExecutorTest, PushdownEnablesSegmentElimination) {
+  ExecFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  b.Filter(expr::Ge(expr::Column(b.schema(), "id"),
+                    expr::Lit(Value::Int64(4500))));
+  b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  PlanPtr plan = b.Build();
+
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.column(0).GetInt64(0), 500);
+  EXPECT_EQ(result->stats.row_groups_eliminated, 4);
+
+  QueryOptions no_opt;
+  no_opt.optimize = false;
+  QueryExecutor naive(&f.catalog, no_opt);
+  auto naive_result = naive.Execute(plan);
+  ASSERT_TRUE(naive_result.ok());
+  EXPECT_EQ(naive_result->data.column(0).GetInt64(0), 500);
+  EXPECT_EQ(naive_result->stats.row_groups_eliminated, 0);
+  EXPECT_GT(naive_result->stats.rows_scanned, result->stats.rows_scanned);
+}
+
+TEST(ExecutorTest, ParallelScanMatchesSerial) {
+  ExecFixture f(8000);
+  // Integer aggregates only: double sums would differ in the last bits
+  // under the exchange's nondeterministic row interleaving.
+  PlanBuilder pb = PlanBuilder::Scan(f.catalog, "t");
+  pb.Filter(expr::Lt(expr::Column(pb.schema(), "id"),
+                     expr::Lit(Value::Int64(6000))));
+  pb.Aggregate({"bucket"}, {{AggFn::kCountStar, "", "cnt"},
+                            {AggFn::kSum, "id", "sum_id"}});
+  pb.OrderBy({{"bucket", true}});
+  PlanPtr plan = pb.Build();
+  QueryExecutor serial(&f.catalog);
+  auto serial_result = serial.Execute(plan);
+  ASSERT_TRUE(serial_result.ok());
+
+  QueryOptions par_options;
+  par_options.dop = 4;
+  QueryExecutor parallel(&f.catalog, par_options);
+  auto par_result = parallel.Execute(plan);
+  ASSERT_TRUE(par_result.ok());
+
+  EXPECT_EQ(Materialize(*serial_result), Materialize(*par_result));
+}
+
+TEST(ExecutorTest, JoinQueryEndToEnd) {
+  ExecFixture f(2000);
+  // Self-join t with t on bucket: per-bucket cross products sum to
+  // sum(count_b^2).
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  PlanBuilder right = PlanBuilder::Scan(f.catalog, "t");
+  right.Select({"bucket"});
+  // Rename to avoid duplicate column names in the join output.
+  PlanBuilder renamed = PlanBuilder::From(right.Build());
+  renamed.Project({expr::Column(renamed.schema(), "bucket")}, {"bucket2"});
+  b.Join(JoinType::kInner, renamed.Build(), {"bucket"}, {"bucket2"});
+  b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(b.Build());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Reference.
+  TableData data = MakeTestTable(2000);
+  std::map<int64_t, int64_t> counts;
+  for (int64_t i = 0; i < 2000; ++i) {
+    counts[data.column(1).GetInt64(i)]++;
+  }
+  int64_t expected = 0;
+  for (auto& [k, c] : counts) expected += c * c;
+  EXPECT_EQ(result->data.column(0).GetInt64(0), expected);
+}
+
+TEST(ExecutorTest, SemiJoinViaPlanBuilder) {
+  ExecFixture f(1000);
+  Schema keys_schema({{"k", DataType::kInt64, false}});
+  TableData keys(keys_schema);
+  keys.AppendRow({Value::Int64(3)});
+  keys.AppendRow({Value::Int64(7)});
+  ColumnStoreTable::Options options;
+  options.min_compress_rows = 1;
+  auto keys_table =
+      std::make_unique<ColumnStoreTable>("keys", keys_schema, options);
+  keys_table->BulkLoad(keys).CheckOK();
+  keys_table->CompressDeltaStores(true).status().CheckOK();
+  f.catalog.AddColumnStore(std::move(keys_table)).CheckOK();
+
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  b.Join(JoinType::kLeftSemi, PlanBuilder::Scan(f.catalog, "keys").Build(),
+         {"bucket"}, {"k"});
+  b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(b.Build());
+  ASSERT_TRUE(result.ok());
+
+  TableData data = MakeTestTable(1000);
+  int64_t expected = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    int64_t bucket = data.column(1).GetInt64(i);
+    if (bucket == 3 || bucket == 7) ++expected;
+  }
+  EXPECT_EQ(result->data.column(0).GetInt64(0), expected);
+}
+
+TEST(ExecutorTest, TopNQuery) {
+  ExecFixture f(500);
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  b.Select({"id"});
+  b.OrderBy({{"id", false}}, 3);
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(b.Build());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->data.num_rows(), 3);
+  EXPECT_EQ(result->data.column(0).GetInt64(0), 499);
+  EXPECT_EQ(result->data.column(0).GetInt64(2), 497);
+}
+
+TEST(ExecutorTest, LimitQuery) {
+  ExecFixture f(500);
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  b.Limit(7);
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(b.Build());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_returned, 7);
+}
+
+TEST(ExecutorTest, UnionAllQuery) {
+  ExecFixture f(100);
+  PlanBuilder left = PlanBuilder::Scan(f.catalog, "t");
+  left.Select({"id"});
+  PlanBuilder right = PlanBuilder::Scan(f.catalog, "t");
+  right.Select({"id"});
+  left.UnionAll(right.Build());
+  QueryOptions options;
+  options.mode = ExecutionMode::kBatch;
+  QueryExecutor exec(&f.catalog, options);
+  auto result = exec.Execute(left.Build());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_returned, 200);
+}
+
+TEST(ExecutorTest, MaterializeOffCountsOnly) {
+  ExecFixture f(300);
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  QueryOptions options;
+  options.materialize = false;
+  QueryExecutor exec(&f.catalog, options);
+  auto result = exec.Execute(b.Build());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_returned, 300);
+  EXPECT_EQ(result->data.num_rows(), 0);
+}
+
+TEST(ExecutorTest, UnknownTableFailsCleanly) {
+  ExecFixture f(10);
+  auto plan = std::make_shared<LogicalPlan>();
+  plan->kind = PlanKind::kScan;
+  plan->table = "missing";
+  QueryExecutor exec(&f.catalog);
+  EXPECT_FALSE(exec.Execute(plan).ok());
+}
+
+TEST(ExecutorTest, FormatResultRendersTable) {
+  ExecFixture f(5);
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  b.Select({"id", "name"});
+  QueryExecutor exec(&f.catalog);
+  auto result = exec.Execute(b.Build());
+  ASSERT_TRUE(result.ok());
+  std::string text = FormatResult(*result);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+}
+
+TEST(ExecutorTest, SpillingQueryProducesSameAnswer) {
+  ExecFixture f(4000);
+  PlanPtr plan = FilterAggPlan(f.catalog);
+  QueryExecutor normal(&f.catalog);
+  auto expected = normal.Execute(plan);
+  ASSERT_TRUE(expected.ok());
+
+  QueryOptions tight;
+  tight.operator_memory_budget = 8 * 1024;
+  QueryExecutor spilling(&f.catalog, tight);
+  auto spilled = spilling.Execute(plan);
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(Materialize(*expected), Materialize(*spilled));
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "exec/expression.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+using testing_util::FillBatch;
+using testing_util::MakeTestTable;
+
+// Evaluates `e` both vectorized over a batch of the table and row-by-row,
+// asserting the results agree — the core property keeping both engines on
+// the same semantics.
+void ExpectBatchRowAgreement(const TableData& data, const ExprPtr& e) {
+  Batch batch(data.schema(), data.num_rows());
+  FillBatch(data, 0, data.num_rows(), &batch);
+  ColumnVector out(e->output_type(), data.num_rows());
+  ASSERT_TRUE(e->EvalBatch(batch, batch.arena(), &out).ok());
+  for (int64_t i = 0; i < data.num_rows(); ++i) {
+    Value row_result;
+    ASSERT_TRUE(e->EvalRow(data.GetRow(i), &row_result).ok());
+    Value batch_result = out.GetValue(i);
+    EXPECT_EQ(batch_result, row_result)
+        << "row " << i << " expr " << e->ToString();
+  }
+}
+
+Schema NumSchema() {
+  return Schema({{"a", DataType::kInt64, true},
+                 {"b", DataType::kInt64, true},
+                 {"d", DataType::kDouble, true},
+                 {"s", DataType::kString, true},
+                 {"dt", DataType::kDate32, true}});
+}
+
+TableData NumData() {
+  TableData data(NumSchema());
+  data.AppendRow({Value::Int64(1), Value::Int64(10), Value::Double(0.5),
+                  Value::String("apple"), Value::Date("1994-03-01")});
+  data.AppendRow({Value::Int64(-5), Value::Int64(0), Value::Double(-1.5),
+                  Value::String("banana"), Value::Date("2000-12-31")});
+  data.AppendRow({Value::Int64(7), Value::Int64(7), Value::Double(2.0),
+                  Value::String(""), Value::Date("1970-01-01")});
+  data.AppendRow({Value::Null(DataType::kInt64), Value::Int64(3),
+                  Value::Null(DataType::kDouble),
+                  Value::Null(DataType::kString), Value::Date("1995-06-17")});
+  return data;
+}
+
+TEST(ExpressionTest, ColumnRefCopiesValuesAndNulls) {
+  TableData data = NumData();
+  ExprPtr e = expr::Column(data.schema(), "a");
+  ExpectBatchRowAgreement(data, e);
+  EXPECT_EQ(e->output_type(), DataType::kInt64);
+}
+
+TEST(ExpressionTest, LiteralBroadcast) {
+  TableData data = NumData();
+  ExpectBatchRowAgreement(data, expr::Lit(Value::Int64(99)));
+  ExpectBatchRowAgreement(data, expr::Lit(Value::String("k")));
+  ExpectBatchRowAgreement(data, expr::Lit(Value::Null(DataType::kDouble)));
+}
+
+TEST(ExpressionTest, CompareAllOps) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    ExpectBatchRowAgreement(
+        data, expr::Cmp(op, expr::Column(s, "a"), expr::Column(s, "b")));
+    ExpectBatchRowAgreement(
+        data, expr::Cmp(op, expr::Column(s, "s"),
+                        expr::Lit(Value::String("banana"))));
+  }
+}
+
+TEST(ExpressionTest, CompareMixedIntDoublePromotes) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e = expr::Lt(expr::Column(s, "a"), expr::Column(s, "d"));
+  ExpectBatchRowAgreement(data, e);
+}
+
+TEST(ExpressionTest, ArithmeticIntAndDouble) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  for (ArithOp op :
+       {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul, ArithOp::kDiv}) {
+    ExpectBatchRowAgreement(
+        data, expr::Arith(op, expr::Column(s, "a"), expr::Column(s, "b")));
+    ExpectBatchRowAgreement(
+        data, expr::Arith(op, expr::Column(s, "d"), expr::Column(s, "a")));
+  }
+}
+
+TEST(ExpressionTest, DivisionByZeroYieldsNull) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  // Row 1 has b == 0.
+  ExprPtr e = expr::Div(expr::Column(s, "a"), expr::Column(s, "b"));
+  Batch batch(s, 8);
+  FillBatch(data, 0, data.num_rows(), &batch);
+  ColumnVector out(e->output_type(), 8);
+  ASSERT_TRUE(e->EvalBatch(batch, batch.arena(), &out).ok());
+  EXPECT_TRUE(out.GetValue(1).is_null());
+  EXPECT_FALSE(out.GetValue(0).is_null());
+  ExpectBatchRowAgreement(data, e);
+}
+
+TEST(ExpressionTest, BoolAndOrNot) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr gt = expr::Gt(expr::Column(s, "a"), expr::Lit(Value::Int64(0)));
+  ExprPtr lt = expr::Lt(expr::Column(s, "b"), expr::Lit(Value::Int64(8)));
+  ExpectBatchRowAgreement(data, expr::And(gt, lt));
+  ExpectBatchRowAgreement(data, expr::Or(gt, lt));
+  ExpectBatchRowAgreement(data, expr::Not(gt));
+}
+
+TEST(ExpressionTest, IsNullDetectsNulls) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e = expr::IsNull(expr::Column(s, "a"));
+  Batch batch(s, 8);
+  FillBatch(data, 0, data.num_rows(), &batch);
+  ColumnVector out(DataType::kBool, 8);
+  ASSERT_TRUE(e->EvalBatch(batch, batch.arena(), &out).ok());
+  EXPECT_EQ(out.GetValue(0), Value::Bool(false));
+  EXPECT_EQ(out.GetValue(3), Value::Bool(true));
+  ExpectBatchRowAgreement(data, e);
+}
+
+TEST(ExpressionTest, YearExtraction) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e = expr::Year(expr::Column(s, "dt"));
+  Batch batch(s, 8);
+  FillBatch(data, 0, data.num_rows(), &batch);
+  ColumnVector out(DataType::kInt64, 8);
+  ASSERT_TRUE(e->EvalBatch(batch, batch.arena(), &out).ok());
+  EXPECT_EQ(out.GetValue(0), Value::Int64(1994));
+  EXPECT_EQ(out.GetValue(1), Value::Int64(2000));
+  EXPECT_EQ(out.GetValue(2), Value::Int64(1970));
+  ExpectBatchRowAgreement(data, e);
+}
+
+TEST(ExpressionTest, StartsWith) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e = expr::StartsWith(expr::Column(s, "s"), "ban");
+  Batch batch(s, 8);
+  FillBatch(data, 0, data.num_rows(), &batch);
+  ColumnVector out(DataType::kBool, 8);
+  ASSERT_TRUE(e->EvalBatch(batch, batch.arena(), &out).ok());
+  EXPECT_EQ(out.GetValue(0), Value::Bool(false));
+  EXPECT_EQ(out.GetValue(1), Value::Bool(true));
+  EXPECT_EQ(out.GetValue(2), Value::Bool(false));  // empty string
+  ExpectBatchRowAgreement(data, e);
+  // Empty prefix matches everything non-null.
+  ExpectBatchRowAgreement(data, expr::StartsWith(expr::Column(s, "s"), ""));
+}
+
+TEST(ExpressionTest, InList) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExpectBatchRowAgreement(
+      data, expr::In(expr::Column(s, "a"),
+                     {Value::Int64(1), Value::Int64(7)}));
+  ExpectBatchRowAgreement(
+      data, expr::In(expr::Column(s, "s"),
+                     {Value::String("apple"), Value::String("")}));
+  ExpectBatchRowAgreement(
+      data, expr::In(expr::Column(s, "d"), {Value::Double(0.5)}));
+  // Empty list matches nothing.
+  ExpectBatchRowAgreement(data, expr::In(expr::Column(s, "a"), {}));
+}
+
+TEST(ExpressionTest, BetweenExpandsToRange) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e =
+      expr::Between(expr::Column(s, "a"), Value::Int64(0), Value::Int64(7));
+  ExpectBatchRowAgreement(data, e);
+}
+
+TEST(ExpressionTest, NestedCompositeAgreesAcrossEngines) {
+  // A Q6-shaped predicate over a larger random table.
+  TableData data = MakeTestTable(2000);
+  const Schema& s = data.schema();
+  ExprPtr e = expr::And(
+      expr::And(expr::Ge(expr::Column(s, "amount"),
+                         expr::Lit(Value::Double(100.0))),
+                expr::Le(expr::Column(s, "amount"),
+                         expr::Lit(Value::Double(700.0)))),
+      expr::Or(expr::Eq(expr::Column(s, "name"),
+                        expr::Lit(Value::String("alpha"))),
+               expr::Lt(expr::Column(s, "bucket"),
+                        expr::Lit(Value::Int64(3)))));
+  ExpectBatchRowAgreement(data, e);
+}
+
+TEST(ExpressionTest, CollectConjunctsFlattensAndTree) {
+  Schema s({{"a", DataType::kInt64, true}});
+  ExprPtr c1 = expr::Gt(expr::Column(s, "a"), expr::Lit(Value::Int64(0)));
+  ExprPtr c2 = expr::Lt(expr::Column(s, "a"), expr::Lit(Value::Int64(9)));
+  ExprPtr c3 = expr::Ne(expr::Column(s, "a"), expr::Lit(Value::Int64(5)));
+  ExprPtr tree = expr::And(expr::And(c1, c2), c3);
+  std::vector<ExprPtr> out;
+  expr::CollectConjuncts(tree, &out);
+  EXPECT_EQ(out.size(), 3u);
+  // An OR is a single conjunct.
+  out.clear();
+  expr::CollectConjuncts(expr::Or(c1, c2), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ExpressionTest, ToStringReadable) {
+  Schema s({{"a", DataType::kInt64, true}});
+  ExprPtr e = expr::And(
+      expr::Ge(expr::Column(s, "a"), expr::Lit(Value::Int64(1))),
+      expr::Lt(expr::Column(s, "a"), expr::Lit(Value::Int64(10))));
+  EXPECT_EQ(e->ToString(), "((a >= 1) AND (a < 10))");
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+#include "storage/lzss.h"
+
+namespace vstore {
+namespace {
+
+std::vector<uint8_t> RoundTrip(const std::vector<uint8_t>& input) {
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  std::vector<uint8_t> out(input.size());
+  Status s = Lzss::Decompress(compressed.data(), compressed.size(), out.data(),
+                              out.size());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(LzssTest, EmptyInput) {
+  std::vector<uint8_t> input;
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, TinyInput) {
+  std::vector<uint8_t> input = {1, 2, 3};
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, HighlyRepetitiveCompressesWell) {
+  std::vector<uint8_t> input(100000, 'A');
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  EXPECT_LT(compressed.size(), input.size() / 50);  // runs compress hard
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, RepeatedPatternUsesBackReferences) {
+  std::string pattern = "the quick brown fox jumps over the lazy dog. ";
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 500; ++i) {
+    input.insert(input.end(), pattern.begin(), pattern.end());
+  }
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, IncompressibleRandomSurvives) {
+  Random rng(9);
+  std::vector<uint8_t> input(50000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  // Random data may expand slightly but not catastrophically.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 8 + 64);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, LongMatchBeyondNibble) {
+  // A match longer than 14+4 exercises the length-extension bytes.
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 64; ++i) input.push_back(static_cast<uint8_t>(i));
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 64; ++i) input.push_back(static_cast<uint8_t>(i));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, ManyLiteralsBeyondNibble) {
+  // >15 distinct leading bytes exercises the literal-extension bytes.
+  Random rng(10);
+  std::vector<uint8_t> input(400);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, OverlappingMatchEncodesRuns) {
+  // "abcabcabc..." produces distance-3 overlapping matches.
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 3000; ++i) input.push_back("abc"[i % 3]);
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  EXPECT_LT(compressed.size(), 64u);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzssTest, DecompressRejectsTruncatedStream) {
+  std::vector<uint8_t> input(1000, 'B');
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  std::vector<uint8_t> out(1000);
+  Status s = Lzss::Decompress(compressed.data(), compressed.size() / 2,
+                              out.data(), out.size());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(LzssTest, DecompressRejectsWrongOutputLength) {
+  std::vector<uint8_t> input(1000, 'C');
+  auto compressed = Lzss::Compress(input.data(), input.size());
+  std::vector<uint8_t> out(500);  // too small
+  Status s = Lzss::Decompress(compressed.data(), compressed.size(), out.data(),
+                              out.size());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(LzssTest, DecompressRejectsBadDistance) {
+  // Token: 0 literals + match (code 1 => len 4) at distance 100 with no
+  // preceding output.
+  std::vector<uint8_t> stream = {0x01, 100, 0};
+  std::vector<uint8_t> out(4);
+  Status s =
+      Lzss::Decompress(stream.data(), stream.size(), out.data(), out.size());
+  EXPECT_FALSE(s.ok());
+}
+
+// Property sweep across data shapes.
+struct LzssCase {
+  const char* name;
+  int size;
+  int alphabet;  // number of distinct byte values
+};
+
+class LzssShapeTest : public ::testing::TestWithParam<LzssCase> {};
+
+TEST_P(LzssShapeTest, RoundTrip) {
+  const LzssCase& c = GetParam();
+  Random rng(static_cast<uint64_t>(c.size));
+  std::vector<uint8_t> input(static_cast<size_t>(c.size));
+  for (auto& b : input) {
+    b = static_cast<uint8_t>(rng.Uniform(0, c.alphabet - 1));
+  }
+  EXPECT_EQ(RoundTrip(input), input) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LzssShapeTest,
+    ::testing::Values(LzssCase{"tiny_binary", 16, 2},
+                      LzssCase{"small_text", 100, 26},
+                      LzssCase{"medium_binary", 10000, 2},
+                      LzssCase{"medium_bytes", 10000, 256},
+                      LzssCase{"large_fewvals", 200000, 4},
+                      LzssCase{"large_manyvals", 200000, 200}));
+
+}  // namespace
+}  // namespace vstore

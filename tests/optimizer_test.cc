@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "query/optimizer.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+// Catalog with a large "fact" table and two small dimensions.
+struct OptFixture {
+  Catalog catalog;
+
+  OptFixture() {
+    ColumnStoreTable::Options options;
+    options.row_group_size = 1000;
+    options.min_compress_rows = 10;
+
+    Schema fact_schema({{"f_id", DataType::kInt64, false},
+                        {"f_d1", DataType::kInt64, false},
+                        {"f_d2", DataType::kInt64, false},
+                        {"f_amount", DataType::kDouble, false}});
+    TableData fact(fact_schema);
+    for (int64_t i = 0; i < 10000; ++i) {
+      fact.AppendRow({Value::Int64(i), Value::Int64(i % 100),
+                      Value::Int64(i % 10), Value::Double(1.0)});
+    }
+    auto fact_table =
+        std::make_unique<ColumnStoreTable>("fact", fact_schema, options);
+    fact_table->BulkLoad(fact).CheckOK();
+    catalog.AddColumnStore(std::move(fact_table)).CheckOK();
+
+    // dim_big: 100 rows; dim_small: 10 rows.
+    AddDim("dim_big", "b", 100, options);
+    AddDim("dim_small", "s", 10, options);
+  }
+
+  void AddDim(const std::string& name, const std::string& prefix, int64_t rows,
+              const ColumnStoreTable::Options& options) {
+    Schema schema({{prefix + "_key", DataType::kInt64, false},
+                   {prefix + "_name", DataType::kString, false}});
+    TableData data(schema);
+    for (int64_t i = 0; i < rows; ++i) {
+      data.AppendRow({Value::Int64(i), Value::String("n" + std::to_string(i))});
+    }
+    auto table = std::make_unique<ColumnStoreTable>(name, schema, options);
+    table->BulkLoad(data).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+  }
+};
+
+TEST(OptimizerTest, SargablePredicatePushedIntoScan) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Filter(expr::And(
+      expr::Lt(expr::Column(b.schema(), "f_id"), expr::Lit(Value::Int64(50))),
+      expr::Gt(expr::Column(b.schema(), "f_amount"),
+               expr::Column(b.schema(), "f_d1"))));  // not sargable
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+
+  // Root must be the residual filter over the scan with one pushed pred.
+  ASSERT_EQ(optimized->kind, PlanKind::kFilter);
+  const PlanPtr& scan = optimized->children[0];
+  ASSERT_EQ(scan->kind, PlanKind::kScan);
+  ASSERT_EQ(scan->pushed_predicates.size(), 1u);
+  EXPECT_EQ(scan->pushed_predicates[0].column, "f_id");
+  EXPECT_EQ(scan->pushed_predicates[0].op, CompareOp::kLt);
+}
+
+TEST(OptimizerTest, FullySargableFilterDisappears) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Filter(expr::Le(expr::Column(b.schema(), "f_id"),
+                    expr::Lit(Value::Int64(10))));
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+  EXPECT_EQ(optimized->kind, PlanKind::kScan);
+  EXPECT_EQ(optimized->pushed_predicates.size(), 1u);
+}
+
+TEST(OptimizerTest, ReversedLiteralComparisonFlipsOp) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  // 50 > f_id  ==  f_id < 50.
+  b.Filter(expr::Gt(expr::Lit(Value::Int64(50)),
+                    expr::Column(b.schema(), "f_id")));
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+  ASSERT_EQ(optimized->kind, PlanKind::kScan);
+  ASSERT_EQ(optimized->pushed_predicates.size(), 1u);
+  EXPECT_EQ(optimized->pushed_predicates[0].op, CompareOp::kLt);
+}
+
+TEST(OptimizerTest, FilterAboveJoinSinksToTheRightSide) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_big").Build(),
+         {"f_d1"}, {"b_key"});
+  // One conjunct per side, bound against the join output schema.
+  b.Filter(expr::And(
+      expr::Lt(expr::Column(b.schema(), "f_id"), expr::Lit(Value::Int64(100))),
+      expr::Eq(expr::Column(b.schema(), "b_name"),
+               expr::Lit(Value::String("n5")))));
+  OptimizerOptions options;
+  options.bloom_filters = false;
+  options.join_reorder = false;
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+
+  // Both conjuncts are sargable after sinking, so the filter vanishes and
+  // each scan carries its own predicate.
+  ASSERT_EQ(optimized->kind, PlanKind::kJoin);
+  const PlanPtr& probe = optimized->children[0];
+  const PlanPtr& build = optimized->children[1];
+  ASSERT_EQ(probe->kind, PlanKind::kScan);
+  ASSERT_EQ(build->kind, PlanKind::kScan);
+  ASSERT_EQ(probe->pushed_predicates.size(), 1u);
+  EXPECT_EQ(probe->pushed_predicates[0].column, "f_id");
+  ASSERT_EQ(build->pushed_predicates.size(), 1u);
+  EXPECT_EQ(build->pushed_predicates[0].column, "b_name");
+}
+
+TEST(OptimizerTest, JoinReorderPutsSmallBuildFirst) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  // As written: big dimension joins first.
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_big").Build(),
+         {"f_d1"}, {"b_key"});
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_small").Build(),
+         {"f_d2"}, {"s_key"});
+  OptimizerOptions options;
+  options.bloom_filters = false;
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+
+  // A restore-projection sits on top; under it the chain must start with
+  // the small dimension.
+  ASSERT_EQ(optimized->kind, PlanKind::kProject);
+  const PlanPtr& top_join = optimized->children[0];
+  ASSERT_EQ(top_join->kind, PlanKind::kJoin);
+  EXPECT_EQ(top_join->children[1]->table, "dim_big");
+  const PlanPtr& lower_join = top_join->children[0];
+  ASSERT_EQ(lower_join->kind, PlanKind::kJoin);
+  EXPECT_EQ(lower_join->children[1]->table, "dim_small");
+  // Output schema order preserved for parents.
+  EXPECT_TRUE(optimized->schema.Equals(b.Build()->schema));
+}
+
+TEST(OptimizerTest, DependentJoinNotReorderedAcrossItsSource) {
+  OptFixture f;
+  // Second join's probe key comes from the first join's build side
+  // (snowflake): reordering must keep it after dim_big.
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_big").Build(),
+         {"f_d1"}, {"b_key"});
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_small").Build(),
+         {"b_key"}, {"s_key"});  // depends on dim_big columns
+  OptimizerOptions options;
+  options.bloom_filters = false;
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+  // Only one free level: no reorder happens, plan root stays a join with
+  // dim_small on top.
+  ASSERT_EQ(optimized->kind, PlanKind::kJoin);
+  EXPECT_EQ(optimized->children[1]->table, "dim_small");
+}
+
+TEST(OptimizerTest, BloomPlacedOnSelectiveInnerJoin) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_small").Build(),
+         {"f_d2"}, {"s_key"});
+  OptimizerOptions options;
+  options.join_reorder = false;
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+  ASSERT_EQ(optimized->kind, PlanKind::kJoin);
+  EXPECT_TRUE(optimized->use_bloom);
+}
+
+TEST(OptimizerTest, BloomSkippedForHugeBuild) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_big").Build(),
+         {"f_d1"}, {"b_key"});
+  OptimizerOptions options;
+  options.join_reorder = false;
+  options.bloom_max_build_rows = 50;  // dim_big has 100 rows
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+  EXPECT_FALSE(optimized->use_bloom);
+}
+
+TEST(OptimizerTest, BloomNeverOnOuterJoin) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Join(JoinType::kLeftOuter,
+         PlanBuilder::Scan(f.catalog, "dim_small").Build(), {"f_d2"},
+         {"s_key"});
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+  EXPECT_FALSE(optimized->use_bloom);
+}
+
+TEST(OptimizerTest, EstimateRowsShrinksWithPredicates) {
+  OptFixture f;
+  PlanPtr bare = PlanBuilder::Scan(f.catalog, "fact").Build();
+  double base = EstimateRows(f.catalog, bare);
+  EXPECT_DOUBLE_EQ(base, 10000.0);
+
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Filter(expr::Eq(expr::Column(b.schema(), "f_d1"),
+                    expr::Lit(Value::Int64(1))));
+  PlanPtr filtered = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+  EXPECT_LT(EstimateRows(f.catalog, filtered), base);
+}
+
+TEST(OptimizerTest, ClonePlanIsDeep) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Filter(expr::Lt(expr::Column(b.schema(), "f_id"),
+                    expr::Lit(Value::Int64(5))));
+  PlanPtr original = b.Build();
+  PlanPtr clone = ClonePlan(original);
+  // Mutating the clone's scan must not touch the original.
+  clone->children[0]->pushed_predicates.push_back(
+      NamedScanPredicate{"f_id", CompareOp::kEq, Value::Int64(0)});
+  EXPECT_TRUE(original->children[0]->pushed_predicates.empty());
+}
+
+TEST(OptimizerTest, OptimizeLeavesInputUntouched) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Filter(expr::Lt(expr::Column(b.schema(), "f_id"),
+                    expr::Lit(Value::Int64(5))));
+  PlanPtr original = b.Build();
+  Optimize(f.catalog, original, OptimizerOptions{});
+  EXPECT_EQ(original->kind, PlanKind::kFilter);
+  EXPECT_TRUE(original->children[0]->pushed_predicates.empty());
+}
+
+}  // namespace
+}  // namespace vstore
+
+namespace vstore {
+namespace {
+
+TEST(ColumnPruningTest, ScanCarriesOnlyRequiredColumns) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Aggregate({"f_d2"}, {{AggFn::kSum, "f_amount", "total"}});
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+  // Aggregate -> Scan with only f_d2 and f_amount.
+  ASSERT_EQ(optimized->kind, PlanKind::kAggregate);
+  const PlanPtr& scan = optimized->children[0];
+  ASSERT_EQ(scan->kind, PlanKind::kScan);
+  EXPECT_EQ(scan->scan_columns.size(), 2u);
+  EXPECT_EQ(scan->schema.num_columns(), 2);
+  EXPECT_GE(scan->schema.IndexOf("f_d2"), 0);
+  EXPECT_GE(scan->schema.IndexOf("f_amount"), 0);
+  EXPECT_EQ(scan->schema.IndexOf("f_id"), -1);
+}
+
+TEST(ColumnPruningTest, PredicateColumnsNeedNotBeProjected) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Filter(expr::Lt(expr::Column(b.schema(), "f_id"),
+                    expr::Lit(Value::Int64(100))));
+  b.Aggregate({}, {{AggFn::kSum, "f_amount", "total"}});
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), OptimizerOptions{});
+  ASSERT_EQ(optimized->kind, PlanKind::kAggregate);
+  const PlanPtr& scan = optimized->children[0];
+  ASSERT_EQ(scan->kind, PlanKind::kScan);
+  // f_id lives in the pushdown predicate, not in the projection.
+  EXPECT_EQ(scan->schema.IndexOf("f_id"), -1);
+  ASSERT_EQ(scan->pushed_predicates.size(), 1u);
+}
+
+TEST(ColumnPruningTest, ResidualFilterColumnsSurviveWithRestore) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  // Non-sargable predicate keeps f_amount > f_d1 as a residual filter.
+  b.Filter(expr::Gt(expr::Column(b.schema(), "f_amount"),
+                    expr::Column(b.schema(), "f_d1")));
+  b.Select({"f_id"});
+  PlanPtr original = b.Build();
+  PlanPtr optimized = Optimize(f.catalog, original, OptimizerOptions{});
+  // User-visible schema preserved exactly.
+  EXPECT_TRUE(optimized->schema.Equals(original->schema));
+}
+
+TEST(ColumnPruningTest, JoinKeysAlwaysKept) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "dim_small").Build(),
+         {"f_d2"}, {"s_key"});
+  b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  OptimizerOptions options;
+  options.bloom_filters = false;
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+  // Both scans keep their join key despite nothing else being required.
+  const PlanPtr& join = optimized->children[0];
+  ASSERT_EQ(join->kind, PlanKind::kJoin);
+  EXPECT_GE(join->children[0]->schema.IndexOf("f_d2"), 0);
+  EXPECT_GE(join->children[1]->schema.IndexOf("s_key"), 0);
+  EXPECT_EQ(join->children[1]->schema.IndexOf("s_name"), -1);  // pruned
+}
+
+TEST(ColumnPruningTest, CanBeDisabled) {
+  OptFixture f;
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "fact");
+  b.Aggregate({"f_d2"}, {{AggFn::kSum, "f_amount", "total"}});
+  OptimizerOptions options;
+  options.column_pruning = false;
+  PlanPtr optimized = Optimize(f.catalog, b.Build(), options);
+  EXPECT_TRUE(optimized->children[0]->scan_columns.empty());
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "query/executor.h"
+#include "exec/scan.h"
+#include "storage/segment.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+// --- Data distributions used across the property sweeps -----------------------
+
+enum class Dist {
+  kSequential,   // 0, 1, 2, ...
+  kUniformSmall, // uniform in [0, 100)
+  kUniformWide,  // uniform 40-bit
+  kZipf,         // heavily skewed
+  kRuns,         // long runs of repeated values
+  kScaled,       // multiples of 1000
+  kWithNulls,    // uniform with 20% nulls
+};
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kSequential: return "sequential";
+    case Dist::kUniformSmall: return "uniform_small";
+    case Dist::kUniformWide: return "uniform_wide";
+    case Dist::kZipf: return "zipf";
+    case Dist::kRuns: return "runs";
+    case Dist::kScaled: return "scaled";
+    case Dist::kWithNulls: return "with_nulls";
+  }
+  return "?";
+}
+
+ColumnData MakeIntColumn(Dist dist, int64_t n, uint64_t seed) {
+  ColumnData col(DataType::kInt64);
+  Random rng(seed);
+  ZipfGenerator zipf(100, 1.1, seed);
+  int64_t run_value = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    switch (dist) {
+      case Dist::kSequential:
+        col.AppendInt64(i);
+        break;
+      case Dist::kUniformSmall:
+        col.AppendInt64(rng.Uniform(0, 99));
+        break;
+      case Dist::kUniformWide:
+        col.AppendInt64(static_cast<int64_t>(rng.Next() >> 24));
+        break;
+      case Dist::kZipf:
+        col.AppendInt64(zipf.Next());
+        break;
+      case Dist::kRuns:
+        if (i % 50 == 0) run_value = rng.Uniform(0, 20);
+        col.AppendInt64(run_value);
+        break;
+      case Dist::kScaled:
+        col.AppendInt64(rng.Uniform(1, 500) * 1000);
+        break;
+      case Dist::kWithNulls:
+        if (rng.NextBool(0.2)) {
+          col.AppendNull();
+        } else {
+          col.AppendInt64(rng.Uniform(-50, 50));
+        }
+        break;
+    }
+  }
+  return col;
+}
+
+// --- Property: segments round-trip every distribution -------------------------
+
+class SegmentRoundTripTest : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(SegmentRoundTripTest, EncodeDecodeIdentity) {
+  const Dist dist = GetParam();
+  const int64_t n = 5000;
+  ColumnData col = MakeIntColumn(dist, n, 101);
+  auto seg = SegmentBuilder::Build(col, 0, n, nullptr, nullptr,
+                                   SegmentBuilder::Options{});
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  std::vector<uint8_t> validity(static_cast<size_t>(n));
+  seg->DecodeInt64(0, n, out.data());
+  seg->DecodeValidity(0, n, validity.data());
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(validity[static_cast<size_t>(i)] == 0, col.IsNull(i))
+        << DistName(dist) << " row " << i;
+    if (!col.IsNull(i)) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], col.GetInt64(i))
+          << DistName(dist) << " row " << i;
+    }
+  }
+}
+
+TEST_P(SegmentRoundTripTest, ArchiveIdentity) {
+  const Dist dist = GetParam();
+  const int64_t n = 5000;
+  ColumnData col = MakeIntColumn(dist, n, 202);
+  auto seg = SegmentBuilder::Build(col, 0, n, nullptr, nullptr,
+                                   SegmentBuilder::Options{});
+  ASSERT_TRUE(seg->Archive().ok());
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  seg->DecodeInt64(0, n, out.data());
+  for (int64_t i = 0; i < n; ++i) {
+    if (!col.IsNull(i)) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], col.GetInt64(i)) << DistName(dist);
+    }
+  }
+}
+
+TEST_P(SegmentRoundTripTest, StatsBoundAllValues) {
+  const Dist dist = GetParam();
+  const int64_t n = 3000;
+  ColumnData col = MakeIntColumn(dist, n, 303);
+  auto seg = SegmentBuilder::Build(col, 0, n, nullptr, nullptr,
+                                   SegmentBuilder::Options{});
+  if (!seg->stats().has_values) return;
+  for (int64_t i = 0; i < n; ++i) {
+    if (col.IsNull(i)) continue;
+    ASSERT_GE(col.GetInt64(i), seg->stats().min_i64);
+    ASSERT_LE(col.GetInt64(i), seg->stats().max_i64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, SegmentRoundTripTest,
+    ::testing::Values(Dist::kSequential, Dist::kUniformSmall,
+                      Dist::kUniformWide, Dist::kZipf, Dist::kRuns,
+                      Dist::kScaled, Dist::kWithNulls),
+    [](const ::testing::TestParamInfo<Dist>& info) {
+      return DistName(info.param);
+    });
+
+// --- Property: scans with predicates equal a reference filter ------------------
+
+struct ScanCase {
+  Dist dist;
+  CompareOp op;
+};
+
+class ScanPredicatePropertyTest
+    : public ::testing::TestWithParam<std::tuple<Dist, CompareOp>> {};
+
+TEST_P(ScanPredicatePropertyTest, MatchesReferenceFilter) {
+  const Dist dist = std::get<0>(GetParam());
+  const CompareOp op = std::get<1>(GetParam());
+  const int64_t n = 8000;
+
+  Schema schema({{"v", DataType::kInt64, true}});
+  TableData data(schema);
+  ColumnData col = MakeIntColumn(dist, n, 404);
+  for (int64_t i = 0; i < n; ++i) {
+    if (col.IsNull(i)) {
+      data.column(0).AppendNull();
+    } else {
+      data.column(0).AppendInt64(col.GetInt64(i));
+    }
+  }
+
+  Catalog catalog;
+  ColumnStoreTable::Options options;
+  options.row_group_size = 1000;
+  options.min_compress_rows = 1;
+  auto table = std::make_unique<ColumnStoreTable>("t", schema, options);
+  table->BulkLoad(data).CheckOK();
+  table->CompressDeltaStores(true).status().CheckOK();
+  catalog.AddColumnStore(std::move(table)).CheckOK();
+
+  // Probe several literals, including out-of-range ones.
+  for (int64_t literal : {-1000000LL, 0LL, 10LL, 57LL, 1000000000000LL}) {
+    int64_t expected = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (data.column(0).IsNull(i)) continue;
+      int64_t v = data.column(0).GetInt64(i);
+      int cmp = v < literal ? -1 : (v > literal ? 1 : 0);
+      if (ApplyCompare(op, cmp)) ++expected;
+    }
+
+    PlanBuilder b = PlanBuilder::Scan(catalog, "t");
+    b.Filter(expr::Cmp(op, expr::Column(b.schema(), "v"),
+                       expr::Lit(Value::Int64(literal))));
+    b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+    QueryExecutor exec(&catalog);
+    auto result = exec.Execute(b.Build());
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->data.column(0).GetInt64(0), expected)
+        << DistName(dist) << " " << CompareOpName(op) << " " << literal;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScanPredicatePropertyTest,
+    ::testing::Combine(::testing::Values(Dist::kSequential,
+                                         Dist::kUniformSmall, Dist::kZipf,
+                                         Dist::kRuns, Dist::kWithNulls),
+                       ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                         CompareOp::kLt, CompareOp::kGe)),
+    [](const ::testing::TestParamInfo<std::tuple<Dist, CompareOp>>& info) {
+      std::string op;
+      switch (std::get<1>(info.param)) {
+        case CompareOp::kEq: op = "eq"; break;
+        case CompareOp::kNe: op = "ne"; break;
+        case CompareOp::kLt: op = "lt"; break;
+        case CompareOp::kGe: op = "ge"; break;
+        default: op = "x"; break;
+      }
+      return std::string(DistName(std::get<0>(info.param))) + "_" + op;
+    });
+
+// --- Property: DML sequences preserve live-row accounting ----------------------
+
+TEST(DmlPropertyTest, RandomInsertDeleteMatchesReferenceCount) {
+  Schema schema({{"k", DataType::kInt64, false}});
+  ColumnStoreTable::Options options;
+  options.row_group_size = 200;
+  options.min_compress_rows = 20;
+  ColumnStoreTable table("t", schema, options);
+
+  Random rng(55);
+  std::vector<RowId> live;
+  int64_t expected = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.NextBool(0.7)) {
+      RowId id = table.Insert({Value::Int64(step)}).ValueOrDie();
+      live.push_back(id);
+      ++expected;
+    } else {
+      size_t pick = static_cast<size_t>(rng.Next() % live.size());
+      table.Delete(live[pick]).CheckOK();
+      live.erase(live.begin() + static_cast<long>(pick));
+      --expected;
+    }
+    if (step % 1000 == 999) {
+      // Reorganize mid-stream; live rowids in delta stores survive as
+      // compressed ids... they do NOT keep ids, so only count integrity is
+      // checked after this point.
+      ASSERT_EQ(table.num_rows(), expected);
+    }
+  }
+  EXPECT_EQ(table.num_rows(), expected);
+}
+
+TEST(DmlPropertyTest, ScanSeesExactlyLiveRows) {
+  Schema schema({{"k", DataType::kInt64, false}});
+  ColumnStoreTable::Options options;
+  options.row_group_size = 100;
+  options.min_compress_rows = 10;
+  ColumnStoreTable table("t", schema, options);
+
+  Random rng(66);
+  std::set<int64_t> expected;
+  std::map<int64_t, RowId> ids;
+  for (int step = 0; step < 2000; ++step) {
+    if (expected.empty() || rng.NextBool(0.65)) {
+      int64_t key = step;
+      ids[key] = table.Insert({Value::Int64(key)}).ValueOrDie();
+      expected.insert(key);
+    } else {
+      auto it = expected.begin();
+      std::advance(it, static_cast<long>(rng.Next() % expected.size()));
+      table.Delete(ids[*it]).CheckOK();
+      ids.erase(*it);
+      expected.erase(it);
+    }
+  }
+
+  Catalog catalog;
+  // Move the table into the catalog indirectly: scan it directly instead.
+  ExecContext ctx;
+  ColumnStoreScanOperator scan(&table, {}, &ctx);
+  scan.Open().CheckOK();
+  std::set<int64_t> seen;
+  for (;;) {
+    Batch* batch = scan.Next().ValueOrDie();
+    if (batch == nullptr) break;
+    for (int64_t i = 0; i < batch->num_rows(); ++i) {
+      if (batch->active()[i]) {
+        ASSERT_TRUE(seen.insert(batch->column(0).ints()[i]).second);
+      }
+    }
+  }
+  scan.Close();
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/rle.h"
+
+namespace vstore {
+namespace {
+
+TEST(RleTest, EmptyInput) {
+  RleEncoded enc = RleCodec::Encode(nullptr, 0);
+  EXPECT_EQ(enc.num_runs, 0);
+  EXPECT_EQ(enc.num_rows, 0);
+  EXPECT_TRUE(RleCodec::DecodeAll(enc).empty());
+}
+
+TEST(RleTest, SingleRun) {
+  std::vector<uint64_t> codes(1000, 42);
+  RleEncoded enc = RleCodec::Encode(codes.data(), 1000);
+  EXPECT_EQ(enc.num_runs, 1);
+  EXPECT_EQ(RleCodec::DecodeAll(enc), codes);
+  // One run of a 6-bit value with a 10-bit length: tiny.
+  EXPECT_LT(enc.TotalBytes(), 32);
+}
+
+TEST(RleTest, AlternatingWorstCase) {
+  std::vector<uint64_t> codes(100);
+  for (size_t i = 0; i < 100; ++i) codes[i] = i % 2;
+  RleEncoded enc = RleCodec::Encode(codes.data(), 100);
+  EXPECT_EQ(enc.num_runs, 100);
+  EXPECT_EQ(RleCodec::DecodeAll(enc), codes);
+}
+
+TEST(RleTest, CountRunsMatchesEncode) {
+  Random rng(5);
+  std::vector<uint64_t> codes;
+  for (int run = 0; run < 50; ++run) {
+    uint64_t value = rng.Next() % 10;
+    int64_t length = rng.Uniform(1, 20);
+    for (int64_t i = 0; i < length; ++i) codes.push_back(value);
+  }
+  int64_t n = static_cast<int64_t>(codes.size());
+  RleEncoded enc = RleCodec::Encode(codes.data(), n);
+  EXPECT_EQ(enc.num_runs, RleCodec::CountRuns(codes.data(), n));
+  EXPECT_EQ(RleCodec::DecodeAll(enc), codes);
+}
+
+TEST(RleTest, PartialDecodeAcrossRunBoundaries) {
+  // Runs: 5x0, 5x1, 5x2, ...
+  std::vector<uint64_t> codes;
+  for (uint64_t v = 0; v < 20; ++v) {
+    for (int i = 0; i < 5; ++i) codes.push_back(v);
+  }
+  RleEncoded enc = RleCodec::Encode(codes.data(), 100);
+  for (int64_t start = 0; start < 100; start += 7) {
+    int64_t count = std::min<int64_t>(13, 100 - start);
+    std::vector<uint64_t> out(static_cast<size_t>(count));
+    RleCodec::Decode(enc, start, count, out.data());
+    for (int64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[static_cast<size_t>(i)],
+                codes[static_cast<size_t>(start + i)]);
+    }
+  }
+}
+
+TEST(RleTest, EstimateIsUpperBoundOnActual) {
+  Random rng(6);
+  std::vector<uint64_t> codes(5000);
+  for (auto& c : codes) c = rng.Next() % 4;  // short runs
+  int64_t n = static_cast<int64_t>(codes.size());
+  int64_t runs = RleCodec::CountRuns(codes.data(), n);
+  uint64_t max_code = 3;
+  RleEncoded enc = RleCodec::Encode(codes.data(), n);
+  EXPECT_GE(RleCodec::EstimateBytes(runs, n, max_code), enc.TotalBytes());
+}
+
+TEST(RleTest, ZeroDecodeCountIsNoop) {
+  std::vector<uint64_t> codes(10, 1);
+  RleEncoded enc = RleCodec::Encode(codes.data(), 10);
+  RleCodec::Decode(enc, 5, 0, nullptr);  // must not crash
+}
+
+// Property sweep over run-length structure.
+class RleRunLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RleRunLengthTest, RoundTrip) {
+  const int run_length = GetParam();
+  std::vector<uint64_t> codes;
+  for (uint64_t v = 0; v < 64; ++v) {
+    for (int i = 0; i < run_length; ++i) codes.push_back(v * 3);
+  }
+  int64_t n = static_cast<int64_t>(codes.size());
+  RleEncoded enc = RleCodec::Encode(codes.data(), n);
+  EXPECT_EQ(enc.num_runs, 64);
+  EXPECT_EQ(RleCodec::DecodeAll(enc), codes);
+}
+
+INSTANTIATE_TEST_SUITE_P(RunLengths, RleRunLengthTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000));
+
+}  // namespace
+}  // namespace vstore

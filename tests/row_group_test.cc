@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "storage/row_group.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+std::vector<std::shared_ptr<StringDictionary>> DictsFor(const TableData& data) {
+  std::vector<std::shared_ptr<StringDictionary>> dicts;
+  for (int c = 0; c < data.num_columns(); ++c) {
+    dicts.push_back(PhysicalTypeOf(data.column(c).type()) ==
+                            PhysicalType::kString
+                        ? std::make_shared<StringDictionary>()
+                        : nullptr);
+  }
+  return dicts;
+}
+
+TEST(RowGroupTest, BuildAllColumns) {
+  TableData data = testing_util::MakeTestTable(5000);
+  auto dicts = DictsFor(data);
+  auto rg = RowGroupBuilder::Build(data, 0, 5000, 7, dicts,
+                                   RowGroupBuilder::Options{});
+  EXPECT_EQ(rg->id(), 7);
+  EXPECT_EQ(rg->num_rows(), 5000);
+  EXPECT_EQ(rg->num_columns(), 4);
+  // Spot-check decode through each segment.
+  std::vector<int64_t> ids(5000);
+  rg->column(0).DecodeInt64(0, 5000, ids.data());
+  for (int64_t i = 0; i < 5000; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+}
+
+TEST(RowGroupTest, SliceBuildsOnlyRange) {
+  TableData data = testing_util::MakeTestTable(1000);
+  auto dicts = DictsFor(data);
+  auto rg = RowGroupBuilder::Build(data, 100, 200, 0, dicts,
+                                   RowGroupBuilder::Options{});
+  EXPECT_EQ(rg->num_rows(), 100);
+  std::vector<int64_t> ids(100);
+  rg->column(0).DecodeInt64(0, 100, ids.data());
+  EXPECT_EQ(ids[0], 100);
+  EXPECT_EQ(ids[99], 199);
+}
+
+TEST(RowGroupTest, EncodedBytesSumsSegments) {
+  TableData data = testing_util::MakeTestTable(2000);
+  auto dicts = DictsFor(data);
+  auto rg = RowGroupBuilder::Build(data, 0, 2000, 0, dicts,
+                                   RowGroupBuilder::Options{});
+  int64_t sum = 0;
+  for (int c = 0; c < rg->num_columns(); ++c) {
+    sum += rg->column(c).EncodedBytes();
+  }
+  EXPECT_EQ(rg->EncodedBytes(), sum);
+  EXPECT_GT(sum, 0);
+}
+
+TEST(RowGroupTest, ArchiveOptionCompressesAtBuild) {
+  TableData data = testing_util::MakeTestTable(5000);
+  auto dicts = DictsFor(data);
+  RowGroupBuilder::Options options;
+  options.archival = true;
+  auto rg = RowGroupBuilder::Build(data, 0, 5000, 0, dicts, options);
+  for (int c = 0; c < rg->num_columns(); ++c) {
+    EXPECT_TRUE(rg->column(c).is_archived());
+  }
+  EXPECT_GT(rg->ArchivedBytes(), 0);
+  // Decode still works (transparent decompression).
+  std::vector<int64_t> ids(5000);
+  rg->column(0).DecodeInt64(0, 5000, ids.data());
+  EXPECT_EQ(ids[42], 42);
+}
+
+TEST(RowGroupTest, ArchiveAndEvictAfterBuild) {
+  TableData data = testing_util::MakeTestTable(3000);
+  auto dicts = DictsFor(data);
+  auto rg = RowGroupBuilder::Build(data, 0, 3000, 0, dicts,
+                                   RowGroupBuilder::Options{});
+  ASSERT_TRUE(rg->Archive().ok());
+  rg->Evict();
+  for (int c = 0; c < rg->num_columns(); ++c) {
+    EXPECT_FALSE(rg->column(c).is_resident());
+  }
+  std::vector<int64_t> buckets(3000);
+  rg->column(1).DecodeInt64(0, 3000, buckets.data());
+  for (int64_t b : buckets) {
+    EXPECT_GE(b, 0);
+    EXPECT_LE(b, 9);
+  }
+}
+
+}  // namespace
+}  // namespace vstore

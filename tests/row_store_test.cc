@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "storage/row_store.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+TEST(RowStoreTest, InsertAndGetRow) {
+  Schema schema({{"id", DataType::kInt64, false},
+                 {"name", DataType::kString, true}});
+  RowStoreTable table("t", schema);
+  ASSERT_TRUE(table.Insert({Value::Int64(1), Value::String("x")}).ok());
+  ASSERT_TRUE(
+      table.Insert({Value::Int64(2), Value::Null(DataType::kString)}).ok());
+  EXPECT_EQ(table.num_rows(), 2);
+  std::vector<Value> row;
+  ASSERT_TRUE(table.GetRow(0, &row).ok());
+  EXPECT_EQ(row[0].int64(), 1);
+  EXPECT_EQ(row[1].str(), "x");
+  ASSERT_TRUE(table.GetRow(1, &row).ok());
+  EXPECT_TRUE(row[1].is_null());
+}
+
+TEST(RowStoreTest, GetRowOutOfRange) {
+  Schema schema({{"id", DataType::kInt64, false}});
+  RowStoreTable table("t", schema);
+  std::vector<Value> row;
+  EXPECT_EQ(table.GetRow(0, &row).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.GetRow(-1, &row).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RowStoreTest, ArityChecked) {
+  Schema schema({{"id", DataType::kInt64, false}});
+  RowStoreTable table("t", schema);
+  EXPECT_TRUE(table.Insert({Value::Int64(1), Value::Int64(2)})
+                  .IsInvalidArgument());
+}
+
+TEST(RowStoreTest, AppendTableData) {
+  TableData data = testing_util::MakeTestTable(500);
+  RowStoreTable table("t", data.schema());
+  ASSERT_TRUE(table.Append(data).ok());
+  EXPECT_EQ(table.num_rows(), 500);
+  std::vector<Value> row;
+  ASSERT_TRUE(table.GetRow(123, &row).ok());
+  EXPECT_EQ(row[0].int64(), 123);
+}
+
+TEST(RowStoreTest, AppendSchemaMismatch) {
+  Schema other({{"x", DataType::kDouble, false}});
+  TableData data(other);
+  RowStoreTable table("t", testing_util::MakeTestTable(1).schema());
+  EXPECT_TRUE(table.Append(data).IsInvalidArgument());
+}
+
+TEST(RowStoreTest, UncompressedBytesGrow) {
+  TableData data = testing_util::MakeTestTable(1000);
+  RowStoreTable table("t", data.schema());
+  ASSERT_TRUE(table.Append(data).ok());
+  EXPECT_GT(table.UncompressedBytes(), 1000 * 20);  // > 20 B/row
+}
+
+TEST(RowStoreTest, PageCompressionShrinksRedundantData) {
+  // Highly redundant table: page compression should beat raw.
+  Schema schema({{"k", DataType::kInt64, false},
+                 {"label", DataType::kString, false}});
+  TableData data(schema);
+  for (int64_t i = 0; i < 5000; ++i) {
+    data.column(0).AppendInt64(i % 3);
+    data.column(1).AppendString(i % 2 == 0 ? "steady" : "state");
+  }
+  RowStoreTable table("t", schema);
+  ASSERT_TRUE(table.Append(data).ok());
+  EXPECT_LT(table.PageCompressedBytes(), table.UncompressedBytes());
+}
+
+TEST(RowStoreTest, PageCompressionOnUniqueDataStaysSane) {
+  TableData data = testing_util::MakeTestTable(2000);
+  RowStoreTable table("t", data.schema());
+  ASSERT_TRUE(table.Append(data).ok());
+  int64_t compressed = table.PageCompressedBytes();
+  EXPECT_GT(compressed, 0);
+  // Even on near-unique data it should not explode beyond ~2x raw.
+  EXPECT_LT(compressed, table.UncompressedBytes() * 2);
+}
+
+}  // namespace
+}  // namespace vstore

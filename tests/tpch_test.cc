@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "query/executor.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace vstore {
+namespace {
+
+// One tiny TPC-H instance shared by every test in this binary.
+class TpchEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    tables_ = std::make_unique<tpch::Tables>(tpch::Generate(0.002));
+    catalog_ = std::make_unique<Catalog>();
+    ColumnStoreTable::Options options;
+    options.row_group_size = 4096;
+    tpch::LoadIntoCatalog(catalog_.get(), *tables_, /*column_store=*/true,
+                          /*row_store=*/true, options)
+        .CheckOK();
+  }
+
+  static std::unique_ptr<tpch::Tables> tables_;
+  static std::unique_ptr<Catalog> catalog_;
+};
+
+std::unique_ptr<tpch::Tables> TpchEnv::tables_;
+std::unique_ptr<Catalog> TpchEnv::catalog_;
+
+[[maybe_unused]] const ::testing::Environment* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new TpchEnv);
+
+const tpch::Tables& Tables() { return *TpchEnv::tables_; }
+Catalog& Cat() { return *TpchEnv::catalog_; }
+
+TEST(TpchGenTest, RowCountsScale) {
+  const tpch::Tables& t = Tables();
+  EXPECT_EQ(t.region.num_rows(), 5);
+  EXPECT_EQ(t.nation.num_rows(), 25);
+  EXPECT_EQ(t.supplier.num_rows(), 20);     // 10000 * 0.002
+  EXPECT_EQ(t.customer.num_rows(), 300);    // 150000 * 0.002
+  EXPECT_EQ(t.part.num_rows(), 400);        // 200000 * 0.002
+  EXPECT_EQ(t.partsupp.num_rows(), 1600);   // 4 per part
+  EXPECT_EQ(t.orders.num_rows(), 3000);     // 1500000 * 0.002
+  EXPECT_GE(t.lineitem.num_rows(), t.orders.num_rows());
+}
+
+TEST(TpchGenTest, DeterministicForSeed) {
+  tpch::Tables a = tpch::Generate(0.001, 7);
+  tpch::Tables b = tpch::Generate(0.001, 7);
+  ASSERT_EQ(a.lineitem.num_rows(), b.lineitem.num_rows());
+  for (int64_t i = 0; i < a.lineitem.num_rows(); i += 50) {
+    EXPECT_EQ(a.lineitem.GetRow(i), b.lineitem.GetRow(i));
+  }
+  tpch::Tables c = tpch::Generate(0.001, 8);
+  bool any_diff = c.lineitem.num_rows() != a.lineitem.num_rows();
+  for (int64_t i = 0; !any_diff && i < std::min<int64_t>(
+                                           a.lineitem.num_rows(),
+                                           c.lineitem.num_rows());
+       ++i) {
+    if (!(a.lineitem.GetRow(i) == c.lineitem.GetRow(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpchGenTest, ForeignKeysResolve) {
+  const tpch::Tables& t = Tables();
+  std::set<int64_t> orderkeys, custkeys;
+  for (int64_t i = 0; i < t.orders.num_rows(); ++i) {
+    orderkeys.insert(t.orders.column(0).GetInt64(i));
+  }
+  int64_t num_customers = t.customer.num_rows();
+  for (int64_t i = 0; i < t.orders.num_rows(); ++i) {
+    int64_t ck = t.orders.column(1).GetInt64(i);
+    ASSERT_GE(ck, 1);
+    ASSERT_LE(ck, num_customers);
+  }
+  for (int64_t i = 0; i < t.lineitem.num_rows(); ++i) {
+    ASSERT_TRUE(orderkeys.count(t.lineitem.column(0).GetInt64(i)))
+        << "dangling l_orderkey at row " << i;
+  }
+  // nation.regionkey within range.
+  for (int64_t i = 0; i < t.nation.num_rows(); ++i) {
+    int64_t rk = t.nation.column(2).GetInt64(i);
+    ASSERT_GE(rk, 0);
+    ASSERT_LT(rk, 5);
+  }
+}
+
+TEST(TpchGenTest, DateCorrelationRules) {
+  const tpch::Tables& t = Tables();
+  const Schema& li = t.lineitem.schema();
+  int ship = li.IndexOf("l_shipdate");
+  int commit = li.IndexOf("l_commitdate");
+  int receipt = li.IndexOf("l_receiptdate");
+  int rf = li.IndexOf("l_returnflag");
+  int ls = li.IndexOf("l_linestatus");
+  int32_t current = DaysFromCivil(1995, 6, 17);
+  for (int64_t i = 0; i < t.lineitem.num_rows(); i += 7) {
+    int64_t s = t.lineitem.column(ship).GetInt64(i);
+    int64_t r = t.lineitem.column(receipt).GetInt64(i);
+    EXPECT_GT(r, s);  // receipt strictly after ship
+    EXPECT_GT(t.lineitem.column(commit).GetInt64(i), 0);
+    const std::string& flag = t.lineitem.column(rf).GetString(i);
+    if (r > current) {
+      EXPECT_EQ(flag, "N");
+    } else {
+      EXPECT_TRUE(flag == "R" || flag == "A");
+    }
+    const std::string& status = t.lineitem.column(ls).GetString(i);
+    EXPECT_EQ(status, s > current ? "O" : "F");
+  }
+}
+
+TEST(TpchGenTest, SchemaOfMatchesGeneratedTables) {
+  EXPECT_TRUE(tpch::SchemaOf("lineitem").Equals(Tables().lineitem.schema()));
+  EXPECT_TRUE(tpch::SchemaOf("orders").Equals(Tables().orders.schema()));
+  EXPECT_TRUE(tpch::SchemaOf("region").Equals(Tables().region.schema()));
+}
+
+// --- Query correctness: batch mode vs row mode vs reference -----------------
+
+QueryResult RunQuery(const PlanPtr& plan, ExecutionMode mode, int dop = 1) {
+  QueryOptions options;
+  options.mode = mode;
+  options.dop = dop;
+  QueryExecutor exec(&Cat(), options);
+  auto result = exec.Execute(plan);
+  result.status().CheckOK();
+  return std::move(result).value();
+}
+
+void ExpectResultsMatch(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.data.num_rows(), b.data.num_rows());
+  ASSERT_EQ(a.schema.num_columns(), b.schema.num_columns());
+  for (int64_t i = 0; i < a.data.num_rows(); ++i) {
+    for (int c = 0; c < a.schema.num_columns(); ++c) {
+      Value va = a.data.column(c).GetValue(i);
+      Value vb = b.data.column(c).GetValue(i);
+      if (va.type() == DataType::kDouble && !va.is_null() && !vb.is_null()) {
+        double denom = std::max(1.0, std::abs(va.dbl()));
+        EXPECT_LT(std::abs(va.dbl() - vb.dbl()) / denom, 1e-9)
+            << "row " << i << " col " << c;
+      } else {
+        EXPECT_EQ(va, vb) << "row " << i << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(TpchQueryTest, Q1BatchMatchesRow) {
+  PlanPtr plan = tpch::Q1(Cat());
+  ExpectResultsMatch(RunQuery(plan, ExecutionMode::kBatch),
+                     RunQuery(plan, ExecutionMode::kRow));
+}
+
+TEST(TpchQueryTest, Q1MatchesHandComputedReference) {
+  QueryResult result = RunQuery(tpch::Q1(Cat()), ExecutionMode::kBatch);
+  // Reference from raw data.
+  const TableData& li = Tables().lineitem;
+  const Schema& s = li.schema();
+  int ship = s.IndexOf("l_shipdate"), qty = s.IndexOf("l_quantity");
+  int rf = s.IndexOf("l_returnflag"), ls = s.IndexOf("l_linestatus");
+  int32_t cutoff = DaysFromCivil(1998, 12, 1) - 90;
+  std::map<std::pair<std::string, std::string>, std::pair<double, int64_t>>
+      reference;
+  for (int64_t i = 0; i < li.num_rows(); ++i) {
+    if (li.column(ship).GetInt64(i) > cutoff) continue;
+    auto key = std::make_pair(li.column(rf).GetString(i),
+                              li.column(ls).GetString(i));
+    reference[key].first += li.column(qty).GetDouble(i);
+    reference[key].second += 1;
+  }
+  ASSERT_EQ(result.data.num_rows(),
+            static_cast<int64_t>(reference.size()));
+  int sum_qty_col = result.schema.IndexOf("sum_qty");
+  int cnt_col = result.schema.IndexOf("count_order");
+  for (int64_t i = 0; i < result.data.num_rows(); ++i) {
+    auto key = std::make_pair(result.data.column(0).GetString(i),
+                              result.data.column(1).GetString(i));
+    ASSERT_TRUE(reference.count(key));
+    EXPECT_NEAR(result.data.column(sum_qty_col).GetDouble(i),
+                reference[key].first, 1e-6);
+    EXPECT_EQ(result.data.column(cnt_col).GetInt64(i), reference[key].second);
+  }
+}
+
+TEST(TpchQueryTest, Q3BatchMatchesRow) {
+  PlanPtr plan = tpch::Q3(Cat());
+  ExpectResultsMatch(RunQuery(plan, ExecutionMode::kBatch),
+                     RunQuery(plan, ExecutionMode::kRow));
+}
+
+TEST(TpchQueryTest, Q5BatchMatchesRow) {
+  PlanPtr plan = tpch::Q5(Cat());
+  ExpectResultsMatch(RunQuery(plan, ExecutionMode::kBatch),
+                     RunQuery(plan, ExecutionMode::kRow));
+}
+
+TEST(TpchQueryTest, Q6BatchMatchesRowAndReference) {
+  PlanPtr plan = tpch::Q6(Cat());
+  QueryResult batch = RunQuery(plan, ExecutionMode::kBatch);
+  ExpectResultsMatch(batch, RunQuery(plan, ExecutionMode::kRow));
+
+  const TableData& li = Tables().lineitem;
+  const Schema& s = li.schema();
+  int ship = s.IndexOf("l_shipdate"), disc = s.IndexOf("l_discount");
+  int qty = s.IndexOf("l_quantity"), ext = s.IndexOf("l_extendedprice");
+  int32_t lo = DaysFromCivil(1994, 1, 1), hi = DaysFromCivil(1995, 1, 1);
+  double expected = 0;
+  for (int64_t i = 0; i < li.num_rows(); ++i) {
+    int64_t d = li.column(ship).GetInt64(i);
+    double discount = li.column(disc).GetDouble(i);
+    if (d >= lo && d < hi && discount >= 0.0499 && discount <= 0.0701 &&
+        li.column(qty).GetDouble(i) < 24) {
+      expected += li.column(ext).GetDouble(i) * discount;
+    }
+  }
+  ASSERT_EQ(batch.data.num_rows(), 1);
+  if (batch.data.column(0).IsNull(0)) {
+    EXPECT_EQ(expected, 0.0);
+  } else {
+    EXPECT_NEAR(batch.data.column(0).GetDouble(0), expected, 1e-6);
+  }
+}
+
+TEST(TpchQueryTest, Q12BatchMatchesRow) {
+  PlanPtr plan = tpch::Q12(Cat());
+  ExpectResultsMatch(RunQuery(plan, ExecutionMode::kBatch),
+                     RunQuery(plan, ExecutionMode::kRow));
+}
+
+TEST(TpchQueryTest, ParallelBatchMatchesSerialForQ12) {
+  // Q12's aggregates are integer counts, immune to FP reordering.
+  PlanPtr plan = tpch::Q12(Cat());
+  ExpectResultsMatch(RunQuery(plan, ExecutionMode::kBatch, 1),
+                     RunQuery(plan, ExecutionMode::kBatch, 4));
+}
+
+TEST(TpchQueryTest, AllQueriesRunWithoutOptimizer) {
+  for (const auto& named : tpch::AllQueries(Cat())) {
+    QueryOptions options;
+    options.optimize = false;
+    options.mode = ExecutionMode::kBatch;
+    QueryExecutor exec(&Cat(), options);
+    auto unoptimized = exec.Execute(named.plan);
+    ASSERT_TRUE(unoptimized.ok()) << named.name;
+    QueryResult optimized = RunQuery(named.plan, ExecutionMode::kBatch);
+    ExpectResultsMatch(optimized, *unoptimized);
+  }
+}
+
+}  // namespace
+}  // namespace vstore

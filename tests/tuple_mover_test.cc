@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "storage/column_store.h"
+#include "storage/tuple_mover.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+ColumnStoreTable::Options SmallGroups() {
+  ColumnStoreTable::Options options;
+  options.row_group_size = 500;
+  options.min_compress_rows = 50;
+  return options;
+}
+
+std::vector<Value> SampleRow(int64_t id) {
+  return {Value::Int64(id), Value::Int64(id % 10),
+          Value::String("name"), Value::Double(1.0)};
+}
+
+TEST(TupleMoverTest, RunOnceCompressesClosedStores) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  for (int64_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  TupleMover mover(&table);
+  auto moved = mover.RunOnce();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 2);  // two closed 500-row stores
+  EXPECT_EQ(table.num_row_groups(), 2);
+  EXPECT_EQ(table.num_delta_rows(), 200);
+  EXPECT_EQ(table.num_rows(), 1200);
+  EXPECT_EQ(mover.total_stores_moved(), 2);
+}
+
+TEST(TupleMoverTest, IncludeOpenOption) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  TupleMover::Options options;
+  options.include_open_stores = true;
+  TupleMover mover(&table, options);
+  ASSERT_TRUE(mover.RunOnce().ok());
+  EXPECT_EQ(table.num_delta_rows(), 0);
+  EXPECT_EQ(table.num_row_groups(), 1);
+}
+
+TEST(TupleMoverTest, RebuildsHeavilyDeletedGroups) {
+  TableData data = testing_util::MakeTestTable(500);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, i)).ok());
+  }
+  TupleMover::Options options;
+  options.rebuild_deleted_fraction = 0.2;
+  TupleMover mover(&table, options);
+  ASSERT_TRUE(mover.RunOnce().ok());
+  EXPECT_EQ(table.num_deleted_rows(), 0);
+  EXPECT_EQ(table.num_rows(), 300);
+}
+
+TEST(TupleMoverTest, BackgroundThreadDrainsInserts) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  TupleMover mover(&table);
+  mover.Start(std::chrono::milliseconds(5));
+  EXPECT_TRUE(mover.running());
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  // Wait until the mover has drained all closed stores.
+  for (int tries = 0; tries < 200; ++tries) {
+    if (table.num_delta_rows() <= 500) break;  // only the open store left
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  mover.Stop();
+  EXPECT_FALSE(mover.running());
+  EXPECT_LE(table.num_delta_rows(), 500);
+  EXPECT_EQ(table.num_rows(), 2000);  // no rows lost while moving
+}
+
+TEST(TupleMoverTest, StopIsIdempotent) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  TupleMover mover(&table);
+  mover.Stop();  // never started: no-op
+  mover.Start(std::chrono::milliseconds(50));
+  mover.Stop();
+  mover.Stop();
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "types/compare_op.h"
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/table_data.h"
+#include "types/value.h"
+
+namespace vstore {
+namespace {
+
+TEST(DataTypeTest, PhysicalMapping) {
+  EXPECT_EQ(PhysicalTypeOf(DataType::kBool), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kInt32), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kInt64), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kDate32), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kDouble), PhysicalType::kDouble);
+  EXPECT_EQ(PhysicalTypeOf(DataType::kString), PhysicalType::kString);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kDate32), "DATE32");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, RoundTripAcrossRange) {
+  for (int32_t days = -40000; days <= 40000; days += 37) {
+    std::string iso = Date32ToString(days);
+    EXPECT_EQ(ParseDate32(iso), days) << iso;
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_EQ(Date32ToString(DaysFromCivil(2000, 2, 29)), "2000-02-29");
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28), 2);
+  EXPECT_EQ(DaysFromCivil(1900, 3, 1) - DaysFromCivil(1900, 2, 28), 1);
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_EQ(ParseDate32("not-a-date"), std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(ParseDate32("1994-13-01"), std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(ParseDate32("1994-00-10"), std::numeric_limits<int32_t>::min());
+}
+
+TEST(ValueTest, NullAndTypedAccessors) {
+  Value n = Value::Null(DataType::kString);
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(n.ToString(), "NULL");
+
+  Value i = Value::Int64(42);
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_EQ(i.AsDouble(), 42.0);
+  EXPECT_EQ(i.ToString(), "42");
+
+  Value d = Value::Double(2.5);
+  EXPECT_EQ(d.dbl(), 2.5);
+
+  Value s = Value::String("abc");
+  EXPECT_EQ(s.str(), "abc");
+
+  Value b = Value::Bool(true);
+  EXPECT_EQ(b.int64(), 1);
+  EXPECT_EQ(b.ToString(), "true");
+
+  Value date = Value::Date("1994-07-15");
+  EXPECT_EQ(date.ToString(), "1994-07-15");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int64(1), Value::Int64(1));
+  EXPECT_NE(Value::Int64(1), Value::Int64(2));
+  EXPECT_NE(Value::Int64(1), Value::Double(1.0));  // different types
+  EXPECT_EQ(Value::Null(DataType::kInt64), Value::Null(DataType::kInt64));
+  EXPECT_NE(Value::Null(DataType::kInt64), Value::Int64(0));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(CompareOpTest, ApplyCompareMatrix) {
+  EXPECT_TRUE(ApplyCompare(CompareOp::kEq, 0));
+  EXPECT_FALSE(ApplyCompare(CompareOp::kEq, 1));
+  EXPECT_TRUE(ApplyCompare(CompareOp::kNe, -1));
+  EXPECT_TRUE(ApplyCompare(CompareOp::kLt, -1));
+  EXPECT_FALSE(ApplyCompare(CompareOp::kLt, 0));
+  EXPECT_TRUE(ApplyCompare(CompareOp::kLe, 0));
+  EXPECT_TRUE(ApplyCompare(CompareOp::kGt, 1));
+  EXPECT_TRUE(ApplyCompare(CompareOp::kGe, 0));
+  EXPECT_FALSE(ApplyCompare(CompareOp::kGe, -1));
+}
+
+TEST(SchemaTest, IndexOfAndProject) {
+  Schema s({{"a", DataType::kInt64, false},
+            {"b", DataType::kString, true},
+            {"c", DataType::kDouble, true}});
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.field(0).name, "c");
+  EXPECT_EQ(p.field(1).name, "a");
+}
+
+TEST(SchemaTest, EqualsComparesNamesAndTypes) {
+  Schema a({{"x", DataType::kInt64, false}});
+  Schema b({{"x", DataType::kInt64, true}});  // nullability ignored
+  Schema c({{"x", DataType::kInt32, false}});
+  Schema d({{"y", DataType::kInt64, false}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(d));
+}
+
+TEST(SchemaTest, ToStringMentionsEveryField) {
+  Schema s({{"k", DataType::kInt64, false}, {"v", DataType::kString, true}});
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("k: INT64 NOT NULL"), std::string::npos);
+  EXPECT_NE(str.find("v: STRING"), std::string::npos);
+}
+
+TEST(TableDataTest, AppendAndGetRow) {
+  Schema s({{"id", DataType::kInt64, false}, {"name", DataType::kString, true}});
+  TableData data(s);
+  data.AppendRow({Value::Int64(1), Value::String("one")});
+  data.AppendRow({Value::Int64(2), Value::Null(DataType::kString)});
+  EXPECT_EQ(data.num_rows(), 2);
+  EXPECT_EQ(data.GetRow(0)[1].str(), "one");
+  EXPECT_TRUE(data.GetRow(1)[1].is_null());
+  EXPECT_EQ(data.column(1).null_count(), 1);
+}
+
+TEST(TableDataTest, ColumnDataTypedAppend) {
+  ColumnData col(DataType::kDate32);
+  col.AppendInt64(100);
+  col.AppendNull();
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(0).type(), DataType::kDate32);
+  EXPECT_EQ(col.GetValue(0).int64(), 100);
+}
+
+TEST(TableDataTest, ValuePreservesLogicalTypeThroughPhysicalWidening) {
+  ColumnData col(DataType::kBool);
+  col.AppendValue(Value::Bool(true));
+  col.AppendValue(Value::Bool(false));
+  EXPECT_EQ(col.GetValue(0).ToString(), "true");
+  EXPECT_EQ(col.GetValue(1).ToString(), "false");
+}
+
+}  // namespace
+}  // namespace vstore
