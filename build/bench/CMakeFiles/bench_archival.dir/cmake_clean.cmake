@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_archival.dir/bench_archival.cc.o"
+  "CMakeFiles/bench_archival.dir/bench_archival.cc.o.d"
+  "bench_archival"
+  "bench_archival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_archival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bitmap_filter.dir/bench_bitmap_filter.cc.o"
+  "CMakeFiles/bench_bitmap_filter.dir/bench_bitmap_filter.cc.o.d"
+  "bench_bitmap_filter"
+  "bench_bitmap_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitmap_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_speedup.dir/bench_query_speedup.cc.o"
+  "CMakeFiles/bench_query_speedup.dir/bench_query_speedup.cc.o.d"
+  "bench_query_speedup"
+  "bench_query_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

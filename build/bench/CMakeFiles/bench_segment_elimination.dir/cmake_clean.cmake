@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment_elimination.dir/bench_segment_elimination.cc.o"
+  "CMakeFiles/bench_segment_elimination.dir/bench_segment_elimination.cc.o.d"
+  "bench_segment_elimination"
+  "bench_segment_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

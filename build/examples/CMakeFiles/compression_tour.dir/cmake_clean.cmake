@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_tour.dir/compression_tour.cpp.o"
+  "CMakeFiles/compression_tour.dir/compression_tour.cpp.o.d"
+  "compression_tour"
+  "compression_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updatable_warehouse.dir/updatable_warehouse.cpp.o"
+  "CMakeFiles/updatable_warehouse.dir/updatable_warehouse.cpp.o.d"
+  "updatable_warehouse"
+  "updatable_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updatable_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/arena.cc" "src/CMakeFiles/vstore.dir/common/arena.cc.o" "gcc" "src/CMakeFiles/vstore.dir/common/arena.cc.o.d"
+  "/root/repo/src/common/bit_util.cc" "src/CMakeFiles/vstore.dir/common/bit_util.cc.o" "gcc" "src/CMakeFiles/vstore.dir/common/bit_util.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/vstore.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/vstore.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/vstore.dir/common/status.cc.o" "gcc" "src/CMakeFiles/vstore.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/vstore.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/vstore.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/exec/batch.cc" "src/CMakeFiles/vstore.dir/exec/batch.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/batch.cc.o.d"
+  "/root/repo/src/exec/bloom_filter.cc" "src/CMakeFiles/vstore.dir/exec/bloom_filter.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/bloom_filter.cc.o.d"
+  "/root/repo/src/exec/exchange.cc" "src/CMakeFiles/vstore.dir/exec/exchange.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/exchange.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/vstore.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/vstore.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/vstore.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/CMakeFiles/vstore.dir/exec/hash_table.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/hash_table.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/vstore.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/row/row_operator.cc" "src/CMakeFiles/vstore.dir/exec/row/row_operator.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/row/row_operator.cc.o.d"
+  "/root/repo/src/exec/scalar_aggregate.cc" "src/CMakeFiles/vstore.dir/exec/scalar_aggregate.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/scalar_aggregate.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/vstore.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/vstore.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/union_all.cc" "src/CMakeFiles/vstore.dir/exec/union_all.cc.o" "gcc" "src/CMakeFiles/vstore.dir/exec/union_all.cc.o.d"
+  "/root/repo/src/query/catalog.cc" "src/CMakeFiles/vstore.dir/query/catalog.cc.o" "gcc" "src/CMakeFiles/vstore.dir/query/catalog.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/vstore.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/vstore.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/logical_plan.cc" "src/CMakeFiles/vstore.dir/query/logical_plan.cc.o" "gcc" "src/CMakeFiles/vstore.dir/query/logical_plan.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/vstore.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/vstore.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/physical_planner.cc" "src/CMakeFiles/vstore.dir/query/physical_planner.cc.o" "gcc" "src/CMakeFiles/vstore.dir/query/physical_planner.cc.o.d"
+  "/root/repo/src/storage/bit_pack.cc" "src/CMakeFiles/vstore.dir/storage/bit_pack.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/bit_pack.cc.o.d"
+  "/root/repo/src/storage/column_store.cc" "src/CMakeFiles/vstore.dir/storage/column_store.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/column_store.cc.o.d"
+  "/root/repo/src/storage/delete_bitmap.cc" "src/CMakeFiles/vstore.dir/storage/delete_bitmap.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/delete_bitmap.cc.o.d"
+  "/root/repo/src/storage/delta_store.cc" "src/CMakeFiles/vstore.dir/storage/delta_store.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/delta_store.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/vstore.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/encoding.cc" "src/CMakeFiles/vstore.dir/storage/encoding.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/encoding.cc.o.d"
+  "/root/repo/src/storage/lzss.cc" "src/CMakeFiles/vstore.dir/storage/lzss.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/lzss.cc.o.d"
+  "/root/repo/src/storage/reorder.cc" "src/CMakeFiles/vstore.dir/storage/reorder.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/reorder.cc.o.d"
+  "/root/repo/src/storage/rle.cc" "src/CMakeFiles/vstore.dir/storage/rle.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/rle.cc.o.d"
+  "/root/repo/src/storage/row_group.cc" "src/CMakeFiles/vstore.dir/storage/row_group.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/row_group.cc.o.d"
+  "/root/repo/src/storage/row_store.cc" "src/CMakeFiles/vstore.dir/storage/row_store.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/row_store.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/CMakeFiles/vstore.dir/storage/segment.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/segment.cc.o.d"
+  "/root/repo/src/storage/tuple_mover.cc" "src/CMakeFiles/vstore.dir/storage/tuple_mover.cc.o" "gcc" "src/CMakeFiles/vstore.dir/storage/tuple_mover.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/vstore.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/vstore.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/vstore.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/vstore.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/vstore.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/vstore.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/vstore.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/vstore.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/vstore.dir/types/value.cc.o" "gcc" "src/CMakeFiles/vstore.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_pack_test.dir/bit_pack_test.cc.o"
+  "CMakeFiles/bit_pack_test.dir/bit_pack_test.cc.o.d"
+  "bit_pack_test"
+  "bit_pack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_pack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

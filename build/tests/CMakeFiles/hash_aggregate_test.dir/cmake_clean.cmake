@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_aggregate_test.dir/hash_aggregate_test.cc.o"
+  "CMakeFiles/hash_aggregate_test.dir/hash_aggregate_test.cc.o.d"
+  "hash_aggregate_test"
+  "hash_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

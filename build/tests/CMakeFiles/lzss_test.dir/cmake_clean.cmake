@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzss_test.dir/lzss_test.cc.o"
+  "CMakeFiles/lzss_test.dir/lzss_test.cc.o.d"
+  "lzss_test"
+  "lzss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rle_test.dir/rle_test.cc.o"
+  "CMakeFiles/rle_test.dir/rle_test.cc.o.d"
+  "rle_test"
+  "rle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_engine_test.dir/row_engine_test.cc.o"
+  "CMakeFiles/row_engine_test.dir/row_engine_test.cc.o.d"
+  "row_engine_test"
+  "row_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

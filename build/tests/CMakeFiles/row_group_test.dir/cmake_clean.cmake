@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_group_test.dir/row_group_test.cc.o"
+  "CMakeFiles/row_group_test.dir/row_group_test.cc.o.d"
+  "row_group_test"
+  "row_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

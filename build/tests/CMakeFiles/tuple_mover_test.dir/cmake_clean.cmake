@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_mover_test.dir/tuple_mover_test.cc.o"
+  "CMakeFiles/tuple_mover_test.dir/tuple_mover_test.cc.o.d"
+  "tuple_mover_test"
+  "tuple_mover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_mover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
