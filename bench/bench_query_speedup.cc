@@ -35,7 +35,8 @@ int main() {
   std::printf("%-5s %12s %14s %14s | %9s %9s\n", "query", "row-mode ms",
               "batch ms", "batch dop4 ms", "speedup", "dop4 x");
 
-  auto run = [&](const PlanPtr& plan, ExecutionMode mode, int dop) {
+  auto run = [&](const std::string& label, const PlanPtr& plan,
+                 ExecutionMode mode, int dop) {
     QueryOptions options;
     options.mode = mode;
     options.dop = dop;
@@ -43,13 +44,20 @@ int main() {
     double ms = bench::TimeMs(
         [&] { exec.Execute(plan).status().CheckOK(); },
         mode == ExecutionMode::kRow ? 1 : 3);
+    if (bench::ProfileJsonEnabled()) {
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      bench::EmitProfileJson(label, result);
+    }
     return ms;
   };
 
   for (const auto& named : tpch::AllQueries(catalog)) {
-    double row_ms = run(named.plan, ExecutionMode::kRow, 1);
-    double batch_ms = run(named.plan, ExecutionMode::kBatch, 1);
-    double batch4_ms = run(named.plan, ExecutionMode::kBatch, 4);
+    double row_ms = run(named.name + "/row", named.plan,
+                        ExecutionMode::kRow, 1);
+    double batch_ms = run(named.name + "/batch", named.plan,
+                          ExecutionMode::kBatch, 1);
+    double batch4_ms = run(named.name + "/batch-dop4", named.plan,
+                           ExecutionMode::kBatch, 4);
     std::printf("%-5s %12.1f %14.2f %14.2f | %8.1fx %8.1fx\n",
                 named.name.c_str(), row_ms, batch_ms, batch4_ms,
                 row_ms / batch_ms, row_ms / batch4_ms);

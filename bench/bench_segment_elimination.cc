@@ -51,6 +51,11 @@ int main() {
     auto [plan_on, opts_on] = build_plan(true);
     QueryExecutor exec_on(&catalog, opts_on);
     QueryResult probe = exec_on.Execute(plan_on).ValueOrDie();
+    if (bench::ProfileJsonEnabled()) {
+      char tag[48];
+      std::snprintf(tag, sizeof(tag), "segment-elim/%.0f%%", fraction * 100);
+      bench::EmitProfileJson(tag, probe);
+    }
     double elim_ms = bench::TimeMs(
         [&] { exec_on.Execute(plan_on).status().CheckOK(); });
 

@@ -76,6 +76,9 @@ int main() {
       std::snprintf(label, sizeof(label), "%3.0f%% of build",
                     fraction * 100);
     }
+    if (bench::ProfileJsonEnabled()) {
+      bench::EmitProfileJson(std::string("spilling/") + label, probe);
+    }
     std::printf("%-14s %12.1f %14lld %14lld %12lld\n", label, ms,
                 static_cast<long long>(probe.stats.build_rows_spilled),
                 static_cast<long long>(probe.stats.probe_rows_spilled),

@@ -38,6 +38,25 @@ inline double MiB(int64_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }
 
+// True when the bench should emit structured per-operator metrics
+// (VSTORE_BENCH_PROFILE=1); scrapers match the "PROFILE_JSON " prefix.
+inline bool ProfileJsonEnabled() {
+  const char* v = std::getenv("VSTORE_BENCH_PROFILE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Emits one `PROFILE_JSON {...}` line with the query's per-operator
+// profile tree, tagged with a bench-chosen label ("q1/batch/dop4").
+inline void EmitProfileJson(const std::string& label,
+                            const QueryResult& result) {
+  std::string json = "{\"label\":\"" + label + "\",\"elapsed_ms\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", result.elapsed_ms);
+  json += buf;
+  json += ",\"profile\":" + ProfileToJson(result.profile) + "}";
+  std::printf("PROFILE_JSON %s\n", json.c_str());
+}
+
 // --- Compression archetype datasets (experiment E1) -----------------------
 // Each dataset mimics one class of customer database from the paper's
 // compression table: the ratio a column store achieves is a function of

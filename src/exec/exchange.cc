@@ -16,8 +16,11 @@ ExchangeOperator::ExchangeOperator(Schema output_schema,
 
 ExchangeOperator::~ExchangeOperator() { Close(); }
 
-Status ExchangeOperator::Open() {
+Status ExchangeOperator::OpenImpl() {
   cancelled_ = false;
+  fragment_profile_ = OperatorProfile();
+  fragments_merged_ = 0;
+  rows_exchanged_ = 0;
   first_error_ = Status::OK();
   active_producers_ = degree_;
   fragment_ctxs_.clear();
@@ -72,6 +75,15 @@ void ExchangeOperator::RunFragment(int fragment) {
       Push(std::move(copy));
     }
     op->Close();
+    // Capture the fragment's profile after Close so close_ns is included.
+    OperatorProfile profile = op->BuildProfile();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fragments_merged_ == 0) {
+      fragment_profile_ = std::move(profile);
+    } else {
+      fragment_profile_.MergeFrom(profile);
+    }
+    ++fragments_merged_;
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -81,7 +93,7 @@ void ExchangeOperator::RunFragment(int fragment) {
   else queue_ready_.notify_all();
 }
 
-Result<Batch*> ExchangeOperator::Next() {
+Result<Batch*> ExchangeOperator::NextImpl() {
   std::unique_lock<std::mutex> lock(mu_);
   queue_ready_.wait(lock, [this] {
     return !queue_.empty() || active_producers_ == 0 || !first_error_.ok();
@@ -90,11 +102,12 @@ Result<Batch*> ExchangeOperator::Next() {
   if (queue_.empty()) return static_cast<Batch*>(nullptr);
   current_ = std::move(queue_.front());
   queue_.pop();
+  rows_exchanged_ += current_->active_count();
   queue_space_.notify_one();
   return current_.get();
 }
 
-void ExchangeOperator::Close() {
+void ExchangeOperator::CloseImpl() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;
@@ -107,6 +120,18 @@ void ExchangeOperator::Close() {
   workers_.clear();
   std::queue<std::unique_ptr<Batch>>().swap(queue_);
   current_.reset();
+}
+
+void ExchangeOperator::AppendProfileCounters(OperatorProfile* node) const {
+  node->counters.push_back({"degree", degree_});
+  node->counters.push_back({"rows_exchanged", rows_exchanged_});
+}
+
+void ExchangeOperator::AppendProfileChildren(OperatorProfile* node) const {
+  if (fragments_merged_ == 0) return;
+  OperatorProfile child = fragment_profile_;
+  child.fragments = fragments_merged_;
+  node->children.push_back(std::move(child));
 }
 
 }  // namespace vstore

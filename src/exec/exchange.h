@@ -31,11 +31,19 @@ class ExchangeOperator final : public BatchOperator {
                    ExecContext* ctx);
   ~ExchangeOperator() override;
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override;
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override { return "Exchange"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  void AppendProfileCounters(OperatorProfile* node) const override;
+  // Attaches the merged fragment profile as this node's single child.
+  // Fragment profiles are summed node-wise as fragments finish (int64
+  // additions commute, so the result is deterministic regardless of
+  // completion order); `fragments` on the child records how many merged.
+  void AppendProfileChildren(OperatorProfile* node) const override;
 
  private:
   void RunFragment(int fragment);
@@ -57,6 +65,12 @@ class ExchangeOperator final : public BatchOperator {
   int active_producers_ = 0;
   bool cancelled_ = false;
   Status first_error_;
+
+  // Node-wise sum of finished fragments' profiles, guarded by mu_ while
+  // workers run; read from BuildProfile after Close() joined them.
+  OperatorProfile fragment_profile_;
+  int64_t fragments_merged_ = 0;
+  int64_t rows_exchanged_ = 0;
 
   std::unique_ptr<Batch> current_;  // batch handed to the consumer
 };

@@ -174,6 +174,16 @@ std::string HashAggregateOperator::name() const {
   return "HashAggregate";
 }
 
+void HashAggregateOperator::AppendProfileCounters(
+    OperatorProfile* node) const {
+  node->counters.push_back({"rows_aggregated", rows_aggregated_});
+  node->counters.push_back({"groups", groups_});
+  if (spill_flushes_ > 0) {
+    node->counters.push_back({"spill_flushes", spill_flushes_});
+    node->counters.push_back({"rows_spilled", rows_spilled_});
+  }
+}
+
 void HashAggregateOperator::InitState(uint8_t* state) const {
   std::memset(state, 0, kStateSlot * options_.aggregates.size());
 }
@@ -432,6 +442,7 @@ Status HashAggregateOperator::FlushToPartitions() {
     }
     ctx_->stats.spill_partitions += options_.num_partitions;
   }
+  ++spill_flushes_;
   const int shift =
       64 - std::countr_zero(static_cast<unsigned>(options_.num_partitions));
 
@@ -448,6 +459,7 @@ Status HashAggregateOperator::FlushToPartitions() {
         WriteSpillRow(partition_files_[static_cast<size_t>(p)],
                       partial_schema_, row));
     ++ctx_->stats.build_rows_spilled;
+    ++rows_spilled_;
   }
   entries_.clear();
   arena_ = std::make_unique<Arena>();
@@ -469,11 +481,13 @@ Status HashAggregateOperator::ConsumeInput() {
       VSTORE_ASSIGN_OR_RETURN(uint8_t * payload,
                               GroupEntryFromBatch(*batch, i));
       uint8_t* entry = payload - SerializedRowHashTable::kHeaderSize;
+      ++rows_aggregated_;
       if (partial_input) {
         UpdateStateFromPartialBatch(entry_state(entry), *batch, i);
       } else {
         UpdateStateFromBatch(entry_state(entry), *batch, i);
       }
+      RecordPeakMemory(static_cast<int64_t>(arena_->bytes_allocated()));
       if (budget > 0 &&
           static_cast<int64_t>(arena_->bytes_allocated()) > budget) {
         VSTORE_RETURN_IF_ERROR(FlushToPartitions());
@@ -585,6 +599,7 @@ Status HashAggregateOperator::EmitEntries() {
   int64_t out_row = 0;
   while (emit_pos_ < entries_.size() && out_row < output_->capacity()) {
     uint8_t* entry = entries_[emit_pos_++];
+    ++groups_;
     const uint8_t* payload = SerializedRowHashTable::EntryPayload(entry);
     for (int k = 0; k < num_keys; ++k) {
       key_format_->CopyToVector(payload, k, &output_->column(k), out_row,
@@ -660,11 +675,15 @@ Status HashAggregateOperator::EmitEntries() {
   return Status::OK();
 }
 
-Status HashAggregateOperator::Open() {
+Status HashAggregateOperator::OpenImpl() {
   arena_ = std::make_unique<Arena>();
   table_ = std::make_unique<SerializedRowHashTable>(1024);
   entries_.clear();
   spilled_ = false;
+  rows_aggregated_ = 0;
+  groups_ = 0;
+  spill_flushes_ = 0;
+  rows_spilled_ = 0;
   emit_pos_ = 0;
   drain_partition_ = 0;
   done_ = false;
@@ -685,7 +704,7 @@ Status HashAggregateOperator::Open() {
   return Status::OK();
 }
 
-Result<Batch*> HashAggregateOperator::Next() {
+Result<Batch*> HashAggregateOperator::NextImpl() {
   if (done_) return static_cast<Batch*>(nullptr);
   for (;;) {
     if (emit_pos_ < entries_.size()) {
@@ -710,7 +729,7 @@ Result<Batch*> HashAggregateOperator::Next() {
   }
 }
 
-void HashAggregateOperator::Close() {
+void HashAggregateOperator::CloseImpl() {
   for (std::FILE* f : partition_files_) {
     if (f != nullptr) std::fclose(f);
   }

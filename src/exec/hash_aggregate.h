@@ -50,11 +50,17 @@ class HashAggregateOperator final : public BatchOperator {
                         ExecContext* ctx);
   ~HashAggregateOperator() override { Close(); }
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override;
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {input_.get()};
+  }
+  void AppendProfileCounters(OperatorProfile* node) const override;
 
  private:
   // Per-aggregate accumulator: 24 bytes — [acc:8][aux:8][count:8].
@@ -106,6 +112,12 @@ class HashAggregateOperator final : public BatchOperator {
   size_t emit_pos_ = 0;
   int drain_partition_ = 0;
   bool done_ = false;
+
+  // Per-operator profile counters mirroring the query-global ExecStats.
+  int64_t rows_aggregated_ = 0;
+  int64_t groups_ = 0;
+  int64_t spill_flushes_ = 0;
+  int64_t rows_spilled_ = 0;
 };
 
 }  // namespace vstore

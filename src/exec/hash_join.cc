@@ -96,6 +96,19 @@ std::string HashJoinOperator::name() const {
   return std::string("HashJoin(") + JoinTypeName(options_.join_type) + ")";
 }
 
+void HashJoinOperator::AppendProfileCounters(OperatorProfile* node) const {
+  node->counters.push_back({"build_rows", build_rows_});
+  node->counters.push_back({"probe_rows", probe_rows_});
+  if (spill_partitions_ > 0) {
+    node->counters.push_back({"spill_partitions", spill_partitions_});
+    node->counters.push_back({"build_rows_spilled", build_rows_spilled_});
+    node->counters.push_back({"probe_rows_spilled", probe_rows_spilled_});
+  }
+  if (bloom_ != nullptr) {
+    node->counters.push_back({"bloom_published", 1});
+  }
+}
+
 Status HashJoinOperator::SpillPartition(int p) {
   Partition& part = partitions_[static_cast<size_t>(p)];
   VSTORE_DCHECK(!part.spilled);
@@ -114,6 +127,7 @@ Status HashJoinOperator::SpillPartition(int p) {
     VSTORE_RETURN_IF_ERROR(WriteSpillRow(part.build_file, schema, row));
     ++part.build_rows_on_disk;
     ++ctx_->stats.build_rows_spilled;
+    ++build_rows_spilled_;
   }
   total_build_bytes_ -= part.bytes;
   part.rows.clear();
@@ -122,6 +136,7 @@ Status HashJoinOperator::SpillPartition(int p) {
   part.bytes = 0;
   part.spilled = true;
   ++ctx_->stats.spill_partitions;
+  ++spill_partitions_;
   return Status::OK();
 }
 
@@ -149,6 +164,7 @@ Status HashJoinOperator::RunBuildPhase() {
       }
       if (null_key) continue;
 
+      ++build_rows_;
       uint64_t hash =
           build_format_.HashKeysFromBatch(*batch, i, options_.build_keys);
       if (bloom_ != nullptr) {
@@ -167,6 +183,7 @@ Status HashJoinOperator::RunBuildPhase() {
             part.build_file, build_->output_schema(), batch->GetActiveRow(i)));
         ++part.build_rows_on_disk;
         ++ctx_->stats.build_rows_spilled;
+        ++build_rows_spilled_;
         continue;
       }
       uint8_t* entry = part.arena->Allocate(entry_size);
@@ -178,6 +195,7 @@ Status HashJoinOperator::RunBuildPhase() {
                      part.bytes;
       part.bytes += grew;
       total_build_bytes_ += grew;
+      RecordPeakMemory(total_build_bytes_);
 
       if (budget > 0 && total_build_bytes_ > budget) {
         // Spill the largest resident partition.
@@ -237,11 +255,16 @@ Status HashJoinOperator::BuildInMemoryTables() {
   return Status::OK();
 }
 
-Status HashJoinOperator::Open() {
+Status HashJoinOperator::OpenImpl() {
   partitions_.clear();
   partitions_.resize(static_cast<size_t>(options_.num_partitions));
   for (Partition& p : partitions_) p.arena = std::make_unique<Arena>();
   total_build_bytes_ = 0;
+  build_rows_ = 0;
+  probe_rows_ = 0;
+  build_rows_spilled_ = 0;
+  probe_rows_spilled_ = 0;
+  spill_partitions_ = 0;
   output_ = std::make_unique<Batch>(output_schema_, ctx_->batch_size);
   out_rows_ = 0;
   phase_ = Phase::kBuild;
@@ -261,7 +284,7 @@ Status HashJoinOperator::Open() {
   return Status::OK();
 }
 
-void HashJoinOperator::Close() {
+void HashJoinOperator::CloseImpl() {
   for (Partition& part : partitions_) {
     if (part.build_file != nullptr) {
       std::fclose(part.build_file);
@@ -373,6 +396,8 @@ Result<bool> HashJoinOperator::PumpProbe() {
                           probe_batch_->GetActiveRow(probe_row_)));
         ++part.probe_rows_on_disk;
         ++ctx_->stats.probe_rows_spilled;
+        ++probe_rows_spilled_;
+        ++probe_rows_;
         ++probe_row_;
         continue;
       }
@@ -410,6 +435,7 @@ Result<bool> HashJoinOperator::PumpProbe() {
         if (out_rows_ == output_->capacity()) return true;
         EmitFromBatch(*probe_batch_, probe_row_, nullptr, out_rows_++);
       }
+      ++probe_rows_;
       ++probe_row_;
       chain_ = nullptr;
       row_matched_ = false;
@@ -511,7 +537,7 @@ Result<bool> HashJoinOperator::PumpSpill() {
   }
 }
 
-Result<Batch*> HashJoinOperator::Next() {
+Result<Batch*> HashJoinOperator::NextImpl() {
   output_->Reset();
   out_rows_ = 0;
   bool ready = false;

@@ -55,11 +55,17 @@ class HashJoinOperator final : public BatchOperator {
   // Non-null iff options.bloom_target was set; populated once Open() returns.
   const BloomFilter* bloom_filter() const { return bloom_; }
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override;
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {probe_.get(), build_.get()};
+  }
+  void AppendProfileCounters(OperatorProfile* node) const override;
 
  private:
   struct Partition {
@@ -128,6 +134,13 @@ class HashJoinOperator final : public BatchOperator {
   std::vector<uint8_t> drain_probe_row_;  // serialized current probe row
   bool drain_row_pending_ = false;
   Arena drain_arena_;
+
+  // Per-operator profile counters mirroring the query-global ExecStats.
+  int64_t build_rows_ = 0;
+  int64_t probe_rows_ = 0;
+  int64_t build_rows_spilled_ = 0;
+  int64_t probe_rows_spilled_ = 0;
+  int64_t spill_partitions_ = 0;
 };
 
 }  // namespace vstore

@@ -1,10 +1,76 @@
 #include "exec/operator.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/macros.h"
 
 namespace vstore {
+
+namespace {
+
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status BatchOperator::Open() {
+  profile_open_ns_ = 0;
+  profile_next_ns_ = 0;
+  profile_close_ns_ = 0;
+  profile_batches_ = 0;
+  profile_rows_ = 0;
+  profile_peak_memory_ = 0;
+  // Mark opened before the hook so a failed Open still gets a Close (the
+  // hooks may have acquired resources before erroring out).
+  opened_ = true;
+  int64_t start = NowNs();
+  Status status = OpenImpl();
+  profile_open_ns_ += NowNs() - start;
+  return status;
+}
+
+Result<Batch*> BatchOperator::Next() {
+  int64_t start = NowNs();
+  Result<Batch*> result = NextImpl();
+  profile_next_ns_ += NowNs() - start;
+  if (result.ok() && result.value() != nullptr) {
+    ++profile_batches_;
+    profile_rows_ += result.value()->active_count();
+  }
+  return result;
+}
+
+void BatchOperator::Close() {
+  if (!opened_) return;
+  opened_ = false;
+  int64_t start = NowNs();
+  CloseImpl();
+  profile_close_ns_ += NowNs() - start;
+}
+
+void BatchOperator::AppendProfileChildren(OperatorProfile* node) const {
+  for (const BatchOperator* input : ProfileInputs()) {
+    node->children.push_back(input->BuildProfile());
+  }
+}
+
+OperatorProfile BatchOperator::BuildProfile() const {
+  OperatorProfile node;
+  node.name = name();
+  node.open_ns = profile_open_ns_;
+  node.next_ns = profile_next_ns_;
+  node.close_ns = profile_close_ns_;
+  node.batches_produced = profile_batches_;
+  node.rows_produced = profile_rows_;
+  node.peak_memory_bytes = profile_peak_memory_;
+  AppendProfileCounters(&node);
+  AppendProfileChildren(&node);
+  return node;
+}
 
 int64_t AppendActiveRows(const Batch& src, Batch* dst) {
   VSTORE_DCHECK(src.num_columns() == dst->num_columns());
@@ -69,11 +135,12 @@ int64_t AppendActiveRows(const Batch& src, Batch* dst) {
   return copied;
 }
 
-Result<Batch*> FilterOperator::Next() {
+Result<Batch*> FilterOperator::NextImpl() {
   for (;;) {
     VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
     if (batch == nullptr) return static_cast<Batch*>(nullptr);
     if (batch->active_count() == 0) continue;
+    rows_in_ += batch->active_count();
 
     ColumnVector result(DataType::kBool, batch->num_rows());
     VSTORE_RETURN_IF_ERROR(
@@ -87,6 +154,7 @@ Result<Batch*> FilterOperator::Next() {
       active[i] &= valid[i] & (values[i] != 0 ? 1 : 0);
       count += active[i];
     }
+    rows_dropped_ += batch->active_count() - count;
     batch->set_active_count(count);
     if (count > 0) return batch;
   }
@@ -106,7 +174,7 @@ ProjectOperator::ProjectOperator(BatchOperatorPtr input,
   schema_ = Schema(std::move(fields));
 }
 
-Result<Batch*> ProjectOperator::Next() {
+Result<Batch*> ProjectOperator::NextImpl() {
   for (;;) {
     VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
     if (batch == nullptr) return static_cast<Batch*>(nullptr);
@@ -156,7 +224,7 @@ Result<Batch*> ProjectOperator::Next() {
   }
 }
 
-Result<Batch*> LimitOperator::Next() {
+Result<Batch*> LimitOperator::NextImpl() {
   if (remaining_ <= 0) return static_cast<Batch*>(nullptr);
   for (;;) {
     VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());

@@ -1,6 +1,7 @@
 #ifndef VSTORE_EXEC_OPERATOR_H_
 #define VSTORE_EXEC_OPERATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "common/status.h"
 #include "exec/batch.h"
 #include "exec/expression.h"
+#include "exec/profile.h"
 #include "types/schema.h"
 
 namespace vstore {
@@ -53,16 +55,54 @@ struct ExecContext {
 // batches). Protocol: Open() once, then Next() until it yields nullptr,
 // then Close(). The returned batch is owned by the operator and valid until
 // the following Next()/Close().
+//
+// The protocol entry points are non-virtual: they wrap the *Impl hooks with
+// wall-clock and row accounting that feeds the per-operator profile
+// (EXPLAIN ANALYZE). Open() resets the accounting, so a reopened operator
+// profiles its latest execution.
 class BatchOperator {
  public:
   virtual ~BatchOperator() = default;
 
-  virtual Status Open() = 0;
-  virtual Result<Batch*> Next() = 0;
-  virtual void Close() {}
+  Status Open();
+  Result<Batch*> Next();
+  void Close();  // idempotent: repeated calls only close once
 
   virtual const Schema& output_schema() const = 0;
   virtual std::string name() const = 0;
+
+  // Snapshot of the profile subtree rooted at this operator. Complete once
+  // Close() has run; safe to call at any point for partial numbers.
+  OperatorProfile BuildProfile() const;
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<Batch*> NextImpl() = 0;
+  virtual void CloseImpl() {}
+
+  // Inputs reported as children of this node's profile.
+  virtual std::vector<const BatchOperator*> ProfileInputs() const {
+    return {};
+  }
+  // Operator-specific counters appended to this node's profile.
+  virtual void AppendProfileCounters(OperatorProfile* node) const {}
+  // Default child collection from ProfileInputs(); Exchange overrides this
+  // to attach its merged fragment subtree instead.
+  virtual void AppendProfileChildren(OperatorProfile* node) const;
+
+  // Stateful operators report their memory high-water mark here.
+  void RecordPeakMemory(int64_t bytes) {
+    profile_peak_memory_ = std::max(profile_peak_memory_, bytes);
+  }
+
+ private:
+  int64_t profile_open_ns_ = 0;
+  int64_t profile_next_ns_ = 0;
+  int64_t profile_close_ns_ = 0;
+  int64_t profile_batches_ = 0;
+  int64_t profile_rows_ = 0;
+  int64_t profile_peak_memory_ = 0;
+  bool opened_ = false;
 };
 
 using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
@@ -75,18 +115,33 @@ class FilterOperator final : public BatchOperator {
   FilterOperator(BatchOperatorPtr input, ExprPtr predicate, ExecContext* ctx)
       : input_(std::move(input)), predicate_(std::move(predicate)), ctx_(ctx) {}
 
-  Status Open() override { return input_->Open(); }
-  Result<Batch*> Next() override;
-  void Close() override { input_->Close(); }
   const Schema& output_schema() const override {
     return input_->output_schema();
   }
   std::string name() const override { return "Filter"; }
 
+ protected:
+  Status OpenImpl() override {
+    rows_in_ = 0;
+    rows_dropped_ = 0;
+    return input_->Open();
+  }
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { input_->Close(); }
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {input_.get()};
+  }
+  void AppendProfileCounters(OperatorProfile* node) const override {
+    node->counters.push_back({"rows_in", rows_in_});
+    node->counters.push_back({"rows_dropped", rows_dropped_});
+  }
+
  private:
   BatchOperatorPtr input_;
   ExprPtr predicate_;
   ExecContext* ctx_;
+  int64_t rows_in_ = 0;
+  int64_t rows_dropped_ = 0;
 };
 
 // --- Project ---------------------------------------------------------------
@@ -97,11 +152,16 @@ class ProjectOperator final : public BatchOperator {
   ProjectOperator(BatchOperatorPtr input, std::vector<ExprPtr> exprs,
                   std::vector<std::string> names, ExecContext* ctx);
 
-  Status Open() override { return input_->Open(); }
-  Result<Batch*> Next() override;
-  void Close() override { input_->Close(); }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "Project"; }
+
+ protected:
+  Status OpenImpl() override { return input_->Open(); }
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { input_->Close(); }
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {input_.get()};
+  }
 
  private:
   BatchOperatorPtr input_;
@@ -117,16 +177,21 @@ class LimitOperator final : public BatchOperator {
   LimitOperator(BatchOperatorPtr input, int64_t limit, ExecContext* ctx)
       : input_(std::move(input)), limit_(limit), ctx_(ctx) {}
 
-  Status Open() override {
-    remaining_ = limit_;
-    return input_->Open();
-  }
-  Result<Batch*> Next() override;
-  void Close() override { input_->Close(); }
   const Schema& output_schema() const override {
     return input_->output_schema();
   }
   std::string name() const override { return "Limit"; }
+
+ protected:
+  Status OpenImpl() override {
+    remaining_ = limit_;
+    return input_->Open();
+  }
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { input_->Close(); }
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {input_.get()};
+  }
 
  private:
   BatchOperatorPtr input_;

@@ -1,0 +1,280 @@
+#include "exec/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vstore {
+
+namespace {
+
+// Merges `src` counters into `dst` by name, preserving dst's order and
+// appending counters dst has not seen.
+void MergeCounters(std::vector<std::pair<std::string, int64_t>>* dst,
+                   const std::vector<std::pair<std::string, int64_t>>& src) {
+  for (const auto& [name, value] : src) {
+    bool found = false;
+    for (auto& entry : *dst) {
+      if (entry.first == name) {
+        entry.second += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) dst->push_back({name, value});
+  }
+}
+
+}  // namespace
+
+void OperatorProfile::MergeFrom(const OperatorProfile& other) {
+  open_ns += other.open_ns;
+  next_ns += other.next_ns;
+  close_ns += other.close_ns;
+  batches_produced += other.batches_produced;
+  rows_produced += other.rows_produced;
+  peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+  fragments += other.fragments;
+  MergeCounters(&counters, other.counters);
+  size_t common = std::min(children.size(), other.children.size());
+  for (size_t i = 0; i < common; ++i) {
+    children[i].MergeFrom(other.children[i]);
+  }
+  for (size_t i = common; i < other.children.size(); ++i) {
+    children.push_back(other.children[i]);
+  }
+}
+
+int64_t OperatorProfile::Counter(const std::string& counter_name,
+                                 int64_t fallback) const {
+  for (const auto& [name, value] : counters) {
+    if (name == counter_name) return value;
+  }
+  return fallback;
+}
+
+int64_t OperatorProfile::CounterDeep(const std::string& counter_name) const {
+  int64_t total = Counter(counter_name);
+  for (const OperatorProfile& child : children) {
+    total += child.CounterDeep(counter_name);
+  }
+  return total;
+}
+
+namespace {
+
+struct ProfileRow {
+  std::string op;        // indented operator name
+  std::string rows;
+  std::string batches;
+  std::string total_ms;
+  std::string self_ms;
+  std::string memory;
+  std::string detail;    // operator-specific counters
+};
+
+std::string FmtMs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string FmtMemory(int64_t bytes) {
+  if (bytes <= 0) return "";
+  char buf[32];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes));
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+void Flatten(const OperatorProfile& node, int depth,
+             std::vector<ProfileRow>* rows) {
+  ProfileRow row;
+  row.op = std::string(static_cast<size_t>(depth) * 2, ' ');
+  if (depth > 0) {
+    row.op.resize(row.op.size() - 2);
+    row.op += "└ ";  // └
+  }
+  row.op += node.name;
+  if (node.fragments > 1) {
+    row.op += " x" + std::to_string(node.fragments);
+  }
+  row.rows = std::to_string(node.rows_produced);
+  row.batches = std::to_string(node.batches_produced);
+  row.total_ms = FmtMs(node.TotalNs());
+  // Self time: inclusive minus the children driven from this thread.
+  // Fragment subtrees under an Exchange run on worker threads, so their
+  // time is not nested inside the parent — keep the parent's total.
+  int64_t child_ns = 0;
+  if (node.fragments == 0) {
+    for (const OperatorProfile& child : node.children) {
+      if (child.fragments > 0) continue;
+      child_ns += child.TotalNs();
+    }
+  }
+  row.self_ms = FmtMs(std::max<int64_t>(node.TotalNs() - child_ns, 0));
+  row.memory = FmtMemory(node.peak_memory_bytes);
+  for (const auto& [name, value] : node.counters) {
+    if (!row.detail.empty()) row.detail += ' ';
+    row.detail += name + "=" + std::to_string(value);
+  }
+  rows->push_back(std::move(row));
+  for (const OperatorProfile& child : node.children) {
+    // Mark merged fragment subtrees so the reader sees the thread boundary.
+    Flatten(child, depth + 1, rows);
+  }
+}
+
+}  // namespace
+
+std::string FormatProfile(const OperatorProfile& root) {
+  std::vector<ProfileRow> rows;
+  Flatten(root, 0, &rows);
+
+  const char* headers[] = {"operator", "rows", "batches", "total_ms",
+                           "self_ms", "memory"};
+  size_t widths[6];
+  for (int c = 0; c < 6; ++c) widths[c] = std::string(headers[c]).size();
+  auto measure = [&](const ProfileRow& r) {
+    // std::string_view-free width bookkeeping; op column counts the
+    // UTF-8 tree glyph as one display cell.
+    auto display = [](const std::string& s) {
+      size_t n = 0;
+      for (char ch : s) {
+        if ((ch & 0xC0) != 0x80) ++n;  // skip UTF-8 continuation bytes
+      }
+      return n;
+    };
+    widths[0] = std::max(widths[0], display(r.op));
+    widths[1] = std::max(widths[1], r.rows.size());
+    widths[2] = std::max(widths[2], r.batches.size());
+    widths[3] = std::max(widths[3], r.total_ms.size());
+    widths[4] = std::max(widths[4], r.self_ms.size());
+    widths[5] = std::max(widths[5], r.memory.size());
+  };
+  for (const ProfileRow& r : rows) measure(r);
+
+  std::string out;
+  auto pad_left = [](const std::string& s, size_t w) {
+    return std::string(w - std::min(w, s.size()), ' ') + s;
+  };
+  auto pad_right = [](const std::string& s, size_t w, size_t display) {
+    return s + std::string(w - std::min(w, display), ' ');
+  };
+  auto display = [](const std::string& s) {
+    size_t n = 0;
+    for (char ch : s) {
+      if ((ch & 0xC0) != 0x80) ++n;
+    }
+    return n;
+  };
+
+  out += pad_right(headers[0], widths[0], std::string(headers[0]).size());
+  for (int c = 1; c < 6; ++c) {
+    out += "  " + pad_left(headers[c], widths[c]);
+  }
+  out += "\n";
+  for (const ProfileRow& r : rows) {
+    out += pad_right(r.op, widths[0], display(r.op));
+    out += "  " + pad_left(r.rows, widths[1]);
+    out += "  " + pad_left(r.batches, widths[2]);
+    out += "  " + pad_left(r.total_ms, widths[3]);
+    out += "  " + pad_left(r.self_ms, widths[4]);
+    out += "  " + pad_left(r.memory, widths[5]);
+    if (!r.detail.empty()) {
+      out += "  [" + r.detail + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJson(const OperatorProfile& node, std::string* out) {
+  *out += "{\"name\":";
+  AppendJsonString(node.name, out);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\"open_ms\":%.3f,\"next_ms\":%.3f,\"close_ms\":%.3f"
+                ",\"rows\":%lld,\"batches\":%lld",
+                static_cast<double>(node.open_ns) / 1e6,
+                static_cast<double>(node.next_ns) / 1e6,
+                static_cast<double>(node.close_ns) / 1e6,
+                static_cast<long long>(node.rows_produced),
+                static_cast<long long>(node.batches_produced));
+  *out += buf;
+  if (node.peak_memory_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"peak_memory_bytes\":%lld",
+                  static_cast<long long>(node.peak_memory_bytes));
+    *out += buf;
+  }
+  if (node.fragments > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"fragments\":%lld",
+                  static_cast<long long>(node.fragments));
+    *out += buf;
+  }
+  if (!node.counters.empty()) {
+    *out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : node.counters) {
+      if (!first) *out += ",";
+      first = false;
+      AppendJsonString(name, out);
+      std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(value));
+      *out += buf;
+    }
+    *out += "}";
+  }
+  if (!node.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *out += ",";
+      AppendJson(node.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string ProfileToJson(const OperatorProfile& root) {
+  std::string out;
+  AppendJson(root, &out);
+  return out;
+}
+
+}  // namespace vstore

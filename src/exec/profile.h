@@ -1,0 +1,74 @@
+#ifndef VSTORE_EXEC_PROFILE_H_
+#define VSTORE_EXEC_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vstore {
+
+// Per-operator execution profile: one node per physical operator, mirroring
+// the plan tree (EXPLAIN ANALYZE's unit of accounting). Wall time is split
+// across the three protocol phases because blocking operators (hash build,
+// sort, aggregation) do their work in Open() while streaming operators
+// accumulate it in Next().
+//
+// Counters are operator-specific (name, value) pairs — segment elimination
+// for scans, build/probe/spill accounting for joins, group counts for
+// aggregates — appended by each operator.
+//
+// Exchange nodes merge the profiles of their finished plan fragments into a
+// single child subtree (node-wise sums; `fragments` records how many were
+// merged), so a parallel plan's profile has the same shape as the
+// single-threaded one and its counters sum consistently.
+struct OperatorProfile {
+  std::string name;
+
+  int64_t open_ns = 0;
+  int64_t next_ns = 0;   // total across all Next() calls
+  int64_t close_ns = 0;
+
+  int64_t batches_produced = 0;
+  int64_t rows_produced = 0;  // active rows in returned batches
+
+  // High-water memory for stateful operators (hash join build side, hash
+  // aggregation state, sort working set). 0 for streaming operators.
+  int64_t peak_memory_bytes = 0;
+
+  // Number of parallel fragments merged into this node (> 0 only on the
+  // fragment subtree below an Exchange).
+  int64_t fragments = 0;
+
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<OperatorProfile> children;
+
+  // Inclusive wall time of this node (children overlap; see SelfNs).
+  int64_t TotalNs() const { return open_ns + next_ns + close_ns; }
+  double TotalMs() const { return static_cast<double>(TotalNs()) / 1e6; }
+
+  // Node-wise merge used for parallel fragments: times, rows, batches and
+  // counters add; peak memory takes the max. Trees must have the same
+  // shape (same factory); extra children on either side are kept.
+  void MergeFrom(const OperatorProfile& other);
+
+  // Value of a counter by name, or `fallback` when absent.
+  int64_t Counter(const std::string& name, int64_t fallback = 0) const;
+
+  // Sum of `name` counters over this node and all descendants.
+  int64_t CounterDeep(const std::string& name) const;
+};
+
+// Renders the profile tree as an aligned text table (EXPLAIN ANALYZE
+// style): one row per operator with timings, row/batch counts, self time
+// (inclusive minus children, fragments excluded), memory, and the
+// operator-specific counters.
+std::string FormatProfile(const OperatorProfile& root);
+
+// Renders the profile tree as a single-line JSON object (nested "children"
+// arrays), for structured benchmark output and log scraping.
+std::string ProfileToJson(const OperatorProfile& root);
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_PROFILE_H_

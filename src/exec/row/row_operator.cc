@@ -431,7 +431,7 @@ Result<bool> BatchToRowAdapter::Next(std::vector<Value>* row) {
   }
 }
 
-Result<Batch*> RowToBatchAdapter::Next() {
+Result<Batch*> RowToBatchAdapter::NextImpl() {
   output_->Reset();
   int64_t out_row = 0;
   std::vector<Value> row;

@@ -247,17 +247,19 @@ class RowToBatchAdapter final : public BatchOperator {
   RowToBatchAdapter(RowOperatorPtr input, ExecContext* ctx)
       : input_(std::move(input)), ctx_(ctx) {}
 
-  Status Open() override {
-    output_ = std::make_unique<Batch>(input_->output_schema(),
-                                      ctx_->batch_size);
-    return input_->Open();
-  }
-  Result<Batch*> Next() override;
-  void Close() override { input_->Close(); }
   const Schema& output_schema() const override {
     return input_->output_schema();
   }
   std::string name() const override { return "RowToBatch"; }
+
+ protected:
+  Status OpenImpl() override {
+    output_ = std::make_unique<Batch>(input_->output_schema(),
+                                      ctx_->batch_size);
+    return input_->Open();
+  }
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { input_->Close(); }
 
  private:
   RowOperatorPtr input_;

@@ -19,8 +19,9 @@ ScalarAggregateOperator::ScalarAggregateOperator(BatchOperatorPtr input,
   output_schema_ = Schema(std::move(fields));
 }
 
-Status ScalarAggregateOperator::Open() {
+Status ScalarAggregateOperator::OpenImpl() {
   emitted_ = false;
+  rows_aggregated_ = 0;
   states_.assign(aggs_.size(), State());
   output_ = std::make_unique<Batch>(output_schema_, 1);
   VSTORE_RETURN_IF_ERROR(input_->Open());
@@ -30,6 +31,7 @@ Status ScalarAggregateOperator::Open() {
     if (batch == nullptr) break;
     const uint8_t* active = batch->active();
     const int64_t n = batch->num_rows();
+    rows_aggregated_ += batch->active_count();
     for (size_t a = 0; a < aggs_.size(); ++a) {
       const AggSpec& spec = aggs_[a];
       State& s = states_[a];
@@ -86,7 +88,7 @@ Status ScalarAggregateOperator::Open() {
   return Status::OK();
 }
 
-Result<Batch*> ScalarAggregateOperator::Next() {
+Result<Batch*> ScalarAggregateOperator::NextImpl() {
   if (emitted_) return static_cast<Batch*>(nullptr);
   emitted_ = true;
   output_->Reset();

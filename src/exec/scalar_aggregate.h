@@ -17,11 +17,19 @@ class ScalarAggregateOperator final : public BatchOperator {
   ScalarAggregateOperator(BatchOperatorPtr input, std::vector<AggSpec> aggs,
                           ExecContext* ctx);
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override { input_->Close(); }
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override { return "ScalarAggregate"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { input_->Close(); }
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {input_.get()};
+  }
+  void AppendProfileCounters(OperatorProfile* node) const override {
+    node->counters.push_back({"rows_aggregated", rows_aggregated_});
+  }
 
  private:
   struct State {
@@ -40,6 +48,7 @@ class ScalarAggregateOperator final : public BatchOperator {
   std::vector<State> states_;
   std::unique_ptr<Batch> output_;
   bool emitted_ = false;
+  int64_t rows_aggregated_ = 0;
 };
 
 }  // namespace vstore

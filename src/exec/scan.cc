@@ -97,7 +97,7 @@ ColumnStoreScanOperator::ColumnStoreScanOperator(const ColumnStoreTable* table,
   for (int s : bloom_decode_slot_) early_slot_[static_cast<size_t>(s)] = true;
 }
 
-Status ColumnStoreScanOperator::Open() {
+Status ColumnStoreScanOperator::OpenImpl() {
   lock_ = std::make_unique<std::shared_lock<std::shared_mutex>>(
       table_->mutex());
   output_ = std::make_unique<Batch>(output_schema_, ctx_->batch_size);
@@ -121,13 +121,29 @@ Status ColumnStoreScanOperator::Open() {
   deltas_done_ = !options_.include_deltas;
   delta_loaded_ = false;
   delta_row_pos_ = 0;
+  rows_scanned_ = 0;
+  delta_rows_scanned_ = 0;
+  groups_scanned_ = 0;
+  groups_eliminated_ = 0;
+  bloom_rows_dropped_ = 0;
   return Status::OK();
 }
 
-void ColumnStoreScanOperator::Close() {
+void ColumnStoreScanOperator::CloseImpl() {
   output_.reset();
   scratch_.clear();
   lock_.reset();
+}
+
+void ColumnStoreScanOperator::AppendProfileCounters(
+    OperatorProfile* node) const {
+  node->counters.push_back({"rows_scanned", rows_scanned_});
+  node->counters.push_back({"delta_rows", delta_rows_scanned_});
+  node->counters.push_back({"groups_scanned", groups_scanned_});
+  node->counters.push_back({"groups_eliminated", groups_eliminated_});
+  if (!options_.bloom_filters.empty()) {
+    node->counters.push_back({"bloom_rows_dropped", bloom_rows_dropped_});
+  }
 }
 
 bool ColumnStoreScanOperator::AdvanceGroup() {
@@ -149,10 +165,12 @@ bool ColumnStoreScanOperator::AdvanceGroup() {
     }
     if (eliminated) {
       ++ctx_->stats.row_groups_eliminated;
+      ++groups_eliminated_;
       ++group_;
       continue;
     }
     ++ctx_->stats.row_groups_scanned;
+    ++groups_scanned_;
     offset_ = 0;
     in_group_ = true;
     return true;
@@ -278,6 +296,7 @@ void ColumnStoreScanOperator::ApplyBloom(const BloomFilterSpec& spec,
     }
   }
   ctx_->stats.rows_bloom_filtered += dropped;
+  bloom_rows_dropped_ += dropped;
 }
 
 Status ColumnStoreScanOperator::FillFromGroup() {
@@ -429,6 +448,7 @@ Status ColumnStoreScanOperator::FillFromGroup() {
   }
 
   ctx_->stats.rows_scanned += n;
+  rows_scanned_ += n;
   offset_ += n;
   if (offset_ >= rg.num_rows()) {
     in_group_ = false;
@@ -464,6 +484,7 @@ Result<int64_t> ColumnStoreScanOperator::FillFromDeltas() {
       const std::vector<Value>& row =
           delta_rows_[static_cast<size_t>(delta_row_pos_)];
       ++ctx_->stats.delta_rows_scanned;
+      ++delta_rows_scanned_;
 
       if (options_.sample_fraction < 1.0) {
         const uint64_t threshold = static_cast<uint64_t>(
@@ -491,6 +512,7 @@ Result<int64_t> ColumnStoreScanOperator::FillFromDeltas() {
           if (v.is_null() || !spec.filter->MayContain(HashValue(v))) {
             pass = false;
             ++ctx_->stats.rows_bloom_filtered;
+            ++bloom_rows_dropped_;
             break;
           }
         }
@@ -517,7 +539,7 @@ Result<int64_t> ColumnStoreScanOperator::FillFromDeltas() {
   return out_row;
 }
 
-Result<Batch*> ColumnStoreScanOperator::Next() {
+Result<Batch*> ColumnStoreScanOperator::NextImpl() {
   for (;;) {
     if (in_group_ || AdvanceGroup()) {
       VSTORE_RETURN_IF_ERROR(FillFromGroup());

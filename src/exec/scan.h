@@ -52,16 +52,24 @@ class ColumnStoreScanOperator final : public BatchOperator {
     // group_end == -1 means all groups.
     int64_t group_begin = 0;
     int64_t group_end = -1;
+    // Display label for profiles, usually the table name.
+    std::string label;
   };
 
   ColumnStoreScanOperator(const ColumnStoreTable* table, Options options,
                           ExecContext* ctx);
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override;
   const Schema& output_schema() const override { return output_schema_; }
-  std::string name() const override { return "ColumnStoreScan"; }
+  std::string name() const override {
+    return options_.label.empty() ? "ColumnStoreScan"
+                                  : "ColumnStoreScan(" + options_.label + ")";
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  void AppendProfileCounters(OperatorProfile* node) const override;
 
  private:
   // Advances to the next row group that survives segment elimination.
@@ -117,6 +125,14 @@ class ColumnStoreScanOperator final : public BatchOperator {
   std::vector<std::vector<Value>> delta_rows_;  // staging for current store
   int64_t delta_row_pos_ = 0;
   bool delta_loaded_ = false;
+
+  // Per-operator profile counters mirroring the query-global ExecStats.
+  // Mutable: ApplyBloom/ApplyPredicate are const helpers.
+  int64_t rows_scanned_ = 0;
+  int64_t delta_rows_scanned_ = 0;
+  int64_t groups_scanned_ = 0;
+  int64_t groups_eliminated_ = 0;
+  mutable int64_t bloom_rows_dropped_ = 0;
 };
 
 }  // namespace vstore

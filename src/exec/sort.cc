@@ -36,8 +36,9 @@ int CompareRowsOnKeys(const std::vector<Value>& a, const std::vector<Value>& b,
   return 0;
 }
 
-Status SortOperator::Open() {
+Status SortOperator::OpenImpl() {
   rows_.clear();
+  rows_sorted_ = 0;
   emit_pos_ = 0;
   output_ = std::make_unique<Batch>(input_->output_schema(), ctx_->batch_size);
   VSTORE_RETURN_IF_ERROR(input_->Open());
@@ -53,6 +54,7 @@ Status SortOperator::Open() {
     const uint8_t* active = batch->active();
     for (int64_t i = 0; i < batch->num_rows(); ++i) {
       if (!active[i]) continue;
+      ++rows_sorted_;
       rows_.push_back(batch->GetActiveRow(i));
       // Top-N: keep a bounded working set — push-down heap semantics via
       // periodic shrink keeps memory at O(2 * limit).
@@ -66,6 +68,11 @@ Status SortOperator::Open() {
     }
   }
 
+  RecordPeakMemory(static_cast<int64_t>(
+      rows_.size() * sizeof(std::vector<Value>) +
+      rows_.size() * static_cast<size_t>(
+                         input_->output_schema().num_columns()) *
+          sizeof(Value)));
   std::sort(rows_.begin(), rows_.end(), less);
   if (limit_ >= 0 && static_cast<int64_t>(rows_.size()) > limit_) {
     rows_.resize(static_cast<size_t>(limit_));
@@ -73,7 +80,7 @@ Status SortOperator::Open() {
   return Status::OK();
 }
 
-Result<Batch*> SortOperator::Next() {
+Result<Batch*> SortOperator::NextImpl() {
   if (emit_pos_ >= rows_.size()) return static_cast<Batch*>(nullptr);
   output_->Reset();
   int64_t out_row = 0;

@@ -24,14 +24,22 @@ class SortOperator final : public BatchOperator {
       : input_(std::move(input)), keys_(std::move(keys)), limit_(limit),
         ctx_(ctx) {}
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override { input_->Close(); }
   const Schema& output_schema() const override {
     return input_->output_schema();
   }
   std::string name() const override {
     return limit_ >= 0 ? "TopN" : "Sort";
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { input_->Close(); }
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    return {input_.get()};
+  }
+  void AppendProfileCounters(OperatorProfile* node) const override {
+    node->counters.push_back({"rows_sorted", rows_sorted_});
   }
 
  private:
@@ -43,6 +51,7 @@ class SortOperator final : public BatchOperator {
   std::vector<std::vector<Value>> rows_;
   size_t emit_pos_ = 0;
   std::unique_ptr<Batch> output_;
+  int64_t rows_sorted_ = 0;
 };
 
 // Compares two rows on the given sort keys; nulls sort first.

@@ -14,7 +14,7 @@ UnionAllOperator::UnionAllOperator(std::vector<BatchOperatorPtr> children,
   }
 }
 
-Status UnionAllOperator::Open() {
+Status UnionAllOperator::OpenImpl() {
   current_ = 0;
   for (auto& child : children_) {
     VSTORE_RETURN_IF_ERROR(child->Open());
@@ -22,7 +22,7 @@ Status UnionAllOperator::Open() {
   return Status::OK();
 }
 
-Result<Batch*> UnionAllOperator::Next() {
+Result<Batch*> UnionAllOperator::NextImpl() {
   while (current_ < children_.size()) {
     VSTORE_ASSIGN_OR_RETURN(Batch * batch, children_[current_]->Next());
     if (batch != nullptr) return batch;
@@ -31,7 +31,7 @@ Result<Batch*> UnionAllOperator::Next() {
   return static_cast<Batch*>(nullptr);
 }
 
-void UnionAllOperator::Close() {
+void UnionAllOperator::CloseImpl() {
   for (auto& child : children_) child->Close();
 }
 

@@ -14,13 +14,22 @@ class UnionAllOperator final : public BatchOperator {
  public:
   UnionAllOperator(std::vector<BatchOperatorPtr> children, ExecContext* ctx);
 
-  Status Open() override;
-  Result<Batch*> Next() override;
-  void Close() override;
   const Schema& output_schema() const override {
     return children_.front()->output_schema();
   }
   std::string name() const override { return "UnionAll"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  std::vector<const BatchOperator*> ProfileInputs() const override {
+    std::vector<const BatchOperator*> inputs;
+    for (const BatchOperatorPtr& child : children_) {
+      inputs.push_back(child.get());
+    }
+    return inputs;
+  }
 
  private:
   std::vector<BatchOperatorPtr> children_;

@@ -44,6 +44,7 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
     }
   }
   physical.root->Close();
+  result.profile = physical.root->BuildProfile();
   auto end = std::chrono::steady_clock::now();
 
   result.elapsed_ms =

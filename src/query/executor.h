@@ -31,6 +31,9 @@ struct QueryResult {
   ExecStats stats;
   double elapsed_ms = 0;
   PlanPtr optimized_plan;  // after rewrite, for EXPLAIN-style inspection
+  // Per-operator profile tree mirroring the physical plan (EXPLAIN
+  // ANALYZE): render with FormatProfile() or ProfileToJson().
+  OperatorProfile profile;
 };
 
 // Front door of the query layer: optimize, lower, drive to completion.

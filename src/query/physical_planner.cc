@@ -179,6 +179,7 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
   const ColumnStoreTable* table = entry->column_store;
   ColumnStoreScanOperator::Options scan_options;
   scan_options.include_deltas = options_.include_deltas;
+  scan_options.label = plan->table;
   for (const std::string& name : plan->scan_columns) {
     int idx = table->schema().IndexOf(name);
     if (idx < 0) return Status::InvalidArgument("unknown scan column " + name);

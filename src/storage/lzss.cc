@@ -134,7 +134,9 @@ Status Lzss::Decompress(const uint8_t* data, size_t len, uint8_t* out,
     if (p + lit_len > end || dst + lit_len > dst_end) {
       return Status::Internal("lzss: literal overrun");
     }
-    std::memcpy(dst, p, lit_len);
+    // lit_len can be 0 (match-only token) while dst is null for an empty
+    // output buffer; memcpy's arguments are annotated nonnull even then.
+    if (lit_len > 0) std::memcpy(dst, p, lit_len);
     p += lit_len;
     dst += lit_len;
 

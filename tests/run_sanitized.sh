@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under sanitizers. Usage:
+#
+#   tests/run_sanitized.sh                 # address+undefined, then thread
+#   tests/run_sanitized.sh address         # one specific sanitizer
+#   tests/run_sanitized.sh thread -L stress  # extra args forwarded to ctest
+#
+# Each sanitizer gets its own build tree (build-asan/, build-tsan/, ...),
+# so incremental re-runs are cheap.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_one() {
+  local sanitize="$1"
+  shift
+  local dir="build-${sanitize//,/-}"
+  case "$sanitize" in
+    address,undefined) dir="build-asan" ;;
+    address) dir="build-asan" ;;
+    thread) dir="build-tsan" ;;
+    undefined) dir="build-ubsan" ;;
+  esac
+
+  echo "=== VSTORE_SANITIZE=$sanitize -> $dir ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DVSTORE_SANITIZE="$sanitize" > /dev/null
+  cmake --build "$dir" -j "$(nproc)" > /dev/null
+
+  # Make sanitizer findings fatal and readable.
+  export ASAN_OPTIONS=abort_on_error=1
+  export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+  export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+
+  if [ "$sanitize" = "thread" ]; then
+    # TSan runs focus on the concurrency suite: the stress-labelled tests
+    # plus everything exercising the exchange; add "$@" to widen.
+    ctest --test-dir "$dir" --output-on-failure \
+        -R 'exchange|executor|integration|tpch' "$@"
+    ctest --test-dir "$dir" --output-on-failure -L stress "$@"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"
+  fi
+}
+
+if [ "$#" -ge 1 ]; then
+  sanitize="$1"
+  shift
+  run_one "$sanitize" "$@"
+else
+  run_one address,undefined
+  run_one thread
+fi

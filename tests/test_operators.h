@@ -17,22 +17,23 @@ class TableSourceOperator final : public BatchOperator {
   TableSourceOperator(const TableData* data, ExecContext* ctx)
       : data_(data), ctx_(ctx) {}
 
-  Status Open() override {
+  const Schema& output_schema() const override { return data_->schema(); }
+  std::string name() const override { return "TableSource"; }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     output_ = std::make_unique<Batch>(data_->schema(), ctx_->batch_size);
     return Status::OK();
   }
 
-  Result<Batch*> Next() override {
+  Result<Batch*> NextImpl() override {
     if (pos_ >= data_->num_rows()) return static_cast<Batch*>(nullptr);
     int64_t n = std::min<int64_t>(ctx_->batch_size, data_->num_rows() - pos_);
     FillBatch(*data_, pos_, n, output_.get());
     pos_ += n;
     return output_.get();
   }
-
-  const Schema& output_schema() const override { return data_->schema(); }
-  std::string name() const override { return "TableSource"; }
 
  private:
   const TableData* data_;
