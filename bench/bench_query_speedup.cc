@@ -7,11 +7,28 @@
 // 10x-100x band.
 
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "bench_util.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
+
+namespace {
+
+// Does the plan contain a hash join anywhere? Join queries get a
+// dop-scaling factor in their PROFILE_JSON line: dop 4 must pull its
+// weight on the shared-build parallel join, not just on scans.
+bool PlanHasJoin(const vstore::PlanPtr& plan) {
+  if (plan == nullptr) return false;
+  if (plan->kind == vstore::PlanKind::kJoin) return true;
+  for (const vstore::PlanPtr& child : plan->children) {
+    if (PlanHasJoin(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main() {
   using namespace vstore;
@@ -32,8 +49,8 @@ int main() {
   std::printf("lineitem rows: %lld\n\n",
               static_cast<long long>(tables.lineitem.num_rows()));
 
-  std::printf("%-5s %12s %14s %14s | %9s %9s\n", "query", "row-mode ms",
-              "batch ms", "batch dop4 ms", "speedup", "dop4 x");
+  std::printf("%-5s %12s %14s %14s | %9s %9s %9s\n", "query", "row-mode ms",
+              "batch ms", "batch dop4 ms", "speedup", "dop4 x", "dop scal");
 
   auto run = [&](const std::string& label, const PlanPtr& plan,
                  ExecutionMode mode, int dop) {
@@ -52,15 +69,42 @@ int main() {
   };
 
   for (const auto& named : tpch::AllQueries(catalog)) {
+    bool has_join = PlanHasJoin(named.plan);
     double row_ms = run(named.name + "/row", named.plan,
                         ExecutionMode::kRow, 1);
     double batch_ms = run(named.name + "/batch", named.plan,
                           ExecutionMode::kBatch, 1);
-    double batch4_ms = run(named.name + "/batch-dop4", named.plan,
-                           ExecutionMode::kBatch, 4);
-    std::printf("%-5s %12.1f %14.2f %14.2f | %8.1fx %8.1fx\n",
+    // For join queries the dop-4 run carries its scaling factor
+    // (batch dop1 / batch dop4) in the PROFILE_JSON line, so scrapers
+    // can track parallel-join scaling per query over time.
+    double batch4_ms = batch_ms;
+    {
+      // First time the dop-4 plan to know the scaling factor, then emit.
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.dop = 4;
+      QueryExecutor exec(&catalog, options);
+      batch4_ms = bench::TimeMs(
+          [&] { exec.Execute(named.plan).status().CheckOK(); }, 3);
+      if (bench::ProfileJsonEnabled()) {
+        QueryResult result = exec.Execute(named.plan).ValueOrDie();
+        std::string extra;
+        if (has_join) {
+          char buf[48];
+          std::snprintf(buf, sizeof(buf), ",\"dop_scaling\":%.3f",
+                        batch_ms / batch4_ms);
+          extra = buf;
+        }
+        bench::EmitProfileJson(named.name + "/batch-dop4", result, extra);
+      }
+    }
+    char scaling[16] = "        -";
+    if (has_join) {
+      std::snprintf(scaling, sizeof(scaling), "%8.1fx", batch_ms / batch4_ms);
+    }
+    std::printf("%-5s %12.1f %14.2f %14.2f | %8.1fx %8.1fx %s\n",
                 named.name.c_str(), row_ms, batch_ms, batch4_ms,
-                row_ms / batch_ms, row_ms / batch4_ms);
+                row_ms / batch_ms, row_ms / batch4_ms, scaling);
   }
 
   std::printf(

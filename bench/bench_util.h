@@ -47,12 +47,16 @@ inline bool ProfileJsonEnabled() {
 
 // Emits one `PROFILE_JSON {...}` line with the query's per-operator
 // profile tree, tagged with a bench-chosen label ("q1/batch/dop4").
+// `extra_json` lets a bench splice additional top-level fields into the
+// object (e.g. ",\"dop_scaling\":2.4").
 inline void EmitProfileJson(const std::string& label,
-                            const QueryResult& result) {
+                            const QueryResult& result,
+                            const std::string& extra_json = "") {
   std::string json = "{\"label\":\"" + label + "\",\"elapsed_ms\":";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", result.elapsed_ms);
   json += buf;
+  json += extra_json;
   json += ",\"profile\":" + ProfileToJson(result.profile) + "}";
   std::printf("PROFILE_JSON %s\n", json.c_str());
 }

@@ -14,4 +14,13 @@ void BloomFilter::Init(int64_t expected_keys) {
   blocks_.assign(blocks, Block{});
 }
 
+void BloomFilter::MergeFrom(const BloomFilter& other) {
+  VSTORE_CHECK(blocks_.size() == other.blocks_.size());
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    for (int w = 0; w < 8; ++w) {
+      blocks_[b].words[w] |= other.blocks_[b].words[w];
+    }
+  }
+}
+
 }  // namespace vstore

@@ -28,6 +28,12 @@ class BloomFilter {
 
   void Init(int64_t expected_keys);
 
+  // ORs `other`'s bits into this filter. Both filters must have been
+  // Init()ed with the same expected key count (Init is deterministic, so
+  // parallel join builds give each build thread a private filter sized from
+  // the shared row count and fold them together here).
+  void MergeFrom(const BloomFilter& other);
+
   void Insert(uint64_t hash) {
     Block& block = blocks_[BlockIndex(hash)];
     uint32_t h = static_cast<uint32_t>(hash);

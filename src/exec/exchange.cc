@@ -6,11 +6,12 @@ namespace vstore {
 
 ExchangeOperator::ExchangeOperator(Schema output_schema,
                                    FragmentFactory factory, int degree,
-                                   ExecContext* ctx)
+                                   ExecContext* ctx, std::string label)
     : output_schema_(std::move(output_schema)),
       factory_(std::move(factory)),
       degree_(degree),
-      ctx_(ctx) {
+      ctx_(ctx),
+      label_(std::move(label)) {
   VSTORE_CHECK(degree_ > 0);
 }
 

@@ -27,12 +27,16 @@ class ExchangeOperator final : public BatchOperator {
       std::function<Result<BatchOperatorPtr>(int fragment,
                                              ExecContext* fragment_ctx)>;
 
+  // `label` names the parallelized region in EXPLAIN ANALYZE output, e.g.
+  // "Exchange(HashJoin)"; empty keeps the plain "Exchange" name.
   ExchangeOperator(Schema output_schema, FragmentFactory factory, int degree,
-                   ExecContext* ctx);
+                   ExecContext* ctx, std::string label = "");
   ~ExchangeOperator() override;
 
   const Schema& output_schema() const override { return output_schema_; }
-  std::string name() const override { return "Exchange"; }
+  std::string name() const override {
+    return label_.empty() ? "Exchange" : "Exchange(" + label_ + ")";
+  }
 
  protected:
   Status OpenImpl() override;
@@ -53,6 +57,7 @@ class ExchangeOperator final : public BatchOperator {
   FragmentFactory factory_;
   int degree_;
   ExecContext* ctx_;
+  std::string label_;
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<ExecContext>> fragment_ctxs_;

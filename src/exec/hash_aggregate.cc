@@ -370,12 +370,8 @@ Result<uint8_t*> HashAggregateOperator::GroupEntryFromBatch(const Batch& batch,
 
   uint8_t* entry = arena_->Allocate(entry_size());
   uint8_t* payload = entry + SerializedRowHashTable::kHeaderSize;
-  std::vector<Value> key_values;
-  key_values.reserve(options_.group_by.size());
-  for (int col : options_.group_by) {
-    key_values.push_back(batch.column(col).GetValue(i));
-  }
-  key_format_->WriteValues(payload, key_values, arena_.get());
+  key_format_->WriteKeysFromBatch(payload, batch, i, options_.group_by,
+                                  arena_.get());
   InitState(entry_state(entry));
   table_->Insert(entry, hash);
   entries_.push_back(entry);

@@ -22,35 +22,10 @@ const char* JoinTypeName(JoinType type) {
   return "?";
 }
 
-namespace {
-
-// Key equality between rows serialized under two different formats (used
-// when both sides of a drained spill partition are serialized).
-bool CrossKeysEqual(const RowFormat& af, const uint8_t* a,
-                    const std::vector<int>& a_keys, const RowFormat& bf,
-                    const uint8_t* b, const std::vector<int>& b_keys) {
-  for (size_t i = 0; i < a_keys.size(); ++i) {
-    int ka = a_keys[i], kb = b_keys[i];
-    if (af.IsNull(a, ka) || bf.IsNull(b, kb)) return false;
-    switch (PhysicalTypeOf(af.column_type(ka))) {
-      case PhysicalType::kInt64:
-        if (af.GetInt64(a, ka) != bf.GetInt64(b, kb)) return false;
-        break;
-      case PhysicalType::kDouble:
-        if (af.GetDouble(a, ka) != bf.GetDouble(b, kb)) return false;
-        break;
-      case PhysicalType::kString:
-        if (af.GetString(a, ka) != bf.GetString(b, kb)) return false;
-        break;
-    }
-  }
-  return true;
-}
-
-Schema JoinOutputSchema(const Schema& probe, const Schema& build,
-                        bool emit_build) {
+Schema HashJoinOutputSchema(const Schema& probe, const Schema& build,
+                            JoinType type) {
   std::vector<Field> fields = probe.fields();
-  if (emit_build) {
+  if (JoinEmitsBuildColumns(type)) {
     for (const Field& f : build.fields()) {
       Field nf = f;
       nf.nullable = true;  // null-extended under outer joins
@@ -60,7 +35,62 @@ Schema JoinOutputSchema(const Schema& probe, const Schema& build,
   return Schema(std::move(fields));
 }
 
-}  // namespace
+void JoinRowEmitter::EmitFromBatch(Batch* output, const Batch& probe,
+                                   int64_t row, const uint8_t* build_row,
+                                   int64_t out_row) const {
+  const int probe_cols = probe.num_columns();
+  for (int c = 0; c < probe_cols; ++c) {
+    const ColumnVector& src = probe.column(c);
+    ColumnVector& dst = output->column(c);
+    dst.mutable_validity()[out_row] = src.validity()[row];
+    switch (src.physical_type()) {
+      case PhysicalType::kInt64:
+        dst.mutable_ints()[out_row] = src.ints()[row];
+        break;
+      case PhysicalType::kDouble:
+        dst.mutable_doubles()[out_row] = src.doubles()[row];
+        break;
+      case PhysicalType::kString:
+        // Probe batch arenas are reused across batches while this output
+        // accumulates rows from several of them — copy.
+        dst.mutable_strings()[out_row] =
+            output->arena()->CopyString(src.strings()[row]);
+        break;
+    }
+  }
+  if (!emit_build_columns_) return;
+  const int build_cols = build_format_->num_columns();
+  for (int c = 0; c < build_cols; ++c) {
+    ColumnVector& dst = output->column(probe_cols + c);
+    if (build_row == nullptr) {
+      dst.mutable_validity()[out_row] = 0;
+    } else {
+      build_format_->CopyToVector(build_row, c, &dst, out_row,
+                                  output->arena());
+    }
+  }
+}
+
+void JoinRowEmitter::EmitFromSerialized(Batch* output,
+                                        const uint8_t* probe_row,
+                                        const uint8_t* build_row,
+                                        int64_t out_row) const {
+  const int probe_cols = probe_format_->num_columns();
+  for (int c = 0; c < probe_cols; ++c) {
+    probe_format_->CopyToVector(probe_row, c, &output->column(c), out_row,
+                                output->arena());
+  }
+  if (!emit_build_columns_) return;
+  for (int c = 0; c < build_format_->num_columns(); ++c) {
+    ColumnVector& dst = output->column(probe_cols + c);
+    if (build_row == nullptr) {
+      dst.mutable_validity()[out_row] = 0;
+    } else {
+      build_format_->CopyToVector(build_row, c, &dst, out_row,
+                                  output->arena());
+    }
+  }
+}
 
 HashJoinOperator::HashJoinOperator(BatchOperatorPtr probe,
                                    BatchOperatorPtr build, Options options,
@@ -71,8 +101,8 @@ HashJoinOperator::HashJoinOperator(BatchOperatorPtr probe,
       ctx_(ctx),
       build_format_(build_->output_schema()),
       probe_format_(probe_->output_schema()),
-      emit_build_columns_(options_.join_type == JoinType::kInner ||
-                          options_.join_type == JoinType::kLeftOuter) {
+      emit_build_columns_(JoinEmitsBuildColumns(options_.join_type)),
+      emitter_(&probe_format_, &build_format_, emit_build_columns_) {
   VSTORE_CHECK(!options_.probe_keys.empty() &&
                options_.probe_keys.size() == options_.build_keys.size());
   VSTORE_CHECK(std::has_single_bit(
@@ -83,9 +113,8 @@ HashJoinOperator::HashJoinOperator(BatchOperatorPtr probe,
                  options_.join_type == JoinType::kLeftSemi);
     bloom_ = options_.bloom_target;
   }
-  output_schema_ = JoinOutputSchema(probe_->output_schema(),
-                                    build_->output_schema(),
-                                    emit_build_columns_);
+  output_schema_ = HashJoinOutputSchema(
+      probe_->output_schema(), build_->output_schema(), options_.join_type);
   partition_shift_ =
       64 - std::countr_zero(static_cast<unsigned>(options_.num_partitions));
 }
@@ -303,62 +332,6 @@ void HashJoinOperator::CloseImpl() {
   probe_batch_ = nullptr;
 }
 
-void HashJoinOperator::EmitFromBatch(const Batch& probe, int64_t row,
-                                     const uint8_t* build_row,
-                                     int64_t out_row) {
-  const int probe_cols = probe.num_columns();
-  for (int c = 0; c < probe_cols; ++c) {
-    const ColumnVector& src = probe.column(c);
-    ColumnVector& dst = output_->column(c);
-    dst.mutable_validity()[out_row] = src.validity()[row];
-    switch (src.physical_type()) {
-      case PhysicalType::kInt64:
-        dst.mutable_ints()[out_row] = src.ints()[row];
-        break;
-      case PhysicalType::kDouble:
-        dst.mutable_doubles()[out_row] = src.doubles()[row];
-        break;
-      case PhysicalType::kString:
-        // Probe batch arenas are reused across batches while this output
-        // accumulates rows from several of them — copy.
-        dst.mutable_strings()[out_row] =
-            output_->arena()->CopyString(src.strings()[row]);
-        break;
-    }
-  }
-  if (!emit_build_columns_) return;
-  const int build_cols = build_format_.num_columns();
-  for (int c = 0; c < build_cols; ++c) {
-    ColumnVector& dst = output_->column(probe_cols + c);
-    if (build_row == nullptr) {
-      dst.mutable_validity()[out_row] = 0;
-    } else {
-      build_format_.CopyToVector(build_row, c, &dst, out_row,
-                                 output_->arena());
-    }
-  }
-}
-
-void HashJoinOperator::EmitFromSerialized(const uint8_t* probe_row,
-                                          const uint8_t* build_row,
-                                          int64_t out_row) {
-  const int probe_cols = probe_format_.num_columns();
-  for (int c = 0; c < probe_cols; ++c) {
-    probe_format_.CopyToVector(probe_row, c, &output_->column(c), out_row,
-                               output_->arena());
-  }
-  if (!emit_build_columns_) return;
-  for (int c = 0; c < build_format_.num_columns(); ++c) {
-    ColumnVector& dst = output_->column(probe_cols + c);
-    if (build_row == nullptr) {
-      dst.mutable_validity()[out_row] = 0;
-    } else {
-      build_format_.CopyToVector(build_row, c, &dst, out_row,
-                                 output_->arena());
-    }
-  }
-}
-
 Result<bool> HashJoinOperator::PumpProbe() {
   const JoinType jt = options_.join_type;
   for (;;) {
@@ -415,7 +388,8 @@ Result<bool> HashJoinOperator::PumpProbe() {
                                          options_.probe_keys)) {
           row_matched_ = true;
           if (jt == JoinType::kInner || jt == JoinType::kLeftOuter) {
-            EmitFromBatch(*probe_batch_, probe_row_, payload, out_rows_++);
+            emitter_.EmitFromBatch(output_.get(), *probe_batch_, probe_row_,
+                                   payload, out_rows_++);
           } else {
             chain_ = nullptr;  // semi/anti need only existence
             break;
@@ -433,7 +407,8 @@ Result<bool> HashJoinOperator::PumpProbe() {
       bool emit_null_extended = jt == JoinType::kLeftOuter && !row_matched_;
       if (emit_probe_only || emit_null_extended) {
         if (out_rows_ == output_->capacity()) return true;
-        EmitFromBatch(*probe_batch_, probe_row_, nullptr, out_rows_++);
+        emitter_.EmitFromBatch(output_.get(), *probe_batch_, probe_row_,
+                               nullptr, out_rows_++);
       }
       ++probe_rows_;
       ++probe_row_;
@@ -508,12 +483,13 @@ Result<bool> HashJoinOperator::PumpSpill() {
         if (out_rows_ == output_->capacity()) return true;
         const uint8_t* entry = chain_;
         const uint8_t* payload = SerializedRowHashTable::EntryPayload(entry);
-        if (CrossKeysEqual(build_format_, payload, options_.build_keys,
-                           probe_format_, drain_probe_row_.data(),
-                           options_.probe_keys)) {
+        if (CrossFormatKeysEqual(build_format_, payload, options_.build_keys,
+                                 probe_format_, drain_probe_row_.data(),
+                                 options_.probe_keys)) {
           row_matched_ = true;
           if (jt == JoinType::kInner || jt == JoinType::kLeftOuter) {
-            EmitFromSerialized(drain_probe_row_.data(), payload, out_rows_++);
+            emitter_.EmitFromSerialized(output_.get(), drain_probe_row_.data(),
+                                        payload, out_rows_++);
           } else {
             chain_ = nullptr;
             break;
@@ -530,7 +506,8 @@ Result<bool> HashJoinOperator::PumpSpill() {
       bool emit_null_extended = jt == JoinType::kLeftOuter && !row_matched_;
       if (emit_probe_only || emit_null_extended) {
         if (out_rows_ == output_->capacity()) return true;
-        EmitFromSerialized(drain_probe_row_.data(), nullptr, out_rows_++);
+        emitter_.EmitFromSerialized(output_.get(), drain_probe_row_.data(),
+                                    nullptr, out_rows_++);
       }
       drain_row_pending_ = false;
     }

@@ -20,6 +20,39 @@ enum class JoinType {
 
 const char* JoinTypeName(JoinType type);
 
+// True when the join's output carries build-side columns (inner/outer).
+inline bool JoinEmitsBuildColumns(JoinType type) {
+  return type == JoinType::kInner || type == JoinType::kLeftOuter;
+}
+
+// Output schema of a batch hash join: probe columns, then (for inner/outer
+// joins) the build columns marked nullable for null-extension.
+Schema HashJoinOutputSchema(const Schema& probe, const Schema& build,
+                            JoinType type);
+
+// Row emission shared by the single-threaded hash join and the parallel
+// probe fragments: writes one output row (probe side from a batch or a
+// serialized row, build side from a serialized row or null-extended) into
+// an accumulating output batch. Stateless apart from the formats.
+class JoinRowEmitter {
+ public:
+  JoinRowEmitter(const RowFormat* probe_format, const RowFormat* build_format,
+                 bool emit_build_columns)
+      : probe_format_(probe_format),
+        build_format_(build_format),
+        emit_build_columns_(emit_build_columns) {}
+
+  void EmitFromBatch(Batch* output, const Batch& probe, int64_t row,
+                     const uint8_t* build_row, int64_t out_row) const;
+  void EmitFromSerialized(Batch* output, const uint8_t* probe_row,
+                          const uint8_t* build_row, int64_t out_row) const;
+
+ private:
+  const RowFormat* probe_format_;
+  const RowFormat* build_format_;
+  bool emit_build_columns_;
+};
+
 // Batch-mode hash join (paper §5.3): consumes the build side into a hash
 // table of serialized rows, optionally publishing a Bloom filter for
 // pushdown into the probe-side scan, then streams probe batches against it.
@@ -88,14 +121,6 @@ class HashJoinOperator final : public BatchOperator {
   Status SpillPartition(int p);
   Status BuildInMemoryTables();
 
-  // Emits one output row at out_row: probe side from `probe`/`row` (or a
-  // serialized probe row) plus build side from `build_row` (nullptr =>
-  // null-extended).
-  void EmitFromBatch(const Batch& probe, int64_t row, const uint8_t* build_row,
-                     int64_t out_row);
-  void EmitFromSerialized(const uint8_t* probe_row, const uint8_t* build_row,
-                          int64_t out_row);
-
   // Probe-streaming phase; returns true when a full/final batch is ready.
   Result<bool> PumpProbe();
   // Spill-drain phase; returns true when a batch is ready, false at EOS.
@@ -110,6 +135,7 @@ class HashJoinOperator final : public BatchOperator {
   RowFormat build_format_;
   RowFormat probe_format_;
   bool emit_build_columns_;
+  JoinRowEmitter emitter_;
 
   BloomFilter* bloom_ = nullptr;  // not owned
   std::vector<Partition> partitions_;

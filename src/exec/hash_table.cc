@@ -84,6 +84,59 @@ void RowFormat::WriteValues(uint8_t* dst, const std::vector<Value>& row,
   }
 }
 
+void RowFormat::WriteKeysFromBatch(uint8_t* dst, const Batch& batch,
+                                   int64_t row,
+                                   const std::vector<int>& batch_cols,
+                                   Arena* arena) const {
+  for (int c = 0; c < num_columns(); ++c) {
+    const ColumnVector& cv = batch.column(batch_cols[static_cast<size_t>(c)]);
+    uint8_t valid = cv.validity()[row];
+    dst[c] = valid;
+    uint8_t* slot = dst + slot_offset(c);
+    if (!valid) {
+      std::memset(slot, 0, 8);
+      continue;
+    }
+    switch (cv.physical_type()) {
+      case PhysicalType::kInt64:
+        std::memcpy(slot, cv.ints() + row, 8);
+        break;
+      case PhysicalType::kDouble:
+        std::memcpy(slot, cv.doubles() + row, 8);
+        break;
+      case PhysicalType::kString: {
+        std::string_view stable = arena->CopyString(cv.strings()[row]);
+        const char* ptr = stable.data();
+        uint64_t len = stable.size();
+        std::memcpy(slot, &ptr, 8);
+        std::memcpy(slot + 8, &len, 8);
+        break;
+      }
+    }
+  }
+}
+
+bool CrossFormatKeysEqual(const RowFormat& af, const uint8_t* a,
+                          const std::vector<int>& a_keys, const RowFormat& bf,
+                          const uint8_t* b, const std::vector<int>& b_keys) {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    int ka = a_keys[i], kb = b_keys[i];
+    if (af.IsNull(a, ka) || bf.IsNull(b, kb)) return false;
+    switch (PhysicalTypeOf(af.column_type(ka))) {
+      case PhysicalType::kInt64:
+        if (af.GetInt64(a, ka) != bf.GetInt64(b, kb)) return false;
+        break;
+      case PhysicalType::kDouble:
+        if (af.GetDouble(a, ka) != bf.GetDouble(b, kb)) return false;
+        break;
+      case PhysicalType::kString:
+        if (af.GetString(a, ka) != bf.GetString(b, kb)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
 int64_t RowFormat::GetInt64(const uint8_t* row, int c) const {
   int64_t x;
   std::memcpy(&x, row + slot_offset(c), 8);

@@ -45,6 +45,13 @@ class RowFormat {
              Arena* arena) const;
   void WriteValues(uint8_t* dst, const std::vector<Value>& row,
                    Arena* arena) const;
+  // Serializes a column subset of batch row `row` into `dst`: serialized
+  // column k takes its value from batch column `batch_cols[k]`. Equivalent
+  // to materializing the key Values and calling WriteValues, minus the
+  // per-row temporaries (hash aggregation's new-group fast path).
+  void WriteKeysFromBatch(uint8_t* dst, const Batch& batch, int64_t row,
+                          const std::vector<int>& batch_cols,
+                          Arena* arena) const;
 
   bool IsNull(const uint8_t* row, int c) const {
     return row[static_cast<size_t>(c)] == 0;
@@ -81,6 +88,12 @@ class RowFormat {
   std::vector<DataType> types_;
   size_t row_size_ = 0;
 };
+
+// Key equality between rows serialized under two different formats (spill
+// drains compare a serialized probe row against serialized build rows).
+bool CrossFormatKeysEqual(const RowFormat& af, const uint8_t* a,
+                          const std::vector<int>& a_keys, const RowFormat& bf,
+                          const uint8_t* b, const std::vector<int>& b_keys);
 
 // Chained hash table over serialized rows. Each entry is a row prefixed by
 // a 16-byte header: [next pointer : 8][hash : 8]. Rows live in an Arena

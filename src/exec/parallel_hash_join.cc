@@ -1,0 +1,660 @@
+#include "exec/parallel_hash_join.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/macros.h"
+#include "exec/spill.h"
+
+namespace vstore {
+
+namespace {
+
+inline std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+inline int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start)
+      .count();
+}
+
+}  // namespace
+
+SharedHashJoinBuild::SharedHashJoinBuild(Schema build_schema,
+                                         Schema probe_schema, Options options,
+                                         BuildFactory factory, int build_dop,
+                                         int expected_probe_fragments,
+                                         int64_t memory_budget)
+    : build_schema_(std::move(build_schema)),
+      probe_schema_(std::move(probe_schema)),
+      options_(std::move(options)),
+      factory_(std::move(factory)),
+      build_dop_(build_dop),
+      memory_budget_(memory_budget),
+      build_format_(build_schema_),
+      partition_shift_(
+          64 - std::countr_zero(static_cast<unsigned>(options_.num_partitions))),
+      active_probe_fragments_(expected_probe_fragments) {
+  VSTORE_CHECK(build_dop_ >= 1 && expected_probe_fragments >= 1);
+  VSTORE_CHECK(!options_.probe_keys.empty() &&
+               options_.probe_keys.size() == options_.build_keys.size());
+  VSTORE_CHECK(
+      std::has_single_bit(static_cast<unsigned>(options_.num_partitions)));
+  if (options_.bloom_target != nullptr) {
+    VSTORE_CHECK(options_.join_type == JoinType::kInner ||
+                 options_.join_type == JoinType::kLeftSemi);
+  }
+}
+
+SharedHashJoinBuild::~SharedHashJoinBuild() {
+  for (auto& part : partitions_) {
+    if (part->build_file != nullptr) std::fclose(part->build_file);
+    if (part->probe_file != nullptr) std::fclose(part->probe_file);
+  }
+}
+
+Status SharedHashJoinBuild::EnsureBuilt(ExecContext* caller_ctx) {
+  // The mutex doubles as the happens-before edge: every fragment passes
+  // through it once, after which the built state is read without locks.
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (built_) return build_status_;
+  build_status_ = RunBuild(caller_ctx);
+  built_ = true;
+  return build_status_;
+}
+
+Status SharedHashJoinBuild::RunBuild(ExecContext* caller_ctx) {
+  auto build_start = Now();
+  partitions_.clear();
+  partitions_.reserve(static_cast<size_t>(options_.num_partitions));
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    auto part = std::make_unique<Partition>();
+    part->arena = std::make_unique<Arena>();
+    partitions_.push_back(std::move(part));
+  }
+  fragment_build_rows_.assign(static_cast<size_t>(build_dop_), 0);
+
+  // Phase 1: every build fragment drains its operator tree into the shared
+  // partitions. Fragment contexts keep stats thread-local; they are merged
+  // into the calling fragment's context after the join barrier (the
+  // exchange then rolls them up like any other fragment stats).
+  std::vector<std::unique_ptr<ExecContext>> fctxs;
+  for (int f = 0; f < build_dop_; ++f) {
+    auto fctx = std::make_unique<ExecContext>();
+    fctx->batch_size = caller_ctx->batch_size;
+    fctx->operator_memory_budget = caller_ctx->operator_memory_budget;
+    fctxs.push_back(std::move(fctx));
+  }
+  std::vector<Status> statuses(static_cast<size_t>(build_dop_));
+  if (build_dop_ == 1) {
+    statuses[0] = BuildFragment(0, fctxs[0].get());
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(build_dop_));
+    for (int f = 0; f < build_dop_; ++f) {
+      threads.emplace_back([this, f, &fctxs, &statuses] {
+        statuses[static_cast<size_t>(f)] =
+            BuildFragment(f, fctxs[static_cast<size_t>(f)].get());
+      });
+    }
+    for (std::thread& t : threads) t.join();  // build barrier
+  }
+  for (auto& fctx : fctxs) caller_ctx->stats.MergeFrom(fctx->stats);
+  for (const Status& s : statuses) {
+    VSTORE_RETURN_IF_ERROR(s);
+  }
+  build_ns_ = ElapsedNs(build_start);
+
+  // Phase 2: chained tables + Bloom filter, partitions striped across the
+  // same dop. The shared filter is Init()ed once from the total row count;
+  // each stripe fills a private identically-sized filter and OR-merges it.
+  auto finalize_start = Now();
+  int64_t total_rows = 0;
+  for (int64_t rows : fragment_build_rows_) total_rows += rows;
+  if (options_.bloom_target != nullptr) {
+    options_.bloom_target->Init(std::max<int64_t>(total_rows, 1));
+  }
+  if (build_dop_ == 1) {
+    VSTORE_RETURN_IF_ERROR(FinalizeStripe(0, total_rows));
+  } else {
+    std::vector<Status> fin(static_cast<size_t>(build_dop_));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(build_dop_));
+    for (int f = 0; f < build_dop_; ++f) {
+      threads.emplace_back([this, f, total_rows, &fin] {
+        fin[static_cast<size_t>(f)] = FinalizeStripe(f, total_rows);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& s : fin) {
+      VSTORE_RETURN_IF_ERROR(s);
+    }
+  }
+  table_build_ns_ = ElapsedNs(finalize_start);
+  return Status::OK();
+}
+
+Status SharedHashJoinBuild::BuildFragment(int fragment, ExecContext* fctx) {
+  std::shared_ptr<void> resources;
+  BatchOperatorPtr op;
+  {
+    Result<BatchOperatorPtr> op_result = factory_(fragment, fctx, &resources);
+    if (!op_result.ok()) return op_result.status();
+    op = std::move(op_result).value();
+  }
+  const size_t entry_size =
+      SerializedRowHashTable::kHeaderSize + build_format_.row_size();
+  int64_t frag_rows = 0;
+  int64_t lock_wait_ns = 0;
+
+  Status status = op->Open();
+  while (status.ok()) {
+    Result<Batch*> batch_result = op->Next();
+    if (!batch_result.ok()) {
+      status = batch_result.status();
+      break;
+    }
+    Batch* batch = batch_result.value();
+    if (batch == nullptr) break;
+    const int64_t n = batch->num_rows();
+    const uint8_t* active = batch->active();
+    for (int64_t i = 0; i < n && status.ok(); ++i) {
+      if (!active[i]) continue;
+      // Rows with a null key can never join: drop them at build time.
+      bool null_key = false;
+      for (int k : options_.build_keys) {
+        if (!batch->column(k).validity()[i]) {
+          null_key = true;
+          break;
+        }
+      }
+      if (null_key) continue;
+
+      ++frag_rows;
+      uint64_t hash =
+          build_format_.HashKeysFromBatch(*batch, i, options_.build_keys);
+      Partition& part = *partitions_[static_cast<size_t>(PartitionOf(hash))];
+      bool over_budget = false;
+      {
+        // try_lock first so only contended acquisitions pay for (and show
+        // up in) the lock-wait timer.
+        std::unique_lock<std::mutex> lock(part.mu, std::try_to_lock);
+        if (!lock.owns_lock()) {
+          auto wait_start = Now();
+          lock.lock();
+          lock_wait_ns += ElapsedNs(wait_start);
+        }
+        if (part.spilled) {
+          status = WriteSpillRow(part.build_file, build_schema_,
+                                 batch->GetActiveRow(i));
+          if (status.ok()) {
+            ++part.build_rows_on_disk;
+            ++fctx->stats.build_rows_spilled;
+          }
+        } else {
+          uint8_t* entry = part.arena->Allocate(entry_size);
+          build_format_.Write(entry + SerializedRowHashTable::kHeaderSize,
+                              *batch, i, part.arena.get());
+          std::memcpy(entry + 8, &hash, sizeof(hash));
+          part.rows.push_back(entry);
+          int64_t arena_bytes =
+              static_cast<int64_t>(part.arena->bytes_allocated());
+          int64_t grew =
+              arena_bytes - part.bytes.load(std::memory_order_relaxed);
+          part.bytes.store(arena_bytes, std::memory_order_relaxed);
+          int64_t total =
+              total_bytes_.fetch_add(grew, std::memory_order_relaxed) + grew;
+          int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+          while (total > peak && !peak_bytes_.compare_exchange_weak(
+                                     peak, total, std::memory_order_relaxed)) {
+          }
+          over_budget = memory_budget_ > 0 && total > memory_budget_;
+        }
+      }
+      // Spill outside the partition lock: MaybeSpill acquires spill_mu_
+      // first and then a victim partition's lock, so holding a partition
+      // lock here would invert the order.
+      if (status.ok() && over_budget) status = MaybeSpill(fctx);
+    }
+  }
+  op->Close();
+
+  OperatorProfile profile = op->BuildProfile();
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (profile_fragments_ == 0) {
+      build_profile_ = std::move(profile);
+    } else {
+      build_profile_.MergeFrom(profile);
+    }
+    ++profile_fragments_;
+    fragment_build_rows_[static_cast<size_t>(fragment)] = frag_rows;
+    build_rows_ += frag_rows;
+    lock_wait_ns_ += lock_wait_ns;
+  }
+  return status;
+}
+
+Status SharedHashJoinBuild::MaybeSpill(ExecContext* fctx) {
+  std::lock_guard<std::mutex> spill_lock(spill_mu_);
+  // Another thread may have flushed a partition while we waited.
+  if (total_bytes_.load(std::memory_order_relaxed) <= memory_budget_) {
+    return Status::OK();
+  }
+  // `spilled` only flips under spill_mu_ (plus the partition lock), so this
+  // scan needs no partition locks; `bytes` is an atomic mirror.
+  int victim = -1;
+  int64_t victim_bytes = -1;
+  for (int q = 0; q < options_.num_partitions; ++q) {
+    const Partition& cand = *partitions_[static_cast<size_t>(q)];
+    int64_t bytes = cand.bytes.load(std::memory_order_relaxed);
+    if (!cand.spilled && bytes > victim_bytes) {
+      victim = q;
+      victim_bytes = bytes;
+    }
+  }
+  if (victim < 0) return Status::OK();  // everything is already on disk
+  Partition& part = *partitions_[static_cast<size_t>(victim)];
+  std::lock_guard<std::mutex> part_lock(part.mu);
+  return SpillPartitionLocked(&part, fctx);
+}
+
+Status SharedHashJoinBuild::SpillPartitionLocked(Partition* part,
+                                                 ExecContext* fctx) {
+  VSTORE_DCHECK(!part->spilled);
+  part->build_file = std::tmpfile();
+  part->probe_file = std::tmpfile();
+  if (part->build_file == nullptr || part->probe_file == nullptr) {
+    return Status::Internal("cannot create spill files");
+  }
+  std::vector<Value> row(static_cast<size_t>(build_schema_.num_columns()));
+  for (uint8_t* entry : part->rows) {
+    const uint8_t* payload = SerializedRowHashTable::EntryPayload(entry);
+    for (int c = 0; c < build_schema_.num_columns(); ++c) {
+      row[static_cast<size_t>(c)] = build_format_.GetValue(payload, c);
+    }
+    VSTORE_RETURN_IF_ERROR(WriteSpillRow(part->build_file, build_schema_, row));
+    ++part->build_rows_on_disk;
+    ++fctx->stats.build_rows_spilled;
+  }
+  total_bytes_.fetch_sub(part->bytes.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  part->rows.clear();
+  part->rows.shrink_to_fit();
+  part->arena = std::make_unique<Arena>();
+  part->bytes.store(0, std::memory_order_relaxed);
+  part->spilled = true;
+  ++fctx->stats.spill_partitions;
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    ++spill_partitions_;
+  }
+  return Status::OK();
+}
+
+Status SharedHashJoinBuild::FinalizeStripe(int stripe, int64_t total_rows) {
+  BloomFilter local_bloom;
+  const bool blooming = options_.bloom_target != nullptr;
+  if (blooming) local_bloom.Init(std::max<int64_t>(total_rows, 1));
+
+  for (int p = stripe; p < options_.num_partitions; p += build_dop_) {
+    Partition& part = *partitions_[static_cast<size_t>(p)];
+    if (!part.spilled) {
+      part.table = std::make_unique<SerializedRowHashTable>(
+          static_cast<int64_t>(part.rows.size()));
+      for (uint8_t* entry : part.rows) {
+        uint64_t hash = SerializedRowHashTable::EntryHash(entry);
+        part.table->Insert(entry, hash);
+        if (blooming) local_bloom.Insert(hash);
+      }
+    } else if (blooming) {
+      // Spilled build rows still participate in the filter (the filter
+      // reflects the whole build side, resident or not).
+      std::rewind(part.build_file);
+      std::vector<Value> row;
+      std::vector<uint8_t> buf(build_format_.row_size());
+      Arena scratch;
+      for (;;) {
+        VSTORE_ASSIGN_OR_RETURN(
+            bool more, ReadSpillRow(part.build_file, build_schema_, &row));
+        if (!more) break;
+        build_format_.WriteValues(buf.data(), row, &scratch);
+        local_bloom.Insert(
+            build_format_.HashKeys(buf.data(), options_.build_keys));
+        scratch.Reset();
+      }
+    }
+  }
+
+  if (blooming) {
+    auto merge_start = Now();
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    options_.bloom_target->MergeFrom(local_bloom);
+    bloom_merge_ns_ += ElapsedNs(merge_start);
+  }
+  return Status::OK();
+}
+
+Status SharedHashJoinBuild::SpillProbeRow(int p, const std::vector<Value>& row,
+                                          ExecContext* fctx) {
+  Partition& part = *partitions_[static_cast<size_t>(p)];
+  std::lock_guard<std::mutex> lock(part.mu);
+  VSTORE_RETURN_IF_ERROR(WriteSpillRow(part.probe_file, probe_schema_, row));
+  ++part.probe_rows_on_disk;
+  ++fctx->stats.probe_rows_spilled;
+  return Status::OK();
+}
+
+bool SharedHashJoinBuild::FinishProbeFragment() {
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  VSTORE_DCHECK(active_probe_fragments_ > 0);
+  return --active_probe_fragments_ == 0;
+}
+
+void SharedHashJoinBuild::AppendBuildProfile(OperatorProfile* node) const {
+  node->counters.push_back({"build_rows", build_rows_});
+  node->counters.push_back({"build_fragments", build_dop_});
+  for (size_t f = 0; f < fragment_build_rows_.size(); ++f) {
+    node->counters.push_back(
+        {"build_rows_f" + std::to_string(f), fragment_build_rows_[f]});
+  }
+  node->counters.push_back({"build_ns", build_ns_});
+  node->counters.push_back({"table_build_ns", table_build_ns_});
+  node->counters.push_back({"build_lock_wait_ns", lock_wait_ns_});
+  if (options_.bloom_target != nullptr) {
+    node->counters.push_back({"bloom_published", 1});
+    node->counters.push_back({"bloom_merge_ns", bloom_merge_ns_});
+  }
+  if (spill_partitions_ > 0) {
+    node->counters.push_back({"spill_partitions", spill_partitions_});
+  }
+  if (profile_fragments_ > 0) {
+    OperatorProfile child = build_profile_;
+    child.fragments = profile_fragments_;
+    node->children.push_back(std::move(child));
+  }
+}
+
+HashJoinProbeOperator::HashJoinProbeOperator(
+    BatchOperatorPtr probe, std::shared_ptr<SharedHashJoinBuild> shared,
+    int fragment, ExecContext* ctx)
+    : probe_(std::move(probe)),
+      shared_(std::move(shared)),
+      fragment_(fragment),
+      ctx_(ctx),
+      output_schema_(HashJoinOutputSchema(probe_->output_schema(),
+                                          shared_->build_schema(),
+                                          shared_->options().join_type)),
+      probe_format_(probe_->output_schema()),
+      emitter_(&probe_format_, &shared_->build_format(),
+               JoinEmitsBuildColumns(shared_->options().join_type)) {}
+
+HashJoinProbeOperator::~HashJoinProbeOperator() { Close(); }
+
+std::string HashJoinProbeOperator::name() const {
+  return std::string("HashJoinProbe(") +
+         JoinTypeName(shared_->options().join_type) + ")";
+}
+
+void HashJoinProbeOperator::AppendProfileCounters(
+    OperatorProfile* node) const {
+  node->counters.push_back({"probe_rows", probe_rows_});
+  if (probe_rows_spilled_ > 0) {
+    node->counters.push_back({"probe_rows_spilled", probe_rows_spilled_});
+  }
+}
+
+void HashJoinProbeOperator::AppendProfileChildren(
+    OperatorProfile* node) const {
+  BatchOperator::AppendProfileChildren(node);
+  // Exactly one fragment reports the shared build: the exchange merge sums
+  // counters by name across fragments, so dop copies would multiply them.
+  if (fragment_ == 0) shared_->AppendBuildProfile(node);
+}
+
+Status HashJoinProbeOperator::OpenImpl() {
+  probe_rows_ = 0;
+  probe_rows_spilled_ = 0;
+  out_rows_ = 0;
+  phase_ = Phase::kInit;
+  finish_reported_ = false;
+  VSTORE_RETURN_IF_ERROR(shared_->EnsureBuilt(ctx_));
+  // The build is the memory-heavy half; attribute its high-water mark to
+  // one fragment so the exchange's max-merge reports it once.
+  if (fragment_ == 0) RecordPeakMemory(shared_->peak_bytes());
+  // Open the probe chain only now: a pushed Bloom filter is populated by
+  // the build above and the probe-side scan reads it during Open().
+  VSTORE_RETURN_IF_ERROR(probe_->Open());
+  output_ = std::make_unique<Batch>(output_schema_, ctx_->batch_size);
+  phase_ = Phase::kProbe;
+  probe_batch_ = nullptr;
+  probe_row_ = 0;
+  chain_ = nullptr;
+  row_matched_ = false;
+  drain_partition_ = 0;
+  drain_loaded_ = false;
+  drain_row_pending_ = false;
+  return Status::OK();
+}
+
+void HashJoinProbeOperator::CloseImpl() {
+  output_.reset();
+  drain_table_.reset();
+  if (phase_ != Phase::kInit) probe_->Close();
+  probe_batch_ = nullptr;
+}
+
+Result<Batch*> HashJoinProbeOperator::NextImpl() {
+  output_->Reset();
+  out_rows_ = 0;
+  bool ready = false;
+  if (phase_ == Phase::kProbe) {
+    VSTORE_ASSIGN_OR_RETURN(ready, PumpProbe());
+  }
+  if (!ready && phase_ == Phase::kSpillDrain) {
+    VSTORE_ASSIGN_OR_RETURN(ready, PumpSpill());
+  }
+  if (out_rows_ == 0) return static_cast<Batch*>(nullptr);
+  output_->set_num_rows(out_rows_);
+  output_->ActivateAll();
+  return output_.get();
+}
+
+Result<bool> HashJoinProbeOperator::PumpProbe() {
+  const JoinType jt = shared_->options().join_type;
+  const RowFormat& build_format = shared_->build_format();
+  const std::vector<int>& build_keys = shared_->options().build_keys;
+  const std::vector<int>& probe_keys = shared_->options().probe_keys;
+  for (;;) {
+    if (probe_batch_ == nullptr) {
+      VSTORE_ASSIGN_OR_RETURN(Batch * batch, probe_->Next());
+      if (batch == nullptr) {
+        if (!finish_reported_) {
+          finish_reported_ = true;
+          // The last fragment to exhaust its probe input owns the drain of
+          // the spilled partition pairs — by then no fragment can append
+          // another probe row to the shared spill files.
+          bool last = shared_->FinishProbeFragment();
+          phase_ = last && shared_->has_spilled_partitions()
+                       ? Phase::kSpillDrain
+                       : Phase::kDone;
+        }
+        return out_rows_ > 0;
+      }
+      probe_batch_ = batch;
+      probe_row_ = 0;
+      chain_ = nullptr;
+      row_matched_ = false;
+      const int64_t n = batch->num_rows();
+      probe_hashes_.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        if (!batch->active()[i]) continue;
+        probe_hashes_[static_cast<size_t>(i)] =
+            probe_format_.HashKeysFromBatch(*batch, i, probe_keys);
+      }
+    }
+
+    const uint8_t* active = probe_batch_->active();
+    while (probe_row_ < probe_batch_->num_rows()) {
+      if (!active[probe_row_]) {
+        ++probe_row_;
+        continue;
+      }
+      uint64_t hash = probe_hashes_[static_cast<size_t>(probe_row_)];
+      int p = shared_->PartitionOf(hash);
+      SharedHashJoinBuild::Partition& part = shared_->partition(p);
+
+      if (part.spilled) {
+        VSTORE_RETURN_IF_ERROR(shared_->SpillProbeRow(
+            p, probe_batch_->GetActiveRow(probe_row_), ctx_));
+        ++probe_rows_spilled_;
+        ++probe_rows_;
+        ++probe_row_;
+        continue;
+      }
+
+      if (chain_ == nullptr && !row_matched_) {
+        chain_ = part.table->ChainHead(hash);
+      }
+      while (chain_ != nullptr) {
+        if (out_rows_ == output_->capacity()) return true;
+        const uint8_t* entry = chain_;
+        const uint8_t* payload = SerializedRowHashTable::EntryPayload(entry);
+        if (SerializedRowHashTable::EntryHash(entry) == hash &&
+            build_format.KeysEqualBatch(payload, build_keys, *probe_batch_,
+                                        probe_row_, probe_keys)) {
+          row_matched_ = true;
+          if (jt == JoinType::kInner || jt == JoinType::kLeftOuter) {
+            emitter_.EmitFromBatch(output_.get(), *probe_batch_, probe_row_,
+                                   payload, out_rows_++);
+          } else {
+            chain_ = nullptr;  // semi/anti need only existence
+            break;
+          }
+        }
+        if (chain_ != nullptr) {
+          chain_ = SerializedRowHashTable::ChainNext(entry);
+        }
+      }
+
+      bool emit_probe_only = (jt == JoinType::kLeftSemi && row_matched_) ||
+                             (jt == JoinType::kLeftAnti && !row_matched_);
+      bool emit_null_extended = jt == JoinType::kLeftOuter && !row_matched_;
+      if (emit_probe_only || emit_null_extended) {
+        if (out_rows_ == output_->capacity()) return true;
+        emitter_.EmitFromBatch(output_.get(), *probe_batch_, probe_row_,
+                               nullptr, out_rows_++);
+      }
+      ++probe_rows_;
+      ++probe_row_;
+      chain_ = nullptr;
+      row_matched_ = false;
+    }
+    probe_batch_ = nullptr;
+  }
+}
+
+Result<bool> HashJoinProbeOperator::PumpSpill() {
+  const JoinType jt = shared_->options().join_type;
+  const RowFormat& build_format = shared_->build_format();
+  const std::vector<int>& build_keys = shared_->options().build_keys;
+  const std::vector<int>& probe_keys = shared_->options().probe_keys;
+  for (;;) {
+    if (drain_partition_ >= shared_->num_partitions()) {
+      phase_ = Phase::kDone;
+      return out_rows_ > 0;
+    }
+    SharedHashJoinBuild::Partition& part =
+        shared_->partition(drain_partition_);
+    if (!part.spilled) {
+      ++drain_partition_;
+      continue;
+    }
+
+    if (!drain_loaded_) {
+      // Rebuild this partition's build side into operator-local storage;
+      // the shared partitions stay strictly read-only after the build.
+      std::rewind(part.build_file);
+      drain_build_arena_.Reset();
+      drain_table_ = std::make_unique<SerializedRowHashTable>(
+          std::max<int64_t>(part.build_rows_on_disk, 1));
+      const size_t entry_size =
+          SerializedRowHashTable::kHeaderSize + build_format.row_size();
+      std::vector<Value> row;
+      for (;;) {
+        VSTORE_ASSIGN_OR_RETURN(
+            bool more,
+            ReadSpillRow(part.build_file, shared_->build_schema(), &row));
+        if (!more) break;
+        uint8_t* entry = drain_build_arena_.Allocate(entry_size);
+        build_format.WriteValues(entry + SerializedRowHashTable::kHeaderSize,
+                                 row, &drain_build_arena_);
+        uint64_t hash = build_format.HashKeys(
+            entry + SerializedRowHashTable::kHeaderSize, build_keys);
+        drain_table_->Insert(entry, hash);
+      }
+      std::rewind(part.probe_file);
+      drain_probe_row_.resize(probe_format_.row_size());
+      drain_loaded_ = true;
+      drain_row_pending_ = false;
+    }
+
+    for (;;) {
+      if (!drain_row_pending_) {
+        std::vector<Value> row;
+        VSTORE_ASSIGN_OR_RETURN(
+            bool more,
+            ReadSpillRow(part.probe_file, shared_->probe_schema(), &row));
+        if (!more) {
+          drain_loaded_ = false;
+          ++drain_partition_;
+          break;  // next partition
+        }
+        drain_arena_.Reset();
+        probe_format_.WriteValues(drain_probe_row_.data(), row, &drain_arena_);
+        uint64_t hash =
+            probe_format_.HashKeys(drain_probe_row_.data(), probe_keys);
+        chain_ = drain_table_->ChainHead(hash);
+        row_matched_ = false;
+        drain_row_pending_ = true;
+      }
+
+      while (chain_ != nullptr) {
+        if (out_rows_ == output_->capacity()) return true;
+        const uint8_t* entry = chain_;
+        const uint8_t* payload = SerializedRowHashTable::EntryPayload(entry);
+        if (CrossFormatKeysEqual(build_format, payload, build_keys,
+                                 probe_format_, drain_probe_row_.data(),
+                                 probe_keys)) {
+          row_matched_ = true;
+          if (jt == JoinType::kInner || jt == JoinType::kLeftOuter) {
+            emitter_.EmitFromSerialized(output_.get(), drain_probe_row_.data(),
+                                        payload, out_rows_++);
+          } else {
+            chain_ = nullptr;
+            break;
+          }
+        }
+        if (chain_ != nullptr) {
+          chain_ = SerializedRowHashTable::ChainNext(entry);
+        }
+      }
+
+      bool emit_probe_only = (jt == JoinType::kLeftSemi && row_matched_) ||
+                             (jt == JoinType::kLeftAnti && !row_matched_);
+      bool emit_null_extended = jt == JoinType::kLeftOuter && !row_matched_;
+      if (emit_probe_only || emit_null_extended) {
+        if (out_rows_ == output_->capacity()) return true;
+        emitter_.EmitFromSerialized(output_.get(), drain_probe_row_.data(),
+                                    nullptr, out_rows_++);
+      }
+      drain_row_pending_ = false;
+    }
+  }
+}
+
+}  // namespace vstore

@@ -181,6 +181,11 @@ bool ColumnStoreScanOperator::AdvanceGroup() {
 void ColumnStoreScanOperator::ApplyPredicate(const ScanPredicate& pred,
                                              const ColumnVector& cv,
                                              Batch* batch) const {
+  // Branchless: every row is evaluated (FillFromGroup decoded all rows of
+  // the predicate column, so inactive rows hold initialized values) and the
+  // verdict is ANDed into the existing mask. The sign expressions map
+  // NaN/unordered comparisons to 0, matching the ordered ternary they
+  // replace, and the loops vectorize without the per-row mask branch.
   const int64_t n = batch->num_rows();
   uint8_t* active = batch->mutable_active();
   const uint8_t* valid = cv.validity();
@@ -190,9 +195,8 @@ void ColumnStoreScanOperator::ApplyPredicate(const ScanPredicate& pred,
       const std::string_view target(pred.value.str());
       const std::string_view* values = cv.strings();
       for (int64_t i = 0; i < n; ++i) {
-        if (!active[i]) continue;
         int c = values[i].compare(target);
-        active[i] = valid[i] && ApplyCompare(op, c < 0 ? -1 : (c > 0 ? 1 : 0));
+        active[i] &= valid[i] & uint8_t{ApplyCompare(op, (c > 0) - (c < 0))};
       }
       break;
     }
@@ -200,11 +204,9 @@ void ColumnStoreScanOperator::ApplyPredicate(const ScanPredicate& pred,
       const double target = pred.value.AsDouble();
       const double* values = cv.doubles();
       for (int64_t i = 0; i < n; ++i) {
-        if (!active[i]) continue;
-        active[i] =
-            valid[i] && ApplyCompare(op, values[i] < target
-                                             ? -1
-                                             : (values[i] > target ? 1 : 0));
+        double v = values[i];
+        active[i] &=
+            valid[i] & uint8_t{ApplyCompare(op, (v > target) - (v < target))};
       }
       break;
     }
@@ -214,20 +216,17 @@ void ColumnStoreScanOperator::ApplyPredicate(const ScanPredicate& pred,
         const double target = pred.value.AsDouble();
         const int64_t* values = cv.ints();
         for (int64_t i = 0; i < n; ++i) {
-          if (!active[i]) continue;
           double v = static_cast<double>(values[i]);
-          active[i] = valid[i] &&
-                      ApplyCompare(op, v < target ? -1 : (v > target ? 1 : 0));
+          active[i] &= valid[i] &
+                       uint8_t{ApplyCompare(op, (v > target) - (v < target))};
         }
       } else {
         const int64_t target = pred.value.int64();
         const int64_t* values = cv.ints();
         for (int64_t i = 0; i < n; ++i) {
-          if (!active[i]) continue;
-          active[i] = valid[i] &&
-                      ApplyCompare(op, values[i] < target
-                                           ? -1
-                                           : (values[i] > target ? 1 : 0));
+          int64_t v = values[i];
+          active[i] &= valid[i] &
+                       uint8_t{ApplyCompare(op, (v > target) - (v < target))};
         }
       }
       break;

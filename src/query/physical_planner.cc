@@ -1,11 +1,13 @@
 #include "query/physical_planner.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/macros.h"
 #include "exec/exchange.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
+#include "exec/parallel_hash_join.h"
 #include "exec/row/row_operator.h"
 #include "exec/scalar_aggregate.h"
 #include "exec/scan.h"
@@ -31,6 +33,12 @@ struct ForcedScanRange {
   bool include_deltas;
 };
 
+// Shared build state for joins inside a parallelized plan region, keyed by
+// the logical join node. Fragment lowerings consult this to wrap probe
+// sides in HashJoinProbeOperators instead of full hash joins.
+using SharedJoinMap =
+    std::map<const LogicalPlan*, std::shared_ptr<SharedHashJoinBuild>>;
+
 class Lowering {
  public:
   Lowering(const Catalog& catalog, ExecContext* ctx,
@@ -44,6 +52,10 @@ class Lowering {
   void set_forced_scan_range(const ForcedScanRange* range) {
     forced_scan_range_ = range;
   }
+  void set_shared_joins(const SharedJoinMap* joins, int fragment) {
+    shared_joins_ = joins;
+    fragment_id_ = fragment;
+  }
 
  private:
   Result<BatchOperatorPtr> BuildBatchScan(const PlanPtr& plan,
@@ -51,12 +63,25 @@ class Lowering {
   // Parallel aggregation: partial aggregates in scan fragments, exchange,
   // final aggregate. Returns nullptr when the pattern does not apply.
   Result<BatchOperatorPtr> TryParallelAggregate(const PlanPtr& plan);
+  // Parallel join: shared multi-threaded build, probe fragments striped
+  // over the probe-side scan. Returns nullptr when the pattern does not
+  // apply.
+  Result<BatchOperatorPtr> TryParallelJoin(const PlanPtr& plan,
+                                           std::vector<PendingBloom> blooms);
+  // Creates the shared build (factory + Bloom filter) for one chain join.
+  Result<std::shared_ptr<SharedHashJoinBuild>> PrepareSharedJoin(
+      const PlanPtr& plan, int probe_dop);
+  // Creates the shared builds for every join in a parallelized chain.
+  Result<std::shared_ptr<SharedJoinMap>> PrepareSharedJoins(
+      const std::vector<PlanPtr>& joins, int probe_dop);
 
   const Catalog& catalog_;
   ExecContext* ctx_;
   const PhysicalPlanOptions& options_;
   PhysicalPlan* out_;
   const ForcedScanRange* forced_scan_range_ = nullptr;
+  const SharedJoinMap* shared_joins_ = nullptr;
+  int fragment_id_ = 0;
 };
 
 // True when the subtree is scan/filter/project only with a column store at
@@ -74,6 +99,37 @@ bool IsFragmentableChain(const Catalog& catalog, const PlanPtr& plan,
       }
       case PlanKind::kFilter:
       case PlanKind::kProject:
+        cursor = cursor->children[0];
+        break;
+      default:
+        return false;
+    }
+  }
+}
+
+// Like IsFragmentableChain, but the probe spine may pass through hash
+// joins: scan/filter/project/join nodes descending the probe (left) side,
+// with a column store at the bottom. Collects the join nodes (outermost
+// first); build sides may be arbitrary subtrees — they are lowered once
+// into shared builds, not per fragment.
+bool IsParallelJoinChain(const Catalog& catalog, const PlanPtr& plan,
+                         std::string* table_out,
+                         std::vector<PlanPtr>* joins_out) {
+  PlanPtr cursor = plan;
+  for (;;) {
+    switch (cursor->kind) {
+      case PlanKind::kScan: {
+        const Catalog::Entry* entry = catalog.Find(cursor->table);
+        if (entry == nullptr || !entry->has_column_store()) return false;
+        *table_out = cursor->table;
+        return true;
+      }
+      case PlanKind::kFilter:
+      case PlanKind::kProject:
+        cursor = cursor->children[0];
+        break;
+      case PlanKind::kJoin:
+        joins_out->push_back(cursor);
         cursor = cursor->children[0];
         break;
       default:
@@ -246,9 +302,144 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
       out_schema, std::move(factory), dop, ctx_));
 }
 
+Result<std::shared_ptr<SharedHashJoinBuild>> Lowering::PrepareSharedJoin(
+    const PlanPtr& plan, int probe_dop) {
+  SharedHashJoinBuild::Options join_options;
+  join_options.join_type = plan->join_type;
+  VSTORE_ASSIGN_OR_RETURN(
+      join_options.probe_keys,
+      ResolveColumns(plan->children[0]->schema, plan->left_keys));
+  VSTORE_ASSIGN_OR_RETURN(
+      join_options.build_keys,
+      ResolveColumns(plan->children[1]->schema, plan->right_keys));
+  if (plan->use_bloom && plan->left_keys.size() == 1) {
+    // Same single-key restriction as the serial join lowering: multi-key
+    // combined hashes differ between scan-side and joint key hashing.
+    auto filter = std::make_unique<BloomFilter>();
+    join_options.bloom_target = filter.get();
+    out_->bloom_filters.push_back(std::move(filter));
+  }
+
+  // The build parallelizes only when the build side is itself a plain
+  // scan/filter/project chain over enough row groups; anything else (nested
+  // joins, aggregates) is lowered and drained by a single build fragment.
+  PlanPtr build_plan = plan->children[1];
+  std::string build_table;
+  int64_t build_groups = 0;
+  int build_dop = 1;
+  if (IsFragmentableChain(catalog_, build_plan, &build_table)) {
+    const ColumnStoreTable* table = catalog_.GetColumnStore(build_table);
+    {
+      std::shared_lock lock(table->mutex());
+      build_groups = table->num_row_groups();
+    }
+    build_dop =
+        static_cast<int>(std::max<int64_t>(
+            1, std::min<int64_t>(probe_dop, build_groups)));
+  }
+
+  const Catalog* catalog = &catalog_;
+  PhysicalPlanOptions options = options_;
+  options.dop = 1;  // build fragments must not nest exchanges
+  bool include_deltas = options_.include_deltas;
+  int64_t groups = build_groups;
+  int dop = build_dop;
+  SharedHashJoinBuild::BuildFactory factory =
+      [catalog, options, build_plan, groups, dop, include_deltas](
+          int fragment, ExecContext* fctx,
+          std::shared_ptr<void>* resources) -> Result<BatchOperatorPtr> {
+    auto scratch = std::make_shared<PhysicalPlan>();
+    Lowering sub(*catalog, fctx, options, scratch.get());
+    ForcedScanRange range;
+    if (dop > 1) {
+      int64_t per = (groups + dop - 1) / dop;
+      range.group_begin = fragment * per;
+      range.group_end = std::min<int64_t>(range.group_begin + per, groups);
+      range.include_deltas = include_deltas && fragment == 0;
+      sub.set_forced_scan_range(&range);
+    }
+    VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr op,
+                            sub.BuildBatch(build_plan, {}));
+    // Joins nested inside the build subtree own Bloom filters through the
+    // scratch plan; keep it alive for the fragment's lifetime.
+    *resources = std::move(scratch);
+    return op;
+  };
+  return std::make_shared<SharedHashJoinBuild>(
+      plan->children[1]->schema, plan->children[0]->schema,
+      std::move(join_options), std::move(factory), build_dop, probe_dop,
+      ctx_->operator_memory_budget);
+}
+
+Result<std::shared_ptr<SharedJoinMap>> Lowering::PrepareSharedJoins(
+    const std::vector<PlanPtr>& joins, int probe_dop) {
+  auto map = std::make_shared<SharedJoinMap>();
+  for (const PlanPtr& join_plan : joins) {
+    VSTORE_ASSIGN_OR_RETURN(std::shared_ptr<SharedHashJoinBuild> shared,
+                            PrepareSharedJoin(join_plan, probe_dop));
+    (*map)[join_plan.get()] = shared;
+    out_->shared_builds.push_back(std::move(shared));
+  }
+  return map;
+}
+
+Result<BatchOperatorPtr> Lowering::TryParallelJoin(
+    const PlanPtr& plan, std::vector<PendingBloom> blooms) {
+  std::string table_name;
+  std::vector<PlanPtr> joins;
+  if (!IsParallelJoinChain(catalog_, plan, &table_name, &joins)) {
+    return BatchOperatorPtr(nullptr);
+  }
+  const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
+  int64_t groups;
+  {
+    std::shared_lock lock(table->mutex());
+    groups = table->num_row_groups();
+  }
+  int dop = static_cast<int>(std::min<int64_t>(options_.dop, groups));
+  if (dop < 2) return BatchOperatorPtr(nullptr);
+
+  VSTORE_ASSIGN_OR_RETURN(std::shared_ptr<SharedJoinMap> shared_map,
+                          PrepareSharedJoins(joins, dop));
+
+  // Fragments lower the whole probe spine over a row-group stripe; the
+  // join nodes resolve to probe operators over the shared builds.
+  const Catalog* catalog = &catalog_;
+  PhysicalPlanOptions options = options_;
+  PlanPtr chain_plan = plan;
+  bool include_deltas = options_.include_deltas;
+  auto factory = [catalog, options, chain_plan, shared_map, groups, dop,
+                  include_deltas, blooms](
+                     int fragment,
+                     ExecContext* fctx) -> Result<BatchOperatorPtr> {
+    PhysicalPlan scratch;
+    Lowering sub(*catalog, fctx, options, &scratch);
+    int64_t per = (groups + dop - 1) / dop;
+    ForcedScanRange range;
+    range.group_begin = fragment * per;
+    range.group_end = std::min<int64_t>(range.group_begin + per, groups);
+    range.include_deltas = include_deltas && fragment == 0;
+    sub.set_forced_scan_range(&range);
+    sub.set_shared_joins(shared_map.get(), fragment);
+    VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,
+                            sub.BuildBatch(chain_plan, blooms));
+    // Fragment lowerings attach no resources of their own: chain joins use
+    // the shared builds, whose filters live in the outer plan.
+    VSTORE_CHECK(scratch.bloom_filters.empty() &&
+                 scratch.shared_builds.empty());
+    return chain;
+  };
+  Schema out_schema =
+      HashJoinOutputSchema(plan->children[0]->schema,
+                           plan->children[1]->schema, plan->join_type);
+  return BatchOperatorPtr(std::make_unique<ExchangeOperator>(
+      std::move(out_schema), std::move(factory), dop, ctx_, "HashJoin"));
+}
+
 Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
   std::string table_name;
-  if (!IsFragmentableChain(catalog_, plan->children[0], &table_name)) {
+  std::vector<PlanPtr> joins;
+  if (!IsParallelJoinChain(catalog_, plan->children[0], &table_name, &joins)) {
     return BatchOperatorPtr(nullptr);
   }
   const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
@@ -268,25 +459,32 @@ Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
   Schema partial_schema =
       HashAggregateOperator::PartialSchema(child_schema, group_by, aggs);
 
+  // Joins on the probe spine share one build across all fragments, so
+  // scan → join → partial agg parallelizes as a single fragment tree.
+  VSTORE_ASSIGN_OR_RETURN(std::shared_ptr<SharedJoinMap> shared_map,
+                          PrepareSharedJoins(joins, dop));
+
   // Fragments: chain + partial aggregation over a row-group stripe.
   const Catalog* catalog = &catalog_;
-  const PhysicalPlanOptions* options = &options_;
+  PhysicalPlanOptions options = options_;
   PlanPtr child_plan = plan->children[0];
   bool include_deltas = options_.include_deltas;
-  auto factory = [catalog, options, child_plan, aggs, group_by, groups, dop,
-                  include_deltas](int fragment, ExecContext* fctx)
+  auto factory = [catalog, options, child_plan, shared_map, aggs, group_by,
+                  groups, dop, include_deltas](int fragment, ExecContext* fctx)
       -> Result<BatchOperatorPtr> {
     PhysicalPlan scratch;  // fragments create no shared resources
-    Lowering sub(*catalog, fctx, *options, &scratch);
+    Lowering sub(*catalog, fctx, options, &scratch);
     int64_t per = (groups + dop - 1) / dop;
     ForcedScanRange range;
     range.group_begin = fragment * per;
     range.group_end = std::min<int64_t>(range.group_begin + per, groups);
     range.include_deltas = include_deltas && fragment == 0;
     sub.set_forced_scan_range(&range);
+    sub.set_shared_joins(shared_map.get(), fragment);
     VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,
                             sub.BuildBatch(child_plan, {}));
-    VSTORE_CHECK(scratch.bloom_filters.empty());
+    VSTORE_CHECK(scratch.bloom_filters.empty() &&
+                 scratch.shared_builds.empty());
     HashAggregateOperator::Options partial;
     partial.group_by = group_by;
     partial.aggregates = aggs;
@@ -336,6 +534,28 @@ Result<BatchOperatorPtr> Lowering::BuildBatch(
     }
 
     case PlanKind::kJoin: {
+      // Inside a parallel fragment: a chain join becomes a probe operator
+      // over the shared build (the Bloom filter, if any, was created when
+      // the shared build was prepared and is populated by it).
+      if (shared_joins_ != nullptr) {
+        auto it = shared_joins_->find(plan.get());
+        if (it != shared_joins_->end()) {
+          const std::shared_ptr<SharedHashJoinBuild>& shared = it->second;
+          if (shared->bloom_target() != nullptr) {
+            blooms.push_back(
+                PendingBloom{plan->left_keys[0], shared->bloom_target()});
+          }
+          VSTORE_ASSIGN_OR_RETURN(
+              BatchOperatorPtr probe,
+              BuildBatch(plan->children[0], std::move(blooms)));
+          return BatchOperatorPtr(std::make_unique<HashJoinProbeOperator>(
+              std::move(probe), shared, fragment_id_, ctx_));
+        }
+      } else if (options_.dop > 1 && forced_scan_range_ == nullptr) {
+        VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr parallel,
+                                TryParallelJoin(plan, blooms));
+        if (parallel != nullptr) return parallel;
+      }
       VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr build,
                               BuildBatch(plan->children[1], {}));
       HashJoinOperator::Options join_options;

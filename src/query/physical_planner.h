@@ -10,6 +10,8 @@
 
 namespace vstore {
 
+class SharedHashJoinBuild;
+
 // How plans execute. kAuto picks batch mode when every scanned table has a
 // column store (the paper's mode selection) and row mode otherwise.
 enum class ExecutionMode { kAuto, kBatch, kRow };
@@ -22,11 +24,14 @@ struct PhysicalPlanOptions {
   bool include_deltas = true;
 };
 
-// A lowered plan: the operator tree plus resources (Bloom filters) that
-// must outlive execution.
+// A lowered plan: the operator tree plus resources (Bloom filters, shared
+// parallel-join build state) that must outlive execution.
 struct PhysicalPlan {
   BatchOperatorPtr root;
   std::vector<std::unique_ptr<BloomFilter>> bloom_filters;
+  // Shared build sides of parallelized hash joins; every probe fragment of
+  // the owning exchange holds a reference, the plan keeps them rooted.
+  std::vector<std::shared_ptr<SharedHashJoinBuild>> shared_builds;
 };
 
 // Lowers an optimized logical plan onto batch or row operators. Row-mode

@@ -36,7 +36,7 @@ run_one() {
     # TSan runs focus on the concurrency suite: the stress-labelled tests
     # plus everything exercising the exchange; add "$@" to widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch' "$@"
+        -R 'exchange|executor|integration|tpch|parallel' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"
