@@ -3,7 +3,12 @@
 // fraction grows, the tuple mover's effect, and the cost of scanning with
 // increasingly populated delete bitmaps.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "storage/tuple_mover.h"
@@ -122,9 +127,71 @@ int main() {
     }
   }
 
+  // --- Part 4: scan latency under concurrent churn ------------------------
+  // Scans pin an immutable table snapshot at open, so trickle inserts and
+  // background compaction never block them: interference should be memory
+  // bandwidth and CoW cloning, not lock waits.
+  std::printf("\n%-20s %12s %12s\n", "mixed workload", "avg ms", "p95 ms");
+  {
+    const int64_t rows = std::min<int64_t>(base_rows, 200000);
+    const int scans = 32;
+    TableData data = bench::SortedFactTable(rows, 4);
+    Catalog catalog;
+    ColumnStoreTable::Options options;
+    options.row_group_size = 1 << 16;  // several groups even at small sizes
+    options.min_compress_rows = 1024;
+    auto table =
+        std::make_unique<ColumnStoreTable>("t", data.schema(), options);
+    table->BulkLoad(data).CheckOK();
+    table->CompressDeltaStores(true).status().CheckOK();
+    ColumnStoreTable* raw = table.get();
+    catalog.AddColumnStore(std::move(table)).CheckOK();
+
+    auto measure = [&](const char* label) {
+      std::vector<double> ms;
+      ms.reserve(scans);
+      for (int i = 0; i < scans; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        RunCount(catalog, "t");
+        std::chrono::duration<double, std::milli> d =
+            std::chrono::steady_clock::now() - t0;
+        ms.push_back(d.count());
+      }
+      std::sort(ms.begin(), ms.end());
+      double sum = 0;
+      for (double v : ms) sum += v;
+      std::printf("%-20s %12.2f %12.2f\n", label,
+                  sum / static_cast<double>(scans),
+                  ms[static_cast<size_t>(static_cast<double>(scans) * 0.95)]);
+    };
+
+    measure("quiescent");
+
+    std::atomic<bool> stop{false};
+    TupleMover mover(raw);
+    mover.Start(std::chrono::milliseconds(10));
+    std::thread writer([&] {
+      // Trickle at a bounded rate (~100K rows/s) so the delta fraction
+      // stays realistic instead of racing ahead of the mover.
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int burst = 0; burst < 100; ++burst) {
+          raw->Insert(data.GetRow(i++ % rows)).ValueOrDie();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    measure("under churn");
+    stop.store(true);
+    writer.join();
+    (void)mover.Stop();
+  }
+
   std::printf(
       "\nExpected shape: trickle inserts sustain high rates (B-tree delta\n"
       "store); scans slow as delta fraction grows and recover after the\n"
-      "tuple mover runs; delete bitmaps add only incremental scan cost.\n");
+      "tuple mover runs; delete bitmaps add only incremental scan cost;\n"
+      "under-churn scan latency stays close to quiescent because scans\n"
+      "read immutable snapshots and never wait on writers or the mover.\n");
   return 0;
 }

@@ -18,8 +18,7 @@ Result<bool> RowStoreScanOperator::Next(std::vector<Value>* row) {
 // --- ColumnStoreRowScanOperator ----------------------------------------------
 
 Status ColumnStoreRowScanOperator::Open() {
-  lock_ = std::make_unique<std::shared_lock<std::shared_mutex>>(
-      table_->mutex());
+  snapshot_ = table_->Snapshot();
   group_ = 0;
   offset_ = 0;
   delta_index_ = 0;
@@ -31,15 +30,15 @@ Status ColumnStoreRowScanOperator::Open() {
 Result<bool> ColumnStoreRowScanOperator::Next(std::vector<Value>* row) {
   // Compressed row groups: per-row point decode (deliberately slow; this is
   // the row-mode access path).
-  while (group_ < table_->num_row_groups()) {
-    const RowGroup& rg = table_->row_group(group_);
+  while (group_ < snapshot_->num_row_groups()) {
+    const RowGroup& rg = snapshot_->row_group(group_);
     if (offset_ >= rg.num_rows()) {
       ++group_;
       offset_ = 0;
       continue;
     }
     int64_t r = offset_++;
-    if (table_->delete_bitmap(group_).IsDeleted(r)) continue;
+    if (snapshot_->delete_bitmap(group_).IsDeleted(r)) continue;
     row->clear();
     for (int c = 0; c < rg.num_columns(); ++c) {
       row->push_back(rg.column(c).GetValue(r));
@@ -49,10 +48,10 @@ Result<bool> ColumnStoreRowScanOperator::Next(std::vector<Value>* row) {
   // Delta stores.
   for (;;) {
     if (!delta_loaded_) {
-      if (delta_index_ >= table_->num_delta_stores()) return false;
+      if (delta_index_ >= snapshot_->num_delta_stores()) return false;
       delta_rows_.clear();
       delta_pos_ = 0;
-      VSTORE_RETURN_IF_ERROR(table_->delta_store(delta_index_).ForEach(
+      VSTORE_RETURN_IF_ERROR(snapshot_->delta_store(delta_index_).ForEach(
           [this](uint64_t, const std::vector<Value>& r) {
             delta_rows_.push_back(r);
           }));

@@ -2,7 +2,6 @@
 #define VSTORE_EXEC_ROW_ROW_OPERATOR_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,13 +63,13 @@ class ColumnStoreRowScanOperator final : public RowOperator {
 
   Status Open() override;
   Result<bool> Next(std::vector<Value>* row) override;
-  void Close() override { lock_.reset(); }
+  void Close() override { snapshot_.reset(); }
   const Schema& output_schema() const override { return table_->schema(); }
   std::string name() const override { return "ColumnStoreRowScan"; }
 
  private:
   const ColumnStoreTable* table_;
-  std::unique_ptr<std::shared_lock<std::shared_mutex>> lock_;
+  TableSnapshot snapshot_;  // pinned at Open; read lock-free
   int64_t group_ = 0;
   int64_t offset_ = 0;
   int64_t delta_index_ = 0;

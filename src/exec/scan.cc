@@ -98,8 +98,8 @@ ColumnStoreScanOperator::ColumnStoreScanOperator(const ColumnStoreTable* table,
 }
 
 Status ColumnStoreScanOperator::OpenImpl() {
-  lock_ = std::make_unique<std::shared_lock<std::shared_mutex>>(
-      table_->mutex());
+  snapshot_ =
+      options_.snapshot != nullptr ? options_.snapshot : table_->Snapshot();
   output_ = std::make_unique<Batch>(output_schema_, ctx_->batch_size);
   // Scratch vectors for predicate-only columns.
   scratch_.clear();
@@ -113,8 +113,8 @@ Status ColumnStoreScanOperator::OpenImpl() {
   }
   group_ = options_.group_begin;
   group_limit_ = options_.group_end >= 0 ? options_.group_end
-                                         : table_->num_row_groups();
-  group_limit_ = std::min(group_limit_, table_->num_row_groups());
+                                         : snapshot_->num_row_groups();
+  group_limit_ = std::min(group_limit_, snapshot_->num_row_groups());
   offset_ = 0;
   in_group_ = false;
   delta_index_ = 0;
@@ -132,7 +132,7 @@ Status ColumnStoreScanOperator::OpenImpl() {
 void ColumnStoreScanOperator::CloseImpl() {
   output_.reset();
   scratch_.clear();
-  lock_.reset();
+  snapshot_.reset();
 }
 
 void ColumnStoreScanOperator::AppendProfileCounters(
@@ -148,7 +148,7 @@ void ColumnStoreScanOperator::AppendProfileCounters(
 
 bool ColumnStoreScanOperator::AdvanceGroup() {
   while (group_ < group_limit_) {
-    const RowGroup& rg = table_->row_group(group_);
+    const RowGroup& rg = snapshot_->row_group(group_);
     // Segment elimination: any predicate whose segment cannot match kills
     // the whole group.
     bool eliminated = false;
@@ -160,7 +160,7 @@ bool ColumnStoreScanOperator::AdvanceGroup() {
     }
     // A fully deleted group is also skipped.
     if (!eliminated &&
-        table_->delete_bitmap(group_).deleted_count() == rg.num_rows()) {
+        snapshot_->delete_bitmap(group_).deleted_count() == rg.num_rows()) {
       eliminated = true;
     }
     if (eliminated) {
@@ -299,14 +299,14 @@ void ColumnStoreScanOperator::ApplyBloom(const BloomFilterSpec& spec,
 }
 
 Status ColumnStoreScanOperator::FillFromGroup() {
-  const RowGroup& rg = table_->row_group(group_);
+  const RowGroup& rg = snapshot_->row_group(group_);
   const int64_t n =
       std::min<int64_t>(ctx_->batch_size, rg.num_rows() - offset_);
   output_->Reset();
   output_->set_num_rows(n);
 
   // Liveness from the delete bitmap seeds the active mask.
-  const DeleteBitmap& dm = table_->delete_bitmap(group_);
+  const DeleteBitmap& dm = snapshot_->delete_bitmap(group_);
   dm.DecodeLiveness(offset_, n, output_->mutable_active());
 
   if (options_.sample_fraction < 1.0) {
@@ -463,13 +463,13 @@ Result<int64_t> ColumnStoreScanOperator::FillFromDeltas() {
 
   while (out_row < ctx_->batch_size) {
     if (!delta_loaded_) {
-      if (delta_index_ >= table_->num_delta_stores()) {
+      if (delta_index_ >= snapshot_->num_delta_stores()) {
         deltas_done_ = true;
         break;
       }
       delta_rows_.clear();
       delta_row_pos_ = 0;
-      const DeltaStore& store = table_->delta_store(delta_index_);
+      const DeltaStore& store = snapshot_->delta_store(delta_index_);
       VSTORE_RETURN_IF_ERROR(store.ForEach(
           [this](uint64_t /*rowid*/, const std::vector<Value>& row) {
             delta_rows_.push_back(row);

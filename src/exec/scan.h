@@ -2,7 +2,6 @@
 #define VSTORE_EXEC_SCAN_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "exec/bloom_filter.h"
@@ -52,6 +51,10 @@ class ColumnStoreScanOperator final : public BatchOperator {
     // group_end == -1 means all groups.
     int64_t group_begin = 0;
     int64_t group_end = -1;
+    // Table version to scan. When null the operator takes its own snapshot
+    // at Open. The planner sets this so every fragment of a parallel plan
+    // (and the group striping it computed) sees one consistent version.
+    TableSnapshot snapshot;
     // Display label for profiles, usually the table name.
     std::string label;
   };
@@ -110,7 +113,9 @@ class ColumnStoreScanOperator final : public BatchOperator {
   // lazily, only for surviving rows (lazy materialization).
   std::vector<bool> early_slot_;
 
-  std::unique_ptr<std::shared_lock<std::shared_mutex>> lock_;
+  // Pinned table version: the scan reads it lock-free; concurrent DML and
+  // tuple-mover passes install successor versions and never touch it.
+  TableSnapshot snapshot_;
   std::unique_ptr<Batch> output_;
   std::vector<std::unique_ptr<ColumnVector>> scratch_;
   std::vector<uint64_t> code_scratch_;     // code-space predicate evaluation

@@ -26,11 +26,14 @@ struct PendingBloom {
 };
 
 // Scan bounds injected into a fragment's lowering (parallel aggregation:
-// each fragment scans a disjoint row-group range).
+// each fragment scans a disjoint row-group range). Carries the table
+// snapshot the striping was computed from, so every fragment scans the
+// same version the planner saw.
 struct ForcedScanRange {
   int64_t group_begin;
   int64_t group_end;
   bool include_deltas;
+  TableSnapshot snapshot;
 };
 
 // Shared build state for joins inside a parallelized plan region, keyed by
@@ -259,16 +262,17 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
     scan_options.group_end = forced_scan_range_->group_end;
     scan_options.include_deltas =
         scan_options.include_deltas && forced_scan_range_->include_deltas;
+    scan_options.snapshot = forced_scan_range_->snapshot;
     return BatchOperatorPtr(
         std::make_unique<ColumnStoreScanOperator>(table, scan_options, ctx_));
   }
 
+  // One snapshot per scan lowering: the striping below and every fragment
+  // read this version, regardless of concurrent DML or tuple-mover passes.
+  TableSnapshot snapshot = table->Snapshot();
+  scan_options.snapshot = snapshot;
   int dop = options_.dop;
-  int64_t groups;
-  {
-    std::shared_lock lock(table->mutex());
-    groups = table->num_row_groups();
-  }
+  int64_t groups = snapshot->num_row_groups();
   if (dop <= 1 || groups < 2) {
     return BatchOperatorPtr(
         std::make_unique<ColumnStoreScanOperator>(table, scan_options, ctx_));
@@ -327,12 +331,11 @@ Result<std::shared_ptr<SharedHashJoinBuild>> Lowering::PrepareSharedJoin(
   std::string build_table;
   int64_t build_groups = 0;
   int build_dop = 1;
+  TableSnapshot build_snapshot;
   if (IsFragmentableChain(catalog_, build_plan, &build_table)) {
     const ColumnStoreTable* table = catalog_.GetColumnStore(build_table);
-    {
-      std::shared_lock lock(table->mutex());
-      build_groups = table->num_row_groups();
-    }
+    build_snapshot = table->Snapshot();
+    build_groups = build_snapshot->num_row_groups();
     build_dop =
         static_cast<int>(std::max<int64_t>(
             1, std::min<int64_t>(probe_dop, build_groups)));
@@ -345,7 +348,8 @@ Result<std::shared_ptr<SharedHashJoinBuild>> Lowering::PrepareSharedJoin(
   int64_t groups = build_groups;
   int dop = build_dop;
   SharedHashJoinBuild::BuildFactory factory =
-      [catalog, options, build_plan, groups, dop, include_deltas](
+      [catalog, options, build_plan, groups, dop, include_deltas,
+       build_snapshot](
           int fragment, ExecContext* fctx,
           std::shared_ptr<void>* resources) -> Result<BatchOperatorPtr> {
     auto scratch = std::make_shared<PhysicalPlan>();
@@ -356,6 +360,7 @@ Result<std::shared_ptr<SharedHashJoinBuild>> Lowering::PrepareSharedJoin(
       range.group_begin = fragment * per;
       range.group_end = std::min<int64_t>(range.group_begin + per, groups);
       range.include_deltas = include_deltas && fragment == 0;
+      range.snapshot = build_snapshot;
       sub.set_forced_scan_range(&range);
     }
     VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr op,
@@ -391,11 +396,9 @@ Result<BatchOperatorPtr> Lowering::TryParallelJoin(
     return BatchOperatorPtr(nullptr);
   }
   const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
-  int64_t groups;
-  {
-    std::shared_lock lock(table->mutex());
-    groups = table->num_row_groups();
-  }
+  // One snapshot shared by every probe fragment.
+  TableSnapshot snapshot = table->Snapshot();
+  int64_t groups = snapshot->num_row_groups();
   int dop = static_cast<int>(std::min<int64_t>(options_.dop, groups));
   if (dop < 2) return BatchOperatorPtr(nullptr);
 
@@ -409,7 +412,7 @@ Result<BatchOperatorPtr> Lowering::TryParallelJoin(
   PlanPtr chain_plan = plan;
   bool include_deltas = options_.include_deltas;
   auto factory = [catalog, options, chain_plan, shared_map, groups, dop,
-                  include_deltas, blooms](
+                  include_deltas, blooms, snapshot](
                      int fragment,
                      ExecContext* fctx) -> Result<BatchOperatorPtr> {
     PhysicalPlan scratch;
@@ -419,6 +422,7 @@ Result<BatchOperatorPtr> Lowering::TryParallelJoin(
     range.group_begin = fragment * per;
     range.group_end = std::min<int64_t>(range.group_begin + per, groups);
     range.include_deltas = include_deltas && fragment == 0;
+    range.snapshot = snapshot;
     sub.set_forced_scan_range(&range);
     sub.set_shared_joins(shared_map.get(), fragment);
     VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,
@@ -443,11 +447,9 @@ Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
     return BatchOperatorPtr(nullptr);
   }
   const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
-  int64_t groups;
-  {
-    std::shared_lock lock(table->mutex());
-    groups = table->num_row_groups();
-  }
+  // One snapshot shared by every scan fragment.
+  TableSnapshot snapshot = table->Snapshot();
+  int64_t groups = snapshot->num_row_groups();
   int dop = static_cast<int>(std::min<int64_t>(options_.dop, groups));
   if (dop < 2) return BatchOperatorPtr(nullptr);
 
@@ -470,7 +472,8 @@ Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
   PlanPtr child_plan = plan->children[0];
   bool include_deltas = options_.include_deltas;
   auto factory = [catalog, options, child_plan, shared_map, aggs, group_by,
-                  groups, dop, include_deltas](int fragment, ExecContext* fctx)
+                  groups, dop, include_deltas,
+                  snapshot](int fragment, ExecContext* fctx)
       -> Result<BatchOperatorPtr> {
     PhysicalPlan scratch;  // fragments create no shared resources
     Lowering sub(*catalog, fctx, options, &scratch);
@@ -479,6 +482,7 @@ Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
     range.group_begin = fragment * per;
     range.group_end = std::min<int64_t>(range.group_begin + per, groups);
     range.include_deltas = include_deltas && fragment == 0;
+    range.snapshot = snapshot;
     sub.set_forced_scan_range(&range);
     sub.set_shared_joins(shared_map.get(), fragment);
     VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,

@@ -4,6 +4,30 @@
 
 namespace vstore {
 
+// --- TableVersion -------------------------------------------------------
+
+int64_t TableVersion::num_rows() const {
+  int64_t total = 0;
+  for (const auto& rg : row_groups_) total += rg->num_rows();
+  for (const auto& bm : delete_bitmaps_) total -= bm->deleted_count();
+  for (const auto& ds : delta_stores_) total += ds->num_rows();
+  return total;
+}
+
+int64_t TableVersion::num_deleted_rows() const {
+  int64_t total = 0;
+  for (const auto& bm : delete_bitmaps_) total += bm->deleted_count();
+  return total;
+}
+
+int64_t TableVersion::num_delta_rows() const {
+  int64_t total = 0;
+  for (const auto& ds : delta_stores_) total += ds->num_rows();
+  return total;
+}
+
+// --- ColumnStoreTable ---------------------------------------------------
+
 ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
                                    Options options)
     : name_(std::move(name)), schema_(std::move(schema)), options_(options) {
@@ -14,20 +38,59 @@ ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
           std::make_shared<StringDictionary>();
     }
   }
+  version_ = std::make_shared<TableVersion>();
 }
 
-Status ColumnStoreTable::AppendRowGroup(const TableData& data, int64_t begin,
-                                        int64_t end) {
+TableSnapshot ColumnStoreTable::Snapshot() const {
+  std::shared_lock lock(mutex_);
+  version_->snapshotted_.store(true, std::memory_order_relaxed);
+  return version_;
+}
+
+TableVersion* ColumnStoreTable::MutableVersion() {
+  if (!version_->snapshotted_.load(std::memory_order_relaxed)) {
+    return version_.get();
+  }
+  auto fork = std::make_shared<TableVersion>();
+  fork->row_groups_ = version_->row_groups_;
+  fork->generations_ = version_->generations_;
+  fork->delete_bitmaps_ = version_->delete_bitmaps_;
+  fork->delta_stores_ = version_->delta_stores_;
+  // Everything is shared with the snapshotted predecessor until cloned.
+  fork->bitmap_owned_.assign(fork->delete_bitmaps_.size(), false);
+  fork->store_owned_.assign(fork->delta_stores_.size(), false);
+  fork->sequence_ = version_->sequence_ + 1;
+  version_ = std::move(fork);
+  return version_.get();
+}
+
+DeleteBitmap* ColumnStoreTable::MutableBitmap(TableVersion* v, int64_t group) {
+  size_t g = static_cast<size_t>(group);
+  if (!v->bitmap_owned_[g]) {
+    v->delete_bitmaps_[g] = std::make_shared<DeleteBitmap>(*v->delete_bitmaps_[g]);
+    v->bitmap_owned_[g] = true;
+  }
+  return v->delete_bitmaps_[g].get();
+}
+
+DeltaStore* ColumnStoreTable::MutableDeltaStore(TableVersion* v,
+                                                int64_t index) {
+  size_t i = static_cast<size_t>(index);
+  if (!v->store_owned_[i]) {
+    v->delta_stores_[i] = std::shared_ptr<DeltaStore>(v->delta_stores_[i]->Clone());
+    v->store_owned_[i] = true;
+  }
+  return v->delta_stores_[i].get();
+}
+
+std::shared_ptr<RowGroup> ColumnStoreTable::BuildRowGroup(
+    const TableData& data, int64_t begin, int64_t end, int64_t id) {
   RowGroupBuilder::Options rg_options;
   rg_options.primary_dict_capacity = options_.primary_dict_capacity;
   rg_options.optimize_row_order = options_.optimize_row_order;
   rg_options.archival = options_.archival;
-  int64_t id = static_cast<int64_t>(row_groups_.size());
-  auto group =
-      RowGroupBuilder::Build(data, begin, end, id, primary_dicts_, rg_options);
-  delete_bitmaps_.emplace_back(group->num_rows());
-  row_groups_.push_back(std::move(group));
-  return Status::OK();
+  return std::shared_ptr<RowGroup>(
+      RowGroupBuilder::Build(data, begin, end, id, primary_dicts_, rg_options));
 }
 
 Status ColumnStoreTable::BulkLoad(const TableData& data) {
@@ -35,44 +98,67 @@ Status ColumnStoreTable::BulkLoad(const TableData& data) {
     return Status::InvalidArgument("bulk load schema mismatch for table " +
                                    name_);
   }
-  std::unique_lock lock(mutex_);
+  std::lock_guard<std::mutex> reorg(reorg_mutex_);
+  // Group count is stable here: only reorg operations (serialized by
+  // reorg_mutex_) append or replace row groups.
+  int64_t base;
+  {
+    std::shared_lock lock(mutex_);
+    base = version_->num_row_groups();
+  }
+  // Build compressed groups with no table lock held.
   const int64_t n = data.num_rows();
+  std::vector<std::shared_ptr<RowGroup>> built;
   int64_t pos = 0;
   while (n - pos >= options_.row_group_size) {
-    VSTORE_RETURN_IF_ERROR(
-        AppendRowGroup(data, pos, pos + options_.row_group_size));
+    built.push_back(BuildRowGroup(data, pos, pos + options_.row_group_size,
+                                  base + static_cast<int64_t>(built.size())));
     pos += options_.row_group_size;
   }
   int64_t tail = n - pos;
-  if (tail == 0) return Status::OK();
   if (tail >= options_.min_compress_rows) {
-    return AppendRowGroup(data, pos, n);
+    built.push_back(
+        BuildRowGroup(data, pos, n, base + static_cast<int64_t>(built.size())));
+    pos = n;
+  }
+
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  for (auto& group : built) {
+    v->delete_bitmaps_.push_back(
+        std::make_shared<DeleteBitmap>(group->num_rows()));
+    v->bitmap_owned_.push_back(true);
+    v->generations_.push_back(0);
+    v->row_groups_.push_back(std::move(group));
   }
   // Small tail: trickle into the delta store, as the paper's bulk insert
   // does for undersized batches.
-  for (int64_t i = pos; i < n; ++i) {
+  for (; pos < n; ++pos) {
     RowId unused;
-    VSTORE_RETURN_IF_ERROR(InsertLocked(data.GetRow(i), &unused));
+    VSTORE_RETURN_IF_ERROR(InsertLocked(v, data.GetRow(pos), &unused));
   }
   return Status::OK();
 }
 
-DeltaStore* ColumnStoreTable::OpenDeltaStore() {
-  if (!delta_stores_.empty() && !delta_stores_.back()->closed() &&
-      delta_stores_.back()->num_rows() < options_.row_group_size) {
-    return delta_stores_.back().get();
-  }
-  if (!delta_stores_.empty() && !delta_stores_.back()->closed()) {
-    delta_stores_.back()->Close();
-  }
-  delta_stores_.push_back(
-      std::make_unique<DeltaStore>(&schema_, next_delta_id_++));
-  return delta_stores_.back().get();
-}
-
-Status ColumnStoreTable::InsertLocked(const std::vector<Value>& row,
+Status ColumnStoreTable::InsertLocked(TableVersion* v,
+                                      const std::vector<Value>& row,
                                       RowId* id) {
-  DeltaStore* store = OpenDeltaStore();
+  // Locate the open delta store, creating one if needed.
+  size_t idx;
+  if (!v->delta_stores_.empty() && !v->delta_stores_.back()->closed() &&
+      v->delta_stores_.back()->num_rows() < options_.row_group_size) {
+    idx = v->delta_stores_.size() - 1;
+  } else {
+    if (!v->delta_stores_.empty() && !v->delta_stores_.back()->closed()) {
+      MutableDeltaStore(v, static_cast<int64_t>(v->delta_stores_.size() - 1))
+          ->Close();
+    }
+    v->delta_stores_.push_back(
+        std::make_shared<DeltaStore>(&schema_, next_delta_id_++));
+    v->store_owned_.push_back(true);
+    idx = v->delta_stores_.size() - 1;
+  }
+  DeltaStore* store = MutableDeltaStore(v, static_cast<int64_t>(idx));
   RowId rowid = MakeDeltaRowId(next_delta_seq_++);
   VSTORE_RETURN_IF_ERROR(store->Insert(rowid, row));
   if (store->num_rows() >= options_.row_group_size) store->Close();
@@ -83,56 +169,84 @@ Status ColumnStoreTable::InsertLocked(const std::vector<Value>& row,
 Result<RowId> ColumnStoreTable::Insert(const std::vector<Value>& row) {
   std::unique_lock lock(mutex_);
   RowId id;
-  VSTORE_RETURN_IF_ERROR(InsertLocked(row, &id));
+  VSTORE_RETURN_IF_ERROR(InsertLocked(MutableVersion(), row, &id));
   return id;
+}
+
+Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {
+  if (IsDeltaRowId(id)) {
+    for (size_t i = 0; i < v->delta_stores_.size(); ++i) {
+      const DeltaStore& store = *v->delta_stores_[i];
+      if (id < store.min_rowid() || id > store.max_rowid()) continue;
+      if (!store.Contains(id)) continue;
+      MutableDeltaStore(v, static_cast<int64_t>(i))->Delete(id);
+      return Status::OK();
+    }
+    return Status::NotFound("delta rowid not found");
+  }
+  int64_t group = RowIdGroup(id);
+  int64_t offset = RowIdOffset(id);
+  if (group >= v->num_row_groups()) {
+    return Status::NotFound("rowid out of range");
+  }
+  if (RowIdGeneration(id) != v->generation(group)) {
+    return Status::NotFound("stale rowid: row group was rebuilt");
+  }
+  if (offset >= v->row_group(group).num_rows()) {
+    return Status::NotFound("rowid out of range");
+  }
+  if (v->delete_bitmap(group).IsDeleted(offset)) {
+    return Status::NotFound("row already deleted");
+  }
+  MutableBitmap(v, group)->MarkDeleted(offset);
+  return Status::OK();
 }
 
 Status ColumnStoreTable::Delete(RowId id) {
   std::unique_lock lock(mutex_);
-  if (IsDeltaRowId(id)) {
-    for (auto& store : delta_stores_) {
-      if (id < store->min_rowid() || id > store->max_rowid()) continue;
-      if (store->Delete(id)) return Status::OK();
-    }
-    return Status::NotFound("delta rowid not found");
-  }
-  int64_t group = RowIdGroup(id);
-  int64_t offset = RowIdOffset(id);
-  if (group >= num_row_groups() ||
-      offset >= row_groups_[static_cast<size_t>(group)]->num_rows()) {
-    return Status::NotFound("rowid out of range");
-  }
-  if (!delete_bitmaps_[static_cast<size_t>(group)].MarkDeleted(offset)) {
-    return Status::NotFound("row already deleted");
-  }
-  return Status::OK();
+  return DeleteLocked(MutableVersion(), id);
 }
 
 Result<RowId> ColumnStoreTable::Update(RowId id, const std::vector<Value>& row) {
-  // Updates are modeled as delete + insert, exactly as the paper describes.
-  VSTORE_RETURN_IF_ERROR(Delete(id));
-  return Insert(row);
+  // Updates are modeled as delete + insert, exactly as the paper describes,
+  // but applied in one critical section: concurrent readers see either the
+  // old row or the new one, never neither.
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  VSTORE_RETURN_IF_ERROR(DeleteLocked(v, id));
+  RowId new_id;
+  VSTORE_RETURN_IF_ERROR(InsertLocked(v, row, &new_id));
+  return new_id;
 }
 
 Status ColumnStoreTable::GetRow(RowId id, std::vector<Value>* row) const {
-  std::shared_lock lock(mutex_);
+  TableSnapshot snap = Snapshot();
   if (IsDeltaRowId(id)) {
-    for (const auto& store : delta_stores_) {
-      if (id < store->min_rowid() || id > store->max_rowid()) continue;
-      if (store->Get(id, row).ok()) return Status::OK();
+    for (int64_t i = 0; i < snap->num_delta_stores(); ++i) {
+      const DeltaStore& store = snap->delta_store(i);
+      if (id < store.min_rowid() || id > store.max_rowid()) continue;
+      if (store.Get(id, row).ok()) return Status::OK();
     }
     return Status::NotFound("delta rowid not found");
   }
   int64_t group = RowIdGroup(id);
   int64_t offset = RowIdOffset(id);
-  if (group >= num_row_groups() ||
-      offset >= row_groups_[static_cast<size_t>(group)]->num_rows()) {
+  if (group >= snap->num_row_groups()) {
     return Status::NotFound("rowid out of range");
   }
-  if (delete_bitmaps_[static_cast<size_t>(group)].IsDeleted(offset)) {
+  if (RowIdGeneration(id) != snap->generation(group)) {
+    return Status::NotFound("stale rowid: row group was rebuilt");
+  }
+  if (offset >= snap->row_group(group).num_rows()) {
+    return Status::NotFound("rowid out of range");
+  }
+  if (snap->delete_bitmap(group).IsDeleted(offset)) {
     return Status::NotFound("row deleted");
   }
-  const RowGroup& rg = *row_groups_[static_cast<size_t>(group)];
+  const RowGroup& rg = snap->row_group(group);
   row->clear();
   row->reserve(static_cast<size_t>(rg.num_columns()));
   for (int c = 0; c < rg.num_columns(); ++c) {
@@ -141,71 +255,97 @@ Status ColumnStoreTable::GetRow(RowId id, std::vector<Value>* row) const {
   return Status::OK();
 }
 
-int64_t ColumnStoreTable::num_rows() const {
-  std::shared_lock lock(mutex_);
-  int64_t total = 0;
-  for (const auto& rg : row_groups_) total += rg->num_rows();
-  for (const auto& bm : delete_bitmaps_) total -= bm.deleted_count();
-  for (const auto& ds : delta_stores_) total += ds->num_rows();
-  return total;
-}
+int64_t ColumnStoreTable::num_rows() const { return Snapshot()->num_rows(); }
 
 int64_t ColumnStoreTable::num_deleted_rows() const {
-  std::shared_lock lock(mutex_);
-  int64_t total = 0;
-  for (const auto& bm : delete_bitmaps_) total += bm.deleted_count();
-  return total;
+  return Snapshot()->num_deleted_rows();
 }
 
 int64_t ColumnStoreTable::num_delta_rows() const {
-  std::shared_lock lock(mutex_);
-  int64_t total = 0;
-  for (const auto& ds : delta_stores_) total += ds->num_rows();
-  return total;
-}
-
-Status ColumnStoreTable::CompressOneDeltaStore(size_t index) {
-  DeltaStore& store = *delta_stores_[index];
-  TableData staged(schema_);
-  VSTORE_RETURN_IF_ERROR(store.ForEach(
-      [&](uint64_t /*rowid*/, const std::vector<Value>& row) {
-        staged.AppendRow(row);
-      }));
-  if (staged.num_rows() > 0) {
-    VSTORE_RETURN_IF_ERROR(AppendRowGroup(staged, 0, staged.num_rows()));
-  }
-  delta_stores_.erase(delta_stores_.begin() + static_cast<long>(index));
-  return Status::OK();
+  return Snapshot()->num_delta_rows();
 }
 
 Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open) {
-  std::unique_lock lock(mutex_);
+  std::lock_guard<std::mutex> reorg(reorg_mutex_);
+  TableSnapshot snap = Snapshot();
+
+  // Stage and compress eligible stores with no table lock held. The
+  // snapshot pins every source object, so pointer identity at install time
+  // is a reliable conflict check.
+  struct Compacted {
+    const DeltaStore* source;
+    std::shared_ptr<RowGroup> group;  // null when the store had no live rows
+  };
+  std::vector<Compacted> built;
+  int64_t base = snap->num_row_groups();
+  for (int64_t i = 0; i < snap->num_delta_stores(); ++i) {
+    const DeltaStore& store = snap->delta_store(i);
+    bool eligible =
+        store.closed() || (include_open && store.num_rows() > 0);
+    if (!eligible) continue;
+    TableData staged(schema_);
+    VSTORE_RETURN_IF_ERROR(store.ForEach(
+        [&](uint64_t /*rowid*/, const std::vector<Value>& row) {
+          staged.AppendRow(row);
+        }));
+    Compacted c;
+    c.source = &store;
+    if (staged.num_rows() > 0) {
+      c.group = BuildRowGroup(staged, 0, staged.num_rows(),
+                              base + static_cast<int64_t>(built.size()));
+    }
+    built.push_back(std::move(c));
+  }
+  if (built.empty()) return 0;
+
   int64_t moved = 0;
-  for (size_t i = 0; i < delta_stores_.size();) {
-    bool eligible = delta_stores_[i]->closed() ||
-                    (include_open && delta_stores_[i]->num_rows() > 0);
-    if (!eligible) {
-      ++i;
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  for (auto& c : built) {
+    size_t idx = 0;
+    while (idx < v->delta_stores_.size() &&
+           v->delta_stores_[idx].get() != c.source) {
+      ++idx;
+    }
+    if (idx == v->delta_stores_.size()) {
+      // The store took writes since the snapshot (copy-on-write replaced
+      // it); drop this rebuild and retry it next pass.
       continue;
     }
-    VSTORE_RETURN_IF_ERROR(CompressOneDeltaStore(i));
+    v->delta_stores_.erase(v->delta_stores_.begin() + static_cast<long>(idx));
+    v->store_owned_.erase(v->store_owned_.begin() + static_cast<long>(idx));
+    if (c.group != nullptr) {
+      v->delete_bitmaps_.push_back(
+          std::make_shared<DeleteBitmap>(c.group->num_rows()));
+      v->bitmap_owned_.push_back(true);
+      v->generations_.push_back(0);
+      v->row_groups_.push_back(std::move(c.group));
+    }
     ++moved;
   }
   return moved;
 }
 
 Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold) {
-  std::unique_lock lock(mutex_);
-  int64_t rebuilt = 0;
-  for (size_t g = 0; g < row_groups_.size(); ++g) {
-    const RowGroup& rg = *row_groups_[g];
-    DeleteBitmap& bm = delete_bitmaps_[g];
+  std::lock_guard<std::mutex> reorg(reorg_mutex_);
+  TableSnapshot snap = Snapshot();
+
+  struct Rebuilt {
+    int64_t g;
+    const RowGroup* old_group;
+    const DeleteBitmap* old_bitmap;
+    std::shared_ptr<RowGroup> group;
+  };
+  std::vector<Rebuilt> rebuilds;
+  for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+    const RowGroup& rg = snap->row_group(g);
+    const DeleteBitmap& bm = snap->delete_bitmap(g);
     if (rg.num_rows() == 0) continue;
-    double fraction =
-        static_cast<double>(bm.deleted_count()) / static_cast<double>(rg.num_rows());
+    double fraction = static_cast<double>(bm.deleted_count()) /
+                      static_cast<double>(rg.num_rows());
     if (fraction < threshold || bm.deleted_count() == 0) continue;
 
-    // Materialize live rows and rebuild the group in place.
+    // Materialize live rows and rebuild the group, off-lock.
     TableData staged(schema_);
     for (int64_t r = 0; r < rg.num_rows(); ++r) {
       if (bm.IsDeleted(r)) continue;
@@ -216,38 +356,51 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold) {
       }
       staged.AppendRow(row);
     }
-    RowGroupBuilder::Options rg_options;
-    rg_options.primary_dict_capacity = options_.primary_dict_capacity;
-    rg_options.optimize_row_order = options_.optimize_row_order;
-    rg_options.archival = options_.archival;
-    auto rebuilt_group =
-        RowGroupBuilder::Build(staged, 0, staged.num_rows(),
-                               static_cast<int64_t>(g), primary_dicts_,
-                               rg_options);
-    delete_bitmaps_[g] = DeleteBitmap(rebuilt_group->num_rows());
-    row_groups_[g] = std::move(rebuilt_group);
-    ++rebuilt;
+    rebuilds.push_back(
+        {g, &rg, &bm, BuildRowGroup(staged, 0, staged.num_rows(), g)});
   }
-  return rebuilt;
+  if (rebuilds.empty()) return 0;
+
+  int64_t installed = 0;
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  for (auto& r : rebuilds) {
+    size_t g = static_cast<size_t>(r.g);
+    if (v->row_groups_[g].get() != r.old_group ||
+        v->delete_bitmaps_[g].get() != r.old_bitmap) {
+      // Deletes landed on this group during the rebuild (copy-on-write
+      // replaced its bitmap); installing would resurrect them. Retry next
+      // pass.
+      continue;
+    }
+    v->row_groups_[g] = std::move(r.group);
+    v->generations_[g] = (v->generations_[g] + 1) & kRowIdGenerationMask;
+    v->delete_bitmaps_[g] =
+        std::make_shared<DeleteBitmap>(v->row_groups_[g]->num_rows());
+    v->bitmap_owned_[g] = true;
+    ++installed;
+  }
+  return installed;
 }
 
 Status ColumnStoreTable::Archive() {
-  std::unique_lock lock(mutex_);
-  for (auto& rg : row_groups_) {
+  std::lock_guard<std::mutex> reorg(reorg_mutex_);
+  TableSnapshot snap = Snapshot();
+  for (const auto& rg : snap->row_groups_) {
     VSTORE_RETURN_IF_ERROR(rg->Archive());
   }
   return Status::OK();
 }
 
 void ColumnStoreTable::EvictAll() const {
-  std::shared_lock lock(mutex_);
-  for (const auto& rg : row_groups_) rg->Evict();
+  TableSnapshot snap = Snapshot();
+  for (const auto& rg : snap->row_groups_) rg->Evict();
 }
 
 ColumnStoreTable::SizeBreakdown ColumnStoreTable::Sizes() const {
-  std::shared_lock lock(mutex_);
+  TableSnapshot snap = Snapshot();
   SizeBreakdown sizes;
-  for (const auto& rg : row_groups_) {
+  for (const auto& rg : snap->row_groups_) {
     sizes.segment_bytes += rg->EncodedBytes();
     sizes.archived_segment_bytes += rg->ArchivedBytes();
   }
@@ -260,13 +413,45 @@ ColumnStoreTable::SizeBreakdown ColumnStoreTable::Sizes() const {
         sizes.archived_segment_bytes > 0 ? dict->ArchivedBytes()
                                          : dict->MemoryBytes();
   }
-  for (const auto& bm : delete_bitmaps_) {
-    sizes.delete_bitmap_bytes += bm.MemoryBytes();
+  for (const auto& bm : snap->delete_bitmaps_) {
+    sizes.delete_bitmap_bytes += bm->MemoryBytes();
   }
-  for (const auto& ds : delta_stores_) {
+  for (const auto& ds : snap->delta_stores_) {
     sizes.delta_store_bytes += ds->MemoryBytes();
   }
   return sizes;
+}
+
+// --- Current-version convenience accessors ------------------------------
+
+int64_t ColumnStoreTable::num_row_groups() const {
+  std::shared_lock lock(mutex_);
+  return version_->num_row_groups();
+}
+
+const RowGroup& ColumnStoreTable::row_group(int64_t i) const {
+  std::shared_lock lock(mutex_);
+  return version_->row_group(i);
+}
+
+const DeleteBitmap& ColumnStoreTable::delete_bitmap(int64_t i) const {
+  std::shared_lock lock(mutex_);
+  return version_->delete_bitmap(i);
+}
+
+uint32_t ColumnStoreTable::generation(int64_t i) const {
+  std::shared_lock lock(mutex_);
+  return version_->generation(i);
+}
+
+int64_t ColumnStoreTable::num_delta_stores() const {
+  std::shared_lock lock(mutex_);
+  return version_->num_delta_stores();
+}
+
+const DeltaStore& ColumnStoreTable::delta_store(int64_t i) const {
+  std::shared_lock lock(mutex_);
+  return version_->delta_store(i);
 }
 
 }  // namespace vstore

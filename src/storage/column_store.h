@@ -1,8 +1,10 @@
 #ifndef VSTORE_STORAGE_COLUMN_STORE_H_
 #define VSTORE_STORAGE_COLUMN_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -19,38 +21,135 @@
 namespace vstore {
 
 // --- Row ids ------------------------------------------------------------
-// Rows in compressed row groups are addressed as (group, offset); rows in
-// delta stores carry a sequence number with the top bit set. A row keeps
-// its id until the tuple mover compresses its delta store (then it gets a
-// compressed id) or a delete removes it. Consequently, RowIds held across
-// reorganization may dangle: Delete/Update/GetRow return NotFound for
-// them. Callers that reorganize concurrently must locate rows by value
-// (scan) rather than by stored id — the same caveat SQL Server's tuple
-// mover imposes on row locators.
+// Rows in compressed row groups are addressed as (generation, group,
+// offset); rows in delta stores carry a sequence number with the top bit
+// set. A row keeps its id until the tuple mover compresses its delta store
+// (then it gets a compressed id) or a delete removes it. Consequently,
+// RowIds held across reorganization may dangle: Delete/Update/GetRow return
+// NotFound for them. The generation field makes this detectable for
+// compressed ids too: RemoveDeletedRows bumps the group's rebuild
+// generation, so an id minted before the rebuild can no longer alias a
+// different live row at the same (group, offset) — it fails the generation
+// check instead. Callers that reorganize concurrently must locate rows by
+// value (scan) rather than by stored id — the same caveat SQL Server's
+// tuple mover imposes on row locators.
+//
+// Layout: [63] delta flag | [48..62] rebuild generation | [32..47] group |
+// [0..31] offset. Freshly built groups have generation 0, so
+// MakeCompressedRowId(group, offset) addresses them directly.
 using RowId = uint64_t;
 
 constexpr RowId kDeltaRowIdBit = RowId{1} << 63;
+constexpr int kRowIdGroupShift = 32;
+constexpr int kRowIdGenerationShift = 48;
+constexpr uint64_t kRowIdGroupMask = 0xFFFF;
+constexpr uint64_t kRowIdGenerationMask = 0x7FFF;
 
 inline bool IsDeltaRowId(RowId id) { return (id & kDeltaRowIdBit) != 0; }
-inline RowId MakeCompressedRowId(int64_t group, int64_t offset) {
-  return (static_cast<RowId>(group) << 32) | static_cast<RowId>(offset);
+inline RowId MakeCompressedRowId(int64_t group, int64_t offset,
+                                 uint32_t generation = 0) {
+  return (static_cast<RowId>(generation) << kRowIdGenerationShift) |
+         (static_cast<RowId>(group) << kRowIdGroupShift) |
+         static_cast<RowId>(offset);
 }
 inline RowId MakeDeltaRowId(uint64_t seq) { return kDeltaRowIdBit | seq; }
 inline int64_t RowIdGroup(RowId id) {
-  return static_cast<int64_t>((id & ~kDeltaRowIdBit) >> 32);
+  return static_cast<int64_t>((id >> kRowIdGroupShift) & kRowIdGroupMask);
 }
 inline int64_t RowIdOffset(RowId id) {
   return static_cast<int64_t>(id & 0xFFFFFFFFu);
 }
+inline uint32_t RowIdGeneration(RowId id) {
+  return static_cast<uint32_t>((id >> kRowIdGenerationShift) &
+                               kRowIdGenerationMask);
+}
+
+// --- Table version -------------------------------------------------------
+// An immutable snapshot of a column store table's storage state: the
+// row-group list, per-group delete bitmaps and rebuild generations, and the
+// delta-store list. The table publishes the current version under its
+// mutex; a scan grabs a shared_ptr to it at Open and then reads with no
+// lock at all, while writers and the tuple mover install successor
+// versions. Copy-on-write keeps this cheap: a successor shares every
+// row group / bitmap / delta store it does not touch with its predecessor,
+// and a version's constituents are never mutated once any snapshot
+// references them. A retired version is freed when the last snapshot
+// holding it is dropped.
+class TableVersion {
+ public:
+  TableVersion() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(TableVersion);
+
+  int64_t num_row_groups() const {
+    return static_cast<int64_t>(row_groups_.size());
+  }
+  const RowGroup& row_group(int64_t i) const {
+    return *row_groups_[static_cast<size_t>(i)];
+  }
+  // Rebuild generation of group i (encoded in compressed RowIds).
+  uint32_t generation(int64_t i) const {
+    return generations_[static_cast<size_t>(i)];
+  }
+  const DeleteBitmap& delete_bitmap(int64_t i) const {
+    return *delete_bitmaps_[static_cast<size_t>(i)];
+  }
+  int64_t num_delta_stores() const {
+    return static_cast<int64_t>(delta_stores_.size());
+  }
+  const DeltaStore& delta_store(int64_t i) const {
+    return *delta_stores_[static_cast<size_t>(i)];
+  }
+
+  // Monotonic version number (diagnostics; bumps on every fork).
+  uint64_t sequence() const { return sequence_; }
+
+  // Live row count in this version (compressed minus deleted, plus delta).
+  int64_t num_rows() const;
+  int64_t num_deleted_rows() const;
+  int64_t num_delta_rows() const;
+
+ private:
+  friend class ColumnStoreTable;
+
+  std::vector<std::shared_ptr<RowGroup>> row_groups_;
+  std::vector<uint32_t> generations_;
+  std::vector<std::shared_ptr<DeleteBitmap>> delete_bitmaps_;
+  std::vector<std::shared_ptr<DeltaStore>> delta_stores_;
+  // Copy-on-write bookkeeping (touched only by the owning table under its
+  // exclusive lock): owned_[i] means this version's object is not shared
+  // with any earlier version, so it may be mutated in place.
+  std::vector<bool> bitmap_owned_;
+  std::vector<bool> store_owned_;
+  uint64_t sequence_ = 0;
+  // Set (under the shared lock) the first time a snapshot of this version
+  // is handed out; a writer seeing it set forks a successor instead of
+  // mutating in place.
+  std::atomic<bool> snapshotted_{false};
+};
+
+using TableSnapshot = std::shared_ptr<const TableVersion>;
 
 // --- Column store table ---------------------------------------------------
 // The paper's clustered (updatable) column store index used as base table
 // storage: compressed row groups + delete bitmaps + delta stores, fed by
 // bulk loads and trickle inserts, reorganized by the tuple mover.
 //
-// Concurrency: writers (Insert/Delete/Update/BulkLoad/Reorganize/Archive)
-// take the table's mutex exclusively; scans take it shared for the duration
-// of the scan (see ColumnStoreScan).
+// Concurrency: the table keeps its state in an immutable TableVersion
+// published under `mutex_`. Readers call Snapshot() (brief shared lock) and
+// then scan with no lock held; writers (Insert/Delete/Update) take the
+// mutex exclusively, fork the version if it has been snapshotted, apply
+// copy-on-write to the bitmap/delta store they touch, and publish — so a
+// DML statement is a single version install and a scan's snapshot is never
+// affected. Reorganization (BulkLoad/CompressDeltaStores/RemoveDeletedRows,
+// i.e. everything that builds row groups and appends to the shared primary
+// dictionaries) is serialized by `reorg_mutex_`, builds new groups with no
+// table lock held, and installs them under the exclusive lock with
+// pointer-identity conflict checks: a bitmap or delta store modified since
+// the reorganizer's snapshot was cloned by copy-on-write, so its pointer
+// changed, and the reorganizer skips it (retried next pass) rather than
+// losing the concurrent write. Archive()/EvictAll() mutate segment
+// residency in place and still require quiescent readers (they are
+// single-threaded experiment paths).
 class ColumnStoreTable {
  public:
   struct Options {
@@ -81,7 +180,9 @@ class ColumnStoreTable {
   Status BulkLoad(const TableData& data);
   Result<RowId> Insert(const std::vector<Value>& row);
   Status Delete(RowId id);
-  // Deletes the old row and inserts the new version; returns the new id.
+  // Deletes the old row and inserts the new version atomically (one
+  // critical section, one version install); returns the new id. On error
+  // nothing is applied.
   Result<RowId> Update(RowId id, const std::vector<Value>& row);
   // Point lookup (bookmark support): fetches the live row with this id.
   Status GetRow(RowId id, std::vector<Value>* row) const;
@@ -94,13 +195,16 @@ class ColumnStoreTable {
   // --- Reorganization (tuple mover entry points) ------------------------
   // Compresses closed delta stores into row groups; with `include_open`
   // also compresses the open store (paper: REORGANIZE ... FORCE). Returns
-  // the number of delta stores compressed.
+  // the number of delta stores compressed. Runs concurrently with scans
+  // and DML; a store that takes writes mid-compaction is left in place.
   Result<int64_t> CompressDeltaStores(bool include_open = false);
   // Rebuilds row groups whose deleted fraction exceeds `threshold`,
-  // physically removing deleted rows.
+  // physically removing deleted rows and bumping the group's rebuild
+  // generation. A group that takes deletes mid-rebuild is left in place.
   Result<int64_t> RemoveDeletedRows(double threshold = 0.1);
 
   // --- Archival ----------------------------------------------------------
+  // Both require quiescent readers (no concurrent scans/GetRow).
   Status Archive();      // compress all row groups (COLUMNSTORE_ARCHIVE)
   void EvictAll() const; // drop resident copies of archived segments
 
@@ -123,40 +227,52 @@ class ColumnStoreTable {
   };
   SizeBreakdown Sizes() const;
 
-  // --- Read access (used by scans holding the shared lock) ---------------
-  std::shared_mutex& mutex() const { return mutex_; }
-  int64_t num_row_groups() const {
-    return static_cast<int64_t>(row_groups_.size());
-  }
-  const RowGroup& row_group(int64_t i) const {
-    return *row_groups_[static_cast<size_t>(i)];
-  }
-  const DeleteBitmap& delete_bitmap(int64_t i) const {
-    return delete_bitmaps_[static_cast<size_t>(i)];
-  }
-  int64_t num_delta_stores() const {
-    return static_cast<int64_t>(delta_stores_.size());
-  }
-  const DeltaStore& delta_store(int64_t i) const {
-    return *delta_stores_[static_cast<size_t>(i)];
-  }
+  // --- Read access --------------------------------------------------------
+  // The current version, pinned: scans hold one and read entirely
+  // lock-free while writers install successors. Must not outlive the table.
+  TableSnapshot Snapshot() const;
+
+  // Convenience accessors over the current version. The returned references
+  // are stable only while nothing can retire their version (single-threaded
+  // tests/benchmarks); concurrent readers must hold a Snapshot().
+  int64_t num_row_groups() const;
+  const RowGroup& row_group(int64_t i) const;
+  const DeleteBitmap& delete_bitmap(int64_t i) const;
+  uint32_t generation(int64_t i) const;
+  int64_t num_delta_stores() const;
+  const DeltaStore& delta_store(int64_t i) const;
 
  private:
-  // Appends rows [begin, end) of `data` as one compressed row group.
-  Status AppendRowGroup(const TableData& data, int64_t begin, int64_t end);
-  // Returns the open delta store, creating one if needed.
-  DeltaStore* OpenDeltaStore();
-  Status InsertLocked(const std::vector<Value>& row, RowId* id);
-  Status CompressOneDeltaStore(size_t index);
+  // Builds rows [begin, end) of `data` as one compressed row group with the
+  // given group id. Appends to the shared primary dictionaries; callers
+  // must hold reorg_mutex_. No table lock is required.
+  std::shared_ptr<RowGroup> BuildRowGroup(const TableData& data, int64_t begin,
+                                          int64_t end, int64_t id);
+
+  // The remaining helpers require mutex_ held exclusively.
+  // Returns the version to mutate, forking a successor (and publishing it
+  // as the current version) if the current one has been snapshotted.
+  TableVersion* MutableVersion();
+  // Copy-on-write accessors: clone the object into `v` if it is still
+  // shared with an earlier version.
+  DeleteBitmap* MutableBitmap(TableVersion* v, int64_t group);
+  DeltaStore* MutableDeltaStore(TableVersion* v, int64_t index);
+  Status InsertLocked(TableVersion* v, const std::vector<Value>& row,
+                      RowId* id);
+  Status DeleteLocked(TableVersion* v, RowId id);
 
   std::string name_;
   Schema schema_;
   Options options_;
 
+  // Guards version_ (publish/acquire) and the delta id counters.
   mutable std::shared_mutex mutex_;
-  std::vector<std::unique_ptr<RowGroup>> row_groups_;
-  std::vector<DeleteBitmap> delete_bitmaps_;
-  std::vector<std::unique_ptr<DeltaStore>> delta_stores_;
+  // Serializes row-group construction (and thus primary-dictionary
+  // appends). Always acquired before mutex_; never held while blocking on
+  // anything else.
+  std::mutex reorg_mutex_;
+
+  std::shared_ptr<TableVersion> version_;
   std::vector<std::shared_ptr<StringDictionary>> primary_dicts_;
   uint64_t next_delta_seq_ = 0;
   int64_t next_delta_id_ = 0;

@@ -232,10 +232,16 @@ const std::string* BPlusTree::Find(uint64_t key) const {
 }
 
 bool BPlusTree::Erase(uint64_t key) {
+  // Descend, remembering the path so an emptied leaf can be detached.
+  std::vector<Internal*> path;
+  std::vector<int> path_idx;
   Node* node = root_;
   while (!node->is_leaf) {
     Internal* internal = static_cast<Internal*>(node);
-    node = internal->children[static_cast<size_t>(ChildIndex(internal->keys, key))];
+    int idx = ChildIndex(internal->keys, key);
+    path.push_back(internal);
+    path_idx.push_back(idx);
+    node = internal->children[static_cast<size_t>(idx)];
   }
   Leaf* leaf = static_cast<Leaf*>(node);
   auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
@@ -246,6 +252,82 @@ bool BPlusTree::Erase(uint64_t key) {
   leaf->keys.erase(it);
   leaf->values.erase(leaf->values.begin() + static_cast<long>(pos));
   --size_;
+  if (!leaf->keys.empty() || path.empty()) return true;
+
+  // The leaf is empty and is not the root: unlink it from the leaf chain,
+  // then detach it (and any internal node this empties) from its parent.
+  Leaf* pred = nullptr;
+  for (int level = static_cast<int>(path.size()) - 1; level >= 0; --level) {
+    if (path_idx[static_cast<size_t>(level)] > 0) {
+      Node* n = path[static_cast<size_t>(level)]
+                    ->children[static_cast<size_t>(
+                        path_idx[static_cast<size_t>(level)] - 1)];
+      while (!n->is_leaf) n = static_cast<Internal*>(n)->children.back();
+      pred = static_cast<Leaf*>(n);
+      break;
+    }
+  }
+  if (pred != nullptr) pred->next = leaf->next;
+
+  Node* dead = leaf;
+  int level = static_cast<int>(path.size()) - 1;
+  while (level >= 0) {
+    Internal* parent = path[static_cast<size_t>(level)];
+    int idx = path_idx[static_cast<size_t>(level)];
+    parent->children.erase(parent->children.begin() + idx);
+    if (!parent->keys.empty()) {
+      // Removing children[idx] drops separator keys[idx-1] (or keys[0] when
+      // the leftmost child goes: the old keys[0] becomes the new subtree's
+      // lower bound and must no longer be a separator).
+      parent->keys.erase(parent->keys.begin() + std::max(0, idx - 1));
+    }
+    memory_bytes_ -= static_cast<int64_t>(
+        dead->is_leaf ? sizeof(Leaf) : sizeof(Internal));
+    delete dead;  // dead internals are childless by construction
+    if (!parent->children.empty()) break;
+    dead = parent;
+    --level;
+  }
+  if (level < 0) {
+    // Every node on the path emptied out, root included: start over with a
+    // fresh empty leaf (the tree now holds zero entries).
+    root_ = new Leaf();
+    memory_bytes_ += static_cast<int64_t>(sizeof(Leaf));
+  } else {
+    // Collapse a root left with a single child so height shrinks with size.
+    while (!root_->is_leaf) {
+      Internal* r = static_cast<Internal*>(root_);
+      if (r->children.size() != 1) break;
+      root_ = r->children[0];
+      r->children.clear();
+      delete r;
+      memory_bytes_ -= static_cast<int64_t>(sizeof(Internal));
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::FirstKey(uint64_t* out) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.front();
+  }
+  const Leaf* leaf = static_cast<const Leaf*>(node);
+  // Erase frees emptied non-root leaves, so an empty leftmost leaf means an
+  // empty tree.
+  if (leaf->keys.empty()) return false;
+  *out = leaf->keys.front();
+  return true;
+}
+
+bool BPlusTree::LastKey(uint64_t* out) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.back();
+  }
+  const Leaf* leaf = static_cast<const Leaf*>(node);
+  if (leaf->keys.empty()) return false;
+  *out = leaf->keys.back();
   return true;
 }
 
@@ -300,7 +382,28 @@ Status DeltaStore::Insert(uint64_t rowid, const std::vector<Value>& row) {
   return Status::OK();
 }
 
-bool DeltaStore::Delete(uint64_t rowid) { return tree_.Erase(rowid); }
+bool DeltaStore::Delete(uint64_t rowid) {
+  if (!tree_.Erase(rowid)) return false;
+  if (tree_.size() == 0) {
+    min_rowid_ = std::numeric_limits<uint64_t>::max();
+    max_rowid_ = 0;
+  } else {
+    if (rowid == min_rowid_) tree_.FirstKey(&min_rowid_);
+    if (rowid == max_rowid_) tree_.LastKey(&max_rowid_);
+  }
+  return true;
+}
+
+std::unique_ptr<DeltaStore> DeltaStore::Clone() const {
+  auto copy = std::make_unique<DeltaStore>(schema_, id_);
+  for (BPlusTree::Iterator it = tree_.Begin(); it.Valid(); it.Next()) {
+    copy->tree_.Insert(it.key(), it.value());
+  }
+  copy->closed_ = closed_;
+  copy->min_rowid_ = min_rowid_;
+  copy->max_rowid_ = max_rowid_;
+  return copy;
+}
 
 Status DeltaStore::Get(uint64_t rowid, std::vector<Value>* row) const {
   const std::string* data = tree_.Find(rowid);

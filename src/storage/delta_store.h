@@ -26,8 +26,9 @@ Status DecodeRow(const Schema& schema, std::string_view data,
 // --- B+-tree ----------------------------------------------------------
 // In-memory B+-tree mapping uint64 keys to byte-string payloads. Leaves are
 // chained for ordered scans. Deletions do not rebalance (underfull nodes
-// are tolerated); delta stores are short-lived, so space is reclaimed when
-// the tuple mover drops the whole tree.
+// are tolerated), but a leaf emptied by Erase is unlinked and freed so
+// MemoryBytes() tracks the live tree: every node header is counted on
+// allocation and released when the node dies.
 class BPlusTree {
  public:
   BPlusTree();
@@ -39,6 +40,10 @@ class BPlusTree {
   // Returns nullptr if absent. The pointer is invalidated by any mutation.
   const std::string* Find(uint64_t key) const;
   bool Erase(uint64_t key);
+
+  // Smallest / largest live key. Return false when the tree is empty.
+  bool FirstKey(uint64_t* out) const;
+  bool LastKey(uint64_t* out) const;
 
   int64_t size() const { return size_; }
   int64_t MemoryBytes() const { return memory_bytes_; }
@@ -85,10 +90,16 @@ class DeltaStore {
   void Close() { closed_ = true; }
 
   Status Insert(uint64_t rowid, const std::vector<Value>& row);
-  // Returns false if the rowid is not present.
+  // Returns false if the rowid is not present. Tightens min_rowid()/
+  // max_rowid() when an extreme row is removed so range probes stay exact.
   bool Delete(uint64_t rowid);
   bool Contains(uint64_t rowid) const { return tree_.Find(rowid) != nullptr; }
   Status Get(uint64_t rowid, std::vector<Value>* row) const;
+
+  // Deep copy (contents, closed flag, rowid bounds). Used by the table's
+  // copy-on-write versioning: a writer clones a store shared with a
+  // published snapshot before mutating it.
+  std::unique_ptr<DeltaStore> Clone() const;
 
   int64_t num_rows() const { return tree_.size(); }
   int64_t MemoryBytes() const { return tree_.MemoryBytes(); }

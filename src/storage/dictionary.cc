@@ -24,29 +24,58 @@ std::string_view StringDictionary::Intern(std::string_view value) {
 
 int64_t StringDictionary::GetOrInsert(std::string_view value,
                                       int64_t capacity_limit) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(value);
   if (it != index_.end()) return it->second;
-  if (size() >= capacity_limit) return -1;
+  int64_t code = size_.load(std::memory_order_relaxed);
+  if (code >= capacity_limit) return -1;
   std::string_view stable = Intern(value);
-  int64_t code = size();
-  slots_.push_back(stable);
+  int level;
+  int64_t offset;
+  SlotIndex(code, &level, &offset);
+  auto& chunk = levels_[static_cast<size_t>(level)];
+  if (chunk == nullptr) {
+    chunk = std::make_unique<std::string_view[]>(
+        static_cast<size_t>(kBaseSlots << level));
+  }
+  chunk[static_cast<size_t>(offset)] = stable;
   index_.emplace(stable, code);
+  // Publish after the slot is written; readers that learn about `code`
+  // through a segment installed later will see the slot contents.
+  size_.store(code + 1, std::memory_order_release);
   return code;
 }
 
 int64_t StringDictionary::Find(std::string_view value) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(value);
   return it == index_.end() ? -1 : it->second;
 }
 
+int64_t StringDictionary::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_bytes_ +
+         static_cast<int64_t>(static_cast<size_t>(size_.load(
+                                  std::memory_order_relaxed)) *
+                              sizeof(std::string_view));
+}
+
 int64_t StringDictionary::ArchivedBytes() const {
-  if (archived_at_size_ == size() && archived_bytes_ >= 0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = size_.load(std::memory_order_relaxed);
+  if (archived_at_size_ == n && archived_bytes_ >= 0) {
     return archived_bytes_;
   }
   // Serialize lengths + payloads and compress.
   std::vector<uint8_t> plain;
-  plain.reserve(static_cast<size_t>(heap_bytes_) + slots_.size() * 4);
-  for (const std::string_view& s : slots_) {
+  plain.reserve(static_cast<size_t>(heap_bytes_) +
+                static_cast<size_t>(n) * 4);
+  for (int64_t code = 0; code < n; ++code) {
+    int level;
+    int64_t offset;
+    SlotIndex(code, &level, &offset);
+    std::string_view s =
+        levels_[static_cast<size_t>(level)][static_cast<size_t>(offset)];
     uint32_t len = static_cast<uint32_t>(s.size());
     const uint8_t* lp = reinterpret_cast<const uint8_t*>(&len);
     plain.insert(plain.end(), lp, lp + sizeof(len));
@@ -54,7 +83,7 @@ int64_t StringDictionary::ArchivedBytes() const {
   }
   archived_bytes_ = static_cast<int64_t>(
       Lzss::Compress(plain.data(), plain.size()).size());
-  archived_at_size_ = size();
+  archived_at_size_ = n;
   return archived_bytes_;
 }
 

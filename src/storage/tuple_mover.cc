@@ -16,32 +16,54 @@ Result<int64_t> TupleMover::RunOnce() {
 }
 
 void TupleMover::Start(std::chrono::milliseconds period) {
-  VSTORE_CHECK(!running_.load());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_requested_ = false;
-  }
-  running_.store(true);
+  std::lock_guard<std::mutex> lock(mu_);
+  VSTORE_CHECK(!running_ && !worker_.joinable());
+  running_ = true;
+  stop_requested_ = false;
+  last_error_ = Status::OK();
   worker_ = std::thread([this, period] { Loop(period); });
 }
 
-void TupleMover::Stop() {
-  if (!running_.load()) return;
+Status TupleMover::Stop() {
+  std::thread to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stop_requested_ = true;
+    if (worker_.joinable()) {
+      stop_requested_ = true;
+      to_join = std::move(worker_);
+    }
   }
   wake_.notify_all();
-  worker_.join();
-  running_.store(false);
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  Status err = last_error_;
+  last_error_ = Status::OK();
+  return err;
+}
+
+bool TupleMover::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+Status TupleMover::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
 }
 
 void TupleMover::Loop(std::chrono::milliseconds period) {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_requested_) {
     lock.unlock();
-    RunOnce().status().CheckOK();
+    Status pass = options_.fault_injector_for_testing
+                      ? options_.fault_injector_for_testing()
+                      : Status::OK();
+    if (pass.ok()) pass = RunOnce().status();
     lock.lock();
+    // A failed pass must not take down the process (it runs on a
+    // background thread); record it and retry next period.
+    if (!pass.ok()) last_error_ = pass;
     wake_.wait_for(lock, period, [this] { return stop_requested_; });
   }
 }

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/status.h"
@@ -16,6 +18,10 @@ namespace vstore {
 // Background reorganizer (paper §3.2): converts closed delta stores into
 // compressed row groups and rebuilds row groups with many deleted rows.
 // Can run on demand (RunOnce) or on a timer thread (Start/Stop).
+//
+// A failed background pass does not kill the process: the error is
+// recorded (last_error()), the loop skips the rest of the pass and retries
+// next period, and Stop() surfaces the most recent error to the caller.
 class TupleMover {
  public:
   struct Options {
@@ -23,22 +29,34 @@ class TupleMover {
     bool include_open_stores = false;
     // Rebuild row groups whose deleted fraction exceeds this; <= 0 disables.
     double rebuild_deleted_fraction = 0.2;
+    // Testing seam: invoked at the start of every background pass; a
+    // non-OK status is treated as a pass failure (natural compaction
+    // errors are nearly impossible to provoke in-process).
+    std::function<Status()> fault_injector_for_testing;
   };
 
   explicit TupleMover(ColumnStoreTable* table)
       : TupleMover(table, Options()) {}
   TupleMover(ColumnStoreTable* table, Options options)
-      : table_(table), options_(options) {}
-  ~TupleMover() { Stop(); }
+      : table_(table), options_(std::move(options)) {}
+  ~TupleMover() { (void)Stop(); }
   VSTORE_DISALLOW_COPY_AND_ASSIGN(TupleMover);
 
   // One reorganization pass. Returns the number of delta stores compressed.
   Result<int64_t> RunOnce();
 
-  // Starts a background thread running RunOnce every `period`.
+  // Starts a background thread running RunOnce every `period`. It is an
+  // error to call Start while the mover is running (Stop() must have
+  // returned); alternating Start/Stop is safe from any one thread.
   void Start(std::chrono::milliseconds period);
-  void Stop();
-  bool running() const { return running_.load(); }
+  // Idempotent. Joins the background thread (if any) and returns the most
+  // recent error a background pass recorded, clearing it; OK if every pass
+  // succeeded.
+  Status Stop();
+  bool running() const;
+
+  // Most recent background-pass error (OK if none since the last Stop).
+  Status last_error() const;
 
   int64_t total_stores_moved() const { return total_moved_.load(); }
 
@@ -47,11 +65,13 @@ class TupleMover {
 
   ColumnStoreTable* table_;
   Options options_;
-  std::thread worker_;
-  std::mutex mu_;
+
+  mutable std::mutex mu_;
   std::condition_variable wake_;
-  std::atomic<bool> running_{false};
-  bool stop_requested_ = false;
+  std::thread worker_;             // guarded by mu_ (joined outside it)
+  bool running_ = false;           // guarded by mu_
+  bool stop_requested_ = false;    // guarded by mu_
+  Status last_error_;              // guarded by mu_
   std::atomic<int64_t> total_moved_{0};
 };
 

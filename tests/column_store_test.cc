@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "storage/column_store.h"
 #include "test_util.h"
 
@@ -215,8 +218,101 @@ TEST(ColumnStoreTest, RowIdHelpers) {
   EXPECT_FALSE(IsDeltaRowId(id));
   EXPECT_EQ(RowIdGroup(id), 5);
   EXPECT_EQ(RowIdOffset(id), 1234);
+  EXPECT_EQ(RowIdGeneration(id), 0u);
+  RowId stamped = MakeCompressedRowId(5, 1234, 9);
+  EXPECT_FALSE(IsDeltaRowId(stamped));
+  EXPECT_EQ(RowIdGroup(stamped), 5);
+  EXPECT_EQ(RowIdOffset(stamped), 1234);
+  EXPECT_EQ(RowIdGeneration(stamped), 9u);
   RowId delta = MakeDeltaRowId(77);
   EXPECT_TRUE(IsDeltaRowId(delta));
+}
+
+TEST(ColumnStoreTest, StaleRowIdAfterRebuildIsNotFound) {
+  // Regression: after RemoveDeletedRows rebuilt a group, a RowId minted
+  // before the rebuild could alias a *different* live row at the same
+  // (group, offset) and silently delete or read it. Rebuilds now bump the
+  // group's generation, which is encoded in compressed RowIds.
+  TableData data = testing_util::MakeTestTable(1000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, i)).ok());
+  }
+  RowId stale = MakeCompressedRowId(0, 450);  // deleted; offset reused below
+  auto rebuilt = table.RemoveDeletedRows(0.1);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ(rebuilt.value(), 1);
+  EXPECT_EQ(table.generation(0), 1u);
+  // The stale id must be rejected, not resolved against the rebuilt group
+  // (where offset 450 now holds the row with id 950).
+  std::vector<Value> row;
+  EXPECT_TRUE(table.GetRow(stale, &row).IsNotFound());
+  EXPECT_TRUE(table.Delete(stale).IsNotFound());
+  EXPECT_EQ(table.num_rows(), 500);  // nothing was silently deleted
+  // An id minted against the current generation resolves normally.
+  RowId fresh = MakeCompressedRowId(0, 450, table.generation(0));
+  ASSERT_TRUE(table.GetRow(fresh, &row).ok());
+  EXPECT_EQ(row[0].int64(), 950);
+}
+
+TEST(ColumnStoreTest, UpdateIsAtomicUnderConcurrentReaders) {
+  // Regression: Update was Delete-then-Insert under two separate lock
+  // acquisitions, so a concurrent reader could observe the row count dip
+  // (row deleted, replacement not yet inserted).
+  TableData data = testing_util::MakeTestTable(1000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  std::atomic<bool> stop{false};
+  std::atomic<bool> dipped{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (table.num_rows() != 1000) {
+        dipped.store(true);
+        return;
+      }
+    }
+  });
+  RowId id = MakeCompressedRowId(0, 0);
+  for (int i = 0; i < 3000 && !dipped.load(); ++i) {
+    auto updated = table.Update(id, SampleRow(100000 + i));
+    ASSERT_TRUE(updated.ok());
+    id = updated.value();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(dipped.load()) << "reader observed a mid-update row count";
+  EXPECT_EQ(table.num_rows(), 1000);
+}
+
+TEST(ColumnStoreTest, UpdateRejectsBadArityWithoutDeleting) {
+  // Arity is validated before the delete half runs, so a malformed update
+  // cannot leave the table with the old row gone and no replacement.
+  TableData data = testing_util::MakeTestTable(1000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  auto updated = table.Update(MakeCompressedRowId(0, 1), {Value::Int64(1)});
+  EXPECT_TRUE(updated.status().IsInvalidArgument());
+  EXPECT_EQ(table.num_rows(), 1000);
+  EXPECT_EQ(table.num_deleted_rows(), 0);
+}
+
+TEST(ColumnStoreTest, SnapshotIsolatedFromLaterWrites) {
+  TableData data = testing_util::MakeTestTable(1000);
+  ColumnStoreTable table("t", data.schema(), SmallGroups());
+  ASSERT_TRUE(table.BulkLoad(data).ok());
+  TableSnapshot snap = table.Snapshot();
+  ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, 3)).ok());
+  table.Insert(SampleRow(5000)).status().CheckOK();
+  // The snapshot still sees the pre-write state...
+  EXPECT_EQ(snap->num_rows(), 1000);
+  EXPECT_EQ(snap->num_deleted_rows(), 0);
+  EXPECT_EQ(snap->num_delta_rows(), 0);
+  EXPECT_FALSE(snap->delete_bitmap(0).IsDeleted(3));
+  // ...while the table has moved on.
+  EXPECT_EQ(table.num_rows(), 1000);  // -1 delete +1 insert
+  EXPECT_EQ(table.num_deleted_rows(), 1);
+  EXPECT_EQ(table.num_delta_rows(), 1);
 }
 
 }  // namespace

@@ -189,6 +189,116 @@ TEST(DeltaStoreTest, RowIdBoundsTracked) {
   EXPECT_EQ(store.max_rowid(), 90u);
 }
 
+TEST(BPlusTreeTest, EraseReclaimsEmptiedLeaves) {
+  // Regression: Erase used to leave emptied leaves allocated (and never
+  // released node headers), so MemoryBytes() drifted upward forever.
+  BPlusTree tree;
+  const int64_t empty_bytes = tree.MemoryBytes();
+  const int n = 10000;  // multiple levels of internals
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(static_cast<uint64_t>(i), std::to_string(i)));
+  }
+  const int64_t full_bytes = tree.MemoryBytes();
+  ASSERT_GT(full_bytes, empty_bytes);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Erase(static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(tree.size(), 0);
+  // All leaves, internals and payloads must have been released.
+  EXPECT_EQ(tree.MemoryBytes(), empty_bytes);
+  // The tree stays fully usable after total reclamation.
+  ASSERT_TRUE(tree.Insert(42, "back"));
+  ASSERT_NE(tree.Find(42), nullptr);
+  EXPECT_EQ(*tree.Find(42), "back");
+}
+
+TEST(BPlusTreeTest, EraseKeepsLeafChainIntact) {
+  BPlusTree tree;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(static_cast<uint64_t>(i), std::to_string(i));
+  }
+  // Empty out alternating key ranges so whole leaves die mid-chain.
+  for (int i = 0; i < n; ++i) {
+    if ((i / 100) % 2 == 0) ASSERT_TRUE(tree.Erase(static_cast<uint64_t>(i)));
+  }
+  std::vector<uint64_t> keys;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) keys.push_back(it.key());
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < n; ++i) {
+    if ((i / 100) % 2 != 0) expected.push_back(static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(BPlusTreeTest, FirstAndLastKey) {
+  BPlusTree tree;
+  uint64_t k = 0;
+  EXPECT_FALSE(tree.FirstKey(&k));
+  EXPECT_FALSE(tree.LastKey(&k));
+  for (uint64_t v : {500, 100, 900, 300}) tree.Insert(v, "x");
+  ASSERT_TRUE(tree.FirstKey(&k));
+  EXPECT_EQ(k, 100u);
+  ASSERT_TRUE(tree.LastKey(&k));
+  EXPECT_EQ(k, 900u);
+  tree.Erase(100);
+  tree.Erase(900);
+  ASSERT_TRUE(tree.FirstKey(&k));
+  EXPECT_EQ(k, 300u);
+  ASSERT_TRUE(tree.LastKey(&k));
+  EXPECT_EQ(k, 500u);
+}
+
+TEST(DeltaStoreTest, DeleteTightensRowIdBounds) {
+  // Regression: Delete never tightened min_rowid_/max_rowid_, so the table
+  // kept probing this store for rowids it could no longer contain.
+  Schema schema({{"x", DataType::kInt64, false}});
+  DeltaStore store(&schema, 0);
+  for (uint64_t id = 10; id <= 20; ++id) {
+    store.Insert(id, {Value::Int64(0)}).CheckOK();
+  }
+  ASSERT_TRUE(store.Delete(20));
+  EXPECT_EQ(store.max_rowid(), 19u);
+  ASSERT_TRUE(store.Delete(10));
+  EXPECT_EQ(store.min_rowid(), 11u);
+  // Deleting an interior row leaves the bounds alone.
+  ASSERT_TRUE(store.Delete(15));
+  EXPECT_EQ(store.min_rowid(), 11u);
+  EXPECT_EQ(store.max_rowid(), 19u);
+  // Emptying the store resets the bounds to the insert-time sentinels.
+  for (uint64_t id = 11; id <= 19; ++id) {
+    if (id != 15) ASSERT_TRUE(store.Delete(id));
+  }
+  EXPECT_EQ(store.num_rows(), 0);
+  EXPECT_GT(store.min_rowid(), store.max_rowid());
+  // And they re-tighten on the next insert.
+  store.Insert(7, {Value::Int64(0)}).CheckOK();
+  EXPECT_EQ(store.min_rowid(), 7u);
+  EXPECT_EQ(store.max_rowid(), 7u);
+}
+
+TEST(DeltaStoreTest, CloneIsDeepAndIndependent) {
+  Schema schema({{"x", DataType::kInt64, false}});
+  DeltaStore store(&schema, 3);
+  for (uint64_t id : {4, 8, 15}) {
+    store.Insert(id, {Value::Int64(static_cast<int64_t>(id))}).CheckOK();
+  }
+  store.Close();
+  std::unique_ptr<DeltaStore> copy = store.Clone();
+  EXPECT_EQ(copy->id(), 3);
+  EXPECT_TRUE(copy->closed());
+  EXPECT_EQ(copy->num_rows(), 3);
+  EXPECT_EQ(copy->min_rowid(), 4u);
+  EXPECT_EQ(copy->max_rowid(), 15u);
+  std::vector<Value> out;
+  ASSERT_TRUE(copy->Get(8, &out).ok());
+  EXPECT_EQ(out[0].int64(), 8);
+  // Mutating the clone leaves the original untouched.
+  ASSERT_TRUE(copy->Delete(4));
+  EXPECT_TRUE(store.Contains(4));
+  EXPECT_EQ(store.num_rows(), 3);
+}
+
 TEST(DeltaStoreTest, ForEachVisitsInRowIdOrder) {
   Schema schema({{"x", DataType::kInt64, false}});
   DeltaStore store(&schema, 0);

@@ -34,7 +34,9 @@ run_one() {
 
   if [ "$sanitize" = "thread" ]; then
     # TSan runs focus on the concurrency suite: the stress-labelled tests
-    # plus everything exercising the exchange; add "$@" to widen.
+    # (exchange, parallel join, and the concurrent-table test that runs
+    # scans against live writers and the tuple mover) plus everything
+    # exercising the exchange; add "$@" to widen.
     ctest --test-dir "$dir" --output-on-failure \
         -R 'exchange|executor|integration|tpch|parallel' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -91,10 +92,79 @@ TEST(TupleMoverTest, StopIsIdempotent) {
   Schema schema = testing_util::MakeTestTable(1).schema();
   ColumnStoreTable table("t", schema, SmallGroups());
   TupleMover mover(&table);
-  mover.Stop();  // never started: no-op
+  (void)mover.Stop();  // never started: no-op
   mover.Start(std::chrono::milliseconds(50));
-  mover.Stop();
-  mover.Stop();
+  (void)mover.Stop();
+  (void)mover.Stop();
+}
+
+TEST(TupleMoverTest, LoopSurvivesBackgroundErrors) {
+  // Regression: the background loop used to CheckOK() the pass status, so
+  // one failed compaction aborted the whole process. Errors are now
+  // recorded, the loop keeps running, and Stop() surfaces the status.
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  for (int64_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  std::atomic<int> passes{0};
+  TupleMover::Options options;
+  options.fault_injector_for_testing = [&passes]() {
+    // First two passes fail; later passes succeed.
+    if (passes.fetch_add(1) < 2) return Status::Internal("injected fault");
+    return Status::OK();
+  };
+  TupleMover mover(&table, options);
+  mover.Start(std::chrono::milliseconds(2));
+  // The loop must outlive the injected failures and eventually drain the
+  // two closed stores.
+  for (int tries = 0; tries < 500; ++tries) {
+    if (table.num_delta_rows() <= 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(mover.running()) << "background thread died on error";
+  EXPECT_LE(table.num_delta_rows(), 200);
+  EXPECT_FALSE(mover.last_error().ok());
+  Status final_status = mover.Stop();
+  EXPECT_EQ(final_status.code(), StatusCode::kInternal);
+  // Stop() hands the error off exactly once.
+  EXPECT_TRUE(mover.last_error().ok());
+}
+
+TEST(TupleMoverTest, CleanRunStopReturnsOk) {
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  for (int64_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+  }
+  TupleMover mover(&table);
+  mover.Start(std::chrono::milliseconds(2));
+  for (int tries = 0; tries < 200; ++tries) {
+    if (table.num_delta_rows() <= 100) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(mover.Stop().ok());
+}
+
+TEST(TupleMoverTest, RestartAfterStop) {
+  // Regression: Start/Stop had a restart race — running_ was cleared after
+  // the join and read unlocked, so a quick Stop();Start() could hit the
+  // "already running" check or leak the old thread.
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("t", schema, SmallGroups());
+  TupleMover mover(&table);
+  int64_t next_id = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    mover.Start(std::chrono::milliseconds(1));
+    EXPECT_TRUE(mover.running());
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(next_id++)).ok());
+    }
+    EXPECT_TRUE(mover.Stop().ok());
+    EXPECT_FALSE(mover.running());
+  }
+  // No rows lost across all those restart cycles.
+  EXPECT_EQ(table.num_rows(), next_id);
 }
 
 }  // namespace
