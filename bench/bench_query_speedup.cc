@@ -117,5 +117,8 @@ int main() {
         "partial aggregation under an exchange) cannot beat DOP-1 here and\n"
         "mainly measure threading overhead.\n");
   }
+  if (bench::MetricsJsonEnabled()) {
+    bench::EmitMetricsJson("bench_query_speedup");
+  }
   return 0;
 }

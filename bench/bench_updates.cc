@@ -193,5 +193,6 @@ int main() {
       "tuple mover runs; delete bitmaps add only incremental scan cost;\n"
       "under-churn scan latency stays close to quiescent because scans\n"
       "read immutable snapshots and never wait on writers or the mover.\n");
+  if (bench::MetricsJsonEnabled()) bench::EmitMetricsJson("bench_updates");
   return 0;
 }

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json_util.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "query/executor.h"
 #include "types/table_data.h"
@@ -52,13 +54,33 @@ inline bool ProfileJsonEnabled() {
 inline void EmitProfileJson(const std::string& label,
                             const QueryResult& result,
                             const std::string& extra_json = "") {
-  std::string json = "{\"label\":\"" + label + "\",\"elapsed_ms\":";
+  std::string json = "{\"label\":";
+  AppendJsonString(label, &json);
+  json += ",\"elapsed_ms\":";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", result.elapsed_ms);
   json += buf;
   json += extra_json;
   json += ",\"profile\":" + ProfileToJson(result.profile) + "}";
   std::printf("PROFILE_JSON %s\n", json.c_str());
+}
+
+// True when the bench should dump the engine-wide metrics registry at the
+// end of the run (VSTORE_BENCH_METRICS=1); scrapers match the
+// "METRICS_JSON " prefix.
+inline bool MetricsJsonEnabled() {
+  const char* v = std::getenv("VSTORE_BENCH_METRICS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Emits one `METRICS_JSON {...}` line with every counter/gauge/histogram
+// accumulated over the whole bench run (delta-store churn, mover pass
+// latencies, reorg conflicts, query latency distribution, ...).
+inline void EmitMetricsJson(const std::string& label) {
+  std::string json = "{\"label\":";
+  AppendJsonString(label, &json);
+  json += ",\"metrics\":" + MetricsToJson() + "}";
+  std::printf("METRICS_JSON %s\n", json.c_str());
 }
 
 // --- Compression archetype datasets (experiment E1) -----------------------

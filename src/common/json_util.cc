@@ -1,0 +1,56 @@
+#include "common/json_util.h"
+
+#include <cstdio>
+
+namespace vstore {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default: {
+        // Promote through unsigned char: a negative char must not sign-
+        // extend into an eight-hex-digit escape.
+        unsigned char byte = static_cast<unsigned char>(ch);
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  *out += JsonEscape(s);
+  out->push_back('"');
+}
+
+}  // namespace vstore

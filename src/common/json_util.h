@@ -1,0 +1,20 @@
+#ifndef VSTORE_COMMON_JSON_UTIL_H_
+#define VSTORE_COMMON_JSON_UTIL_H_
+
+#include <string>
+
+namespace vstore {
+
+// Returns the body of a JSON string literal for `s` (no surrounding
+// quotes): quotes, backslashes and the named control characters become
+// their two-character escapes, any other byte below 0x20 becomes \u00XX.
+// Shared by every JSON renderer in the tree (ProfileToJson, MetricsToJson,
+// trace dumps, bench exports) so none of them can disagree on escaping.
+std::string JsonEscape(const std::string& s);
+
+// Appends `s` to `*out` as a complete JSON string literal, quotes included.
+void AppendJsonString(const std::string& s, std::string* out);
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_JSON_UTIL_H_

@@ -1,0 +1,337 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "common/json_util.h"
+
+namespace vstore {
+
+// --- Histogram -----------------------------------------------------------
+
+void Histogram::Observe(int64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  int width = std::bit_width(static_cast<uint64_t>(value));
+  return std::min(width, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kNumBuckets - 1) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << bucket) - 1;
+}
+
+void Histogram::ResetForTesting() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+template <typename T>
+T* MetricsRegistry::GetMetric(std::map<std::string, Family<T>>* families,
+                              const std::string& name,
+                              const std::string& label_key,
+                              const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family<T>& family = (*families)[name];
+  if (family.by_label.empty()) family.label_key = label_key;
+  std::unique_ptr<T>& slot = family.by_label[label_value];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  return GetMetric(&counters_, name, label_key, label_value);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& label_key,
+                                 const std::string& label_value) {
+  return GetMetric(&gauges_, name, label_key, label_value);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& label_key,
+                                         const std::string& label_value) {
+  return GetMetric(&histograms_, name, label_key, label_value);
+}
+
+namespace {
+
+// `{table="t"}` (text) selector, empty for unlabeled metrics. Label values
+// escape quotes/backslashes so exposition stays parseable.
+std::string TextSelector(const std::string& label_key,
+                         const std::string& label_value) {
+  if (label_key.empty()) return "";
+  return "{" + label_key + "=\"" + JsonEscape(label_value) + "\"}";
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [label, counter] : family.by_label) {
+      out += name + TextSelector(family.label_key, label) + " ";
+      AppendInt(counter->Value(), &out);
+      out += "\n";
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [label, gauge] : family.by_label) {
+      out += name + TextSelector(family.label_key, label) + " ";
+      AppendInt(gauge->Value(), &out);
+      out += "\n";
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [label, hist] : family.by_label) {
+      // Cumulative counts at each non-empty bucket boundary, plus +Inf.
+      // (A concurrent writer can make the +Inf line differ from the
+      // bucket sum by in-flight observations; see the header contract.)
+      int64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        int64_t in_bucket = hist->BucketCount(b);
+        if (in_bucket == 0) continue;
+        cumulative += in_bucket;
+        std::string selector = "{";
+        if (!family.label_key.empty()) {
+          selector +=
+              family.label_key + "=\"" + JsonEscape(label) + "\",";
+        }
+        selector += "le=\"";
+        AppendInt(Histogram::BucketUpperBound(b), &selector);
+        selector += "\"}";
+        out += name + "_bucket" + selector + " ";
+        AppendInt(cumulative, &out);
+        out += "\n";
+      }
+      std::string inf_selector = "{";
+      if (!family.label_key.empty()) {
+        inf_selector += family.label_key + "=\"" + JsonEscape(label) + "\",";
+      }
+      inf_selector += "le=\"+Inf\"}";
+      out += name + "_bucket" + inf_selector + " ";
+      AppendInt(hist->Count(), &out);
+      out += "\n";
+      out += name + "_sum" + TextSelector(family.label_key, label) + " ";
+      AppendInt(hist->Sum(), &out);
+      out += "\n";
+      out += name + "_count" + TextSelector(family.label_key, label) + " ";
+      AppendInt(hist->Count(), &out);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonLabels(const std::string& label_key, const std::string& label,
+                      std::string* out) {
+  *out += ",\"labels\":{";
+  if (!label_key.empty()) {
+    AppendJsonString(label_key, out);
+    *out += ":";
+    AppendJsonString(label, out);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [label, counter] : family.by_label) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(name, &out);
+      AppendJsonLabels(family.label_key, label, &out);
+      out += ",\"value\":";
+      AppendInt(counter->Value(), &out);
+      out += "}";
+    }
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [label, gauge] : family.by_label) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(name, &out);
+      AppendJsonLabels(family.label_key, label, &out);
+      out += ",\"value\":";
+      AppendInt(gauge->Value(), &out);
+      out += "}";
+    }
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [label, hist] : family.by_label) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(name, &out);
+      AppendJsonLabels(family.label_key, label, &out);
+      out += ",\"count\":";
+      AppendInt(hist->Count(), &out);
+      out += ",\"sum\":";
+      AppendInt(hist->Sum(), &out);
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        int64_t in_bucket = hist->BucketCount(b);
+        if (in_bucket == 0) continue;
+        if (!first_bucket) out += ",";
+        first_bucket = false;
+        out += "{\"le\":";
+        AppendInt(Histogram::BucketUpperBound(b), &out);
+        out += ",\"count\":";
+        AppendInt(in_bucket, &out);
+        out += "}";
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : counters_) {
+    for (auto& [label, counter] : family.by_label) counter->ResetForTesting();
+  }
+  for (auto& [name, family] : gauges_) {
+    for (auto& [label, gauge] : family.by_label) gauge->ResetForTesting();
+  }
+  for (auto& [name, family] : histograms_) {
+    for (auto& [label, hist] : family.by_label) hist->ResetForTesting();
+  }
+}
+
+std::string MetricsToText() { return MetricsRegistry::Global().ToText(); }
+std::string MetricsToJson() { return MetricsRegistry::Global().ToJson(); }
+
+// --- TraceRing -----------------------------------------------------------
+
+TraceRing::TraceRing(int64_t capacity_per_stripe)
+    : capacity_(std::max<int64_t>(capacity_per_stripe, 1)) {}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+int64_t TraceRing::NowMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void TraceRing::Record(TraceEvent event) {
+  uint64_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  if (event.thread_id == 0) event.thread_id = tid;
+  Stripe& stripe = stripes_[tid % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (static_cast<int64_t>(stripe.events.size()) < capacity_) {
+    stripe.events.push_back(std::move(event));
+  } else {
+    stripe.events[stripe.next] = std::move(event);
+    stripe.next = (stripe.next + 1) % stripe.events.size();
+  }
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    out.insert(out.end(), stripe.events.begin(), stripe.events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+std::string TraceRing::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(e.name, &out);
+    out += ",\"cat\":";
+    AppendJsonString(e.category, &out);
+    out += ",\"ph\":\"X\",\"ts\":";
+    AppendInt(e.start_us, &out);
+    out += ",\"dur\":";
+    AppendInt(e.duration_us, &out);
+    out += ",\"pid\":1,\"tid\":";
+    // Chrome expects small integer thread ids; fold the hash.
+    AppendInt(static_cast<int64_t>(e.thread_id % 100000), &out);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceRing::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.events.clear();
+    stripe.next = 0;
+  }
+}
+
+ScopedTrace::~ScopedTrace() {
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.start_us = start_us_;
+  event.duration_us = TraceRing::NowMicros() - start_us_;
+  ring_->Record(std::move(event));
+}
+
+}  // namespace vstore

@@ -1,0 +1,246 @@
+#ifndef VSTORE_COMMON_METRICS_H_
+#define VSTORE_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+// Engine-wide metrics: process-global registry of named counters, gauges
+// and histograms, plus a fixed-size trace-event ring for background-task
+// spans. Every layer of the engine publishes here — storage (per-table DML
+// rates, delta-store growth, size breakdowns), background work (tuple-mover
+// pass latencies, reorg conflicts), query (end-to-end latency, cumulative
+// per-operator roll-ups) — and the exposition renderers (MetricsToText,
+// MetricsToJson, Catalog::StatsReport) read it back out.
+//
+// Concurrency and read semantics: all metric values are std::atomic<int64_t>
+// updated and read with relaxed ordering. Updates on hot paths are a single
+// uncontended fetch_add; reads taken while writers are running are never
+// torn (each load is atomic) but are not mutually consistent — a histogram
+// snapshot may observe a sum without its count, a counter pair may be read
+// at different instants. Exposition output is therefore a statistical view,
+// exact only at quiescence; this is the standard Prometheus contract and
+// the price of zero-synchronization instrumentation. Metric objects are
+// allocated once and never freed or moved, so cached Counter*/Gauge*/
+// Histogram* handles stay valid for the life of the process (including
+// across ResetForTesting, which zeroes values but deallocates nothing).
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(Counter);
+
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void ResetForTesting() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time level (may go up and down).
+class Gauge {
+ public:
+  Gauge() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(Gauge);
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void ResetForTesting() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket log2 histogram for latencies and sizes. Bucket 0 holds
+// values <= 0; bucket i (i >= 1) holds values whose bit width is i, i.e.
+// the range [2^(i-1), 2^i - 1]; the last bucket absorbs everything above.
+// Observe() is two relaxed fetch_adds plus a bit_width — cheap enough for
+// per-query and per-pass recording on hot paths.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  Histogram() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(Histogram);
+
+  void Observe(int64_t value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+
+  // Bucket index a value lands in.
+  static int BucketFor(int64_t value);
+  // Inclusive upper bound of bucket i: 0 for bucket 0, 2^i - 1 otherwise
+  // (INT64_MAX for the final bucket).
+  static int64_t BucketUpperBound(int bucket);
+
+  void ResetForTesting();
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// Name -> metric map with optional one-level label families (e.g. every
+// per-table metric carries {table="<name>"}). Get* registers on first use
+// and returns the same stable pointer ever after; callers resolve handles
+// once (constructor time) and update them lock-free. Exposition iterates
+// the sorted maps, so rendered output has deterministic metric and label
+// order. Most code uses the process-global instance; tests may construct
+// private registries for isolation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(MetricsRegistry);
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name) {
+    return GetCounter(name, "", "");
+  }
+  Counter* GetCounter(const std::string& name, const std::string& label_key,
+                      const std::string& label_value);
+  Gauge* GetGauge(const std::string& name) { return GetGauge(name, "", ""); }
+  Gauge* GetGauge(const std::string& name, const std::string& label_key,
+                  const std::string& label_value);
+  Histogram* GetHistogram(const std::string& name) {
+    return GetHistogram(name, "", "");
+  }
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& label_key,
+                          const std::string& label_value);
+
+  // Prometheus-style text exposition: one `name{label="value"} value` line
+  // per counter/gauge, `_bucket`/`_sum`/`_count` lines per histogram
+  // (cumulative le counts, non-empty buckets plus +Inf). Metric names and
+  // labels render in sorted order, so output is byte-stable for a given
+  // set of values.
+  std::string ToText() const;
+  // The same data as one JSON object:
+  // {"counters":[...],"gauges":[...],"histograms":[...]}, sorted like
+  // ToText().
+  std::string ToJson() const;
+
+  // Zeroes every registered value. Never removes or frees a metric: cached
+  // handles stay valid.
+  void ResetForTesting();
+
+ private:
+  template <typename T>
+  struct Family {
+    std::string label_key;  // "" for unlabeled
+    std::map<std::string, std::unique_ptr<T>> by_label;
+  };
+
+  template <typename T>
+  T* GetMetric(std::map<std::string, Family<T>>* families,
+               const std::string& name, const std::string& label_key,
+               const std::string& label_value);
+
+  mutable std::mutex mu_;  // guards family map shape only, never values
+  std::map<std::string, Family<Counter>> counters_;
+  std::map<std::string, Family<Gauge>> gauges_;
+  std::map<std::string, Family<Histogram>> histograms_;
+};
+
+// Convenience renderers over the global registry.
+std::string MetricsToText();
+std::string MetricsToJson();
+
+// --- Trace events --------------------------------------------------------
+
+// One completed span of background work (a tuple-mover pass, a reorg
+// operation, a spill), timestamped in microseconds since process start.
+struct TraceEvent {
+  std::string name;      // e.g. "mover_pass"
+  std::string category;  // e.g. "mover", "reorg", "spill"
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  uint64_t thread_id = 0;  // hashed std::thread::id
+};
+
+// Fixed-size, lock-striped ring of recent trace events. Each recording
+// thread hashes to one of kStripes independently-locked rings, so
+// concurrent background tasks never contend on a single mutex; when a
+// stripe fills, the oldest events in that stripe are overwritten. Dump
+// with ToChromeJson() and load the result into chrome://tracing or
+// https://ui.perfetto.dev.
+class TraceRing {
+ public:
+  static constexpr int kStripes = 8;
+
+  explicit TraceRing(int64_t capacity_per_stripe = 1024);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(TraceRing);
+
+  static TraceRing& Global();
+
+  void Record(TraceEvent event);
+
+  // All buffered events, sorted by start time.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // chrome://tracing "trace event format" JSON: complete ("ph":"X") events
+  // with microsecond timestamps.
+  std::string ToChromeJson() const;
+
+  void Clear();
+
+  // Microseconds since the process trace epoch (first use).
+  static int64_t NowMicros();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;  // ring storage, <= capacity_
+    size_t next = 0;                 // overwrite cursor once full
+  };
+
+  int64_t capacity_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+// RAII span: records a TraceEvent covering its own lifetime into the ring
+// on destruction.
+class ScopedTrace {
+ public:
+  ScopedTrace(std::string name, std::string category,
+              TraceRing* ring = &TraceRing::Global())
+      : ring_(ring),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        start_us_(TraceRing::NowMicros()) {}
+  ~ScopedTrace();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ScopedTrace);
+
+ private:
+  TraceRing* ring_;
+  std::string name_;
+  std::string category_;
+  int64_t start_us_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_METRICS_H_

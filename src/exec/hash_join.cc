@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "exec/spill.h"
 
 namespace vstore {
@@ -139,6 +140,9 @@ void HashJoinOperator::AppendProfileCounters(OperatorProfile* node) const {
 }
 
 Status HashJoinOperator::SpillPartition(int p) {
+  // Spill events are rare and expensive; record each as a trace span so
+  // memory-pressure incidents are reconstructable from the ring buffer.
+  ScopedTrace trace("hash_join_spill_partition", "spill");
   Partition& part = partitions_[static_cast<size_t>(p)];
   VSTORE_DCHECK(!part.spilled);
   part.build_file = std::tmpfile();

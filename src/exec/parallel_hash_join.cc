@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "exec/spill.h"
 
 namespace vstore {
@@ -265,6 +266,7 @@ Status SharedHashJoinBuild::MaybeSpill(ExecContext* fctx) {
 
 Status SharedHashJoinBuild::SpillPartitionLocked(Partition* part,
                                                  ExecContext* fctx) {
+  ScopedTrace trace("parallel_join_spill_partition", "spill");
   VSTORE_DCHECK(!part->spilled);
   part->build_file = std::tmpfile();
   part->probe_file = std::tmpfile();

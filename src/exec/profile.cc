@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json_util.h"
+
 namespace vstore {
 
 namespace {
@@ -197,32 +199,9 @@ std::string FormatProfile(const OperatorProfile& root) {
 
 namespace {
 
-void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          *out += buf;
-        } else {
-          out->push_back(ch);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
+// String escaping lives in common/json_util.h (shared with MetricsToJson
+// and the trace dump) so operator/counter names with quotes, backslashes
+// or control characters render as valid JSON everywhere.
 void AppendJson(const OperatorProfile& node, std::string* out) {
   *out += "{\"name\":";
   AppendJsonString(node.name, out);

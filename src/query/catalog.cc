@@ -1,6 +1,21 @@
 #include "query/catalog.h"
 
+#include <cstdio>
+
+#include "common/metrics.h"
+
 namespace vstore {
+
+namespace {
+
+void AppendLine(std::string* out, const char* key, int64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  %-22s %lld\n", key,
+                static_cast<long long>(value));
+  *out += buf;
+}
+
+}  // namespace
 
 Status Catalog::AddColumnStore(std::unique_ptr<ColumnStoreTable> table) {
   Entry& entry = entries_[table->name()];
@@ -54,6 +69,35 @@ ColumnStoreTable* Catalog::GetColumnStore(const std::string& name) const {
 RowStoreTable* Catalog::GetRowStore(const std::string& name) const {
   const Entry* entry = Find(name);
   return entry == nullptr ? nullptr : entry->row_store;
+}
+
+std::string Catalog::StatsReport() const {
+  std::string out = "== tables ==\n";
+  for (const auto& [name, entry] : entries_) {
+    out += name + ":\n";
+    if (entry.column_store != nullptr) {
+      const ColumnStoreTable* cs = entry.column_store;
+      cs->RefreshStorageGauges();
+      TableSnapshot snap = cs->Snapshot();
+      ColumnStoreTable::SizeBreakdown sizes = cs->Sizes();
+      AppendLine(&out, "rows", snap->num_rows());
+      AppendLine(&out, "delta_rows", snap->num_delta_rows());
+      AppendLine(&out, "deleted_rows", snap->num_deleted_rows());
+      AppendLine(&out, "row_groups", snap->num_row_groups());
+      AppendLine(&out, "delta_stores", snap->num_delta_stores());
+      AppendLine(&out, "segment_bytes", sizes.segment_bytes);
+      AppendLine(&out, "dictionary_bytes", sizes.dictionary_bytes);
+      AppendLine(&out, "delete_bitmap_bytes", sizes.delete_bitmap_bytes);
+      AppendLine(&out, "delta_store_bytes", sizes.delta_store_bytes);
+      AppendLine(&out, "total_bytes", sizes.Total());
+    }
+    if (entry.row_store != nullptr) {
+      AppendLine(&out, "row_store_rows", entry.row_store->num_rows());
+    }
+  }
+  out += "\n== metrics ==\n";
+  out += MetricsToText();
+  return out;
 }
 
 }  // namespace vstore

@@ -42,6 +42,15 @@ class Catalog {
   ColumnStoreTable* GetColumnStore(const std::string& name) const;
   RowStoreTable* GetRowStore(const std::string& name) const;
 
+  // Operator-facing engine health report: refreshes every column store's
+  // storage gauges, renders a per-table breakdown (live/delta/deleted row
+  // counts, row-group and delta-store counts, size components), then
+  // appends the full Prometheus-style text exposition of the global
+  // metrics registry (query latency histogram, tuple-mover pass stats,
+  // reorg conflicts, cumulative operator roll-ups, ...). Deterministic
+  // ordering (catalog map + sorted registry) keeps diffs stable.
+  std::string StatsReport() const;
+
  private:
   std::map<std::string, Entry> entries_;
   std::vector<std::unique_ptr<ColumnStoreTable>> column_stores_;

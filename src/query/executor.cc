@@ -3,10 +3,79 @@
 #include <chrono>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace vstore {
 
+namespace {
+
+// Engine-wide query metrics (unlabeled — they aggregate across tables).
+// Handles are resolved once; the registry never frees them.
+struct QueryMetrics {
+  Counter* queries_total;
+  Counter* query_failures_total;
+  Counter* rows_returned_total;
+  Counter* rows_scanned_total;
+  Counter* delta_rows_scanned_total;
+  Counter* segments_scanned_total;
+  Counter* segments_eliminated_total;
+  Counter* bloom_rows_dropped_total;
+  Counter* spill_partitions_total;
+  Counter* build_rows_spilled_total;
+  Counter* probe_rows_spilled_total;
+  Gauge* active_queries;
+  Histogram* latency_ns;
+};
+
+QueryMetrics& GlobalQueryMetrics() {
+  static QueryMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* qm = new QueryMetrics();
+    qm->queries_total = r.GetCounter("vstore_query_total");
+    qm->query_failures_total = r.GetCounter("vstore_query_failures_total");
+    qm->rows_returned_total = r.GetCounter("vstore_query_rows_returned_total");
+    qm->rows_scanned_total = r.GetCounter("vstore_query_rows_scanned_total");
+    qm->delta_rows_scanned_total =
+        r.GetCounter("vstore_query_delta_rows_scanned_total");
+    qm->segments_scanned_total =
+        r.GetCounter("vstore_query_segments_scanned_total");
+    qm->segments_eliminated_total =
+        r.GetCounter("vstore_query_segments_eliminated_total");
+    qm->bloom_rows_dropped_total =
+        r.GetCounter("vstore_query_bloom_rows_dropped_total");
+    qm->spill_partitions_total =
+        r.GetCounter("vstore_query_spill_partitions_total");
+    qm->build_rows_spilled_total =
+        r.GetCounter("vstore_query_build_rows_spilled_total");
+    qm->probe_rows_spilled_total =
+        r.GetCounter("vstore_query_probe_rows_spilled_total");
+    qm->active_queries = r.GetGauge("vstore_query_active");
+    qm->latency_ns = r.GetHistogram("vstore_query_latency_ns");
+    return qm;
+  }();
+  return *m;
+}
+
+// Marks a query in flight; counts it as a failure unless Succeeded() runs.
+class QueryScope {
+ public:
+  QueryScope() { GlobalQueryMetrics().active_queries->Add(1); }
+  ~QueryScope() {
+    QueryMetrics& m = GlobalQueryMetrics();
+    m.active_queries->Add(-1);
+    m.queries_total->Increment();
+    if (!succeeded_) m.query_failures_total->Increment();
+  }
+  void Succeeded() { succeeded_ = true; }
+
+ private:
+  bool succeeded_ = false;
+};
+
+}  // namespace
+
 Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
+  QueryScope scope;
   QueryResult result;
   result.optimized_plan =
       options_.optimize ? Optimize(*catalog_, plan, options_.optimizer)
@@ -50,6 +119,32 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   result.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   result.stats = ctx.stats;
+
+  // Fold this query into the cumulative engine counters: end-to-end
+  // latency, rows out, and the per-operator roll-ups from the finished
+  // profile tree (fragment subtrees are already merged node-wise by the
+  // exchange, so CounterDeep sums each event exactly once).
+  QueryMetrics& m = GlobalQueryMetrics();
+  m.latency_ns->Observe(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  m.rows_returned_total->Increment(result.rows_returned);
+  m.rows_scanned_total->Increment(result.profile.CounterDeep("rows_scanned"));
+  m.delta_rows_scanned_total->Increment(
+      result.profile.CounterDeep("delta_rows"));
+  m.segments_scanned_total->Increment(
+      result.profile.CounterDeep("groups_scanned"));
+  m.segments_eliminated_total->Increment(
+      result.profile.CounterDeep("groups_eliminated"));
+  m.bloom_rows_dropped_total->Increment(
+      result.profile.CounterDeep("bloom_rows_dropped"));
+  m.spill_partitions_total->Increment(
+      result.profile.CounterDeep("spill_partitions"));
+  m.build_rows_spilled_total->Increment(
+      result.profile.CounterDeep("build_rows_spilled"));
+  m.probe_rows_spilled_total->Increment(
+      result.profile.CounterDeep("probe_rows_spilled"));
+  scope.Succeeded();
   return result;
 }
 

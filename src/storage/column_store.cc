@@ -28,9 +28,44 @@ int64_t TableVersion::num_delta_rows() const {
 
 // --- ColumnStoreTable ---------------------------------------------------
 
+namespace {
+
+ColumnStoreTable::TableMetrics ResolveTableMetrics(const std::string& table) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  auto counter = [&](const char* name) {
+    return registry.GetCounter(name, "table", table);
+  };
+  auto gauge = [&](const char* name) {
+    return registry.GetGauge(name, "table", table);
+  };
+  ColumnStoreTable::TableMetrics m;
+  m.rows_inserted = counter("vstore_table_rows_inserted_total");
+  m.rows_deleted = counter("vstore_table_rows_deleted_total");
+  m.rows_updated = counter("vstore_table_rows_updated_total");
+  m.reorg_installs = counter("vstore_table_reorg_installs_total");
+  m.reorg_conflicts = counter("vstore_table_reorg_conflicts_total");
+  m.delta_stores_compressed =
+      counter("vstore_table_delta_stores_compressed_total");
+  m.row_groups_rebuilt = counter("vstore_table_row_groups_rebuilt_total");
+  m.delta_rows = gauge("vstore_table_delta_rows");
+  m.delta_bytes = gauge("vstore_table_delta_bytes");
+  m.delta_stores = gauge("vstore_table_delta_stores");
+  m.row_groups = gauge("vstore_table_row_groups");
+  m.deleted_rows = gauge("vstore_table_deleted_rows");
+  m.segment_bytes = gauge("vstore_table_segment_bytes");
+  m.dictionary_bytes = gauge("vstore_table_dictionary_bytes");
+  m.delete_bitmap_bytes = gauge("vstore_table_delete_bitmap_bytes");
+  return m;
+}
+
+}  // namespace
+
 ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
                                    Options options)
-    : name_(std::move(name)), schema_(std::move(schema)), options_(options) {
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options),
+      metrics_(ResolveTableMetrics(name_)) {
   primary_dicts_.resize(static_cast<size_t>(schema_.num_columns()));
   for (int c = 0; c < schema_.num_columns(); ++c) {
     if (PhysicalTypeOf(schema_.field(c).type) == PhysicalType::kString) {
@@ -122,21 +157,25 @@ Status ColumnStoreTable::BulkLoad(const TableData& data) {
     pos = n;
   }
 
-  std::unique_lock lock(mutex_);
-  TableVersion* v = MutableVersion();
-  for (auto& group : built) {
-    v->delete_bitmaps_.push_back(
-        std::make_shared<DeleteBitmap>(group->num_rows()));
-    v->bitmap_owned_.push_back(true);
-    v->generations_.push_back(0);
-    v->row_groups_.push_back(std::move(group));
+  {
+    std::unique_lock lock(mutex_);
+    TableVersion* v = MutableVersion();
+    for (auto& group : built) {
+      metrics_.rows_inserted->Increment(group->num_rows());
+      v->delete_bitmaps_.push_back(
+          std::make_shared<DeleteBitmap>(group->num_rows()));
+      v->bitmap_owned_.push_back(true);
+      v->generations_.push_back(0);
+      v->row_groups_.push_back(std::move(group));
+    }
+    // Small tail: trickle into the delta store, as the paper's bulk insert
+    // does for undersized batches.
+    for (; pos < n; ++pos) {
+      RowId unused;
+      VSTORE_RETURN_IF_ERROR(InsertLocked(v, data.GetRow(pos), &unused));
+    }
   }
-  // Small tail: trickle into the delta store, as the paper's bulk insert
-  // does for undersized batches.
-  for (; pos < n; ++pos) {
-    RowId unused;
-    VSTORE_RETURN_IF_ERROR(InsertLocked(v, data.GetRow(pos), &unused));
-  }
+  RefreshStorageGauges();
   return Status::OK();
 }
 
@@ -163,6 +202,7 @@ Status ColumnStoreTable::InsertLocked(TableVersion* v,
   VSTORE_RETURN_IF_ERROR(store->Insert(rowid, row));
   if (store->num_rows() >= options_.row_group_size) store->Close();
   *id = rowid;
+  metrics_.rows_inserted->Increment();
   return Status::OK();
 }
 
@@ -180,6 +220,7 @@ Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {
       if (id < store.min_rowid() || id > store.max_rowid()) continue;
       if (!store.Contains(id)) continue;
       MutableDeltaStore(v, static_cast<int64_t>(i))->Delete(id);
+      metrics_.rows_deleted->Increment();
       return Status::OK();
     }
     return Status::NotFound("delta rowid not found");
@@ -199,6 +240,7 @@ Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {
     return Status::NotFound("row already deleted");
   }
   MutableBitmap(v, group)->MarkDeleted(offset);
+  metrics_.rows_deleted->Increment();
   return Status::OK();
 }
 
@@ -219,6 +261,7 @@ Result<RowId> ColumnStoreTable::Update(RowId id, const std::vector<Value>& row) 
   VSTORE_RETURN_IF_ERROR(DeleteLocked(v, id));
   RowId new_id;
   VSTORE_RETURN_IF_ERROR(InsertLocked(v, row, &new_id));
+  metrics_.rows_updated->Increment();
   return new_id;
 }
 
@@ -265,7 +308,9 @@ int64_t ColumnStoreTable::num_delta_rows() const {
   return Snapshot()->num_delta_rows();
 }
 
-Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open) {
+Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
+                                                      ReorgStats* stats) {
+  ScopedTrace trace("compress_delta_stores", "reorg");
   std::lock_guard<std::mutex> reorg(reorg_mutex_);
   TableSnapshot snap = Snapshot();
 
@@ -297,36 +342,55 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open) {
     built.push_back(std::move(c));
   }
   if (built.empty()) return 0;
+  if (reorg_hook_for_testing_) reorg_hook_for_testing_();
 
   int64_t moved = 0;
-  std::unique_lock lock(mutex_);
-  TableVersion* v = MutableVersion();
-  for (auto& c : built) {
-    size_t idx = 0;
-    while (idx < v->delta_stores_.size() &&
-           v->delta_stores_[idx].get() != c.source) {
-      ++idx;
+  int64_t rows_moved = 0;
+  int64_t conflicts = 0;
+  {
+    std::unique_lock lock(mutex_);
+    TableVersion* v = MutableVersion();
+    for (auto& c : built) {
+      size_t idx = 0;
+      while (idx < v->delta_stores_.size() &&
+             v->delta_stores_[idx].get() != c.source) {
+        ++idx;
+      }
+      if (idx == v->delta_stores_.size()) {
+        // The store took writes since the snapshot (copy-on-write replaced
+        // it); drop this rebuild and retry it next pass.
+        ++conflicts;
+        continue;
+      }
+      v->delta_stores_.erase(v->delta_stores_.begin() +
+                             static_cast<long>(idx));
+      v->store_owned_.erase(v->store_owned_.begin() + static_cast<long>(idx));
+      if (c.group != nullptr) {
+        rows_moved += c.group->num_rows();
+        v->delete_bitmaps_.push_back(
+            std::make_shared<DeleteBitmap>(c.group->num_rows()));
+        v->bitmap_owned_.push_back(true);
+        v->generations_.push_back(0);
+        v->row_groups_.push_back(std::move(c.group));
+      }
+      ++moved;
     }
-    if (idx == v->delta_stores_.size()) {
-      // The store took writes since the snapshot (copy-on-write replaced
-      // it); drop this rebuild and retry it next pass.
-      continue;
-    }
-    v->delta_stores_.erase(v->delta_stores_.begin() + static_cast<long>(idx));
-    v->store_owned_.erase(v->store_owned_.begin() + static_cast<long>(idx));
-    if (c.group != nullptr) {
-      v->delete_bitmaps_.push_back(
-          std::make_shared<DeleteBitmap>(c.group->num_rows()));
-      v->bitmap_owned_.push_back(true);
-      v->generations_.push_back(0);
-      v->row_groups_.push_back(std::move(c.group));
-    }
-    ++moved;
   }
+  metrics_.delta_stores_compressed->Increment(moved);
+  metrics_.reorg_installs->Increment(moved);
+  metrics_.reorg_conflicts->Increment(conflicts);
+  if (stats != nullptr) {
+    stats->installed += moved;
+    stats->rows += rows_moved;
+    stats->conflicts += conflicts;
+  }
+  RefreshStorageGauges();
   return moved;
 }
 
-Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold) {
+Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
+                                                    ReorgStats* stats) {
+  ScopedTrace trace("remove_deleted_rows", "reorg");
   std::lock_guard<std::mutex> reorg(reorg_mutex_);
   TableSnapshot snap = Snapshot();
 
@@ -360,26 +424,42 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold) {
         {g, &rg, &bm, BuildRowGroup(staged, 0, staged.num_rows(), g)});
   }
   if (rebuilds.empty()) return 0;
+  if (reorg_hook_for_testing_) reorg_hook_for_testing_();
 
   int64_t installed = 0;
-  std::unique_lock lock(mutex_);
-  TableVersion* v = MutableVersion();
-  for (auto& r : rebuilds) {
-    size_t g = static_cast<size_t>(r.g);
-    if (v->row_groups_[g].get() != r.old_group ||
-        v->delete_bitmaps_[g].get() != r.old_bitmap) {
-      // Deletes landed on this group during the rebuild (copy-on-write
-      // replaced its bitmap); installing would resurrect them. Retry next
-      // pass.
-      continue;
+  int64_t rows_kept = 0;
+  int64_t conflicts = 0;
+  {
+    std::unique_lock lock(mutex_);
+    TableVersion* v = MutableVersion();
+    for (auto& r : rebuilds) {
+      size_t g = static_cast<size_t>(r.g);
+      if (v->row_groups_[g].get() != r.old_group ||
+          v->delete_bitmaps_[g].get() != r.old_bitmap) {
+        // Deletes landed on this group during the rebuild (copy-on-write
+        // replaced its bitmap); installing would resurrect them. Retry next
+        // pass.
+        ++conflicts;
+        continue;
+      }
+      v->row_groups_[g] = std::move(r.group);
+      v->generations_[g] = (v->generations_[g] + 1) & kRowIdGenerationMask;
+      v->delete_bitmaps_[g] =
+          std::make_shared<DeleteBitmap>(v->row_groups_[g]->num_rows());
+      v->bitmap_owned_[g] = true;
+      rows_kept += v->row_groups_[g]->num_rows();
+      ++installed;
     }
-    v->row_groups_[g] = std::move(r.group);
-    v->generations_[g] = (v->generations_[g] + 1) & kRowIdGenerationMask;
-    v->delete_bitmaps_[g] =
-        std::make_shared<DeleteBitmap>(v->row_groups_[g]->num_rows());
-    v->bitmap_owned_[g] = true;
-    ++installed;
   }
+  metrics_.row_groups_rebuilt->Increment(installed);
+  metrics_.reorg_installs->Increment(installed);
+  metrics_.reorg_conflicts->Increment(conflicts);
+  if (stats != nullptr) {
+    stats->installed += installed;
+    stats->rows += rows_kept;
+    stats->conflicts += conflicts;
+  }
+  RefreshStorageGauges();
   return installed;
 }
 
@@ -420,6 +500,19 @@ ColumnStoreTable::SizeBreakdown ColumnStoreTable::Sizes() const {
     sizes.delta_store_bytes += ds->MemoryBytes();
   }
   return sizes;
+}
+
+void ColumnStoreTable::RefreshStorageGauges() const {
+  TableSnapshot snap = Snapshot();
+  SizeBreakdown sizes = Sizes();
+  metrics_.delta_rows->Set(snap->num_delta_rows());
+  metrics_.delta_bytes->Set(sizes.delta_store_bytes);
+  metrics_.delta_stores->Set(snap->num_delta_stores());
+  metrics_.row_groups->Set(snap->num_row_groups());
+  metrics_.deleted_rows->Set(snap->num_deleted_rows());
+  metrics_.segment_bytes->Set(sizes.segment_bytes);
+  metrics_.dictionary_bytes->Set(sizes.dictionary_bytes);
+  metrics_.delete_bitmap_bytes->Set(sizes.delete_bitmap_bytes);
 }
 
 // --- Current-version convenience accessors ------------------------------

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/delete_bitmap.h"
 #include "storage/delta_store.h"
@@ -193,15 +195,35 @@ class ColumnStoreTable {
   int64_t num_delta_rows() const;
 
   // --- Reorganization (tuple mover entry points) ------------------------
+  // Per-operation accounting handed back to the caller (the tuple mover
+  // folds it into its pass stats and the metrics registry).
+  struct ReorgStats {
+    int64_t installed = 0;  // stores compressed / groups rebuilt
+    int64_t rows = 0;       // rows moved into new compressed groups
+    // Items built off-lock but not installed because a concurrent write
+    // copy-on-write-replaced the source (retried next pass).
+    int64_t conflicts = 0;
+  };
   // Compresses closed delta stores into row groups; with `include_open`
   // also compresses the open store (paper: REORGANIZE ... FORCE). Returns
   // the number of delta stores compressed. Runs concurrently with scans
-  // and DML; a store that takes writes mid-compaction is left in place.
-  Result<int64_t> CompressDeltaStores(bool include_open = false);
+  // and DML; a store that takes writes mid-compaction is left in place
+  // (counted in stats->conflicts).
+  Result<int64_t> CompressDeltaStores(bool include_open = false,
+                                      ReorgStats* stats = nullptr);
   // Rebuilds row groups whose deleted fraction exceeds `threshold`,
   // physically removing deleted rows and bumping the group's rebuild
-  // generation. A group that takes deletes mid-rebuild is left in place.
-  Result<int64_t> RemoveDeletedRows(double threshold = 0.1);
+  // generation. A group that takes deletes mid-rebuild is left in place
+  // (counted in stats->conflicts).
+  Result<int64_t> RemoveDeletedRows(double threshold = 0.1,
+                                    ReorgStats* stats = nullptr);
+
+  // Testing seam: invoked by both reorg operations after they have built
+  // replacement structures off-lock but before taking the install lock —
+  // the window in which a concurrent write causes an install conflict.
+  void set_reorg_hook_for_testing(std::function<void()> hook) {
+    reorg_hook_for_testing_ = std::move(hook);
+  }
 
   // --- Archival ----------------------------------------------------------
   // Both require quiescent readers (no concurrent scans/GetRow).
@@ -226,6 +248,35 @@ class ColumnStoreTable {
     }
   };
   SizeBreakdown Sizes() const;
+
+  // --- Metrics ------------------------------------------------------------
+  // Handles into the global registry, all labeled {table="<name>"} and
+  // resolved once at construction (two tables with the same name share a
+  // family — the registry is keyed by name, not instance). DML paths bump
+  // the counters inline; the storage gauges (delta rows/bytes, group
+  // counts, SizeBreakdown components) are refreshed on every reorg publish
+  // and on demand via RefreshStorageGauges() (StatsReport does this), so
+  // DML stays a pure counter increment.
+  struct TableMetrics {
+    Counter* rows_inserted = nullptr;  // includes bulk-loaded rows
+    Counter* rows_deleted = nullptr;
+    Counter* rows_updated = nullptr;
+    Counter* reorg_installs = nullptr;
+    Counter* reorg_conflicts = nullptr;
+    Counter* delta_stores_compressed = nullptr;
+    Counter* row_groups_rebuilt = nullptr;
+    Gauge* delta_rows = nullptr;
+    Gauge* delta_bytes = nullptr;
+    Gauge* delta_stores = nullptr;
+    Gauge* row_groups = nullptr;
+    Gauge* deleted_rows = nullptr;
+    Gauge* segment_bytes = nullptr;
+    Gauge* dictionary_bytes = nullptr;
+    Gauge* delete_bitmap_bytes = nullptr;
+  };
+  const TableMetrics& metrics() const { return metrics_; }
+  // Recomputes the storage gauges from the current version + Sizes().
+  void RefreshStorageGauges() const;
 
   // --- Read access --------------------------------------------------------
   // The current version, pinned: scans hold one and read entirely
@@ -276,6 +327,9 @@ class ColumnStoreTable {
   std::vector<std::shared_ptr<StringDictionary>> primary_dicts_;
   uint64_t next_delta_seq_ = 0;
   int64_t next_delta_id_ = 0;
+
+  TableMetrics metrics_;
+  std::function<void()> reorg_hook_for_testing_;
 };
 
 }  // namespace vstore

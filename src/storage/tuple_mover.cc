@@ -1,18 +1,74 @@
 #include "storage/tuple_mover.h"
 
+#include <chrono>
+
 namespace vstore {
 
+TupleMover::TupleMover(ColumnStoreTable* table, Options options)
+    : table_(table), options_(std::move(options)) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string& t = table_->name();
+  passes_total_ = registry.GetCounter("vstore_mover_passes_total", "table", t);
+  failed_passes_total_ =
+      registry.GetCounter("vstore_mover_failed_passes_total", "table", t);
+  rows_moved_total_ =
+      registry.GetCounter("vstore_mover_rows_moved_total", "table", t);
+  stores_compressed_total_ =
+      registry.GetCounter("vstore_mover_stores_compressed_total", "table", t);
+  groups_rebuilt_total_ =
+      registry.GetCounter("vstore_mover_groups_rebuilt_total", "table", t);
+  conflicts_total_ =
+      registry.GetCounter("vstore_mover_conflicts_total", "table", t);
+  running_gauge_ = registry.GetGauge("vstore_mover_running", "table", t);
+  last_error_gauge_ = registry.GetGauge("vstore_mover_last_error", "table", t);
+  pass_duration_ns_ =
+      registry.GetHistogram("vstore_mover_pass_duration_ns", "table", t);
+}
+
 Result<int64_t> TupleMover::RunOnce() {
-  VSTORE_ASSIGN_OR_RETURN(
-      int64_t moved, table_->CompressDeltaStores(options_.include_open_stores));
-  if (options_.rebuild_deleted_fraction > 0) {
+  ScopedTrace trace("mover_pass", "mover");
+  auto start = std::chrono::steady_clock::now();
+
+  ColumnStoreTable::ReorgStats compress_stats;
+  ColumnStoreTable::ReorgStats rebuild_stats;
+  auto result = [&]() -> Result<int64_t> {
     VSTORE_ASSIGN_OR_RETURN(
-        int64_t rebuilt,
-        table_->RemoveDeletedRows(options_.rebuild_deleted_fraction));
-    (void)rebuilt;
+        int64_t moved, table_->CompressDeltaStores(options_.include_open_stores,
+                                                   &compress_stats));
+    if (options_.rebuild_deleted_fraction > 0) {
+      VSTORE_ASSIGN_OR_RETURN(
+          int64_t rebuilt,
+          table_->RemoveDeletedRows(options_.rebuild_deleted_fraction,
+                                    &rebuild_stats));
+      (void)rebuilt;
+    }
+    return moved;
+  }();
+
+  PassStats pass;
+  pass.stores_compressed = compress_stats.installed;
+  pass.groups_rebuilt = rebuild_stats.installed;
+  pass.rows_moved = compress_stats.rows;
+  pass.conflicts = compress_stats.conflicts + rebuild_stats.conflicts;
+  pass.duration_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+  passes_total_->Increment();
+  pass_duration_ns_->Observe(pass.duration_ns);
+  rows_moved_total_->Increment(pass.rows_moved);
+  stores_compressed_total_->Increment(pass.stores_compressed);
+  groups_rebuilt_total_->Increment(pass.groups_rebuilt);
+  conflicts_total_->Increment(pass.conflicts);
+  if (!result.ok()) failed_passes_total_->Increment();
+
+  total_conflicts_.fetch_add(pass.conflicts);
+  if (result.ok()) total_moved_.fetch_add(result.value());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_pass_ = pass;
   }
-  total_moved_.fetch_add(moved);
-  return moved;
+  return result;
 }
 
 void TupleMover::Start(std::chrono::milliseconds period) {
@@ -21,6 +77,8 @@ void TupleMover::Start(std::chrono::milliseconds period) {
   running_ = true;
   stop_requested_ = false;
   last_error_ = Status::OK();
+  last_error_gauge_->Set(0);
+  running_gauge_->Set(1);
   worker_ = std::thread([this, period] { Loop(period); });
 }
 
@@ -37,6 +95,8 @@ Status TupleMover::Stop() {
   if (to_join.joinable()) to_join.join();
   std::lock_guard<std::mutex> lock(mu_);
   running_ = false;
+  running_gauge_->Set(0);
+  last_error_gauge_->Set(0);
   Status err = last_error_;
   last_error_ = Status::OK();
   return err;
@@ -52,6 +112,11 @@ Status TupleMover::last_error() const {
   return last_error_;
 }
 
+TupleMover::PassStats TupleMover::last_pass() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_pass_;
+}
+
 void TupleMover::Loop(std::chrono::milliseconds period) {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_requested_) {
@@ -59,11 +124,18 @@ void TupleMover::Loop(std::chrono::milliseconds period) {
     Status pass = options_.fault_injector_for_testing
                       ? options_.fault_injector_for_testing()
                       : Status::OK();
-    if (pass.ok()) pass = RunOnce().status();
+    if (pass.ok()) {
+      pass = RunOnce().status();  // RunOnce counts its own failures
+    } else {
+      failed_passes_total_->Increment();
+    }
     lock.lock();
     // A failed pass must not take down the process (it runs on a
     // background thread); record it and retry next period.
-    if (!pass.ok()) last_error_ = pass;
+    if (!pass.ok()) {
+      last_error_ = pass;
+      last_error_gauge_->Set(1);
+    }
     wake_.wait_for(lock, period, [this] { return stop_requested_; });
   }
 }

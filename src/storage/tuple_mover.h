@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/column_store.h"
 
@@ -22,6 +23,16 @@ namespace vstore {
 // A failed background pass does not kill the process: the error is
 // recorded (last_error()), the loop skips the rest of the pass and retries
 // next period, and Stop() surfaces the most recent error to the caller.
+//
+// Observability: every pass records its duration into a per-table
+// histogram (vstore_mover_pass_duration_ns), bumps pass/rows-moved/
+// compression/rebuild counters, and counts installs skipped because a
+// concurrent write copy-on-write-replaced the source (reorg conflicts —
+// the contention signal cost-based compaction policies read). Each pass
+// also emits a "mover_pass" span into the global TraceRing, nested around
+// the per-operation "reorg" spans the table records. last_error is
+// mirrored as a 0/1 gauge so a wedged mover is visible from the metrics
+// endpoint alone.
 class TupleMover {
  public:
   struct Options {
@@ -35,10 +46,20 @@ class TupleMover {
     std::function<Status()> fault_injector_for_testing;
   };
 
+  // What one pass did. Conflicts are per pass: stores/groups whose install
+  // was skipped because the source changed under the rebuild (silently
+  // retried next pass before this was counted).
+  struct PassStats {
+    int64_t stores_compressed = 0;
+    int64_t groups_rebuilt = 0;
+    int64_t rows_moved = 0;
+    int64_t conflicts = 0;
+    int64_t duration_ns = 0;
+  };
+
   explicit TupleMover(ColumnStoreTable* table)
       : TupleMover(table, Options()) {}
-  TupleMover(ColumnStoreTable* table, Options options)
-      : table_(table), options_(std::move(options)) {}
+  TupleMover(ColumnStoreTable* table, Options options);
   ~TupleMover() { (void)Stop(); }
   VSTORE_DISALLOW_COPY_AND_ASSIGN(TupleMover);
 
@@ -59,6 +80,11 @@ class TupleMover {
   Status last_error() const;
 
   int64_t total_stores_moved() const { return total_moved_.load(); }
+  // Cumulative reorg-conflict count across all passes (also exported as
+  // vstore_mover_conflicts_total).
+  int64_t total_conflicts() const { return total_conflicts_.load(); }
+  // Stats of the most recently completed pass.
+  PassStats last_pass() const;
 
  private:
   void Loop(std::chrono::milliseconds period);
@@ -66,13 +92,26 @@ class TupleMover {
   ColumnStoreTable* table_;
   Options options_;
 
+  // Registry handles, labeled {table="<name>"}; resolved at construction.
+  Counter* passes_total_;
+  Counter* failed_passes_total_;
+  Counter* rows_moved_total_;
+  Counter* stores_compressed_total_;
+  Counter* groups_rebuilt_total_;
+  Counter* conflicts_total_;
+  Gauge* running_gauge_;
+  Gauge* last_error_gauge_;  // 1 while last_error() is non-OK
+  Histogram* pass_duration_ns_;
+
   mutable std::mutex mu_;
   std::condition_variable wake_;
   std::thread worker_;             // guarded by mu_ (joined outside it)
   bool running_ = false;           // guarded by mu_
   bool stop_requested_ = false;    // guarded by mu_
   Status last_error_;              // guarded by mu_
+  PassStats last_pass_;            // guarded by mu_
   std::atomic<int64_t> total_moved_{0};
+  std::atomic<int64_t> total_conflicts_{0};
 };
 
 }  // namespace vstore

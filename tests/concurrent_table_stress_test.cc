@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "query/executor.h"
 #include "storage/tuple_mover.h"
@@ -77,6 +78,15 @@ PlanPtr AggregatePlan(const Catalog& catalog) {
 }
 
 TEST(ConcurrentTableStressTest, ScansSeeConsistentSnapshotsUnderChurn) {
+  // Metric baselines before the fixture bulk-loads: the registry is
+  // process-global, so wiring assertions below are deltas from here.
+  Counter* rows_inserted_metric = MetricsRegistry::Global().GetCounter(
+      "vstore_table_rows_inserted_total", "table", "t");
+  Counter* rows_deleted_metric = MetricsRegistry::Global().GetCounter(
+      "vstore_table_rows_deleted_total", "table", "t");
+  const int64_t inserted_metric0 = rows_inserted_metric->Value();
+  const int64_t deleted_metric0 = rows_deleted_metric->Value();
+
   StressFixture f;
   ColumnStoreTable* table = f.table;
 
@@ -100,6 +110,10 @@ TEST(ConcurrentTableStressTest, ScansSeeConsistentSnapshotsUnderChurn) {
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
   auto scanner = [&](int which) {
+    // Counters read while writers run must never appear to move backwards
+    // (monotonicity is the one guarantee relaxed reads keep).
+    int64_t last_inserted = rows_inserted_metric->Value();
+    int64_t last_deleted = rows_deleted_metric->Value();
     for (int r = 0; r < scans || std::chrono::steady_clock::now() < deadline;
          ++r) {
       QueryOptions options;
@@ -121,6 +135,14 @@ TEST(ConcurrentTableStressTest, ScansSeeConsistentSnapshotsUnderChurn) {
       int64_t min_count = kInitialRows - deletes_attempted.load();
       ASSERT_GE(count, min_count) << "scanner " << which << " run " << r;
       ASSERT_LE(count, max_count) << "scanner " << which << " run " << r;
+      int64_t inserted_now = rows_inserted_metric->Value();
+      int64_t deleted_now = rows_deleted_metric->Value();
+      ASSERT_GE(inserted_now, last_inserted)
+          << "scanner " << which << ": rows_inserted counter went backwards";
+      ASSERT_GE(deleted_now, last_deleted)
+          << "scanner " << which << ": rows_deleted counter went backwards";
+      last_inserted = inserted_now;
+      last_deleted = deleted_now;
     }
   };
 
@@ -200,6 +222,19 @@ TEST(ConcurrentTableStressTest, ScansSeeConsistentSnapshotsUnderChurn) {
   int64_t count = result.data.column(2).GetInt64(0);
   EXPECT_EQ(sum_a + sum_b, kInvariant * count);
   EXPECT_EQ(count, table->num_rows());
+
+  // Metrics are exactly consistent at quiescence: every successful insert
+  // and delete (updates count as one of each) was recorded, so the counter
+  // deltas reconcile with the surviving row count — nothing was lost to a
+  // race and nothing double-counted.
+  EXPECT_EQ((rows_inserted_metric->Value() - inserted_metric0) -
+                (rows_deleted_metric->Value() - deleted_metric0),
+            table->num_rows());
+
+  // And the published gauges agree with the storage snapshot.
+  table->RefreshStorageGauges();
+  EXPECT_EQ(table->metrics().delta_rows->Value(), table->num_delta_rows());
+  EXPECT_EQ(table->metrics().row_groups->Value(), table->num_row_groups());
 }
 
 }  // namespace

@@ -244,6 +244,52 @@ TEST(ProfileTest, RenderersProduceWellFormedOutput) {
   EXPECT_GE(CountNodes(result.profile), 4);
 }
 
+TEST(ProfileTest, JsonRendererEscapesHostileStrings) {
+  // Regression: operator and counter names flow into JSON verbatim — a
+  // quote, backslash or control character in either must be escaped, not
+  // splice into the structure. (Scan nodes embed user table names.)
+  OperatorProfile profile;
+  profile.name = "Scan(\"we\\ird\ntable\x01\")";
+  profile.counters.push_back({"rows \"quoted\"", 7});
+  OperatorProfile child;
+  child.name = "Filter\t(tab)";
+  profile.children.push_back(child);
+
+  std::string json = ProfileToJson(profile);
+  // Structurally valid: every brace/bracket outside a string balances,
+  // and every string terminates.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0) << json;
+  }
+  EXPECT_EQ(depth, 0) << json;
+  EXPECT_FALSE(in_string) << json;
+
+  // The hostile characters came out escaped.
+  EXPECT_NE(json.find("Scan(\\\"we\\\\ird\\ntable\\u0001\\\")"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rows \\\"quoted\\\"\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("Filter\\t(tab)"), std::string::npos) << json;
+  // No raw control bytes survive.
+  for (char ch : json) {
+    EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+}
+
 TEST(ProfileTest, ReopenResetsProfile) {
   ProfileFixture f(2000);
   PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");

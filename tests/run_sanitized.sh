@@ -36,9 +36,10 @@ run_one() {
     # TSan runs focus on the concurrency suite: the stress-labelled tests
     # (exchange, parallel join, and the concurrent-table test that runs
     # scans against live writers and the tuple mover) plus everything
-    # exercising the exchange; add "$@" to widen.
+    # exercising the exchange and the relaxed-atomic metrics registry;
+    # add "$@" to widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch|parallel' "$@"
+        -R 'exchange|executor|integration|tpch|parallel|metrics' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"

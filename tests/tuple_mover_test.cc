@@ -167,5 +167,56 @@ TEST(TupleMoverTest, RestartAfterStop) {
   EXPECT_EQ(table.num_rows(), next_id);
 }
 
+TEST(TupleMoverTest, ConcurrentWriteDuringReorgCountsConflictAndRetries) {
+  // Regression for conflict accounting: a write that lands between the
+  // off-lock rebuild and the install must be detected (pointer-identity
+  // check), counted, and the skipped store retried on the next pass.
+  Schema schema = testing_util::MakeTestTable(1).schema();
+  ColumnStoreTable table("conflict_tbl", schema, SmallGroups());
+  RowId victim{};
+  for (int64_t i = 0; i < 600; ++i) {
+    auto id = table.Insert(SampleRow(i));
+    ASSERT_TRUE(id.ok());
+    if (i == 0) victim = id.value();  // lives in the closed 500-row store
+  }
+  int64_t conflicts_before = table.metrics().reorg_conflicts->Value();
+
+  // Seeded conflict: after the mover has built the compressed group but
+  // before it takes the install lock, delete a row from the source store.
+  // The delete copy-on-write-replaces the delta store in the visible
+  // version, so the install's identity check must reject the stale build.
+  bool fired = false;
+  table.set_reorg_hook_for_testing([&] {
+    if (fired) return;
+    fired = true;
+    ASSERT_TRUE(table.Delete(victim).ok());
+  });
+
+  TupleMover mover(&table);
+  auto first = mover.RunOnce();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 0);  // install skipped, nothing compressed
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(mover.last_pass().conflicts, 1);
+  EXPECT_EQ(mover.last_pass().stores_compressed, 0);
+  EXPECT_EQ(mover.total_conflicts(), 1);
+  EXPECT_EQ(table.metrics().reorg_conflicts->Value() - conflicts_before, 1);
+  EXPECT_EQ(table.num_row_groups(), 0);
+  EXPECT_EQ(table.num_rows(), 599);
+
+  // Next pass retries cleanly (hook disarmed): the surviving 499 rows of
+  // the closed store compress, the open 100-row store stays.
+  auto second = mover.RunOnce();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 1);
+  EXPECT_EQ(mover.last_pass().conflicts, 0);
+  EXPECT_EQ(mover.last_pass().rows_moved, 499);
+  EXPECT_EQ(mover.total_conflicts(), 1);
+  EXPECT_EQ(table.num_row_groups(), 1);
+  EXPECT_EQ(table.num_delta_rows(), 100);
+  EXPECT_EQ(table.num_rows(), 599);
+  table.set_reorg_hook_for_testing(nullptr);
+}
+
 }  // namespace
 }  // namespace vstore
