@@ -119,6 +119,7 @@ int main() {
   }
   if (bench::MetricsJsonEnabled()) {
     bench::EmitMetricsJson("bench_query_speedup");
+    bench::EmitQueryStoreJson("bench_query_speedup");
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "query/executor.h"
+#include "query/query_store.h"
 #include "types/table_data.h"
 
 namespace vstore {
@@ -81,6 +82,18 @@ inline void EmitMetricsJson(const std::string& label) {
   AppendJsonString(label, &json);
   json += ",\"metrics\":" + MetricsToJson() + "}";
   std::printf("METRICS_JSON %s\n", json.c_str());
+}
+
+// Emits one `QUERYSTORE_JSON {...}` line with the top fingerprints by
+// total latency from the process-global Query Store (same
+// VSTORE_BENCH_METRICS=1 gate as the registry dump); scrapers match the
+// "QUERYSTORE_JSON " prefix.
+inline void EmitQueryStoreJson(const std::string& label, int64_t top_n = 5) {
+  std::string json = "{\"label\":";
+  AppendJsonString(label, &json);
+  json += ",\"top_queries\":" + QueryStore::Global().TopFingerprintsJson(top_n) +
+          "}";
+  std::printf("QUERYSTORE_JSON %s\n", json.c_str());
 }
 
 // --- Compression archetype datasets (experiment E1) -----------------------

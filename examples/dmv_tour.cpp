@@ -1,0 +1,100 @@
+// DMV tour: the engine inspecting itself. Loads TPC-H into column store
+// tables, runs a few warehouse queries, then answers questions about its
+// own storage and workload by querying the sys.* system views with the
+// same planner and batch pipeline as any user query — the SQL Server
+// column store DMV model (sys.column_store_row_groups / _segments /
+// _dictionaries) plus a plan-fingerprinted Query Store.
+//
+//   $ ./build/examples/dmv_tour
+
+#include <cstdio>
+
+#include "query/executor.h"
+#include "query/query_store.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace vstore;
+
+namespace {
+
+void RunAndPrint(Catalog* catalog, const char* title, const PlanPtr& plan) {
+  QueryExecutor executor(catalog);
+  QueryResult result = executor.Execute(plan).ValueOrDie();
+  std::printf("-- %s (%.2f ms)\n%s\n", title, result.elapsed_ms,
+              FormatResult(result, 12).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // 1. Load a small TPC-H instance: eight column store tables.
+  Catalog catalog;
+  tpch::Tables tables = tpch::Generate(/*scale_factor=*/0.02);
+  ColumnStoreTable::Options options;
+  options.row_group_size = 1 << 14;
+  tpch::LoadIntoCatalog(&catalog, tables, /*column_store=*/true,
+                        /*row_store=*/false, options)
+      .CheckOK();
+
+  // 2. Run the TPC-H queries twice so the Query Store has a workload
+  //    history with more than one execution per plan shape.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& named : tpch::AllQueries(catalog)) {
+      QueryExecutor executor(&catalog);
+      executor.Execute(named.plan).status().CheckOK();
+    }
+  }
+
+  // 3. What tables exist and how big are they? sys.tables is one row per
+  //    catalog entry, sized from the same pinned snapshot scans use.
+  {
+    PlanBuilder b = PlanBuilder::Scan(catalog, "sys.tables");
+    b.Select({"table_name", "rows", "row_groups", "segment_bytes",
+              "dictionary_bytes", "total_bytes"});
+    b.OrderBy({{"total_bytes", false}});
+    RunAndPrint(&catalog, "sys.tables: storage per table", b.Build());
+  }
+
+  // 4. Which columns compress worst? A regular GROUP BY over
+  //    sys.segments, with the aggregate running in batch mode.
+  {
+    PlanBuilder b = PlanBuilder::Scan(catalog, "sys.segments");
+    b.Filter(expr::Eq(expr::Column(b.schema(), "table_name"),
+                      expr::Lit(Value::String("lineitem"))));
+    b.Aggregate({"column_name", "code_kind"},
+                {{AggFn::kSum, "encoded_bytes", "bytes"},
+                 {AggFn::kMax, "bit_width", "max_bits"}});
+    b.OrderBy({{"bytes", false}}, /*limit=*/8);
+    RunAndPrint(&catalog, "sys.segments: fattest lineitem columns",
+                b.Build());
+  }
+
+  // 5. Row-group health: deleted-row counts drive the tuple mover's
+  //    rebuild decisions; here everything is freshly loaded.
+  {
+    PlanBuilder b = PlanBuilder::Scan(catalog, "sys.row_groups");
+    b.Aggregate({"table_name", "state"},
+                {{AggFn::kCountStar, "", "groups"},
+                 {AggFn::kSum, "rows", "rows"},
+                 {AggFn::kSum, "deleted_rows", "deleted"}});
+    b.OrderBy({{"rows", false}}, /*limit=*/6);
+    RunAndPrint(&catalog, "sys.row_groups: row-group health", b.Build());
+  }
+
+  // 6. The workload itself: sys.query_stats folds every execution into
+  //    its plan-shape fingerprint — same shape with different literals is
+  //    one row with executions = N and a latency distribution.
+  {
+    PlanBuilder b = PlanBuilder::Scan(catalog, "sys.query_stats");
+    b.Select({"fingerprint", "plan_summary", "executions", "total_us",
+              "p50_us", "p99_us", "segments_eliminated"});
+    b.OrderBy({{"total_us", false}}, /*limit=*/5);
+    RunAndPrint(&catalog, "sys.query_stats: top query shapes by latency",
+                b.Build());
+  }
+
+  // 7. The same data as a ready-made report.
+  std::printf("%s", QueryStore::Global().TopQueriesReport(5).c_str());
+  return 0;
+}

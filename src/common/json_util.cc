@@ -53,4 +53,25 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
 }
 
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
 }  // namespace vstore

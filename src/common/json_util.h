@@ -15,6 +15,14 @@ std::string JsonEscape(const std::string& s);
 // Appends `s` to `*out` as a complete JSON string literal, quotes included.
 void AppendJsonString(const std::string& s, std::string* out);
 
+// Escapes a Prometheus text-format label value: backslash -> \\,
+// double-quote -> \", line feed -> \n. Unlike JsonEscape, other control
+// characters pass through unchanged — the Prometheus exposition format
+// defines exactly these three escapes, and \u sequences would be rendered
+// literally by its parsers. Shared by every label-value renderer
+// (MetricsToText and anything else emitting `name{key="value"}` lines).
+std::string PromLabelEscape(const std::string& s);
+
 }  // namespace vstore
 
 #endif  // VSTORE_COMMON_JSON_UTIL_H_

@@ -33,6 +33,42 @@ int64_t Histogram::BucketUpperBound(int bucket) {
   return (int64_t{1} << bucket) - 1;
 }
 
+int64_t Histogram::ApproxQuantile(double q) const {
+  // Snapshot the buckets before walking: each load is atomic, and working
+  // from one local copy keeps the rank math internally consistent even if
+  // writers race the walk.
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[static_cast<size_t>(b)] = BucketCount(b);
+    total += counts[static_cast<size_t>(b)];
+  }
+  if (total <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based: q=0 -> first, q=1 -> last.
+  double target = q * static_cast<double>(total);
+  if (target < 1.0) target = 1.0;
+  int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    int64_t in_bucket = counts[static_cast<size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b == 0) return 0;  // bucket 0 holds values <= 0
+    int64_t lo = BucketUpperBound(b - 1) + 1;  // inclusive lower bound, 2^(b-1)
+    if (b >= kNumBuckets - 1) return lo;       // overflow bucket: no upper bound
+    int64_t hi = BucketUpperBound(b);
+    // Fraction of the way through this bucket's observations at the target
+    // rank, assuming values spread uniformly across [lo, hi].
+    double frac = (target - static_cast<double>(cumulative)) /
+                  static_cast<double>(in_bucket);
+    return lo + static_cast<int64_t>(frac * static_cast<double>(hi - lo));
+  }
+  return BucketUpperBound(kNumBuckets - 2) + 1;  // unreachable in practice
+}
+
 void Histogram::ResetForTesting() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -84,7 +120,7 @@ namespace {
 std::string TextSelector(const std::string& label_key,
                          const std::string& label_value) {
   if (label_key.empty()) return "";
-  return "{" + label_key + "=\"" + JsonEscape(label_value) + "\"}";
+  return "{" + label_key + "=\"" + PromLabelEscape(label_value) + "\"}";
 }
 
 void AppendInt(int64_t v, std::string* out) {
@@ -128,7 +164,7 @@ std::string MetricsRegistry::ToText() const {
         std::string selector = "{";
         if (!family.label_key.empty()) {
           selector +=
-              family.label_key + "=\"" + JsonEscape(label) + "\",";
+              family.label_key + "=\"" + PromLabelEscape(label) + "\",";
         }
         selector += "le=\"";
         AppendInt(Histogram::BucketUpperBound(b), &selector);
@@ -139,7 +175,7 @@ std::string MetricsRegistry::ToText() const {
       }
       std::string inf_selector = "{";
       if (!family.label_key.empty()) {
-        inf_selector += family.label_key + "=\"" + JsonEscape(label) + "\",";
+        inf_selector += family.label_key + "=\"" + PromLabelEscape(label) + "\",";
       }
       inf_selector += "le=\"+Inf\"}";
       out += name + "_bucket" + inf_selector + " ";
@@ -234,6 +270,47 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [label, counter] : family.by_label) {
+      Sample s;
+      s.name = name;
+      s.label_key = family.label_key;
+      s.label_value = label;
+      s.kind = "counter";
+      s.value = counter->Value();
+      out.push_back(std::move(s));
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [label, gauge] : family.by_label) {
+      Sample s;
+      s.name = name;
+      s.label_key = family.label_key;
+      s.label_value = label;
+      s.kind = "gauge";
+      s.value = gauge->Value();
+      out.push_back(std::move(s));
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [label, hist] : family.by_label) {
+      Sample s;
+      s.name = name;
+      s.label_key = family.label_key;
+      s.label_value = label;
+      s.kind = "histogram";
+      s.value = hist->Count();
+      s.sum = hist->Sum();
+      s.has_sum = true;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetForTesting() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, family] : counters_) {
@@ -256,7 +333,12 @@ TraceRing::TraceRing(int64_t capacity_per_stripe)
     : capacity_(std::max<int64_t>(capacity_per_stripe, 1)) {}
 
 TraceRing& TraceRing::Global() {
-  static TraceRing* ring = new TraceRing();
+  static TraceRing* ring = [] {
+    TraceRing* r = new TraceRing();
+    r->dropped_counter_ =
+        MetricsRegistry::Global().GetCounter("vstore_trace_ring_dropped_total");
+    return r;
+  }();
   return *ring;
 }
 
@@ -278,7 +360,18 @@ void TraceRing::Record(TraceEvent event) {
   } else {
     stripe.events[stripe.next] = std::move(event);
     stripe.next = (stripe.next + 1) % stripe.events.size();
+    ++stripe.dropped;
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
   }
+}
+
+int64_t TraceRing::dropped_total() const {
+  int64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.dropped;
+  }
+  return total;
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
@@ -322,6 +415,7 @@ void TraceRing::Clear() {
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.events.clear();
     stripe.next = 0;
+    stripe.dropped = 0;
   }
 }
 

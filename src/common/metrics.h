@@ -89,6 +89,14 @@ class Histogram {
         std::memory_order_relaxed);
   }
 
+  // Approximate q-quantile (q in [0, 1]) from the log2 buckets: finds the
+  // bucket holding the target rank, then interpolates linearly between its
+  // bounds — log-linear overall, so the error is bounded by one bucket's
+  // width (a factor of 2 in the value). The overflow bucket reports its
+  // lower bound. Reads a relaxed snapshot of the buckets; see the
+  // concurrency contract above. Returns 0 on an empty histogram.
+  int64_t ApproxQuantile(double q) const;
+
   // Bucket index a value lands in.
   static int BucketFor(int64_t value);
   // Inclusive upper bound of bucket i: 0 for bucket 0, 2^i - 1 otherwise
@@ -142,6 +150,20 @@ class MetricsRegistry {
   // {"counters":[...],"gauges":[...],"histograms":[...]}, sorted like
   // ToText().
   std::string ToJson() const;
+
+  // One flattened metric reading (the sys.metrics system view's row shape).
+  struct Sample {
+    std::string name;
+    std::string label_key;    // "" for unlabeled metrics
+    std::string label_value;  // "" for unlabeled metrics
+    std::string kind;         // "counter" | "gauge" | "histogram"
+    int64_t value = 0;        // counter/gauge value; histogram observation count
+    int64_t sum = 0;          // histogram sum; 0 otherwise
+    bool has_sum = false;     // true only for histograms
+  };
+  // Every registered metric as a flat list, in the same deterministic
+  // (name, label) order as the text exposition.
+  std::vector<Sample> Samples() const;
 
   // Zeroes every registered value. Never removes or frees a metric: cached
   // handles stay valid.
@@ -198,6 +220,12 @@ class TraceRing {
 
   void Record(TraceEvent event);
 
+  // Spans overwritten by ring wraparound since construction (or the last
+  // Clear). Without this a full ring is indistinguishable from an idle one:
+  // the oldest events silently vanish. The global ring additionally mirrors
+  // every drop into the vstore_trace_ring_dropped_total counter.
+  int64_t dropped_total() const;
+
   // All buffered events, sorted by start time.
   std::vector<TraceEvent> Snapshot() const;
 
@@ -215,10 +243,13 @@ class TraceRing {
     mutable std::mutex mu;
     std::vector<TraceEvent> events;  // ring storage, <= capacity_
     size_t next = 0;                 // overwrite cursor once full
+    int64_t dropped = 0;             // events overwritten by wraparound
   };
 
   int64_t capacity_;
   std::array<Stripe, kStripes> stripes_;
+  // Set on the global instance only; every overwrite increments it.
+  Counter* dropped_counter_ = nullptr;
 };
 
 // RAII span: records a TraceEvent covering its own lifetime into the ring

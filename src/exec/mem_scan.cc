@@ -1,0 +1,57 @@
+#include "exec/mem_scan.h"
+
+#include <algorithm>
+
+namespace vstore {
+
+Status MemTableScanOperator::OpenImpl() {
+  pos_ = 0;
+  if (output_ == nullptr) {
+    output_ = std::make_unique<Batch>(data_->schema(), ctx_->batch_size);
+  }
+  return Status::OK();
+}
+
+Result<Batch*> MemTableScanOperator::NextImpl() {
+  const int64_t total = data_->num_rows();
+  if (pos_ >= total) return nullptr;
+  const int64_t n = std::min(ctx_->batch_size, total - pos_);
+  output_->Reset();
+  for (int c = 0; c < data_->num_columns(); ++c) {
+    const ColumnData& src = data_->column(c);
+    ColumnVector& dst = output_->column(c);
+    uint8_t* validity = dst.mutable_validity();
+    switch (dst.physical_type()) {
+      case PhysicalType::kInt64: {
+        int64_t* out = dst.mutable_ints();
+        for (int64_t i = 0; i < n; ++i) out[i] = src.GetInt64(pos_ + i);
+        break;
+      }
+      case PhysicalType::kDouble: {
+        double* out = dst.mutable_doubles();
+        for (int64_t i = 0; i < n; ++i) out[i] = src.GetDouble(pos_ + i);
+        break;
+      }
+      case PhysicalType::kString: {
+        std::string_view* out = dst.mutable_strings();
+        for (int64_t i = 0; i < n; ++i) out[i] = src.GetString(pos_ + i);
+        break;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      validity[i] = src.IsNull(pos_ + i) ? uint8_t{0} : uint8_t{1};
+    }
+  }
+  output_->set_num_rows(n);
+  output_->ActivateAll();
+  pos_ += n;
+  return output_.get();
+}
+
+Result<bool> MemTableRowScanOperator::Next(std::vector<Value>* row) {
+  if (pos_ >= data_->num_rows()) return false;
+  *row = data_->GetRow(pos_++);
+  return true;
+}
+
+}  // namespace vstore

@@ -1,0 +1,69 @@
+#ifndef VSTORE_EXEC_MEM_SCAN_H_
+#define VSTORE_EXEC_MEM_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "exec/operator.h"
+#include "exec/row/row_operator.h"
+#include "types/table_data.h"
+
+namespace vstore {
+
+// Batch-mode scan over an in-memory TableData — the leaf operator for
+// virtual tables (system views) whose rows are materialized on demand
+// rather than stored compressed. Shares ownership of the data, so a
+// provider can hand out the same materialization to several operators; the
+// data must not mutate while scans are live. String outputs are views into
+// the TableData's own payloads (stable because the data is immutable and
+// shared), so no per-batch copying happens.
+class MemTableScanOperator final : public BatchOperator {
+ public:
+  MemTableScanOperator(std::shared_ptr<const TableData> data,
+                       std::string label, ExecContext* ctx)
+      : data_(std::move(data)), label_(std::move(label)), ctx_(ctx) {}
+
+  const Schema& output_schema() const override { return data_->schema(); }
+  std::string name() const override { return "MemTableScan(" + label_ + ")"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { output_.reset(); }
+
+ private:
+  std::shared_ptr<const TableData> data_;
+  std::string label_;  // e.g. "sys.segments", shown in profiles
+  ExecContext* ctx_;
+  std::unique_ptr<Batch> output_;
+  int64_t pos_ = 0;
+};
+
+// Tuple-at-a-time variant of the same scan, for row-mode plans over
+// virtual tables.
+class MemTableRowScanOperator final : public RowOperator {
+ public:
+  MemTableRowScanOperator(std::shared_ptr<const TableData> data,
+                          std::string label)
+      : data_(std::move(data)), label_(std::move(label)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(std::vector<Value>* row) override;
+  const Schema& output_schema() const override { return data_->schema(); }
+  std::string name() const override {
+    return "MemTableRowScan(" + label_ + ")";
+  }
+
+ private:
+  std::shared_ptr<const TableData> data_;
+  std::string label_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_EXEC_MEM_SCAN_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/metrics.h"
+#include "query/system_views.h"
 
 namespace vstore {
 
@@ -17,7 +18,21 @@ void AppendLine(std::string* out, const char* key, int64_t value) {
 
 }  // namespace
 
+Catalog::Catalog() { RegisterBuiltinSystemViews(this); }
+
+Catalog::~Catalog() = default;
+
+const Schema& Catalog::Entry::schema() const {
+  if (column_store != nullptr) return column_store->schema();
+  if (row_store != nullptr) return row_store->schema();
+  return system_view->schema();
+}
+
 Status Catalog::AddColumnStore(std::unique_ptr<ColumnStoreTable> table) {
+  if (IsSystemViewName(table->name())) {
+    return Status::InvalidArgument("the sys. namespace is reserved: " +
+                                   table->name());
+  }
   Entry& entry = entries_[table->name()];
   if (entry.column_store != nullptr) {
     return Status::AlreadyExists("column store already registered: " +
@@ -34,6 +49,10 @@ Status Catalog::AddColumnStore(std::unique_ptr<ColumnStoreTable> table) {
 }
 
 Status Catalog::AddRowStore(std::unique_ptr<RowStoreTable> table) {
+  if (IsSystemViewName(table->name())) {
+    return Status::InvalidArgument("the sys. namespace is reserved: " +
+                                   table->name());
+  }
   Entry& entry = entries_[table->name()];
   if (entry.row_store != nullptr) {
     return Status::AlreadyExists("row store already registered: " +
@@ -49,9 +68,26 @@ Status Catalog::AddRowStore(std::unique_ptr<RowStoreTable> table) {
   return Status::OK();
 }
 
+Status Catalog::RegisterSystemView(std::unique_ptr<SystemViewProvider> view) {
+  const std::string& name = view->name();
+  if (!IsSystemViewName(name)) {
+    return Status::InvalidArgument("system view names must start with sys.: " +
+                                   name);
+  }
+  Entry& entry = system_entries_[name];
+  if (entry.system_view != nullptr) {
+    return Status::AlreadyExists("system view already registered: " + name);
+  }
+  entry.system_view = view.get();
+  system_views_.push_back(std::move(view));
+  return Status::OK();
+}
+
 const Catalog::Entry* Catalog::Find(const std::string& name) const {
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : &it->second;
+  if (it != entries_.end()) return &it->second;
+  auto sys_it = system_entries_.find(name);
+  return sys_it == system_entries_.end() ? nullptr : &sys_it->second;
 }
 
 Result<const Catalog::Entry*> Catalog::FindOrError(

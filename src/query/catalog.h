@@ -12,35 +12,48 @@
 
 namespace vstore {
 
+class SystemViewProvider;
+
 // Name -> table mapping. A logical table may have a column store
 // representation, a row store representation, or both (benchmarks register
-// both to compare access paths; the planner picks by execution mode).
+// both to compare access paths; the planner picks by execution mode). The
+// "sys." prefix is a reserved namespace of virtual system views (DMVs):
+// every catalog carries the built-in set (sys.tables, sys.segments,
+// sys.query_stats, ...), resolved by Find like ordinary tables but
+// materialized on demand from live engine state.
 class Catalog {
  public:
-  Catalog() = default;
+  Catalog();
+  ~Catalog();
   VSTORE_DISALLOW_COPY_AND_ASSIGN(Catalog);
 
   struct Entry {
     ColumnStoreTable* column_store = nullptr;  // owned by the catalog
     RowStoreTable* row_store = nullptr;
+    const SystemViewProvider* system_view = nullptr;  // owned by the catalog
 
-    const Schema& schema() const {
-      return column_store != nullptr ? column_store->schema()
-                                     : row_store->schema();
-    }
+    const Schema& schema() const;
     bool has_column_store() const { return column_store != nullptr; }
     bool has_row_store() const { return row_store != nullptr; }
+    bool has_system_view() const { return system_view != nullptr; }
   };
 
   Status AddColumnStore(std::unique_ptr<ColumnStoreTable> table);
   Status AddRowStore(std::unique_ptr<RowStoreTable> table);
+  // Registers a virtual table under the reserved "sys." namespace.
+  Status RegisterSystemView(std::unique_ptr<SystemViewProvider> view);
 
-  // Returns nullptr when the table is unknown.
+  // Returns nullptr when the table is unknown. System views resolve here
+  // too, so plans reference them like any other table.
   const Entry* Find(const std::string& name) const;
   Result<const Entry*> FindOrError(const std::string& name) const;
 
   ColumnStoreTable* GetColumnStore(const std::string& name) const;
   RowStoreTable* GetRowStore(const std::string& name) const;
+
+  // User tables only (system views excluded) — what sys.tables et al.
+  // enumerate, so views never recurse into themselves.
+  const std::map<std::string, Entry>& entries() const { return entries_; }
 
   // Operator-facing engine health report: refreshes every column store's
   // storage gauges, renders a per-table breakdown (live/delta/deleted row
@@ -53,8 +66,12 @@ class Catalog {
 
  private:
   std::map<std::string, Entry> entries_;
+  // System views live in their own map so entries_ iteration (StatsReport,
+  // the sys.* materializers) sees user tables only.
+  std::map<std::string, Entry> system_entries_;
   std::vector<std::unique_ptr<ColumnStoreTable>> column_stores_;
   std::vector<std::unique_ptr<RowStoreTable>> row_stores_;
+  std::vector<std::unique_ptr<SystemViewProvider>> system_views_;
 };
 
 }  // namespace vstore

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "query/query_store.h"
 
 namespace vstore {
 
@@ -124,6 +125,17 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   // latency, rows out, and the per-operator roll-ups from the finished
   // profile tree (fragment subtrees are already merged node-wise by the
   // exchange, so CounterDeep sums each event exactly once).
+  const int64_t segments_scanned = result.profile.CounterDeep("groups_scanned");
+  const int64_t segments_eliminated =
+      result.profile.CounterDeep("groups_eliminated");
+  const int64_t bloom_rows_dropped =
+      result.profile.CounterDeep("bloom_rows_dropped");
+  const int64_t spill_partitions =
+      result.profile.CounterDeep("spill_partitions");
+  const int64_t build_rows_spilled =
+      result.profile.CounterDeep("build_rows_spilled");
+  const int64_t probe_rows_spilled =
+      result.profile.CounterDeep("probe_rows_spilled");
   QueryMetrics& m = GlobalQueryMetrics();
   m.latency_ns->Observe(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
@@ -132,19 +144,31 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   m.rows_scanned_total->Increment(result.profile.CounterDeep("rows_scanned"));
   m.delta_rows_scanned_total->Increment(
       result.profile.CounterDeep("delta_rows"));
-  m.segments_scanned_total->Increment(
-      result.profile.CounterDeep("groups_scanned"));
-  m.segments_eliminated_total->Increment(
-      result.profile.CounterDeep("groups_eliminated"));
-  m.bloom_rows_dropped_total->Increment(
-      result.profile.CounterDeep("bloom_rows_dropped"));
-  m.spill_partitions_total->Increment(
-      result.profile.CounterDeep("spill_partitions"));
-  m.build_rows_spilled_total->Increment(
-      result.profile.CounterDeep("build_rows_spilled"));
-  m.probe_rows_spilled_total->Increment(
-      result.profile.CounterDeep("probe_rows_spilled"));
+  m.segments_scanned_total->Increment(segments_scanned);
+  m.segments_eliminated_total->Increment(segments_eliminated);
+  m.bloom_rows_dropped_total->Increment(bloom_rows_dropped);
+  m.spill_partitions_total->Increment(spill_partitions);
+  m.build_rows_spilled_total->Increment(build_rows_spilled);
+  m.probe_rows_spilled_total->Increment(probe_rows_spilled);
   scope.Succeeded();
+
+  // Fold the execution into the Query Store, keyed by plan shape. Queries
+  // that read sys.* views are excluded: observing the store must not grow
+  // the store.
+  if (!PlanReferencesSystemView(*result.optimized_plan)) {
+    QueryStore::ExecutionCounters qc;
+    qc.rows_returned = result.rows_returned;
+    qc.segments_scanned = segments_scanned;
+    qc.segments_eliminated = segments_eliminated;
+    qc.bloom_rows_dropped = bloom_rows_dropped;
+    qc.spill_partitions = spill_partitions;
+    qc.rows_spilled = build_rows_spilled + probe_rows_spilled;
+    QueryStore::Global().Record(
+        *result.optimized_plan,
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count(),
+        qc);
+  }
   return result;
 }
 

@@ -587,11 +587,12 @@ void PlaceBloomFilters(const Catalog& catalog, const PlanPtr& node,
   double raw_rows = build_rows;
   if (base->kind == PlanKind::kScan) {
     const Catalog::Entry* entry = catalog.Find(base->table);
-    if (entry != nullptr) {
+    if (entry != nullptr && entry->has_column_store()) {
       raw_rows = std::max(
-          1.0, entry->has_column_store()
-                   ? static_cast<double>(entry->column_store->num_rows())
-                   : static_cast<double>(entry->row_store->num_rows()));
+          1.0, static_cast<double>(entry->column_store->num_rows()));
+    } else if (entry != nullptr && entry->has_row_store()) {
+      raw_rows =
+          std::max(1.0, static_cast<double>(entry->row_store->num_rows()));
     }
   }
   const double probe_rows = EstimateRows(catalog, node->children[0]);
@@ -611,11 +612,12 @@ double EstimateRows(const Catalog& catalog, const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kScan: {
       const Catalog::Entry* entry = catalog.Find(plan->table);
+      // System views have no backing store; keep the default guess.
       double rows = 1000.0;
-      if (entry != nullptr) {
-        rows = entry->has_column_store()
-                   ? static_cast<double>(entry->column_store->num_rows())
-                   : static_cast<double>(entry->row_store->num_rows());
+      if (entry != nullptr && entry->has_column_store()) {
+        rows = static_cast<double>(entry->column_store->num_rows());
+      } else if (entry != nullptr && entry->has_row_store()) {
+        rows = static_cast<double>(entry->row_store->num_rows());
       }
       // Each pushed predicate is assumed ~25% selective (equality tighter).
       for (const NamedScanPredicate& p : plan->pushed_predicates) {
@@ -645,11 +647,12 @@ double EstimateRows(const Catalog& catalog, const PlanPtr& plan) {
       while (!base->children.empty()) base = base->children[0];
       if (base->kind == PlanKind::kScan) {
         const Catalog::Entry* entry = catalog.Find(base->table);
-        if (entry != nullptr) {
+        if (entry != nullptr && entry->has_column_store()) {
           raw_build = std::max(
-              1.0, entry->has_column_store()
-                       ? static_cast<double>(entry->column_store->num_rows())
-                       : static_cast<double>(entry->row_store->num_rows()));
+              1.0, static_cast<double>(entry->column_store->num_rows()));
+        } else if (entry != nullptr && entry->has_row_store()) {
+          raw_build =
+              std::max(1.0, static_cast<double>(entry->row_store->num_rows()));
         }
       }
       double selectivity = std::min(1.0, build / raw_build);

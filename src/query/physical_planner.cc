@@ -7,12 +7,14 @@
 #include "exec/exchange.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
+#include "exec/mem_scan.h"
 #include "exec/parallel_hash_join.h"
 #include "exec/row/row_operator.h"
 #include "exec/scalar_aggregate.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "exec/union_all.h"
+#include "query/system_views.h"
 
 namespace vstore {
 
@@ -211,6 +213,31 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
     const PlanPtr& plan, std::vector<PendingBloom> blooms) {
   const Catalog::Entry* entry = catalog_.Find(plan->table);
   if (entry == nullptr) return Status::NotFound("unknown table " + plan->table);
+
+  if (entry->has_system_view()) {
+    // Virtual table: materialize the view now (it pins its own storage
+    // snapshots) and scan the result in memory. Pushed predicates become
+    // batch filters; pending blooms cannot be pushed into a materialized
+    // scan — drop them, the join still filters exactly.
+    VSTORE_ASSIGN_OR_RETURN(TableData materialized,
+                            entry->system_view->Materialize(catalog_));
+    auto data = std::make_shared<const TableData>(std::move(materialized));
+    BatchOperatorPtr batch = std::make_unique<MemTableScanOperator>(
+        std::move(data), plan->table, ctx_);
+    for (const NamedScanPredicate& pred : plan->pushed_predicates) {
+      batch = std::make_unique<FilterOperator>(
+          std::move(batch), PredicateToExpr(entry->schema(), pred), ctx_);
+    }
+    if (!plan->scan_columns.empty()) {
+      std::vector<ExprPtr> exprs;
+      for (const std::string& name : plan->scan_columns) {
+        exprs.push_back(expr::Column(entry->schema(), name));
+      }
+      batch = std::make_unique<ProjectOperator>(
+          std::move(batch), std::move(exprs), plan->scan_columns, ctx_);
+    }
+    return batch;
+  }
 
   if (!entry->has_column_store()) {
     // Batch plan over a row store: adapt a row scan, predicates become a
@@ -657,7 +684,13 @@ Result<RowOperatorPtr> Lowering::BuildRow(const PlanPtr& plan) {
         return Status::NotFound("unknown table " + plan->table);
       }
       RowOperatorPtr scan;
-      if (entry->has_row_store()) {
+      if (entry->has_system_view()) {
+        VSTORE_ASSIGN_OR_RETURN(TableData materialized,
+                                entry->system_view->Materialize(catalog_));
+        scan = std::make_unique<MemTableRowScanOperator>(
+            std::make_shared<const TableData>(std::move(materialized)),
+            plan->table);
+      } else if (entry->has_row_store()) {
         scan = std::make_unique<RowStoreScanOperator>(entry->row_store);
       } else {
         scan =
@@ -759,7 +792,9 @@ Result<RowOperatorPtr> Lowering::BuildRow(const PlanPtr& plan) {
 bool AllScansHaveColumnStores(const Catalog& catalog, const PlanPtr& plan) {
   if (plan->kind == PlanKind::kScan) {
     const Catalog::Entry* entry = catalog.Find(plan->table);
-    return entry != nullptr && entry->has_column_store();
+    // System views are batch-capable: their materialized scan is columnar.
+    return entry != nullptr &&
+           (entry->has_column_store() || entry->has_system_view());
   }
   for (const PlanPtr& child : plan->children) {
     if (!AllScansHaveColumnStores(catalog, child)) return false;

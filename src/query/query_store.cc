@@ -1,0 +1,333 @@
+#include "query/query_store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/json_util.h"
+#include "query/system_views.h"
+
+namespace vstore {
+
+namespace {
+
+uint64_t HashTag(uint64_t h, uint64_t tag) {
+  return HashCombine(h, HashInt64(tag));
+}
+
+uint64_t HashStr(uint64_t h, const std::string& s) {
+  return HashCombine(h, Hash64(s));
+}
+
+// Structural hash of an expression: node kinds, operators, and column
+// names contribute; literal payloads (LiteralExpr values, IN lists, LIKE
+// prefixes) do not — two filters differing only in constants hash equal.
+uint64_t HashExprShape(const Expr& e) {
+  uint64_t h = HashInt64(static_cast<uint64_t>(e.kind()) + 0x9100);
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      return HashStr(h, static_cast<const ColumnRefExpr&>(e).name());
+    case ExprKind::kLiteral:
+      return h;  // value deliberately excluded
+    case ExprKind::kCompare: {
+      const auto& c = static_cast<const CompareExpr&>(e);
+      h = HashTag(h, static_cast<uint64_t>(c.op()));
+      h = HashCombine(h, HashExprShape(*c.left()));
+      return HashCombine(h, HashExprShape(*c.right()));
+    }
+    case ExprKind::kArith: {
+      const auto& a = static_cast<const ArithExpr&>(e);
+      h = HashTag(h, static_cast<uint64_t>(a.op()));
+      h = HashCombine(h, HashExprShape(*a.left()));
+      return HashCombine(h, HashExprShape(*a.right()));
+    }
+    case ExprKind::kBool: {
+      const auto& b = static_cast<const BoolExpr&>(e);
+      h = HashTag(h, static_cast<uint64_t>(b.op()));
+      h = HashCombine(h, HashExprShape(*b.left()));
+      return HashCombine(h, HashExprShape(*b.right()));
+    }
+    case ExprKind::kNot:
+      return HashCombine(h,
+                         HashExprShape(*static_cast<const NotExpr&>(e).input()));
+    case ExprKind::kIsNull:
+      return HashCombine(
+          h, HashExprShape(*static_cast<const IsNullExpr&>(e).input()));
+    case ExprKind::kYear:
+      return HashCombine(
+          h, HashExprShape(*static_cast<const YearExpr&>(e).input()));
+    case ExprKind::kStartsWith:
+      // Prefix is a literal; only the shape (column LIKE '...%') counts.
+      return HashCombine(
+          h, HashExprShape(*static_cast<const StartsWithExpr&>(e).input()));
+    case ExprKind::kIn:
+      // IN-list values are literals; list length excluded too, so IN (1,2)
+      // and IN (1,2,3) share a fingerprint like other literal variation.
+      return HashCombine(h,
+                         HashExprShape(*static_cast<const InExpr&>(e).input()));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const LogicalPlan& plan) {
+  uint64_t h = HashInt64(static_cast<uint64_t>(plan.kind) + 0x7600);
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      h = HashStr(h, plan.table);
+      for (const NamedScanPredicate& p : plan.pushed_predicates) {
+        h = HashStr(h, p.column);
+        h = HashTag(h, static_cast<uint64_t>(p.op));
+        // p.value deliberately excluded.
+      }
+      for (const std::string& c : plan.scan_columns) h = HashStr(h, c);
+      break;
+    case PlanKind::kFilter:
+      if (plan.predicate != nullptr) {
+        h = HashCombine(h, HashExprShape(*plan.predicate));
+      }
+      break;
+    case PlanKind::kProject:
+      for (const ExprPtr& e : plan.exprs) {
+        h = HashCombine(h, HashExprShape(*e));
+      }
+      for (const std::string& n : plan.names) h = HashStr(h, n);
+      break;
+    case PlanKind::kJoin:
+      h = HashTag(h, static_cast<uint64_t>(plan.join_type));
+      for (const std::string& k : plan.left_keys) h = HashStr(h, k);
+      for (const std::string& k : plan.right_keys) h = HashStr(h, k);
+      // use_bloom is an optimizer artifact, not query shape.
+      break;
+    case PlanKind::kAggregate:
+      for (const std::string& g : plan.group_by) h = HashStr(h, g);
+      for (const NamedAggSpec& a : plan.aggregates) {
+        h = HashTag(h, static_cast<uint64_t>(a.fn));
+        h = HashStr(h, a.column);
+        h = HashStr(h, a.name);
+      }
+      break;
+    case PlanKind::kSort:
+      for (const SortSpec& s : plan.sort_keys) {
+        h = HashStr(h, s.column);
+        h = HashTag(h, s.ascending ? 1 : 0);
+      }
+      break;
+    case PlanKind::kLimit:
+      // The limit count is a literal; the node kind alone contributes.
+      break;
+    case PlanKind::kUnionAll:
+      break;
+  }
+  for (const PlanPtr& child : plan.children) {
+    h = HashCombine(h, PlanFingerprint(*child));
+  }
+  return h;
+}
+
+std::string PlanShapeSummary(const LogicalPlan& plan) {
+  const char* label = "?";
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return "Scan(" + plan.table + ")";
+    case PlanKind::kFilter:
+      label = "Filter";
+      break;
+    case PlanKind::kProject:
+      label = "Project";
+      break;
+    case PlanKind::kJoin:
+      label = "Join";
+      break;
+    case PlanKind::kAggregate:
+      label = "Aggregate";
+      break;
+    case PlanKind::kSort:
+      label = "Sort";
+      break;
+    case PlanKind::kLimit:
+      label = "Limit";
+      break;
+    case PlanKind::kUnionAll:
+      label = "UnionAll";
+      break;
+  }
+  std::string out = label;
+  out += "(";
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += PlanShapeSummary(*plan.children[i]);
+  }
+  out += ")";
+  return out;
+}
+
+bool PlanReferencesSystemView(const LogicalPlan& plan) {
+  if (plan.kind == PlanKind::kScan && IsSystemViewName(plan.table)) {
+    return true;
+  }
+  for (const PlanPtr& child : plan.children) {
+    if (PlanReferencesSystemView(*child)) return true;
+  }
+  return false;
+}
+
+QueryStore::QueryStore(int64_t ring_capacity, int64_t max_fingerprints)
+    : ring_capacity_(std::max<int64_t>(ring_capacity, 1)),
+      max_fingerprints_(std::max<int64_t>(max_fingerprints, 1)) {}
+
+QueryStore& QueryStore::Global() {
+  static QueryStore* store = new QueryStore();
+  return *store;
+}
+
+void QueryStore::Record(const LogicalPlan& plan, int64_t elapsed_us,
+                        const ExecutionCounters& counters) {
+  const uint64_t fingerprint = PlanFingerprint(plan);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    if (static_cast<int64_t>(entries_.size()) >= max_fingerprints_) {
+      ++dropped_fingerprints_;
+      return;
+    }
+    Entry entry;
+    entry.plan_summary = PlanShapeSummary(plan);
+    entry.latency_us = std::make_unique<Histogram>();
+    it = entries_.emplace(fingerprint, std::move(entry)).first;
+  }
+  Entry& e = it->second;
+  if (e.executions == 0) {
+    e.min_us = elapsed_us;
+    e.max_us = elapsed_us;
+  } else {
+    e.min_us = std::min(e.min_us, elapsed_us);
+    e.max_us = std::max(e.max_us, elapsed_us);
+  }
+  ++e.executions;
+  e.total_us += elapsed_us;
+  e.last_us = elapsed_us;
+  e.latency_us->Observe(elapsed_us);
+  e.counters.rows_returned += counters.rows_returned;
+  e.counters.segments_scanned += counters.segments_scanned;
+  e.counters.segments_eliminated += counters.segments_eliminated;
+  e.counters.bloom_rows_dropped += counters.bloom_rows_dropped;
+  e.counters.spill_partitions += counters.spill_partitions;
+  e.counters.rows_spilled += counters.rows_spilled;
+
+  ring_.push_back(Execution{fingerprint, elapsed_us, counters.rows_returned});
+  if (static_cast<int64_t>(ring_.size()) > ring_capacity_) ring_.pop_front();
+}
+
+std::vector<QueryStore::FingerprintStats> QueryStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FingerprintStats> out;
+  out.reserve(entries_.size());
+  for (const auto& [fingerprint, e] : entries_) {
+    FingerprintStats fs;
+    fs.fingerprint = fingerprint;
+    fs.plan_summary = e.plan_summary;
+    fs.executions = e.executions;
+    fs.total_us = e.total_us;
+    fs.min_us = e.min_us;
+    fs.max_us = e.max_us;
+    fs.last_us = e.last_us;
+    fs.p50_us = e.latency_us->ApproxQuantile(0.50);
+    fs.p95_us = e.latency_us->ApproxQuantile(0.95);
+    fs.p99_us = e.latency_us->ApproxQuantile(0.99);
+    fs.counters = e.counters;
+    out.push_back(std::move(fs));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FingerprintStats& a, const FingerprintStats& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.fingerprint < b.fingerprint;  // deterministic ties
+            });
+  return out;
+}
+
+std::vector<QueryStore::Execution> QueryStore::RecentExecutions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Execution>(ring_.begin(), ring_.end());
+}
+
+int64_t QueryStore::dropped_fingerprints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_fingerprints_;
+}
+
+std::string QueryStore::TopQueriesReport(int64_t top_n) const {
+  std::vector<FingerprintStats> stats = Snapshot();
+  int64_t total_execs = 0;
+  for (const FingerprintStats& fs : stats) total_execs += fs.executions;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "== query store (%lld fingerprints, %lld executions) ==\n",
+                static_cast<long long>(stats.size()),
+                static_cast<long long>(total_execs));
+  std::string out = buf;
+  int64_t shown = 0;
+  for (const FingerprintStats& fs : stats) {
+    if (shown++ >= top_n) break;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%016llx execs=%-5lld total_us=%-10lld p50=%-8lld p95=%-8lld "
+        "p99=%-8lld rows=%-10lld %s\n",
+        static_cast<unsigned long long>(fs.fingerprint),
+        static_cast<long long>(fs.executions),
+        static_cast<long long>(fs.total_us),
+        static_cast<long long>(fs.p50_us), static_cast<long long>(fs.p95_us),
+        static_cast<long long>(fs.p99_us),
+        static_cast<long long>(fs.counters.rows_returned),
+        fs.plan_summary.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryStore::TopFingerprintsJson(int64_t top_n) const {
+  std::vector<FingerprintStats> stats = Snapshot();
+  std::string out = "[";
+  int64_t shown = 0;
+  for (const FingerprintStats& fs : stats) {
+    if (shown >= top_n) break;
+    if (shown++ > 0) out += ",";
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(fs.fingerprint));
+    out += "{\"fingerprint\":\"";
+    out += fp;
+    out += "\",\"plan\":";
+    AppendJsonString(fs.plan_summary, &out);
+    auto field = [&out](const char* key, int64_t v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", key,
+                    static_cast<long long>(v));
+      out += buf;
+    };
+    field("executions", fs.executions);
+    field("total_us", fs.total_us);
+    field("min_us", fs.min_us);
+    field("max_us", fs.max_us);
+    field("p50_us", fs.p50_us);
+    field("p95_us", fs.p95_us);
+    field("p99_us", fs.p99_us);
+    field("rows_returned", fs.counters.rows_returned);
+    field("segments_scanned", fs.counters.segments_scanned);
+    field("segments_eliminated", fs.counters.segments_eliminated);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+void QueryStore::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  entries_.clear();
+  dropped_fingerprints_ = 0;
+}
+
+}  // namespace vstore

@@ -1,0 +1,132 @@
+#ifndef VSTORE_QUERY_QUERY_STORE_H_
+#define VSTORE_QUERY_QUERY_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "query/logical_plan.h"
+
+namespace vstore {
+
+// Plan-shape fingerprinting and per-shape execution statistics — the
+// engine's Query Store. QueryExecutor::Execute hashes the optimized
+// logical plan's *shape* (operator kinds, tables, key/column names,
+// aggregate functions; literals excluded), so "the same query with
+// different constants" folds into one fingerprint. Per-fingerprint
+// aggregates (executions, latency extrema, a log2 latency histogram for
+// approximate quantiles, rows and per-operator counters) are queryable as
+// sys.query_stats and renderable with TopQueriesReport().
+
+// Canonical structural hash of a plan. Stable across runs (built on
+// Hash64/HashInt64, which are deterministic) and invariant to literal
+// values: predicate constants, IN lists, LIKE prefixes, and LIMIT counts
+// do not contribute.
+uint64_t PlanFingerprint(const LogicalPlan& plan);
+
+// Compact one-line rendering of the plan shape, e.g.
+// "Aggregate(Filter(Scan(lineitem)))" — the human-readable companion of
+// the fingerprint.
+std::string PlanShapeSummary(const LogicalPlan& plan);
+
+// True when any scan in the tree targets a sys.* view. Such queries are
+// excluded from Query Store recording: observing the store must not grow
+// the store.
+bool PlanReferencesSystemView(const LogicalPlan& plan);
+
+class QueryStore {
+ public:
+  // One recorded execution (the bounded ring's element).
+  struct Execution {
+    uint64_t fingerprint = 0;
+    int64_t elapsed_us = 0;
+    int64_t rows_returned = 0;
+  };
+
+  // Per-execution operator counters folded into the fingerprint entry.
+  struct ExecutionCounters {
+    int64_t rows_returned = 0;
+    int64_t segments_scanned = 0;
+    int64_t segments_eliminated = 0;
+    int64_t bloom_rows_dropped = 0;
+    int64_t spill_partitions = 0;
+    int64_t rows_spilled = 0;  // build + probe rows spilled
+  };
+
+  // Snapshot of one fingerprint's aggregates. Quantiles come from
+  // Histogram::ApproxQuantile over the entry's latency histogram.
+  struct FingerprintStats {
+    uint64_t fingerprint = 0;
+    std::string plan_summary;
+    int64_t executions = 0;
+    int64_t total_us = 0;
+    int64_t min_us = 0;
+    int64_t max_us = 0;
+    int64_t last_us = 0;
+    int64_t p50_us = 0;
+    int64_t p95_us = 0;
+    int64_t p99_us = 0;
+    ExecutionCounters counters;
+  };
+
+  explicit QueryStore(int64_t ring_capacity = 4096,
+                      int64_t max_fingerprints = 1024);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(QueryStore);
+
+  // The process-global store every QueryExecutor records into.
+  static QueryStore& Global();
+
+  // Fingerprints `plan` and folds one execution in. New fingerprints past
+  // the cap are dropped (counted, never resized — the store must stay
+  // bounded under plan-shape churn).
+  void Record(const LogicalPlan& plan, int64_t elapsed_us,
+              const ExecutionCounters& counters);
+
+  // All fingerprint aggregates, sorted by total latency descending.
+  std::vector<FingerprintStats> Snapshot() const;
+
+  // The most recent executions, oldest first (bounded by ring capacity).
+  std::vector<Execution> RecentExecutions() const;
+
+  // Fingerprints discarded because the store was full.
+  int64_t dropped_fingerprints() const;
+
+  // Human-readable top-N by total latency.
+  std::string TopQueriesReport(int64_t top_n = 10) const;
+
+  // JSON array of the top-N fingerprints by total latency (bench export).
+  std::string TopFingerprintsJson(int64_t top_n = 5) const;
+
+  void ResetForTesting();
+
+ private:
+  struct Entry {
+    std::string plan_summary;
+    int64_t executions = 0;
+    int64_t total_us = 0;
+    int64_t min_us = 0;
+    int64_t max_us = 0;
+    int64_t last_us = 0;
+    ExecutionCounters counters;
+    // Latency distribution in microseconds; private (not in the registry —
+    // fingerprints are unbounded-cardinality labels).
+    std::unique_ptr<Histogram> latency_us;
+  };
+
+  mutable std::mutex mu_;
+  const int64_t ring_capacity_;
+  const int64_t max_fingerprints_;
+  std::deque<Execution> ring_;
+  std::map<uint64_t, Entry> entries_;
+  int64_t dropped_fingerprints_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_QUERY_STORE_H_

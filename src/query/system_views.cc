@@ -1,0 +1,404 @@
+#include "query/system_views.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "query/catalog.h"
+#include "query/query_store.h"
+#include "storage/column_store.h"
+
+namespace vstore {
+
+bool IsSystemViewName(const std::string& name) {
+  return name.rfind(kSystemViewPrefix, 0) == 0;
+}
+
+namespace {
+
+// Common plumbing: a view's name and schema are fixed; subclasses supply
+// Materialize only.
+class BuiltinView : public SystemViewProvider {
+ public:
+  BuiltinView(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+};
+
+Value I(int64_t v) { return Value::Int64(v); }
+Value S(std::string v) { return Value::String(std::move(v)); }
+Value NullI() { return Value::Null(DataType::kInt64); }
+Value NullS() { return Value::Null(DataType::kString); }
+
+std::string FormatDouble(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+// Renders a segment's min or max as a display string, honoring the
+// column's logical type (dates print as ISO, doubles as %g).
+Value RenderSegmentBound(DataType type, const SegmentStats& stats,
+                         bool want_min) {
+  if (!stats.has_values) return NullS();
+  switch (PhysicalTypeOf(type)) {
+    case PhysicalType::kInt64: {
+      int64_t v = want_min ? stats.min_i64 : stats.max_i64;
+      if (type == DataType::kDate32) {
+        return S(Date32ToString(static_cast<int32_t>(v)));
+      }
+      return S(std::to_string(v));
+    }
+    case PhysicalType::kDouble:
+      return S(FormatDouble(want_min ? stats.min_d : stats.max_d));
+    case PhysicalType::kString:
+      return S(want_min ? stats.min_s : stats.max_s);
+  }
+  return NullS();
+}
+
+const char* EncodingName(EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::kBitPack:
+      return "BITPACK";
+    case EncodingKind::kRle:
+      return "RLE";
+  }
+  return "UNKNOWN";
+}
+
+const char* CodeKindName(CodeKind kind) {
+  switch (kind) {
+    case CodeKind::kValueOffset:
+      return "VALUE_OFFSET";
+    case CodeKind::kValueScaled:
+      return "VALUE_SCALED";
+    case CodeKind::kRawDouble:
+      return "RAW_DOUBLE";
+    case CodeKind::kDictionary:
+      return "DICTIONARY";
+  }
+  return "UNKNOWN";
+}
+
+// --- sys.tables ----------------------------------------------------------
+
+class TablesView final : public BuiltinView {
+ public:
+  TablesView()
+      : BuiltinView("sys.tables",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"storage", DataType::kString, false},
+                            {"num_columns", DataType::kInt64, false},
+                            {"rows", DataType::kInt64, false},
+                            {"delta_rows", DataType::kInt64, true},
+                            {"deleted_rows", DataType::kInt64, true},
+                            {"row_groups", DataType::kInt64, true},
+                            {"delta_stores", DataType::kInt64, true},
+                            {"segment_bytes", DataType::kInt64, true},
+                            {"dictionary_bytes", DataType::kInt64, true},
+                            {"delta_store_bytes", DataType::kInt64, true},
+                            {"delete_bitmap_bytes", DataType::kInt64, true},
+                            {"total_bytes", DataType::kInt64, true}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const auto& [name, entry] : catalog.entries()) {
+      std::string storage;
+      if (entry.has_column_store()) storage = "column_store";
+      if (entry.has_row_store()) {
+        storage += storage.empty() ? "row_store" : "+row_store";
+      }
+      if (entry.has_column_store()) {
+        const ColumnStoreTable* cs = entry.column_store;
+        TableSnapshot snap = cs->Snapshot();
+        ColumnStoreTable::SizeBreakdown sizes = cs->Sizes();
+        data.AppendRow({S(name), S(storage), I(cs->schema().num_columns()),
+                        I(snap->num_rows()), I(snap->num_delta_rows()),
+                        I(snap->num_deleted_rows()), I(snap->num_row_groups()),
+                        I(snap->num_delta_stores()), I(sizes.segment_bytes),
+                        I(sizes.dictionary_bytes), I(sizes.delta_store_bytes),
+                        I(sizes.delete_bitmap_bytes), I(sizes.Total())});
+      } else {
+        data.AppendRow({S(name), S(storage),
+                        I(entry.row_store->schema().num_columns()),
+                        I(entry.row_store->num_rows()), NullI(), NullI(),
+                        NullI(), NullI(), NullI(), NullI(), NullI(), NullI(),
+                        NullI()});
+      }
+    }
+    return data;
+  }
+};
+
+// --- sys.row_groups ------------------------------------------------------
+
+class RowGroupsView final : public BuiltinView {
+ public:
+  RowGroupsView()
+      : BuiltinView("sys.row_groups",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"group_id", DataType::kInt64, false},
+                            {"generation", DataType::kInt64, false},
+                            {"state", DataType::kString, false},
+                            {"rows", DataType::kInt64, false},
+                            {"deleted_rows", DataType::kInt64, false},
+                            {"encoded_bytes", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const auto& [name, entry] : catalog.entries()) {
+      if (!entry.has_column_store()) continue;
+      TableSnapshot snap = entry.column_store->Snapshot();
+      for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+        const RowGroup& rg = snap->row_group(g);
+        bool archived =
+            rg.num_columns() > 0 && rg.column(0).is_archived();
+        data.AppendRow({S(name), I(rg.id()),
+                        I(static_cast<int64_t>(snap->generation(g))),
+                        S(archived ? "ARCHIVED" : "COMPRESSED"),
+                        I(rg.num_rows()),
+                        I(snap->delete_bitmap(g).deleted_count()),
+                        I(rg.EncodedBytes())});
+      }
+    }
+    return data;
+  }
+};
+
+// --- sys.segments --------------------------------------------------------
+
+class SegmentsView final : public BuiltinView {
+ public:
+  SegmentsView()
+      : BuiltinView("sys.segments",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"group_id", DataType::kInt64, false},
+                            {"column_id", DataType::kInt64, false},
+                            {"column_name", DataType::kString, false},
+                            {"data_type", DataType::kString, false},
+                            {"encoding", DataType::kString, false},
+                            {"code_kind", DataType::kString, false},
+                            {"bit_width", DataType::kInt64, false},
+                            {"rows", DataType::kInt64, false},
+                            {"null_count", DataType::kInt64, false},
+                            {"min_value", DataType::kString, true},
+                            {"max_value", DataType::kString, true},
+                            {"encoded_bytes", DataType::kInt64, false},
+                            {"archived", DataType::kBool, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const auto& [name, entry] : catalog.entries()) {
+      if (!entry.has_column_store()) continue;
+      const Schema& table_schema = entry.column_store->schema();
+      TableSnapshot snap = entry.column_store->Snapshot();
+      for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+        const RowGroup& rg = snap->row_group(g);
+        for (int c = 0; c < rg.num_columns(); ++c) {
+          const ColumnSegment& seg = rg.column(c);
+          const SegmentStats& stats = seg.stats();
+          data.AppendRow(
+              {S(name), I(rg.id()), I(c), S(table_schema.field(c).name),
+               S(DataTypeName(seg.type())), S(EncodingName(seg.encoding())),
+               S(CodeKindName(seg.code_kind())), I(seg.bit_width()),
+               I(stats.num_rows), I(stats.null_count),
+               RenderSegmentBound(seg.type(), stats, /*want_min=*/true),
+               RenderSegmentBound(seg.type(), stats, /*want_min=*/false),
+               I(seg.EncodedBytes()), Value::Bool(seg.is_archived())});
+        }
+      }
+    }
+    return data;
+  }
+};
+
+// --- sys.dictionaries ----------------------------------------------------
+
+class DictionariesView final : public BuiltinView {
+ public:
+  DictionariesView()
+      : BuiltinView("sys.dictionaries",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"column_id", DataType::kInt64, false},
+                            {"column_name", DataType::kString, false},
+                            {"scope", DataType::kString, false},
+                            {"group_id", DataType::kInt64, true},
+                            {"entries", DataType::kInt64, false},
+                            {"bytes", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const auto& [name, entry] : catalog.entries()) {
+      if (!entry.has_column_store()) continue;
+      const ColumnStoreTable* cs = entry.column_store;
+      const Schema& table_schema = cs->schema();
+      for (int c = 0; c < table_schema.num_columns(); ++c) {
+        std::shared_ptr<const StringDictionary> dict =
+            cs->primary_dictionary(c);
+        if (dict == nullptr) continue;
+        data.AppendRow({S(name), I(c), S(table_schema.field(c).name),
+                        S("PRIMARY"), NullI(), I(dict->size()),
+                        I(dict->MemoryBytes())});
+      }
+      TableSnapshot snap = cs->Snapshot();
+      for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+        const RowGroup& rg = snap->row_group(g);
+        for (int c = 0; c < rg.num_columns(); ++c) {
+          const StringDictionary* local = rg.column(c).local_dictionary();
+          if (local == nullptr) continue;
+          data.AppendRow({S(name), I(c), S(table_schema.field(c).name),
+                          S("LOCAL"), I(rg.id()), I(local->size()),
+                          I(local->MemoryBytes())});
+        }
+      }
+    }
+    return data;
+  }
+};
+
+// --- sys.delta_stores ----------------------------------------------------
+
+class DeltaStoresView final : public BuiltinView {
+ public:
+  DeltaStoresView()
+      : BuiltinView("sys.delta_stores",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"store_id", DataType::kInt64, false},
+                            {"state", DataType::kString, false},
+                            {"rows", DataType::kInt64, false},
+                            {"bytes", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const auto& [name, entry] : catalog.entries()) {
+      if (!entry.has_column_store()) continue;
+      TableSnapshot snap = entry.column_store->Snapshot();
+      for (int64_t i = 0; i < snap->num_delta_stores(); ++i) {
+        const DeltaStore& ds = snap->delta_store(i);
+        data.AppendRow({S(name), I(ds.id()), S(ds.closed() ? "CLOSED" : "OPEN"),
+                        I(ds.num_rows()), I(ds.MemoryBytes())});
+      }
+    }
+    return data;
+  }
+};
+
+// --- sys.metrics ---------------------------------------------------------
+
+class MetricsView final : public BuiltinView {
+ public:
+  MetricsView()
+      : BuiltinView("sys.metrics",
+                    Schema({{"name", DataType::kString, false},
+                            {"label_key", DataType::kString, true},
+                            {"label_value", DataType::kString, true},
+                            {"kind", DataType::kString, false},
+                            {"value", DataType::kInt64, false},
+                            {"sum", DataType::kInt64, true}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const MetricsRegistry::Sample& s :
+         MetricsRegistry::Global().Samples()) {
+      data.AppendRow({S(s.name),
+                      s.label_key.empty() ? NullS() : S(s.label_key),
+                      s.label_key.empty() ? NullS() : S(s.label_value),
+                      S(s.kind), I(s.value),
+                      s.has_sum ? I(s.sum) : NullI()});
+    }
+    return data;
+  }
+};
+
+// --- sys.traces ----------------------------------------------------------
+
+class TracesView final : public BuiltinView {
+ public:
+  TracesView()
+      : BuiltinView("sys.traces",
+                    Schema({{"name", DataType::kString, false},
+                            {"category", DataType::kString, false},
+                            {"start_us", DataType::kInt64, false},
+                            {"duration_us", DataType::kInt64, false},
+                            {"thread_id", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const TraceEvent& e : TraceRing::Global().Snapshot()) {
+      data.AppendRow({S(e.name), S(e.category), I(e.start_us),
+                      I(e.duration_us),
+                      I(static_cast<int64_t>(e.thread_id % 100000))});
+    }
+    return data;
+  }
+};
+
+// --- sys.query_stats -----------------------------------------------------
+
+class QueryStatsView final : public BuiltinView {
+ public:
+  QueryStatsView()
+      : BuiltinView("sys.query_stats",
+                    Schema({{"fingerprint", DataType::kString, false},
+                            {"plan_summary", DataType::kString, false},
+                            {"executions", DataType::kInt64, false},
+                            {"total_us", DataType::kInt64, false},
+                            {"min_us", DataType::kInt64, false},
+                            {"max_us", DataType::kInt64, false},
+                            {"last_us", DataType::kInt64, false},
+                            {"p50_us", DataType::kInt64, false},
+                            {"p95_us", DataType::kInt64, false},
+                            {"p99_us", DataType::kInt64, false},
+                            {"rows_returned", DataType::kInt64, false},
+                            {"segments_scanned", DataType::kInt64, false},
+                            {"segments_eliminated", DataType::kInt64, false},
+                            {"bloom_rows_dropped", DataType::kInt64, false},
+                            {"spill_partitions", DataType::kInt64, false},
+                            {"rows_spilled", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const QueryStore::FingerprintStats& fs :
+         QueryStore::Global().Snapshot()) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(fs.fingerprint));
+      data.AppendRow({S(fp), S(fs.plan_summary), I(fs.executions),
+                      I(fs.total_us), I(fs.min_us), I(fs.max_us),
+                      I(fs.last_us), I(fs.p50_us), I(fs.p95_us), I(fs.p99_us),
+                      I(fs.counters.rows_returned),
+                      I(fs.counters.segments_scanned),
+                      I(fs.counters.segments_eliminated),
+                      I(fs.counters.bloom_rows_dropped),
+                      I(fs.counters.spill_partitions),
+                      I(fs.counters.rows_spilled)});
+    }
+    return data;
+  }
+};
+
+}  // namespace
+
+void RegisterBuiltinSystemViews(Catalog* catalog) {
+  // Registration cannot fail for the built-in set (names are unique and
+  // prefixed); assert via VSTORE_CHECK-free OK drops.
+  (void)catalog->RegisterSystemView(std::make_unique<TablesView>());
+  (void)catalog->RegisterSystemView(std::make_unique<RowGroupsView>());
+  (void)catalog->RegisterSystemView(std::make_unique<SegmentsView>());
+  (void)catalog->RegisterSystemView(std::make_unique<DictionariesView>());
+  (void)catalog->RegisterSystemView(std::make_unique<DeltaStoresView>());
+  (void)catalog->RegisterSystemView(std::make_unique<MetricsView>());
+  (void)catalog->RegisterSystemView(std::make_unique<TracesView>());
+  (void)catalog->RegisterSystemView(std::make_unique<QueryStatsView>());
+}
+
+}  // namespace vstore

@@ -1,0 +1,53 @@
+#ifndef VSTORE_QUERY_SYSTEM_VIEWS_H_
+#define VSTORE_QUERY_SYSTEM_VIEWS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/table_data.h"
+
+namespace vstore {
+
+class Catalog;
+
+// Virtual system tables (DMVs), modeled on SQL Server's
+// sys.column_store_row_groups / _segments / _dictionaries family plus the
+// Query Store. A provider is registered in the catalog under the reserved
+// "sys." namespace and resolves through Catalog::Find like any base table;
+// the planner lowers a scan of one into an in-memory scan over a TableData
+// the provider materializes on demand from live engine state. Predicates,
+// projections, joins, and aggregates then run through the normal batch
+// pipeline unchanged — the engine is its own analytics workload.
+//
+// Materialization walks pinned table snapshots (ColumnStoreTable::Snapshot),
+// so a view never blocks writers or the tuple mover; it sees one consistent
+// version per table, materialized at scan-lowering time.
+
+inline constexpr char kSystemViewPrefix[] = "sys.";
+
+// True when `name` lies in the reserved system namespace.
+bool IsSystemViewName(const std::string& name);
+
+class SystemViewProvider {
+ public:
+  virtual ~SystemViewProvider() = default;
+
+  // Full name including the "sys." prefix, e.g. "sys.segments".
+  virtual const std::string& name() const = 0;
+  virtual const Schema& schema() const = 0;
+
+  // Builds the view's current contents. Must be safe to call concurrently
+  // with DML and background reorganization.
+  virtual Result<TableData> Materialize(const Catalog& catalog) const = 0;
+};
+
+// Registers the built-in views (sys.tables, sys.row_groups, sys.segments,
+// sys.dictionaries, sys.delta_stores, sys.metrics, sys.traces,
+// sys.query_stats). Called by the Catalog constructor.
+void RegisterBuiltinSystemViews(Catalog* catalog);
+
+}  // namespace vstore
+
+#endif  // VSTORE_QUERY_SYSTEM_VIEWS_H_

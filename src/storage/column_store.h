@@ -293,6 +293,14 @@ class ColumnStoreTable {
   int64_t num_delta_stores() const;
   const DeltaStore& delta_store(int64_t i) const;
 
+  // The shared primary dictionary for string column `col`, nullptr for
+  // non-string columns. The pointers are fixed at construction; concurrent
+  // reads of size()/MemoryBytes() while the tuple mover appends are safe
+  // (see StringDictionary's concurrency contract).
+  std::shared_ptr<const StringDictionary> primary_dictionary(int col) const {
+    return primary_dicts_[static_cast<size_t>(col)];
+  }
+
  private:
   // Builds rows [begin, end) of `data` as one compressed row group with the
   // given group id. Appends to the shared primary dictionaries; callers

@@ -94,6 +94,11 @@ class ColumnSegment {
   // Resolves a dictionary code to its string.
   std::string_view DictString(uint64_t code) const;
 
+  // The per-segment local dictionary, or nullptr when every code resolves
+  // through the shared primary dictionary. Introspection only
+  // (sys.dictionaries); never mutated after the segment is built.
+  const StringDictionary* local_dictionary() const { return local_dict_.get(); }
+
   // --- Archival compression (paper §4.3) -------------------------------
   // Compresses the packed buffers with LZSS and drops the plain copies.
   Status Archive();

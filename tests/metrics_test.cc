@@ -196,6 +196,42 @@ TEST(MetricsTest, JsonExpositionIsValidAndEscaped) {
       << text;
 }
 
+TEST(MetricsTest, PromLabelEscapeOnlyEscapesPromSpecials) {
+  EXPECT_EQ(PromLabelEscape("plain"), "plain");
+  EXPECT_EQ(PromLabelEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromLabelEscape("a\nb"), "a\\nb");
+  // Prometheus text format escapes ONLY backslash, quote and newline —
+  // tabs, carriage returns and high bytes pass through untouched (unlike
+  // JsonEscape, which must not be used for label values).
+  EXPECT_EQ(PromLabelEscape("a\tb\r"), "a\tb\r");
+  EXPECT_EQ(PromLabelEscape(std::string(1, '\xe2')), "\xe2");
+}
+
+TEST(MetricsTest, TextExpositionSurvivesHostileTableName) {
+  // A table name with a quote, a backslash and a newline must render as
+  // one parseable line per metric — an unescaped newline would split the
+  // sample and corrupt the whole exposition.
+  const std::string evil = "evil\"t\nx\\y";
+  MetricsRegistry registry;
+  registry.GetCounter("rows_total", "table", evil)->Increment();
+  registry.GetHistogram("lat_ns", "table", evil)->Observe(5);
+
+  std::string text = registry.ToText();
+  EXPECT_NE(text.find("rows_total{table=\"evil\\\"t\\nx\\\\y\"} 1"),
+            std::string::npos)
+      << text;
+  // Histogram bucket/sum/count selectors escape the same way.
+  EXPECT_NE(text.find("lat_ns_bucket{table=\"evil\\\"t\\nx\\\\y\",le="),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_bucket{table=\"evil\\\"t\\nx\\\\y\",le=\"+Inf\"}"),
+            std::string::npos)
+      << text;
+  // No raw newline leaked out of the label value anywhere.
+  EXPECT_EQ(text.find("t\nx"), std::string::npos) << text;
+}
+
 TEST(MetricsTest, JsonEscapeHandlesControlAndNegativeChars) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
@@ -204,6 +240,58 @@ TEST(MetricsTest, JsonEscapeHandlesControlAndNegativeChars) {
   // A byte >= 0x80 (negative as signed char) passes through untouched —
   // no sign-extended ￿ffXX garbage.
   EXPECT_EQ(JsonEscape(std::string(1, '\xe2')), "\xe2");
+}
+
+// --- Quantiles -----------------------------------------------------------
+
+TEST(MetricsTest, ApproxQuantileTracksExactQuantiles) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  // The log-linear estimate is bounded by one bucket's width: the
+  // approximation must land in the same log2 bucket as the exact
+  // quantile (rank ceil(q*n) of the sorted values).
+  struct Case {
+    double q;
+    int64_t exact;
+  };
+  for (const Case& c :
+       {Case{0.25, 250}, Case{0.5, 500}, Case{0.75, 750}, Case{0.95, 950},
+        Case{0.99, 990}, Case{1.0, 1000}}) {
+    int64_t approx = h.ApproxQuantile(c.q);
+    EXPECT_EQ(Histogram::BucketFor(approx), Histogram::BucketFor(c.exact))
+        << "q=" << c.q << " exact=" << c.exact << " approx=" << approx;
+  }
+  // Uniform data matches the interpolation's uniformity assumption, so
+  // mid-distribution estimates are nearly exact.
+  EXPECT_NEAR(static_cast<double>(h.ApproxQuantile(0.5)), 500.0, 8.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.ApproxQuantile(0.5), h.ApproxQuantile(0.95));
+  EXPECT_LE(h.ApproxQuantile(0.95), h.ApproxQuantile(0.99));
+}
+
+TEST(MetricsTest, ApproxQuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.ApproxQuantile(0.5), 0);
+
+  Histogram zeros;
+  zeros.Observe(0);
+  zeros.Observe(-5);
+  EXPECT_EQ(zeros.ApproxQuantile(0.99), 0);  // bucket 0 holds values <= 0
+
+  // A single repeated value: every quantile stays inside its bucket.
+  Histogram repeated;
+  for (int i = 0; i < 100; ++i) repeated.Observe(300);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    int64_t v = repeated.ApproxQuantile(q);
+    EXPECT_GE(v, 256) << "q=" << q;
+    EXPECT_LE(v, 511) << "q=" << q;
+  }
+
+  // The overflow bucket has no upper bound; it reports its lower bound.
+  Histogram huge;
+  huge.Observe(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(huge.ApproxQuantile(0.5),
+            Histogram::BucketUpperBound(Histogram::kNumBuckets - 2) + 1);
 }
 
 // --- Concurrency ----------------------------------------------------------
@@ -292,6 +380,43 @@ TEST(MetricsTest, TraceRingConcurrentRecording) {
   EXPECT_GT(events.size(), 0u);
   EXPECT_LE(events.size(), 64u * TraceRing::kStripes);
   EXPECT_TRUE(IsBalancedJson(ring.ToChromeJson()));
+}
+
+TEST(MetricsTest, TraceRingCountsDroppedEvents) {
+  TraceRing ring(/*capacity_per_stripe=*/4);
+  EXPECT_EQ(ring.dropped_total(), 0);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.name = "span";
+    e.category = "test";
+    e.start_us = i;
+    ring.Record(std::move(e));
+  }
+  // One thread -> one stripe: 4 survive, 6 were overwritten. Without the
+  // drop count, a full ring is indistinguishable from an idle one.
+  EXPECT_EQ(ring.Snapshot().size(), 4u);
+  EXPECT_EQ(ring.dropped_total(), 6);
+  ring.Clear();
+  EXPECT_EQ(ring.dropped_total(), 0);
+}
+
+TEST(MetricsTest, GlobalTraceRingDropsFeedCounter) {
+  TraceRing::Global().Clear();
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "vstore_trace_ring_dropped_total");
+  const int64_t before = dropped->Value();
+  // The global ring holds 1024 events per stripe; 1030 single-threaded
+  // records overflow exactly one stripe by 6.
+  for (int i = 0; i < 1030; ++i) {
+    TraceEvent e;
+    e.name = "overflow";
+    e.category = "test";
+    e.start_us = i;
+    TraceRing::Global().Record(std::move(e));
+  }
+  EXPECT_EQ(TraceRing::Global().dropped_total(), 6);
+  EXPECT_EQ(dropped->Value() - before, 6);
+  TraceRing::Global().Clear();
 }
 
 // --- Storage wiring -------------------------------------------------------

@@ -1,0 +1,225 @@
+// Query Store: plan fingerprint stability (same shape, different literals
+// fold together; different shapes split), executor-side recording,
+// exclusion of sys.* queries, bounded ring/fingerprint capacity, and the
+// sys.query_stats view over the recorded aggregates.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "query/executor.h"
+#include "query/query_store.h"
+#include "storage/column_store.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+using testing_util::MakeTestTable;
+
+struct StoreFixture {
+  Catalog catalog;
+
+  explicit StoreFixture(int64_t rows = 2000) {
+    TableData data = MakeTestTable(rows);
+    ColumnStoreTable::Options options;
+    options.row_group_size = 500;
+    options.min_compress_rows = 10;
+    auto cs = std::make_unique<ColumnStoreTable>("t", data.schema(), options);
+    cs->BulkLoad(data).CheckOK();
+    cs->CompressDeltaStores(true).status().CheckOK();
+    catalog.AddColumnStore(std::move(cs)).CheckOK();
+  }
+
+  PlanPtr FilterPlan(int64_t literal) {
+    PlanBuilder b = PlanBuilder::Scan(catalog, "t");
+    b.Filter(expr::Lt(expr::Column(b.schema(), "id"),
+                      expr::Lit(Value::Int64(literal))));
+    b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+    return b.Build();
+  }
+
+  QueryResult Run(const PlanPtr& plan) {
+    QueryExecutor exec(&catalog);
+    return exec.Execute(plan).ValueOrDie();
+  }
+};
+
+TEST(QueryStoreTest, FingerprintIgnoresLiterals) {
+  StoreFixture f;
+  EXPECT_EQ(PlanFingerprint(*f.FilterPlan(100)),
+            PlanFingerprint(*f.FilterPlan(1999)));
+
+  // IN-list contents and LIMIT counts are literals too.
+  PlanBuilder a = PlanBuilder::Scan(f.catalog, "t");
+  a.Limit(10);
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+  b.Limit(9999);
+  EXPECT_EQ(PlanFingerprint(*a.Build()), PlanFingerprint(*b.Build()));
+}
+
+TEST(QueryStoreTest, FingerprintSeparatesShapes) {
+  StoreFixture f;
+  uint64_t base = PlanFingerprint(*f.FilterPlan(100));
+
+  // Different predicate column.
+  PlanBuilder other_col = PlanBuilder::Scan(f.catalog, "t");
+  other_col.Filter(expr::Lt(expr::Column(other_col.schema(), "bucket"),
+                            expr::Lit(Value::Int64(100))));
+  other_col.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  EXPECT_NE(base, PlanFingerprint(*other_col.Build()));
+
+  // Different comparison operator.
+  PlanBuilder other_op = PlanBuilder::Scan(f.catalog, "t");
+  other_op.Filter(expr::Ge(expr::Column(other_op.schema(), "id"),
+                           expr::Lit(Value::Int64(100))));
+  other_op.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  EXPECT_NE(base, PlanFingerprint(*other_op.Build()));
+
+  // Different aggregate function.
+  PlanBuilder other_agg = PlanBuilder::Scan(f.catalog, "t");
+  other_agg.Filter(expr::Lt(expr::Column(other_agg.schema(), "id"),
+                            expr::Lit(Value::Int64(100))));
+  other_agg.Aggregate({}, {{AggFn::kSum, "id", "cnt"}});
+  EXPECT_NE(base, PlanFingerprint(*other_agg.Build()));
+
+  // Different table is a different shape even with identical operators.
+  EXPECT_NE(PlanFingerprint(*PlanBuilder::Scan(f.catalog, "t").Build()),
+            PlanFingerprint(*PlanBuilder::Scan(f.catalog, "sys.tables")
+                                 .Build()));
+}
+
+TEST(QueryStoreTest, PlanShapeSummaryRendersTree) {
+  StoreFixture f;
+  EXPECT_EQ(PlanShapeSummary(*f.FilterPlan(100)),
+            "Aggregate(Filter(Scan(t)))");
+  EXPECT_EQ(PlanShapeSummary(*PlanBuilder::Scan(f.catalog, "t").Build()),
+            "Scan(t)");
+}
+
+TEST(QueryStoreTest, ExecutorFoldsSameShapeIntoOneFingerprint) {
+  StoreFixture f;
+  QueryStore::Global().ResetForTesting();
+
+  QueryResult r1 = f.Run(f.FilterPlan(500));
+  QueryResult r2 = f.Run(f.FilterPlan(1500));
+  EXPECT_EQ(r1.data.column(0).GetInt64(0), 500);
+  EXPECT_EQ(r2.data.column(0).GetInt64(0), 1500);
+
+  auto stats = QueryStore::Global().Snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].executions, 2);
+  EXPECT_EQ(stats[0].counters.rows_returned, 2);
+  EXPECT_EQ(stats[0].total_us, stats[0].min_us + stats[0].max_us);
+  EXPECT_GE(stats[0].max_us, stats[0].min_us);
+  EXPECT_GE(stats[0].p95_us, stats[0].p50_us);
+  EXPECT_GE(stats[0].p99_us, stats[0].p95_us);
+  // The optimizer pushes the filter into the scan; the recorded summary is
+  // the optimized shape.
+  EXPECT_EQ(stats[0].plan_summary, "Aggregate(Scan(t))");
+}
+
+TEST(QueryStoreTest, SystemViewQueriesAreNotRecorded) {
+  StoreFixture f;
+  QueryStore::Global().ResetForTesting();
+
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "sys.query_stats");
+  b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  QueryResult result = f.Run(b.Build());
+  ASSERT_EQ(result.rows_returned, 1);
+  EXPECT_TRUE(QueryStore::Global().Snapshot().empty())
+      << "querying the store must not grow the store";
+
+  // A join that touches a sys.* view on either side is excluded too.
+  PlanBuilder j = PlanBuilder::Scan(f.catalog, "t");
+  j.Join(JoinType::kInner,
+         PlanBuilder::Scan(f.catalog, "sys.tables").Build(), {"name"},
+         {"table_name"});
+  j.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+  (void)f.Run(j.Build());
+  EXPECT_TRUE(QueryStore::Global().Snapshot().empty());
+}
+
+TEST(QueryStoreTest, QueryStatsViewReflectsRecordedQueries) {
+  StoreFixture f;
+  QueryStore::Global().ResetForTesting();
+  (void)f.Run(f.FilterPlan(250));
+  (void)f.Run(f.FilterPlan(750));
+
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "sys.query_stats");
+  QueryResult result = f.Run(b.Build());
+  ASSERT_EQ(result.rows_returned, 1);
+  const Schema& schema = result.schema;
+  EXPECT_EQ(result.data.column(schema.IndexOf("executions")).GetInt64(0), 2);
+  EXPECT_EQ(result.data.column(schema.IndexOf("plan_summary")).GetString(0),
+            "Aggregate(Scan(t))");
+  EXPECT_EQ(result.data.column(schema.IndexOf("fingerprint"))
+                .GetString(0)
+                .size(),
+            16u);
+  EXPECT_GT(result.data.column(schema.IndexOf("segments_scanned")).GetInt64(0),
+            0);
+}
+
+TEST(QueryStoreTest, RingAndFingerprintCapacityAreBounded) {
+  StoreFixture f;
+  QueryStore store(/*ring_capacity=*/4, /*max_fingerprints=*/2);
+  QueryStore::ExecutionCounters counters;
+  counters.rows_returned = 1;
+
+  PlanPtr scan = PlanBuilder::Scan(f.catalog, "t").Build();
+  PlanPtr agg = f.FilterPlan(1);
+  PlanBuilder lim = PlanBuilder::Scan(f.catalog, "t");
+  lim.Limit(5);
+  PlanPtr limited = lim.Build();
+
+  for (int i = 0; i < 5; ++i) store.Record(*scan, 10 + i, counters);
+  store.Record(*agg, 100, counters);
+  store.Record(*limited, 100, counters);  // third shape: dropped
+
+  EXPECT_EQ(store.Snapshot().size(), 2u);
+  EXPECT_EQ(store.dropped_fingerprints(), 1);
+  auto recent = store.RecentExecutions();
+  EXPECT_EQ(recent.size(), 4u);  // ring holds only the newest four
+  EXPECT_EQ(recent.back().elapsed_us, 100);
+}
+
+TEST(QueryStoreTest, QuantilesTrackLatencyDistribution) {
+  StoreFixture f;
+  QueryStore store;
+  QueryStore::ExecutionCounters counters;
+  PlanPtr scan = PlanBuilder::Scan(f.catalog, "t").Build();
+  for (int i = 0; i < 100; ++i) store.Record(*scan, 1000, counters);
+
+  auto stats = store.Snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].min_us, 1000);
+  EXPECT_EQ(stats[0].max_us, 1000);
+  EXPECT_EQ(stats[0].total_us, 100000);
+  // All observations land in the log2 bucket [512, 1023]; every quantile
+  // must interpolate inside it.
+  for (int64_t q : {stats[0].p50_us, stats[0].p95_us, stats[0].p99_us}) {
+    EXPECT_GE(q, 512);
+    EXPECT_LE(q, 1023);
+  }
+}
+
+TEST(QueryStoreTest, ReportsRenderTopQueries) {
+  StoreFixture f;
+  QueryStore::Global().ResetForTesting();
+  (void)f.Run(f.FilterPlan(100));
+
+  std::string report = QueryStore::Global().TopQueriesReport();
+  EXPECT_NE(report.find("query store"), std::string::npos);
+  EXPECT_NE(report.find("Aggregate(Scan(t))"), std::string::npos);
+
+  std::string json = QueryStore::Global().TopFingerprintsJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(json.find("\"executions\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vstore

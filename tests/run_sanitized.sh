@@ -34,12 +34,13 @@ run_one() {
 
   if [ "$sanitize" = "thread" ]; then
     # TSan runs focus on the concurrency suite: the stress-labelled tests
-    # (exchange, parallel join, and the concurrent-table test that runs
-    # scans against live writers and the tuple mover) plus everything
-    # exercising the exchange and the relaxed-atomic metrics registry;
-    # add "$@" to widen.
+    # (exchange, parallel join, the concurrent-table test that runs scans
+    # against live writers and the tuple mover, and the system-views test
+    # that materializes DMVs under churn) plus everything exercising the
+    # exchange, the relaxed-atomic metrics registry, and the Query Store's
+    # shared fingerprint map; add "$@" to widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch|parallel|metrics' "$@"
+        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"

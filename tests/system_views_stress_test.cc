@@ -1,0 +1,183 @@
+// ThreadSanitizer-targeted stress test for system-view materialization:
+// reader threads query sys.row_groups and sys.query_stats while writer
+// threads churn the base table, a live TupleMover compacts and rebuilds
+// row groups, and a query thread pumps fresh executions into the Query
+// Store. Views materialize from pinned snapshots, so every query must
+// succeed and return internally consistent numbers no matter how the
+// storage or the store shifts underneath. Build with
+// -DVSTORE_SANITIZE=thread to let TSan watch the snapshot pins and the
+// Query Store's mutex; the ctest label "stress" lets CI schedule it
+// separately.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "query/executor.h"
+#include "query/query_store.h"
+#include "storage/column_store.h"
+#include "storage/tuple_mover.h"
+
+namespace vstore {
+namespace {
+
+constexpr int64_t kInitialRows = 4000;
+constexpr int64_t kRowGroupSize = 500;
+
+int RunsPerThread() {
+  const char* v = std::getenv("VSTORE_STRESS_REPEATS");
+  int n = v == nullptr ? 25 : std::atoi(v);
+  return n > 0 ? n : 25;
+}
+
+struct StressFixture {
+  Catalog catalog;
+  ColumnStoreTable* table = nullptr;
+
+  StressFixture() {
+    Schema schema({{"id", DataType::kInt64, false},
+                   {"v", DataType::kInt64, false}});
+    TableData data(schema);
+    for (int64_t id = 0; id < kInitialRows; ++id) {
+      data.column(0).AppendInt64(id);
+      data.column(1).AppendInt64(id % 7);
+    }
+    ColumnStoreTable::Options options;
+    options.row_group_size = kRowGroupSize;
+    options.min_compress_rows = 50;
+    auto cs = std::make_unique<ColumnStoreTable>("t", schema, options);
+    cs->BulkLoad(data).CheckOK();
+    catalog.AddColumnStore(std::move(cs)).CheckOK();
+    table = catalog.GetColumnStore("t");
+  }
+};
+
+TEST(SystemViewsStressTest, ViewsStayConsistentUnderChurn) {
+  StressFixture f;
+  ColumnStoreTable* table = f.table;
+  QueryStore::Global().ResetForTesting();
+
+  std::atomic<bool> stop{false};
+
+  TupleMover::Options mover_options;
+  mover_options.rebuild_deleted_fraction = 0.2;
+  TupleMover mover(table, mover_options);
+  mover.Start(std::chrono::milliseconds(2));
+
+  const int runs = RunsPerThread();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+
+  // --- Base-table queries: keep the Query Store hot -------------------
+  auto query_pump = [&] {
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, "t");
+    b.Aggregate({}, {{AggFn::kSum, "v", "sum_v"},
+                     {AggFn::kCountStar, "", "cnt"}});
+    PlanPtr plan = b.Build();
+    while (!stop.load(std::memory_order_relaxed)) {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      QueryExecutor exec(&f.catalog, options);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      ASSERT_EQ(result.rows_returned, 1);
+    }
+  };
+
+  // --- DMV readers: storage introspection under live reorganization ----
+  auto row_groups_reader = [&](int which) {
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, "sys.row_groups");
+    b.Aggregate({}, {{AggFn::kCountStar, "", "groups"},
+                     {AggFn::kSum, "rows", "total_rows"},
+                     {AggFn::kSum, "deleted_rows", "deleted"}});
+    PlanPtr plan = b.Build();
+    for (int r = 0; r < runs || std::chrono::steady_clock::now() < deadline;
+         ++r) {
+      QueryOptions options;
+      options.mode = (r % 2 == 0) ? ExecutionMode::kBatch
+                                  : ExecutionMode::kRow;
+      QueryExecutor exec(&f.catalog, options);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      ASSERT_EQ(result.rows_returned, 1);
+      int64_t total_rows = result.data.column(1).GetInt64(0);
+      int64_t deleted = result.data.column(2).GetInt64(0);
+      // One pinned snapshot: deleted rows can never exceed stored rows,
+      // and compressed rows never exceed everything ever inserted.
+      ASSERT_GE(deleted, 0) << "reader " << which << " run " << r;
+      ASSERT_LE(deleted, total_rows) << "reader " << which << " run " << r;
+    }
+  };
+
+  auto query_stats_reader = [&](int which) {
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, "sys.query_stats");
+    b.Aggregate({}, {{AggFn::kCountStar, "", "fingerprints"},
+                     {AggFn::kSum, "executions", "execs"}});
+    PlanPtr plan = b.Build();
+    for (int r = 0; r < runs || std::chrono::steady_clock::now() < deadline;
+         ++r) {
+      QueryExecutor exec(&f.catalog);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      ASSERT_EQ(result.rows_returned, 1);
+      // The store snapshot is taken under its mutex: executions can only
+      // grow, and a fingerprint row always has at least one execution.
+      int64_t fingerprints = result.data.column(0).GetInt64(0);
+      int64_t execs = result.data.column(1).IsNull(0)
+                          ? 0
+                          : result.data.column(1).GetInt64(0);
+      ASSERT_GE(execs, fingerprints) << "reader " << which << " run " << r;
+    }
+  };
+
+  // --- Churner: inserts plus deletes of compressed rows -----------------
+  auto churner = [&] {
+    Random rng(303);
+    int64_t next_id = 1000000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      table->Insert({Value::Int64(next_id), Value::Int64(next_id % 7)})
+          .status()
+          .CheckOK();
+      ++next_id;
+      if (rng.Next() % 4 == 0) {
+        int64_t group = static_cast<int64_t>(rng.Next() % 8);
+        int64_t offset = static_cast<int64_t>(rng.Next() % kRowGroupSize);
+        RowId id =
+            MakeCompressedRowId(group, offset, table->generation(group));
+        Status st = table->Delete(id);
+        ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.emplace_back(row_groups_reader, 0);
+  readers.emplace_back(query_stats_reader, 1);
+  std::thread pump_thread(query_pump);
+  std::thread churn_thread(churner);
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  pump_thread.join();
+  churn_thread.join();
+  ASSERT_TRUE(mover.Stop().ok());
+
+  // Post-quiescence: sys.tables agrees exactly with the table.
+  PlanBuilder b = PlanBuilder::Scan(f.catalog, "sys.tables");
+  QueryExecutor exec(&f.catalog);
+  QueryResult result = exec.Execute(b.Build()).ValueOrDie();
+  ASSERT_EQ(result.rows_returned, 1);
+  const Schema& schema = result.schema;
+  EXPECT_EQ(result.data.column(schema.IndexOf("rows")).GetInt64(0),
+            table->num_rows());
+  // And the pump's query shape is in the store with a sane history.
+  auto stats = QueryStore::Global().Snapshot();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_GE(stats[0].executions, 1);
+  EXPECT_GE(stats[0].max_us, stats[0].min_us);
+}
+
+}  // namespace
+}  // namespace vstore
