@@ -5,12 +5,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_util.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "exec/expr_kernels.h"
+#include "exec/expr_program.h"
+#include "exec/expression.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
+#include "exec/hash_table.h"
 #include "exec/row/row_operator.h"
 #include "exec/scan.h"
 #include "query/catalog.h"
+#include "storage/bit_pack.h"
 
 namespace vstore {
 namespace {
@@ -191,7 +200,137 @@ void BM_RowHashJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_RowHashJoin);
 
+// --- Per-kernel PROFILE_JSON deltas ---------------------------------------
+// With VSTORE_BENCH_PROFILE=1 the bench emits one PROFILE_JSON line per
+// kernel pair: the pre-PR baseline (tree interpreter / scalar kernels /
+// per-row hashing) against the optimized path (bytecode VM / AVX2 kernels /
+// batch hashing) on identical inputs. Scrapers match the "PROFILE_JSON "
+// prefix; "speedup" > 1 means the optimized path won.
+
+void EmitKernelDelta(const std::string& name, double baseline_ms,
+                     double optimized_ms) {
+  std::printf(
+      "PROFILE_JSON {\"label\":\"kernel/%s\",\"baseline_ms\":%.4f,"
+      "\"optimized_ms\":%.4f,\"speedup\":%.2f}\n",
+      name.c_str(), baseline_ms, optimized_ms,
+      optimized_ms > 0 ? baseline_ms / optimized_ms : 0.0);
+}
+
+void EmitKernelProfiles() {
+  constexpr int64_t kN = kDefaultBatchSize;
+  constexpr int kReps = 2000;
+  Schema schema({{"k", DataType::kInt64, true},
+                 {"v", DataType::kInt64, true},
+                 {"d", DataType::kDouble, true}});
+  Batch batch(schema, kN);
+  Random rng(99);
+  for (int64_t i = 0; i < kN; ++i) {
+    batch.column(0).SetValue(i, Value::Int64(rng.Uniform(0, 1000)), nullptr);
+    batch.column(1).SetValue(i, Value::Int64(rng.Uniform(-500, 500)), nullptr);
+    batch.column(2).SetValue(
+        i, Value::Double(static_cast<double>(rng.Uniform(0, 9999)) / 100.0),
+        nullptr);
+  }
+  batch.set_num_rows(kN);
+  batch.ActivateAll();
+
+  // Kernel 1: predicate evaluation — bytecode VM vs tree interpreter. The
+  // shape repeats a subexpression so CSE has something to elide.
+  {
+    ExprPtr shared = expr::Add(expr::Column(schema, "k"),
+                               expr::Column(schema, "v"));
+    ExprPtr pred = expr::And(
+        expr::Gt(shared, expr::Lit(Value::Int64(100))),
+        expr::Lt(shared, expr::Lit(Value::Int64(900))));
+    auto program = ExprProgramCache::Global().GetOrCompile({pred});
+    VSTORE_CHECK(program != nullptr);
+    ExprFrame frame(program);
+    double interpreted = bench::TimeMs([&] {
+      ColumnVector out(DataType::kBool, kN);
+      for (int r = 0; r < kReps; ++r) {
+        pred->EvalBatch(batch, batch.arena(), &out).CheckOK();
+      }
+    });
+    double compiled = bench::TimeMs([&] {
+      for (int r = 0; r < kReps; ++r) frame.Run(batch).CheckOK();
+    });
+    EmitKernelDelta("filter_expr/compiled_vs_interpreted", interpreted,
+                    compiled);
+  }
+
+  // Kernel 2: int64 compare-against-constant — AVX2 vs forced scalar.
+  {
+    std::vector<uint8_t> verdict(kN);
+    auto run = [&] {
+      for (int r = 0; r < kReps * 4; ++r) {
+        kernels::CmpI64ConstMask(CompareOp::kLt, batch.column(0).ints(), 500,
+                                 kN, verdict.data());
+      }
+    };
+    simd::ForceLevelForTesting(simd::Level::kScalar);
+    double scalar = bench::TimeMs(run);
+    simd::ForceLevelForTesting(simd::Detected());
+    double vec = bench::TimeMs(run);
+    EmitKernelDelta("cmp_i64_const/simd_vs_scalar", scalar, vec);
+  }
+
+  // Kernel 3: join/agg key hashing — batch kernel vs per-row loop.
+  {
+    RowFormat fmt(schema);
+    std::vector<int> keys{0, 1};
+    std::vector<uint64_t> hashes(kN);
+    double per_row = bench::TimeMs([&] {
+      for (int r = 0; r < kReps; ++r) {
+        for (int64_t i = 0; i < kN; ++i) {
+          hashes[static_cast<size_t>(i)] =
+              fmt.HashKeysFromBatch(batch, i, keys);
+        }
+      }
+    });
+    double batched = bench::TimeMs([&] {
+      for (int r = 0; r < kReps; ++r) {
+        HashKeysBatch(batch, keys, batch.active(), hashes.data());
+      }
+    });
+    EmitKernelDelta("hash_keys/batch_vs_per_row", per_row, batched);
+  }
+
+  // Kernel 4: bit-unpack decode — AVX2 gather vs scalar streaming.
+  {
+    constexpr int kBw = 13;
+    std::vector<uint64_t> values(1 << 16);
+    for (auto& v : values) v = rng.Next() & ((uint64_t{1} << kBw) - 1);
+    auto packed =
+        BitPacker::Pack(values.data(), static_cast<int64_t>(values.size()),
+                        kBw);
+    std::vector<uint64_t> out(values.size());
+    auto run = [&] {
+      for (int r = 0; r < 50; ++r) {
+        BitPacker::Unpack(packed.data(), kBw, 0,
+                          static_cast<int64_t>(values.size()), out.data());
+      }
+    };
+    simd::ForceLevelForTesting(simd::Level::kScalar);
+    double scalar = bench::TimeMs(run);
+    simd::ForceLevelForTesting(simd::Detected());
+    double vec = bench::TimeMs(run);
+    EmitKernelDelta("bit_unpack/simd_vs_scalar", scalar, vec);
+  }
+
+  std::printf("PROFILE_JSON {\"label\":\"kernel/simd_level\",\"active\":\"%s\"}\n",
+              simd::LevelName(simd::Active()));
+}
+
 }  // namespace
 }  // namespace vstore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (vstore::bench::ProfileJsonEnabled()) {
+    vstore::EmitKernelProfiles();
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@ Status ExchangeOperator::OpenImpl() {
     auto fctx = std::make_unique<ExecContext>();
     fctx->batch_size = ctx_->batch_size;
     fctx->operator_memory_budget = ctx_->operator_memory_budget;
+    fctx->compile_expressions = ctx_->compile_expressions;
     fragment_ctxs_.push_back(std::move(fctx));
   }
   workers_.reserve(static_cast<size_t>(degree_));

@@ -3,24 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/int_arith.h"
 #include "common/macros.h"
 
 namespace vstore {
 
 namespace {
-
-// Extracts the civil year from a days-since-epoch value.
-int64_t YearFromDays(int64_t days) {
-  int64_t z = days + 719468;
-  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
-  const uint64_t doe = static_cast<uint64_t>(z - era * 146097);
-  const uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
-  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
-  const uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-  const uint64_t mp = (5 * doy + 2) / 153;
-  const uint64_t m = mp + (mp < 10 ? 3 : static_cast<uint64_t>(-9));
-  return y + (m <= 2);
-}
 
 // Evaluates a child into a freshly sized vector.
 Status EvalChild(const Expr& child, const Batch& in, Arena* arena,
@@ -240,29 +228,31 @@ Status ArithExpr::EvalBatch(const Batch& in, Arena* arena,
     const int64_t* a = lv->ints();
     const int64_t* b = rv->ints();
     int64_t* res = out->mutable_ints();
+    // Integer ops wrap on overflow (common/int_arith.h) — the engine-wide
+    // contract shared with the row engine and the bytecode/SIMD kernels.
     switch (op_) {
       case ArithOp::kAdd:
         for (int64_t i = 0; i < n; ++i) {
           valid[i] = va[i] & vb[i];
-          res[i] = a[i] + b[i];
+          res[i] = WrapAdd(a[i], b[i]);
         }
         break;
       case ArithOp::kSub:
         for (int64_t i = 0; i < n; ++i) {
           valid[i] = va[i] & vb[i];
-          res[i] = a[i] - b[i];
+          res[i] = WrapSub(a[i], b[i]);
         }
         break;
       case ArithOp::kMul:
         for (int64_t i = 0; i < n; ++i) {
           valid[i] = va[i] & vb[i];
-          res[i] = a[i] * b[i];
+          res[i] = WrapMul(a[i], b[i]);
         }
         break;
       case ArithOp::kDiv:
         for (int64_t i = 0; i < n; ++i) {
           valid[i] = va[i] & vb[i] & (b[i] != 0 ? 1 : 0);
-          res[i] = b[i] != 0 ? a[i] / b[i] : 0;
+          res[i] = b[i] != 0 ? WrapDiv(a[i], b[i]) : 0;
         }
         break;
     }
@@ -299,16 +289,17 @@ Status ArithExpr::EvalRow(const std::vector<Value>& row, Value* out) const {
     int64_t x = a.int64(), y = b.int64();
     switch (op_) {
       case ArithOp::kAdd:
-        *out = Value::Int64(x + y);
+        *out = Value::Int64(WrapAdd(x, y));
         break;
       case ArithOp::kSub:
-        *out = Value::Int64(x - y);
+        *out = Value::Int64(WrapSub(x, y));
         break;
       case ArithOp::kMul:
-        *out = Value::Int64(x * y);
+        *out = Value::Int64(WrapMul(x, y));
         break;
       case ArithOp::kDiv:
-        *out = y != 0 ? Value::Int64(x / y) : Value::Null(DataType::kInt64);
+        *out = y != 0 ? Value::Int64(WrapDiv(x, y))
+                      : Value::Null(DataType::kInt64);
         break;
     }
   }

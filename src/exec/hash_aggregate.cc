@@ -355,8 +355,8 @@ bool GroupKeysEqualBatch(const RowFormat& fmt, const uint8_t* row,
 }  // namespace
 
 Result<uint8_t*> HashAggregateOperator::GroupEntryFromBatch(const Batch& batch,
-                                                            int64_t i) {
-  uint64_t hash = key_format_->HashKeysFromBatch(batch, i, options_.group_by);
+                                                            int64_t i,
+                                                            uint64_t hash) {
   uint8_t* found = nullptr;
   table_->ForEachCandidate(hash, [&](const uint8_t* payload) {
     if (GroupKeysEqualBatch(*key_format_, payload, key_indices_, batch, i,
@@ -468,14 +468,18 @@ Status HashAggregateOperator::ConsumeInput() {
   VSTORE_RETURN_IF_ERROR(input_->Open());
   const int64_t budget = ctx_->operator_memory_budget;
   const bool partial_input = options_.phase == AggPhase::kFinal;
+  std::vector<uint64_t> hashes;
   for (;;) {
     VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
     if (batch == nullptr) break;
     const uint8_t* active = batch->active();
+    hashes.resize(static_cast<size_t>(batch->num_rows()));
+    HashKeysBatch(*batch, options_.group_by, active, hashes.data());
     for (int64_t i = 0; i < batch->num_rows(); ++i) {
       if (!active[i]) continue;
-      VSTORE_ASSIGN_OR_RETURN(uint8_t * payload,
-                              GroupEntryFromBatch(*batch, i));
+      VSTORE_ASSIGN_OR_RETURN(
+          uint8_t * payload,
+          GroupEntryFromBatch(*batch, i, hashes[static_cast<size_t>(i)]));
       uint8_t* entry = payload - SerializedRowHashTable::kHeaderSize;
       ++rows_aggregated_;
       if (partial_input) {

@@ -76,7 +76,10 @@ class HashAggregateOperator final : public BatchOperator {
   }
 
   Status ConsumeInput();
-  Result<uint8_t*> GroupEntryFromBatch(const Batch& batch, int64_t i);
+  // `hash` is the row's group-key hash, precomputed batch-at-a-time by
+  // ConsumeInput via HashKeysBatch.
+  Result<uint8_t*> GroupEntryFromBatch(const Batch& batch, int64_t i,
+                                       uint64_t hash);
   void InitState(uint8_t* state) const;
   // Folds one raw input row into the group state.
   void UpdateStateFromBatch(uint8_t* state, const Batch& batch, int64_t i);

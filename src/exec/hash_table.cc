@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "exec/expr_kernels.h"
+
 namespace vstore {
 
 RowFormat::RowFormat(const Schema& schema) {
@@ -242,6 +244,38 @@ uint64_t RowFormat::HashKeysFromBatch(const Batch& batch, int64_t i,
     h = HashCombine(h, HashBatchSlot(batch.column(k), i));
   }
   return h;
+}
+
+void HashKeysBatch(const Batch& batch, const std::vector<int>& keys,
+                   const uint8_t* active, uint64_t* out) {
+  const int64_t n = batch.num_rows();
+  kernels::FillU64(kKeyHashSeed, n, out);
+  for (int k : keys) {
+    const ColumnVector& cv = batch.column(k);
+    switch (cv.physical_type()) {
+      case PhysicalType::kInt64:
+        kernels::HashCombineColumn(
+            reinterpret_cast<const uint64_t*>(cv.ints()), cv.validity(),
+            kNullKeyHashTag, n, out);
+        break;
+      case PhysicalType::kDouble:
+        // Doubles hash their bit patterns, same as HashBatchSlot.
+        kernels::HashCombineColumn(
+            reinterpret_cast<const uint64_t*>(cv.doubles()), cv.validity(),
+            kNullKeyHashTag, n, out);
+        break;
+      case PhysicalType::kString: {
+        const std::string_view* sv = cv.strings();
+        const uint8_t* valid = cv.validity();
+        for (int64_t i = 0; i < n; ++i) {
+          if (active != nullptr && !active[i]) continue;
+          out[i] = HashCombine(out[i],
+                               valid[i] ? Hash64(sv[i]) : kNullKeyHashTag);
+        }
+        break;
+      }
+    }
+  }
 }
 
 bool RowFormat::KeysEqual(const uint8_t* a, const std::vector<int>& a_keys,

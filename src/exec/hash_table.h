@@ -89,6 +89,16 @@ class RowFormat {
   size_t row_size_ = 0;
 };
 
+// Batch-at-a-time variant of RowFormat::HashKeysFromBatch: hashes the key
+// columns of every row of `batch` into out[0, num_rows). Numeric columns
+// run through the SIMD hash kernels over all lanes (inactive lanes hold
+// initialized values); string columns are hashed only where `active` is
+// set, because string views in inactive lanes may dangle after a sparse
+// gather. out[i] therefore matches HashKeysFromBatch exactly for active
+// rows and is unspecified elsewhere. `active` may be null (= all rows).
+void HashKeysBatch(const Batch& batch, const std::vector<int>& keys,
+                   const uint8_t* active, uint64_t* out);
+
 // Key equality between rows serialized under two different formats (spill
 // drains compare a serialized probe row against serialized build rows).
 bool CrossFormatKeysEqual(const RowFormat& af, const uint8_t* a,

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace vstore {
 
@@ -13,6 +14,16 @@ inline int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Batches evaluated through the bytecode VM versus the tree interpreter
+// (the compiled-vs-interpreted dispatch split, exported via sys.metrics).
+Counter* ExprBatchCounter(bool compiled) {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "vstore_expr_batches_total", "engine", "compiled");
+  static Counter* i = MetricsRegistry::Global().GetCounter(
+      "vstore_expr_batches_total", "engine", "interpreted");
+  return compiled ? c : i;
 }
 
 }  // namespace
@@ -135,6 +146,15 @@ int64_t AppendActiveRows(const Batch& src, Batch* dst) {
   return copied;
 }
 
+FilterOperator::FilterOperator(BatchOperatorPtr input, ExprPtr predicate,
+                               ExecContext* ctx)
+    : input_(std::move(input)), predicate_(std::move(predicate)), ctx_(ctx) {
+  if (ctx_ == nullptr || ctx_->compile_expressions) {
+    program_ = ExprProgramCache::Global().GetOrCompile({predicate_});
+    if (program_ != nullptr) frame_ = std::make_unique<ExprFrame>(program_);
+  }
+}
+
 Result<Batch*> FilterOperator::NextImpl() {
   for (;;) {
     VSTORE_ASSIGN_OR_RETURN(Batch * batch, input_->Next());
@@ -142,18 +162,26 @@ Result<Batch*> FilterOperator::NextImpl() {
     if (batch->active_count() == 0) continue;
     rows_in_ += batch->active_count();
 
-    ColumnVector result(DataType::kBool, batch->num_rows());
-    VSTORE_RETURN_IF_ERROR(
-        predicate_->EvalBatch(*batch, batch->arena(), &result));
-    uint8_t* active = batch->mutable_active();
-    const int64_t* values = result.ints();
-    const uint8_t* valid = result.validity();
     const int64_t n = batch->num_rows();
     int64_t count = 0;
-    for (int64_t i = 0; i < n; ++i) {
-      active[i] &= valid[i] & (values[i] != 0 ? 1 : 0);
-      count += active[i];
+    auto apply = [&](const int64_t* values, const uint8_t* valid) {
+      uint8_t* active = batch->mutable_active();
+      for (int64_t i = 0; i < n; ++i) {
+        active[i] &= valid[i] & (values[i] != 0 ? 1 : 0);
+        count += active[i];
+      }
+    };
+    if (program_ != nullptr) {
+      VSTORE_RETURN_IF_ERROR(frame_->Run(*batch));
+      const ColumnVector& result = frame_->result(0);
+      apply(result.ints(), result.validity());
+    } else {
+      ColumnVector result(DataType::kBool, n);
+      VSTORE_RETURN_IF_ERROR(
+          predicate_->EvalBatch(*batch, batch->arena(), &result));
+      apply(result.ints(), result.validity());
     }
+    ExprBatchCounter(program_ != nullptr)->Increment();
     rows_dropped_ += batch->active_count() - count;
     batch->set_active_count(count);
     if (count > 0) return batch;
@@ -172,6 +200,10 @@ ProjectOperator::ProjectOperator(BatchOperatorPtr input,
     fields.push_back(Field{names[i], exprs_[i]->output_type(), true});
   }
   schema_ = Schema(std::move(fields));
+  if (ctx_ == nullptr || ctx_->compile_expressions) {
+    program_ = ExprProgramCache::Global().GetOrCompile(exprs_);
+    if (program_ != nullptr) frame_ = std::make_unique<ExprFrame>(program_);
+  }
 }
 
 Result<Batch*> ProjectOperator::NextImpl() {
@@ -186,23 +218,36 @@ Result<Batch*> ProjectOperator::NextImpl() {
     output_->Reset();
 
     const int64_t n = batch->num_rows();
-    // Evaluate into full-width scratch vectors, then compact active rows.
+    // Evaluate into full-width vectors, then compact active rows. The
+    // compiled path shares one program across all projection expressions
+    // (CSE spans outputs) and aliases plain column references in place.
     std::vector<std::unique_ptr<ColumnVector>> computed;
-    computed.reserve(exprs_.size());
-    for (const ExprPtr& e : exprs_) {
-      auto cv = std::make_unique<ColumnVector>(e->output_type(),
-                                               std::max<int64_t>(n, 1));
-      VSTORE_RETURN_IF_ERROR(e->EvalBatch(*batch, output_->arena(), cv.get()));
-      computed.push_back(std::move(cv));
+    std::vector<const ColumnVector*> results(exprs_.size(), nullptr);
+    if (program_ != nullptr) {
+      VSTORE_RETURN_IF_ERROR(frame_->Run(*batch));
+      for (size_t c = 0; c < exprs_.size(); ++c) {
+        results[c] = &frame_->result(c);
+      }
+    } else {
+      computed.reserve(exprs_.size());
+      for (size_t c = 0; c < exprs_.size(); ++c) {
+        auto cv = std::make_unique<ColumnVector>(exprs_[c]->output_type(),
+                                                 std::max<int64_t>(n, 1));
+        VSTORE_RETURN_IF_ERROR(
+            exprs_[c]->EvalBatch(*batch, output_->arena(), cv.get()));
+        results[c] = cv.get();
+        computed.push_back(std::move(cv));
+      }
     }
+    ExprBatchCounter(program_ != nullptr)->Increment();
 
     const uint8_t* active = batch->active();
     int64_t out_row = 0;
     for (int64_t i = 0; i < n; ++i) {
       if (!active[i]) continue;
-      for (size_t c = 0; c < computed.size(); ++c) {
+      for (size_t c = 0; c < results.size(); ++c) {
         ColumnVector& dst = output_->column(static_cast<int>(c));
-        const ColumnVector& src = *computed[c];
+        const ColumnVector& src = *results[c];
         dst.mutable_validity()[out_row] = src.validity()[i];
         switch (src.physical_type()) {
           case PhysicalType::kInt64:

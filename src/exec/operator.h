@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "exec/batch.h"
+#include "exec/expr_program.h"
 #include "exec/expression.h"
 #include "exec/profile.h"
 #include "types/schema.h"
@@ -47,6 +48,9 @@ struct ExecContext {
   // Memory budget per stateful operator (hash join build side, hash
   // aggregation state) before spilling kicks in. <= 0 means unlimited.
   int64_t operator_memory_budget = 0;
+  // Compile Filter/Project expressions to bytecode at build time; off
+  // forces the tree-interpreter path (the differential oracle).
+  bool compile_expressions = true;
   ThreadPool* thread_pool = nullptr;  // used by exchange operators
   ExecStats stats;
 };
@@ -112,8 +116,10 @@ using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
 // (the paper's qualifying-rows-vector behaviour).
 class FilterOperator final : public BatchOperator {
  public:
-  FilterOperator(BatchOperatorPtr input, ExprPtr predicate, ExecContext* ctx)
-      : input_(std::move(input)), predicate_(std::move(predicate)), ctx_(ctx) {}
+  // Compiles the predicate to bytecode at build time (= plan lowering);
+  // falls back to the tree interpreter when compilation is unsupported or
+  // disabled via ctx->compile_expressions.
+  FilterOperator(BatchOperatorPtr input, ExprPtr predicate, ExecContext* ctx);
 
   const Schema& output_schema() const override {
     return input_->output_schema();
@@ -134,12 +140,15 @@ class FilterOperator final : public BatchOperator {
   void AppendProfileCounters(OperatorProfile* node) const override {
     node->counters.push_back({"rows_in", rows_in_});
     node->counters.push_back({"rows_dropped", rows_dropped_});
+    node->counters.push_back({"compiled", program_ != nullptr ? 1 : 0});
   }
 
  private:
   BatchOperatorPtr input_;
   ExprPtr predicate_;
   ExecContext* ctx_;
+  std::shared_ptr<const ExprProgram> program_;  // null -> interpreter path
+  std::unique_ptr<ExprFrame> frame_;
   int64_t rows_in_ = 0;
   int64_t rows_dropped_ = 0;
 };
@@ -163,11 +172,19 @@ class ProjectOperator final : public BatchOperator {
     return {input_.get()};
   }
 
+ protected:
+  void AppendProfileCounters(OperatorProfile* node) const override {
+    node->counters.push_back({"compiled", program_ != nullptr ? 1 : 0});
+  }
+
  private:
   BatchOperatorPtr input_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
   ExecContext* ctx_;
+  // One program for all projection expressions, so CSE spans outputs.
+  std::shared_ptr<const ExprProgram> program_;
+  std::unique_ptr<ExprFrame> frame_;
   std::unique_ptr<Batch> output_;
 };
 

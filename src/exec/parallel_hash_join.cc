@@ -493,11 +493,8 @@ Result<bool> HashJoinProbeOperator::PumpProbe() {
       row_matched_ = false;
       const int64_t n = batch->num_rows();
       probe_hashes_.resize(static_cast<size_t>(n));
-      for (int64_t i = 0; i < n; ++i) {
-        if (!batch->active()[i]) continue;
-        probe_hashes_[static_cast<size_t>(i)] =
-            probe_format_.HashKeysFromBatch(*batch, i, probe_keys);
-      }
+      HashKeysBatch(*batch, probe_keys, batch->active(),
+                    probe_hashes_.data());
     }
 
     const uint8_t* active = probe_batch_->active();

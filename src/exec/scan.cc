@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "exec/expr_kernels.h"
 #include "exec/hash_table.h"
 #include "common/macros.h"
 
@@ -202,32 +203,31 @@ void ColumnStoreScanOperator::ApplyPredicate(const ScanPredicate& pred,
     }
     case PhysicalType::kDouble: {
       const double target = pred.value.AsDouble();
-      const double* values = cv.doubles();
+      verdict_scratch_.resize(static_cast<size_t>(n));
+      kernels::CmpF64ConstMask(op, cv.doubles(), target, n,
+                               verdict_scratch_.data());
       for (int64_t i = 0; i < n; ++i) {
-        double v = values[i];
-        active[i] &=
-            valid[i] & uint8_t{ApplyCompare(op, (v > target) - (v < target))};
+        active[i] &= valid[i] & verdict_scratch_[i];
       }
       break;
     }
     case PhysicalType::kInt64: {
+      verdict_scratch_.resize(static_cast<size_t>(n));
       // A double constant against an int column compares in double space.
       if (pred.value.type() == DataType::kDouble) {
         const double target = pred.value.AsDouble();
         const int64_t* values = cv.ints();
         for (int64_t i = 0; i < n; ++i) {
           double v = static_cast<double>(values[i]);
-          active[i] &= valid[i] &
-                       uint8_t{ApplyCompare(op, (v > target) - (v < target))};
+          verdict_scratch_[i] =
+              uint8_t{ApplyCompare(op, (v > target) - (v < target))};
         }
       } else {
-        const int64_t target = pred.value.int64();
-        const int64_t* values = cv.ints();
-        for (int64_t i = 0; i < n; ++i) {
-          int64_t v = values[i];
-          active[i] &= valid[i] &
-                       uint8_t{ApplyCompare(op, (v > target) - (v < target))};
-        }
+        kernels::CmpI64ConstMask(op, cv.ints(), pred.value.int64(), n,
+                                 verdict_scratch_.data());
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        active[i] &= valid[i] & verdict_scratch_[i];
       }
       break;
     }
@@ -350,6 +350,12 @@ Status ColumnStoreScanOperator::FillFromGroup() {
   output_->RecountActive();
   std::vector<const ColumnVector*> decoded(decode_columns_.size(), nullptr);
   std::vector<bool> code_evaluated(decode_columns_.size(), false);
+  auto is_bloom_slot = [&](size_t s) {
+    for (int b : bloom_decode_slot_) {
+      if (b == static_cast<int>(s)) return true;
+    }
+    return false;
+  };
   for (size_t s = 0; s < decode_columns_.size(); ++s) {
     if (!early_slot_[s]) continue;
     if (SlotUsesCodeEval(s)) {
@@ -367,6 +373,28 @@ Status ColumnStoreScanOperator::FillFromGroup() {
         ApplyCodePredicate(options_.predicates[p], code_scratch_.data(),
                            validity_scratch_.data(), ok, target,
                            output_.get());
+      }
+      code_evaluated[s] = true;
+      continue;
+    }
+    // Predicate-only RLE slots: decide each predicate once per run and fan
+    // the verdict over the run's row span — O(runs), never decoding the
+    // run bodies into row-at-a-time values.
+    const ColumnSegment& seg = rg.column(decode_columns_[s]);
+    if (decode_to_output_[s] < 0 && !is_bloom_slot(s) &&
+        seg.encoding() == EncodingKind::kRle) {
+      validity_scratch_.resize(static_cast<size_t>(n));
+      verdict_scratch_.resize(static_cast<size_t>(n));
+      seg.DecodeValidity(offset_, n, validity_scratch_.data());
+      uint8_t* active = output_->mutable_active();
+      for (size_t p = 0; p < options_.predicates.size(); ++p) {
+        if (pred_decode_slot_[p] != static_cast<int>(s)) continue;
+        seg.EvalPredicateOnRuns(options_.predicates[p].op,
+                                options_.predicates[p].value, offset_, n,
+                                verdict_scratch_.data());
+        for (int64_t i = 0; i < n; ++i) {
+          active[i] &= validity_scratch_[i] & verdict_scratch_[i];
+        }
       }
       code_evaluated[s] = true;
       continue;

@@ -120,6 +120,9 @@ class ColumnStoreScanOperator final : public BatchOperator {
   std::vector<std::unique_ptr<ColumnVector>> scratch_;
   std::vector<uint64_t> code_scratch_;     // code-space predicate evaluation
   std::vector<uint8_t> validity_scratch_;
+  // Per-row 0/1 verdicts from the SIMD compare-against-constant kernels,
+  // ANDed into the active mask (mutable: ApplyPredicate is const).
+  mutable std::vector<uint8_t> verdict_scratch_;
 
   int64_t group_ = 0;       // current row group
   int64_t group_limit_ = 0;

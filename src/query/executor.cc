@@ -89,6 +89,7 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   ExecContext ctx;
   ctx.batch_size = options_.batch_size;
   ctx.operator_memory_budget = options_.operator_memory_budget;
+  ctx.compile_expressions = options_.compile_expressions;
 
   PhysicalPlanOptions planner_options;
   planner_options.mode = options_.mode;

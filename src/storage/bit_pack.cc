@@ -4,8 +4,67 @@
 
 #include "common/bit_util.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define VSTORE_BITPACK_X86 1
+#endif
 
 namespace vstore {
+
+namespace {
+
+// Records the SIMD-vs-scalar dispatch decision (shared metric with the
+// expression kernels) and returns the active level.
+simd::Level UnpackDispatchLevel() {
+  static Counter* scalar = MetricsRegistry::Global().GetCounter(
+      "vstore_simd_dispatch_total", "level", "scalar");
+  static Counter* avx2 = MetricsRegistry::Global().GetCounter(
+      "vstore_simd_dispatch_total", "level", "avx2");
+  simd::Level level = simd::Active();
+  (level == simd::Level::kAVX2 ? avx2 : scalar)->Increment();
+  return level;
+}
+
+#ifdef VSTORE_BITPACK_X86
+
+// Four values per iteration: gather the 64-bit word containing each value's
+// first bit, then shift/mask per lane. Requires shift(<=7) + bit_width <= 64
+// so one word covers the whole value (bit_width <= 57); the buffer's +7
+// byte slack (PackedBytes) makes the 8-byte gather at the last value safe.
+__attribute__((target("avx2"))) void UnpackAvx2(const uint8_t* data,
+                                                int bit_width, int64_t start,
+                                                int64_t n, uint64_t* out) {
+  const uint64_t mask = (uint64_t{1} << bit_width) - 1;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vseven = _mm256_set1_epi64x(7);
+  const int64_t bw = bit_width;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int64_t b0 = (start + i) * bw;
+    const __m256i bits =
+        _mm256_set_epi64x(b0 + 3 * bw, b0 + 2 * bw, b0 + bw, b0);
+    const __m256i bytes = _mm256_srli_epi64(bits, 3);
+    const __m256i shift = _mm256_and_si256(bits, vseven);
+    const __m256i words = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(data), bytes, 1);
+    const __m256i vals =
+        _mm256_and_si256(_mm256_srlv_epi64(words, shift), vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), vals);
+  }
+  for (; i < n; ++i) {
+    const int64_t bit_pos = (start + i) * bw;
+    uint64_t word;
+    std::memcpy(&word, data + (bit_pos >> 3), sizeof(word));
+    out[i] = (word >> (bit_pos & 7)) & mask;
+  }
+}
+
+#endif  // VSTORE_BITPACK_X86
+
+}  // namespace
 
 int64_t BitPacker::PackedBytes(int64_t n, int bit_width) {
   // +7 bytes of slack lets the unpacker read whole 64-bit words safely.
@@ -63,6 +122,15 @@ void BitPacker::Unpack(const uint8_t* data, int bit_width, int64_t start,
     std::memset(out, 0, static_cast<size_t>(n) * sizeof(uint64_t));
     return;
   }
+#ifdef VSTORE_BITPACK_X86
+  // Widths up to 57 fit entirely in one gathered word per value (see
+  // UnpackAvx2); wider values need the two-word scalar path below.
+  if (bit_width <= 57 && n >= 8 &&
+      UnpackDispatchLevel() == simd::Level::kAVX2) {
+    UnpackAvx2(data, bit_width, start, n, out);
+    return;
+  }
+#endif
   // Streaming decode: advance a byte pointer + bit offset instead of
   // recomputing positions; each value is one or two unaligned word loads.
   const uint64_t mask =

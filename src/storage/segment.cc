@@ -1,6 +1,7 @@
 #include "storage/segment.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "common/bit_util.h"
@@ -298,6 +299,64 @@ bool ColumnSegment::MayMatch(CompareOp op, const Value& value) const {
     }
   }
   return true;
+}
+
+void ColumnSegment::EvalPredicateOnRuns(CompareOp op, const Value& value,
+                                        int64_t start, int64_t count,
+                                        uint8_t* verdict) const {
+  VSTORE_DCHECK(encoding_ == EncodingKind::kRle);
+  VSTORE_DCHECK(start >= 0 && start + count <= num_rows());
+  EnsureResident().CheckOK();
+  // Position on the run containing `start`, then walk forward, deciding
+  // each run once and fanning the verdict out over its row span. The sign
+  // expressions mirror the scan's branchless ApplyPredicate exactly.
+  int64_t r = static_cast<int64_t>(
+                  std::upper_bound(rle_.run_starts.begin(),
+                                   rle_.run_starts.end(), start) -
+                  rle_.run_starts.begin()) -
+              1;
+  int64_t row = start;
+  const int64_t end = start + count;
+  while (row < end) {
+    VSTORE_DCHECK(r < rle_.num_runs);
+    const uint64_t code =
+        BitPacker::Get(rle_.values.data(), rle_.value_bits, r);
+    const int64_t run_end = r + 1 < rle_.num_runs
+                                ? rle_.run_starts[static_cast<size_t>(r + 1)]
+                                : rle_.num_rows;
+    uint8_t v = 0;
+    switch (PhysicalTypeOf(type_)) {
+      case PhysicalType::kString: {
+        int c = DictString(code).compare(std::string_view(value.str()));
+        v = uint8_t{ApplyCompare(op, (c > 0) - (c < 0))};
+        break;
+      }
+      case PhysicalType::kDouble: {
+        double d = DecodeDoubleCode(code, venc_);
+        double t = value.AsDouble();
+        v = uint8_t{ApplyCompare(op, (d > t) - (d < t))};
+        break;
+      }
+      case PhysicalType::kInt64: {
+        // A double constant against an int column compares in double space.
+        if (value.type() == DataType::kDouble) {
+          double d = static_cast<double>(DecodeIntCode(code, venc_));
+          double t = value.AsDouble();
+          v = uint8_t{ApplyCompare(op, (d > t) - (d < t))};
+        } else {
+          int64_t a = DecodeIntCode(code, venc_);
+          int64_t t = value.int64();
+          v = uint8_t{ApplyCompare(op, (a > t) - (a < t))};
+        }
+        break;
+      }
+    }
+    const int64_t span_end = std::min(run_end, end);
+    std::memset(verdict + (row - start), v,
+                static_cast<size_t>(span_end - row));
+    row = span_end;
+    ++r;
+  }
 }
 
 bool ColumnSegment::ValueToCode(const Value& value, uint64_t* code) const {

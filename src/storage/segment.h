@@ -86,6 +86,13 @@ class ColumnSegment {
   // Conservative check from stats only: can any row match `op value`?
   bool MayMatch(CompareOp op, const Value& value) const;
 
+  // Evaluates `op value` once per RLE run over rows [start, start+count),
+  // writing per-row 0/1 verdicts without decompressing the run bodies —
+  // cost is O(runs touched), not O(rows). Null rows receive an unspecified
+  // verdict; callers AND with DecodeValidity. Only valid for kRle segments.
+  void EvalPredicateOnRuns(CompareOp op, const Value& value, int64_t start,
+                           int64_t count, uint8_t* verdict) const;
+
   // Maps an equality-comparable raw value to its code within this segment.
   // Returns false when the value provably does not occur (wrong scale,
   // below base, absent from dictionary) — the caller can skip all rows.

@@ -120,7 +120,52 @@ ExprPtr RandomFilter(Random* rng, const DiffFixture& f,
                                      CompareOp::kEq, CompareOp::kNe};
     op = kOps[rng->Uniform(0, 5)];
   }
-  return expr::Cmp(op, expr::Column(schema, column), expr::Lit(anchor));
+  ExprPtr cmp = expr::Cmp(op, expr::Column(schema, column), expr::Lit(anchor));
+  if (use_string) return cmp;
+
+  // Half the filters get deeper shapes so the batch engine's bytecode
+  // compiler actually folds, simplifies, and CSEs on this corpus: foldable
+  // identities (col + 0, col * 1), repeated subexpressions under AND/OR,
+  // and negated comparisons. The row engine evaluates the same unoptimized
+  // tree, so any rewrite that changes semantics shows up as a mismatch.
+  switch (rng->Uniform(0, 7)) {
+    case 0: {
+      // (col + 0) op anchor — the +0 must simplify away, not change type.
+      ExprPtr padded = expr::Add(expr::Column(schema, column),
+                                 expr::Lit(Value::Int64(0)));
+      if (anchor.type() == DataType::kInt64) {
+        return expr::Cmp(op, padded, expr::Lit(anchor));
+      }
+      return cmp;
+    }
+    case 1: {
+      // (col * 1) op anchor.
+      ExprPtr padded = expr::Mul(expr::Column(schema, column),
+                                 expr::Lit(Value::Int64(1)));
+      if (anchor.type() == DataType::kInt64) {
+        return expr::Cmp(op, padded, expr::Lit(anchor));
+      }
+      return cmp;
+    }
+    case 2:
+      // NOT(cmp) — compiles to the negated compare.
+      return expr::Not(cmp);
+    case 3:
+      // cmp AND cmp — a textbook CSE hit.
+      return expr::And(cmp, cmp);
+    case 4:
+      // (cmp OR cmp) AND (TRUE-literal) — CSE plus the AND-identity rule.
+      return expr::And(expr::Or(cmp, cmp), expr::Lit(Value::Bool(true)));
+    case 5: {
+      // A column-free foldable conjunct: (1 + 1) > 1 folds to TRUE.
+      ExprPtr folded = expr::Gt(
+          expr::Add(expr::Lit(Value::Int64(1)), expr::Lit(Value::Int64(1))),
+          expr::Lit(Value::Int64(1)));
+      return expr::And(cmp, folded);
+    }
+    default:
+      return cmp;
+  }
 }
 
 std::vector<NamedAggSpec> RandomAggregates(Random* rng,

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "exec/expression.h"
 #include "test_util.h"
 
@@ -221,6 +223,147 @@ TEST(ExpressionTest, ToStringReadable) {
       expr::Ge(expr::Column(s, "a"), expr::Lit(Value::Int64(1))),
       expr::Lt(expr::Column(s, "a"), expr::Lit(Value::Int64(10))));
   EXPECT_EQ(e->ToString(), "((a >= 1) AND (a < 10))");
+}
+
+// --- NULL-propagation contract ---------------------------------------------
+// These pin the engine's null-strict semantics: any NULL operand nulls the
+// result of comparisons and arithmetic, logical connectives are null-strict
+// too (no SQL three-valued shortcuts — NULL AND FALSE is NULL here), and
+// IS NULL itself never returns NULL. The bytecode compiler reuses these
+// trees verbatim, so the contract holds for both engines by construction.
+
+// Evaluates `e` over NumData and returns row `i` of the batch result.
+Value EvalAt(const TableData& data, const ExprPtr& e, int64_t i) {
+  Batch batch(data.schema(), data.num_rows());
+  FillBatch(data, 0, data.num_rows(), &batch);
+  ColumnVector out(e->output_type(), data.num_rows());
+  EXPECT_TRUE(e->EvalBatch(batch, batch.arena(), &out).ok());
+  return out.GetValue(i);
+}
+
+TEST(ExpressionTest, NullPropagatesThroughComparison) {
+  TableData data = NumData();  // row 3: a, d, s are NULL
+  const Schema& s = data.schema();
+  ExprPtr cmp = expr::Gt(expr::Column(s, "a"), expr::Lit(Value::Int64(0)));
+  ExpectBatchRowAgreement(data, cmp);
+  EXPECT_TRUE(EvalAt(data, cmp, 3).is_null());
+  // NULL on either side.
+  ExprPtr lit_null =
+      expr::Eq(expr::Column(s, "b"), expr::Lit(Value::Null(DataType::kInt64)));
+  ExpectBatchRowAgreement(data, lit_null);
+  for (int64_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_TRUE(EvalAt(data, lit_null, i).is_null()) << i;
+  }
+}
+
+TEST(ExpressionTest, NullPropagatesThroughArithmetic) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  for (auto op : {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul, ArithOp::kDiv}) {
+    ExprPtr e =
+        expr::Arith(op, expr::Column(s, "a"), expr::Lit(Value::Int64(2)));
+    ExpectBatchRowAgreement(data, e);
+    EXPECT_TRUE(EvalAt(data, e, 3).is_null());
+  }
+}
+
+TEST(ExpressionTest, LogicalConnectivesAreNullStrict) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr null_side =
+      expr::Gt(expr::Column(s, "a"), expr::Lit(Value::Int64(0)));  // row 3 NULL
+  ExprPtr false_side = expr::Lt(expr::Column(s, "b"), expr::Lit(Value::Int64(
+                                                          -100)));  // FALSE
+  ExprPtr true_side =
+      expr::Ge(expr::Column(s, "b"), expr::Lit(Value::Int64(0)));  // TRUE
+  // Null-strict: NULL AND FALSE -> NULL (not FALSE), NULL OR TRUE -> NULL.
+  ExprPtr and_e = expr::And(null_side, false_side);
+  ExprPtr or_e = expr::Or(null_side, true_side);
+  ExprPtr not_e = expr::Not(null_side);
+  ExpectBatchRowAgreement(data, and_e);
+  ExpectBatchRowAgreement(data, or_e);
+  ExpectBatchRowAgreement(data, not_e);
+  EXPECT_TRUE(EvalAt(data, and_e, 3).is_null());
+  EXPECT_TRUE(EvalAt(data, or_e, 3).is_null());
+  EXPECT_TRUE(EvalAt(data, not_e, 3).is_null());
+}
+
+TEST(ExpressionTest, IsNullNeverReturnsNull) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e = expr::IsNull(expr::Column(s, "a"));
+  ExpectBatchRowAgreement(data, e);
+  for (int64_t i = 0; i < data.num_rows(); ++i) {
+    Value v = EvalAt(data, e, i);
+    ASSERT_FALSE(v.is_null()) << i;
+    EXPECT_EQ(v.int64() != 0, i == 3) << i;
+  }
+}
+
+TEST(ExpressionTest, InSkipsNullCandidatesAndPropagatesInputNull) {
+  TableData data = NumData();
+  const Schema& s = data.schema();
+  ExprPtr e = expr::In(expr::Column(s, "a"),
+                       {Value::Int64(1), Value::Null(DataType::kInt64),
+                        Value::Int64(7)});
+  ExpectBatchRowAgreement(data, e);
+  EXPECT_EQ(EvalAt(data, e, 0).int64(), 1);   // a == 1
+  EXPECT_EQ(EvalAt(data, e, 1).int64(), 0);   // a == -5, null candidate skipped
+  EXPECT_TRUE(EvalAt(data, e, 3).is_null());  // NULL input
+}
+
+// --- Integer-overflow contract ---------------------------------------------
+// Int64 arithmetic wraps (two's complement), INT64_MIN / -1 wraps to
+// INT64_MIN, and division by zero yields NULL. The cases run through the
+// interpreter here and through the bytecode engine via the fuzz suite.
+
+TEST(ExpressionTest, IntArithmeticWrapsOnOverflow) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  Schema s({{"x", DataType::kInt64, true}, {"y", DataType::kInt64, true}});
+  TableData data(s);
+  data.AppendRow({Value::Int64(kMax), Value::Int64(1)});
+  data.AppendRow({Value::Int64(kMin), Value::Int64(-1)});
+  data.AppendRow({Value::Int64(kMax), Value::Int64(kMax)});
+  data.AppendRow({Value::Int64(kMin), Value::Int64(kMin)});
+
+  ExprPtr add = expr::Add(expr::Column(s, "x"), expr::Column(s, "y"));
+  ExprPtr sub = expr::Sub(expr::Column(s, "x"), expr::Column(s, "y"));
+  ExprPtr mul = expr::Mul(expr::Column(s, "x"), expr::Column(s, "y"));
+  for (const ExprPtr& e : {add, sub, mul}) ExpectBatchRowAgreement(data, e);
+
+  EXPECT_EQ(EvalAt(data, add, 0).int64(), kMin);      // MAX + 1 wraps
+  EXPECT_EQ(EvalAt(data, sub, 1).int64(), kMin + 1);  // MIN - (-1)
+  EXPECT_EQ(EvalAt(data, mul, 2).int64(), 1);         // MAX * MAX mod 2^64
+  EXPECT_EQ(EvalAt(data, mul, 3).int64(), 0);         // MIN * MIN mod 2^64
+}
+
+TEST(ExpressionTest, IntDivisionEdgeCases) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  Schema s({{"x", DataType::kInt64, true}, {"y", DataType::kInt64, true}});
+  TableData data(s);
+  data.AppendRow({Value::Int64(kMin), Value::Int64(-1)});  // UB if naive
+  data.AppendRow({Value::Int64(42), Value::Int64(0)});     // div by zero
+  data.AppendRow({Value::Int64(-7), Value::Int64(2)});
+
+  ExprPtr e = expr::Div(expr::Column(s, "x"), expr::Column(s, "y"));
+  ExpectBatchRowAgreement(data, e);
+  EXPECT_EQ(EvalAt(data, e, 0).int64(), kMin);  // MIN / -1 wraps to MIN
+  EXPECT_TRUE(EvalAt(data, e, 1).is_null());    // x / 0 is NULL
+  EXPECT_EQ(EvalAt(data, e, 2).int64(), -3);    // truncation toward zero
+}
+
+TEST(ExpressionTest, DoubleDivisionByZeroIsNull) {
+  Schema s({{"x", DataType::kDouble, true}, {"y", DataType::kDouble, true}});
+  TableData data(s);
+  data.AppendRow({Value::Double(1.0), Value::Double(0.0)});
+  data.AppendRow({Value::Double(1.0), Value::Double(-0.0)});
+  data.AppendRow({Value::Double(1.0), Value::Double(0.5)});
+  ExprPtr e = expr::Div(expr::Column(s, "x"), expr::Column(s, "y"));
+  ExpectBatchRowAgreement(data, e);
+  EXPECT_TRUE(EvalAt(data, e, 0).is_null());
+  EXPECT_TRUE(EvalAt(data, e, 1).is_null());  // -0.0 divisor is zero too
+  EXPECT_EQ(EvalAt(data, e, 2).dbl(), 2.0);
 }
 
 }  // namespace

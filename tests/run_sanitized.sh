@@ -42,8 +42,16 @@ run_one() {
     ctest --test-dir "$dir" --output-on-failure \
         -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
+    # The expression fuzzer is single-threaded, but the bytecode program
+    # cache it hits is the one shared across parallel fragments — keep the
+    # fuzz label in the TSan matrix too.
+    ctest --test-dir "$dir" --output-on-failure -L fuzz "$@"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"
+    # Redundant with the full run today, but pinned so the differential
+    # fuzzer (bytecode vs interpreter vs row engine) always runs sanitized
+    # even if the full pass above ever narrows its selection.
+    ctest --test-dir "$dir" --output-on-failure -L fuzz "$@"
   fi
 }
 
