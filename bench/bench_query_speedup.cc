@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "storage/sharded_table.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -105,6 +106,59 @@ int main() {
     std::printf("%-5s %12.1f %14.2f %14.2f | %8.1fx %8.1fx %s\n",
                 named.name.c_str(), row_ms, batch_ms, batch4_ms,
                 row_ms / batch_ms, row_ms / batch4_ms, scaling);
+  }
+
+  // --- Sharded scatter-gather: aggregate fan-out + partition pruning ------
+  // lineitem reloaded into an 8-shard table hashed on l_orderkey. The
+  // aggregate scatters one fragment per shard (the per-shard snapshots
+  // replace row-group striping as the parallel unit); the point query on
+  // the partition key prunes 7 of 8 shards, visible in its exchange
+  // counters when VSTORE_BENCH_PROFILE=1.
+  std::printf("\n%-24s %12s %12s\n", "sharded (8 x orderkey)", "batch ms",
+              "dop4 ms");
+  {
+    ShardedTable::Options soptions;
+    soptions.num_shards = 8;
+    soptions.partition_key = "l_orderkey";
+    soptions.shard_options = cs_options;
+    // Each shard sees 1/8 of lineitem: shrink groups and the compression
+    // floor so small scale factors still compress instead of leaving
+    // every shard's rows in delta stores.
+    soptions.shard_options.row_group_size = 1 << 14;
+    soptions.shard_options.min_compress_rows = 1;
+    auto sharded = std::make_unique<ShardedTable>(
+        "lineitem_sharded", tables.lineitem.schema(), std::move(soptions));
+    sharded->BulkLoad(tables.lineitem).CheckOK();
+    ShardedTable* raw_sharded = sharded.get();
+    catalog.AddShardedTable(std::move(sharded)).CheckOK();
+    TupleMover::Options mover_options;
+    mover_options.include_open_stores = true;
+    ShardedTupleMover(raw_sharded, mover_options).RunOnce().ValueOrDie();
+
+    auto agg_plan = [&](const char* tbl) {
+      PlanBuilder b = PlanBuilder::Scan(catalog, tbl);
+      b.Aggregate({"l_returnflag"},
+                  {{AggFn::kSum, "l_quantity", "sum_qty"},
+                   {AggFn::kSum, "l_extendedprice", "sum_price"},
+                   {AggFn::kCountStar, "", "cnt"}});
+      return b.Build();
+    };
+    for (const char* tbl : {"lineitem", "lineitem_sharded"}) {
+      PlanPtr plan = agg_plan(tbl);
+      double ms1 = run(std::string("sharded_agg/") + tbl + "/dop1", plan,
+                       ExecutionMode::kBatch, 1);
+      double ms4 = run(std::string("sharded_agg/") + tbl + "/dop4", plan,
+                       ExecutionMode::kBatch, 4);
+      std::printf("%-24s %12.2f %12.2f\n", tbl, ms1, ms4);
+    }
+
+    PlanBuilder b = PlanBuilder::Scan(catalog, "lineitem_sharded");
+    b.Filter(expr::Eq(expr::Column(b.schema(), "l_orderkey"),
+                      expr::Lit(Value::Int64(1))));
+    double point_ms = run("sharded_point/pruned", b.Build(),
+                          ExecutionMode::kBatch, 1);
+    std::printf("%-24s %12.2f %12s\n", "point query (7/8 pruned)", point_ms,
+                "-");
   }
 
   std::printf(

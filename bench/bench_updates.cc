@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "storage/sharded_table.h"
 #include "storage/tuple_mover.h"
 
 namespace vstore {
@@ -187,12 +188,82 @@ int main() {
     (void)mover.Stop();
   }
 
+  // --- Part 5: sharded tables — multithreaded DML scaling + pruning -------
+  // Each shard has its own delta stores and mutex, so concurrent writers
+  // that hash to different shards never contend: DML throughput should
+  // scale with shard count until routing collisions or memory bandwidth
+  // take over. The PROFILE_JSON body is a partition-key point query, whose
+  // exchange counters carry shards_total/shards_pruned (7 of 8 pruned).
+  std::printf("\n%-10s %14s %10s\n", "shards", "DML Krows/s", "scaling");
+  {
+    const int kWriters = 8;
+    const int64_t per_writer = 25000;
+    TableData source = bench::SortedFactTable(1000, 5);
+    double rate1 = 1;
+    for (int shards : {1, 2, 4, 8}) {
+      Catalog catalog;
+      ShardedTable::Options options;
+      options.num_shards = shards;
+      options.partition_key = "product_id";
+      auto table = std::make_unique<ShardedTable>("st", source.schema(),
+                                                  std::move(options));
+      ShardedTable* raw = table.get();
+      catalog.AddShardedTable(std::move(table)).CheckOK();
+
+      double ms = bench::TimeMs(
+          [&] {
+            std::vector<std::thread> writers;
+            for (int w = 0; w < kWriters; ++w) {
+              writers.emplace_back([&, w] {
+                for (int64_t i = 0; i < per_writer; ++i) {
+                  raw->Insert(source.GetRow((w * 131 + i) % 1000))
+                      .ValueOrDie();
+                }
+              });
+            }
+            for (auto& t : writers) t.join();
+          },
+          1);
+      double rate = static_cast<double>(kWriters * per_writer) / ms;
+      if (shards == 1) rate1 = rate;
+      std::printf("%-10d %14.0f %9.2fx\n", shards, rate, rate / rate1);
+
+      if (bench::ProfileJsonEnabled()) {
+        // Probe a key that exists so the pruned plan returns real rows.
+        int64_t key = source.GetRow(0)[2].int64();
+        PlanBuilder b = PlanBuilder::Scan(catalog, "st");
+        b.Filter(expr::Eq(expr::Column(b.schema(), "product_id"),
+                          expr::Lit(Value::Int64(key))));
+        QueryExecutor exec(&catalog);
+        QueryResult result = exec.Execute(b.Build()).ValueOrDie();
+        char extra[96];
+        std::snprintf(extra, sizeof(extra),
+                      ",\"shards\":%d,\"dml_krows_per_s\":%.1f,"
+                      "\"dml_scaling_vs_1shard\":%.3f",
+                      shards, rate, rate / rate1);
+        bench::EmitProfileJson("sharded_dml/shards" + std::to_string(shards),
+                               result, extra);
+      }
+    }
+  }
+
   std::printf(
       "\nExpected shape: trickle inserts sustain high rates (B-tree delta\n"
       "store); scans slow as delta fraction grows and recover after the\n"
       "tuple mover runs; delete bitmaps add only incremental scan cost;\n"
       "under-churn scan latency stays close to quiescent because scans\n"
-      "read immutable snapshots and never wait on writers or the mover.\n");
+      "read immutable snapshots and never wait on writers or the mover;\n"
+      "multithreaded DML throughput scales with shard count (>=3x at 8\n"
+      "shards) because writers hashing to different shards never share a\n"
+      "lock.\n");
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc <= 1) {
+    std::printf(
+        "NOTE: this host reports a single CPU; the sharded DML writers\n"
+        "time-slice one core, so shard-count scaling measures only the\n"
+        "removed lock contention, not the parallel speedup a multicore\n"
+        "host shows.\n");
+  }
   if (bench::MetricsJsonEnabled()) bench::EmitMetricsJson("bench_updates");
   return 0;
 }

@@ -86,41 +86,74 @@ template <typename T>
 T* MetricsRegistry::GetMetric(std::map<std::string, Family<T>>* families,
                               const std::string& name,
                               const std::string& label_key,
-                              const std::string& label_value) {
+                              const std::string& label_value,
+                              const std::string& label_key2,
+                              const std::string& label_value2) {
   std::lock_guard<std::mutex> lock(mu_);
   Family<T>& family = (*families)[name];
-  if (family.by_label.empty()) family.label_key = label_key;
-  std::unique_ptr<T>& slot = family.by_label[label_value];
+  if (family.by_label.empty()) {
+    family.label_key = label_key;
+    family.label_key2 = label_key2;
+  }
+  std::unique_ptr<T>& slot = family.by_label[{label_value, label_value2}];
   if (slot == nullptr) slot = std::make_unique<T>();
   return slot.get();
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& label_key,
-                                     const std::string& label_value) {
-  return GetMetric(&counters_, name, label_key, label_value);
+                                     const std::string& label_value,
+                                     const std::string& label_key2,
+                                     const std::string& label_value2) {
+  return GetMetric(&counters_, name, label_key, label_value, label_key2,
+                   label_value2);
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& label_key,
-                                 const std::string& label_value) {
-  return GetMetric(&gauges_, name, label_key, label_value);
+                                 const std::string& label_value,
+                                 const std::string& label_key2,
+                                 const std::string& label_value2) {
+  return GetMetric(&gauges_, name, label_key, label_value, label_key2,
+                   label_value2);
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& label_key,
-                                         const std::string& label_value) {
-  return GetMetric(&histograms_, name, label_key, label_value);
+                                         const std::string& label_value,
+                                         const std::string& label_key2,
+                                         const std::string& label_value2) {
+  return GetMetric(&histograms_, name, label_key, label_value, label_key2,
+                   label_value2);
 }
 
 namespace {
 
-// `{table="t"}` (text) selector, empty for unlabeled metrics. Label values
-// escape quotes/backslashes so exposition stays parseable.
-std::string TextSelector(const std::string& label_key,
-                         const std::string& label_value) {
+using LabelValues = std::pair<std::string, std::string>;
+
+// `key="value"` pairs without braces, e.g. `table="t",shard="3"`; empty for
+// unlabeled metrics. Label values escape quotes/backslashes/newlines so
+// exposition stays parseable. An empty second value means the member was
+// registered through the one-level API of a family that also has two-level
+// members; per Prometheus semantics (empty label == absent label) it
+// renders without the second pair.
+std::string LabelPairs(const std::string& label_key,
+                       const std::string& label_key2,
+                       const LabelValues& values) {
   if (label_key.empty()) return "";
-  return "{" + label_key + "=\"" + PromLabelEscape(label_value) + "\"}";
+  std::string out = label_key + "=\"" + PromLabelEscape(values.first) + "\"";
+  if (!label_key2.empty() && !values.second.empty()) {
+    out += "," + label_key2 + "=\"" + PromLabelEscape(values.second) + "\"";
+  }
+  return out;
+}
+
+// `{table="t",shard="3"}` (text) selector, empty for unlabeled metrics.
+std::string TextSelector(const std::string& label_key,
+                         const std::string& label_key2,
+                         const LabelValues& values) {
+  if (label_key.empty()) return "";
+  return "{" + LabelPairs(label_key, label_key2, values) + "}";
 }
 
 void AppendInt(int64_t v, std::string* out) {
@@ -137,7 +170,8 @@ std::string MetricsRegistry::ToText() const {
   for (const auto& [name, family] : counters_) {
     out += "# TYPE " + name + " counter\n";
     for (const auto& [label, counter] : family.by_label) {
-      out += name + TextSelector(family.label_key, label) + " ";
+      out += name + TextSelector(family.label_key, family.label_key2, label) +
+             " ";
       AppendInt(counter->Value(), &out);
       out += "\n";
     }
@@ -145,7 +179,8 @@ std::string MetricsRegistry::ToText() const {
   for (const auto& [name, family] : gauges_) {
     out += "# TYPE " + name + " gauge\n";
     for (const auto& [label, gauge] : family.by_label) {
-      out += name + TextSelector(family.label_key, label) + " ";
+      out += name + TextSelector(family.label_key, family.label_key2, label) +
+             " ";
       AppendInt(gauge->Value(), &out);
       out += "\n";
     }
@@ -153,6 +188,8 @@ std::string MetricsRegistry::ToText() const {
   for (const auto& [name, family] : histograms_) {
     out += "# TYPE " + name + " histogram\n";
     for (const auto& [label, hist] : family.by_label) {
+      std::string pairs = LabelPairs(family.label_key, family.label_key2, label);
+      if (!pairs.empty()) pairs += ",";
       // Cumulative counts at each non-empty bucket boundary, plus +Inf.
       // (A concurrent writer can make the +Inf line differ from the
       // bucket sum by in-flight observations; see the header contract.)
@@ -161,30 +198,22 @@ std::string MetricsRegistry::ToText() const {
         int64_t in_bucket = hist->BucketCount(b);
         if (in_bucket == 0) continue;
         cumulative += in_bucket;
-        std::string selector = "{";
-        if (!family.label_key.empty()) {
-          selector +=
-              family.label_key + "=\"" + PromLabelEscape(label) + "\",";
-        }
-        selector += "le=\"";
+        std::string selector = "{" + pairs + "le=\"";
         AppendInt(Histogram::BucketUpperBound(b), &selector);
         selector += "\"}";
         out += name + "_bucket" + selector + " ";
         AppendInt(cumulative, &out);
         out += "\n";
       }
-      std::string inf_selector = "{";
-      if (!family.label_key.empty()) {
-        inf_selector += family.label_key + "=\"" + PromLabelEscape(label) + "\",";
-      }
-      inf_selector += "le=\"+Inf\"}";
-      out += name + "_bucket" + inf_selector + " ";
+      out += name + "_bucket{" + pairs + "le=\"+Inf\"} ";
       AppendInt(hist->Count(), &out);
       out += "\n";
-      out += name + "_sum" + TextSelector(family.label_key, label) + " ";
+      out += name + "_sum" +
+             TextSelector(family.label_key, family.label_key2, label) + " ";
       AppendInt(hist->Sum(), &out);
       out += "\n";
-      out += name + "_count" + TextSelector(family.label_key, label) + " ";
+      out += name + "_count" +
+             TextSelector(family.label_key, family.label_key2, label) + " ";
       AppendInt(hist->Count(), &out);
       out += "\n";
     }
@@ -194,13 +223,22 @@ std::string MetricsRegistry::ToText() const {
 
 namespace {
 
-void AppendJsonLabels(const std::string& label_key, const std::string& label,
+void AppendJsonLabels(const std::string& label_key,
+                      const std::string& label_key2, const LabelValues& label,
                       std::string* out) {
   *out += ",\"labels\":{";
   if (!label_key.empty()) {
     AppendJsonString(label_key, out);
     *out += ":";
-    AppendJsonString(label, out);
+    AppendJsonString(label.first, out);
+    // Empty second value == one-level member of a mixed family (see
+    // LabelPairs); omit the pair.
+    if (!label_key2.empty() && !label.second.empty()) {
+      *out += ",";
+      AppendJsonString(label_key2, out);
+      *out += ":";
+      AppendJsonString(label.second, out);
+    }
   }
   *out += "}";
 }
@@ -217,7 +255,7 @@ std::string MetricsRegistry::ToJson() const {
       first = false;
       out += "{\"name\":";
       AppendJsonString(name, &out);
-      AppendJsonLabels(family.label_key, label, &out);
+      AppendJsonLabels(family.label_key, family.label_key2, label, &out);
       out += ",\"value\":";
       AppendInt(counter->Value(), &out);
       out += "}";
@@ -231,7 +269,7 @@ std::string MetricsRegistry::ToJson() const {
       first = false;
       out += "{\"name\":";
       AppendJsonString(name, &out);
-      AppendJsonLabels(family.label_key, label, &out);
+      AppendJsonLabels(family.label_key, family.label_key2, label, &out);
       out += ",\"value\":";
       AppendInt(gauge->Value(), &out);
       out += "}";
@@ -245,7 +283,7 @@ std::string MetricsRegistry::ToJson() const {
       first = false;
       out += "{\"name\":";
       AppendJsonString(name, &out);
-      AppendJsonLabels(family.label_key, label, &out);
+      AppendJsonLabels(family.label_key, family.label_key2, label, &out);
       out += ",\"count\":";
       AppendInt(hist->Count(), &out);
       out += ",\"sum\":";
@@ -278,7 +316,9 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
       Sample s;
       s.name = name;
       s.label_key = family.label_key;
-      s.label_value = label;
+      s.label_value = label.first;
+      s.label_key2 = family.label_key2;
+      s.label_value2 = label.second;
       s.kind = "counter";
       s.value = counter->Value();
       out.push_back(std::move(s));
@@ -289,7 +329,9 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
       Sample s;
       s.name = name;
       s.label_key = family.label_key;
-      s.label_value = label;
+      s.label_value = label.first;
+      s.label_key2 = family.label_key2;
+      s.label_value2 = label.second;
       s.kind = "gauge";
       s.value = gauge->Value();
       out.push_back(std::move(s));
@@ -300,7 +342,9 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
       Sample s;
       s.name = name;
       s.label_key = family.label_key;
-      s.label_value = label;
+      s.label_value = label.first;
+      s.label_key2 = family.label_key2;
+      s.label_value2 = label.second;
       s.kind = "histogram";
       s.value = hist->Count();
       s.sum = hist->Sum();

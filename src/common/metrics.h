@@ -111,13 +111,17 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
 };
 
-// Name -> metric map with optional one-level label families (e.g. every
-// per-table metric carries {table="<name>"}). Get* registers on first use
-// and returns the same stable pointer ever after; callers resolve handles
-// once (constructor time) and update them lock-free. Exposition iterates
-// the sorted maps, so rendered output has deterministic metric and label
+// Name -> metric map with optional label families of up to two levels
+// (e.g. per-table metrics carry {table="<name>"}; per-shard metrics carry
+// {table="<name>",shard="<id>"}). Get* registers on first use and returns
+// the same stable pointer ever after; callers resolve handles once
+// (constructor time) and update them lock-free. Exposition iterates the
+// sorted maps, so rendered output has deterministic metric and label
 // order. Most code uses the process-global instance; tests may construct
 // private registries for isolation.
+//
+// A family's label keys are fixed by its first registration; later Get*
+// calls for the same name select an instance by label values only.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -129,16 +133,35 @@ class MetricsRegistry {
     return GetCounter(name, "", "");
   }
   Counter* GetCounter(const std::string& name, const std::string& label_key,
-                      const std::string& label_value);
+                      const std::string& label_value) {
+    return GetCounter(name, label_key, label_value, "", "");
+  }
+  Counter* GetCounter(const std::string& name, const std::string& label_key,
+                      const std::string& label_value,
+                      const std::string& label_key2,
+                      const std::string& label_value2);
   Gauge* GetGauge(const std::string& name) { return GetGauge(name, "", ""); }
   Gauge* GetGauge(const std::string& name, const std::string& label_key,
-                  const std::string& label_value);
+                  const std::string& label_value) {
+    return GetGauge(name, label_key, label_value, "", "");
+  }
+  Gauge* GetGauge(const std::string& name, const std::string& label_key,
+                  const std::string& label_value,
+                  const std::string& label_key2,
+                  const std::string& label_value2);
   Histogram* GetHistogram(const std::string& name) {
     return GetHistogram(name, "", "");
   }
   Histogram* GetHistogram(const std::string& name,
                           const std::string& label_key,
-                          const std::string& label_value);
+                          const std::string& label_value) {
+    return GetHistogram(name, label_key, label_value, "", "");
+  }
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& label_key,
+                          const std::string& label_value,
+                          const std::string& label_key2,
+                          const std::string& label_value2);
 
   // Prometheus-style text exposition: one `name{label="value"} value` line
   // per counter/gauge, `_bucket`/`_sum`/`_count` lines per histogram
@@ -154,12 +177,14 @@ class MetricsRegistry {
   // One flattened metric reading (the sys.metrics system view's row shape).
   struct Sample {
     std::string name;
-    std::string label_key;    // "" for unlabeled metrics
-    std::string label_value;  // "" for unlabeled metrics
-    std::string kind;         // "counter" | "gauge" | "histogram"
-    int64_t value = 0;        // counter/gauge value; histogram observation count
-    int64_t sum = 0;          // histogram sum; 0 otherwise
-    bool has_sum = false;     // true only for histograms
+    std::string label_key;     // "" for unlabeled metrics
+    std::string label_value;   // "" for unlabeled metrics
+    std::string label_key2;    // "" unless the family has two label levels
+    std::string label_value2;  // "" unless the family has two label levels
+    std::string kind;          // "counter" | "gauge" | "histogram"
+    int64_t value = 0;         // counter/gauge value; histogram observation count
+    int64_t sum = 0;           // histogram sum; 0 otherwise
+    bool has_sum = false;      // true only for histograms
   };
   // Every registered metric as a flat list, in the same deterministic
   // (name, label) order as the text exposition.
@@ -172,14 +197,20 @@ class MetricsRegistry {
  private:
   template <typename T>
   struct Family {
-    std::string label_key;  // "" for unlabeled
-    std::map<std::string, std::unique_ptr<T>> by_label;
+    std::string label_key;   // "" for unlabeled
+    std::string label_key2;  // "" for zero- and one-level families
+    // Instances keyed by (first label value, second label value); the
+    // second element is "" below two levels. std::map keeps exposition in
+    // deterministic sorted order.
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<T>>
+        by_label;
   };
 
   template <typename T>
   T* GetMetric(std::map<std::string, Family<T>>* families,
                const std::string& name, const std::string& label_key,
-               const std::string& label_value);
+               const std::string& label_value, const std::string& label_key2,
+               const std::string& label_value2);
 
   mutable std::mutex mu_;  // guards family map shape only, never values
   std::map<std::string, Family<Counter>> counters_;

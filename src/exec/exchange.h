@@ -6,7 +6,9 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "exec/operator.h"
@@ -33,6 +35,13 @@ class ExchangeOperator final : public BatchOperator {
                    ExecContext* ctx, std::string label = "");
   ~ExchangeOperator() override;
 
+  // Plan-time facts to surface in EXPLAIN ANALYZE alongside the runtime
+  // counters (the sharded scatter lowering records shards_total /
+  // shards_pruned here). Appended after degree/rows_exchanged, in order.
+  void AddStaticCounter(std::string name, int64_t value) {
+    static_counters_.emplace_back(std::move(name), value);
+  }
+
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override {
     return label_.empty() ? "Exchange" : "Exchange(" + label_ + ")";
@@ -58,6 +67,7 @@ class ExchangeOperator final : public BatchOperator {
   int degree_;
   ExecContext* ctx_;
   std::string label_;
+  std::vector<std::pair<std::string, int64_t>> static_counters_;
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<ExecContext>> fragment_ctxs_;

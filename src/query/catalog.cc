@@ -25,6 +25,7 @@ Catalog::~Catalog() = default;
 const Schema& Catalog::Entry::schema() const {
   if (column_store != nullptr) return column_store->schema();
   if (row_store != nullptr) return row_store->schema();
+  if (sharded_table != nullptr) return sharded_table->schema();
   return system_view->schema();
 }
 
@@ -34,6 +35,10 @@ Status Catalog::AddColumnStore(std::unique_ptr<ColumnStoreTable> table) {
                                    table->name());
   }
   Entry& entry = entries_[table->name()];
+  if (entry.sharded_table != nullptr) {
+    return Status::AlreadyExists("sharded table already registered: " +
+                                 table->name());
+  }
   if (entry.column_store != nullptr) {
     return Status::AlreadyExists("column store already registered: " +
                                  table->name());
@@ -54,6 +59,10 @@ Status Catalog::AddRowStore(std::unique_ptr<RowStoreTable> table) {
                                    table->name());
   }
   Entry& entry = entries_[table->name()];
+  if (entry.sharded_table != nullptr) {
+    return Status::AlreadyExists("sharded table already registered: " +
+                                 table->name());
+  }
   if (entry.row_store != nullptr) {
     return Status::AlreadyExists("row store already registered: " +
                                  table->name());
@@ -65,6 +74,20 @@ Status Catalog::AddRowStore(std::unique_ptr<RowStoreTable> table) {
   }
   entry.row_store = table.get();
   row_stores_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddShardedTable(std::unique_ptr<ShardedTable> table) {
+  if (IsSystemViewName(table->name())) {
+    return Status::InvalidArgument("the sys. namespace is reserved: " +
+                                   table->name());
+  }
+  auto it = entries_.find(table->name());
+  if (it != entries_.end()) {
+    return Status::AlreadyExists("table already registered: " + table->name());
+  }
+  entries_[table->name()].sharded_table = table.get();
+  sharded_tables_.push_back(std::move(table));
   return Status::OK();
 }
 
@@ -107,6 +130,11 @@ RowStoreTable* Catalog::GetRowStore(const std::string& name) const {
   return entry == nullptr ? nullptr : entry->row_store;
 }
 
+ShardedTable* Catalog::GetShardedTable(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry == nullptr ? nullptr : entry->sharded_table;
+}
+
 std::string Catalog::StatsReport() const {
   std::string out = "== tables ==\n";
   for (const auto& [name, entry] : entries_) {
@@ -129,6 +157,36 @@ std::string Catalog::StatsReport() const {
     }
     if (entry.row_store != nullptr) {
       AppendLine(&out, "row_store_rows", entry.row_store->num_rows());
+    }
+    if (entry.sharded_table != nullptr) {
+      // Aggregate across all shards (each shard's numbers are also
+      // published per shard under {table=,shard=} metric labels). Reads
+      // one pinned snapshot per shard so row counts are internally
+      // consistent per shard, like the unsharded branch above.
+      const ShardedTable* st = entry.sharded_table;
+      st->RefreshStorageGauges();
+      std::vector<TableSnapshot> snaps = st->SnapshotAll();
+      int64_t rows = 0, delta_rows = 0, deleted_rows = 0;
+      int64_t row_groups = 0, delta_stores = 0;
+      for (const TableSnapshot& snap : snaps) {
+        rows += snap->num_rows();
+        delta_rows += snap->num_delta_rows();
+        deleted_rows += snap->num_deleted_rows();
+        row_groups += snap->num_row_groups();
+        delta_stores += snap->num_delta_stores();
+      }
+      ColumnStoreTable::SizeBreakdown sizes = st->Sizes();
+      AppendLine(&out, "shards", st->num_shards());
+      AppendLine(&out, "rows", rows);
+      AppendLine(&out, "delta_rows", delta_rows);
+      AppendLine(&out, "deleted_rows", deleted_rows);
+      AppendLine(&out, "row_groups", row_groups);
+      AppendLine(&out, "delta_stores", delta_stores);
+      AppendLine(&out, "segment_bytes", sizes.segment_bytes);
+      AppendLine(&out, "dictionary_bytes", sizes.dictionary_bytes);
+      AppendLine(&out, "delete_bitmap_bytes", sizes.delete_bitmap_bytes);
+      AppendLine(&out, "delta_store_bytes", sizes.delta_store_bytes);
+      AppendLine(&out, "total_bytes", sizes.Total());
     }
   }
   out += "\n== metrics ==\n";

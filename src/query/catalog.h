@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "storage/column_store.h"
 #include "storage/row_store.h"
+#include "storage/sharded_table.h"
 
 namespace vstore {
 
@@ -16,7 +17,9 @@ class SystemViewProvider;
 
 // Name -> table mapping. A logical table may have a column store
 // representation, a row store representation, or both (benchmarks register
-// both to compare access paths; the planner picks by execution mode). The
+// both to compare access paths; the planner picks by execution mode) — or
+// be a hash-partitioned ShardedTable, which the planner lowers into a
+// scatter-gather exchange over per-shard scans. The
 // "sys." prefix is a reserved namespace of virtual system views (DMVs):
 // every catalog carries the built-in set (sys.tables, sys.segments,
 // sys.query_stats, ...), resolved by Find like ordinary tables but
@@ -30,16 +33,21 @@ class Catalog {
   struct Entry {
     ColumnStoreTable* column_store = nullptr;  // owned by the catalog
     RowStoreTable* row_store = nullptr;
+    ShardedTable* sharded_table = nullptr;  // owned by the catalog
     const SystemViewProvider* system_view = nullptr;  // owned by the catalog
 
     const Schema& schema() const;
     bool has_column_store() const { return column_store != nullptr; }
     bool has_row_store() const { return row_store != nullptr; }
+    bool has_sharded_table() const { return sharded_table != nullptr; }
     bool has_system_view() const { return system_view != nullptr; }
   };
 
   Status AddColumnStore(std::unique_ptr<ColumnStoreTable> table);
   Status AddRowStore(std::unique_ptr<RowStoreTable> table);
+  // A sharded table is a logical table's only representation: it cannot
+  // share its name with a column- or row-store entry.
+  Status AddShardedTable(std::unique_ptr<ShardedTable> table);
   // Registers a virtual table under the reserved "sys." namespace.
   Status RegisterSystemView(std::unique_ptr<SystemViewProvider> view);
 
@@ -50,6 +58,7 @@ class Catalog {
 
   ColumnStoreTable* GetColumnStore(const std::string& name) const;
   RowStoreTable* GetRowStore(const std::string& name) const;
+  ShardedTable* GetShardedTable(const std::string& name) const;
 
   // User tables only (system views excluded) — what sys.tables et al.
   // enumerate, so views never recurse into themselves.
@@ -71,6 +80,7 @@ class Catalog {
   std::map<std::string, Entry> system_entries_;
   std::vector<std::unique_ptr<ColumnStoreTable>> column_stores_;
   std::vector<std::unique_ptr<RowStoreTable>> row_stores_;
+  std::vector<std::unique_ptr<ShardedTable>> sharded_tables_;
   std::vector<std::unique_ptr<SystemViewProvider>> system_views_;
 };
 

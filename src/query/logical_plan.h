@@ -32,6 +32,15 @@ struct NamedScanPredicate {
   Value value;
 };
 
+// A `column IN (literals)` predicate noted on a scan node by the pushdown
+// rule. Unlike pushed_predicates this is advisory: the originating filter
+// stays in the plan (results never depend on the note), but the sharded
+// planner reads it to prune shards whose hash no listed value routes to.
+struct NamedInList {
+  std::string column;
+  std::vector<Value> values;
+};
+
 struct NamedAggSpec {
   AggFn fn;
   std::string column;  // empty for COUNT(*)
@@ -55,6 +64,7 @@ struct LogicalPlan {
   // kScan
   std::string table;
   std::vector<NamedScanPredicate> pushed_predicates;  // set by the optimizer
+  std::vector<NamedInList> pruning_in_lists;          // set by the optimizer
   // Column-pruned projection (names, in output order); empty = all columns.
   // Set by the optimizer; predicate columns need not appear here (the scan
   // decodes them into scratch space).

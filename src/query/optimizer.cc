@@ -186,9 +186,21 @@ PlanPtr PushDownFilters(PlanPtr node) {
       NamedScanPredicate pred;
       if (AsSargable(c, child->schema, &pred)) {
         child->pushed_predicates.push_back(std::move(pred));
-      } else {
-        residual.push_back(c);
+        continue;
       }
+      // `column IN (literals)` is noted on the scan for shard pruning but
+      // stays in the filter: the note only narrows which shards are
+      // scanned, never what the filter accepts.
+      if (c->kind() == ExprKind::kIn) {
+        const auto* in = static_cast<const InExpr*>(c.get());
+        if (in->input()->kind() == ExprKind::kColumn) {
+          const auto* col =
+              static_cast<const ColumnRefExpr*>(in->input().get());
+          child->pruning_in_lists.push_back(
+              NamedInList{col->name(), in->values()});
+        }
+      }
+      residual.push_back(c);
     }
   } else if (child->kind == PlanKind::kJoin &&
              (child->join_type == JoinType::kInner ||
@@ -590,6 +602,9 @@ void PlaceBloomFilters(const Catalog& catalog, const PlanPtr& node,
     if (entry != nullptr && entry->has_column_store()) {
       raw_rows = std::max(
           1.0, static_cast<double>(entry->column_store->num_rows()));
+    } else if (entry != nullptr && entry->has_sharded_table()) {
+      raw_rows = std::max(
+          1.0, static_cast<double>(entry->sharded_table->num_rows()));
     } else if (entry != nullptr && entry->has_row_store()) {
       raw_rows =
           std::max(1.0, static_cast<double>(entry->row_store->num_rows()));
@@ -616,6 +631,8 @@ double EstimateRows(const Catalog& catalog, const PlanPtr& plan) {
       double rows = 1000.0;
       if (entry != nullptr && entry->has_column_store()) {
         rows = static_cast<double>(entry->column_store->num_rows());
+      } else if (entry != nullptr && entry->has_sharded_table()) {
+        rows = static_cast<double>(entry->sharded_table->num_rows());
       } else if (entry != nullptr && entry->has_row_store()) {
         rows = static_cast<double>(entry->row_store->num_rows());
       }
@@ -650,6 +667,9 @@ double EstimateRows(const Catalog& catalog, const PlanPtr& plan) {
         if (entry != nullptr && entry->has_column_store()) {
           raw_build = std::max(
               1.0, static_cast<double>(entry->column_store->num_rows()));
+        } else if (entry != nullptr && entry->has_sharded_table()) {
+          raw_build = std::max(
+              1.0, static_cast<double>(entry->sharded_table->num_rows()));
         } else if (entry != nullptr && entry->has_row_store()) {
           raw_build =
               std::max(1.0, static_cast<double>(entry->row_store->num_rows()));

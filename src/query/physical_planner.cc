@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "exec/exchange.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
@@ -36,7 +37,134 @@ struct ForcedScanRange {
   int64_t group_end;
   bool include_deltas;
   TableSnapshot snapshot;
+  // Scatter-gather over a sharded table: when set, the fragment scans this
+  // physical shard (the snapshot above is that shard's pinned version)
+  // instead of the catalog entry's column store.
+  const ColumnStoreTable* shard = nullptr;
 };
+
+// Per-shard scan targets of one sharded-scan lowering, after partition
+// pruning; each target travels with the pinned snapshot its fragment scans.
+struct ShardFanout {
+  struct Target {
+    const ColumnStoreTable* shard;
+    TableSnapshot snapshot;
+  };
+  std::vector<Target> targets;
+  int64_t shards_total = 0;
+  int64_t shards_pruned = 0;
+};
+
+// Computes which shards a scan must touch. Equality pushdowns and IN-list
+// notes on the partition column each constrain the candidate set to the
+// shards their literal(s) hash to; multiple constraints intersect. Pruned
+// shards are never snapshotted or scanned. Conservative by construction:
+// predicates on other columns (or none at all) keep every shard, and the
+// originating filters always stay in the plan, so pruning can only skip
+// shards the predicates prove empty of matches.
+ShardFanout ComputeShardFanout(const ShardedTable& table,
+                               const LogicalPlan& scan) {
+  const int n = table.num_shards();
+  std::vector<bool> candidate(static_cast<size_t>(n), true);
+  auto intersect = [&](const std::vector<bool>& allowed) {
+    for (int i = 0; i < n; ++i) {
+      size_t s = static_cast<size_t>(i);
+      candidate[s] = candidate[s] && allowed[s];
+    }
+  };
+  const std::string& key = table.partition_key();
+  for (const NamedScanPredicate& pred : scan.pushed_predicates) {
+    if (pred.op != CompareOp::kEq || pred.column != key) continue;
+    std::vector<bool> allowed(static_cast<size_t>(n), false);
+    allowed[static_cast<size_t>(table.ShardFor(pred.value))] = true;
+    intersect(allowed);
+  }
+  for (const NamedInList& in : scan.pruning_in_lists) {
+    if (in.column != key) continue;
+    std::vector<bool> allowed(static_cast<size_t>(n), false);
+    for (const Value& v : in.values) {
+      allowed[static_cast<size_t>(table.ShardFor(v))] = true;
+    }
+    intersect(allowed);
+  }
+  ShardFanout fanout;
+  fanout.shards_total = n;
+  for (int i = 0; i < n; ++i) {
+    if (!candidate[static_cast<size_t>(i)]) {
+      ++fanout.shards_pruned;
+      continue;
+    }
+    const ColumnStoreTable* shard = table.shard(i);
+    fanout.targets.push_back(ShardFanout::Target{shard, shard->Snapshot()});
+  }
+  return fanout;
+}
+
+// Registry-side pruning accounting, bumped once per scatter actually built
+// (fanouts computed but abandoned — e.g. a parallel rewrite that fell back
+// to the serial path — are not counted).
+void RecordShardScatter(const std::string& table, int64_t scanned,
+                        int64_t pruned) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("vstore_scan_shards_pruned_total", "table", table)
+      ->Increment(pruned);
+  registry.GetCounter("vstore_scan_shards_scanned_total", "table", table)
+      ->Increment(scanned);
+}
+
+// One ForcedScanRange per fragment for a parallelizable chain bottoming at
+// `scan_node`: disjoint row-group stripes of a column store (fragment 0
+// carrying the delta stores), or one whole unpruned shard per fragment for
+// a sharded table (every fragment carrying its shard's deltas). An empty
+// `ranges` means the chain should not parallelize here (fewer than two
+// fragments' worth of work); callers fall back to the serial lowering,
+// where a sharded scan still becomes its own scatter exchange.
+struct ChainFragments {
+  std::vector<ForcedScanRange> ranges;
+  bool sharded = false;
+  int64_t shards_total = 0;
+  int64_t shards_pruned = 0;
+};
+
+ChainFragments PlanChainFragments(const Catalog& catalog,
+                                  const PhysicalPlanOptions& options,
+                                  const PlanPtr& scan_node) {
+  ChainFragments out;
+  const Catalog::Entry* entry = catalog.Find(scan_node->table);
+  if (entry->has_sharded_table()) {
+    out.sharded = true;
+    ShardFanout fanout = ComputeShardFanout(*entry->sharded_table, *scan_node);
+    out.shards_total = fanout.shards_total;
+    out.shards_pruned = fanout.shards_pruned;
+    if (fanout.targets.size() < 2) return ChainFragments{};
+    for (ShardFanout::Target& target : fanout.targets) {
+      ForcedScanRange range;
+      range.group_begin = 0;
+      range.group_end = -1;  // all of the shard's groups
+      range.include_deltas = options.include_deltas;
+      range.snapshot = std::move(target.snapshot);
+      range.shard = target.shard;
+      out.ranges.push_back(std::move(range));
+    }
+    return out;
+  }
+  const ColumnStoreTable* table = entry->column_store;
+  // One snapshot shared by every fragment.
+  TableSnapshot snapshot = table->Snapshot();
+  int64_t groups = snapshot->num_row_groups();
+  int dop = static_cast<int>(std::min<int64_t>(options.dop, groups));
+  if (dop < 2) return out;
+  int64_t per = (groups + dop - 1) / dop;
+  for (int f = 0; f < dop; ++f) {
+    ForcedScanRange range;
+    range.group_begin = f * per;
+    range.group_end = std::min<int64_t>(range.group_begin + per, groups);
+    range.include_deltas = options.include_deltas && f == 0;
+    range.snapshot = snapshot;
+    out.ranges.push_back(std::move(range));
+  }
+  return out;
+}
 
 // Shared build state for joins inside a parallelized plan region, keyed by
 // the logical join node. Fragment lowerings consult this to wrap probe
@@ -65,6 +193,13 @@ class Lowering {
  private:
   Result<BatchOperatorPtr> BuildBatchScan(const PlanPtr& plan,
                                           std::vector<PendingBloom> blooms);
+  // Scatter-gather scan of a sharded table: one fragment per unpruned
+  // shard under an Exchange, each scanning its shard's pinned snapshot
+  // (compressed groups and delta stores both — shards are disjoint, so
+  // there is no "fragment 0 owns the deltas" special case).
+  Result<BatchOperatorPtr> BuildShardedScan(const PlanPtr& plan,
+                                            const ShardedTable* sharded,
+                                            std::vector<PendingBloom> blooms);
   // Parallel aggregation: partial aggregates in scan fragments, exchange,
   // final aggregate. Returns nullptr when the pattern does not apply.
   Result<BatchOperatorPtr> TryParallelAggregate(const PlanPtr& plan);
@@ -114,19 +249,24 @@ bool IsFragmentableChain(const Catalog& catalog, const PlanPtr& plan,
 
 // Like IsFragmentableChain, but the probe spine may pass through hash
 // joins: scan/filter/project/join nodes descending the probe (left) side,
-// with a column store at the bottom. Collects the join nodes (outermost
-// first); build sides may be arbitrary subtrees — they are lowered once
-// into shared builds, not per fragment.
+// with a column store — or a sharded table, whose fragments become
+// per-shard scans — at the bottom. Outputs the bottom scan node (pruning
+// reads its predicates) and collects the join nodes (outermost first);
+// build sides may be arbitrary subtrees — they are lowered once into
+// shared builds, not per fragment.
 bool IsParallelJoinChain(const Catalog& catalog, const PlanPtr& plan,
-                         std::string* table_out,
+                         PlanPtr* scan_out,
                          std::vector<PlanPtr>* joins_out) {
   PlanPtr cursor = plan;
   for (;;) {
     switch (cursor->kind) {
       case PlanKind::kScan: {
         const Catalog::Entry* entry = catalog.Find(cursor->table);
-        if (entry == nullptr || !entry->has_column_store()) return false;
-        *table_out = cursor->table;
+        if (entry == nullptr ||
+            (!entry->has_column_store() && !entry->has_sharded_table())) {
+          return false;
+        }
+        *scan_out = cursor;
         return true;
       }
       case PlanKind::kFilter:
@@ -239,7 +379,13 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
     return batch;
   }
 
-  if (!entry->has_column_store()) {
+  const bool is_shard_fragment =
+      forced_scan_range_ != nullptr && forced_scan_range_->shard != nullptr;
+  if (entry->has_sharded_table() && !is_shard_fragment) {
+    return BuildShardedScan(plan, entry->sharded_table, std::move(blooms));
+  }
+
+  if (!entry->has_column_store() && !is_shard_fragment) {
     // Batch plan over a row store: adapt a row scan, predicates become a
     // batch filter (pending blooms cannot be pushed; drop them — the join
     // still filters exactly).
@@ -262,7 +408,10 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
     return batch;
   }
 
-  const ColumnStoreTable* table = entry->column_store;
+  // Inside a scatter fragment the scan targets the injected shard; the
+  // shard's schema is the logical table's, so name resolution is unchanged.
+  const ColumnStoreTable* table =
+      is_shard_fragment ? forced_scan_range_->shard : entry->column_store;
   ColumnStoreScanOperator::Options scan_options;
   scan_options.include_deltas = options_.include_deltas;
   scan_options.label = plan->table;
@@ -331,6 +480,67 @@ Result<BatchOperatorPtr> Lowering::BuildBatchScan(
   };
   return BatchOperatorPtr(std::make_unique<ExchangeOperator>(
       out_schema, std::move(factory), dop, ctx_));
+}
+
+Result<BatchOperatorPtr> Lowering::BuildShardedScan(
+    const PlanPtr& plan, const ShardedTable* sharded,
+    std::vector<PendingBloom> blooms) {
+  // Projection, pushdowns, and Bloom specs resolve once against the
+  // logical schema; every shard shares them.
+  ColumnStoreScanOperator::Options scan_options;
+  scan_options.include_deltas = options_.include_deltas;
+  scan_options.label = plan->table;
+  for (const std::string& name : plan->scan_columns) {
+    int idx = sharded->schema().IndexOf(name);
+    if (idx < 0) return Status::InvalidArgument("unknown scan column " + name);
+    scan_options.projection.push_back(idx);
+  }
+  for (const NamedScanPredicate& pred : plan->pushed_predicates) {
+    int idx = sharded->schema().IndexOf(pred.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown pushdown column " + pred.column);
+    }
+    scan_options.predicates.push_back(ScanPredicate{idx, pred.op, pred.value});
+  }
+  for (const PendingBloom& pb : blooms) {
+    int idx = sharded->schema().IndexOf(pb.column);
+    if (idx < 0) continue;  // column renamed away; join still filters
+    scan_options.bloom_filters.push_back(BloomFilterSpec{idx, pb.filter});
+  }
+
+  Schema out_schema = scan_options.projection.empty()
+                          ? sharded->schema()
+                          : sharded->schema().Project(scan_options.projection);
+
+  ShardFanout fanout = ComputeShardFanout(*sharded, *plan);
+  RecordShardScatter(plan->table,
+                     static_cast<int64_t>(fanout.targets.size()),
+                     fanout.shards_pruned);
+  if (fanout.targets.empty()) {
+    // Every shard pruned: the predicates prove no row can match. An empty
+    // in-memory scan keeps the operator contract (and the profile shape
+    // cheap) without spawning fragments.
+    return BatchOperatorPtr(std::make_unique<MemTableScanOperator>(
+        std::make_shared<const TableData>(out_schema), plan->table, ctx_));
+  }
+
+  auto targets = std::make_shared<std::vector<ShardFanout::Target>>(
+      std::move(fanout.targets));
+  auto factory = [targets, scan_options](
+                     int fragment, ExecContext* fctx) -> Result<BatchOperatorPtr> {
+    const ShardFanout::Target& target =
+        (*targets)[static_cast<size_t>(fragment)];
+    ColumnStoreScanOperator::Options frag = scan_options;
+    frag.snapshot = target.snapshot;
+    return BatchOperatorPtr(std::make_unique<ColumnStoreScanOperator>(
+        target.shard, frag, fctx));
+  };
+  auto exchange = std::make_unique<ExchangeOperator>(
+      std::move(out_schema), std::move(factory),
+      static_cast<int>(targets->size()), ctx_, "Scatter " + plan->table);
+  exchange->AddStaticCounter("shards_total", fanout.shards_total);
+  exchange->AddStaticCounter("shards_pruned", fanout.shards_pruned);
+  return BatchOperatorPtr(std::move(exchange));
 }
 
 Result<std::shared_ptr<SharedHashJoinBuild>> Lowering::PrepareSharedJoin(
@@ -417,40 +627,31 @@ Result<std::shared_ptr<SharedJoinMap>> Lowering::PrepareSharedJoins(
 
 Result<BatchOperatorPtr> Lowering::TryParallelJoin(
     const PlanPtr& plan, std::vector<PendingBloom> blooms) {
-  std::string table_name;
+  PlanPtr scan_node;
   std::vector<PlanPtr> joins;
-  if (!IsParallelJoinChain(catalog_, plan, &table_name, &joins)) {
+  if (!IsParallelJoinChain(catalog_, plan, &scan_node, &joins)) {
     return BatchOperatorPtr(nullptr);
   }
-  const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
-  // One snapshot shared by every probe fragment.
-  TableSnapshot snapshot = table->Snapshot();
-  int64_t groups = snapshot->num_row_groups();
-  int dop = static_cast<int>(std::min<int64_t>(options_.dop, groups));
+  ChainFragments frags = PlanChainFragments(catalog_, options_, scan_node);
+  const int dop = static_cast<int>(frags.ranges.size());
   if (dop < 2) return BatchOperatorPtr(nullptr);
 
   VSTORE_ASSIGN_OR_RETURN(std::shared_ptr<SharedJoinMap> shared_map,
                           PrepareSharedJoins(joins, dop));
 
-  // Fragments lower the whole probe spine over a row-group stripe; the
+  // Fragments lower the whole probe spine over their stripe or shard; the
   // join nodes resolve to probe operators over the shared builds.
   const Catalog* catalog = &catalog_;
   PhysicalPlanOptions options = options_;
   PlanPtr chain_plan = plan;
-  bool include_deltas = options_.include_deltas;
-  auto factory = [catalog, options, chain_plan, shared_map, groups, dop,
-                  include_deltas, blooms, snapshot](
+  auto ranges = std::make_shared<std::vector<ForcedScanRange>>(
+      std::move(frags.ranges));
+  auto factory = [catalog, options, chain_plan, shared_map, ranges, blooms](
                      int fragment,
                      ExecContext* fctx) -> Result<BatchOperatorPtr> {
     PhysicalPlan scratch;
     Lowering sub(*catalog, fctx, options, &scratch);
-    int64_t per = (groups + dop - 1) / dop;
-    ForcedScanRange range;
-    range.group_begin = fragment * per;
-    range.group_end = std::min<int64_t>(range.group_begin + per, groups);
-    range.include_deltas = include_deltas && fragment == 0;
-    range.snapshot = snapshot;
-    sub.set_forced_scan_range(&range);
+    sub.set_forced_scan_range(&(*ranges)[static_cast<size_t>(fragment)]);
     sub.set_shared_joins(shared_map.get(), fragment);
     VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,
                             sub.BuildBatch(chain_plan, blooms));
@@ -463,21 +664,24 @@ Result<BatchOperatorPtr> Lowering::TryParallelJoin(
   Schema out_schema =
       HashJoinOutputSchema(plan->children[0]->schema,
                            plan->children[1]->schema, plan->join_type);
-  return BatchOperatorPtr(std::make_unique<ExchangeOperator>(
-      std::move(out_schema), std::move(factory), dop, ctx_, "HashJoin"));
+  auto exchange = std::make_unique<ExchangeOperator>(
+      std::move(out_schema), std::move(factory), dop, ctx_, "HashJoin");
+  if (frags.sharded) {
+    exchange->AddStaticCounter("shards_total", frags.shards_total);
+    exchange->AddStaticCounter("shards_pruned", frags.shards_pruned);
+    RecordShardScatter(scan_node->table, dop, frags.shards_pruned);
+  }
+  return BatchOperatorPtr(std::move(exchange));
 }
 
 Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
-  std::string table_name;
+  PlanPtr scan_node;
   std::vector<PlanPtr> joins;
-  if (!IsParallelJoinChain(catalog_, plan->children[0], &table_name, &joins)) {
+  if (!IsParallelJoinChain(catalog_, plan->children[0], &scan_node, &joins)) {
     return BatchOperatorPtr(nullptr);
   }
-  const ColumnStoreTable* table = catalog_.GetColumnStore(table_name);
-  // One snapshot shared by every scan fragment.
-  TableSnapshot snapshot = table->Snapshot();
-  int64_t groups = snapshot->num_row_groups();
-  int dop = static_cast<int>(std::min<int64_t>(options_.dop, groups));
+  ChainFragments frags = PlanChainFragments(catalog_, options_, scan_node);
+  const int dop = static_cast<int>(frags.ranges.size());
   if (dop < 2) return BatchOperatorPtr(nullptr);
 
   const Schema& child_schema = plan->children[0]->schema;
@@ -493,24 +697,18 @@ Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
   VSTORE_ASSIGN_OR_RETURN(std::shared_ptr<SharedJoinMap> shared_map,
                           PrepareSharedJoins(joins, dop));
 
-  // Fragments: chain + partial aggregation over a row-group stripe.
+  // Fragments: chain + partial aggregation over a stripe or shard.
   const Catalog* catalog = &catalog_;
   PhysicalPlanOptions options = options_;
   PlanPtr child_plan = plan->children[0];
-  bool include_deltas = options_.include_deltas;
+  auto ranges = std::make_shared<std::vector<ForcedScanRange>>(
+      std::move(frags.ranges));
   auto factory = [catalog, options, child_plan, shared_map, aggs, group_by,
-                  groups, dop, include_deltas,
-                  snapshot](int fragment, ExecContext* fctx)
+                  ranges](int fragment, ExecContext* fctx)
       -> Result<BatchOperatorPtr> {
     PhysicalPlan scratch;  // fragments create no shared resources
     Lowering sub(*catalog, fctx, options, &scratch);
-    int64_t per = (groups + dop - 1) / dop;
-    ForcedScanRange range;
-    range.group_begin = fragment * per;
-    range.group_end = std::min<int64_t>(range.group_begin + per, groups);
-    range.include_deltas = include_deltas && fragment == 0;
-    range.snapshot = snapshot;
-    sub.set_forced_scan_range(&range);
+    sub.set_forced_scan_range(&(*ranges)[static_cast<size_t>(fragment)]);
     sub.set_shared_joins(shared_map.get(), fragment);
     VSTORE_ASSIGN_OR_RETURN(BatchOperatorPtr chain,
                             sub.BuildBatch(child_plan, {}));
@@ -523,8 +721,14 @@ Result<BatchOperatorPtr> Lowering::TryParallelAggregate(const PlanPtr& plan) {
     return BatchOperatorPtr(std::make_unique<HashAggregateOperator>(
         std::move(chain), std::move(partial), fctx));
   };
-  BatchOperatorPtr exchange = std::make_unique<ExchangeOperator>(
+  auto exchange_op = std::make_unique<ExchangeOperator>(
       partial_schema, std::move(factory), dop, ctx_);
+  if (frags.sharded) {
+    exchange_op->AddStaticCounter("shards_total", frags.shards_total);
+    exchange_op->AddStaticCounter("shards_pruned", frags.shards_pruned);
+    RecordShardScatter(scan_node->table, dop, frags.shards_pruned);
+  }
+  BatchOperatorPtr exchange = std::move(exchange_op);
 
   // Final aggregation over the partial rows.
   HashAggregateOperator::Options final_options;
@@ -676,6 +880,47 @@ Result<BatchOperatorPtr> Lowering::BuildBatch(
   return Status::Internal("unknown plan kind");
 }
 
+// Row-mode scan of a sharded table: drains each shard's row scan in shard
+// order (row mode is the serial baseline, so there is no scatter here —
+// just concatenation; shard pruning is a batch-mode optimization).
+class RowConcatOperator final : public RowOperator {
+ public:
+  explicit RowConcatOperator(std::vector<RowOperatorPtr> children)
+      : children_(std::move(children)) {
+    VSTORE_CHECK(!children_.empty());
+  }
+
+  Status Open() override {
+    current_ = 0;
+    for (auto& child : children_) {
+      VSTORE_RETURN_IF_ERROR(child->Open());
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(std::vector<Value>* row) override {
+    while (current_ < children_.size()) {
+      VSTORE_ASSIGN_OR_RETURN(bool has_row, children_[current_]->Next(row));
+      if (has_row) return true;
+      ++current_;
+    }
+    return false;
+  }
+
+  void Close() override {
+    for (auto& child : children_) child->Close();
+  }
+
+  const Schema& output_schema() const override {
+    return children_.front()->output_schema();
+  }
+  std::string name() const override { return "RowConcat"; }
+
+ private:
+  std::vector<RowOperatorPtr> children_;
+  size_t current_ = 0;
+};
+
 Result<RowOperatorPtr> Lowering::BuildRow(const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kScan: {
@@ -684,7 +929,15 @@ Result<RowOperatorPtr> Lowering::BuildRow(const PlanPtr& plan) {
         return Status::NotFound("unknown table " + plan->table);
       }
       RowOperatorPtr scan;
-      if (entry->has_system_view()) {
+      if (entry->has_sharded_table()) {
+        std::vector<RowOperatorPtr> shard_scans;
+        const ShardedTable* sharded = entry->sharded_table;
+        for (int i = 0; i < sharded->num_shards(); ++i) {
+          shard_scans.push_back(
+              std::make_unique<ColumnStoreRowScanOperator>(sharded->shard(i)));
+        }
+        scan = std::make_unique<RowConcatOperator>(std::move(shard_scans));
+      } else if (entry->has_system_view()) {
         VSTORE_ASSIGN_OR_RETURN(TableData materialized,
                                 entry->system_view->Materialize(catalog_));
         scan = std::make_unique<MemTableRowScanOperator>(
@@ -794,7 +1047,8 @@ bool AllScansHaveColumnStores(const Catalog& catalog, const PlanPtr& plan) {
     const Catalog::Entry* entry = catalog.Find(plan->table);
     // System views are batch-capable: their materialized scan is columnar.
     return entry != nullptr &&
-           (entry->has_column_store() || entry->has_system_view());
+           (entry->has_column_store() || entry->has_sharded_table() ||
+            entry->has_system_view());
   }
   for (const PlanPtr& child : plan->children) {
     if (!AllScansHaveColumnStores(catalog, child)) return false;

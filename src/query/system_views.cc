@@ -1,6 +1,7 @@
 #include "query/system_views.h"
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "query/catalog.h"
 #include "query/query_store.h"
 #include "storage/column_store.h"
+#include "storage/sharded_table.h"
 
 namespace vstore {
 
@@ -75,6 +77,23 @@ const char* EncodingName(EncodingKind kind) {
   return "UNKNOWN";
 }
 
+// The physical column stores behind a catalog entry: the table itself, or
+// its shards (display-named "table#i") for sharded tables. Storage-level
+// views (row groups, segments, dictionaries, delta stores) iterate these so
+// shard internals are inspectable under the same queries as plain tables.
+std::vector<std::pair<std::string, const ColumnStoreTable*>> PhysicalStores(
+    const std::string& name, const Catalog::Entry& entry) {
+  std::vector<std::pair<std::string, const ColumnStoreTable*>> out;
+  if (entry.has_column_store()) out.emplace_back(name, entry.column_store);
+  if (entry.has_sharded_table()) {
+    const ShardedTable* sharded = entry.sharded_table;
+    for (int i = 0; i < sharded->num_shards(); ++i) {
+      out.emplace_back(name + "#" + std::to_string(i), sharded->shard(i));
+    }
+  }
+  return out;
+}
+
 const char* CodeKindName(CodeKind kind) {
   switch (kind) {
     case CodeKind::kValueOffset:
@@ -117,7 +136,27 @@ class TablesView final : public BuiltinView {
       if (entry.has_row_store()) {
         storage += storage.empty() ? "row_store" : "+row_store";
       }
-      if (entry.has_column_store()) {
+      if (entry.has_sharded_table()) {
+        // Logical totals summed over per-shard pinned snapshots (one
+        // consistent version per shard, not one cut across shards).
+        const ShardedTable* sharded = entry.sharded_table;
+        storage = "sharded(" + std::to_string(sharded->num_shards()) + ")";
+        int64_t rows = 0, delta_rows = 0, deleted = 0, groups = 0, stores = 0;
+        for (const TableSnapshot& snap : sharded->SnapshotAll()) {
+          rows += snap->num_rows();
+          delta_rows += snap->num_delta_rows();
+          deleted += snap->num_deleted_rows();
+          groups += snap->num_row_groups();
+          stores += snap->num_delta_stores();
+        }
+        ColumnStoreTable::SizeBreakdown sizes = sharded->Sizes();
+        data.AppendRow({S(name), S(storage),
+                        I(sharded->schema().num_columns()), I(rows),
+                        I(delta_rows), I(deleted), I(groups), I(stores),
+                        I(sizes.segment_bytes), I(sizes.dictionary_bytes),
+                        I(sizes.delta_store_bytes),
+                        I(sizes.delete_bitmap_bytes), I(sizes.Total())});
+      } else if (entry.has_column_store()) {
         const ColumnStoreTable* cs = entry.column_store;
         TableSnapshot snap = cs->Snapshot();
         ColumnStoreTable::SizeBreakdown sizes = cs->Sizes();
@@ -156,18 +195,18 @@ class RowGroupsView final : public BuiltinView {
   Result<TableData> Materialize(const Catalog& catalog) const override {
     TableData data(schema());
     for (const auto& [name, entry] : catalog.entries()) {
-      if (!entry.has_column_store()) continue;
-      TableSnapshot snap = entry.column_store->Snapshot();
-      for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
-        const RowGroup& rg = snap->row_group(g);
-        bool archived =
-            rg.num_columns() > 0 && rg.column(0).is_archived();
-        data.AppendRow({S(name), I(rg.id()),
-                        I(static_cast<int64_t>(snap->generation(g))),
-                        S(archived ? "ARCHIVED" : "COMPRESSED"),
-                        I(rg.num_rows()),
-                        I(snap->delete_bitmap(g).deleted_count()),
-                        I(rg.EncodedBytes())});
+      for (const auto& [store_name, cs] : PhysicalStores(name, entry)) {
+        TableSnapshot snap = cs->Snapshot();
+        for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+          const RowGroup& rg = snap->row_group(g);
+          bool archived = rg.num_columns() > 0 && rg.column(0).is_archived();
+          data.AppendRow({S(store_name), I(rg.id()),
+                          I(static_cast<int64_t>(snap->generation(g))),
+                          S(archived ? "ARCHIVED" : "COMPRESSED"),
+                          I(rg.num_rows()),
+                          I(snap->delete_bitmap(g).deleted_count()),
+                          I(rg.EncodedBytes())});
+        }
       }
     }
     return data;
@@ -198,22 +237,24 @@ class SegmentsView final : public BuiltinView {
   Result<TableData> Materialize(const Catalog& catalog) const override {
     TableData data(schema());
     for (const auto& [name, entry] : catalog.entries()) {
-      if (!entry.has_column_store()) continue;
-      const Schema& table_schema = entry.column_store->schema();
-      TableSnapshot snap = entry.column_store->Snapshot();
-      for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
-        const RowGroup& rg = snap->row_group(g);
-        for (int c = 0; c < rg.num_columns(); ++c) {
-          const ColumnSegment& seg = rg.column(c);
-          const SegmentStats& stats = seg.stats();
-          data.AppendRow(
-              {S(name), I(rg.id()), I(c), S(table_schema.field(c).name),
-               S(DataTypeName(seg.type())), S(EncodingName(seg.encoding())),
-               S(CodeKindName(seg.code_kind())), I(seg.bit_width()),
-               I(stats.num_rows), I(stats.null_count),
-               RenderSegmentBound(seg.type(), stats, /*want_min=*/true),
-               RenderSegmentBound(seg.type(), stats, /*want_min=*/false),
-               I(seg.EncodedBytes()), Value::Bool(seg.is_archived())});
+      for (const auto& [store_name, cs] : PhysicalStores(name, entry)) {
+        const Schema& table_schema = cs->schema();
+        TableSnapshot snap = cs->Snapshot();
+        for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+          const RowGroup& rg = snap->row_group(g);
+          for (int c = 0; c < rg.num_columns(); ++c) {
+            const ColumnSegment& seg = rg.column(c);
+            const SegmentStats& stats = seg.stats();
+            data.AppendRow(
+                {S(store_name), I(rg.id()), I(c),
+                 S(table_schema.field(c).name), S(DataTypeName(seg.type())),
+                 S(EncodingName(seg.encoding())),
+                 S(CodeKindName(seg.code_kind())), I(seg.bit_width()),
+                 I(stats.num_rows), I(stats.null_count),
+                 RenderSegmentBound(seg.type(), stats, /*want_min=*/true),
+                 RenderSegmentBound(seg.type(), stats, /*want_min=*/false),
+                 I(seg.EncodedBytes()), Value::Bool(seg.is_archived())});
+          }
         }
       }
     }
@@ -238,26 +279,26 @@ class DictionariesView final : public BuiltinView {
   Result<TableData> Materialize(const Catalog& catalog) const override {
     TableData data(schema());
     for (const auto& [name, entry] : catalog.entries()) {
-      if (!entry.has_column_store()) continue;
-      const ColumnStoreTable* cs = entry.column_store;
-      const Schema& table_schema = cs->schema();
-      for (int c = 0; c < table_schema.num_columns(); ++c) {
-        std::shared_ptr<const StringDictionary> dict =
-            cs->primary_dictionary(c);
-        if (dict == nullptr) continue;
-        data.AppendRow({S(name), I(c), S(table_schema.field(c).name),
-                        S("PRIMARY"), NullI(), I(dict->size()),
-                        I(dict->MemoryBytes())});
-      }
-      TableSnapshot snap = cs->Snapshot();
-      for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
-        const RowGroup& rg = snap->row_group(g);
-        for (int c = 0; c < rg.num_columns(); ++c) {
-          const StringDictionary* local = rg.column(c).local_dictionary();
-          if (local == nullptr) continue;
-          data.AppendRow({S(name), I(c), S(table_schema.field(c).name),
-                          S("LOCAL"), I(rg.id()), I(local->size()),
-                          I(local->MemoryBytes())});
+      for (const auto& [store_name, cs] : PhysicalStores(name, entry)) {
+        const Schema& table_schema = cs->schema();
+        for (int c = 0; c < table_schema.num_columns(); ++c) {
+          std::shared_ptr<const StringDictionary> dict =
+              cs->primary_dictionary(c);
+          if (dict == nullptr) continue;
+          data.AppendRow({S(store_name), I(c), S(table_schema.field(c).name),
+                          S("PRIMARY"), NullI(), I(dict->size()),
+                          I(dict->MemoryBytes())});
+        }
+        TableSnapshot snap = cs->Snapshot();
+        for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
+          const RowGroup& rg = snap->row_group(g);
+          for (int c = 0; c < rg.num_columns(); ++c) {
+            const StringDictionary* local = rg.column(c).local_dictionary();
+            if (local == nullptr) continue;
+            data.AppendRow({S(store_name), I(c), S(table_schema.field(c).name),
+                            S("LOCAL"), I(rg.id()), I(local->size()),
+                            I(local->MemoryBytes())});
+          }
         }
       }
     }
@@ -280,12 +321,71 @@ class DeltaStoresView final : public BuiltinView {
   Result<TableData> Materialize(const Catalog& catalog) const override {
     TableData data(schema());
     for (const auto& [name, entry] : catalog.entries()) {
-      if (!entry.has_column_store()) continue;
-      TableSnapshot snap = entry.column_store->Snapshot();
-      for (int64_t i = 0; i < snap->num_delta_stores(); ++i) {
-        const DeltaStore& ds = snap->delta_store(i);
-        data.AppendRow({S(name), I(ds.id()), S(ds.closed() ? "CLOSED" : "OPEN"),
-                        I(ds.num_rows()), I(ds.MemoryBytes())});
+      for (const auto& [store_name, cs] : PhysicalStores(name, entry)) {
+        TableSnapshot snap = cs->Snapshot();
+        for (int64_t i = 0; i < snap->num_delta_stores(); ++i) {
+          const DeltaStore& ds = snap->delta_store(i);
+          data.AppendRow({S(store_name), I(ds.id()),
+                          S(ds.closed() ? "CLOSED" : "OPEN"), I(ds.num_rows()),
+                          I(ds.MemoryBytes())});
+        }
+      }
+    }
+    return data;
+  }
+};
+
+// --- sys.shards ----------------------------------------------------------
+
+class ShardsView final : public BuiltinView {
+ public:
+  ShardsView()
+      : BuiltinView("sys.shards",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"shard_id", DataType::kInt64, false},
+                            {"partition_key", DataType::kString, false},
+                            {"rows", DataType::kInt64, false},
+                            {"delta_rows", DataType::kInt64, false},
+                            {"deleted_rows", DataType::kInt64, false},
+                            {"row_groups", DataType::kInt64, false},
+                            {"delta_stores", DataType::kInt64, false},
+                            {"segment_bytes", DataType::kInt64, false},
+                            {"delta_store_bytes", DataType::kInt64, false},
+                            {"total_bytes", DataType::kInt64, false},
+                            {"mover_passes", DataType::kInt64, false},
+                            {"mover_rows_moved", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    // Mover pass counts come from the two-level {table=,shard=} families
+    // the per-shard movers publish; a shard whose mover never ran (or was
+    // never constructed) reports zero.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<int64_t, int64_t>>
+        mover_stats;  // (table, shard) -> (passes, rows moved)
+    for (const MetricsRegistry::Sample& s :
+         MetricsRegistry::Global().Samples()) {
+      if (s.label_key != "table" || s.label_key2 != "shard") continue;
+      auto& slot = mover_stats[{s.label_value, s.label_value2}];
+      if (s.name == "vstore_mover_passes_total") slot.first = s.value;
+      if (s.name == "vstore_mover_rows_moved_total") slot.second = s.value;
+    }
+    for (const auto& [name, entry] : catalog.entries()) {
+      if (!entry.has_sharded_table()) continue;
+      const ShardedTable* sharded = entry.sharded_table;
+      std::vector<TableSnapshot> snaps = sharded->SnapshotAll();
+      for (int i = 0; i < sharded->num_shards(); ++i) {
+        const TableSnapshot& snap = snaps[static_cast<size_t>(i)];
+        ColumnStoreTable::SizeBreakdown sizes = sharded->shard(i)->Sizes();
+        auto it = mover_stats.find({name, std::to_string(i)});
+        int64_t passes = it == mover_stats.end() ? 0 : it->second.first;
+        int64_t moved = it == mover_stats.end() ? 0 : it->second.second;
+        data.AppendRow({S(name), I(i), S(sharded->partition_key()),
+                        I(snap->num_rows()), I(snap->num_delta_rows()),
+                        I(snap->num_deleted_rows()), I(snap->num_row_groups()),
+                        I(snap->num_delta_stores()), I(sizes.segment_bytes),
+                        I(sizes.delta_store_bytes), I(sizes.Total()),
+                        I(passes), I(moved)});
       }
     }
     return data;
@@ -301,6 +401,8 @@ class MetricsView final : public BuiltinView {
                     Schema({{"name", DataType::kString, false},
                             {"label_key", DataType::kString, true},
                             {"label_value", DataType::kString, true},
+                            {"label_key2", DataType::kString, true},
+                            {"label_value2", DataType::kString, true},
                             {"kind", DataType::kString, false},
                             {"value", DataType::kInt64, false},
                             {"sum", DataType::kInt64, true}})) {}
@@ -312,6 +414,8 @@ class MetricsView final : public BuiltinView {
       data.AppendRow({S(s.name),
                       s.label_key.empty() ? NullS() : S(s.label_key),
                       s.label_key.empty() ? NullS() : S(s.label_value),
+                      s.label_key2.empty() ? NullS() : S(s.label_key2),
+                      s.label_key2.empty() ? NullS() : S(s.label_value2),
                       S(s.kind), I(s.value),
                       s.has_sum ? I(s.sum) : NullI()});
     }
@@ -396,6 +500,7 @@ void RegisterBuiltinSystemViews(Catalog* catalog) {
   (void)catalog->RegisterSystemView(std::make_unique<SegmentsView>());
   (void)catalog->RegisterSystemView(std::make_unique<DictionariesView>());
   (void)catalog->RegisterSystemView(std::make_unique<DeltaStoresView>());
+  (void)catalog->RegisterSystemView(std::make_unique<ShardsView>());
   (void)catalog->RegisterSystemView(std::make_unique<MetricsView>());
   (void)catalog->RegisterSystemView(std::make_unique<TracesView>());
   (void)catalog->RegisterSystemView(std::make_unique<QueryStatsView>());

@@ -44,7 +44,7 @@ class SystemViewProvider {
 };
 
 // Registers the built-in views (sys.tables, sys.row_groups, sys.segments,
-// sys.dictionaries, sys.delta_stores, sys.metrics, sys.traces,
+// sys.dictionaries, sys.delta_stores, sys.shards, sys.metrics, sys.traces,
 // sys.query_stats). Called by the Catalog constructor.
 void RegisterBuiltinSystemViews(Catalog* catalog);
 

@@ -30,13 +30,20 @@ int64_t TableVersion::num_delta_rows() const {
 
 namespace {
 
-ColumnStoreTable::TableMetrics ResolveTableMetrics(const std::string& table) {
+ColumnStoreTable::TableMetrics ResolveTableMetrics(const std::string& table,
+                                                   const std::string& shard) {
   MetricsRegistry& registry = MetricsRegistry::Global();
+  // Unsharded tables keep the historical one-level {table=} families;
+  // shards register two-level {table=,shard=} instances.
   auto counter = [&](const char* name) {
-    return registry.GetCounter(name, "table", table);
+    return shard.empty() ? registry.GetCounter(name, "table", table)
+                         : registry.GetCounter(name, "table", table, "shard",
+                                               shard);
   };
   auto gauge = [&](const char* name) {
-    return registry.GetGauge(name, "table", table);
+    return shard.empty()
+               ? registry.GetGauge(name, "table", table)
+               : registry.GetGauge(name, "table", table, "shard", shard);
   };
   ColumnStoreTable::TableMetrics m;
   m.rows_inserted = counter("vstore_table_rows_inserted_total");
@@ -64,8 +71,11 @@ ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
                                    Options options)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      options_(options),
-      metrics_(ResolveTableMetrics(name_)) {
+      options_(std::move(options)),
+      metric_table_label_(options_.metric_table.empty() ? name_
+                                                        : options_.metric_table),
+      metrics_(
+          ResolveTableMetrics(metric_table_label_, options_.metric_shard)) {
   primary_dicts_.resize(static_cast<size_t>(schema_.num_columns()));
   for (int c = 0; c < schema_.num_columns(); ++c) {
     if (PhysicalTypeOf(schema_.field(c).type) == PhysicalType::kString) {
@@ -211,6 +221,26 @@ Result<RowId> ColumnStoreTable::Insert(const std::vector<Value>& row) {
   RowId id;
   VSTORE_RETURN_IF_ERROR(InsertLocked(MutableVersion(), row, &id));
   return id;
+}
+
+Result<std::vector<RowId>> ColumnStoreTable::InsertBatch(
+    const std::vector<const std::vector<Value>*>& rows) {
+  for (const std::vector<Value>* row : rows) {
+    if (row == nullptr ||
+        static_cast<int>(row->size()) != schema_.num_columns()) {
+      return Status::InvalidArgument("row arity does not match schema");
+    }
+  }
+  std::vector<RowId> ids;
+  ids.reserve(rows.size());
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  for (const std::vector<Value>* row : rows) {
+    RowId id;
+    VSTORE_RETURN_IF_ERROR(InsertLocked(v, *row, &id));
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {

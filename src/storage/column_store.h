@@ -167,6 +167,14 @@ class ColumnStoreTable {
     bool optimize_row_order = false;
     // Apply archival (LZSS) compression to every new row group (E7).
     bool archival = false;
+    // Metric labeling. By default every table publishes one-level
+    // {table="<name>"} families. A shard of a ShardedTable overrides both:
+    // metric_table carries the logical (user-visible) table name and
+    // metric_shard the shard ordinal, so its families are the two-level
+    // {table="<logical>",shard="<i>"} — per-shard instances never clobber
+    // each other's gauges and roll up by summing over the shard label.
+    std::string metric_table;  // "" -> use the table name
+    std::string metric_shard;  // "" -> one-level family
   };
 
   ColumnStoreTable(std::string name, Schema schema, Options options);
@@ -181,6 +189,12 @@ class ColumnStoreTable {
   // --- DML -------------------------------------------------------------
   Status BulkLoad(const TableData& data);
   Result<RowId> Insert(const std::vector<Value>& row);
+  // Inserts every row under one lock acquisition / one version install
+  // (sharded routing batches the rows bound for one shard and applies them
+  // here). Rows are validated for arity up front; on error nothing is
+  // applied. Returned ids are in input order.
+  Result<std::vector<RowId>> InsertBatch(
+      const std::vector<const std::vector<Value>*>& rows);
   Status Delete(RowId id);
   // Deletes the old row and inserts the new version atomically (one
   // critical section, one version install); returns the new id. On error
@@ -250,8 +264,9 @@ class ColumnStoreTable {
   SizeBreakdown Sizes() const;
 
   // --- Metrics ------------------------------------------------------------
-  // Handles into the global registry, all labeled {table="<name>"} and
-  // resolved once at construction (two tables with the same name share a
+  // Handles into the global registry, labeled {table="<name>"} — or
+  // {table="<logical>",shard="<i>"} when Options::metric_shard is set — and
+  // resolved once at construction (two tables with the same labels share a
   // family — the registry is keyed by name, not instance). DML paths bump
   // the counters inline; the storage gauges (delta rows/bytes, group
   // counts, SizeBreakdown components) are refreshed on every reorg publish
@@ -275,6 +290,13 @@ class ColumnStoreTable {
     Gauge* delete_bitmap_bytes = nullptr;
   };
   const TableMetrics& metrics() const { return metrics_; }
+  // Label values the metric families above were resolved with; the tuple
+  // mover labels its per-table metrics identically so a shard's mover
+  // passes land in the same {table=,shard=} family set.
+  const std::string& metric_table_label() const { return metric_table_label_; }
+  const std::string& metric_shard_label() const {
+    return options_.metric_shard;
+  }
   // Recomputes the storage gauges from the current version + Sizes().
   void RefreshStorageGauges() const;
 
@@ -323,6 +345,7 @@ class ColumnStoreTable {
   std::string name_;
   Schema schema_;
   Options options_;
+  std::string metric_table_label_;  // options_.metric_table or name_
 
   // Guards version_ (publish/acquire) and the delta id counters.
   mutable std::shared_mutex mutex_;

@@ -1,0 +1,220 @@
+#include "storage/sharded_table.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace vstore {
+
+ShardedTable::ShardedTable(std::string name, Schema schema, Options options)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(std::move(options)),
+      partition_column_(schema_.IndexOf(options_.partition_key)) {
+  VSTORE_CHECK(options_.num_shards >= 1);
+  VSTORE_CHECK(partition_column_ >= 0);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    ColumnStoreTable::Options shard_options = options_.shard_options;
+    shard_options.metric_table = name_;
+    shard_options.metric_shard = std::to_string(i);
+    // Shard storage names are internal ("orders#3"); user-visible metric
+    // labels carry the logical name via metric_table above.
+    shards_.push_back(std::make_unique<ColumnStoreTable>(
+        name_ + "#" + std::to_string(i), schema_, std::move(shard_options)));
+  }
+}
+
+uint64_t ShardedTable::HashPartitionValue(const Value& v) {
+  if (v.is_null()) return 0;
+  switch (PhysicalTypeOf(v.type())) {
+    case PhysicalType::kInt64:
+      return HashInt64(static_cast<uint64_t>(v.int64()));
+    case PhysicalType::kDouble: {
+      double d = v.dbl();
+      if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashInt64(bits);
+    }
+    case PhysicalType::kString:
+      return Hash64(v.str());
+  }
+  return 0;
+}
+
+Status ShardedTable::BulkLoad(const TableData& data) {
+  if (!data.schema().Equals(schema_)) {
+    return Status::InvalidArgument("bulk load schema mismatch for table " +
+                                   name_);
+  }
+  const int num_shards = this->num_shards();
+  std::vector<TableData> parts;
+  parts.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) parts.emplace_back(schema_);
+  const ColumnData& key_col = data.column(partition_column_);
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    int target = ShardFor(key_col.GetValue(r));
+    parts[static_cast<size_t>(target)].AppendRow(data.GetRow(r));
+  }
+  for (int i = 0; i < num_shards; ++i) {
+    if (parts[static_cast<size_t>(i)].num_rows() == 0) continue;
+    VSTORE_RETURN_IF_ERROR(shard(i)->BulkLoad(parts[static_cast<size_t>(i)]));
+  }
+  return Status::OK();
+}
+
+Result<ShardRowId> ShardedTable::Insert(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  int target = ShardFor(row[static_cast<size_t>(partition_column_)]);
+  VSTORE_ASSIGN_OR_RETURN(RowId id, shard(target)->Insert(row));
+  return ShardRowId{target, id};
+}
+
+Result<std::vector<ShardRowId>> ShardedTable::InsertBatch(
+    const std::vector<std::vector<Value>>& rows) {
+  const int num_shards = this->num_shards();
+  // Group input rows by target shard, remembering each row's input
+  // position so ids come back in input order.
+  std::vector<std::vector<const std::vector<Value>*>> batches(
+      static_cast<size_t>(num_shards));
+  std::vector<std::vector<size_t>> positions(static_cast<size_t>(num_shards));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (static_cast<int>(rows[r].size()) != schema_.num_columns()) {
+      return Status::InvalidArgument("row arity does not match schema");
+    }
+    size_t target = static_cast<size_t>(
+        ShardFor(rows[r][static_cast<size_t>(partition_column_)]));
+    batches[target].push_back(&rows[r]);
+    positions[target].push_back(r);
+  }
+  std::vector<ShardRowId> ids(rows.size());
+  for (int i = 0; i < num_shards; ++i) {
+    const auto& batch = batches[static_cast<size_t>(i)];
+    if (batch.empty()) continue;
+    VSTORE_ASSIGN_OR_RETURN(std::vector<RowId> shard_ids,
+                            shard(i)->InsertBatch(batch));
+    const auto& pos = positions[static_cast<size_t>(i)];
+    for (size_t k = 0; k < shard_ids.size(); ++k) {
+      ids[pos[k]] = ShardRowId{i, shard_ids[k]};
+    }
+  }
+  return ids;
+}
+
+Status ShardedTable::Delete(ShardRowId id) {
+  if (id.shard < 0 || id.shard >= num_shards()) {
+    return Status::NotFound("shard ordinal out of range");
+  }
+  return shard(id.shard)->Delete(id.row);
+}
+
+Result<ShardRowId> ShardedTable::Update(ShardRowId id,
+                                        const std::vector<Value>& row) {
+  if (id.shard < 0 || id.shard >= num_shards()) {
+    return Status::NotFound("shard ordinal out of range");
+  }
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  int target = ShardFor(row[static_cast<size_t>(partition_column_)]);
+  if (target == id.shard) {
+    VSTORE_ASSIGN_OR_RETURN(RowId new_id, shard(id.shard)->Update(id.row, row));
+    return ShardRowId{id.shard, new_id};
+  }
+  // Partition key moved: delete on the old shard, insert on the new one.
+  // Deleting first keeps failure cheap (a bad id aborts before any write)
+  // at the cost of a window where neither version is visible.
+  VSTORE_RETURN_IF_ERROR(shard(id.shard)->Delete(id.row));
+  VSTORE_ASSIGN_OR_RETURN(RowId new_id, shard(target)->Insert(row));
+  shard(target)->metrics().rows_updated->Increment();
+  return ShardRowId{target, new_id};
+}
+
+Status ShardedTable::GetRow(ShardRowId id, std::vector<Value>* row) const {
+  if (id.shard < 0 || id.shard >= num_shards()) {
+    return Status::NotFound("shard ordinal out of range");
+  }
+  return shard(id.shard)->GetRow(id.row, row);
+}
+
+int64_t ShardedTable::num_rows() const {
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->num_rows();
+  return total;
+}
+
+int64_t ShardedTable::num_deleted_rows() const {
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->num_deleted_rows();
+  return total;
+}
+
+int64_t ShardedTable::num_delta_rows() const {
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->num_delta_rows();
+  return total;
+}
+
+ColumnStoreTable::SizeBreakdown ShardedTable::Sizes() const {
+  ColumnStoreTable::SizeBreakdown total;
+  for (const auto& s : shards_) {
+    ColumnStoreTable::SizeBreakdown b = s->Sizes();
+    total.segment_bytes += b.segment_bytes;
+    total.dictionary_bytes += b.dictionary_bytes;
+    total.delete_bitmap_bytes += b.delete_bitmap_bytes;
+    total.delta_store_bytes += b.delta_store_bytes;
+    total.archived_segment_bytes += b.archived_segment_bytes;
+    total.archived_dictionary_bytes += b.archived_dictionary_bytes;
+  }
+  return total;
+}
+
+void ShardedTable::RefreshStorageGauges() const {
+  for (const auto& s : shards_) s->RefreshStorageGauges();
+}
+
+std::vector<TableSnapshot> ShardedTable::SnapshotAll() const {
+  std::vector<TableSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const auto& s : shards_) snapshots.push_back(s->Snapshot());
+  return snapshots;
+}
+
+// --- ShardedTupleMover ----------------------------------------------------
+
+ShardedTupleMover::ShardedTupleMover(ShardedTable* table,
+                                     TupleMover::Options options) {
+  movers_.reserve(static_cast<size_t>(table->num_shards()));
+  for (int i = 0; i < table->num_shards(); ++i) {
+    movers_.push_back(std::make_unique<TupleMover>(table->shard(i), options));
+  }
+}
+
+Result<int64_t> ShardedTupleMover::RunOnce() {
+  int64_t total = 0;
+  for (auto& m : movers_) {
+    VSTORE_ASSIGN_OR_RETURN(int64_t moved, m->RunOnce());
+    total += moved;
+  }
+  return total;
+}
+
+void ShardedTupleMover::Start(std::chrono::milliseconds period) {
+  for (auto& m : movers_) m->Start(period);
+}
+
+Status ShardedTupleMover::Stop() {
+  Status first = Status::OK();
+  for (auto& m : movers_) {
+    Status s = m->Stop();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+}  // namespace vstore

@@ -1,0 +1,164 @@
+#ifndef VSTORE_STORAGE_SHARDED_TABLE_H_
+#define VSTORE_STORAGE_SHARDED_TABLE_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/column_store.h"
+#include "storage/tuple_mover.h"
+#include "types/schema.h"
+#include "types/table_data.h"
+
+namespace vstore {
+
+// --- Sharded row ids ------------------------------------------------------
+// A row in a sharded table is addressed by (shard ordinal, per-shard RowId).
+// The shard ordinal is permanent for a row unless an Update moves its
+// partition key to a different shard; the RowId half inherits every caveat
+// of ColumnStoreTable RowIds (dangles across that shard's reorganization).
+struct ShardRowId {
+  int shard = 0;
+  RowId row = 0;
+};
+
+// --- Sharded table --------------------------------------------------------
+// Hash partitioning for scale-out (ROADMAP "Sharded scale-out execution"):
+// one logical table split into N independent ColumnStoreTable shards on a
+// declared partition column. Each shard owns its own TableVersion chain,
+// delta stores, delete bitmaps, mutex, and (via ShardedTupleMover) its own
+// reorganization schedule — concurrent DML on different shards never
+// contends on a lock, and reorg parallelizes per shard.
+//
+// Routing: shard = HashPartitionValue(row[partition_column]) % num_shards.
+// The hash is deterministic across runs (Murmur3 finalizer for numerics,
+// Hash64 for strings, shard 0 for NULL keys), so a table loaded twice with
+// the same data shards identically — the planner relies on this to prune
+// shards for equality/IN predicates on the partition column.
+//
+// Multi-row operations (BulkLoad, InsertBatch) split their input into
+// per-shard batches and apply each batch under only that shard's lock — no
+// global lock exists at this layer at all. Consequently there is no
+// cross-shard atomicity: a scan overlapping a multi-shard batch may observe
+// some shards' portions and not others (each shard's portion is still
+// atomic, and per-shard snapshots are still immutable). Same-shard Updates
+// keep ColumnStoreTable's single-critical-section atomicity; an Update
+// whose new partition key hashes to a different shard becomes delete-then-
+// insert across two shard locks and is likewise not atomic as a pair.
+//
+// Metrics: every shard publishes two-level {table=<name>,shard=<i>}
+// families (DML counters, storage gauges, mover histograms); logical-table
+// totals are the sum over the shard label. StatsReport and sys.shards read
+// these per shard; RefreshStorageGauges() fans out to every shard.
+class ShardedTable {
+ public:
+  struct Options {
+    int num_shards = 8;
+    // Declared partition column (name resolved against the schema).
+    std::string partition_key;
+    // Storage options applied to every shard. metric_table/metric_shard
+    // are overwritten per shard; leave them empty.
+    ColumnStoreTable::Options shard_options;
+  };
+
+  // REQUIRES: num_shards >= 1 and partition_key names a schema column.
+  ShardedTable(std::string name, Schema schema, Options options);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ShardedTable);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int partition_column() const { return partition_column_; }
+  const std::string& partition_key() const { return options_.partition_key; }
+
+  ColumnStoreTable* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+  const ColumnStoreTable* shard(int i) const {
+    return shards_[static_cast<size_t>(i)].get();
+  }
+
+  // --- Routing -----------------------------------------------------------
+  // Deterministic partition hash of a key value: HashInt64 of the integer
+  // (bool/int32/int64/date widen to int64) or of the double's bit pattern
+  // (-0.0 normalized to +0.0 so x == y implies same shard), Hash64 of the
+  // string bytes. NULL hashes to 0.
+  static uint64_t HashPartitionValue(const Value& v);
+  // Shard ordinal a partition-key value routes to.
+  int ShardFor(const Value& key) const {
+    return static_cast<int>(HashPartitionValue(key) %
+                            static_cast<uint64_t>(shards_.size()));
+  }
+
+  // --- DML ---------------------------------------------------------------
+  // Splits `data` into per-shard TableData by partition hash (preserving
+  // input order within each shard) and bulk-loads each shard independently.
+  Status BulkLoad(const TableData& data);
+  Result<ShardRowId> Insert(const std::vector<Value>& row);
+  // Groups `rows` by target shard and applies each group under one
+  // acquisition of that shard's lock. Returned ids are in input order.
+  Result<std::vector<ShardRowId>> InsertBatch(
+      const std::vector<std::vector<Value>>& rows);
+  Status Delete(ShardRowId id);
+  // Updates in place when the new partition key stays on the same shard
+  // (atomic, single critical section); otherwise deletes from the old
+  // shard then inserts into the new one (not atomic as a pair — see the
+  // class comment).
+  Result<ShardRowId> Update(ShardRowId id, const std::vector<Value>& row);
+  Status GetRow(ShardRowId id, std::vector<Value>* row) const;
+
+  // Aggregates over all shards (each shard read under its own lock; the
+  // total is not one consistent cut during concurrent DML).
+  int64_t num_rows() const;
+  int64_t num_deleted_rows() const;
+  int64_t num_delta_rows() const;
+  ColumnStoreTable::SizeBreakdown Sizes() const;
+  void RefreshStorageGauges() const;
+
+  // One pinned snapshot per shard, in shard order (the scatter-gather
+  // planner hands snapshot i to the fragment scanning shard i).
+  std::vector<TableSnapshot> SnapshotAll() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  Options options_;
+  int partition_column_;
+  std::vector<std::unique_ptr<ColumnStoreTable>> shards_;
+};
+
+// --- Sharded tuple mover --------------------------------------------------
+// One TupleMover per shard, so reorganization parallelizes per shard and a
+// hot shard's compaction never blocks a cold shard's. Start/Stop fan out;
+// RunOnce runs every shard's pass sequentially on the calling thread
+// (background mode is where the parallelism lives).
+class ShardedTupleMover {
+ public:
+  explicit ShardedTupleMover(ShardedTable* table)
+      : ShardedTupleMover(table, TupleMover::Options()) {}
+  ShardedTupleMover(ShardedTable* table, TupleMover::Options options);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ShardedTupleMover);
+
+  TupleMover* mover(int shard) {
+    return movers_[static_cast<size_t>(shard)].get();
+  }
+  const TupleMover* mover(int shard) const {
+    return movers_[static_cast<size_t>(shard)].get();
+  }
+  int num_shards() const { return static_cast<int>(movers_.size()); }
+
+  // Total delta stores compressed across all shards this call.
+  Result<int64_t> RunOnce();
+  void Start(std::chrono::milliseconds period);
+  // Stops every shard's mover; returns the first non-OK error (all movers
+  // are stopped regardless).
+  Status Stop();
+
+ private:
+  std::vector<std::unique_ptr<TupleMover>> movers_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_SHARDED_TABLE_H_

@@ -7,22 +7,32 @@ namespace vstore {
 TupleMover::TupleMover(ColumnStoreTable* table, Options options)
     : table_(table), options_(std::move(options)) {
   MetricsRegistry& registry = MetricsRegistry::Global();
-  const std::string& t = table_->name();
-  passes_total_ = registry.GetCounter("vstore_mover_passes_total", "table", t);
-  failed_passes_total_ =
-      registry.GetCounter("vstore_mover_failed_passes_total", "table", t);
-  rows_moved_total_ =
-      registry.GetCounter("vstore_mover_rows_moved_total", "table", t);
-  stores_compressed_total_ =
-      registry.GetCounter("vstore_mover_stores_compressed_total", "table", t);
-  groups_rebuilt_total_ =
-      registry.GetCounter("vstore_mover_groups_rebuilt_total", "table", t);
-  conflicts_total_ =
-      registry.GetCounter("vstore_mover_conflicts_total", "table", t);
-  running_gauge_ = registry.GetGauge("vstore_mover_running", "table", t);
-  last_error_gauge_ = registry.GetGauge("vstore_mover_last_error", "table", t);
+  // Label exactly as the table labels its own metrics, so a shard's mover
+  // metrics land in the same {table=,shard=} family set as its DML
+  // counters (unsharded tables keep the one-level {table=} families).
+  const std::string& t = table_->metric_table_label();
+  const std::string& s = table_->metric_shard_label();
+  auto counter = [&](const char* name) {
+    return s.empty() ? registry.GetCounter(name, "table", t)
+                     : registry.GetCounter(name, "table", t, "shard", s);
+  };
+  auto gauge = [&](const char* name) {
+    return s.empty() ? registry.GetGauge(name, "table", t)
+                     : registry.GetGauge(name, "table", t, "shard", s);
+  };
+  passes_total_ = counter("vstore_mover_passes_total");
+  failed_passes_total_ = counter("vstore_mover_failed_passes_total");
+  rows_moved_total_ = counter("vstore_mover_rows_moved_total");
+  stores_compressed_total_ = counter("vstore_mover_stores_compressed_total");
+  groups_rebuilt_total_ = counter("vstore_mover_groups_rebuilt_total");
+  conflicts_total_ = counter("vstore_mover_conflicts_total");
+  running_gauge_ = gauge("vstore_mover_running");
+  last_error_gauge_ = gauge("vstore_mover_last_error");
   pass_duration_ns_ =
-      registry.GetHistogram("vstore_mover_pass_duration_ns", "table", t);
+      s.empty()
+          ? registry.GetHistogram("vstore_mover_pass_duration_ns", "table", t)
+          : registry.GetHistogram("vstore_mover_pass_duration_ns", "table", t,
+                                  "shard", s);
 }
 
 Result<int64_t> TupleMover::RunOnce() {

@@ -196,6 +196,99 @@ TEST(MetricsTest, JsonExpositionIsValidAndEscaped) {
       << text;
 }
 
+// --- Two-level label families ({table=,shard=}) ---------------------------
+
+TEST(MetricsTest, TwoLevelFamiliesAreDistinctStableAndSorted) {
+  MetricsRegistry registry;
+  Counter* s0 = registry.GetCounter("rows_total", "table", "t", "shard", "0");
+  Counter* s1 = registry.GetCounter("rows_total", "table", "t", "shard", "1");
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, registry.GetCounter("rows_total", "table", "t", "shard", "0"));
+  // A one-level member of the same name is yet another family slot.
+  Counter* unsharded = registry.GetCounter("rows_total", "table", "t");
+  EXPECT_NE(unsharded, s0);
+
+  s0->Increment(5);
+  s1->Increment(7);
+  unsharded->Increment(1);
+  std::string text = registry.ToText();
+  size_t plain = text.find("rows_total{table=\"t\"} 1");
+  size_t l0 = text.find("rows_total{table=\"t\",shard=\"0\"} 5");
+  size_t l1 = text.find("rows_total{table=\"t\",shard=\"1\"} 7");
+  ASSERT_NE(plain, std::string::npos) << text;
+  ASSERT_NE(l0, std::string::npos) << text;
+  ASSERT_NE(l1, std::string::npos) << text;
+  // Deterministic order within the family: shard "0" before shard "1".
+  EXPECT_LT(l0, l1);
+  EXPECT_EQ(text, registry.ToText());  // byte-identical re-render
+}
+
+TEST(MetricsTest, TwoLevelHistogramSelectorsCarryBothLabels) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat_ns", "table", "t", "shard", "3")->Observe(100);
+  std::string text = registry.ToText();
+  EXPECT_NE(text.find("lat_ns_bucket{table=\"t\",shard=\"3\",le=\"127\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_sum{table=\"t\",shard=\"3\"} 100"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_count{table=\"t\",shard=\"3\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsTest, TwoLevelExpositionEscapesBothLabelValues) {
+  // Hostile bytes in either label position must not corrupt the text or
+  // JSON expositions — the second level escapes exactly like the first.
+  const std::string evil = "e\"v\ni\\l";
+  MetricsRegistry registry;
+  registry.GetCounter("rows_total", "table", evil, "shard", evil)
+      ->Increment(2);
+  registry.GetHistogram("lat_ns", "table", "t", "shard", evil)->Observe(9);
+
+  std::string text = registry.ToText();
+  EXPECT_NE(
+      text.find(
+          "rows_total{table=\"e\\\"v\\ni\\\\l\",shard=\"e\\\"v\\ni\\\\l\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ns_bucket{table=\"t\",shard=\"e\\\"v\\ni\\\\l\",le="),
+            std::string::npos)
+      << text;
+  // No raw newline survives inside any label value.
+  EXPECT_EQ(text.find("e\"v\ni"), std::string::npos) << text;
+
+  std::string json = registry.ToJson();
+  EXPECT_TRUE(IsBalancedJson(json)) << json;
+  EXPECT_NE(json.find("e\\\"v\\ni\\\\l"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, SamplesCarryBothLabelLevels) {
+  MetricsRegistry registry;
+  registry.GetCounter("rows_total", "table", "t", "shard", "2")->Increment(4);
+  registry.GetGauge("plain_gauge")->Set(1);
+  bool saw_two_level = false;
+  bool saw_unlabeled = false;
+  for (const MetricsRegistry::Sample& s : registry.Samples()) {
+    if (s.name == "rows_total") {
+      EXPECT_EQ(s.label_key, "table");
+      EXPECT_EQ(s.label_value, "t");
+      EXPECT_EQ(s.label_key2, "shard");
+      EXPECT_EQ(s.label_value2, "2");
+      EXPECT_EQ(s.value, 4);
+      saw_two_level = true;
+    }
+    if (s.name == "plain_gauge") {
+      EXPECT_TRUE(s.label_key.empty());
+      EXPECT_TRUE(s.label_key2.empty());
+      saw_unlabeled = true;
+    }
+  }
+  EXPECT_TRUE(saw_two_level);
+  EXPECT_TRUE(saw_unlabeled);
+}
+
 TEST(MetricsTest, PromLabelEscapeOnlyEscapesPromSpecials) {
   EXPECT_EQ(PromLabelEscape("plain"), "plain");
   EXPECT_EQ(PromLabelEscape("a\"b"), "a\\\"b");

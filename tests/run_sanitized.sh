@@ -35,12 +35,14 @@ run_one() {
   if [ "$sanitize" = "thread" ]; then
     # TSan runs focus on the concurrency suite: the stress-labelled tests
     # (exchange, parallel join, the concurrent-table test that runs scans
-    # against live writers and the tuple mover, and the system-views test
-    # that materializes DMVs under churn) plus everything exercising the
-    # exchange, the relaxed-atomic metrics registry, and the Query Store's
-    # shared fingerprint map; add "$@" to widen.
+    # against live writers and the tuple mover, the sharded-table test that
+    # adds cross-shard updates and per-shard movers under scatter-gather
+    # scans, and the system-views test that materializes DMVs under churn)
+    # plus everything exercising the exchange, the relaxed-atomic metrics
+    # registry, and the Query Store's shared fingerprint map; add "$@" to
+    # widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store' "$@"
+        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
     # The expression fuzzer is single-threaded, but the bytecode program
     # cache it hits is the one shared across parallel fragments — keep the

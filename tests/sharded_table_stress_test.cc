@@ -1,0 +1,262 @@
+// ThreadSanitizer-targeted stress test for sharded tables: scanner
+// threads run scatter-gather aggregates and partition-key point queries
+// while writer threads insert, delete, and chase rows through update
+// chains (including cross-shard partition-key moves), with a live
+// ShardedTupleMover compacting every shard. Every row carries the
+// invariant a + b = kInvariant, so a scan that mixes versions within one
+// shard, or a cross-shard update that leaks a half-state into a single
+// shard's snapshot, shows up as SUM(a) + SUM(b) != kInvariant * COUNT(*).
+// (Cross-shard batches are documented as non-atomic *between* shards, but
+// each shard's portion is atomic — the invariant is per-row, so it holds
+// under any interleaving of whole rows.) Build with
+// -DVSTORE_SANITIZE=thread; the ctest label "stress" schedules it with
+// the other sanitizer suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "query/executor.h"
+#include "storage/sharded_table.h"
+
+namespace vstore {
+namespace {
+
+constexpr int64_t kInvariant = 1000;
+constexpr int64_t kInitialRows = 4000;
+constexpr int kShards = 8;
+constexpr int64_t kRowGroupSize = 256;
+
+int ScansPerThread() {
+  const char* v = std::getenv("VSTORE_STRESS_REPEATS");
+  int n = v == nullptr ? 25 : std::atoi(v);
+  return n > 0 ? n : 25;
+}
+
+Schema StressSchema() {
+  return Schema({{"id", DataType::kInt64, false},
+                 {"a", DataType::kInt64, false},
+                 {"b", DataType::kInt64, false}});
+}
+
+std::vector<Value> StressRow(int64_t id) {
+  int64_t a = id % kInvariant;
+  return {Value::Int64(id), Value::Int64(a), Value::Int64(kInvariant - a)};
+}
+
+struct ShardedStressFixture {
+  Catalog catalog;
+  ShardedTable* table = nullptr;
+
+  ShardedStressFixture() {
+    Schema schema = StressSchema();
+    TableData data(schema);
+    for (int64_t id = 0; id < kInitialRows; ++id) {
+      for (size_t c = 0; c < 3; ++c) {
+        data.column(c).AppendValue(StressRow(id)[c]);
+      }
+    }
+    ShardedTable::Options options;
+    options.num_shards = kShards;
+    options.partition_key = "id";
+    options.shard_options.row_group_size = kRowGroupSize;
+    options.shard_options.min_compress_rows = 50;
+    auto st = std::make_unique<ShardedTable>("t", schema, std::move(options));
+    st->BulkLoad(data).CheckOK();
+    catalog.AddShardedTable(std::move(st)).CheckOK();
+    table = catalog.GetShardedTable("t");
+  }
+};
+
+PlanPtr AggregatePlan(const Catalog& catalog) {
+  PlanBuilder b = PlanBuilder::Scan(catalog, "t");
+  b.Aggregate({}, {{AggFn::kSum, "a", "sum_a"},
+                   {AggFn::kSum, "b", "sum_b"},
+                   {AggFn::kCountStar, "", "cnt"}});
+  return b.Build();
+}
+
+TEST(ShardedTableStressTest, ScatterGatherSeesConsistentShardsUnderChurn) {
+  // Metric baselines first: the registry is process-global, so the
+  // reconciliation below works on deltas summed over the shard label.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::vector<Counter*> inserted_metric(kShards);
+  std::vector<Counter*> deleted_metric(kShards);
+  int64_t inserted0 = 0;
+  int64_t deleted0 = 0;
+  for (int s = 0; s < kShards; ++s) {
+    inserted_metric[static_cast<size_t>(s)] =
+        registry.GetCounter("vstore_table_rows_inserted_total", "table", "t",
+                            "shard", std::to_string(s));
+    deleted_metric[static_cast<size_t>(s)] =
+        registry.GetCounter("vstore_table_rows_deleted_total", "table", "t",
+                            "shard", std::to_string(s));
+    inserted0 += inserted_metric[static_cast<size_t>(s)]->Value();
+    deleted0 += deleted_metric[static_cast<size_t>(s)]->Value();
+  }
+
+  ShardedStressFixture f;
+  ShardedTable* table = f.table;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> inserts_attempted{0};
+  std::atomic<int64_t> deletes_attempted{0};
+
+  ShardedTupleMover mover(table);
+  mover.Start(std::chrono::milliseconds(2));
+
+  // --- Scanners: scatter-gather aggregate + pruned point queries -------
+  PlanPtr plan = AggregatePlan(f.catalog);
+  const int scans = ScansPerThread();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+  auto scanner = [&](int which) {
+    Random rng(500 + which);
+    for (int r = 0; r < scans || std::chrono::steady_clock::now() < deadline;
+         ++r) {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.dop = (r % 2 == 0) ? 1 : 4;
+      QueryExecutor exec(&f.catalog, options);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      ASSERT_EQ(result.rows_returned, 1);
+      int64_t sum_a = result.data.column(0).GetInt64(0);
+      int64_t sum_b = result.data.column(1).GetInt64(0);
+      int64_t count = result.data.column(2).GetInt64(0);
+      ASSERT_EQ(sum_a + sum_b, kInvariant * count)
+          << "scanner " << which << " run " << r << " dop " << options.dop
+          << ": scatter-gather mixed versions within a shard";
+      int64_t max_count = kInitialRows + inserts_attempted.load();
+      int64_t min_count = kInitialRows - deletes_attempted.load();
+      ASSERT_GE(count, min_count) << "scanner " << which << " run " << r;
+      ASSERT_LE(count, max_count) << "scanner " << which << " run " << r;
+
+      // A partition-key point query prunes shards mid-churn; any row it
+      // does return must satisfy the invariant, and routing must never
+      // surface a key from the wrong shard's data (id mismatch).
+      int64_t key = static_cast<int64_t>(rng.Next() % kInitialRows);
+      PlanBuilder pb = PlanBuilder::Scan(f.catalog, "t");
+      pb.Filter(expr::Eq(expr::Column(pb.schema(), "id"),
+                         expr::Lit(Value::Int64(key))));
+      QueryResult point = exec.Execute(pb.Build()).ValueOrDie();
+      ASSERT_LE(point.rows_returned, 1) << "duplicate key " << key;
+      if (point.rows_returned == 1) {
+        ASSERT_EQ(point.data.column(0).GetInt64(0), key);
+        ASSERT_EQ(point.data.column(1).GetInt64(0) +
+                      point.data.column(2).GetInt64(0),
+                  kInvariant);
+      }
+    }
+  };
+
+  // --- Updater: chases rows through updates, some crossing shards ------
+  auto updater = [&] {
+    Random rng(101);
+    std::vector<ShardRowId> mine;
+    int64_t next_id = 1000000;
+    for (int i = 0; i < 64; ++i) {
+      inserts_attempted.fetch_add(1);
+      mine.push_back(table->Insert(StressRow(next_id++)).ValueOrDie());
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t slot = static_cast<size_t>(rng.Next() % mine.size());
+      // A fresh id almost always hashes to a different shard: this is the
+      // cross-shard delete-then-insert path under two shard locks.
+      auto updated = table->Update(mine[slot], StressRow(next_id++));
+      if (updated.ok()) {
+        mine[slot] = updated.value();
+      } else {
+        ASSERT_TRUE(updated.status().IsNotFound())
+            << updated.status().ToString();
+        inserts_attempted.fetch_add(1);
+        mine[slot] = table->Insert(StressRow(next_id++)).ValueOrDie();
+      }
+      if (rng.Next() % 8 == 0) {
+        std::vector<Value> row;
+        Status got = table->GetRow(mine[slot], &row);
+        if (got.ok()) {
+          ASSERT_EQ(row[1].int64() + row[2].int64(), kInvariant)
+              << "torn row read";
+        } else {
+          ASSERT_TRUE(got.IsNotFound()) << got.ToString();
+        }
+      }
+    }
+  };
+
+  // --- Churner: batched inserts plus deletes of compressed rows --------
+  auto churner = [&] {
+    Random rng(202);
+    int64_t next_id = 2000000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Multi-row batches exercise the per-shard split path.
+      std::vector<std::vector<Value>> batch;
+      for (int i = 0; i < 8; ++i) batch.push_back(StressRow(next_id++));
+      inserts_attempted.fetch_add(8);
+      table->InsertBatch(batch).status().CheckOK();
+      if (rng.Next() % 4 == 0) {
+        // Target a compressed row in a random shard; the generation may be
+        // stale by the time the delete runs — it must then fail cleanly.
+        int shard = static_cast<int>(rng.Next() % kShards);
+        int64_t group = static_cast<int64_t>(rng.Next() % 2);
+        int64_t offset = static_cast<int64_t>(rng.Next() % kRowGroupSize);
+        RowId id = MakeCompressedRowId(
+            group, offset, table->shard(shard)->generation(group));
+        deletes_attempted.fetch_add(1);
+        Status st = table->Delete(ShardRowId{shard, id});
+        ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(scanner, 0);
+  threads.emplace_back(scanner, 1);
+  std::thread update_thread(updater);
+  std::thread churn_thread(churner);
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  update_thread.join();
+  churn_thread.join();
+  ASSERT_TRUE(mover.Stop().ok());
+
+  // Post-quiescence: the final state still satisfies the invariant.
+  QueryOptions options;
+  options.mode = ExecutionMode::kBatch;
+  QueryExecutor exec(&f.catalog, options);
+  QueryResult result = exec.Execute(plan).ValueOrDie();
+  int64_t sum_a = result.data.column(0).GetInt64(0);
+  int64_t sum_b = result.data.column(1).GetInt64(0);
+  int64_t count = result.data.column(2).GetInt64(0);
+  EXPECT_EQ(sum_a + sum_b, kInvariant * count);
+  EXPECT_EQ(count, table->num_rows());
+
+  // Metrics reconcile exactly at quiescence when summed over the shard
+  // label: a cross-shard update is one delete on the old shard plus one
+  // insert on the new, so inserted - deleted == live rows still holds.
+  int64_t inserted_now = 0;
+  int64_t deleted_now = 0;
+  for (int s = 0; s < kShards; ++s) {
+    inserted_now += inserted_metric[static_cast<size_t>(s)]->Value();
+    deleted_now += deleted_metric[static_cast<size_t>(s)]->Value();
+  }
+  EXPECT_EQ((inserted_now - inserted0) - (deleted_now - deleted0),
+            table->num_rows());
+
+  // Published per-shard gauges agree with each shard's storage snapshot.
+  table->RefreshStorageGauges();
+  for (int s = 0; s < kShards; ++s) {
+    Gauge* delta_rows = registry.GetGauge("vstore_table_delta_rows", "table",
+                                          "t", "shard", std::to_string(s));
+    EXPECT_EQ(delta_rows->Value(), table->shard(s)->num_delta_rows()) << s;
+  }
+}
+
+}  // namespace
+}  // namespace vstore

@@ -1,0 +1,242 @@
+// Storage-layer tests for hash-partitioned sharded tables: routing
+// determinism, DML splitting, same- vs cross-shard updates, aggregate
+// accessors, per-shard snapshots and tuple movers, and the two-level
+// {table=,shard=} metric families every shard publishes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "storage/sharded_table.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+using testing_util::MakeTestTable;
+
+ShardedTable::Options SmallShardOptions(int num_shards,
+                                        const std::string& key) {
+  ShardedTable::Options options;
+  options.num_shards = num_shards;
+  options.partition_key = key;
+  options.shard_options.row_group_size = 256;
+  options.shard_options.min_compress_rows = 16;
+  return options;
+}
+
+TEST(ShardedTableTest, RoutingIsDeterministicAndTypeAware) {
+  // Same value -> same hash, different values spread.
+  EXPECT_EQ(ShardedTable::HashPartitionValue(Value::Int64(42)),
+            ShardedTable::HashPartitionValue(Value::Int64(42)));
+  EXPECT_NE(ShardedTable::HashPartitionValue(Value::Int64(1)),
+            ShardedTable::HashPartitionValue(Value::Int64(2)));
+  EXPECT_EQ(ShardedTable::HashPartitionValue(Value::String("alpha")),
+            ShardedTable::HashPartitionValue(Value::String("alpha")));
+  // -0.0 == +0.0 must route identically (x == y implies same shard).
+  EXPECT_EQ(ShardedTable::HashPartitionValue(Value::Double(-0.0)),
+            ShardedTable::HashPartitionValue(Value::Double(0.0)));
+  // NULL keys all land on one deterministic shard.
+  EXPECT_EQ(ShardedTable::HashPartitionValue(Value::Null(DataType::kInt64)),
+            ShardedTable::HashPartitionValue(Value::Null(DataType::kString)));
+
+  // Hashing spreads sequential keys over every shard of a small table.
+  TableData data = MakeTestTable(1);
+  ShardedTable table("spread", data.schema(), SmallShardOptions(8, "id"));
+  std::set<int> hit;
+  for (int64_t i = 0; i < 200; ++i) hit.insert(table.ShardFor(Value::Int64(i)));
+  EXPECT_EQ(hit.size(), 8u);
+}
+
+TEST(ShardedTableTest, InsertRoutesByPartitionHashAndReadsBack) {
+  TableData data = MakeTestTable(500);
+  ShardedTable table("t", data.schema(), SmallShardOptions(4, "id"));
+  std::vector<ShardRowId> ids;
+  for (int64_t i = 0; i < 500; ++i) {
+    ShardRowId id = table.Insert(data.GetRow(i)).ValueOrDie();
+    EXPECT_EQ(id.shard, table.ShardFor(data.column(0).GetValue(i)));
+    ids.push_back(id);
+  }
+  EXPECT_EQ(table.num_rows(), 500);
+  // Every row reads back exactly through its ShardRowId.
+  for (int64_t i = 0; i < 500; ++i) {
+    std::vector<Value> row;
+    table.GetRow(ids[static_cast<size_t>(i)], &row).CheckOK();
+    EXPECT_EQ(row, data.GetRow(i)) << "row " << i;
+  }
+  // Per-shard counts add up and respect routing.
+  int64_t total = 0;
+  for (int s = 0; s < table.num_shards(); ++s) {
+    total += table.shard(s)->num_rows();
+  }
+  EXPECT_EQ(total, 500);
+}
+
+TEST(ShardedTableTest, InsertBatchReturnsIdsInInputOrder) {
+  TableData data = MakeTestTable(300);
+  ShardedTable table("t", data.schema(), SmallShardOptions(8, "id"));
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 300; ++i) rows.push_back(data.GetRow(i));
+  std::vector<ShardRowId> ids = table.InsertBatch(rows).ValueOrDie();
+  ASSERT_EQ(ids.size(), 300u);
+  for (int64_t i = 0; i < 300; ++i) {
+    std::vector<Value> row;
+    table.GetRow(ids[static_cast<size_t>(i)], &row).CheckOK();
+    EXPECT_EQ(row, data.GetRow(i)) << "row " << i;
+  }
+  // A malformed row anywhere in the batch rejects the whole batch.
+  std::vector<std::vector<Value>> bad = {data.GetRow(0), {Value::Int64(1)}};
+  EXPECT_FALSE(table.InsertBatch(bad).ok());
+  EXPECT_EQ(table.num_rows(), 300);
+}
+
+TEST(ShardedTableTest, BulkLoadSplitsByHashAndShardsIdentically) {
+  TableData data = MakeTestTable(2000);
+  ShardedTable a("a", data.schema(), SmallShardOptions(8, "bucket"));
+  ShardedTable b("b", data.schema(), SmallShardOptions(8, "bucket"));
+  a.BulkLoad(data).CheckOK();
+  b.BulkLoad(data).CheckOK();
+  EXPECT_EQ(a.num_rows(), 2000);
+  // Deterministic routing: two tables loaded with the same data have
+  // identical per-shard cardinalities (what partition pruning relies on).
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(a.shard(s)->num_rows(), b.shard(s)->num_rows()) << s;
+  }
+}
+
+TEST(ShardedTableTest, DeleteAndAggregateAccessors) {
+  TableData data = MakeTestTable(100);
+  ShardedTable table("t", data.schema(), SmallShardOptions(4, "id"));
+  std::vector<ShardRowId> ids;
+  for (int64_t i = 0; i < 100; ++i) {
+    ids.push_back(table.Insert(data.GetRow(i)).ValueOrDie());
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    table.Delete(ids[static_cast<size_t>(i)]).CheckOK();
+  }
+  EXPECT_EQ(table.num_rows(), 90);
+  // These rows never compressed, so deletes remove them from the delta
+  // stores outright instead of tombstoning a row group.
+  EXPECT_EQ(table.num_deleted_rows(), 0);
+  EXPECT_EQ(table.num_delta_rows(), 90);
+  EXPECT_GT(table.Sizes().Total(), 0);
+}
+
+TEST(ShardedTableTest, UpdateStaysOrMovesShardByNewKey) {
+  TableData data = MakeTestTable(50);
+  ShardedTable table("t", data.schema(), SmallShardOptions(8, "id"));
+  ShardRowId id = table.Insert(data.GetRow(0)).ValueOrDie();
+
+  // Same partition key -> same shard, atomic in-place update.
+  std::vector<Value> updated = data.GetRow(0);
+  updated[3] = Value::Double(999.5);
+  ShardRowId same = table.Update(id, updated).ValueOrDie();
+  EXPECT_EQ(same.shard, id.shard);
+  std::vector<Value> row;
+  table.GetRow(same, &row).CheckOK();
+  EXPECT_EQ(row[3], Value::Double(999.5));
+
+  // Find a key that hashes to a different shard and move the row there.
+  std::vector<Value> moved = updated;
+  int64_t new_key = 1;
+  while (table.ShardFor(Value::Int64(new_key)) == same.shard) ++new_key;
+  moved[0] = Value::Int64(new_key);
+  ShardRowId other = table.Update(same, moved).ValueOrDie();
+  EXPECT_NE(other.shard, same.shard);
+  EXPECT_EQ(other.shard, table.ShardFor(Value::Int64(new_key)));
+  table.GetRow(other, &row).CheckOK();
+  EXPECT_EQ(row, moved);
+  // The old location is gone; total row count is unchanged.
+  EXPECT_FALSE(table.GetRow(same, &row).ok());
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+TEST(ShardedTableTest, SnapshotAllPinsOneVersionPerShard) {
+  TableData data = MakeTestTable(400);
+  ShardedTable table("t", data.schema(), SmallShardOptions(4, "id"));
+  table.BulkLoad(data).CheckOK();
+  std::vector<TableSnapshot> snaps = table.SnapshotAll();
+  ASSERT_EQ(snaps.size(), 4u);
+  int64_t snap_rows = 0;
+  for (const TableSnapshot& s : snaps) snap_rows += s->num_rows();
+  EXPECT_EQ(snap_rows, 400);
+  // Later DML does not disturb the pinned snapshots.
+  for (int64_t i = 400; i < 500; ++i) {
+    ASSERT_TRUE(table.Insert(MakeTestTable(500).GetRow(i)).ok());
+  }
+  int64_t still = 0;
+  for (const TableSnapshot& s : snaps) still += s->num_rows();
+  EXPECT_EQ(still, 400);
+  EXPECT_EQ(table.num_rows(), 500);
+}
+
+TEST(ShardedTableTest, ShardedTupleMoverCompressesEveryShard) {
+  TableData data = MakeTestTable(2048);
+  ShardedTable table("t", data.schema(), SmallShardOptions(4, "id"));
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 2048; ++i) rows.push_back(data.GetRow(i));
+  table.InsertBatch(rows).status().CheckOK();
+  ASSERT_EQ(table.num_delta_rows(), 2048);
+
+  ShardedTupleMover mover(&table);
+  ASSERT_EQ(mover.num_shards(), 4);
+  int64_t compressed = mover.RunOnce().ValueOrDie();
+  EXPECT_GT(compressed, 0);
+  // Each shard got its own pass: closed delta stores became row groups.
+  EXPECT_LT(table.num_delta_rows(), 2048);
+  int64_t groups = 0;
+  for (const TableSnapshot& s : table.SnapshotAll()) {
+    groups += s->num_row_groups();
+  }
+  EXPECT_GT(groups, 0);
+  EXPECT_EQ(table.num_rows(), 2048);
+}
+
+TEST(ShardedTableTest, ShardsPublishTwoLevelMetricFamilies) {
+  TableData data = MakeTestTable(64);
+  ShardedTable table("metrics_sharded_tbl", data.schema(),
+                     SmallShardOptions(2, "id"));
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* s0 = registry.GetCounter("vstore_table_rows_inserted_total",
+                                    "table", "metrics_sharded_tbl", "shard",
+                                    "0");
+  Counter* s1 = registry.GetCounter("vstore_table_rows_inserted_total",
+                                    "table", "metrics_sharded_tbl", "shard",
+                                    "1");
+  int64_t before = s0->Value() + s1->Value();
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(table.Insert(data.GetRow(i)).ok());
+  }
+  // Logical-table total is the sum over the shard label.
+  EXPECT_EQ(s0->Value() + s1->Value() - before, 64);
+  std::string text = registry.ToText();
+  EXPECT_NE(text.find("vstore_table_rows_inserted_total{table=\"metrics_"
+                      "sharded_tbl\",shard=\"0\"}"),
+            std::string::npos)
+      << text;
+  // Storage gauges refresh per shard under the same labels.
+  table.RefreshStorageGauges();
+  Gauge* delta0 = registry.GetGauge("vstore_table_delta_rows", "table",
+                                    "metrics_sharded_tbl", "shard", "0");
+  Gauge* delta1 = registry.GetGauge("vstore_table_delta_rows", "table",
+                                    "metrics_sharded_tbl", "shard", "1");
+  EXPECT_EQ(delta0->Value() + delta1->Value(), table.num_delta_rows());
+}
+
+TEST(ShardedTableTest, SingleShardDegeneratesToOneTable) {
+  TableData data = MakeTestTable(128);
+  ShardedTable table("t", data.schema(), SmallShardOptions(1, "id"));
+  table.BulkLoad(data).CheckOK();
+  EXPECT_EQ(table.num_shards(), 1);
+  EXPECT_EQ(table.shard(0)->num_rows(), 128);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(table.ShardFor(Value::Int64(i)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace vstore

@@ -60,7 +60,8 @@ TEST(SystemViewsTest, FindResolvesBuiltinViews) {
   Catalog catalog;
   for (const char* name :
        {"sys.tables", "sys.row_groups", "sys.segments", "sys.dictionaries",
-        "sys.delta_stores", "sys.metrics", "sys.traces", "sys.query_stats"}) {
+        "sys.delta_stores", "sys.shards", "sys.metrics", "sys.traces",
+        "sys.query_stats"}) {
     const Catalog::Entry* entry = catalog.Find(name);
     ASSERT_NE(entry, nullptr) << name;
     EXPECT_TRUE(entry->has_system_view()) << name;
