@@ -7,10 +7,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "storage/durable_table.h"
 #include "storage/sharded_table.h"
 #include "storage/tuple_mover.h"
 
@@ -247,6 +249,121 @@ int main() {
     }
   }
 
+  // --- Part 6: durability cost — WAL commits + mmap-cold scans ------------
+  // The WAL prices each DML commit at one record append plus (with
+  // sync_commits) one fsync; batches amortize the fsync across the whole
+  // batch via group commit. The scan comparison reopens a checkpointed
+  // table so segments decode straight from the mmap'd checkpoint (cold:
+  // page faults + decode) and then rescans the same mapping (warm).
+  std::printf("\n%-28s %14s\n", "durable DML", "Krows/s");
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "vstore_bench_durable")
+            .string();
+    TableData source = bench::SortedFactTable(1000, 6);
+    const int64_t inserts = 20000;
+    // Each synchronous WAL commit costs an fsync (hundreds of µs), so the
+    // per-commit configuration gets a smaller loop than the others.
+    const int64_t wal_inserts = 2000;
+
+    auto run_inserts = [&](ColumnStoreTable& table, int64_t count) {
+      return bench::TimeMs(
+          [&] {
+            for (int64_t i = 0; i < count; ++i) {
+              table.Insert(source.GetRow(i % 1000)).ValueOrDie();
+            }
+          },
+          1);
+    };
+    double mem_ms;
+    {
+      ColumnStoreTable table("t", source.schema());
+      mem_ms = run_inserts(table, inserts);
+    }
+    double wal_ms;
+    {
+      std::filesystem::remove_all(dir);
+      ColumnStoreTable table("t", source.schema());
+      auto durable = DurableTable::Open(dir, &table).ValueOrDie();
+      wal_ms = run_inserts(table, wal_inserts);
+    }
+    double batch_ms;
+    {
+      std::filesystem::remove_all(dir);
+      ColumnStoreTable table("t", source.schema());
+      auto durable = DurableTable::Open(dir, &table).ValueOrDie();
+      std::vector<const std::vector<Value>*> rows;
+      std::vector<std::vector<Value>> storage;
+      storage.reserve(1000);
+      for (int64_t i = 0; i < 1000; ++i) {
+        storage.push_back(source.GetRow(i));
+      }
+      for (const auto& row : storage) rows.push_back(&row);
+      batch_ms = bench::TimeMs(
+          [&] {
+            for (int64_t b = 0; b < inserts / 1000; ++b) {
+              table.InsertBatch(rows).ValueOrDie();
+            }
+          },
+          1);
+    }
+    double mem_rate = static_cast<double>(inserts) / mem_ms;
+    double wal_rate = static_cast<double>(wal_inserts) / wal_ms;
+    double batch_rate = static_cast<double>(inserts) / batch_ms;
+    std::printf("%-28s %14.1f\n", "memory-only trickle", mem_rate);
+    std::printf("%-28s %14.1f  (%.0fx slower)\n", "WAL trickle (fsync/commit)",
+                wal_rate, wal_rate > 0 ? mem_rate / wal_rate : 0.0);
+    std::printf("%-28s %14.1f  (fsync/batch)\n", "WAL batched x1000",
+                batch_rate);
+
+    // Cold-vs-warm scan: checkpoint a bulk-loaded table, reopen it, and
+    // compare the first scan (decoding from the fresh mmap) with a rescan.
+    const int64_t scan_rows = std::min<int64_t>(base_rows, 500000);
+    TableData data = bench::SortedFactTable(scan_rows, 7);
+    ColumnStoreTable::Options scan_options;
+    scan_options.row_group_size = 1 << 16;
+    scan_options.min_compress_rows = 1;  // everything lands in segments
+    std::filesystem::remove_all(dir);
+    {
+      ColumnStoreTable table("t", data.schema(), scan_options);
+      auto durable = DurableTable::Open(dir, &table).ValueOrDie();
+      table.BulkLoad(data).CheckOK();  // checkpoints synchronously
+    }
+    Catalog catalog;
+    auto reopened =
+        std::make_unique<ColumnStoreTable>("t", data.schema(), scan_options);
+    ColumnStoreTable* raw = reopened.get();
+    auto durable = DurableTable::Open(dir, raw).ValueOrDie();
+    catalog.AddDurableColumnStore(std::move(reopened), std::move(durable))
+        .CheckOK();
+    auto scan_once = [&] {
+      auto t0 = std::chrono::steady_clock::now();
+      QueryResult r = RunCount(catalog, "t");
+      std::chrono::duration<double, std::milli> d =
+          std::chrono::steady_clock::now() - t0;
+      return d.count();
+    };
+    double cold_ms = scan_once();
+    double warm_ms = bench::TimeMs([&] { RunCount(catalog, "t"); });
+    std::printf("\n%-28s %12s\n", "checkpointed scan", "ms");
+    std::printf("%-28s %12.2f\n", "cold (first mmap scan)", cold_ms);
+    std::printf("%-28s %12.2f  (%.2fx)\n", "warm (rescan)", warm_ms,
+                warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+
+    if (bench::ProfileJsonEnabled()) {
+      QueryResult result = RunCount(catalog, "t");
+      char extra[224];
+      std::snprintf(extra, sizeof(extra),
+                    ",\"wal_trickle_krows_per_s\":%.1f,"
+                    "\"memory_trickle_krows_per_s\":%.1f,"
+                    "\"wal_batch_krows_per_s\":%.1f,"
+                    "\"cold_scan_ms\":%.3f,\"warm_scan_ms\":%.3f",
+                    wal_rate, mem_rate, batch_rate, cold_ms, warm_ms);
+      bench::EmitProfileJson("durable/cold_vs_warm", result, extra);
+    }
+    std::filesystem::remove_all(dir);
+  }
+
   std::printf(
       "\nExpected shape: trickle inserts sustain high rates (B-tree delta\n"
       "store); scans slow as delta fraction grows and recover after the\n"
@@ -255,7 +372,10 @@ int main() {
       "read immutable snapshots and never wait on writers or the mover;\n"
       "multithreaded DML throughput scales with shard count (>=3x at 8\n"
       "shards) because writers hashing to different shards never share a\n"
-      "lock.\n");
+      "lock; WAL trickle pays roughly one fsync per commit while batched\n"
+      "commits amortize it to near memory-only rates; the first scan of a\n"
+      "reopened checkpoint pays page-fault + decode cost once, then warm\n"
+      "rescans match an always-in-memory table.\n");
   unsigned hc = std::thread::hardware_concurrency();
   if (hc <= 1) {
     std::printf(

@@ -1,0 +1,27 @@
+#ifndef VSTORE_COMMON_CRC32_H_
+#define VSTORE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vstore {
+
+// CRC-32C (Castagnoli polynomial, as used by iSCSI/ext4/LevelDB) over a byte
+// buffer. Software slice-by-4 implementation — fast enough for checkpoint
+// and WAL block checksums, no ISA dependency. `seed` allows incremental
+// computation: Crc32(b, n2, Crc32(a, n1)) == Crc32(concat(a,b), n1+n2).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// Masked CRC stored on disk (LevelDB-style rotation + constant) so that a
+// CRC of bytes that themselves contain an unmasked CRC does not degenerate.
+inline uint32_t MaskCrc32(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_CRC32_H_

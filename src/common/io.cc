@@ -1,0 +1,277 @@
+#include "common/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace vstore {
+
+namespace {
+
+std::mutex g_fault_mu;
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+// --- IoFaultInjector ------------------------------------------------------
+
+IoFaultInjector& IoFaultInjector::Global() {
+  static IoFaultInjector* injector = new IoFaultInjector();
+  return *injector;
+}
+
+void IoFaultInjector::Arm(const std::string& path_substring, IoFault fault) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  armed_.push_back({path_substring, fault});
+}
+
+void IoFaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  armed_.clear();
+}
+
+IoFault IoFaultInjector::Take(const std::string& path, IoFault::Kind kind) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  for (size_t i = 0; i < armed_.size(); ++i) {
+    if (armed_[i].fault.kind != kind) continue;
+    if (path.find(armed_[i].substring) == std::string::npos) continue;
+    IoFault fault = armed_[i].fault;
+    if (fault.once) armed_.erase(armed_.begin() + static_cast<long>(i));
+    return fault;
+  }
+  return IoFault{};
+}
+
+// --- File -----------------------------------------------------------------
+
+File::~File() { (void)Close(); }
+
+Result<std::unique_ptr<File>> File::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Errno("create", path);
+  auto file = std::unique_ptr<File>(new File());
+  file->fd_ = fd;
+  file->path_ = path;
+  return file;
+}
+
+Result<std::unique_ptr<File>> File::OpenAppend(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return Errno("open-append", path);
+  auto file = std::unique_ptr<File>(new File());
+  file->fd_ = fd;
+  file->path_ = path;
+  return file;
+}
+
+Result<std::unique_ptr<File>> File::OpenRead(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open-read", path);
+  auto file = std::unique_ptr<File>(new File());
+  file->fd_ = fd;
+  file->path_ = path;
+  return file;
+}
+
+Status File::Append(const void* data, size_t len) {
+  if (fd_ < 0) return Status::Internal("append on closed file " + path_);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  std::vector<uint8_t> flipped;
+
+  IoFault flip = IoFaultInjector::Global().Take(path_, IoFault::Kind::kBitFlip);
+  if (flip.kind == IoFault::Kind::kBitFlip && len > 0) {
+    flipped.assign(p, p + len);
+    int64_t bit = flip.bit_index % (static_cast<int64_t>(len) * 8);
+    flipped[static_cast<size_t>(bit / 8)] ^=
+        static_cast<uint8_t>(1u << (bit % 8));
+    p = flipped.data();
+  }
+
+  IoFault torn = IoFaultInjector::Global().Take(path_, IoFault::Kind::kTornWrite);
+  size_t to_write = len;
+  bool injected_tear = false;
+  if (torn.kind == IoFault::Kind::kTornWrite) {
+    to_write = static_cast<size_t>(
+        std::min<int64_t>(torn.fail_after_bytes, static_cast<int64_t>(len)));
+    injected_tear = true;
+  }
+
+  size_t written = 0;
+  while (written < to_write) {
+    ssize_t n = ::write(fd_, p + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (injected_tear) {
+    return Status::Internal("injected torn write on " + path_);
+  }
+  return Status::OK();
+}
+
+Status File::ReadAt(int64_t offset, void* out, size_t len,
+                    size_t* read) const {
+  if (fd_ < 0) return Status::Internal("read on closed file " + path_);
+  size_t want = len;
+  IoFault fault =
+      IoFaultInjector::Global().Take(path_, IoFault::Kind::kShortRead);
+  if (fault.kind == IoFault::Kind::kShortRead) {
+    want = static_cast<size_t>(std::min<int64_t>(
+        fault.fail_after_bytes, static_cast<int64_t>(len)));
+  }
+  uint8_t* p = static_cast<uint8_t*>(out);
+  size_t got = 0;
+  while (got < want) {
+    ssize_t n = ::pread(fd_, p + got, want - got,
+                        static_cast<off_t>(offset + static_cast<int64_t>(got)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path_);
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  *read = got;
+  return Status::OK();
+}
+
+Status File::Sync() {
+  if (fd_ < 0) return Status::Internal("sync on closed file " + path_);
+  IoFault fault =
+      IoFaultInjector::Global().Take(path_, IoFault::Kind::kFailSync);
+  if (fault.kind == IoFault::Kind::kFailSync) {
+    return Status::Internal("injected fsync failure on " + path_);
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Result<int64_t> File::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+  return static_cast<int64_t>(st.st_size);
+}
+
+Status File::Truncate(int64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  return Status::OK();
+}
+
+Status File::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close", path_);
+  return Status::OK();
+}
+
+// --- MappedFile -----------------------------------------------------------
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<uint8_t*>(data_), static_cast<size_t>(size_));
+  }
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open-mmap", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status err = Errno("fstat", path);
+    ::close(fd);
+    return err;
+  }
+  auto mapped = std::shared_ptr<MappedFile>(new MappedFile());
+  mapped->path_ = path;
+  mapped->size_ = static_cast<int64_t>(st.st_size);
+  if (mapped->size_ > 0) {
+    void* addr = ::mmap(nullptr, static_cast<size_t>(mapped->size_), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status err = Errno("mmap", path);
+      ::close(fd);
+      return err;
+    }
+    mapped->data_ = static_cast<const uint8_t*>(addr);
+  }
+  ::close(fd);  // the mapping keeps the file contents pinned
+  return mapped;
+}
+
+// --- Directory helpers ----------------------------------------------------
+
+Status CreateDirs(const std::string& path) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    partial = path.substr(0, next);
+    pos = next + 1;
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename", from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open-dir", dir);
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) st = Errno("fsync-dir", dir);
+  ::close(fd);
+  return st;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace vstore

@@ -1,0 +1,129 @@
+#ifndef VSTORE_COMMON_IO_H_
+#define VSTORE_COMMON_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vstore {
+
+// Thin file-system layer used by the durability code (WAL, checkpoint
+// segment files). All disk writes and reads in the storage engine funnel
+// through File/MappedFile so that (a) every path is covered by the fault
+// injector below and (b) platform quirks live in one translation unit.
+
+// --- Fault injection -----------------------------------------------------
+// Testing seam modelling the disk failures crash recovery must survive:
+// torn writes (a crash mid-write persists only a prefix), short reads, and
+// bit flips. A fault is armed against a path substring and triggers on the
+// matching operation; torn writes persist `fail_after_bytes` of the payload
+// and then report an injected error (the caller treats it like a crash).
+// Process-global, not thread-safe against concurrent arming — tests arm
+// faults while the storage layer is quiescent.
+struct IoFault {
+  enum class Kind {
+    kNone = 0,
+    kTornWrite,   // persist only fail_after_bytes of the next write, then fail
+    kShortRead,   // return fewer bytes than requested once
+    kBitFlip,     // flip one bit of the next write's payload (silent)
+    kFailSync,    // fail the next Sync() call
+  };
+  Kind kind = Kind::kNone;
+  int64_t fail_after_bytes = 0;  // kTornWrite: bytes of the write to keep
+  int64_t bit_index = 0;         // kBitFlip: which bit of the payload
+  bool once = true;              // disarm after first trigger
+};
+
+class IoFaultInjector {
+ public:
+  static IoFaultInjector& Global();
+
+  // Arms `fault` for operations on paths containing `path_substring`.
+  void Arm(const std::string& path_substring, IoFault fault);
+  void Clear();
+
+  // Internal: consumes a matching fault, if armed. Returns kNone otherwise.
+  IoFault Take(const std::string& path, IoFault::Kind kind);
+
+ private:
+  struct Armed {
+    std::string substring;
+    IoFault fault;
+  };
+  std::vector<Armed> armed_;
+};
+
+// --- File ----------------------------------------------------------------
+// RAII fd wrapper with the small operation set durability needs. Append and
+// Sync are not internally synchronized; callers serialize per file.
+class File {
+ public:
+  File() = default;
+  ~File();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(File);
+
+  // Creates (truncating any existing file) or opens for append.
+  static Result<std::unique_ptr<File>> Create(const std::string& path);
+  static Result<std::unique_ptr<File>> OpenAppend(const std::string& path);
+  static Result<std::unique_ptr<File>> OpenRead(const std::string& path);
+
+  // Appends `len` bytes at the end of the file. On an injected torn write a
+  // prefix is persisted and an Internal status is returned.
+  Status Append(const void* data, size_t len);
+  // Reads up to `len` bytes at `offset`; *read receives the byte count
+  // (short at EOF or under an injected short read).
+  Status ReadAt(int64_t offset, void* out, size_t len, size_t* read) const;
+  Status Sync();
+  Result<int64_t> Size() const;
+  Status Truncate(int64_t size);
+  Status Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// --- MappedFile ----------------------------------------------------------
+// Read-only memory mapping of a whole file. The mapping (and thus every
+// pointer handed out) stays valid until the MappedFile is destroyed;
+// checkpoint readers hand a shared_ptr<MappedFile> to each segment as a
+// keepalive so scans can decode directly from the mapping.
+class MappedFile {
+ public:
+  ~MappedFile();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(MappedFile);
+
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  int64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+  const uint8_t* data_ = nullptr;
+  int64_t size_ = 0;
+  std::string path_;
+};
+
+// --- Directory helpers ---------------------------------------------------
+Status CreateDirs(const std::string& path);
+// File names (not full paths) in `dir`; missing directory is an error.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+Status RemoveFile(const std::string& path);
+// Atomic rename; used for publish-by-rename of checkpoint files.
+Status RenameFile(const std::string& from, const std::string& to);
+// fsyncs the directory so renames/creates within it are durable.
+Status SyncDir(const std::string& dir);
+bool FileExists(const std::string& path);
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_IO_H_

@@ -1,0 +1,90 @@
+#ifndef VSTORE_COMMON_SERDE_H_
+#define VSTORE_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vstore {
+
+// Little bounded binary writer/reader used by the WAL record payloads and
+// the checkpoint segment-file metadata. All multi-byte reads go through
+// memcpy so decoding is alignment-safe on arbitrary (including mmap'd and
+// odd-offset) buffers; every read is bounds-checked so hostile or truncated
+// buffers yield a Status instead of UB.
+
+class BufWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutBytes(std::string_view bytes) {
+    PutU32(static_cast<uint32_t>(bytes.size()));
+    PutRaw(bytes.data(), bytes.size());
+  }
+  void PutRaw(const void* data, size_t len) {
+    if (len == 0) return;
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(std::string_view data) : data_(data) {}
+  BufReader(const void* data, size_t len)
+      : data_(static_cast<const char*>(data), len) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+  // A length-prefixed byte string; the view aliases the underlying buffer.
+  Status GetBytes(std::string_view* out) {
+    uint32_t len;
+    VSTORE_RETURN_IF_ERROR(GetU32(&len));
+    if (len > remaining()) {
+      return Status::Internal("serde: truncated byte string");
+    }
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Status GetRaw(void* out, size_t len) {
+    if (len > remaining()) {
+      return Status::Internal("serde: truncated buffer");
+    }
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Status Skip(size_t len) {
+    if (len > remaining()) return Status::Internal("serde: truncated buffer");
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_SERDE_H_

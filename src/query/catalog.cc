@@ -91,6 +91,39 @@ Status Catalog::AddShardedTable(std::unique_ptr<ShardedTable> table) {
   return Status::OK();
 }
 
+Status Catalog::AddDurableColumnStore(std::unique_ptr<ColumnStoreTable> table,
+                                      std::unique_ptr<DurableTable> durable) {
+  if (durable->table() != table.get()) {
+    return Status::InvalidArgument(
+        "durability attachment belongs to a different table: " +
+        table->name());
+  }
+  const std::string name = table->name();
+  VSTORE_RETURN_IF_ERROR(AddColumnStore(std::move(table)));
+  entries_[name].durable = durable.get();
+  durable_tables_.push_back(std::move(durable));
+  return Status::OK();
+}
+
+Status Catalog::AddDurableShardedTable(
+    std::unique_ptr<DurableShardedTable> table) {
+  ShardedTable* sharded = table->table();
+  if (IsSystemViewName(sharded->name())) {
+    return Status::InvalidArgument("the sys. namespace is reserved: " +
+                                   sharded->name());
+  }
+  auto it = entries_.find(sharded->name());
+  if (it != entries_.end()) {
+    return Status::AlreadyExists("table already registered: " +
+                                 sharded->name());
+  }
+  Entry& entry = entries_[sharded->name()];
+  entry.sharded_table = sharded;
+  entry.durable_sharded = table.get();
+  durable_sharded_tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
 Status Catalog::RegisterSystemView(std::unique_ptr<SystemViewProvider> view) {
   const std::string& name = view->name();
   if (!IsSystemViewName(name)) {

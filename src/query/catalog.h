@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "storage/column_store.h"
+#include "storage/durable_table.h"
 #include "storage/row_store.h"
 #include "storage/sharded_table.h"
 
@@ -35,12 +36,20 @@ class Catalog {
     RowStoreTable* row_store = nullptr;
     ShardedTable* sharded_table = nullptr;  // owned by the catalog
     const SystemViewProvider* system_view = nullptr;  // owned by the catalog
+    // Durability attachments (owned by the catalog; non-null only for
+    // tables registered via the AddDurable* entry points). sys.storage_files
+    // enumerates their WAL/checkpoint files.
+    DurableTable* durable = nullptr;
+    DurableShardedTable* durable_sharded = nullptr;
 
     const Schema& schema() const;
     bool has_column_store() const { return column_store != nullptr; }
     bool has_row_store() const { return row_store != nullptr; }
     bool has_sharded_table() const { return sharded_table != nullptr; }
     bool has_system_view() const { return system_view != nullptr; }
+    bool has_durability() const {
+      return durable != nullptr || durable_sharded != nullptr;
+    }
   };
 
   Status AddColumnStore(std::unique_ptr<ColumnStoreTable> table);
@@ -48,6 +57,13 @@ class Catalog {
   // A sharded table is a logical table's only representation: it cannot
   // share its name with a column- or row-store entry.
   Status AddShardedTable(std::unique_ptr<ShardedTable> table);
+  // Registers a column store together with its durability attachment (the
+  // caller opened the DurableTable against this table). The catalog owns
+  // both and destroys the attachment first (it detaches its hook).
+  Status AddDurableColumnStore(std::unique_ptr<ColumnStoreTable> table,
+                               std::unique_ptr<DurableTable> durable);
+  // Registers a durable sharded table (which owns its ShardedTable).
+  Status AddDurableShardedTable(std::unique_ptr<DurableShardedTable> table);
   // Registers a virtual table under the reserved "sys." namespace.
   Status RegisterSystemView(std::unique_ptr<SystemViewProvider> view);
 
@@ -82,6 +98,10 @@ class Catalog {
   std::vector<std::unique_ptr<RowStoreTable>> row_stores_;
   std::vector<std::unique_ptr<ShardedTable>> sharded_tables_;
   std::vector<std::unique_ptr<SystemViewProvider>> system_views_;
+  // Declared after the table vectors so attachments are destroyed first —
+  // a DurableTable detaches its WAL hook from a still-live table.
+  std::vector<std::unique_ptr<DurableTable>> durable_tables_;
+  std::vector<std::unique_ptr<DurableShardedTable>> durable_sharded_tables_;
 };
 
 }  // namespace vstore

@@ -335,6 +335,47 @@ class DeltaStoresView final : public BuiltinView {
   }
 };
 
+// --- sys.storage_files ---------------------------------------------------
+
+class StorageFilesView final : public BuiltinView {
+ public:
+  StorageFilesView()
+      : BuiltinView("sys.storage_files",
+                    Schema({{"table_name", DataType::kString, false},
+                            {"shard_id", DataType::kInt64, true},
+                            {"kind", DataType::kString, false},
+                            {"epoch", DataType::kInt64, false},
+                            {"bytes", DataType::kInt64, false},
+                            {"path", DataType::kString, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    auto append = [&](const std::string& table, Value shard,
+                      const DurableTable::FileInfo& f) {
+      data.AppendRow({S(table), shard, S(f.kind),
+                      I(static_cast<int64_t>(f.epoch)), I(f.bytes),
+                      S(f.path)});
+    };
+    for (const auto& [name, entry] : catalog.entries()) {
+      if (entry.durable != nullptr) {
+        for (const DurableTable::FileInfo& f : entry.durable->Files()) {
+          append(name, NullI(), f);
+        }
+      }
+      if (entry.durable_sharded != nullptr) {
+        DurableShardedTable* sharded = entry.durable_sharded;
+        for (int i = 0; i < sharded->num_shards(); ++i) {
+          for (const DurableTable::FileInfo& f :
+               sharded->shard_durability(i)->Files()) {
+            append(name, I(i), f);
+          }
+        }
+      }
+    }
+    return data;
+  }
+};
+
 // --- sys.shards ----------------------------------------------------------
 
 class ShardsView final : public BuiltinView {
@@ -500,6 +541,7 @@ void RegisterBuiltinSystemViews(Catalog* catalog) {
   (void)catalog->RegisterSystemView(std::make_unique<SegmentsView>());
   (void)catalog->RegisterSystemView(std::make_unique<DictionariesView>());
   (void)catalog->RegisterSystemView(std::make_unique<DeltaStoresView>());
+  (void)catalog->RegisterSystemView(std::make_unique<StorageFilesView>());
   (void)catalog->RegisterSystemView(std::make_unique<ShardsView>());
   (void)catalog->RegisterSystemView(std::make_unique<MetricsView>());
   (void)catalog->RegisterSystemView(std::make_unique<TracesView>());

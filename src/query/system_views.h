@@ -44,8 +44,9 @@ class SystemViewProvider {
 };
 
 // Registers the built-in views (sys.tables, sys.row_groups, sys.segments,
-// sys.dictionaries, sys.delta_stores, sys.shards, sys.metrics, sys.traces,
-// sys.query_stats). Called by the Catalog constructor.
+// sys.dictionaries, sys.delta_stores, sys.storage_files, sys.shards,
+// sys.metrics, sys.traces, sys.query_stats). Called by the Catalog
+// constructor.
 void RegisterBuiltinSystemViews(Catalog* catalog);
 
 }  // namespace vstore

@@ -179,19 +179,24 @@ Status ColumnStoreTable::BulkLoad(const TableData& data) {
       v->row_groups_.push_back(std::move(group));
     }
     // Small tail: trickle into the delta store, as the paper's bulk insert
-    // does for undersized batches.
+    // does for undersized batches. Not WAL-logged: the whole load commits
+    // via the synchronous checkpoint below, or not at all.
     for (; pos < n; ++pos) {
       RowId unused;
-      VSTORE_RETURN_IF_ERROR(InsertLocked(v, data.GetRow(pos), &unused));
+      VSTORE_RETURN_IF_ERROR(InsertLocked(v, data.GetRow(pos), &unused,
+                                          /*log=*/false));
     }
   }
   RefreshStorageGauges();
+  if (durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->OnBulkLoad());
+  }
   return Status::OK();
 }
 
 Status ColumnStoreTable::InsertLocked(TableVersion* v,
                                       const std::vector<Value>& row,
-                                      RowId* id) {
+                                      RowId* id, bool log) {
   // Locate the open delta store, creating one if needed.
   size_t idx;
   if (!v->delta_stores_.empty() && !v->delta_stores_.back()->closed() &&
@@ -213,13 +218,21 @@ Status ColumnStoreTable::InsertLocked(TableVersion* v,
   if (store->num_rows() >= options_.row_group_size) store->Close();
   *id = rowid;
   metrics_.rows_inserted->Increment();
+  if (log && durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->LogInsert(rowid, row));
+  }
   return Status::OK();
 }
 
 Result<RowId> ColumnStoreTable::Insert(const std::vector<Value>& row) {
-  std::unique_lock lock(mutex_);
   RowId id;
-  VSTORE_RETURN_IF_ERROR(InsertLocked(MutableVersion(), row, &id));
+  {
+    std::unique_lock lock(mutex_);
+    VSTORE_RETURN_IF_ERROR(InsertLocked(MutableVersion(), row, &id));
+  }
+  if (durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->Commit());
+  }
   return id;
 }
 
@@ -233,17 +246,22 @@ Result<std::vector<RowId>> ColumnStoreTable::InsertBatch(
   }
   std::vector<RowId> ids;
   ids.reserve(rows.size());
-  std::unique_lock lock(mutex_);
-  TableVersion* v = MutableVersion();
-  for (const std::vector<Value>* row : rows) {
-    RowId id;
-    VSTORE_RETURN_IF_ERROR(InsertLocked(v, *row, &id));
-    ids.push_back(id);
+  {
+    std::unique_lock lock(mutex_);
+    TableVersion* v = MutableVersion();
+    for (const std::vector<Value>* row : rows) {
+      RowId id;
+      VSTORE_RETURN_IF_ERROR(InsertLocked(v, *row, &id));
+      ids.push_back(id);
+    }
+  }
+  if (durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->Commit());
   }
   return ids;
 }
 
-Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {
+Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id, bool log) {
   if (IsDeltaRowId(id)) {
     for (size_t i = 0; i < v->delta_stores_.size(); ++i) {
       const DeltaStore& store = *v->delta_stores_[i];
@@ -251,6 +269,9 @@ Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {
       if (!store.Contains(id)) continue;
       MutableDeltaStore(v, static_cast<int64_t>(i))->Delete(id);
       metrics_.rows_deleted->Increment();
+      if (log && durability_ != nullptr) {
+        VSTORE_RETURN_IF_ERROR(durability_->LogDelete(id));
+      }
       return Status::OK();
     }
     return Status::NotFound("delta rowid not found");
@@ -271,12 +292,21 @@ Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id) {
   }
   MutableBitmap(v, group)->MarkDeleted(offset);
   metrics_.rows_deleted->Increment();
+  if (log && durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->LogDelete(id));
+  }
   return Status::OK();
 }
 
 Status ColumnStoreTable::Delete(RowId id) {
-  std::unique_lock lock(mutex_);
-  return DeleteLocked(MutableVersion(), id);
+  {
+    std::unique_lock lock(mutex_);
+    VSTORE_RETURN_IF_ERROR(DeleteLocked(MutableVersion(), id));
+  }
+  if (durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->Commit());
+  }
+  return Status::OK();
 }
 
 Result<RowId> ColumnStoreTable::Update(RowId id, const std::vector<Value>& row) {
@@ -286,12 +316,17 @@ Result<RowId> ColumnStoreTable::Update(RowId id, const std::vector<Value>& row) 
   if (static_cast<int>(row.size()) != schema_.num_columns()) {
     return Status::InvalidArgument("row arity does not match schema");
   }
-  std::unique_lock lock(mutex_);
-  TableVersion* v = MutableVersion();
-  VSTORE_RETURN_IF_ERROR(DeleteLocked(v, id));
   RowId new_id;
-  VSTORE_RETURN_IF_ERROR(InsertLocked(v, row, &new_id));
-  metrics_.rows_updated->Increment();
+  {
+    std::unique_lock lock(mutex_);
+    TableVersion* v = MutableVersion();
+    VSTORE_RETURN_IF_ERROR(DeleteLocked(v, id));
+    VSTORE_RETURN_IF_ERROR(InsertLocked(v, row, &new_id));
+    metrics_.rows_updated->Increment();
+  }
+  if (durability_ != nullptr) {
+    VSTORE_RETURN_IF_ERROR(durability_->Commit());
+  }
   return new_id;
 }
 
@@ -380,6 +415,7 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
   {
     std::unique_lock lock(mutex_);
     TableVersion* v = MutableVersion();
+    std::vector<int64_t> installed_ids;
     for (auto& c : built) {
       size_t idx = 0;
       while (idx < v->delta_stores_.size() &&
@@ -392,6 +428,7 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
         ++conflicts;
         continue;
       }
+      installed_ids.push_back(c.source->id());
       v->delta_stores_.erase(v->delta_stores_.begin() +
                              static_cast<long>(idx));
       v->store_owned_.erase(v->store_owned_.begin() + static_cast<long>(idx));
@@ -405,6 +442,14 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
       }
       ++moved;
     }
+    // Logged inside the install critical section so log order matches the
+    // serialization order of this install against concurrent DML.
+    if (durability_ != nullptr && !installed_ids.empty()) {
+      VSTORE_RETURN_IF_ERROR(durability_->LogCompressInstall(installed_ids));
+    }
+  }
+  if (durability_ != nullptr && moved > 0) {
+    VSTORE_RETURN_IF_ERROR(durability_->Commit());
   }
   metrics_.delta_stores_compressed->Increment(moved);
   metrics_.reorg_installs->Increment(moved);
@@ -462,6 +507,7 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
   {
     std::unique_lock lock(mutex_);
     TableVersion* v = MutableVersion();
+    std::vector<int64_t> installed_groups;
     for (auto& r : rebuilds) {
       size_t g = static_cast<size_t>(r.g);
       if (v->row_groups_[g].get() != r.old_group ||
@@ -478,8 +524,15 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
           std::make_shared<DeleteBitmap>(v->row_groups_[g]->num_rows());
       v->bitmap_owned_[g] = true;
       rows_kept += v->row_groups_[g]->num_rows();
+      installed_groups.push_back(r.g);
       ++installed;
     }
+    if (durability_ != nullptr && !installed_groups.empty()) {
+      VSTORE_RETURN_IF_ERROR(durability_->LogRebuildInstall(installed_groups));
+    }
+  }
+  if (durability_ != nullptr && installed > 0) {
+    VSTORE_RETURN_IF_ERROR(durability_->Commit());
   }
   metrics_.row_groups_rebuilt->Increment(installed);
   metrics_.reorg_installs->Increment(installed);
@@ -543,6 +596,163 @@ void ColumnStoreTable::RefreshStorageGauges() const {
   metrics_.segment_bytes->Set(sizes.segment_bytes);
   metrics_.dictionary_bytes->Set(sizes.dictionary_bytes);
   metrics_.delete_bitmap_bytes->Set(sizes.delete_bitmap_bytes);
+}
+
+// --- Durability and recovery ---------------------------------------------
+
+void ColumnStoreTable::AttachDurabilityHook(TableDurabilityHook* hook) {
+  std::unique_lock lock(mutex_);
+  durability_ = hook;
+}
+
+Result<ColumnStoreTable::CheckpointState>
+ColumnStoreTable::CaptureCheckpointState(
+    const std::function<Status()>& rotate) {
+  std::unique_lock lock(mutex_);
+  // The captured version may still receive in-place mutations from later
+  // writers unless it is marked snapshotted, exactly as in Snapshot().
+  version_->snapshotted_.store(true, std::memory_order_relaxed);
+  CheckpointState state;
+  state.snapshot = version_;
+  state.next_delta_seq = next_delta_seq_;
+  state.next_delta_id = next_delta_id_;
+  if (rotate) {
+    VSTORE_RETURN_IF_ERROR(rotate());
+  }
+  return state;
+}
+
+Status ColumnStoreTable::RecoverInstallState(RecoveredState state) {
+  if (state.row_groups.size() != state.generations.size() ||
+      state.row_groups.size() != state.delete_bitmaps.size()) {
+    return Status::Internal("recovery: inconsistent checkpoint state for " +
+                            name_);
+  }
+  std::unique_lock lock(mutex_);
+  auto v = std::make_shared<TableVersion>();
+  v->row_groups_ = std::move(state.row_groups);
+  v->generations_ = std::move(state.generations);
+  v->delete_bitmaps_ = std::move(state.delete_bitmaps);
+  v->delta_stores_ = std::move(state.delta_stores);
+  v->bitmap_owned_.assign(v->delete_bitmaps_.size(), true);
+  v->store_owned_.assign(v->delta_stores_.size(), true);
+  v->sequence_ = state.version_sequence;
+  version_ = std::move(v);
+  next_delta_seq_ = state.next_delta_seq;
+  next_delta_id_ = state.next_delta_id;
+  // Settle the DML counters to the installed checkpoint state before WAL
+  // replay bumps them through the normal apply paths. The counters are
+  // process-global per table name, so an in-process reopen replays the
+  // same tail against counters that still hold the pre-crash values —
+  // resetting the base here makes replay idempotent. Delta-store deletes
+  // physically remove rows, so the checkpoint cannot distinguish them
+  // from never-inserted rows; both counters undercount equally and the
+  // invariant inserted - deleted == live rows still holds.
+  int64_t live = version_->num_rows();
+  int64_t deleted = version_->num_deleted_rows();
+  metrics_.rows_inserted->Increment(live + deleted -
+                                    metrics_.rows_inserted->Value());
+  metrics_.rows_deleted->Increment(deleted - metrics_.rows_deleted->Value());
+  return Status::OK();
+}
+
+Status ColumnStoreTable::RecoverInsert(RowId id, const std::vector<Value>& row) {
+  if (!IsDeltaRowId(id)) {
+    return Status::Internal("recovery: logged insert id is not a delta rowid");
+  }
+  std::unique_lock lock(mutex_);
+  // Restore the sequence the original assignment drew from, then run the
+  // normal insert path: the store open/close layout replays exactly because
+  // the log preserves commit order.
+  next_delta_seq_ = id & ~kDeltaRowIdBit;
+  RowId assigned = 0;
+  VSTORE_RETURN_IF_ERROR(
+      InsertLocked(MutableVersion(), row, &assigned, /*log=*/false));
+  if (assigned != id) {
+    return Status::Internal("recovery: replayed rowid diverged for " + name_);
+  }
+  return Status::OK();
+}
+
+Status ColumnStoreTable::RecoverDelete(RowId id) {
+  std::unique_lock lock(mutex_);
+  return DeleteLocked(MutableVersion(), id, /*log=*/false);
+}
+
+Status ColumnStoreTable::RecoverCompressStores(
+    const std::vector<int64_t>& store_ids) {
+  std::lock_guard<std::mutex> reorg(reorg_mutex_);
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  for (int64_t store_id : store_ids) {
+    size_t idx = 0;
+    while (idx < v->delta_stores_.size() &&
+           v->delta_stores_[idx]->id() != store_id) {
+      ++idx;
+    }
+    if (idx == v->delta_stores_.size()) {
+      return Status::Internal("recovery: compressed delta store missing");
+    }
+    const DeltaStore& store = *v->delta_stores_[idx];
+    TableData staged(schema_);
+    VSTORE_RETURN_IF_ERROR(store.ForEach(
+        [&](uint64_t /*rowid*/, const std::vector<Value>& row) {
+          staged.AppendRow(row);
+        }));
+    std::shared_ptr<RowGroup> group;
+    if (staged.num_rows() > 0) {
+      group = BuildRowGroup(staged, 0, staged.num_rows(),
+                            v->num_row_groups());
+    }
+    v->delta_stores_.erase(v->delta_stores_.begin() + static_cast<long>(idx));
+    v->store_owned_.erase(v->store_owned_.begin() + static_cast<long>(idx));
+    if (group != nullptr) {
+      v->delete_bitmaps_.push_back(
+          std::make_shared<DeleteBitmap>(group->num_rows()));
+      v->bitmap_owned_.push_back(true);
+      v->generations_.push_back(0);
+      v->row_groups_.push_back(std::move(group));
+    }
+  }
+  return Status::OK();
+}
+
+Status ColumnStoreTable::RecoverRebuildGroups(
+    const std::vector<int64_t>& groups) {
+  std::lock_guard<std::mutex> reorg(reorg_mutex_);
+  std::unique_lock lock(mutex_);
+  TableVersion* v = MutableVersion();
+  for (int64_t g : groups) {
+    if (g < 0 || g >= v->num_row_groups()) {
+      return Status::Internal("recovery: rebuilt group index out of range");
+    }
+    size_t gi = static_cast<size_t>(g);
+    const RowGroup& rg = *v->row_groups_[gi];
+    const DeleteBitmap& bm = *v->delete_bitmaps_[gi];
+    TableData staged(schema_);
+    for (int64_t r = 0; r < rg.num_rows(); ++r) {
+      if (bm.IsDeleted(r)) continue;
+      std::vector<Value> row;
+      row.reserve(static_cast<size_t>(rg.num_columns()));
+      for (int c = 0; c < rg.num_columns(); ++c) {
+        row.push_back(rg.column(c).GetValue(r));
+      }
+      staged.AppendRow(row);
+    }
+    v->row_groups_[gi] = BuildRowGroup(staged, 0, staged.num_rows(), g);
+    v->generations_[gi] = (v->generations_[gi] + 1) & kRowIdGenerationMask;
+    v->delete_bitmaps_[gi] =
+        std::make_shared<DeleteBitmap>(v->row_groups_[gi]->num_rows());
+    v->bitmap_owned_[gi] = true;
+  }
+  return Status::OK();
+}
+
+void ColumnStoreTable::ReconcileMetricsAfterRecovery() {
+  // The counter base was settled in RecoverInstallState and replay bumped
+  // the counters through the normal apply paths; all that remains is to
+  // bring the storage gauges in line with the recovered snapshot.
+  RefreshStorageGauges();
 }
 
 // --- Current-version convenience accessors ------------------------------

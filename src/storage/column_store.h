@@ -131,6 +131,32 @@ class TableVersion {
 
 using TableSnapshot = std::shared_ptr<const TableVersion>;
 
+// --- Durability hook ------------------------------------------------------
+// A ColumnStoreTable with a hook attached logs every committed mutation so
+// the durable layer (storage/durable_table.h) can write it ahead to a WAL.
+// The Log* methods are invoked under the table's exclusive lock immediately
+// after the in-memory mutation succeeded, so log order equals serialization
+// order; Commit() is invoked by the DML entry points after the lock is
+// released and must not return until the records logged so far are durable
+// (the WAL writer group-commits concurrent callers into one fsync).
+//
+// Reorganizations are logged logically: the install intent (which delta
+// stores were compressed / which groups were rebuilt, in install order) is
+// recorded inside the install critical section, and recovery re-executes
+// the reorganization deterministically from the replayed table state.
+class TableDurabilityHook {
+ public:
+  virtual ~TableDurabilityHook() = default;
+  virtual Status LogInsert(RowId id, const std::vector<Value>& row) = 0;
+  virtual Status LogDelete(RowId id) = 0;
+  virtual Status LogCompressInstall(const std::vector<int64_t>& store_ids) = 0;
+  virtual Status LogRebuildInstall(const std::vector<int64_t>& groups) = 0;
+  virtual Status Commit() = 0;
+  // Bulk loads are not row-logged (their rows go straight into compressed
+  // groups); the hook persists them with a synchronous checkpoint instead.
+  virtual Status OnBulkLoad() = 0;
+};
+
 // --- Column store table ---------------------------------------------------
 // The paper's clustered (updatable) column store index used as base table
 // storage: compressed row groups + delete bitmaps + delta stores, fed by
@@ -239,6 +265,57 @@ class ColumnStoreTable {
     reorg_hook_for_testing_ = std::move(hook);
   }
 
+  // --- Durability ---------------------------------------------------------
+  // Attaches the write-ahead logging hook. Must be called while no DML is
+  // running (the durable layer attaches it after recovery, before handing
+  // the table out). The hook is borrowed, not owned, and must outlive the
+  // table. Pass nullptr to detach.
+  void AttachDurabilityHook(TableDurabilityHook* hook);
+
+  // State a checkpoint must capture atomically with the WAL rotation: the
+  // current version plus the delta id/sequence counters that make replayed
+  // RowId assignment deterministic.
+  struct CheckpointState {
+    TableSnapshot snapshot;
+    uint64_t next_delta_seq = 0;
+    int64_t next_delta_id = 0;
+  };
+  // Captures the state and runs `rotate` (the durable layer's WAL swap)
+  // inside one exclusive critical section, so no mutation can fall between
+  // the captured snapshot and the first record of the new log.
+  Result<CheckpointState> CaptureCheckpointState(
+      const std::function<Status()>& rotate);
+
+  // Everything persisted in a checkpoint, in table-installable form; the
+  // segment-file reader produces one of these from disk.
+  struct RecoveredState {
+    std::vector<std::shared_ptr<RowGroup>> row_groups;
+    std::vector<uint32_t> generations;
+    std::vector<std::shared_ptr<DeleteBitmap>> delete_bitmaps;
+    std::vector<std::shared_ptr<DeltaStore>> delta_stores;
+    uint64_t next_delta_seq = 0;
+    int64_t next_delta_id = 0;
+    uint64_t version_sequence = 0;
+  };
+
+  // --- Recovery apply paths ----------------------------------------------
+  // Used only by the durable layer while replaying, before the hook is
+  // attached and before the table is handed to anyone else. They are
+  // metric-silent: DML counters are reconciled once at the end so replaying
+  // a log tail twice across restarts never double-counts.
+  Status RecoverInstallState(RecoveredState state);
+  // Re-applies a logged insert; verifies the deterministically re-assigned
+  // RowId matches the logged one.
+  Status RecoverInsert(RowId id, const std::vector<Value>& row);
+  Status RecoverDelete(RowId id);
+  // Re-executes a logged reorganization install: compresses exactly the
+  // listed delta stores (by id, in order) / rebuilds the listed groups.
+  Status RecoverCompressStores(const std::vector<int64_t>& store_ids);
+  Status RecoverRebuildGroups(const std::vector<int64_t>& groups);
+  // Sets the DML counters to values consistent with the recovered snapshot
+  // (inserted - deleted == live rows) and refreshes the storage gauges.
+  void ReconcileMetricsAfterRecovery();
+
   // --- Archival ----------------------------------------------------------
   // Both require quiescent readers (no concurrent scans/GetRow).
   Status Archive();      // compress all row groups (COLUMNSTORE_ARCHIVE)
@@ -338,9 +415,11 @@ class ColumnStoreTable {
   // shared with an earlier version.
   DeleteBitmap* MutableBitmap(TableVersion* v, int64_t group);
   DeltaStore* MutableDeltaStore(TableVersion* v, int64_t index);
+  // `log` suppresses WAL logging for rows persisted another way (bulk-load
+  // tails ride the synchronous checkpoint; recovery must not re-log).
   Status InsertLocked(TableVersion* v, const std::vector<Value>& row,
-                      RowId* id);
-  Status DeleteLocked(TableVersion* v, RowId id);
+                      RowId* id, bool log = true);
+  Status DeleteLocked(TableVersion* v, RowId id, bool log = true);
 
   std::string name_;
   Schema schema_;
@@ -361,6 +440,9 @@ class ColumnStoreTable {
 
   TableMetrics metrics_;
   std::function<void()> reorg_hook_for_testing_;
+
+  // Durable layer wiring (see TableDurabilityHook).
+  TableDurabilityHook* durability_ = nullptr;
 };
 
 }  // namespace vstore

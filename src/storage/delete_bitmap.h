@@ -2,6 +2,7 @@
 #define VSTORE_STORAGE_DELETE_BITMAP_H_
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/bit_util.h"
 
@@ -39,6 +40,21 @@ class DeleteBitmap {
 
   int64_t MemoryBytes() const {
     return bit_util::BytesForBits(bits_.size());
+  }
+
+  // Serialization support for the checkpoint writer/reader.
+  const uint8_t* bytes() const { return bits_.data(); }
+  int64_t byte_size() const { return bit_util::BytesForBits(bits_.size()); }
+  // Rebuilds a bitmap from its serialized bytes; the deleted count is
+  // recomputed from the bits rather than trusted from the file.
+  static DeleteBitmap FromBytes(int64_t num_rows, const uint8_t* data,
+                                size_t len) {
+    DeleteBitmap bm(num_rows);
+    size_t want = static_cast<size_t>(bit_util::BytesForBits(num_rows));
+    if (len > want) len = want;
+    if (len > 0) std::memcpy(bm.bits_.mutable_data(), data, len);
+    bm.deleted_ = bm.bits_.CountSet();
+    return bm;
   }
 
  private:

@@ -1,0 +1,457 @@
+#include "storage/durable_table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/io.h"
+#include "common/serde.h"
+#include "storage/delta_store.h"
+#include "storage/segment_file.h"
+
+namespace vstore {
+
+namespace {
+
+// Parses "<stem>.<kind>.<epoch>" file names; returns false for anything
+// else (including ".tmp" leftovers).
+bool ParseEpochFile(const std::string& file, const std::string& stem,
+                    const std::string& kind, uint64_t* epoch) {
+  std::string prefix = stem + "." + kind + ".";
+  if (file.size() <= prefix.size() || file.compare(0, prefix.size(), prefix)) {
+    return false;
+  }
+  const char* digits = file.c_str() + prefix.size();
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(digits, &end, 10);
+  if (end == digits || *end != '\0' || value == 0) return false;
+  *epoch = value;
+  return true;
+}
+
+Result<int64_t> FileBytes(const std::string& path) {
+  VSTORE_ASSIGN_OR_RETURN(std::unique_ptr<File> f, File::OpenRead(path));
+  return f->Size();
+}
+
+}  // namespace
+
+// --- DurableTable ---------------------------------------------------------
+
+DurableTable::DurableTable(std::string dir, ColumnStoreTable* table,
+                           Options options)
+    : dir_(std::move(dir)), table_(table), options_(options) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string& t = table_->metric_table_label();
+  const std::string& s = table_->metric_shard_label();
+  auto counter = [&](const std::string& name) {
+    return s.empty() ? registry.GetCounter(name, "table", t)
+                     : registry.GetCounter(name, "table", t, "shard", s);
+  };
+  auto gauge = [&](const std::string& name) {
+    return s.empty() ? registry.GetGauge(name, "table", t)
+                     : registry.GetGauge(name, "table", t, "shard", s);
+  };
+  metrics_.wal_records = counter("vstore_wal_records");
+  metrics_.wal_bytes = counter("vstore_wal_bytes");
+  metrics_.wal_syncs = counter("vstore_wal_syncs");
+  metrics_.checkpoints = counter("vstore_checkpoints");
+  metrics_.recovery_replayed_records =
+      counter("vstore_recovery_replayed_records");
+  metrics_.wal_file_bytes = gauge("vstore_wal_file_bytes");
+  metrics_.checkpoint_file_bytes = gauge("vstore_checkpoint_file_bytes");
+}
+
+DurableTable::~DurableTable() {
+  table_->AttachDurabilityHook(nullptr);
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal = wal_;
+  }
+  if (wal != nullptr) {
+    Status st = wal->Close();  // best effort; commits were already synced
+    (void)st;
+  }
+}
+
+std::string DurableTable::WalPath(uint64_t epoch) const {
+  return dir_ + "/" + table_->name() + ".wal." + std::to_string(epoch);
+}
+
+std::string DurableTable::CkptPath(uint64_t epoch) const {
+  return dir_ + "/" + table_->name() + ".ckpt." + std::to_string(epoch);
+}
+
+Result<std::unique_ptr<DurableTable>> DurableTable::Open(
+    const std::string& dir, ColumnStoreTable* table, Options options) {
+  if (table->num_row_groups() != 0 || table->num_delta_stores() != 0) {
+    return Status::InvalidArgument(
+        "DurableTable::Open requires a freshly constructed empty table");
+  }
+  VSTORE_RETURN_IF_ERROR(CreateDirs(dir));
+  auto durable =
+      std::unique_ptr<DurableTable>(new DurableTable(dir, table, options));
+  VSTORE_RETURN_IF_ERROR(durable->Recover());
+  table->AttachDurabilityHook(durable.get());
+  return durable;
+}
+
+Status DurableTable::Recover() {
+  ScopedTrace trace("recover:" + table_->name(), "durability");
+  VSTORE_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(dir_));
+  const std::string stem = table_->name();
+  std::vector<uint64_t> ckpt_epochs;
+  std::vector<uint64_t> wal_epochs;
+  for (const std::string& f : files) {
+    uint64_t epoch;
+    if (ParseEpochFile(f, stem, "ckpt", &epoch)) ckpt_epochs.push_back(epoch);
+    if (ParseEpochFile(f, stem, "wal", &epoch)) wal_epochs.push_back(epoch);
+  }
+  std::sort(ckpt_epochs.rbegin(), ckpt_epochs.rend());
+  std::sort(wal_epochs.begin(), wal_epochs.end());
+
+  // Load the newest checkpoint that validates; fall back on corruption so a
+  // damaged newest checkpoint degrades to (older checkpoint + longer WAL
+  // replay) instead of data loss.
+  ColumnStoreTable::RecoveredState state;
+  Status last_error;
+  for (uint64_t epoch : ckpt_epochs) {
+    auto loaded = SegmentFileReader::Load(CkptPath(epoch), table_);
+    if (!loaded.ok()) {
+      last_error = loaded.status();
+      ++recovery_.checkpoint_fallbacks;
+      continue;
+    }
+    if (loaded.value().epoch != epoch) {
+      last_error = Status::Internal("checkpoint: epoch/file name mismatch");
+      ++recovery_.checkpoint_fallbacks;
+      continue;
+    }
+    recovery_.checkpoint_epoch = epoch;
+    recovery_.checkpoint_lsn = loaded.value().checkpoint_lsn;
+    ckpt_bytes_ = loaded.value().file_bytes;
+    state = std::move(loaded.value().state);
+    break;
+  }
+  if (recovery_.checkpoint_epoch == 0 && !ckpt_epochs.empty()) {
+    // Every checkpoint failed to validate. A WAL tail alone cannot
+    // reconstruct the table (bulk loads are not row-logged), so surface
+    // the corruption instead of silently replaying onto an empty table.
+    return last_error;
+  }
+  ckpt_epoch_ = recovery_.checkpoint_epoch;
+  VSTORE_RETURN_IF_ERROR(table_->RecoverInstallState(std::move(state)));
+
+  // Replay WAL epochs newer than the checkpoint, in epoch order. Only the
+  // newest file may end mid-record (torn tail); any other anomaly — a gap
+  // in the epoch chain, corruption mid-file — is real damage.
+  uint64_t max_lsn = recovery_.checkpoint_lsn;
+  uint64_t last_epoch = ckpt_epoch_;
+  std::vector<uint64_t> replay;
+  for (uint64_t e : wal_epochs) {
+    if (e > ckpt_epoch_) replay.push_back(e);
+  }
+  for (size_t i = 0; i < replay.size(); ++i) {
+    if (replay[i] != ckpt_epoch_ + 1 + i) {
+      return Status::Internal("wal: epoch gap: missing " +
+                              WalPath(ckpt_epoch_ + 1 + i));
+    }
+  }
+  for (size_t i = 0; i < replay.size(); ++i) {
+    bool newest = i + 1 == replay.size();
+    std::vector<WalRecord> records;
+    WalReadStats stats;
+    auto epoch_or =
+        WalReader::ReadAll(WalPath(replay[i]), newest, &records, &stats);
+    if (!epoch_or.ok()) {
+      if (newest) {
+        // A crash between WAL rotation and the header fsync completing can
+        // leave the newest file unreadable from the first byte; nothing in
+        // it was ever acknowledged.
+        recovery_.torn_tail = true;
+        break;
+      }
+      return epoch_or.status();
+    }
+    if (epoch_or.value() != replay[i]) {
+      return Status::Internal("wal: header epoch does not match file name");
+    }
+    if (stats.truncated_tail) recovery_.torn_tail = true;
+    for (const WalRecord& rec : records) {
+      if (rec.lsn <= recovery_.checkpoint_lsn) continue;  // already in ckpt
+      BufReader r(rec.payload);
+      switch (rec.type) {
+        case WalRecordType::kInsert: {
+          uint64_t id;
+          std::string_view bytes;
+          std::vector<Value> row;
+          VSTORE_RETURN_IF_ERROR(r.GetU64(&id));
+          VSTORE_RETURN_IF_ERROR(r.GetBytes(&bytes));
+          VSTORE_RETURN_IF_ERROR(DecodeRow(table_->schema(), bytes, &row));
+          VSTORE_RETURN_IF_ERROR(table_->RecoverInsert(id, row));
+          break;
+        }
+        case WalRecordType::kDelete: {
+          uint64_t id;
+          VSTORE_RETURN_IF_ERROR(r.GetU64(&id));
+          VSTORE_RETURN_IF_ERROR(table_->RecoverDelete(id));
+          break;
+        }
+        case WalRecordType::kCompressStores: {
+          uint32_t count;
+          VSTORE_RETURN_IF_ERROR(r.GetU32(&count));
+          std::vector<int64_t> ids(count);
+          for (uint32_t k = 0; k < count; ++k) {
+            VSTORE_RETURN_IF_ERROR(r.GetI64(&ids[k]));
+          }
+          VSTORE_RETURN_IF_ERROR(table_->RecoverCompressStores(ids));
+          break;
+        }
+        case WalRecordType::kRebuildGroups: {
+          uint32_t count;
+          VSTORE_RETURN_IF_ERROR(r.GetU32(&count));
+          std::vector<int64_t> groups(count);
+          for (uint32_t k = 0; k < count; ++k) {
+            VSTORE_RETURN_IF_ERROR(r.GetI64(&groups[k]));
+          }
+          VSTORE_RETURN_IF_ERROR(table_->RecoverRebuildGroups(groups));
+          break;
+        }
+        default:
+          return Status::Internal("wal: unexpected record type");
+      }
+      if (!r.done()) {
+        return Status::Internal("wal: trailing bytes in record payload");
+      }
+      if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+      ++recovery_.wal_records_replayed;
+      metrics_.recovery_replayed_records->Increment();
+    }
+    ++recovery_.wal_epochs_replayed;
+    last_epoch = replay[i];
+  }
+
+  // Open a fresh WAL epoch for new commits and make it durable before any
+  // commit can be acknowledged against it.
+  wal_epoch_ = last_epoch + 1;
+  next_lsn_ = max_lsn + 1;
+  VSTORE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                          WalWriter::Create(WalPath(wal_epoch_), wal_epoch_));
+  VSTORE_RETURN_IF_ERROR(SyncDir(dir_));
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_ = std::move(wal);
+  }
+
+  table_->ReconcileMetricsAfterRecovery();
+  if (ckpt_epoch_ > 0) {
+    RetireBefore(ckpt_epoch_);
+  }
+  RefreshFileGauges();
+  return Status::OK();
+}
+
+Status DurableTable::AppendRecord(WalRecordType type, std::string payload) {
+  WalRecord rec;
+  rec.lsn = next_lsn_++;
+  rec.type = type;
+  rec.payload = std::move(payload);
+  VSTORE_RETURN_IF_ERROR(wal_->Append(rec));
+  metrics_.wal_records->Increment();
+  metrics_.wal_bytes->Increment(static_cast<int64_t>(rec.payload.size()) + 17);
+  return Status::OK();
+}
+
+Status DurableTable::LogInsert(RowId id, const std::vector<Value>& row) {
+  BufWriter w;
+  w.PutU64(id);
+  w.PutBytes(EncodeRow(table_->schema(), row));
+  return AppendRecord(WalRecordType::kInsert, w.Take());
+}
+
+Status DurableTable::LogDelete(RowId id) {
+  BufWriter w;
+  w.PutU64(id);
+  return AppendRecord(WalRecordType::kDelete, w.Take());
+}
+
+Status DurableTable::LogCompressInstall(const std::vector<int64_t>& store_ids) {
+  BufWriter w;
+  w.PutU32(static_cast<uint32_t>(store_ids.size()));
+  for (int64_t id : store_ids) w.PutI64(id);
+  return AppendRecord(WalRecordType::kCompressStores, w.Take());
+}
+
+Status DurableTable::LogRebuildInstall(const std::vector<int64_t>& groups) {
+  BufWriter w;
+  w.PutU32(static_cast<uint32_t>(groups.size()));
+  for (int64_t g : groups) w.PutI64(g);
+  return AppendRecord(WalRecordType::kRebuildGroups, w.Take());
+}
+
+Status DurableTable::Commit() {
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal = wal_;
+  }
+  metrics_.wal_file_bytes->Set(wal->bytes_appended());
+  if (!options_.sync_commits) return Status::OK();
+  metrics_.wal_syncs->Increment();
+  return wal->SyncTo(wal->last_appended_lsn());
+}
+
+Status DurableTable::OnBulkLoad() { return Checkpoint(); }
+
+Status DurableTable::Checkpoint() {
+  std::lock_guard<std::mutex> ckpt_lock(ckpt_mu_);
+  ScopedTrace trace("checkpoint:" + table_->name(), "durability");
+
+  uint64_t old_epoch = 0;
+  uint64_t ckpt_lsn = 0;
+  std::shared_ptr<WalWriter> old_wal;
+  // Runs under the table's exclusive lock: the snapshot, the LSN
+  // high-water mark, and the WAL swap are one atomic cut — no record can
+  // land between the captured state and the first record of the new epoch.
+  auto rotate = [&]() -> Status {
+    old_epoch = wal_epoch_;
+    VSTORE_ASSIGN_OR_RETURN(
+        std::unique_ptr<WalWriter> fresh,
+        WalWriter::Create(WalPath(old_epoch + 1), old_epoch + 1));
+    VSTORE_RETURN_IF_ERROR(SyncDir(dir_));
+    {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      old_wal = std::move(wal_);
+      wal_ = std::move(fresh);
+    }
+    wal_epoch_ = old_epoch + 1;
+    ckpt_lsn = next_lsn_ - 1;
+    // Seals the old epoch: everything logged before this cut is durable
+    // before the checkpoint that supersedes it is written.
+    return old_wal->Close();
+  };
+  auto state_or = table_->CaptureCheckpointState(rotate);
+  VSTORE_RETURN_IF_ERROR(state_or.status());
+
+  std::string path = CkptPath(old_epoch);
+  std::string tmp = path + ".tmp";
+  int64_t bytes = 0;
+  Status st = SegmentFileWriter::Write(tmp, *table_, state_or.value(),
+                                       old_epoch, ckpt_lsn, &bytes);
+  if (!st.ok()) {
+    Status cleanup = RemoveFile(tmp);
+    (void)cleanup;
+    return st;
+  }
+  VSTORE_RETURN_IF_ERROR(RenameFile(tmp, path));
+  VSTORE_RETURN_IF_ERROR(SyncDir(dir_));
+  ckpt_epoch_ = old_epoch;
+  ckpt_bytes_ = bytes;
+  metrics_.checkpoints->Increment();
+
+  RetireBefore(old_epoch);
+  RefreshFileGauges();
+  return Status::OK();
+}
+
+Status DurableTable::RetireBefore(uint64_t checkpoint_epoch) {
+  // Checkpoint `checkpoint_epoch` covers wal epochs <= checkpoint_epoch and
+  // supersedes older checkpoints. Unlinking is safe even while scans still
+  // decode from an older checkpoint's mapping — the mapping outlives the
+  // directory entry.
+  VSTORE_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(dir_));
+  const std::string stem = table_->name();
+  Status first_error;
+  for (const std::string& f : files) {
+    uint64_t epoch;
+    bool remove = false;
+    if (ParseEpochFile(f, stem, "wal", &epoch)) {
+      remove = epoch <= checkpoint_epoch;
+    } else if (ParseEpochFile(f, stem, "ckpt", &epoch)) {
+      remove = epoch < checkpoint_epoch;
+    }
+    if (remove) {
+      Status st = RemoveFile(dir_ + "/" + f);
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+  }
+  return first_error;
+}
+
+void DurableTable::RefreshFileGauges() const {
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal = wal_;
+  }
+  if (wal != nullptr) metrics_.wal_file_bytes->Set(wal->bytes_appended());
+  metrics_.checkpoint_file_bytes->Set(ckpt_bytes_);
+}
+
+std::vector<DurableTable::FileInfo> DurableTable::Files() const {
+  std::vector<FileInfo> out;
+  auto files_or = ListDir(dir_);
+  if (!files_or.ok()) return out;
+  const std::string stem = table_->name();
+  for (const std::string& f : files_or.value()) {
+    FileInfo info;
+    if (ParseEpochFile(f, stem, "wal", &info.epoch)) {
+      info.kind = "wal";
+    } else if (ParseEpochFile(f, stem, "ckpt", &info.epoch)) {
+      info.kind = "checkpoint";
+    } else {
+      continue;
+    }
+    info.path = dir_ + "/" + f;
+    auto bytes = FileBytes(info.path);
+    info.bytes = bytes.ok() ? bytes.value() : -1;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(), [](const FileInfo& a, const FileInfo& b) {
+    return a.epoch != b.epoch ? a.epoch < b.epoch : a.kind < b.kind;
+  });
+  return out;
+}
+
+// --- DurableShardedTable --------------------------------------------------
+
+Result<std::unique_ptr<DurableShardedTable>> DurableShardedTable::Open(
+    const std::string& dir, std::string name, Schema schema,
+    ShardedTable::Options options, DurableTable::Options durable_options) {
+  VSTORE_RETURN_IF_ERROR(CreateDirs(dir));
+  auto durable = std::unique_ptr<DurableShardedTable>(new DurableShardedTable());
+  durable->sharded_ = std::make_unique<ShardedTable>(
+      std::move(name), std::move(schema), std::move(options));
+  int shards = durable->sharded_->num_shards();
+  durable->shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    std::string shard_dir = dir + "/shard" + std::to_string(i);
+    VSTORE_ASSIGN_OR_RETURN(
+        std::unique_ptr<DurableTable> shard,
+        DurableTable::Open(shard_dir, durable->sharded_->shard(i),
+                           durable_options));
+    durable->shards_.push_back(std::move(shard));
+  }
+  return durable;
+}
+
+Status DurableShardedTable::Checkpoint() {
+  Status first_error;
+  for (auto& shard : shards_) {
+    Status st = shard->Checkpoint();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+std::vector<DurableTable::FileInfo> DurableShardedTable::Files() const {
+  std::vector<DurableTable::FileInfo> out;
+  for (const auto& shard : shards_) {
+    std::vector<DurableTable::FileInfo> files = shard->Files();
+    out.insert(out.end(), files.begin(), files.end());
+  }
+  return out;
+}
+
+}  // namespace vstore

@@ -1,0 +1,170 @@
+#ifndef VSTORE_STORAGE_DURABLE_TABLE_H_
+#define VSTORE_STORAGE_DURABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/column_store.h"
+#include "storage/sharded_table.h"
+#include "storage/wal.h"
+
+namespace vstore {
+
+// --- Durable table --------------------------------------------------------
+// Attaches durability to a ColumnStoreTable: delta-store DML is written
+// ahead to a per-table WAL (group-committed fsync), and checkpoints persist
+// the whole published table state — encoded segments, dictionaries, delete
+// bitmaps, delta stores — into a segment file that reopen memory-maps so
+// scans decode directly from the mapping.
+//
+// File layout under the table's directory (epoch N starts at 1):
+//   <name>.ckpt.<N>   checkpoint of everything up to the WAL rotation N
+//   <name>.wal.<N>    records committed after checkpoint N-1
+// Checkpoint N captures the table snapshot and rotates wal.N -> wal.N+1
+// inside one exclusive critical section, then writes ckpt.N off-lock
+// (tmp + rename + directory fsync) and finally retires wal.<=N and
+// ckpt.<N. Recovery loads the newest checkpoint that validates (falling
+// back to older ones if a newer is corrupt), replays every later WAL epoch
+// in order — tolerating a torn record only at the tail of the newest — and
+// opens a fresh WAL epoch. Replay is idempotent: the DML metric counters
+// are settled to the loaded checkpoint state before replay, so replaying
+// the same tail twice in one process bumps them to the same values.
+class DurableTable : public TableDurabilityHook {
+ public:
+  struct Options {
+    // Fsync the WAL on every DML commit. Disabling trades durability of
+    // the last few records for throughput (still crash-consistent: the
+    // replayed prefix is always a committed prefix).
+    bool sync_commits = true;
+  };
+
+  struct RecoveryStats {
+    uint64_t checkpoint_epoch = 0;  // 0 = started from an empty table
+    uint64_t checkpoint_lsn = 0;
+    uint64_t wal_epochs_replayed = 0;
+    uint64_t wal_records_replayed = 0;
+    uint64_t checkpoint_fallbacks = 0;  // corrupt checkpoints skipped
+    bool torn_tail = false;             // newest WAL ended mid-record
+  };
+
+  // Recovers the durable state rooted at `dir` into `table` — which must be
+  // freshly constructed and empty — and attaches the WAL hook to it. On
+  // return the table serves reads/writes as usual, with every committed
+  // mutation logged. `table` must outlive the returned DurableTable; the
+  // hook is detached in the destructor.
+  static Result<std::unique_ptr<DurableTable>> Open(const std::string& dir,
+                                                    ColumnStoreTable* table,
+                                                    Options options);
+  static Result<std::unique_ptr<DurableTable>> Open(const std::string& dir,
+                                                    ColumnStoreTable* table) {
+    return Open(dir, table, Options());
+  }
+
+  ~DurableTable() override;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(DurableTable);
+
+  ColumnStoreTable* table() { return table_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+
+  // Writes a checkpoint of the current published state and retires older
+  // epochs. Serialized internally; safe to call concurrently with DML.
+  Status Checkpoint();
+
+  // Current on-disk files (sys.storage_files).
+  struct FileInfo {
+    std::string path;
+    std::string kind;  // "wal" | "checkpoint"
+    uint64_t epoch = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<FileInfo> Files() const;
+
+  // --- TableDurabilityHook -----------------------------------------------
+  Status LogInsert(RowId id, const std::vector<Value>& row) override;
+  Status LogDelete(RowId id) override;
+  Status LogCompressInstall(const std::vector<int64_t>& store_ids) override;
+  Status LogRebuildInstall(const std::vector<int64_t>& groups) override;
+  Status Commit() override;
+  Status OnBulkLoad() override;
+
+ private:
+  DurableTable(std::string dir, ColumnStoreTable* table, Options options);
+
+  std::string WalPath(uint64_t epoch) const;
+  std::string CkptPath(uint64_t epoch) const;
+  Status AppendRecord(WalRecordType type, std::string payload);
+  Status Recover();
+  Status RetireBefore(uint64_t checkpoint_epoch);
+  void RefreshFileGauges() const;
+
+  std::string dir_;
+  ColumnStoreTable* table_;
+  Options options_;
+  RecoveryStats recovery_;
+
+  // Guards wal_ replacement; Append runs under the table's exclusive lock
+  // (which also serializes rotation), Commit only copies the pointer.
+  mutable std::mutex wal_mu_;
+  std::shared_ptr<WalWriter> wal_;
+  uint64_t wal_epoch_ = 0;       // epoch of wal_
+  uint64_t next_lsn_ = 1;        // next record lsn (monotonic across epochs)
+  uint64_t ckpt_epoch_ = 0;      // newest durable checkpoint (0 = none)
+  int64_t ckpt_bytes_ = 0;
+
+  // Serializes Checkpoint() calls.
+  std::mutex ckpt_mu_;
+
+  struct Metrics {
+    Counter* wal_records = nullptr;
+    Counter* wal_bytes = nullptr;
+    Counter* wal_syncs = nullptr;
+    Counter* checkpoints = nullptr;
+    Counter* recovery_replayed_records = nullptr;
+    Gauge* wal_file_bytes = nullptr;
+    Gauge* checkpoint_file_bytes = nullptr;
+  };
+  Metrics metrics_;
+};
+
+// --- Durable sharded table ------------------------------------------------
+// One DurableTable per shard, each with its own subdirectory, WAL, and
+// checkpoint chain — shards recover independently and commit without any
+// cross-shard coordination (matching ShardedTable's no-global-lock design).
+class DurableShardedTable {
+ public:
+  // Opens (or creates) `dir`, recovering every shard into a freshly built
+  // ShardedTable. Shard i's files live under dir/shard<i>/.
+  static Result<std::unique_ptr<DurableShardedTable>> Open(
+      const std::string& dir, std::string name, Schema schema,
+      ShardedTable::Options options, DurableTable::Options durable_options);
+
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(DurableShardedTable);
+
+  ShardedTable* table() { return sharded_.get(); }
+  DurableTable* shard_durability(int i) {
+    return shards_[static_cast<size_t>(i)].get();
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Checkpoints every shard; returns the first error (all shards are
+  // still attempted).
+  Status Checkpoint();
+  std::vector<DurableTable::FileInfo> Files() const;
+
+ private:
+  DurableShardedTable() = default;
+
+  std::unique_ptr<ShardedTable> sharded_;
+  std::vector<std::unique_ptr<DurableTable>> shards_;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_DURABLE_TABLE_H_

@@ -106,11 +106,14 @@ std::vector<uint8_t> Lzss::Compress(const uint8_t* data, size_t len) {
 
 namespace {
 
-// Reads a 255-saturated extension count; returns false on truncation.
+// Reads a 255-saturated extension count; returns false on truncation or if
+// the accumulated count would wrap size_t (only reachable on hostile input —
+// a legitimate stream never encodes counts near SIZE_MAX).
 bool GetCount(const uint8_t*& p, const uint8_t* end, size_t* count) {
   for (;;) {
     if (p >= end) return false;
     uint8_t b = *p++;
+    if (*count > SIZE_MAX - b) return false;
     *count += b;
     if (b != 255) return true;
   }
@@ -131,7 +134,11 @@ Status Lzss::Decompress(const uint8_t* data, size_t len, uint8_t* out,
     if (lit_len == 15 && !GetCount(p, end, &lit_len)) {
       return Status::Internal("lzss: truncated literal count");
     }
-    if (p + lit_len > end || dst + lit_len > dst_end) {
+    // Compare remaining lengths, not advanced pointers: lit_len comes from
+    // untrusted input and can be large enough that `p + lit_len` overflows
+    // the address space, which is UB before the comparison ever happens.
+    if (lit_len > static_cast<size_t>(end - p) ||
+        lit_len > static_cast<size_t>(dst_end - dst)) {
       return Status::Internal("lzss: literal overrun");
     }
     // lit_len can be 0 (match-only token) while dst is null for an empty
@@ -142,18 +149,23 @@ Status Lzss::Decompress(const uint8_t* data, size_t len, uint8_t* out,
 
     size_t match_code = token & 0x0F;
     if (match_code == 0) continue;  // literals-only token
-    if (p + 2 > end) return Status::Internal("lzss: truncated match");
+    if (end - p < 2) return Status::Internal("lzss: truncated match");
     size_t distance = static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
     p += 2;
     size_t match_len = match_code - 1;
     if (match_code == 15 && !GetCount(p, end, &match_len)) {
       return Status::Internal("lzss: truncated match count");
     }
+    // Guard the += against wrapping: GetCount can return up to SIZE_MAX from
+    // a long run of 0xFF extension bytes.
+    if (match_len > SIZE_MAX - kMinMatch) {
+      return Status::Internal("lzss: match length overflow");
+    }
     match_len += kMinMatch;
     if (distance == 0 || static_cast<size_t>(dst - out) < distance) {
       return Status::Internal("lzss: bad match distance");
     }
-    if (dst + match_len > dst_end) {
+    if (match_len > static_cast<size_t>(dst_end - dst)) {
       return Status::Internal("lzss: match overrun");
     }
     // Byte-by-byte copy: overlapping matches (distance < length) are legal

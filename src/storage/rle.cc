@@ -69,7 +69,7 @@ void RleCodec::BuildIndex(RleEncoded* enc) {
   for (int64_t r = 0; r < enc->num_runs; ++r) {
     enc->run_starts[static_cast<size_t>(r)] = row;
     row += static_cast<int64_t>(
-        BitPacker::Get(enc->lengths.data(), enc->length_bits, r));
+        BitPacker::Get(enc->lengths_data(), enc->length_bits, r));
   }
 }
 
@@ -87,9 +87,9 @@ void RleCodec::Decode(const RleEncoded& enc, int64_t start, int64_t count,
   int64_t row = enc.run_starts[static_cast<size_t>(r)];
   int64_t produced = 0;
   for (; r < enc.num_runs && produced < count; ++r) {
-    uint64_t value = BitPacker::Get(enc.values.data(), enc.value_bits, r);
+    uint64_t value = BitPacker::Get(enc.values_data(), enc.value_bits, r);
     int64_t length = static_cast<int64_t>(
-        BitPacker::Get(enc.lengths.data(), enc.length_bits, r));
+        BitPacker::Get(enc.lengths_data(), enc.length_bits, r));
     int64_t run_end = row + length;
     int64_t from = std::max(row, start);
     int64_t to = std::min(run_end, start + count);

@@ -1,6 +1,7 @@
 #ifndef VSTORE_STORAGE_RLE_H_
 #define VSTORE_STORAGE_RLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +13,14 @@ namespace vstore {
 struct RleEncoded {
   std::vector<uint8_t> values;   // bit-packed run values
   std::vector<uint8_t> lengths;  // bit-packed run lengths
+  // Non-owning alternatives to the vectors above, pointing into a
+  // memory-mapped checkpoint file (the owner keeps the mapping alive via
+  // the segment's keepalive). The owned vector wins when non-empty so that
+  // archival decompression can rehydrate over an external span.
+  const uint8_t* values_extern = nullptr;
+  size_t values_extern_size = 0;
+  const uint8_t* lengths_extern = nullptr;
+  size_t lengths_extern_size = 0;
   int64_t num_runs = 0;
   int64_t num_rows = 0;
   int value_bits = 0;
@@ -22,9 +31,22 @@ struct RleEncoded {
   // RleCodec::BuildIndex after deserializing/decompressing `lengths`.
   std::vector<int64_t> run_starts;
 
+  const uint8_t* values_data() const {
+    return values.empty() ? values_extern : values.data();
+  }
+  size_t values_size() const {
+    return values.empty() ? values_extern_size : values.size();
+  }
+  const uint8_t* lengths_data() const {
+    return lengths.empty() ? lengths_extern : lengths.data();
+  }
+  size_t lengths_size() const {
+    return lengths.empty() ? lengths_extern_size : lengths.size();
+  }
+
   // Stored size; excludes the derived run index.
   int64_t TotalBytes() const {
-    return static_cast<int64_t>(values.size() + lengths.size());
+    return static_cast<int64_t>(values_size() + lengths_size());
   }
 };
 

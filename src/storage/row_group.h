@@ -37,6 +37,7 @@ class RowGroup {
 
  private:
   friend class RowGroupBuilder;
+  friend class SegmentFileReader;  // reassembles groups from a checkpoint
   RowGroup() = default;
 
   int64_t id_ = 0;

@@ -16,15 +16,14 @@ namespace {
 // always keeps the compressed form even when slightly larger (the paper's
 // ARCHIVE option trades CPU for size unconditionally); we only skip empty
 // buffers.
-bool CompressBlob(const std::vector<uint8_t>& plain,
-                  ColumnSegment* /*unused*/, std::vector<uint8_t>* out,
-                  size_t* original_size) {
-  *original_size = plain.size();
-  if (plain.empty()) {
+bool CompressBlob(const uint8_t* plain, size_t plain_size,
+                  std::vector<uint8_t>* out, size_t* original_size) {
+  *original_size = plain_size;
+  if (plain_size == 0) {
     out->clear();
     return false;
   }
-  *out = Lzss::Compress(plain.data(), plain.size());
+  *out = Lzss::Compress(plain, plain_size);
   return true;
 }
 
@@ -42,7 +41,7 @@ int64_t ColumnSegment::EncodedBytes() const {
   int64_t bytes = 0;
   if (encoding_ == EncodingKind::kBitPack) {
     bytes += archived_ ? static_cast<int64_t>(arch_packed_.original_size)
-                       : static_cast<int64_t>(packed_.size());
+                       : static_cast<int64_t>(packed_size());
   } else {
     if (archived_) {
       bytes += static_cast<int64_t>(arch_rle_values_.original_size +
@@ -51,7 +50,7 @@ int64_t ColumnSegment::EncodedBytes() const {
       bytes += rle_.TotalBytes();
     }
   }
-  bytes += static_cast<int64_t>(null_bitmap_.size());
+  bytes += static_cast<int64_t>(null_bitmap_size());
   if (local_dict_ != nullptr) bytes += local_dict_->MemoryBytes();
   return bytes;
 }
@@ -61,7 +60,7 @@ int64_t ColumnSegment::ArchivedBytes() const {
   int64_t bytes = static_cast<int64_t>(arch_packed_.compressed.size() +
                                        arch_rle_values_.compressed.size() +
                                        arch_rle_lengths_.compressed.size());
-  bytes += static_cast<int64_t>(null_bitmap_.size());
+  bytes += static_cast<int64_t>(null_bitmap_size());
   if (local_dict_ != nullptr) bytes += local_dict_->ArchivedBytes();
   return bytes;
 }
@@ -71,7 +70,7 @@ void ColumnSegment::DecodeCodes(int64_t start, int64_t count,
   VSTORE_DCHECK(start >= 0 && start + count <= num_rows());
   EnsureResident().CheckOK();
   if (encoding_ == EncodingKind::kBitPack) {
-    BitPacker::Unpack(packed_.data(), bit_width_, start, count, out);
+    BitPacker::Unpack(packed_data(), bit_width_, start, count, out);
   } else {
     RleCodec::Decode(rle_, start, count, out);
   }
@@ -128,7 +127,7 @@ void ColumnSegment::GatherCodes(const int64_t* rows, int64_t count,
   EnsureResident().CheckOK();
   if (encoding_ == EncodingKind::kBitPack) {
     for (int64_t i = 0; i < count; ++i) {
-      out[i] = BitPacker::Get(packed_.data(), bit_width_, rows[i]);
+      out[i] = BitPacker::Get(packed_data(), bit_width_, rows[i]);
     }
     return;
   }
@@ -145,7 +144,7 @@ void ColumnSegment::GatherCodes(const int64_t* rows, int64_t count,
     VSTORE_DCHECK(i == 0 || rows[i] >= rows[i - 1]);
     while (rows[i] >= run_end || !have_value) {
       VSTORE_DCHECK(r < rle_.num_runs);
-      value = BitPacker::Get(rle_.values.data(), rle_.value_bits, r);
+      value = BitPacker::Get(rle_.values_data(), rle_.value_bits, r);
       run_end = (r + 1 < rle_.num_runs
                      ? rle_.run_starts[static_cast<size_t>(r + 1)]
                      : rle_.num_rows);
@@ -185,29 +184,29 @@ void ColumnSegment::GatherString(const int64_t* rows, int64_t count,
 
 void ColumnSegment::GatherValidity(const int64_t* rows, int64_t count,
                                    uint8_t* out) const {
-  if (null_bitmap_.empty()) {
+  if (!has_null_bitmap()) {
     std::fill(out, out + count, uint8_t{1});
     return;
   }
   for (int64_t i = 0; i < count; ++i) {
-    out[i] = bit_util::GetBit(null_bitmap_.data(), rows[i]) ? 1 : 0;
+    out[i] = bit_util::GetBit(null_bitmap_data(), rows[i]) ? 1 : 0;
   }
 }
 
 void ColumnSegment::DecodeValidity(int64_t start, int64_t count,
                                    uint8_t* out) const {
-  if (null_bitmap_.empty()) {
+  if (!has_null_bitmap()) {
     std::fill(out, out + count, uint8_t{1});
     return;
   }
   for (int64_t i = 0; i < count; ++i) {
-    out[i] = bit_util::GetBit(null_bitmap_.data(), start + i) ? 1 : 0;
+    out[i] = bit_util::GetBit(null_bitmap_data(), start + i) ? 1 : 0;
   }
 }
 
 Value ColumnSegment::GetValue(int64_t row) const {
   VSTORE_DCHECK(row >= 0 && row < num_rows());
-  if (!null_bitmap_.empty() && !bit_util::GetBit(null_bitmap_.data(), row)) {
+  if (has_null_bitmap() && !bit_util::GetBit(null_bitmap_data(), row)) {
     return Value::Null(type_);
   }
   uint64_t code;
@@ -320,7 +319,7 @@ void ColumnSegment::EvalPredicateOnRuns(CompareOp op, const Value& value,
   while (row < end) {
     VSTORE_DCHECK(r < rle_.num_runs);
     const uint64_t code =
-        BitPacker::Get(rle_.values.data(), rle_.value_bits, r);
+        BitPacker::Get(rle_.values_data(), rle_.value_bits, r);
     const int64_t run_end = r + 1 < rle_.num_runs
                                 ? rle_.run_starts[static_cast<size_t>(r + 1)]
                                 : rle_.num_rows;
@@ -392,19 +391,26 @@ Status ColumnSegment::Archive() {
   std::lock_guard<std::mutex> lock(resident_mu_);
   if (archived_) return Status::OK();
   if (encoding_ == EncodingKind::kBitPack) {
-    CompressBlob(packed_, this, &arch_packed_.compressed,
+    CompressBlob(packed_data(), packed_size(), &arch_packed_.compressed,
                  &arch_packed_.original_size);
     packed_.clear();
     packed_.shrink_to_fit();
+    packed_extern_ = nullptr;
+    packed_extern_size_ = 0;
   } else {
-    CompressBlob(rle_.values, this, &arch_rle_values_.compressed,
-                 &arch_rle_values_.original_size);
-    CompressBlob(rle_.lengths, this, &arch_rle_lengths_.compressed,
+    CompressBlob(rle_.values_data(), rle_.values_size(),
+                 &arch_rle_values_.compressed, &arch_rle_values_.original_size);
+    CompressBlob(rle_.lengths_data(), rle_.lengths_size(),
+                 &arch_rle_lengths_.compressed,
                  &arch_rle_lengths_.original_size);
     rle_.values.clear();
     rle_.values.shrink_to_fit();
     rle_.lengths.clear();
     rle_.lengths.shrink_to_fit();
+    rle_.values_extern = nullptr;
+    rle_.values_extern_size = 0;
+    rle_.lengths_extern = nullptr;
+    rle_.lengths_extern_size = 0;
   }
   archived_ = true;
   resident_ = false;

@@ -119,10 +119,30 @@ class ColumnSegment {
 
  private:
   friend class SegmentBuilder;
+  friend class SegmentFileWriter;  // serializes the encoded buffers
+  friend class SegmentFileReader;  // reconstructs segments over mmap spans
   ColumnSegment() = default;
 
   // True if codes are dictionary ids.
   bool dict_encoded() const { return venc_.code_kind == CodeKind::kDictionary; }
+
+  // Encoded-buffer accessors: the owned vector wins when non-empty,
+  // otherwise the external (memory-mapped checkpoint) span is used. All
+  // decode paths go through these so a segment can be backed either way.
+  const uint8_t* packed_data() const {
+    return packed_.empty() ? packed_extern_ : packed_.data();
+  }
+  size_t packed_size() const {
+    return packed_.empty() ? packed_extern_size_ : packed_.size();
+  }
+  const uint8_t* null_bitmap_data() const {
+    return null_bitmap_.empty() ? null_bitmap_extern_ : null_bitmap_.data();
+  }
+  size_t null_bitmap_size() const {
+    return null_bitmap_.empty() ? null_bitmap_extern_size_
+                                : null_bitmap_.size();
+  }
+  bool has_null_bitmap() const { return null_bitmap_size() > 0; }
 
   DataType type_ = DataType::kInt64;
   EncodingKind encoding_ = EncodingKind::kBitPack;
@@ -135,6 +155,15 @@ class ColumnSegment {
   mutable std::vector<uint8_t> packed_;  // bit-packed codes (kBitPack)
   mutable RleEncoded rle_;               // run-length form (kRle)
   std::vector<uint8_t> null_bitmap_;     // empty when no nulls
+
+  // Non-owning spans into a memory-mapped checkpoint file, used instead of
+  // the vectors above for segments opened from disk; keepalive_ pins the
+  // mapping for the segment's lifetime.
+  mutable const uint8_t* packed_extern_ = nullptr;
+  mutable size_t packed_extern_size_ = 0;
+  const uint8_t* null_bitmap_extern_ = nullptr;
+  size_t null_bitmap_extern_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
 
   // Dictionaries: primary shared across row groups, local per segment.
   std::shared_ptr<const StringDictionary> primary_dict_;

@@ -1,0 +1,73 @@
+#ifndef VSTORE_STORAGE_SEGMENT_FILE_H_
+#define VSTORE_STORAGE_SEGMENT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/io.h"
+#include "common/status.h"
+#include "storage/column_store.h"
+
+namespace vstore {
+
+// --- Checkpoint segment files --------------------------------------------
+// On-disk representation of one table checkpoint: every compressed row
+// group (all column segments, fully encoded), delete bitmaps, delta-store
+// contents, the shared primary dictionaries, and the counters that make WAL
+// replay deterministic. The layout is mmap-friendly: bulk buffers (packed
+// codes, RLE arrays, null bitmaps, dictionary heaps) live in page-aligned
+// sections that the reader hands to segments as external spans, so scans
+// against a reopened table decode straight out of the mapping with no copy.
+//
+//   [header page, 4096 bytes]   magic / format version / epoch /
+//                               checkpoint LSN / replay counters / schema
+//                               column type ids / CRC
+//   [section 0..n-1]            raw payload bytes, each 4096-aligned,
+//                               zero-padded; last section is the metadata
+//                               stream that stitches the rest together
+//   [directory]                 per section: offset, size, masked CRC-32C
+//   [footer, 24 bytes]          directory offset/count + CRCs + magic
+//
+// Every section (and the header, directory and footer) carries a masked
+// CRC-32C; the reader verifies all of them before exposing any data, so a
+// torn write or bit flip surfaces as a clean Status, never as UB in a
+// decoder. Files are written to a temporary name and published by rename.
+
+inline constexpr uint32_t kCheckpointMagic = 0x504B4356;  // "VCKP"
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr int64_t kCheckpointAlign = 4096;
+
+class SegmentFileWriter {
+ public:
+  // Serializes `state` (a snapshot captured by CaptureCheckpointState) plus
+  // the table's primary dictionaries to `path`. The file is synced before
+  // returning; the caller renames it into place and syncs the directory.
+  static Status Write(const std::string& path, const ColumnStoreTable& table,
+                      const ColumnStoreTable::CheckpointState& state,
+                      uint64_t epoch, uint64_t checkpoint_lsn,
+                      int64_t* file_bytes);
+};
+
+class SegmentFileReader {
+ public:
+  struct Loaded {
+    ColumnStoreTable::RecoveredState state;
+    uint64_t epoch = 0;
+    uint64_t checkpoint_lsn = 0;
+    int64_t file_bytes = 0;
+  };
+
+  // Memory-maps `path`, verifies all CRCs, and reconstructs the table state
+  // recorded in it. `table` must be freshly constructed (empty primary
+  // dictionaries): the reader repopulates its dictionaries in code order
+  // and points the rebuilt segments at them. Loaded segments keep the
+  // mapping alive via their keepalive references, so the returned state
+  // stays valid after the reader goes away (and even after the file is
+  // later unlinked by checkpoint retirement).
+  static Result<Loaded> Load(const std::string& path, ColumnStoreTable* table);
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_SEGMENT_FILE_H_

@@ -55,6 +55,13 @@ Result<int64_t> TupleMover::RunOnce() {
     return moved;
   }();
 
+  if (result.ok() &&
+      (compress_stats.installed > 0 || rebuild_stats.installed > 0) &&
+      options_.checkpoint_hook) {
+    Status ckpt = options_.checkpoint_hook();
+    if (!ckpt.ok()) result = ckpt;
+  }
+
   PassStats pass;
   pass.stores_compressed = compress_stats.installed;
   pass.groups_rebuilt = rebuild_stats.installed;

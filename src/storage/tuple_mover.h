@@ -44,6 +44,10 @@ class TupleMover {
     // non-OK status is treated as a pass failure (natural compaction
     // errors are nearly impossible to provoke in-process).
     std::function<Status()> fault_injector_for_testing;
+    // Invoked after any pass that installed a reorganization (durable
+    // tables plug DurableTable::Checkpoint here so compacted state reaches
+    // disk and the WAL is truncated). A non-OK status fails the pass.
+    std::function<Status()> checkpoint_hook;
   };
 
   // What one pass did. Conflicts are per pass: stores/groups whose install

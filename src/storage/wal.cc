@@ -1,0 +1,187 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/serde.h"
+
+namespace vstore {
+
+namespace {
+
+constexpr size_t kWalHeaderSize = 4 + 4 + 8 + 4;
+constexpr size_t kRecordFrameSize = 4 + 4;  // masked crc + body length
+
+// A sanity bound on one record's body. Larger than any delta-store row the
+// engine produces; rejects wild length fields before allocation.
+constexpr uint32_t kMaxRecordBody = 64u << 20;
+
+std::string EncodeHeader(uint64_t epoch) {
+  BufWriter w;
+  w.PutU32(kWalMagic);
+  w.PutU32(kWalVersion);
+  w.PutU64(epoch);
+  w.PutU32(MaskCrc32(Crc32(w.str().data(), w.size())));
+  return w.Take();
+}
+
+}  // namespace
+
+// --- WalWriter ------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t epoch) {
+  VSTORE_ASSIGN_OR_RETURN(std::unique_ptr<File> file, File::Create(path));
+  std::string header = EncodeHeader(epoch);
+  VSTORE_RETURN_IF_ERROR(file->Append(header.data(), header.size()));
+  VSTORE_RETURN_IF_ERROR(file->Sync());
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter());
+  writer->file_ = std::move(file);
+  writer->bytes_appended_ = static_cast<int64_t>(header.size());
+  return writer;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  BufWriter body;
+  body.PutU64(record.lsn);
+  body.PutU8(static_cast<uint8_t>(record.type));
+  body.PutRaw(record.payload.data(), record.payload.size());
+
+  BufWriter frame;
+  frame.PutU32(MaskCrc32(Crc32(body.str().data(), body.size())));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body.str().data(), body.size());
+
+  VSTORE_RETURN_IF_ERROR(file_->Append(frame.str().data(), frame.size()));
+  last_appended_lsn_.store(record.lsn, std::memory_order_release);
+  bytes_appended_.fetch_add(static_cast<int64_t>(frame.size()),
+                            std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WalWriter::SyncTo(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  for (;;) {
+    if (!sticky_sync_error_.ok()) return sticky_sync_error_;
+    if (synced_lsn_ >= lsn) return Status::OK();
+    if (closed_) {
+      // Close() syncs everything appended, so any lsn this writer ever
+      // handed out is covered above; landing here means a caller-side bug.
+      return Status::Internal("wal: SyncTo past the end of a closed log");
+    }
+    if (!sync_in_flight_) break;
+    sync_cv_.wait(lock);
+  }
+  // This thread performs the fsync on behalf of everyone waiting. Capture
+  // the append high-water mark first: records appended before the fsync
+  // starts are covered by it.
+  sync_in_flight_ = true;
+  uint64_t covers = last_appended_lsn_.load(std::memory_order_acquire);
+  lock.unlock();
+  Status st = file_->Sync();
+  lock.lock();
+  sync_in_flight_ = false;
+  if (st.ok()) {
+    if (covers > synced_lsn_) synced_lsn_ = covers;
+  } else {
+    sticky_sync_error_ = st;
+  }
+  sync_cv_.notify_all();
+  if (!st.ok()) return st;
+  if (synced_lsn_ >= lsn) return Status::OK();
+  // Rare: `lsn` was appended after our high-water capture; loop via a
+  // recursive-free retry.
+  lock.unlock();
+  return SyncTo(lsn);
+}
+
+Status WalWriter::Close() {
+  // A committer that grabbed this writer just before a checkpoint rotated
+  // it away may still be inside SyncTo; wait it out so the fsync below is
+  // the last operation on the fd.
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (sync_in_flight_) sync_cv_.wait(lock);
+  if (closed_) return Status::OK();
+  Status st = file_->Sync();
+  if (st.ok()) {
+    synced_lsn_ = last_appended_lsn_.load(std::memory_order_acquire);
+    st = file_->Close();
+  }
+  closed_ = true;
+  if (!st.ok()) sticky_sync_error_ = st;
+  sync_cv_.notify_all();
+  return st;
+}
+
+// --- WalReader ------------------------------------------------------------
+
+Result<uint64_t> WalReader::ReadAll(const std::string& path,
+                                    bool allow_torn_tail,
+                                    std::vector<WalRecord>* out,
+                                    WalReadStats* stats) {
+  VSTORE_ASSIGN_OR_RETURN(std::unique_ptr<File> file, File::OpenRead(path));
+  VSTORE_ASSIGN_OR_RETURN(int64_t size, file->Size());
+
+  std::string contents(static_cast<size_t>(size), '\0');
+  size_t got = 0;
+  if (size > 0) {
+    VSTORE_RETURN_IF_ERROR(
+        file->ReadAt(0, contents.data(), contents.size(), &got));
+  }
+  contents.resize(got);
+  if (stats != nullptr) stats->bytes_read = static_cast<int64_t>(got);
+
+  BufReader header(contents.data(), std::min(contents.size(), kWalHeaderSize));
+  uint32_t magic = 0, version = 0, header_crc = 0;
+  uint64_t epoch = 0;
+  if (!header.GetU32(&magic).ok() || magic != kWalMagic) {
+    return Status::Internal("wal: bad magic in " + path);
+  }
+  VSTORE_RETURN_IF_ERROR(header.GetU32(&version));
+  if (version != kWalVersion) {
+    return Status::Internal("wal: unsupported version in " + path);
+  }
+  VSTORE_RETURN_IF_ERROR(header.GetU64(&epoch));
+  VSTORE_RETURN_IF_ERROR(header.GetU32(&header_crc));
+  if (UnmaskCrc32(header_crc) != Crc32(contents.data(), kWalHeaderSize - 4)) {
+    return Status::Internal("wal: header checksum mismatch in " + path);
+  }
+
+  size_t pos = kWalHeaderSize;
+  while (pos < contents.size()) {
+    bool tail_ok = false;
+    do {
+      if (contents.size() - pos < kRecordFrameSize) break;
+      uint32_t masked = 0, body_len = 0;
+      std::memcpy(&masked, contents.data() + pos, 4);
+      std::memcpy(&body_len, contents.data() + pos + 4, 4);
+      if (body_len > kMaxRecordBody) break;
+      if (contents.size() - pos - kRecordFrameSize < body_len) break;
+      const char* body = contents.data() + pos + kRecordFrameSize;
+      if (UnmaskCrc32(masked) != Crc32(body, body_len)) break;
+
+      BufReader r(body, body_len);
+      WalRecord rec;
+      uint8_t type = 0;
+      if (!r.GetU64(&rec.lsn).ok() || !r.GetU8(&type).ok()) break;
+      rec.type = static_cast<WalRecordType>(type);
+      rec.payload.assign(body + 9, body_len - 9);
+      out->push_back(std::move(rec));
+      if (stats != nullptr) ++stats->records;
+      pos += kRecordFrameSize + body_len;
+      tail_ok = true;
+    } while (false);
+
+    if (!tail_ok) {
+      if (!allow_torn_tail) {
+        return Status::Internal("wal: corrupt record mid-log in " + path);
+      }
+      if (stats != nullptr) stats->truncated_tail = true;
+      break;
+    }
+  }
+  return epoch;
+}
+
+}  // namespace vstore

@@ -1,0 +1,119 @@
+#ifndef VSTORE_STORAGE_WAL_H_
+#define VSTORE_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace vstore {
+
+// Write-ahead log for delta-store DML, one log per table (per shard for
+// sharded tables). The log is logical: row mutations carry the exact RowId
+// the in-memory table assigned, and reorganizations (delta compression,
+// group rebuild) are logged as intents that recovery re-executes
+// deterministically. Records are framed with a masked CRC-32C so a torn
+// tail — the normal result of a crash mid-append — is detected and cleanly
+// dropped rather than replayed as garbage.
+//
+// On-disk layout:
+//   file   := header record*
+//   header := magic(u32) version(u32) epoch(u64) masked_crc(u32)
+//   record := masked_crc(u32) body_len(u32) body
+//   body   := lsn(u64) type(u8) payload
+// The record CRC covers the body only; body_len is implicitly validated by
+// the CRC plus the remaining-file bound.
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,          // rowid(u64) row-bytes
+  kDelete = 2,          // rowid(u64)
+  kUpdate = 3,          // old_rowid(u64) new_rowid(u64) row-bytes
+  kCompressStores = 4,  // count(u32) store_id(i64)* in install order
+  kRebuildGroups = 5,   // count(u32) group_index(i64)* in install order
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  std::string payload;
+};
+
+constexpr uint32_t kWalMagic = 0x4C415756;  // "VWAL"
+constexpr uint32_t kWalVersion = 1;
+
+// Appender. Append() is not internally synchronized — the owning table
+// serializes appends under its write lock — but SyncTo() implements group
+// commit: concurrent committers of the same table batch into one fsync.
+class WalWriter {
+ public:
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(WalWriter);
+
+  // Creates a fresh log file (truncates any leftover) and writes the header.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   uint64_t epoch);
+
+  // Appends one framed record. The caller provides the LSN (monotonically
+  // increasing across the table's whole log sequence, not per file).
+  Status Append(const WalRecord& record);
+
+  // Group commit: returns once every record with lsn <= `lsn` is fsynced.
+  // One caller performs the fsync for all concurrently waiting committers.
+  Status SyncTo(uint64_t lsn);
+
+  // Fsyncs everything appended so far and closes the file.
+  Status Close();
+
+  // Safe to read concurrently with Append (relaxed; a committer reading
+  // after releasing the table lock sees at least its own records).
+  uint64_t last_appended_lsn() const {
+    return last_appended_lsn_.load(std::memory_order_acquire);
+  }
+  int64_t bytes_appended() const {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  WalWriter() = default;
+
+  std::unique_ptr<File> file_;
+  std::atomic<uint64_t> last_appended_lsn_{0};
+  std::atomic<int64_t> bytes_appended_{0};
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  uint64_t synced_lsn_ = 0;
+  bool sync_in_flight_ = false;
+  bool closed_ = false;
+  Status sticky_sync_error_;
+};
+
+struct WalReadStats {
+  size_t records = 0;
+  bool truncated_tail = false;  // torn/short record dropped at file end
+  int64_t bytes_read = 0;
+};
+
+class WalReader {
+ public:
+  // Reads every valid record of the file in order. A corrupt or short
+  // record at the tail is tolerated when `allow_torn_tail` is true (the
+  // newest log file after a crash legitimately ends mid-record) and fatal
+  // otherwise — corruption in the middle of a synced log is real damage.
+  // Returns the file's epoch from the header.
+  static Result<uint64_t> ReadAll(const std::string& path,
+                                  bool allow_torn_tail,
+                                  std::vector<WalRecord>* out,
+                                  WalReadStats* stats);
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_STORAGE_WAL_H_

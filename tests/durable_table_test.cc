@@ -1,0 +1,410 @@
+#include "storage/durable_table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/metrics.h"
+#include "durability_test_util.h"
+#include "query/catalog.h"
+#include "query/system_views.h"
+#include "storage/tuple_mover.h"
+#include "test_util.h"
+
+namespace vstore {
+namespace {
+
+using testing_util::FreshDir;
+using testing_util::TableFingerprint;
+
+ColumnStoreTable::Options SmallGroups() {
+  ColumnStoreTable::Options options;
+  options.row_group_size = 1000;
+  options.min_compress_rows = 100;
+  return options;
+}
+
+std::vector<Value> SampleRow(int64_t id) {
+  return {Value::Int64(id), Value::Int64(id % 10),
+          Value::String(id % 2 == 0 ? "even" : "odd"),
+          Value::Double(static_cast<double>(id) / 4.0)};
+}
+
+Schema TestSchema() { return testing_util::MakeTestTable(1).schema(); }
+
+TEST(DurableTableTest, OpenRequiresEmptyTable) {
+  std::string dir = FreshDir("durable_nonempty");
+  ColumnStoreTable table("t", TestSchema(), SmallGroups());
+  ASSERT_TRUE(table.Insert(SampleRow(1)).ok());
+  auto durable = DurableTable::Open(dir, &table);
+  EXPECT_FALSE(durable.ok());
+  EXPECT_TRUE(durable.status().IsInvalidArgument());
+}
+
+TEST(DurableTableTest, WalReplayRestoresDml) {
+  std::string dir = FreshDir("durable_wal_replay");
+  std::string fingerprint;
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    std::vector<RowId> ids;
+    for (int64_t i = 0; i < 50; ++i) {
+      ids.push_back(table.Insert(SampleRow(i)).value());
+    }
+    ASSERT_TRUE(table.Delete(ids[7]).ok());
+    ASSERT_TRUE(table.Delete(ids[23]).ok());
+    ASSERT_TRUE(table.Update(ids[11], SampleRow(1000)).ok());
+    fingerprint = TableFingerprint(table);
+  }
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  EXPECT_EQ(durable->recovery_stats().checkpoint_epoch, 0u);
+  // 50 inserts + 2 deletes + 1 update (delete + insert).
+  EXPECT_EQ(durable->recovery_stats().wal_records_replayed, 54u);
+  EXPECT_FALSE(durable->recovery_stats().torn_tail);
+  EXPECT_EQ(reopened.num_rows(), 48);
+  EXPECT_EQ(TableFingerprint(reopened), fingerprint);
+}
+
+TEST(DurableTableTest, CheckpointThenReopenDecodesFromTheMapping) {
+  std::string dir = FreshDir("durable_ckpt");
+  std::string fingerprint;
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    // Bulk load produces compressed groups + a delta tail, then trickle DML
+    // dirties bitmaps and delta stores on top.
+    ASSERT_TRUE(table.BulkLoad(testing_util::MakeTestTable(2550)).ok());
+    for (int64_t i = 0; i < 30; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(10000 + i)).ok());
+    }
+    ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, 3)).ok());
+    ASSERT_TRUE(table.Delete(MakeCompressedRowId(1, 999)).ok());
+    ASSERT_TRUE(durable->Checkpoint().ok());
+    fingerprint = TableFingerprint(table);
+  }
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  // Everything came from the checkpoint; the WAL tail was empty.
+  EXPECT_GT(durable->recovery_stats().checkpoint_epoch, 0u);
+  EXPECT_EQ(durable->recovery_stats().wal_records_replayed, 0u);
+  EXPECT_EQ(TableFingerprint(reopened), fingerprint);
+  EXPECT_EQ(reopened.num_rows(), 2578);
+
+  // Post-recovery the table is fully writable again: more DML and another
+  // checkpoint/reopen round-trip on top of mmap-backed segments.
+  ASSERT_TRUE(reopened.Insert(SampleRow(77777)).ok());
+  ASSERT_TRUE(reopened.Delete(MakeCompressedRowId(0, 5)).ok());
+  ASSERT_TRUE(durable->Checkpoint().ok());
+  std::string fingerprint2 = TableFingerprint(reopened);
+  durable.reset();
+
+  ColumnStoreTable again("t", TestSchema(), SmallGroups());
+  auto durable2 = DurableTable::Open(dir, &again).value();
+  EXPECT_EQ(TableFingerprint(again), fingerprint2);
+}
+
+TEST(DurableTableTest, BulkLoadCheckpointsSynchronously) {
+  std::string dir = FreshDir("durable_bulk");
+  ColumnStoreTable table("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &table).value();
+  ASSERT_TRUE(table.BulkLoad(testing_util::MakeTestTable(1500)).ok());
+  // The bulk load is durable without any explicit Checkpoint() call.
+  bool has_checkpoint = false;
+  for (const auto& f : durable->Files()) {
+    if (f.kind == "checkpoint") has_checkpoint = true;
+  }
+  EXPECT_TRUE(has_checkpoint);
+
+  durable.reset();
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable2 = DurableTable::Open(dir, &reopened).value();
+  EXPECT_EQ(reopened.num_rows(), 1500);
+  EXPECT_EQ(durable2->recovery_stats().wal_records_replayed, 0u);
+}
+
+TEST(DurableTableTest, MetricsReconcileIdempotentlyAcrossReplays) {
+  std::string dir = FreshDir("durable_metrics");
+  Schema schema = TestSchema();
+  {
+    ColumnStoreTable table("metrics_t", schema, SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    for (int64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+    for (int64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(table.Delete(MakeDeltaRowId(static_cast<uint64_t>(i))).ok());
+    }
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* inserted =
+      registry.GetCounter("vstore_table_rows_inserted_total", "table", "metrics_t");
+  Counter* deleted =
+      registry.GetCounter("vstore_table_rows_deleted_total", "table", "metrics_t");
+  // The same WAL tail is replayed twice (two reopens in one process, the
+  // counters are process-global). The reconciliation must settle on the
+  // recovered snapshot's values both times rather than double-counting.
+  for (int round = 0; round < 2; ++round) {
+    ColumnStoreTable table("metrics_t", schema, SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    EXPECT_EQ(durable->recovery_stats().wal_records_replayed, 45u);
+    EXPECT_EQ(table.num_rows(), 35);
+    EXPECT_EQ(inserted->Value(), 40) << "round " << round;
+    EXPECT_EQ(deleted->Value(), 5) << "round " << round;
+  }
+}
+
+TEST(DurableTableTest, CrashDuringCheckpointLeavesOldStateRecoverable) {
+  std::string dir = FreshDir("durable_ckpt_crash");
+  std::string fingerprint;
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    for (int64_t i = 0; i < 60; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+    fingerprint = TableFingerprint(table);
+    // The checkpoint file write tears mid-way (as a crash would). The
+    // Checkpoint call fails; the .tmp never becomes visible.
+    IoFault fault;
+    fault.kind = IoFault::Kind::kTornWrite;
+    fault.fail_after_bytes = 512;
+    IoFaultInjector::Global().Arm(".ckpt.", fault);
+    EXPECT_FALSE(durable->Checkpoint().ok());
+    IoFaultInjector::Global().Clear();
+  }
+  ASSERT_FALSE(std::filesystem::exists(dir + "/t.ckpt.1"));
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  // The WAL (rotated by the failed checkpoint, both epochs intact) still
+  // replays the full history.
+  EXPECT_EQ(durable->recovery_stats().checkpoint_epoch, 0u);
+  EXPECT_EQ(durable->recovery_stats().wal_records_replayed, 60u);
+  EXPECT_EQ(TableFingerprint(reopened), fingerprint);
+}
+
+TEST(DurableTableTest, CorruptNewestCheckpointFallsBackToOlder) {
+  std::string dir = FreshDir("durable_fallback");
+  std::string fingerprint;
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    for (int64_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+    ASSERT_TRUE(durable->Checkpoint().ok());  // ckpt.1
+    // Preserve the files checkpoint 2 will retire, simulating a crash
+    // window where retirement has not happened yet.
+    std::filesystem::copy_file(dir + "/t.ckpt.1", dir + "/ckpt1.bak");
+    for (int64_t i = 20; i < 35; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+    std::filesystem::copy_file(dir + "/t.wal.2", dir + "/wal2.bak");
+    ASSERT_TRUE(durable->Checkpoint().ok());  // ckpt.2, retires ckpt.1/wal.2
+    fingerprint = TableFingerprint(table);
+  }
+  std::filesystem::rename(dir + "/ckpt1.bak", dir + "/t.ckpt.1");
+  std::filesystem::copy_file(dir + "/wal2.bak", dir + "/t.wal.2");
+  std::filesystem::remove(dir + "/wal2.bak");
+  {
+    // Flip a bit inside checkpoint 2's CRC-covered header so validation
+    // rejects the file deterministically.
+    std::string path = dir + "/t.ckpt.2";
+    auto size = std::filesystem::file_size(path);
+    auto file = File::OpenRead(path).value();
+    std::string bytes(size, '\0');
+    size_t got = 0;
+    ASSERT_TRUE(file->ReadAt(0, bytes.data(), bytes.size(), &got).ok());
+    bytes[20] ^= 0x10;
+    auto out = File::Create(path).value();
+    ASSERT_TRUE(out->Append(bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE(out->Close().ok());
+  }
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  EXPECT_EQ(durable->recovery_stats().checkpoint_epoch, 1u);
+  EXPECT_EQ(durable->recovery_stats().checkpoint_fallbacks, 1u);
+  // Replaying wal.2 + wal.3 on top of ckpt.1 reproduces the exact state.
+  EXPECT_EQ(durable->recovery_stats().wal_records_replayed, 15u);
+  EXPECT_EQ(TableFingerprint(reopened), fingerprint);
+}
+
+TEST(DurableTableTest, AllCheckpointsCorruptIsAHardError) {
+  std::string dir = FreshDir("durable_all_corrupt");
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    ASSERT_TRUE(table.BulkLoad(testing_util::MakeTestTable(1200)).ok());
+  }
+  // Bulk-loaded rows exist only in the checkpoint; destroying it must not
+  // silently recover an empty table.
+  std::string path = dir + "/t.ckpt.1";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  auto file = File::Create(path).value();
+  ASSERT_TRUE(file->Append("garbage", 7).ok());
+  ASSERT_TRUE(file->Close().ok());
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  EXPECT_FALSE(DurableTable::Open(dir, &reopened).ok());
+}
+
+TEST(DurableTableTest, TornWalTailDropsOnlyUnsyncedRecords) {
+  std::string dir = FreshDir("durable_torn_wal");
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+  }
+  // Tear the last record of the newest WAL file.
+  std::string path = dir + "/t.wal.1";
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  EXPECT_TRUE(durable->recovery_stats().torn_tail);
+  EXPECT_EQ(durable->recovery_stats().wal_records_replayed, 9u);
+  EXPECT_EQ(reopened.num_rows(), 9);
+}
+
+TEST(DurableTableTest, TupleMoverCheckpointHookPersistsReorgs) {
+  std::string dir = FreshDir("durable_mover");
+  std::string fingerprint;
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    for (int64_t i = 0; i < 2400; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+    TupleMover::Options options;
+    options.checkpoint_hook = [&durable] { return durable->Checkpoint(); };
+    TupleMover mover(&table, options);
+    auto moved = mover.RunOnce();
+    ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+    EXPECT_GT(moved.value(), 0);
+    EXPECT_GT(table.num_row_groups(), 0);
+    fingerprint = TableFingerprint(table);
+  }
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  // The reorganization rode the hook's checkpoint: recovery starts from the
+  // compressed layout instead of replaying the whole insert history.
+  EXPECT_GT(durable->recovery_stats().checkpoint_epoch, 0u);
+  EXPECT_EQ(reopened.num_row_groups(), 2);
+  EXPECT_EQ(TableFingerprint(reopened), fingerprint);
+}
+
+TEST(DurableTableTest, LoggedReorgReplaysWithoutCheckpoint) {
+  std::string dir = FreshDir("durable_reorg_replay");
+  std::string fingerprint;
+  {
+    ColumnStoreTable table("t", TestSchema(), SmallGroups());
+    auto durable = DurableTable::Open(dir, &table).value();
+    for (int64_t i = 0; i < 2400; ++i) {
+      ASSERT_TRUE(table.Insert(SampleRow(i)).ok());
+    }
+    // Compress without a checkpoint: the install intent lands in the WAL
+    // and recovery re-executes it deterministically.
+    ASSERT_TRUE(table.CompressDeltaStores(/*include_open=*/true).ok());
+    for (int64_t i = 0; i < 600; ++i) {
+      ASSERT_TRUE(table.Delete(MakeCompressedRowId(0, i)).ok());
+    }
+    ASSERT_TRUE(table.RemoveDeletedRows(0.1).ok());
+    fingerprint = TableFingerprint(table);
+  }
+  ColumnStoreTable reopened("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &reopened).value();
+  EXPECT_EQ(durable->recovery_stats().checkpoint_epoch, 0u);
+  EXPECT_EQ(TableFingerprint(reopened), fingerprint);
+}
+
+TEST(DurableTableTest, FilesEnumeratesWalAndCheckpoints) {
+  std::string dir = FreshDir("durable_files");
+  ColumnStoreTable table("t", TestSchema(), SmallGroups());
+  auto durable = DurableTable::Open(dir, &table).value();
+  ASSERT_TRUE(table.Insert(SampleRow(1)).ok());
+  ASSERT_TRUE(durable->Checkpoint().ok());
+  auto files = durable->Files();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].kind, "checkpoint");
+  EXPECT_EQ(files[0].epoch, 1u);
+  EXPECT_GT(files[0].bytes, 0);
+  EXPECT_EQ(files[1].kind, "wal");
+  EXPECT_EQ(files[1].epoch, 2u);
+  EXPECT_GT(files[1].bytes, 0);
+}
+
+TEST(DurableTableTest, ShardedTableRecoversEveryShard) {
+  std::string dir = FreshDir("durable_sharded");
+  Schema schema = TestSchema();
+  ShardedTable::Options options;
+  options.num_shards = 4;
+  options.partition_key = "id";
+  options.shard_options = SmallGroups();
+  std::vector<std::string> fingerprints;
+  {
+    auto durable = DurableShardedTable::Open(dir, "st", schema, options,
+                                             DurableTable::Options())
+                       .value();
+    for (int64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(durable->table()->Insert(SampleRow(i)).ok());
+    }
+    ASSERT_TRUE(durable->Checkpoint().ok());
+    for (int64_t i = 500; i < 600; ++i) {
+      ASSERT_TRUE(durable->table()->Insert(SampleRow(i)).ok());
+    }
+    EXPECT_EQ(durable->table()->num_rows(), 600);
+    for (int i = 0; i < 4; ++i) {
+      fingerprints.push_back(TableFingerprint(*durable->table()->shard(i)));
+    }
+  }
+  auto durable = DurableShardedTable::Open(dir, "st", schema, options,
+                                           DurableTable::Options())
+                     .value();
+  EXPECT_EQ(durable->table()->num_rows(), 600);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(TableFingerprint(*durable->table()->shard(i)), fingerprints[i])
+        << "shard " << i;
+    // Each shard recovered from its own checkpoint + WAL tail.
+    EXPECT_GT(durable->shard_durability(i)->recovery_stats().checkpoint_epoch,
+              0u);
+  }
+  EXPECT_GE(durable->Files().size(), 8u);  // >= one ckpt + one wal per shard
+}
+
+TEST(DurableTableTest, SysStorageFilesListsAttachedTables) {
+  std::string dir = FreshDir("durable_sysview");
+  Catalog catalog;
+  auto table = std::make_unique<ColumnStoreTable>("dur_t", TestSchema(),
+                                                  SmallGroups());
+  auto durable = DurableTable::Open(dir, table.get()).value();
+  ASSERT_TRUE(table->Insert(SampleRow(1)).ok());
+  ASSERT_TRUE(durable->Checkpoint().ok());
+  ASSERT_TRUE(
+      catalog.AddDurableColumnStore(std::move(table), std::move(durable))
+          .ok());
+  // A memory-only table must not appear in the view.
+  ASSERT_TRUE(catalog
+                  .AddColumnStore(std::make_unique<ColumnStoreTable>(
+                      "mem_t", TestSchema(), SmallGroups()))
+                  .ok());
+
+  const Catalog::Entry* entry = catalog.Find("sys.storage_files");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(entry->has_system_view());
+  auto data = entry->system_view->Materialize(catalog);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  ASSERT_EQ(data.value().num_rows(), 2);  // ckpt.1 + wal.2
+  for (int64_t r = 0; r < data.value().num_rows(); ++r) {
+    EXPECT_EQ(data.value().column(0).GetValue(r), Value::String("dur_t"));
+  }
+  EXPECT_EQ(data.value().column(2).GetValue(0), Value::String("checkpoint"));
+  EXPECT_EQ(data.value().column(2).GetValue(1), Value::String("wal"));
+}
+
+}  // namespace
+}  // namespace vstore

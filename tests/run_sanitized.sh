@@ -42,18 +42,25 @@ run_one() {
     # registry, and the Query Store's shared fingerprint map; add "$@" to
     # widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded' "$@"
+        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded|wal|durable' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
     # The expression fuzzer is single-threaded, but the bytecode program
     # cache it hits is the one shared across parallel fragments — keep the
-    # fuzz label in the TSan matrix too.
+    # fuzz label in the TSan matrix too. Same for the LZSS decoder fuzzer
+    # (archived blobs decode inside parallel scans).
     ctest --test-dir "$dir" --output-on-failure -L fuzz "$@"
+    # Crash recovery under TSan: WAL group commit + checkpoint rotation
+    # race committers against the checkpointing thread.
+    ctest --test-dir "$dir" --output-on-failure -L recovery "$@"
   else
     ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"
     # Redundant with the full run today, but pinned so the differential
-    # fuzzer (bytecode vs interpreter vs row engine) always runs sanitized
-    # even if the full pass above ever narrows its selection.
+    # fuzzer (bytecode vs interpreter vs row engine), the LZSS decoder
+    # fuzzer (hostile compressed blobs), and the seeded crash-recovery
+    # property loop always run sanitized even if the full pass above ever
+    # narrows its selection.
     ctest --test-dir "$dir" --output-on-failure -L fuzz "$@"
+    ctest --test-dir "$dir" --output-on-failure -L recovery "$@"
   fi
 }
 

@@ -1,0 +1,239 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/io.h"
+
+namespace vstore {
+namespace {
+
+std::string TempWalPath(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "/vstore_wal_test";
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/" + tag + ".wal.1";
+  std::filesystem::remove(path);
+  return path;
+}
+
+WalRecord MakeRecord(uint64_t lsn, WalRecordType type, std::string payload) {
+  WalRecord rec;
+  rec.lsn = lsn;
+  rec.type = type;
+  rec.payload = std::move(payload);
+  return rec;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  auto file = File::OpenRead(path).value();
+  int64_t size = file->Size().value();
+  std::string bytes(static_cast<size_t>(size), '\0');
+  size_t got = 0;
+  EXPECT_TRUE(file->ReadAt(0, bytes.data(), bytes.size(), &got).ok());
+  bytes.resize(got);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  auto file = File::Create(path).value();
+  ASSERT_TRUE(file->Append(bytes.data(), bytes.size()).ok());
+  ASSERT_TRUE(file->Close().ok());
+}
+
+TEST(WalTest, RoundTripAllRecordTypes) {
+  std::string path = TempWalPath("roundtrip");
+  auto writer = WalWriter::Create(path, 7).value();
+  std::vector<WalRecord> in = {
+      MakeRecord(1, WalRecordType::kInsert, "row-bytes"),
+      MakeRecord(2, WalRecordType::kDelete, std::string("\x01\0\0\0", 4)),
+      MakeRecord(3, WalRecordType::kCompressStores, ""),
+      MakeRecord(4, WalRecordType::kRebuildGroups, std::string(1000, 'x')),
+  };
+  for (const WalRecord& rec : in) ASSERT_TRUE(writer->Append(rec).ok());
+  EXPECT_EQ(writer->last_appended_lsn(), 4u);
+  ASSERT_TRUE(writer->Close().ok());
+
+  std::vector<WalRecord> out;
+  WalReadStats stats;
+  auto epoch = WalReader::ReadAll(path, /*allow_torn_tail=*/false, &out,
+                                  &stats);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(epoch.value(), 7u);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(stats.records, in.size());
+  EXPECT_FALSE(stats.truncated_tail);
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].lsn, in[i].lsn);
+    EXPECT_EQ(out[i].type, in[i].type);
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+}
+
+TEST(WalTest, EmptyLogHasHeaderOnly) {
+  std::string path = TempWalPath("empty");
+  auto writer = WalWriter::Create(path, 3).value();
+  ASSERT_TRUE(writer->Close().ok());
+  std::vector<WalRecord> out;
+  auto epoch = WalReader::ReadAll(path, false, &out, nullptr);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 3u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WalTest, TornTailToleratedOnlyWhenAllowed) {
+  std::string path = TempWalPath("torn");
+  auto writer = WalWriter::Create(path, 1).value();
+  ASSERT_TRUE(writer->Append(MakeRecord(1, WalRecordType::kInsert, "a")).ok());
+  ASSERT_TRUE(
+      writer->Append(MakeRecord(2, WalRecordType::kInsert, "bbbb")).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Chop into the middle of the second record, as a crash mid-append would.
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 3));
+
+  std::vector<WalRecord> out;
+  WalReadStats stats;
+  auto epoch = WalReader::ReadAll(path, /*allow_torn_tail=*/true, &out,
+                                  &stats);
+  ASSERT_TRUE(epoch.ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lsn, 1u);
+  EXPECT_TRUE(stats.truncated_tail);
+
+  out.clear();
+  EXPECT_FALSE(WalReader::ReadAll(path, /*allow_torn_tail=*/false, &out,
+                                  nullptr)
+                   .ok());
+}
+
+TEST(WalTest, MidLogCorruptionStopsReplayAtTheDamage) {
+  std::string path = TempWalPath("midlog");
+  auto writer = WalWriter::Create(path, 1).value();
+  ASSERT_TRUE(
+      writer->Append(MakeRecord(1, WalRecordType::kInsert, "first")).ok());
+  int64_t first_end = writer->bytes_appended();
+  ASSERT_TRUE(
+      writer->Append(MakeRecord(2, WalRecordType::kInsert, "second")).ok());
+  ASSERT_TRUE(
+      writer->Append(MakeRecord(3, WalRecordType::kInsert, "third")).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Flip one byte inside the second record's body.
+  std::string bytes = ReadFileBytes(path);
+  bytes[static_cast<size_t>(first_end) + 12] ^= 0x40;
+  WriteFileBytes(path, bytes);
+
+  // Strict mode (a synced, sealed epoch) treats this as real damage.
+  std::vector<WalRecord> out;
+  EXPECT_FALSE(WalReader::ReadAll(path, false, &out, nullptr).ok());
+
+  // Torn-tail mode drops the damaged record and everything after it: the
+  // reader cannot resynchronize past an unframed region.
+  out.clear();
+  WalReadStats stats;
+  ASSERT_TRUE(WalReader::ReadAll(path, true, &out, &stats).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "first");
+  EXPECT_TRUE(stats.truncated_tail);
+}
+
+TEST(WalTest, HeaderCorruptionIsAlwaysFatal) {
+  std::string path = TempWalPath("header");
+  auto writer = WalWriter::Create(path, 9).value();
+  ASSERT_TRUE(writer->Append(MakeRecord(1, WalRecordType::kInsert, "x")).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[9] ^= 0x01;  // inside the epoch field, breaks the header CRC
+  WriteFileBytes(path, bytes);
+  std::vector<WalRecord> out;
+  EXPECT_FALSE(WalReader::ReadAll(path, true, &out, nullptr).ok());
+  EXPECT_FALSE(WalReader::ReadAll(path, false, &out, nullptr).ok());
+}
+
+TEST(WalTest, OversizedLengthFieldRejectedBeforeAllocation) {
+  std::string path = TempWalPath("oversize");
+  auto writer = WalWriter::Create(path, 1).value();
+  ASSERT_TRUE(writer->Close().ok());
+  // Append a frame whose length field claims 1 GiB.
+  std::string bytes = ReadFileBytes(path);
+  uint32_t fake_crc = 0x12345678;
+  uint32_t huge = 1u << 30;
+  bytes.append(reinterpret_cast<const char*>(&fake_crc), 4);
+  bytes.append(reinterpret_cast<const char*>(&huge), 4);
+  bytes.append("short");
+  WriteFileBytes(path, bytes);
+  std::vector<WalRecord> out;
+  WalReadStats stats;
+  ASSERT_TRUE(WalReader::ReadAll(path, true, &out, &stats).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(stats.truncated_tail);
+  EXPECT_FALSE(WalReader::ReadAll(path, false, &out, nullptr).ok());
+}
+
+TEST(WalTest, GroupCommitFromConcurrentCommitters) {
+  std::string path = TempWalPath("group");
+  auto writer = WalWriter::Create(path, 1).value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::mutex append_mu;  // the owning table serializes appends in real use
+  std::atomic<uint64_t> next_lsn{1};
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t lsn;
+        {
+          std::lock_guard<std::mutex> lock(append_mu);
+          lsn = next_lsn.fetch_add(1);
+          if (!writer->Append(MakeRecord(lsn, WalRecordType::kInsert, "r"))
+                   .ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+        }
+        if (!writer->SyncTo(lsn).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(writer->Close().ok());
+  std::vector<WalRecord> out;
+  ASSERT_TRUE(WalReader::ReadAll(path, false, &out, nullptr).ok());
+  EXPECT_EQ(out.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(WalTest, CloseIsIdempotentAndSyncsTheTail) {
+  std::string path = TempWalPath("close");
+  auto writer = WalWriter::Create(path, 1).value();
+  ASSERT_TRUE(writer->Append(MakeRecord(1, WalRecordType::kInsert, "a")).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  ASSERT_TRUE(writer->Close().ok());
+  // Records appended before Close are covered by its fsync: a committer
+  // that raced a WAL rotation still gets a clean SyncTo on the old writer.
+  EXPECT_TRUE(writer->SyncTo(1).ok());
+}
+
+TEST(WalTest, FailedSyncIsSticky) {
+  std::string path = TempWalPath("failsync");
+  auto writer = WalWriter::Create(path, 1).value();
+  ASSERT_TRUE(writer->Append(MakeRecord(1, WalRecordType::kInsert, "a")).ok());
+  IoFault fault;
+  fault.kind = IoFault::Kind::kFailSync;
+  IoFaultInjector::Global().Arm("failsync", fault);
+  EXPECT_FALSE(writer->SyncTo(1).ok());
+  IoFaultInjector::Global().Clear();
+  // The error sticks: this log can never acknowledge another commit.
+  EXPECT_FALSE(writer->SyncTo(1).ok());
+}
+
+}  // namespace
+}  // namespace vstore
