@@ -6,11 +6,14 @@
 // the paper's testbed; the shape to check is batch-mode speedups in the
 // 10x-100x band.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "bench_util.h"
+#include "common/span_trace.h"
 #include "storage/sharded_table.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -159,6 +162,66 @@ int main() {
                           ExecutionMode::kBatch, 1);
     std::printf("%-24s %12.2f %12s\n", "point query (7/8 pruned)", point_ms,
                 "-");
+  }
+
+  // --- Tracer overhead (acceptance: <3% on batch-mode TPC-H) --------------
+  // Same queries, batch mode, tracing on vs off. Tracing is on by default
+  // in production, so this is the number that justifies the default: one
+  // span per operator execution plus a thread-local pointer swap per
+  // protocol call must stay in the noise.
+  {
+    // Arms are interleaved per query (off/on/off/on, best-of across both
+    // rounds) so clock drift and cache warmup on the host cannot bias one
+    // arm — sequential whole-suite arms showed several percent of pure
+    // machine drift, larger than the effect being measured.
+    auto best_ms = [&](const PlanPtr& plan, bool trace_on) {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.trace = trace_on;
+      QueryExecutor exec(&catalog, options);
+      return bench::TimeMs(
+          [&] { exec.Execute(plan).status().CheckOK(); }, 5);
+    };
+    double off_ms = 0;
+    double on_ms = 0;
+    for (const auto& named : tpch::AllQueries(catalog)) {
+      double off = best_ms(named.plan, false);
+      double on = best_ms(named.plan, true);
+      off = std::min(off, best_ms(named.plan, false));
+      on = std::min(on, best_ms(named.plan, true));
+      off_ms += off;
+      on_ms += on;
+    }
+    double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    std::printf(
+        "\ntracer overhead: trace-off %.2f ms, trace-on %.2f ms -> %.2f%% "
+        "(target < 3%%)\n",
+        off_ms, on_ms, overhead_pct);
+    if (bench::ProfileJsonEnabled()) {
+      std::printf(
+          "PROFILE_JSON {\"label\":\"trace_overhead\",\"trace_off_ms\":%.3f,"
+          "\"trace_on_ms\":%.3f,\"trace_overhead_pct\":%.2f}\n",
+          off_ms, on_ms, overhead_pct);
+    }
+  }
+
+  // --- Span-tree export (VSTORE_BENCH_TRACE=1) ----------------------------
+  // Dumps the Chrome-trace span tree of the dop-4 join query: one line to
+  // redirect into a .json and load in chrome://tracing (see README). The
+  // TraceRing is merged in, so concurrent mover passes line up against the
+  // query timeline.
+  {
+    const char* v = std::getenv("VSTORE_BENCH_TRACE");
+    if (v != nullptr && v[0] != '\0' && v[0] != '0') {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.dop = 4;
+      QueryExecutor exec(&catalog, options);
+      QueryResult result = exec.Execute(tpch::Q3(catalog)).ValueOrDie();
+      std::printf("TRACE_JSON %s\n",
+                  TraceToChromeJson(result.trace, /*include_trace_ring=*/true)
+                      .c_str());
+    }
   }
 
   std::printf(

@@ -1,6 +1,8 @@
 #include "common/json_util.h"
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
 namespace vstore {
 
@@ -51,6 +53,210 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
   *out += JsonEscape(s);
   out->push_back('"');
+}
+
+namespace {
+
+// Recursive-descent JSON checker. Tracks position only; values are never
+// materialized. Depth-limited so hostile nesting cannot overflow the
+// stack.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Validate(std::string* error) {
+    SkipWs();
+    if (!Value(0)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      Fail("trailing garbage after document");
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char* ch) {
+    if (pos_ >= s_.size()) return false;
+    *ch = s_[pos_];
+    return true;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return Fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    // s_[pos_] == '"' on entry.
+    ++pos_;
+    while (pos_ < s_.size()) {
+      unsigned char ch = static_cast<unsigned char>(s_[pos_]);
+      if (ch == '"') {
+        ++pos_;
+        return true;
+      }
+      if (ch < 0x20) return Fail("unescaped control character in string");
+      if (ch == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Fail("truncated escape");
+        char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(
+                                         s_[pos_]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("invalid escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return Fail("invalid number");
+    if (s_[pos_] == '0' && pos_ + 1 < s_.size() &&
+        std::isdigit(static_cast<unsigned char>(s_[pos_ + 1]))) {
+      return Fail("leading zero in number");
+    }
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return Fail("digit required after decimal point");
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return Fail("digit required in exponent");
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    char ch;
+    if (!Peek(&ch)) return Fail("unexpected end of document");
+    switch (ch) {
+      case '{': {
+        ++pos_;
+        SkipWs();
+        if (Peek(&ch) && ch == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          if (!Peek(&ch) || ch != '"') return Fail("object key must be a string");
+          if (!String()) return false;
+          SkipWs();
+          if (!Peek(&ch) || ch != ':') return Fail("':' expected in object");
+          ++pos_;
+          SkipWs();
+          if (!Value(depth + 1)) return false;
+          SkipWs();
+          if (!Peek(&ch)) return Fail("unterminated object");
+          if (ch == ',') {
+            ++pos_;
+            continue;  // a '}' after this comma fails the key check above
+          }
+          if (ch == '}') {
+            ++pos_;
+            return true;
+          }
+          return Fail("',' or '}' expected in object");
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipWs();
+        if (Peek(&ch) && ch == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          if (Peek(&ch) && (ch == ']' || ch == ',')) {
+            return Fail("missing array element");  // trailing/double comma
+          }
+          if (!Value(depth + 1)) return false;
+          SkipWs();
+          if (!Peek(&ch)) return Fail("unterminated array");
+          if (ch == ',') {
+            ++pos_;
+            continue;
+          }
+          if (ch == ']') {
+            ++pos_;
+            return true;
+          }
+          return Fail("',' or ']' expected in array");
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonValidate(const std::string& s, std::string* error) {
+  return JsonChecker(s).Validate(error);
 }
 
 std::string PromLabelEscape(const std::string& s) {

@@ -23,6 +23,15 @@ void AppendJsonString(const std::string& s, std::string* out);
 // (MetricsToText and anything else emitting `name{key="value"}` lines).
 std::string PromLabelEscape(const std::string& s);
 
+// Strict RFC 8259 validity check over a complete JSON document. Rejects
+// trailing commas, unquoted keys, bare control characters inside strings,
+// invalid escapes, leading zeros, and trailing garbage — everything a
+// sloppy hand-rolled renderer tends to emit. On failure returns false and,
+// when `error` is non-null, describes the first problem with its byte
+// offset. Tests and CI use this to gate every renderer in the tree
+// (EXPLAIN ANALYZE, metrics, Chrome traces, slow-query capture).
+bool JsonValidate(const std::string& s, std::string* error = nullptr);
+
 }  // namespace vstore
 
 #endif  // VSTORE_COMMON_JSON_UTIL_H_

@@ -433,9 +433,17 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
 
 std::string TraceRing::ToChromeJson() const {
   std::vector<TraceEvent> events = Snapshot();
+  // Chrome expects small integer thread ids. Renumber the hashed ids
+  // compactly by first appearance so every recording thread gets its own
+  // track (folding the hash modulo a constant can collide distinct
+  // threads onto one row).
+  std::map<uint64_t, int64_t> tids;
+  int64_t next_tid = 1;
   std::string out = "{\"traceEvents\":[";
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
+    auto [it, inserted] = tids.try_emplace(e.thread_id, next_tid);
+    if (inserted) ++next_tid;
     if (i > 0) out += ",";
     out += "{\"name\":";
     AppendJsonString(e.name, &out);
@@ -446,8 +454,7 @@ std::string TraceRing::ToChromeJson() const {
     out += ",\"dur\":";
     AppendInt(e.duration_us, &out);
     out += ",\"pid\":1,\"tid\":";
-    // Chrome expects small integer thread ids; fold the hash.
-    AppendInt(static_cast<int64_t>(e.thread_id % 100000), &out);
+    AppendInt(it->second, &out);
     out += "}";
   }
   out += "]}";
@@ -463,12 +470,21 @@ void TraceRing::Clear() {
   }
 }
 
+ScopedTrace::ScopedTrace(std::string name, std::string category,
+                         TraceRing* ring)
+    : ring_(ring),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      start_us_(TraceRing::NowMicros()),
+      thread_id_(std::hash<std::thread::id>{}(std::this_thread::get_id())) {}
+
 ScopedTrace::~ScopedTrace() {
   TraceEvent event;
   event.name = std::move(name_);
   event.category = std::move(category_);
   event.start_us = start_us_;
   event.duration_us = TraceRing::NowMicros() - start_us_;
+  event.thread_id = thread_id_;
   ring_->Record(std::move(event));
 }
 

@@ -284,15 +284,12 @@ class TraceRing {
 };
 
 // RAII span: records a TraceEvent covering its own lifetime into the ring
-// on destruction.
+// on destruction. The thread id is captured at construction, so a span
+// handed across threads still lands on the track that started it.
 class ScopedTrace {
  public:
   ScopedTrace(std::string name, std::string category,
-              TraceRing* ring = &TraceRing::Global())
-      : ring_(ring),
-        name_(std::move(name)),
-        category_(std::move(category)),
-        start_us_(TraceRing::NowMicros()) {}
+              TraceRing* ring = &TraceRing::Global());
   ~ScopedTrace();
   VSTORE_DISALLOW_COPY_AND_ASSIGN(ScopedTrace);
 
@@ -301,6 +298,7 @@ class ScopedTrace {
   std::string name_;
   std::string category_;
   int64_t start_us_;
+  uint64_t thread_id_;
 };
 
 }  // namespace vstore

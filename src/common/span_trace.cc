@@ -1,0 +1,452 @@
+#include "common/span_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/json_util.h"
+
+namespace vstore {
+
+namespace {
+
+inline uint64_t HashedThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+thread_local QueryTraceContext tls_trace_context;
+
+}  // namespace
+
+// --- Wait points ---------------------------------------------------------
+
+const char* WaitPointName(WaitPoint point) {
+  switch (point) {
+    case WaitPoint::kQueue:
+      return "queue";
+    case WaitPoint::kFsync:
+      return "fsync";
+    case WaitPoint::kLock:
+      return "lock";
+    case WaitPoint::kReorgConflict:
+      return "reorg_conflict";
+  }
+  return "unknown";
+}
+
+WaitStats GetWaitStats(const std::string& table, WaitPoint point) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  WaitStats stats;
+  stats.total = r.GetCounter("vstore_wait_total", "table", table, "point",
+                             WaitPointName(point));
+  stats.wait_ns = r.GetHistogram("vstore_wait_ns", "table", table, "point",
+                                 WaitPointName(point));
+  return stats;
+}
+
+// --- QuerySpanRecorder ---------------------------------------------------
+
+struct QuerySpanRecorder::Chunk {
+  std::array<TraceSpan, kChunkSpans> spans;
+};
+
+QuerySpanRecorder::QuerySpanRecorder(int64_t max_spans)
+    : max_spans_(std::max<int64_t>(max_spans, 1)),
+      chunks_(static_cast<size_t>((max_spans_ + kChunkSpans - 1) /
+                                  kChunkSpans)) {
+  root_ = StartSpan("query", "query", nullptr);
+}
+
+QuerySpanRecorder::~QuerySpanRecorder() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+TraceSpan* QuerySpanRecorder::Allocate() {
+  int64_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  size_t chunk_idx = static_cast<size_t>(slot / kChunkSpans);
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    Chunk* fresh = new Chunk();
+    if (chunks_[chunk_idx].compare_exchange_strong(
+            chunk, fresh, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      chunk = fresh;
+    } else {
+      delete fresh;  // another thread installed the chunk first
+    }
+  }
+  return &chunk->spans[static_cast<size_t>(slot % kChunkSpans)];
+}
+
+namespace {
+
+// Lock-free sibling push: the child is fully written before the release
+// CAS publishes it, so tree walkers that acquire-load first_child see a
+// complete span.
+void AppendChild(TraceSpan* parent, TraceSpan* child) {
+  child->parent = parent;
+  TraceSpan* head = parent->first_child.load(std::memory_order_relaxed);
+  do {
+    child->next_sibling = head;
+  } while (!parent->first_child.compare_exchange_weak(
+      head, child, std::memory_order_release, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+TraceSpan* QuerySpanRecorder::StartSpan(std::string name, std::string category,
+                                        TraceSpan* parent,
+                                        std::string detail) {
+  TraceSpan* span = Allocate();
+  if (span == nullptr) return nullptr;
+  span->name = std::move(name);
+  span->category = std::move(category);
+  span->detail = std::move(detail);
+  span->start_us = TraceRing::NowMicros();
+  span->end_us = 0;
+  span->thread_id = HashedThreadId();
+  if (parent == nullptr) parent = root_;
+  if (parent != nullptr) AppendChild(parent, span);
+  return span;
+}
+
+void QuerySpanRecorder::EndSpan(TraceSpan* span) {
+  if (span == nullptr) return;
+  span->end_us = TraceRing::NowMicros();
+}
+
+TraceSpan* QuerySpanRecorder::AddCompleteSpan(std::string name,
+                                              std::string category,
+                                              TraceSpan* parent,
+                                              std::string detail,
+                                              int64_t start_us,
+                                              int64_t end_us) {
+  TraceSpan* span = Allocate();
+  if (span == nullptr) return nullptr;
+  span->name = std::move(name);
+  span->category = std::move(category);
+  span->detail = std::move(detail);
+  span->start_us = start_us;
+  span->end_us = end_us;
+  span->thread_id = HashedThreadId();
+  if (parent == nullptr) parent = root_;
+  if (parent != nullptr) AppendChild(parent, span);
+  return span;
+}
+
+namespace {
+
+void CopySpanTree(const TraceSpan& src, int64_t now_us, QueryTraceSpan* dst) {
+  dst->name = src.name;
+  dst->category = src.category;
+  dst->detail = src.detail;
+  dst->start_us = src.start_us;
+  int64_t end_us = src.end_us != 0 ? src.end_us : now_us;
+  dst->duration_us = std::max<int64_t>(0, end_us - src.start_us);
+  dst->thread_id = src.thread_id;
+
+  // The child list is a LIFO push stack; reverse to append order, then
+  // sort by start time so concurrent fragments interleave chronologically.
+  std::vector<const TraceSpan*> children;
+  for (const TraceSpan* child =
+           src.first_child.load(std::memory_order_acquire);
+       child != nullptr; child = child->next_sibling) {
+    children.push_back(child);
+  }
+  std::reverse(children.begin(), children.end());
+  std::stable_sort(children.begin(), children.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     return a->start_us < b->start_us;
+                   });
+  dst->children.reserve(children.size());
+  for (const TraceSpan* child : children) {
+    dst->children.emplace_back();
+    CopySpanTree(*child, now_us, &dst->children.back());
+  }
+}
+
+}  // namespace
+
+QueryTrace QuerySpanRecorder::Snapshot() const {
+  QueryTrace trace;
+  trace.valid = true;
+  trace.span_count = span_count();
+  trace.dropped_spans = dropped_spans();
+  for (int p = 0; p < kNumWaitPoints; ++p) {
+    trace.wait_ns[static_cast<size_t>(p)] =
+        wait_ns_[static_cast<size_t>(p)].load(std::memory_order_relaxed);
+  }
+  if (root_ != nullptr) {
+    CopySpanTree(*root_, TraceRing::NowMicros(), &trace.root);
+  }
+  return trace;
+}
+
+int64_t QueryTraceSpan::TreeSize() const {
+  int64_t n = 1;
+  for (const QueryTraceSpan& child : children) n += child.TreeSize();
+  return n;
+}
+
+int64_t QueryTraceSpan::CategoryTotalUs(const std::string& cat) const {
+  int64_t total = category == cat ? duration_us : 0;
+  for (const QueryTraceSpan& child : children) {
+    total += child.CategoryTotalUs(cat);
+  }
+  return total;
+}
+
+// --- Chrome trace export -------------------------------------------------
+
+namespace {
+
+// Compact, stable thread-track numbering: first distinct thread seen gets
+// tid 1, the next tid 2, ... Chrome renders each as its own row.
+class TidMap {
+ public:
+  int64_t Get(uint64_t thread_id) {
+    auto [it, inserted] = ids_.try_emplace(thread_id, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+ private:
+  std::map<uint64_t, int64_t> ids_;
+  int64_t next_ = 1;
+};
+
+void AppendChromeEvent(const std::string& name, const std::string& category,
+                       const std::string& detail, int64_t start_us,
+                       int64_t duration_us, int64_t tid, bool* first,
+                       std::string* out) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "{\"name\":";
+  AppendJsonString(name, out);
+  *out += ",\"cat\":";
+  AppendJsonString(category.empty() ? std::string("span") : category, out);
+  *out += ",\"ph\":\"X\",\"ts\":";
+  AppendInt(start_us, out);
+  *out += ",\"dur\":";
+  AppendInt(duration_us, out);
+  *out += ",\"pid\":1,\"tid\":";
+  AppendInt(tid, out);
+  if (!detail.empty()) {
+    *out += ",\"args\":{\"detail\":";
+    AppendJsonString(detail, out);
+    *out += "}";
+  }
+  *out += "}";
+}
+
+void AppendSpanEvents(const QueryTraceSpan& span, TidMap* tids, bool* first,
+                      std::string* out) {
+  AppendChromeEvent(span.name, span.category, span.detail, span.start_us,
+                    span.duration_us, tids->Get(span.thread_id), first, out);
+  for (const QueryTraceSpan& child : span.children) {
+    AppendSpanEvents(child, tids, first, out);
+  }
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const QueryTrace& trace,
+                              bool include_trace_ring) {
+  TidMap tids;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  if (trace.valid) {
+    AppendSpanEvents(trace.root, &tids, &first, &out);
+  }
+  if (include_trace_ring) {
+    for (const TraceEvent& e : TraceRing::Global().Snapshot()) {
+      AppendChromeEvent(e.name, e.category, "", e.start_us, e.duration_us,
+                        tids.Get(e.thread_id), &first, &out);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+// --- Thread-local trace context ------------------------------------------
+
+QueryTraceContext& CurrentQueryTraceContext() { return tls_trace_context; }
+
+QueryTraceScope::QueryTraceScope(QuerySpanRecorder* recorder,
+                                 TraceSpan* current,
+                                 ActiveQuery* active_query)
+    : saved_(tls_trace_context) {
+  tls_trace_context.recorder = recorder;
+  tls_trace_context.current = current;
+  tls_trace_context.active_query = active_query;
+}
+
+QueryTraceScope::~QueryTraceScope() { tls_trace_context = saved_; }
+
+SpanGuard::SpanGuard(TraceSpan* span) {
+  if (span == nullptr || tls_trace_context.recorder == nullptr) return;
+  saved_ = tls_trace_context.current;
+  tls_trace_context.current = span;
+  active_ = true;
+}
+
+SpanGuard::~SpanGuard() {
+  if (active_) tls_trace_context.current = saved_;
+}
+
+// --- Wait recording ------------------------------------------------------
+
+WaitEventScope::WaitEventScope(const WaitStats& stats, WaitPoint point,
+                               std::string_view table)
+    : stats_(stats),
+      point_(point),
+      table_(table),
+      start_us_(TraceRing::NowMicros()),
+      active_query_(tls_trace_context.active_query) {
+  if (active_query_ != nullptr) {
+    active_query_->current_wait.store(static_cast<int>(point_),
+                                      std::memory_order_relaxed);
+  }
+}
+
+void RecordWaitEvent(const WaitStats& stats, WaitPoint point,
+                     std::string_view table, int64_t start_us,
+                     int64_t end_us) {
+  const int64_t wait_ns = std::max<int64_t>(0, end_us - start_us) * 1000;
+  if (stats.total != nullptr) stats.total->Increment();
+  if (stats.wait_ns != nullptr) stats.wait_ns->Observe(wait_ns);
+  QueryTraceContext& tc = tls_trace_context;
+  if (tc.recorder != nullptr) {
+    tc.recorder->AddCompleteSpan(std::string("wait:") + WaitPointName(point),
+                                 "wait", tc.current, std::string(table),
+                                 start_us, end_us);
+    tc.recorder->AddWaitNs(point, wait_ns);
+  }
+  if (tc.active_query != nullptr) {
+    tc.active_query->wait_ns[static_cast<size_t>(point)].fetch_add(
+        wait_ns, std::memory_order_relaxed);
+  }
+}
+
+WaitEventScope::~WaitEventScope() {
+  const int64_t end_us = TraceRing::NowMicros();
+  RecordWaitEvent(stats_, point_, table_, start_us_, end_us);
+  if (active_query_ != nullptr) {
+    active_query_->current_wait.store(-1, std::memory_order_relaxed);
+  }
+}
+
+// --- Active query registry -----------------------------------------------
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kOptimize:
+      return "optimize";
+    case QueryPhase::kCompile:
+      return "compile";
+    case QueryPhase::kExecute:
+      return "execute";
+    case QueryPhase::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+ActiveQueryRegistry& ActiveQueryRegistry::Global() {
+  static ActiveQueryRegistry* registry = new ActiveQueryRegistry();
+  return *registry;
+}
+
+std::shared_ptr<ActiveQuery> ActiveQueryRegistry::Register() {
+  auto query = std::make_shared<ActiveQuery>();
+  query->query_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  query->start_us = TraceRing::NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[query->query_id] = query;
+  return query;
+}
+
+void ActiveQueryRegistry::Unregister(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(query_id);
+}
+
+std::vector<ActiveQueryRegistry::Snapshot> ActiveQueryRegistry::List() const {
+  std::vector<Snapshot> out;
+  const int64_t now_us = TraceRing::NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(active_.size());
+  for (const auto& [id, query] : active_) {
+    Snapshot s;
+    s.query_id = id;
+    s.fingerprint = query->fingerprint.load(std::memory_order_relaxed);
+    s.phase = QueryPhaseName(static_cast<QueryPhase>(
+        query->phase.load(std::memory_order_relaxed)));
+    s.plan_summary = query->plan_summary();
+    int wait = query->current_wait.load(std::memory_order_relaxed);
+    if (wait >= 0 && wait < kNumWaitPoints) {
+      s.wait_point = WaitPointName(static_cast<WaitPoint>(wait));
+    }
+    s.elapsed_us = std::max<int64_t>(0, now_us - query->start_us);
+    s.rows_produced = query->rows_produced.load(std::memory_order_relaxed);
+    s.rows_scanned = query->rows_scanned.load(std::memory_order_relaxed);
+    for (int p = 0; p < kNumWaitPoints; ++p) {
+      s.wait_us[static_cast<size_t>(p)] =
+          query->wait_ns[static_cast<size_t>(p)].load(
+              std::memory_order_relaxed) /
+          1000;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// --- Slow-query log ------------------------------------------------------
+
+SlowQueryLog::SlowQueryLog(int64_t capacity)
+    : capacity_(std::max<int64_t>(capacity, 1)) {}
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+void SlowQueryLog::Record(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(entry));
+  while (static_cast<int64_t>(ring_.size()) > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(ring_.begin(), ring_.end());
+}
+
+int64_t SlowQueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SlowQueryLog::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace vstore

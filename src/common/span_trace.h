@@ -1,0 +1,409 @@
+#ifndef VSTORE_COMMON_SPAN_TRACE_H_
+#define VSTORE_COMMON_SPAN_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+
+namespace vstore {
+
+// Per-query structured span tracing and engine-wide wait attribution.
+//
+// Three cooperating pieces live here:
+//
+//  1. QuerySpanRecorder — an arena-allocated span tree recording where one
+//     query's time went: optimize -> compile -> per-fragment execute ->
+//     per-operator open/next/close, plus explicit *wait* spans at the
+//     engine's four contention points (exchange queue, WAL fsync, table
+//     lock, reorg-install conflict). Span append is lock-free (atomic
+//     child-list push), so exchange fragments on worker threads record
+//     into the same tree without coordination.
+//
+//  2. ActiveQueryRegistry — process-global list of in-flight queries with
+//     relaxed-atomic progress counters, exposed as sys.active_queries. A
+//     concurrent reader sees phase, rows produced so far, and the wait
+//     point a query is currently blocked on.
+//
+//  3. SlowQueryLog — bounded ring of queries that exceeded a latency
+//     threshold, each carrying its full span tree (Chrome-trace JSON) and
+//     EXPLAIN ANALYZE profile, exposed as sys.slow_queries and keyed to
+//     Query Store fingerprints.
+//
+// The glue between storage-layer wait sites and the current query is a
+// thread-local QueryTraceContext: the executor (and each exchange fragment
+// thread) installs {recorder, current span, active query} via
+// QueryTraceScope; WaitEventScope at a contention point reads it back.
+// Every wait always feeds the global vstore_wait_* metrics with
+// {table=,point=} labels — wait attribution works even when no query is on
+// the stack (mover reorg conflicts, WAL syncs from background commits).
+
+// --- Wait points ---------------------------------------------------------
+
+// The four instrumented contention points.
+enum class WaitPoint {
+  kQueue = 0,          // exchange bounded-queue push/pop blocking
+  kFsync = 1,          // WAL group-commit fsync waits
+  kLock = 2,           // ColumnStoreTable/shard mutex acquisition
+  kReorgConflict = 3,  // TupleMover reorg-install conflict (wasted build)
+};
+inline constexpr int kNumWaitPoints = 4;
+
+// Stable label value for the metrics registry and sys.* views:
+// "queue" | "fsync" | "lock" | "reorg_conflict".
+const char* WaitPointName(WaitPoint point);
+
+// Cached handles for one (table, point) pair of the two wait metric
+// families: vstore_wait_total (counter) and vstore_wait_ns (log2
+// histogram), both labeled {table=,point=}. Resolve once (constructor
+// time) and keep — registry lookups take a mutex, these handles don't.
+struct WaitStats {
+  Counter* total = nullptr;
+  Histogram* wait_ns = nullptr;
+};
+WaitStats GetWaitStats(const std::string& table, WaitPoint point);
+
+// --- Span tree -----------------------------------------------------------
+
+// One node of a query's span tree. Allocated from the recorder's chunked
+// arena; never freed individually. `first_child` is a lock-free LIFO list
+// head — siblings link through `next_sibling` and are re-sorted by start
+// time when the tree is snapshotted.
+struct TraceSpan {
+  std::string name;      // "optimize", "HashJoin", "wait:lock", ...
+  std::string category;  // "phase" | "operator" | "fragment" | "wait" | ...
+  std::string detail;    // wait spans carry the table name here
+  int64_t start_us = 0;  // TraceRing::NowMicros epoch (composes with ring)
+  int64_t end_us = 0;    // 0 while the span is still open
+  uint64_t thread_id = 0;  // hashed std::thread::id of the recording thread
+  TraceSpan* parent = nullptr;
+  std::atomic<TraceSpan*> first_child{nullptr};
+  TraceSpan* next_sibling = nullptr;
+};
+
+// Value-type snapshot of a span (what QueryResult::trace carries; no
+// pointers into the dead recorder).
+struct QueryTraceSpan {
+  std::string name;
+  std::string category;
+  std::string detail;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  uint64_t thread_id = 0;
+  std::vector<QueryTraceSpan> children;
+
+  // Depth-first count of nodes in this subtree (including this one).
+  int64_t TreeSize() const;
+  // Sum of `duration_us` over spans matching `category` in this subtree.
+  int64_t CategoryTotalUs(const std::string& category) const;
+};
+
+// A finished query's trace: the span tree plus exact per-point wait
+// totals. The totals come from relaxed accumulators, not from summing
+// spans — they stay exact even when span capacity is exhausted.
+struct QueryTrace {
+  bool valid = false;  // tracing was enabled for this query
+  uint64_t query_id = 0;
+  uint64_t fingerprint = 0;
+  int64_t span_count = 0;
+  int64_t dropped_spans = 0;  // spans lost to the recorder's capacity cap
+  std::array<int64_t, kNumWaitPoints> wait_ns{};
+  QueryTraceSpan root;
+
+  int64_t TotalWaitNs() const {
+    int64_t total = 0;
+    for (int64_t ns : wait_ns) total += ns;
+    return total;
+  }
+};
+
+// Renders the trace in chrome://tracing "trace event format". Spans from
+// different threads (exchange fragments) land on distinct `tid` tracks,
+// compactly renumbered by first appearance. With `include_trace_ring`,
+// the global TraceRing's events (mover passes, reorgs, checkpoints) are
+// merged onto the same timeline — both sources share the
+// TraceRing::NowMicros epoch, so a mover pass lines up against the query
+// that it stalled.
+std::string TraceToChromeJson(const QueryTrace& trace,
+                              bool include_trace_ring = false);
+
+// --- QuerySpanRecorder ---------------------------------------------------
+
+// Span arena + tree for one query. Thread-safe for concurrent StartSpan/
+// AddCompleteSpan from exchange fragment threads; allocation is a relaxed
+// fetch_add into chunked storage (a mutex is taken only to install a new
+// chunk). Capacity-bounded: past `max_spans`, spans are counted as dropped
+// rather than allocated, and the exact wait accumulators keep the totals
+// honest.
+class QuerySpanRecorder {
+ public:
+  static constexpr int64_t kChunkSpans = 256;
+
+  explicit QuerySpanRecorder(int64_t max_spans = 8192);
+  ~QuerySpanRecorder();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(QuerySpanRecorder);
+
+  // The implicit "query" span every other span descends from.
+  TraceSpan* root() { return root_; }
+
+  // Opens a span under `parent` (nullptr -> under root). Returns nullptr
+  // when capacity is exhausted — callers must tolerate it.
+  TraceSpan* StartSpan(std::string name, std::string category,
+                       TraceSpan* parent, std::string detail = "");
+  // Closes an open span (no-op on nullptr).
+  void EndSpan(TraceSpan* span);
+  // Records an already-finished interval (wait spans measure first, then
+  // attach).
+  TraceSpan* AddCompleteSpan(std::string name, std::string category,
+                             TraceSpan* parent, std::string detail,
+                             int64_t start_us, int64_t end_us);
+
+  // Exact wait accounting, independent of span capacity.
+  void AddWaitNs(WaitPoint point, int64_t ns) {
+    wait_ns_[static_cast<size_t>(point)].fetch_add(ns,
+                                                   std::memory_order_relaxed);
+  }
+  int64_t wait_ns(WaitPoint point) const {
+    return wait_ns_[static_cast<size_t>(point)].load(
+        std::memory_order_relaxed);
+  }
+
+  int64_t span_count() const {
+    return std::min(next_slot_.load(std::memory_order_relaxed), max_spans_);
+  }
+  int64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Deep-copies the tree into a value-type QueryTrace (sibling lists are
+  // reversed back to append order and sorted by start time). Call after
+  // all recording threads have finished or joined.
+  QueryTrace Snapshot() const;
+
+ private:
+  struct Chunk;
+
+  TraceSpan* Allocate();
+
+  const int64_t max_spans_;
+  std::atomic<int64_t> next_slot_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::vector<std::atomic<Chunk*>> chunks_;
+  std::array<std::atomic<int64_t>, kNumWaitPoints> wait_ns_{};
+  TraceSpan* root_ = nullptr;
+};
+
+// --- Thread-local trace context ------------------------------------------
+
+struct ActiveQuery;
+
+// What the current thread is recording into. Installed by the executor for
+// the driving thread and by the exchange for each fragment worker; storage
+// wait sites read it to attribute waits to the running query.
+struct QueryTraceContext {
+  QuerySpanRecorder* recorder = nullptr;
+  TraceSpan* current = nullptr;  // parent for newly opened spans
+  ActiveQuery* active_query = nullptr;
+};
+
+// The calling thread's context (all-null when no traced query is on the
+// stack).
+QueryTraceContext& CurrentQueryTraceContext();
+
+// RAII install/restore of the full thread-local context. Nests: a system
+// view materialized inside planning runs its own traced query and restores
+// the outer one on exit.
+class QueryTraceScope {
+ public:
+  QueryTraceScope(QuerySpanRecorder* recorder, TraceSpan* current,
+                  ActiveQuery* active_query);
+  ~QueryTraceScope();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(QueryTraceScope);
+
+ private:
+  QueryTraceContext saved_;
+};
+
+// RAII re-point of the *current span* only (recorder and active query
+// unchanged). Operators push their own span around OpenImpl/NextImpl/
+// CloseImpl so child operators and wait sites nest correctly. No-op when
+// `span` is null or no recorder is installed.
+class SpanGuard {
+ public:
+  explicit SpanGuard(TraceSpan* span);
+  ~SpanGuard();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(SpanGuard);
+
+ private:
+  TraceSpan* saved_ = nullptr;
+  bool active_ = false;
+};
+
+// --- Wait recording ------------------------------------------------------
+
+// Records an already-measured wait interval: global metrics always, plus
+// the calling thread's traced query (wait span + accumulators) when one is
+// installed. WaitEventScope funnels through this; call it directly for
+// retroactive attribution (e.g. a reorg build discovered to be wasted only
+// at install time).
+void RecordWaitEvent(const WaitStats& stats, WaitPoint point,
+                     std::string_view table, int64_t start_us,
+                     int64_t end_us);
+
+// RAII measurement of one *blocked* wait. Construct only after deciding
+// the fast path failed (queue full, try_lock lost, fsync needed) — the
+// uncontended path must stay free of clock reads. On destruction:
+//   - always: stats.total +1, stats.wait_ns += duration (global metrics);
+//   - if a traced query is on this thread: a "wait:<point>" span under the
+//     current span, the recorder's exact per-point accumulator, and the
+//     active query's current-wait marker + wait totals.
+class WaitEventScope {
+ public:
+  WaitEventScope(const WaitStats& stats, WaitPoint point,
+                 std::string_view table);
+  ~WaitEventScope();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(WaitEventScope);
+
+ private:
+  WaitStats stats_;
+  WaitPoint point_;
+  std::string_view table_;
+  int64_t start_us_;
+  ActiveQuery* active_query_ = nullptr;
+};
+
+// --- Active query registry -----------------------------------------------
+
+enum class QueryPhase {
+  kOptimize = 0,
+  kCompile = 1,  // physical planning + expression compilation
+  kExecute = 2,
+  kDone = 3,
+};
+const char* QueryPhaseName(QueryPhase phase);
+
+// Live, shared state of one in-flight query. The executor owns the writes;
+// sys.active_queries readers see a relaxed-atomic snapshot (counters may
+// be mutually inconsistent mid-flight; each value is never torn).
+struct ActiveQuery {
+  uint64_t query_id = 0;
+  int64_t start_us = 0;  // TraceRing::NowMicros at registration
+
+  std::atomic<int> phase{static_cast<int>(QueryPhase::kOptimize)};
+  std::atomic<uint64_t> fingerprint{0};
+  std::atomic<int64_t> rows_produced{0};  // rows out of the plan root
+  std::atomic<int64_t> rows_scanned{0};   // rows decoded by scans
+  std::atomic<int> current_wait{-1};      // WaitPoint, -1 when running
+  std::array<std::atomic<int64_t>, kNumWaitPoints> wait_ns{};
+
+  void SetPlanSummary(std::string summary) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_summary_ = std::move(summary);
+  }
+  std::string plan_summary() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_summary_;
+  }
+
+ private:
+  mutable std::mutex mu_;  // guards plan_summary_ only
+  std::string plan_summary_;
+};
+
+// Process-global registry of in-flight queries (sys.active_queries).
+// Entries are shared_ptrs so a List() racing query completion reads a
+// still-live ActiveQuery.
+class ActiveQueryRegistry {
+ public:
+  ActiveQueryRegistry() = default;
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(ActiveQueryRegistry);
+
+  static ActiveQueryRegistry& Global();
+
+  // Registers a new query and assigns it a process-unique id.
+  std::shared_ptr<ActiveQuery> Register();
+  void Unregister(uint64_t query_id);
+
+  // Flat snapshot of one live query (sys.active_queries row shape).
+  struct Snapshot {
+    uint64_t query_id = 0;
+    uint64_t fingerprint = 0;
+    std::string phase;
+    std::string plan_summary;
+    std::string wait_point;  // "" when not currently blocked
+    int64_t elapsed_us = 0;
+    int64_t rows_produced = 0;
+    int64_t rows_scanned = 0;
+    std::array<int64_t, kNumWaitPoints> wait_us{};
+  };
+  // All live queries, ordered by query id (registration order).
+  std::vector<Snapshot> List() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<ActiveQuery>> active_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+// --- Slow-query log ------------------------------------------------------
+
+// Bounded ring of queries that exceeded the latency threshold, each with
+// its full span tree and EXPLAIN ANALYZE JSON (sys.slow_queries). Query
+// Store fingerprints key entries back to per-shape aggregates.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(int64_t capacity = 128);
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(SlowQueryLog);
+
+  static SlowQueryLog& Global();
+
+  struct Entry {
+    uint64_t query_id = 0;
+    uint64_t fingerprint = 0;
+    std::string plan_summary;
+    int64_t start_us = 0;
+    int64_t elapsed_us = 0;
+    int64_t rows_returned = 0;
+    std::array<int64_t, kNumWaitPoints> wait_us{};
+    std::string trace_json;    // TraceToChromeJson of the span tree
+    std::string profile_json;  // ProfileToJson (EXPLAIN ANALYZE)
+  };
+
+  // Queries at or above this many microseconds get captured; negative
+  // disables capture entirely. Default 100ms.
+  void set_threshold_us(int64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  void Record(Entry entry);
+
+  // Buffered entries, oldest first.
+  std::vector<Entry> Snapshot() const;
+  // Entries overwritten by ring wraparound.
+  int64_t dropped() const;
+
+  void ResetForTesting();
+
+ private:
+  const int64_t capacity_;
+  std::atomic<int64_t> threshold_us_{100 * 1000};
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_SPAN_TRACE_H_

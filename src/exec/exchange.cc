@@ -1,8 +1,20 @@
 #include "exec/exchange.h"
 
 #include "common/macros.h"
+#include "common/span_trace.h"
 
 namespace vstore {
+
+namespace {
+
+// All exchange queues share one {table="exchange",point="queue"} wait
+// family: queue stalls are a property of the plan, not of a table.
+const WaitStats& QueueWaitStats() {
+  static const WaitStats stats = GetWaitStats("exchange", WaitPoint::kQueue);
+  return stats;
+}
+
+}  // namespace
 
 ExchangeOperator::ExchangeOperator(Schema output_schema,
                                    FragmentFactory factory, int degree,
@@ -30,6 +42,8 @@ Status ExchangeOperator::OpenImpl() {
     fctx->batch_size = ctx_->batch_size;
     fctx->operator_memory_budget = ctx_->operator_memory_budget;
     fctx->compile_expressions = ctx_->compile_expressions;
+    fctx->trace_recorder = ctx_->trace_recorder;
+    fctx->active_query = ctx_->active_query;
     fragment_ctxs_.push_back(std::move(fctx));
   }
   workers_.reserve(static_cast<size_t>(degree_));
@@ -41,9 +55,16 @@ Status ExchangeOperator::OpenImpl() {
 
 void ExchangeOperator::Push(std::unique_ptr<Batch> batch) {
   std::unique_lock<std::mutex> lock(mu_);
-  queue_space_.wait(lock, [this] {
+  auto has_space = [this] {
     return cancelled_ || queue_.size() < kQueueCapacity;
-  });
+  };
+  if (!has_space()) {
+    // Producer blocked on a full queue: the consumer (or a downstream
+    // pipeline stage) is the bottleneck. Only a genuinely blocked wait
+    // pays for the clock reads and the wait span.
+    WaitEventScope wait(QueueWaitStats(), WaitPoint::kQueue, "exchange");
+    queue_space_.wait(lock, has_space);
+  }
   if (cancelled_) return;
   queue_.push(std::move(batch));
   queue_ready_.notify_one();
@@ -51,6 +72,19 @@ void ExchangeOperator::Push(std::unique_ptr<Batch> batch) {
 
 void ExchangeOperator::RunFragment(int fragment) {
   ExecContext* fctx = fragment_ctxs_[static_cast<size_t>(fragment)].get();
+  // Re-install the query's trace context on this worker thread: operator
+  // spans below parent to a per-fragment span under the exchange's own
+  // span, and wait sites hit by fragment code attribute to the query.
+  TraceSpan* fragment_span =
+      ctx_->trace_recorder != nullptr
+          ? ctx_->trace_recorder->StartSpan(
+                "fragment:" + std::to_string(fragment), "fragment",
+                trace_span())
+          : nullptr;
+  QueryTraceScope trace_scope(
+      ctx_->trace_recorder,
+      fragment_span != nullptr ? fragment_span : trace_span(),
+      ctx_->active_query);
   Status status;
   auto op_result = factory_(fragment, fctx);
   if (!op_result.ok()) {
@@ -88,6 +122,9 @@ void ExchangeOperator::RunFragment(int fragment) {
     ++fragments_merged_;
   }
 
+  if (ctx_->trace_recorder != nullptr) {
+    ctx_->trace_recorder->EndSpan(fragment_span);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ctx_->stats.MergeFrom(fctx->stats);
   if (!status.ok() && first_error_.ok()) first_error_ = status;
@@ -97,9 +134,16 @@ void ExchangeOperator::RunFragment(int fragment) {
 
 Result<Batch*> ExchangeOperator::NextImpl() {
   std::unique_lock<std::mutex> lock(mu_);
-  queue_ready_.wait(lock, [this] {
+  auto ready = [this] {
     return !queue_.empty() || active_producers_ == 0 || !first_error_.ok();
-  });
+  };
+  if (!ready()) {
+    // Consumer starved: every producer fragment is still computing its
+    // next batch. The wait span lands under this exchange's operator span
+    // (the Next() wrapper made it current).
+    WaitEventScope wait(QueueWaitStats(), WaitPoint::kQueue, "exchange");
+    queue_ready_.wait(lock, ready);
+  }
   if (!first_error_.ok()) return first_error_;
   if (queue_.empty()) return static_cast<Batch*>(nullptr);
   current_ = std::move(queue_.front());

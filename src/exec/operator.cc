@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/span_trace.h"
 
 namespace vstore {
 
@@ -35,10 +36,19 @@ Status BatchOperator::Open() {
   profile_batches_ = 0;
   profile_rows_ = 0;
   profile_peak_memory_ = 0;
+  // One trace span per execution, opened here and closed by Close(). The
+  // SpanGuard makes it the thread's current span across each protocol
+  // hook, so child operators opened inside OpenImpl and waits hit inside
+  // NextImpl nest under it — the span tree mirrors the plan tree.
+  QueryTraceContext& tc = CurrentQueryTraceContext();
+  trace_span_ = tc.recorder != nullptr
+                    ? tc.recorder->StartSpan(name(), "operator", tc.current)
+                    : nullptr;
   // Mark opened before the hook so a failed Open still gets a Close (the
   // hooks may have acquired resources before erroring out).
   opened_ = true;
   int64_t start = NowNs();
+  SpanGuard guard(trace_span_);
   Status status = OpenImpl();
   profile_open_ns_ += NowNs() - start;
   return status;
@@ -46,6 +56,7 @@ Status BatchOperator::Open() {
 
 Result<Batch*> BatchOperator::Next() {
   int64_t start = NowNs();
+  SpanGuard guard(trace_span_);
   Result<Batch*> result = NextImpl();
   profile_next_ns_ += NowNs() - start;
   if (result.ok() && result.value() != nullptr) {
@@ -59,8 +70,15 @@ void BatchOperator::Close() {
   if (!opened_) return;
   opened_ = false;
   int64_t start = NowNs();
-  CloseImpl();
+  {
+    SpanGuard guard(trace_span_);
+    CloseImpl();
+  }
   profile_close_ns_ += NowNs() - start;
+  if (trace_span_ != nullptr) {
+    QueryTraceContext& tc = CurrentQueryTraceContext();
+    if (tc.recorder != nullptr) tc.recorder->EndSpan(trace_span_);
+  }
 }
 
 void BatchOperator::AppendProfileChildren(OperatorProfile* node) const {

@@ -40,6 +40,9 @@ struct ExecStats {
 };
 
 class ThreadPool;
+class QuerySpanRecorder;
+struct ActiveQuery;
+struct TraceSpan;
 
 // Shared execution state for one query. Not thread-safe; parallel fragments
 // get their own contexts whose stats are merged by the exchange operator.
@@ -52,6 +55,13 @@ struct ExecContext {
   // forces the tree-interpreter path (the differential oracle).
   bool compile_expressions = true;
   ThreadPool* thread_pool = nullptr;  // used by exchange operators
+  // Query tracing hooks, null when the query runs untraced. Operators
+  // reach the span tree through the thread-local QueryTraceContext; these
+  // pointers exist so the exchange can re-install that context on its
+  // fragment worker threads and so scans can bump the live progress
+  // counters read by sys.active_queries.
+  QuerySpanRecorder* trace_recorder = nullptr;
+  ActiveQuery* active_query = nullptr;
   ExecStats stats;
 };
 
@@ -99,7 +109,13 @@ class BatchOperator {
     profile_peak_memory_ = std::max(profile_peak_memory_, bytes);
   }
 
+  // This operator's span in the current query's trace (opened by Open(),
+  // closed by Close(); null when the query runs untraced). The exchange
+  // parents its fragment spans here from worker threads.
+  TraceSpan* trace_span() const { return trace_span_; }
+
  private:
+  TraceSpan* trace_span_ = nullptr;
   int64_t profile_open_ns_ = 0;
   int64_t profile_next_ns_ = 0;
   int64_t profile_close_ns_ = 0;

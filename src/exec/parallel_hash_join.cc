@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/span_trace.h"
 #include "exec/spill.h"
 
 namespace vstore {
@@ -91,16 +92,33 @@ Status SharedHashJoinBuild::RunBuild(ExecContext* caller_ctx) {
     fctxs.push_back(std::move(fctx));
   }
   std::vector<Status> statuses(static_cast<size_t>(build_dop_));
+  // Build threads are raw std::threads: re-install the first-arriving
+  // fragment's trace context on each so build-side operator spans (and any
+  // waits the build scans hit) still attribute to the query, parented to a
+  // per-fragment "build_fragment:<f>" span. The barrier below means every
+  // span is closed before EnsureBuilt returns.
+  QueryTraceContext parent_tc = CurrentQueryTraceContext();
+  auto run_build_fragment = [this, &fctxs, &statuses, &parent_tc](int f) {
+    TraceSpan* span =
+        parent_tc.recorder != nullptr
+            ? parent_tc.recorder->StartSpan("build_fragment:" +
+                                                std::to_string(f),
+                                            "fragment", parent_tc.current)
+            : nullptr;
+    QueryTraceScope trace_scope(parent_tc.recorder,
+                                span != nullptr ? span : parent_tc.current,
+                                parent_tc.active_query);
+    statuses[static_cast<size_t>(f)] =
+        BuildFragment(f, fctxs[static_cast<size_t>(f)].get());
+    if (span != nullptr) parent_tc.recorder->EndSpan(span);
+  };
   if (build_dop_ == 1) {
-    statuses[0] = BuildFragment(0, fctxs[0].get());
+    run_build_fragment(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(build_dop_));
     for (int f = 0; f < build_dop_; ++f) {
-      threads.emplace_back([this, f, &fctxs, &statuses] {
-        statuses[static_cast<size_t>(f)] =
-            BuildFragment(f, fctxs[static_cast<size_t>(f)].get());
-      });
+      threads.emplace_back([&run_build_fragment, f] { run_build_fragment(f); });
     }
     for (std::thread& t : threads) t.join();  // build barrier
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/span_trace.h"
 #include "exec/expr_kernels.h"
 #include "exec/hash_table.h"
 #include "common/macros.h"
@@ -476,6 +477,10 @@ Status ColumnStoreScanOperator::FillFromGroup() {
 
   ctx_->stats.rows_scanned += n;
   rows_scanned_ += n;
+  // Live progress for sys.active_queries readers.
+  if (ctx_->active_query != nullptr) {
+    ctx_->active_query->rows_scanned.fetch_add(n, std::memory_order_relaxed);
+  }
   offset_ += n;
   if (offset_ >= rg.num_rows()) {
     in_group_ = false;

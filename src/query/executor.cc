@@ -1,9 +1,13 @@
 #include "query/executor.h"
 
 #include <chrono>
+#include <memory>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/span_trace.h"
+#include "exec/profile.h"
 #include "query/query_store.h"
 
 namespace vstore {
@@ -73,23 +77,74 @@ class QueryScope {
   bool succeeded_ = false;
 };
 
+// Removes the query from sys.active_queries on every exit path (success,
+// error return, exception).
+class ActiveQueryHandle {
+ public:
+  explicit ActiveQueryHandle(bool tracing) {
+    if (tracing) query_ = ActiveQueryRegistry::Global().Register();
+  }
+  ~ActiveQueryHandle() {
+    if (query_ != nullptr) {
+      ActiveQueryRegistry::Global().Unregister(query_->query_id);
+    }
+  }
+  ActiveQuery* get() const { return query_.get(); }
+  void SetPhase(QueryPhase phase) {
+    if (query_ != nullptr) {
+      query_->phase.store(static_cast<int>(phase), std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::shared_ptr<ActiveQuery> query_;
+};
+
 }  // namespace
 
 Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   QueryScope scope;
   QueryResult result;
+
+  // Tracing setup: the recorder lives on this frame; the thread-local
+  // scope hands it to every operator and wait site below (the exchange
+  // re-installs it on fragment worker threads via ExecContext).
+  const bool tracing = options_.trace;
+  ActiveQueryHandle active(tracing);
+  std::unique_ptr<QuerySpanRecorder> recorder;
+  if (tracing) {
+    recorder = std::make_unique<QuerySpanRecorder>();
+    result.query_id = active.get()->query_id;
+  }
+  QueryTraceScope trace_scope(recorder.get(),
+                              recorder != nullptr ? recorder->root() : nullptr,
+                              active.get());
+
+  TraceSpan* phase_span =
+      recorder != nullptr ? recorder->StartSpan("optimize", "phase", nullptr)
+                          : nullptr;
   result.optimized_plan =
       options_.optimize ? Optimize(*catalog_, plan, options_.optimizer)
                         : ClonePlan(plan);
+  if (recorder != nullptr) recorder->EndSpan(phase_span);
   result.schema = result.optimized_plan->schema;
   if (options_.materialize) {
     result.data = TableData(result.schema);
+  }
+
+  uint64_t fingerprint = 0;
+  if (tracing) {
+    fingerprint = PlanFingerprint(*result.optimized_plan);
+    active.get()->fingerprint.store(fingerprint, std::memory_order_relaxed);
+    active.get()->SetPlanSummary(PlanShapeSummary(*result.optimized_plan));
   }
 
   ExecContext ctx;
   ctx.batch_size = options_.batch_size;
   ctx.operator_memory_budget = options_.operator_memory_budget;
   ctx.compile_expressions = options_.compile_expressions;
+  ctx.trace_recorder = recorder.get();
+  ctx.active_query = active.get();
 
   PhysicalPlanOptions planner_options;
   planner_options.mode = options_.mode;
@@ -97,24 +152,48 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   planner_options.include_deltas = options_.include_deltas;
 
   auto start = std::chrono::steady_clock::now();
-  VSTORE_ASSIGN_OR_RETURN(
-      PhysicalPlan physical,
-      CreatePhysicalPlan(*catalog_, result.optimized_plan, &ctx,
-                         planner_options));
+  // The compile phase covers physical planning: snapshot pinning (a table
+  // lock-wait site), expression bytecode compilation, operator tree
+  // construction. Waits hit here land under the compile span.
+  active.SetPhase(QueryPhase::kCompile);
+  phase_span = recorder != nullptr
+                   ? recorder->StartSpan("compile", "phase", nullptr)
+                   : nullptr;
+  Result<PhysicalPlan> physical_result = [&] {
+    SpanGuard guard(phase_span);
+    return CreatePhysicalPlan(*catalog_, result.optimized_plan, &ctx,
+                              planner_options);
+  }();
+  if (recorder != nullptr) recorder->EndSpan(phase_span);
+  if (!physical_result.ok()) return physical_result.status();
+  PhysicalPlan physical = std::move(physical_result).value();
 
-  VSTORE_RETURN_IF_ERROR(physical.root->Open());
-  for (;;) {
-    VSTORE_ASSIGN_OR_RETURN(Batch * batch, physical.root->Next());
-    if (batch == nullptr) break;
-    result.rows_returned += batch->active_count();
-    if (options_.materialize) {
-      const uint8_t* active = batch->active();
-      for (int64_t i = 0; i < batch->num_rows(); ++i) {
-        if (active[i]) result.data.AppendRow(batch->GetActiveRow(i));
+  active.SetPhase(QueryPhase::kExecute);
+  phase_span = recorder != nullptr
+                   ? recorder->StartSpan("execute", "phase", nullptr)
+                   : nullptr;
+  {
+    SpanGuard guard(phase_span);
+    VSTORE_RETURN_IF_ERROR(physical.root->Open());
+    for (;;) {
+      VSTORE_ASSIGN_OR_RETURN(Batch * batch, physical.root->Next());
+      if (batch == nullptr) break;
+      result.rows_returned += batch->active_count();
+      if (active.get() != nullptr) {
+        active.get()->rows_produced.fetch_add(batch->active_count(),
+                                              std::memory_order_relaxed);
+      }
+      if (options_.materialize) {
+        const uint8_t* active_rows = batch->active();
+        for (int64_t i = 0; i < batch->num_rows(); ++i) {
+          if (active_rows[i]) result.data.AppendRow(batch->GetActiveRow(i));
+        }
       }
     }
+    physical.root->Close();
   }
-  physical.root->Close();
+  if (recorder != nullptr) recorder->EndSpan(phase_span);
+  active.SetPhase(QueryPhase::kDone);
   result.profile = physical.root->BuildProfile();
   auto end = std::chrono::steady_clock::now();
 
@@ -153,10 +232,25 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   m.probe_rows_spilled_total->Increment(probe_rows_spilled);
   scope.Succeeded();
 
+  // Seal the span tree into the result. The recorder dies with this
+  // frame; Snapshot() deep-copies (all fragment threads joined in Close).
+  if (recorder != nullptr) {
+    recorder->EndSpan(recorder->root());
+    result.trace = recorder->Snapshot();
+    result.trace.query_id = result.query_id;
+    result.trace.fingerprint = fingerprint;
+  }
+
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  const bool references_system_view =
+      PlanReferencesSystemView(*result.optimized_plan);
+
   // Fold the execution into the Query Store, keyed by plan shape. Queries
   // that read sys.* views are excluded: observing the store must not grow
   // the store.
-  if (!PlanReferencesSystemView(*result.optimized_plan)) {
+  if (!references_system_view) {
     QueryStore::ExecutionCounters qc;
     qc.rows_returned = result.rows_returned;
     qc.segments_scanned = segments_scanned;
@@ -164,11 +258,42 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
     qc.bloom_rows_dropped = bloom_rows_dropped;
     qc.spill_partitions = spill_partitions;
     qc.rows_spilled = build_rows_spilled + probe_rows_spilled;
-    QueryStore::Global().Record(
-        *result.optimized_plan,
-        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
-            .count(),
-        qc);
+    if (result.trace.valid) {
+      qc.wait_queue_us =
+          result.trace.wait_ns[static_cast<size_t>(WaitPoint::kQueue)] / 1000;
+      qc.wait_fsync_us =
+          result.trace.wait_ns[static_cast<size_t>(WaitPoint::kFsync)] / 1000;
+      qc.wait_lock_us =
+          result.trace.wait_ns[static_cast<size_t>(WaitPoint::kLock)] / 1000;
+      qc.wait_reorg_us =
+          result.trace.wait_ns[static_cast<size_t>(WaitPoint::kReorgConflict)] /
+          1000;
+    }
+    QueryStore::Global().Record(*result.optimized_plan, elapsed_us, qc);
+  }
+
+  // Slow-query capture: over-threshold queries keep their full span tree
+  // and EXPLAIN ANALYZE JSON in the bounded ring behind sys.slow_queries.
+  // sys.* readers are excluded for the same reason as above.
+  if (result.trace.valid && !references_system_view) {
+    SlowQueryLog& slow_log = SlowQueryLog::Global();
+    const int64_t threshold_us = slow_log.threshold_us();
+    if (threshold_us >= 0 && elapsed_us >= threshold_us) {
+      SlowQueryLog::Entry entry;
+      entry.query_id = result.query_id;
+      entry.fingerprint = fingerprint;
+      entry.plan_summary = PlanShapeSummary(*result.optimized_plan);
+      entry.start_us = result.trace.root.start_us;
+      entry.elapsed_us = elapsed_us;
+      entry.rows_returned = result.rows_returned;
+      for (int p = 0; p < kNumWaitPoints; ++p) {
+        entry.wait_us[static_cast<size_t>(p)] =
+            result.trace.wait_ns[static_cast<size_t>(p)] / 1000;
+      }
+      entry.trace_json = TraceToChromeJson(result.trace);
+      entry.profile_json = ProfileToJson(result.profile);
+      slow_log.Record(std::move(entry));
+    }
   }
   return result;
 }

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/span_trace.h"
 #include "query/optimizer.h"
 #include "query/physical_planner.h"
 #include "types/table_data.h"
@@ -25,6 +26,12 @@ struct QueryOptions {
   // scan-throughput measurements where only counts matter).
   bool materialize = true;
   bool include_deltas = true;
+  // Record a structured span trace (phase/operator/wait spans), register
+  // the query in sys.active_queries, and feed the slow-query log. On by
+  // default — the cost is one span per operator execution plus a
+  // thread-local pointer swap per protocol call; benchmarks gate the
+  // overhead at <3%. Turn off for the tightest micro-measurements.
+  bool trace = true;
 };
 
 struct QueryResult {
@@ -37,6 +44,11 @@ struct QueryResult {
   // Per-operator profile tree mirroring the physical plan (EXPLAIN
   // ANALYZE): render with FormatProfile() or ProfileToJson().
   OperatorProfile profile;
+  // Registry id this execution ran under (0 when tracing was off).
+  uint64_t query_id = 0;
+  // Span tree + exact wait totals (trace.valid only when tracing was on):
+  // render with TraceToChromeJson().
+  QueryTrace trace;
 };
 
 // Front door of the query layer: optimize, lower, drive to completion.

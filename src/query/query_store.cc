@@ -216,6 +216,10 @@ void QueryStore::Record(const LogicalPlan& plan, int64_t elapsed_us,
   e.counters.bloom_rows_dropped += counters.bloom_rows_dropped;
   e.counters.spill_partitions += counters.spill_partitions;
   e.counters.rows_spilled += counters.rows_spilled;
+  e.counters.wait_queue_us += counters.wait_queue_us;
+  e.counters.wait_fsync_us += counters.wait_fsync_us;
+  e.counters.wait_lock_us += counters.wait_lock_us;
+  e.counters.wait_reorg_us += counters.wait_reorg_us;
 
   ring_.push_back(Execution{fingerprint, elapsed_us, counters.rows_returned});
   if (static_cast<int64_t>(ring_.size()) > ring_capacity_) ring_.pop_front();
@@ -317,6 +321,10 @@ std::string QueryStore::TopFingerprintsJson(int64_t top_n) const {
     field("rows_returned", fs.counters.rows_returned);
     field("segments_scanned", fs.counters.segments_scanned);
     field("segments_eliminated", fs.counters.segments_eliminated);
+    field("wait_queue_us", fs.counters.wait_queue_us);
+    field("wait_fsync_us", fs.counters.wait_fsync_us);
+    field("wait_lock_us", fs.counters.wait_lock_us);
+    field("wait_reorg_us", fs.counters.wait_reorg_us);
     out += "}";
   }
   out += "]";

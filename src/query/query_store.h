@@ -57,6 +57,13 @@ class QueryStore {
     int64_t bloom_rows_dropped = 0;
     int64_t spill_partitions = 0;
     int64_t rows_spilled = 0;  // build + probe rows spilled
+    // Wait-time breakdown from the span tracer (stall composition per
+    // plan shape, not just latency): time blocked at each of the four
+    // instrumented contention points.
+    int64_t wait_queue_us = 0;  // exchange bounded-queue blocking
+    int64_t wait_fsync_us = 0;  // WAL group-commit fsync waits
+    int64_t wait_lock_us = 0;   // table/shard mutex acquisition
+    int64_t wait_reorg_us = 0;  // reorg-install conflicts
   };
 
   // Snapshot of one fingerprint's aggregates. Quantiles come from

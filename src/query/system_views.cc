@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/span_trace.h"
 #include "query/catalog.h"
 #include "query/query_store.h"
 #include "storage/column_store.h"
@@ -508,7 +509,11 @@ class QueryStatsView final : public BuiltinView {
                             {"segments_eliminated", DataType::kInt64, false},
                             {"bloom_rows_dropped", DataType::kInt64, false},
                             {"spill_partitions", DataType::kInt64, false},
-                            {"rows_spilled", DataType::kInt64, false}})) {}
+                            {"rows_spilled", DataType::kInt64, false},
+                            {"wait_queue_us", DataType::kInt64, false},
+                            {"wait_fsync_us", DataType::kInt64, false},
+                            {"wait_lock_us", DataType::kInt64, false},
+                            {"wait_reorg_us", DataType::kInt64, false}})) {}
 
   Result<TableData> Materialize(const Catalog& catalog) const override {
     TableData data(schema());
@@ -525,7 +530,93 @@ class QueryStatsView final : public BuiltinView {
                       I(fs.counters.segments_eliminated),
                       I(fs.counters.bloom_rows_dropped),
                       I(fs.counters.spill_partitions),
-                      I(fs.counters.rows_spilled)});
+                      I(fs.counters.rows_spilled),
+                      I(fs.counters.wait_queue_us),
+                      I(fs.counters.wait_fsync_us),
+                      I(fs.counters.wait_lock_us),
+                      I(fs.counters.wait_reorg_us)});
+    }
+    return data;
+  }
+};
+
+// --- sys.active_queries --------------------------------------------------
+
+// Live queries from the ActiveQueryRegistry. A query observing this view
+// sees (at least) itself, in phase "compile" — the view materializes
+// during physical planning.
+class ActiveQueriesView final : public BuiltinView {
+ public:
+  ActiveQueriesView()
+      : BuiltinView("sys.active_queries",
+                    Schema({{"query_id", DataType::kInt64, false},
+                            {"fingerprint", DataType::kString, true},
+                            {"phase", DataType::kString, false},
+                            {"plan_summary", DataType::kString, true},
+                            {"elapsed_us", DataType::kInt64, false},
+                            {"rows_produced", DataType::kInt64, false},
+                            {"rows_scanned", DataType::kInt64, false},
+                            {"wait_point", DataType::kString, true},
+                            {"wait_queue_us", DataType::kInt64, false},
+                            {"wait_fsync_us", DataType::kInt64, false},
+                            {"wait_lock_us", DataType::kInt64, false},
+                            {"wait_reorg_us", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const ActiveQueryRegistry::Snapshot& q :
+         ActiveQueryRegistry::Global().List()) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(q.fingerprint));
+      data.AppendRow(
+          {I(static_cast<int64_t>(q.query_id)),
+           q.fingerprint == 0 ? NullS() : S(fp), S(q.phase),
+           q.plan_summary.empty() ? NullS() : S(q.plan_summary),
+           I(q.elapsed_us), I(q.rows_produced), I(q.rows_scanned),
+           q.wait_point.empty() ? NullS() : S(q.wait_point),
+           I(q.wait_us[static_cast<size_t>(WaitPoint::kQueue)]),
+           I(q.wait_us[static_cast<size_t>(WaitPoint::kFsync)]),
+           I(q.wait_us[static_cast<size_t>(WaitPoint::kLock)]),
+           I(q.wait_us[static_cast<size_t>(WaitPoint::kReorgConflict)])});
+    }
+    return data;
+  }
+};
+
+// --- sys.slow_queries ----------------------------------------------------
+
+class SlowQueriesView final : public BuiltinView {
+ public:
+  SlowQueriesView()
+      : BuiltinView("sys.slow_queries",
+                    Schema({{"query_id", DataType::kInt64, false},
+                            {"fingerprint", DataType::kString, false},
+                            {"plan_summary", DataType::kString, false},
+                            {"start_us", DataType::kInt64, false},
+                            {"elapsed_us", DataType::kInt64, false},
+                            {"rows_returned", DataType::kInt64, false},
+                            {"wait_queue_us", DataType::kInt64, false},
+                            {"wait_fsync_us", DataType::kInt64, false},
+                            {"wait_lock_us", DataType::kInt64, false},
+                            {"wait_reorg_us", DataType::kInt64, false},
+                            {"trace_json", DataType::kString, false},
+                            {"profile_json", DataType::kString, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    TableData data(schema());
+    for (const SlowQueryLog::Entry& e : SlowQueryLog::Global().Snapshot()) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(e.fingerprint));
+      data.AppendRow(
+          {I(static_cast<int64_t>(e.query_id)), S(fp), S(e.plan_summary),
+           I(e.start_us), I(e.elapsed_us), I(e.rows_returned),
+           I(e.wait_us[static_cast<size_t>(WaitPoint::kQueue)]),
+           I(e.wait_us[static_cast<size_t>(WaitPoint::kFsync)]),
+           I(e.wait_us[static_cast<size_t>(WaitPoint::kLock)]),
+           I(e.wait_us[static_cast<size_t>(WaitPoint::kReorgConflict)]),
+           S(e.trace_json), S(e.profile_json)});
     }
     return data;
   }
@@ -546,6 +637,8 @@ void RegisterBuiltinSystemViews(Catalog* catalog) {
   (void)catalog->RegisterSystemView(std::make_unique<MetricsView>());
   (void)catalog->RegisterSystemView(std::make_unique<TracesView>());
   (void)catalog->RegisterSystemView(std::make_unique<QueryStatsView>());
+  (void)catalog->RegisterSystemView(std::make_unique<ActiveQueriesView>());
+  (void)catalog->RegisterSystemView(std::make_unique<SlowQueriesView>());
 }
 
 }  // namespace vstore

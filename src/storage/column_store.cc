@@ -75,7 +75,10 @@ ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
       metric_table_label_(options_.metric_table.empty() ? name_
                                                         : options_.metric_table),
       metrics_(
-          ResolveTableMetrics(metric_table_label_, options_.metric_shard)) {
+          ResolveTableMetrics(metric_table_label_, options_.metric_shard)),
+      lock_waits_(GetWaitStats(metric_table_label_, WaitPoint::kLock)),
+      reorg_waits_(
+          GetWaitStats(metric_table_label_, WaitPoint::kReorgConflict)) {
   primary_dicts_.resize(static_cast<size_t>(schema_.num_columns()));
   for (int c = 0; c < schema_.num_columns(); ++c) {
     if (PhysicalTypeOf(schema_.field(c).type) == PhysicalType::kString) {
@@ -86,8 +89,26 @@ ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
   version_ = std::make_shared<TableVersion>();
 }
 
+std::unique_lock<std::shared_mutex> ColumnStoreTable::LockExclusive() const {
+  std::unique_lock<std::shared_mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    WaitEventScope wait(lock_waits_, WaitPoint::kLock, metric_table_label_);
+    lock.lock();
+  }
+  return lock;
+}
+
+std::shared_lock<std::shared_mutex> ColumnStoreTable::LockShared() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    WaitEventScope wait(lock_waits_, WaitPoint::kLock, metric_table_label_);
+    lock.lock();
+  }
+  return lock;
+}
+
 TableSnapshot ColumnStoreTable::Snapshot() const {
-  std::shared_lock lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock = LockShared();
   version_->snapshotted_.store(true, std::memory_order_relaxed);
   return version_;
 }
@@ -148,7 +169,7 @@ Status ColumnStoreTable::BulkLoad(const TableData& data) {
   // reorg_mutex_) append or replace row groups.
   int64_t base;
   {
-    std::shared_lock lock(mutex_);
+    auto lock = LockShared();
     base = version_->num_row_groups();
   }
   // Build compressed groups with no table lock held.
@@ -168,7 +189,7 @@ Status ColumnStoreTable::BulkLoad(const TableData& data) {
   }
 
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     TableVersion* v = MutableVersion();
     for (auto& group : built) {
       metrics_.rows_inserted->Increment(group->num_rows());
@@ -227,7 +248,7 @@ Status ColumnStoreTable::InsertLocked(TableVersion* v,
 Result<RowId> ColumnStoreTable::Insert(const std::vector<Value>& row) {
   RowId id;
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     VSTORE_RETURN_IF_ERROR(InsertLocked(MutableVersion(), row, &id));
   }
   if (durability_ != nullptr) {
@@ -247,7 +268,7 @@ Result<std::vector<RowId>> ColumnStoreTable::InsertBatch(
   std::vector<RowId> ids;
   ids.reserve(rows.size());
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     TableVersion* v = MutableVersion();
     for (const std::vector<Value>* row : rows) {
       RowId id;
@@ -300,7 +321,7 @@ Status ColumnStoreTable::DeleteLocked(TableVersion* v, RowId id, bool log) {
 
 Status ColumnStoreTable::Delete(RowId id) {
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     VSTORE_RETURN_IF_ERROR(DeleteLocked(MutableVersion(), id));
   }
   if (durability_ != nullptr) {
@@ -318,7 +339,7 @@ Result<RowId> ColumnStoreTable::Update(RowId id, const std::vector<Value>& row) 
   }
   RowId new_id;
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     TableVersion* v = MutableVersion();
     VSTORE_RETURN_IF_ERROR(DeleteLocked(v, id));
     VSTORE_RETURN_IF_ERROR(InsertLocked(v, row, &new_id));
@@ -385,6 +406,8 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
   struct Compacted {
     const DeltaStore* source;
     std::shared_ptr<RowGroup> group;  // null when the store had no live rows
+    int64_t build_start_us = 0;  // per-store build interval: a conflicted
+    int64_t build_end_us = 0;    // install retroactively reports it as waste
   };
   std::vector<Compacted> built;
   int64_t base = snap->num_row_groups();
@@ -393,17 +416,19 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
     bool eligible =
         store.closed() || (include_open && store.num_rows() > 0);
     if (!eligible) continue;
+    Compacted c;
+    c.build_start_us = TraceRing::NowMicros();
     TableData staged(schema_);
     VSTORE_RETURN_IF_ERROR(store.ForEach(
         [&](uint64_t /*rowid*/, const std::vector<Value>& row) {
           staged.AppendRow(row);
         }));
-    Compacted c;
     c.source = &store;
     if (staged.num_rows() > 0) {
       c.group = BuildRowGroup(staged, 0, staged.num_rows(),
                               base + static_cast<int64_t>(built.size()));
     }
+    c.build_end_us = TraceRing::NowMicros();
     built.push_back(std::move(c));
   }
   if (built.empty()) return 0;
@@ -413,7 +438,7 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
   int64_t rows_moved = 0;
   int64_t conflicts = 0;
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     TableVersion* v = MutableVersion();
     std::vector<int64_t> installed_ids;
     for (auto& c : built) {
@@ -424,7 +449,10 @@ Result<int64_t> ColumnStoreTable::CompressDeltaStores(bool include_open,
       }
       if (idx == v->delta_stores_.size()) {
         // The store took writes since the snapshot (copy-on-write replaced
-        // it); drop this rebuild and retry it next pass.
+        // it); drop this rebuild and retry it next pass. The build time was
+        // pure waste — charge it to the reorg_conflict wait point.
+        RecordWaitEvent(reorg_waits_, WaitPoint::kReorgConflict,
+                        metric_table_label_, c.build_start_us, c.build_end_us);
         ++conflicts;
         continue;
       }
@@ -474,6 +502,8 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
     const RowGroup* old_group;
     const DeleteBitmap* old_bitmap;
     std::shared_ptr<RowGroup> group;
+    int64_t build_start_us = 0;
+    int64_t build_end_us = 0;
   };
   std::vector<Rebuilt> rebuilds;
   for (int64_t g = 0; g < snap->num_row_groups(); ++g) {
@@ -485,6 +515,7 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
     if (fraction < threshold || bm.deleted_count() == 0) continue;
 
     // Materialize live rows and rebuild the group, off-lock.
+    int64_t build_start_us = TraceRing::NowMicros();
     TableData staged(schema_);
     for (int64_t r = 0; r < rg.num_rows(); ++r) {
       if (bm.IsDeleted(r)) continue;
@@ -495,8 +526,9 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
       }
       staged.AppendRow(row);
     }
-    rebuilds.push_back(
-        {g, &rg, &bm, BuildRowGroup(staged, 0, staged.num_rows(), g)});
+    rebuilds.push_back({g, &rg, &bm,
+                        BuildRowGroup(staged, 0, staged.num_rows(), g),
+                        build_start_us, TraceRing::NowMicros()});
   }
   if (rebuilds.empty()) return 0;
   if (reorg_hook_for_testing_) reorg_hook_for_testing_();
@@ -505,7 +537,7 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
   int64_t rows_kept = 0;
   int64_t conflicts = 0;
   {
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     TableVersion* v = MutableVersion();
     std::vector<int64_t> installed_groups;
     for (auto& r : rebuilds) {
@@ -514,7 +546,9 @@ Result<int64_t> ColumnStoreTable::RemoveDeletedRows(double threshold,
           v->delete_bitmaps_[g].get() != r.old_bitmap) {
         // Deletes landed on this group during the rebuild (copy-on-write
         // replaced its bitmap); installing would resurrect them. Retry next
-        // pass.
+        // pass, charging the wasted rebuild to the reorg_conflict point.
+        RecordWaitEvent(reorg_waits_, WaitPoint::kReorgConflict,
+                        metric_table_label_, r.build_start_us, r.build_end_us);
         ++conflicts;
         continue;
       }
@@ -601,14 +635,14 @@ void ColumnStoreTable::RefreshStorageGauges() const {
 // --- Durability and recovery ---------------------------------------------
 
 void ColumnStoreTable::AttachDurabilityHook(TableDurabilityHook* hook) {
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   durability_ = hook;
 }
 
 Result<ColumnStoreTable::CheckpointState>
 ColumnStoreTable::CaptureCheckpointState(
     const std::function<Status()>& rotate) {
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   // The captured version may still receive in-place mutations from later
   // writers unless it is marked snapshotted, exactly as in Snapshot().
   version_->snapshotted_.store(true, std::memory_order_relaxed);
@@ -628,7 +662,7 @@ Status ColumnStoreTable::RecoverInstallState(RecoveredState state) {
     return Status::Internal("recovery: inconsistent checkpoint state for " +
                             name_);
   }
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   auto v = std::make_shared<TableVersion>();
   v->row_groups_ = std::move(state.row_groups);
   v->generations_ = std::move(state.generations);
@@ -660,7 +694,7 @@ Status ColumnStoreTable::RecoverInsert(RowId id, const std::vector<Value>& row) 
   if (!IsDeltaRowId(id)) {
     return Status::Internal("recovery: logged insert id is not a delta rowid");
   }
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   // Restore the sequence the original assignment drew from, then run the
   // normal insert path: the store open/close layout replays exactly because
   // the log preserves commit order.
@@ -675,14 +709,14 @@ Status ColumnStoreTable::RecoverInsert(RowId id, const std::vector<Value>& row) 
 }
 
 Status ColumnStoreTable::RecoverDelete(RowId id) {
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   return DeleteLocked(MutableVersion(), id, /*log=*/false);
 }
 
 Status ColumnStoreTable::RecoverCompressStores(
     const std::vector<int64_t>& store_ids) {
   std::lock_guard<std::mutex> reorg(reorg_mutex_);
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   TableVersion* v = MutableVersion();
   for (int64_t store_id : store_ids) {
     size_t idx = 0;
@@ -720,7 +754,7 @@ Status ColumnStoreTable::RecoverCompressStores(
 Status ColumnStoreTable::RecoverRebuildGroups(
     const std::vector<int64_t>& groups) {
   std::lock_guard<std::mutex> reorg(reorg_mutex_);
-  std::unique_lock lock(mutex_);
+  auto lock = LockExclusive();
   TableVersion* v = MutableVersion();
   for (int64_t g : groups) {
     if (g < 0 || g >= v->num_row_groups()) {
@@ -758,32 +792,32 @@ void ColumnStoreTable::ReconcileMetricsAfterRecovery() {
 // --- Current-version convenience accessors ------------------------------
 
 int64_t ColumnStoreTable::num_row_groups() const {
-  std::shared_lock lock(mutex_);
+  auto lock = LockShared();
   return version_->num_row_groups();
 }
 
 const RowGroup& ColumnStoreTable::row_group(int64_t i) const {
-  std::shared_lock lock(mutex_);
+  auto lock = LockShared();
   return version_->row_group(i);
 }
 
 const DeleteBitmap& ColumnStoreTable::delete_bitmap(int64_t i) const {
-  std::shared_lock lock(mutex_);
+  auto lock = LockShared();
   return version_->delete_bitmap(i);
 }
 
 uint32_t ColumnStoreTable::generation(int64_t i) const {
-  std::shared_lock lock(mutex_);
+  auto lock = LockShared();
   return version_->generation(i);
 }
 
 int64_t ColumnStoreTable::num_delta_stores() const {
-  std::shared_lock lock(mutex_);
+  auto lock = LockShared();
   return version_->num_delta_stores();
 }
 
 const DeltaStore& ColumnStoreTable::delta_store(int64_t i) const {
-  std::shared_lock lock(mutex_);
+  auto lock = LockShared();
   return version_->delta_store(i);
 }
 

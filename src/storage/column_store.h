@@ -12,6 +12,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/span_trace.h"
 #include "common/status.h"
 #include "storage/delete_bitmap.h"
 #include "storage/delta_store.h"
@@ -421,6 +422,12 @@ class ColumnStoreTable {
                       RowId* id, bool log = true);
   Status DeleteLocked(TableVersion* v, RowId id, bool log = true);
 
+  // mutex_ acquisition with wait attribution: try-lock first (the
+  // uncontended path pays nothing), and only a genuinely blocked acquire
+  // records a {table=,point=lock} wait event.
+  std::unique_lock<std::shared_mutex> LockExclusive() const;
+  std::shared_lock<std::shared_mutex> LockShared() const;
+
   std::string name_;
   Schema schema_;
   Options options_;
@@ -439,6 +446,11 @@ class ColumnStoreTable {
   int64_t next_delta_id_ = 0;
 
   TableMetrics metrics_;
+  // Wait-metric handles for this table, resolved once at construction:
+  // lock_waits_ feeds blocked mutex_ acquisitions, reorg_waits_ feeds the
+  // build time wasted by a reorg-install conflict.
+  WaitStats lock_waits_;
+  WaitStats reorg_waits_;
   std::function<void()> reorg_hook_for_testing_;
 
   // Durable layer wiring (see TableDurabilityHook).

@@ -238,6 +238,7 @@ Status DurableTable::Recover() {
   next_lsn_ = max_lsn + 1;
   VSTORE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
                           WalWriter::Create(WalPath(wal_epoch_), wal_epoch_));
+  wal->EnableWaitAttribution(table_->metric_table_label());
   VSTORE_RETURN_IF_ERROR(SyncDir(dir_));
   {
     std::lock_guard<std::mutex> lock(wal_mu_);
@@ -319,6 +320,7 @@ Status DurableTable::Checkpoint() {
     VSTORE_ASSIGN_OR_RETURN(
         std::unique_ptr<WalWriter> fresh,
         WalWriter::Create(WalPath(old_epoch + 1), old_epoch + 1));
+    fresh->EnableWaitAttribution(table_->metric_table_label());
     VSTORE_RETURN_IF_ERROR(SyncDir(dir_));
     {
       std::lock_guard<std::mutex> lock(wal_mu_);

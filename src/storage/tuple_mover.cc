@@ -36,7 +36,10 @@ TupleMover::TupleMover(ColumnStoreTable* table, Options options)
 }
 
 Result<int64_t> TupleMover::RunOnce() {
-  ScopedTrace trace("mover_pass", "mover");
+  // Per-table trace name: merged onto a query's Chrome-trace timeline
+  // (TraceToChromeJson with include_trace_ring), the pass that stalled a
+  // scan is identifiable by table.
+  ScopedTrace trace("mover_pass:" + table_->metric_table_label(), "mover");
   auto start = std::chrono::steady_clock::now();
 
   ColumnStoreTable::ReorgStats compress_stats;

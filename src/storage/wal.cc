@@ -60,8 +60,25 @@ Status WalWriter::Append(const WalRecord& record) {
   return Status::OK();
 }
 
+void WalWriter::EnableWaitAttribution(std::string table_label) {
+  wait_table_label_ = std::move(table_label);
+  fsync_waits_ = GetWaitStats(wait_table_label_, WaitPoint::kFsync);
+}
+
 Status WalWriter::SyncTo(uint64_t lsn) {
   std::unique_lock<std::mutex> lock(sync_mu_);
+  if (!sticky_sync_error_.ok()) return sticky_sync_error_;
+  // Covered by an earlier group fsync: no durability work, no wait event.
+  if (synced_lsn_ >= lsn) return Status::OK();
+  // Everything past here blocks — either performing the fsync or waiting
+  // for the in-flight leader to cover us. One wait event spans the whole
+  // stay, including the rare re-fsync retry.
+  WaitEventScope wait(fsync_waits_, WaitPoint::kFsync, wait_table_label_);
+  return SyncToLocked(lsn, lock);
+}
+
+Status WalWriter::SyncToLocked(uint64_t lsn,
+                               std::unique_lock<std::mutex>& lock) {
   for (;;) {
     if (!sticky_sync_error_.ok()) return sticky_sync_error_;
     if (synced_lsn_ >= lsn) return Status::OK();
@@ -90,10 +107,9 @@ Status WalWriter::SyncTo(uint64_t lsn) {
   sync_cv_.notify_all();
   if (!st.ok()) return st;
   if (synced_lsn_ >= lsn) return Status::OK();
-  // Rare: `lsn` was appended after our high-water capture; loop via a
-  // recursive-free retry.
-  lock.unlock();
-  return SyncTo(lsn);
+  // Rare: `lsn` was appended after our high-water capture; retry with the
+  // lock still held (the loop above re-checks every condition).
+  return SyncToLocked(lsn, lock);
 }
 
 Status WalWriter::Close() {

@@ -11,6 +11,7 @@
 
 #include "common/io.h"
 #include "common/macros.h"
+#include "common/span_trace.h"
 #include "common/status.h"
 
 namespace vstore {
@@ -67,6 +68,11 @@ class WalWriter {
   // One caller performs the fsync for all concurrently waiting committers.
   Status SyncTo(uint64_t lsn);
 
+  // Attributes SyncTo blocking to the {table=,point=fsync} wait family (and
+  // to the traced query on the committing thread, if any). A committer whose
+  // lsn was already covered by an earlier group fsync records nothing.
+  void EnableWaitAttribution(std::string table_label);
+
   // Fsyncs everything appended so far and closes the file.
   Status Close();
 
@@ -83,7 +89,13 @@ class WalWriter {
  private:
   WalWriter() = default;
 
+  // SyncTo body once the fast path (already synced) has been ruled out;
+  // `lock` holds sync_mu_ on entry and on return.
+  Status SyncToLocked(uint64_t lsn, std::unique_lock<std::mutex>& lock);
+
   std::unique_ptr<File> file_;
+  std::string wait_table_label_;
+  WaitStats fsync_waits_;
   std::atomic<uint64_t> last_appended_lsn_{0};
   std::atomic<int64_t> bytes_appended_{0};
 

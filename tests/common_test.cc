@@ -7,6 +7,7 @@
 #include "common/bit_util.h"
 #include "common/hash.h"
 #include "common/random.h"
+#include "common/json_util.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -260,6 +261,83 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
 TEST(ThreadPoolTest, WaitIdleWithNoTasks) {
   ThreadPool pool(2);
   pool.WaitIdle();  // must not hang
+}
+
+// --- JSON validator --------------------------------------------------------
+// Every JSON renderer in the tree (EXPLAIN ANALYZE, metrics, Chrome traces,
+// slow-query capture) is gated on this checker, so the checker itself needs
+// evidence on both sides: real documents pass, and each class of sloppy
+// hand-rolled output a renderer could emit is rejected.
+
+TEST(JsonValidateTest, AcceptsValidDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "-12.5e+3",
+           "\"plain\"",
+           "\"esc \\\" \\\\ \\n \\u00e9\"",
+           "{\"a\":1,\"b\":[1,2,{\"c\":null}],\"d\":\"x\"}",
+           "  [ 1 , 2.0 , \"three\" ]  ",
+           "{\"nested\":{\"deep\":[[[{\"ok\":true}]]]}}",
+       }) {
+    std::string error;
+    EXPECT_TRUE(JsonValidate(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonValidateTest, RejectsMalformedDocuments) {
+  struct Case {
+    const char* doc;
+    const char* why;
+  };
+  for (const Case& c : {
+           Case{"", "empty document"},
+           Case{"{\"a\":1,}", "trailing comma in object"},
+           Case{"[1,2,]", "trailing comma in array"},
+           Case{"[1,,2]", "double comma"},
+           Case{"{a:1}", "unquoted key"},
+           Case{"{\"a\" 1}", "missing colon"},
+           Case{"{\"a\":1", "unterminated object"},
+           Case{"[1,2", "unterminated array"},
+           Case{"\"raw \n newline\"", "unescaped control char in string"},
+           Case{"\"bad \\x escape\"", "invalid escape"},
+           Case{"\"bad \\u12g4\"", "non-hex unicode escape"},
+           Case{"\"unterminated", "unterminated string"},
+           Case{"01", "leading zero"},
+           Case{"1.", "digit required after decimal point"},
+           Case{"1e", "digit required in exponent"},
+           Case{"truthy", "invalid literal"},
+           Case{"{} extra", "trailing garbage"},
+           Case{"[1] [2]", "two documents"},
+       }) {
+    std::string error;
+    EXPECT_FALSE(JsonValidate(c.doc, &error)) << c.why << ": " << c.doc;
+    EXPECT_FALSE(error.empty()) << c.why;
+    EXPECT_NE(error.find("offset"), std::string::npos) << c.why;
+  }
+}
+
+TEST(JsonValidateTest, RejectsHostileNestingDepth) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  std::string error;
+  EXPECT_FALSE(JsonValidate(deep, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonValidateTest, EscapeRoundTripsThroughValidator) {
+  // JsonEscape's output inside quotes must always validate, including for
+  // strings full of quotes, backslashes, and control bytes.
+  std::string hostile = "quote\" back\\slash \n\t\r \x01\x02 end";
+  std::string doc = "{";
+  AppendJsonString("key\"evil", &doc);
+  doc += ":";
+  AppendJsonString(hostile, &doc);
+  doc += "}";
+  std::string error;
+  EXPECT_TRUE(JsonValidate(doc, &error)) << error << "\n" << doc;
 }
 
 }  // namespace

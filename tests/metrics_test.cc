@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <map>
 #include <thread>
 #include <vector>
 
 #include "common/json_util.h"
 #include "common/metrics.h"
+#include "common/span_trace.h"
 #include "query/executor.h"
 #include "storage/tuple_mover.h"
 #include "test_util.h"
@@ -611,7 +613,10 @@ TEST(MetricsTest, MoverPassRecordsHistogramCountersAndTraces) {
   bool saw_pass = false;
   bool saw_compress = false;
   for (const TraceEvent& e : TraceRing::Global().Snapshot()) {
-    if (e.name == "mover_pass" && e.category == "mover") saw_pass = true;
+    // Pass spans carry the table so concurrent movers are tellable apart.
+    if (e.name == "mover_pass:metrics_mover_tbl" && e.category == "mover") {
+      saw_pass = true;
+    }
     if (e.name == "compress_delta_stores" && e.category == "reorg") {
       saw_compress = true;
     }
@@ -619,6 +624,77 @@ TEST(MetricsTest, MoverPassRecordsHistogramCountersAndTraces) {
   EXPECT_TRUE(saw_pass);
   EXPECT_TRUE(saw_compress);
   EXPECT_TRUE(IsBalancedJson(TraceRing::Global().ToChromeJson()));
+}
+
+TEST(MetricsTest, ConcurrentMoverPassesLandOnDistinctTidTracks) {
+  // Two movers on two tables, driven from two threads: their pass events
+  // must carry the recording threads' ids, and ToChromeJson must map them
+  // to two *distinct* tid tracks (regression: thread_id used to be left 0
+  // on ScopedTrace events, folding all spans onto one track).
+  TraceRing ring(/*capacity_per_stripe=*/64);
+  auto run_passes = [&ring](const char* table_name) {
+    TableData data = MakeTestTable(600);
+    ColumnStoreTable::Options options;
+    options.row_group_size = 500;
+    options.min_compress_rows = 50;
+    ColumnStoreTable table(table_name, data.schema(), options);
+    for (int64_t i = 0; i < 600; ++i) {
+      ASSERT_TRUE(table.Insert(data.GetRow(i)).ok());
+    }
+    ScopedTrace pass(std::string("mover_pass:") + table_name, "mover", &ring);
+    ASSERT_TRUE(table.CompressDeltaStores(true).ok());
+  };
+  std::thread a([&] { run_passes("tid_tbl_a"); });
+  std::thread b([&] { run_passes("tid_tbl_b"); });
+  a.join();
+  b.join();
+
+  std::map<std::string, uint64_t> pass_tids;
+  for (const TraceEvent& e : ring.Snapshot()) {
+    EXPECT_NE(e.thread_id, 0u) << e.name;
+    if (e.name.rfind("mover_pass:", 0) == 0) pass_tids[e.name] = e.thread_id;
+  }
+  ASSERT_EQ(pass_tids.size(), 2u);
+  EXPECT_NE(pass_tids["mover_pass:tid_tbl_a"],
+            pass_tids["mover_pass:tid_tbl_b"]);
+
+  // The Chrome export renumbers them compactly but keeps them distinct:
+  // both "tid":1 and "tid":2 appear.
+  std::string json = ring.ToChromeJson();
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, WaitMetricLabelsSurviveHostileTableNames) {
+  // The {table=,point=} wait families must round-trip a hostile table name
+  // through both expositions: quotes/backslashes/newlines in the table
+  // label may not split a text line or corrupt the JSON document.
+  const std::string evil = "wait\"evil\nta\\ble";
+  WaitStats stats = GetWaitStats(evil, WaitPoint::kLock);
+  ASSERT_NE(stats.total, nullptr);
+  ASSERT_NE(stats.wait_ns, nullptr);
+  stats.total->Increment();
+  stats.wait_ns->Observe(1234);
+
+  std::string text = MetricsToText();
+  EXPECT_NE(
+      text.find(
+          "vstore_wait_total{table=\"wait\\\"evil\\nta\\\\ble\",point=\"lock\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find(
+          "vstore_wait_ns_bucket{table=\"wait\\\"evil\\nta\\\\ble\",point=\"lock\",le="),
+      std::string::npos)
+      << text;
+  // No raw newline escaped the label value (it would split the sample).
+  EXPECT_EQ(text.find("evil\nta"), std::string::npos);
+
+  std::string json = MetricsToJson();
+  EXPECT_TRUE(IsBalancedJson(json)) << json;
+  EXPECT_NE(json.find("wait\\\"evil\\nta\\\\ble"), std::string::npos) << json;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(json, &error)) << error;
 }
 
 // --- Query wiring ---------------------------------------------------------

@@ -1,0 +1,199 @@
+// ThreadSanitizer-targeted stress test for live query inspection: reader
+// threads poll sys.active_queries and sys.slow_queries while a query pump
+// keeps traced queries in flight, a churner runs DML against the base
+// table (forcing blocked lock acquisitions -> wait events), and a live
+// TupleMover compacts underneath (reorg conflicts, ring traces). The
+// registry hands out shared_ptr entries and every per-query counter is a
+// relaxed atomic, so every view read must succeed and stay internally
+// consistent no matter how the in-flight set shifts. Build with
+// -DVSTORE_SANITIZE=thread; the ctest label "stress" schedules it with
+// the other sanitizer suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/span_trace.h"
+#include "query/executor.h"
+#include "query/query_store.h"
+#include "storage/column_store.h"
+#include "storage/tuple_mover.h"
+
+namespace vstore {
+namespace {
+
+constexpr int64_t kInitialRows = 4000;
+constexpr int64_t kRowGroupSize = 500;
+
+int RunsPerThread() {
+  const char* v = std::getenv("VSTORE_STRESS_REPEATS");
+  int n = v == nullptr ? 25 : std::atoi(v);
+  return n > 0 ? n : 25;
+}
+
+struct StressFixture {
+  Catalog catalog;
+  ColumnStoreTable* table = nullptr;
+
+  StressFixture() {
+    Schema schema({{"id", DataType::kInt64, false},
+                   {"v", DataType::kInt64, false}});
+    TableData data(schema);
+    for (int64_t id = 0; id < kInitialRows; ++id) {
+      data.column(0).AppendInt64(id);
+      data.column(1).AppendInt64(id % 7);
+    }
+    ColumnStoreTable::Options options;
+    options.row_group_size = kRowGroupSize;
+    options.min_compress_rows = 50;
+    auto cs = std::make_unique<ColumnStoreTable>("trace_stress_tbl", schema,
+                                                 options);
+    cs->BulkLoad(data).CheckOK();
+    catalog.AddColumnStore(std::move(cs)).CheckOK();
+    table = catalog.GetColumnStore("trace_stress_tbl");
+  }
+};
+
+TEST(QueryTraceStressTest, LiveInspectionStaysConsistentUnderChurn) {
+  StressFixture f;
+  ColumnStoreTable* table = f.table;
+  QueryStore::Global().ResetForTesting();
+  SlowQueryLog::Global().ResetForTesting();
+  SlowQueryLog::Global().set_threshold_us(0);  // capture the pump's queries
+
+  std::atomic<bool> stop{false};
+
+  TupleMover::Options mover_options;
+  mover_options.rebuild_deleted_fraction = 0.2;
+  TupleMover mover(table, mover_options);
+  mover.Start(std::chrono::milliseconds(2));
+
+  const int runs = RunsPerThread();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+
+  // --- Query pump: traced parallel queries stay in flight ---------------
+  auto query_pump = [&] {
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, "trace_stress_tbl");
+    b.Aggregate({}, {{AggFn::kSum, "v", "sum_v"},
+                     {AggFn::kCountStar, "", "cnt"}});
+    PlanPtr plan = b.Build();
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.dop = (i++ % 2 == 0) ? 1 : 2;  // exercise fragment recording
+      QueryExecutor exec(&f.catalog, options);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      ASSERT_EQ(result.rows_returned, 1);
+      ASSERT_TRUE(result.trace.valid);
+      // Snapshot() ran after the fragments joined; the tree is complete.
+      ASSERT_EQ(result.trace.span_count, result.trace.root.TreeSize());
+      for (int64_t ns : result.trace.wait_ns) ASSERT_GE(ns, 0);
+    }
+  };
+
+  // --- Live-view readers ------------------------------------------------
+  auto active_queries_reader = [&](int which) {
+    PlanPtr plan = PlanBuilder::Scan(f.catalog, "sys.active_queries").Build();
+    for (int r = 0; r < runs || std::chrono::steady_clock::now() < deadline;
+         ++r) {
+      QueryExecutor exec(&f.catalog);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      const Schema& schema = result.schema;
+      int id_col = schema.IndexOf("query_id");
+      int elapsed_col = schema.IndexOf("elapsed_us");
+      int rows_col = schema.IndexOf("rows_produced");
+      // This query registers itself mid-compile, so the view is never
+      // empty, and every row's counters are sane mid-flight values.
+      ASSERT_GE(result.rows_returned, 1) << "reader " << which << " run " << r;
+      bool saw_self = false;
+      for (int64_t i = 0; i < result.data.num_rows(); ++i) {
+        ASSERT_GT(result.data.column(id_col).GetInt64(i), 0);
+        ASSERT_GE(result.data.column(elapsed_col).GetInt64(i), 0);
+        ASSERT_GE(result.data.column(rows_col).GetInt64(i), 0);
+        if (result.data.column(id_col).GetInt64(i) ==
+            static_cast<int64_t>(result.query_id)) {
+          saw_self = true;
+        }
+      }
+      ASSERT_TRUE(saw_self) << "reader " << which << " run " << r;
+    }
+  };
+
+  auto slow_queries_reader = [&](int which) {
+    PlanPtr plan = PlanBuilder::Scan(f.catalog, "sys.slow_queries").Build();
+    for (int r = 0; r < runs || std::chrono::steady_clock::now() < deadline;
+         ++r) {
+      QueryExecutor exec(&f.catalog);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      const Schema& schema = result.schema;
+      int elapsed_col = schema.IndexOf("elapsed_us");
+      int trace_col = schema.IndexOf("trace_json");
+      for (int64_t i = 0; i < result.data.num_rows(); ++i) {
+        ASSERT_GE(result.data.column(elapsed_col).GetInt64(i), 0)
+            << "reader " << which << " run " << r;
+        // Entries are copied out under the log's mutex — never torn.
+        ASSERT_FALSE(result.data.column(trace_col).GetString(i).empty());
+      }
+    }
+  };
+
+  // --- Churner: DML contending on the table lock ------------------------
+  auto churner = [&] {
+    Random rng(303);
+    int64_t next_id = 1000000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      table->Insert({Value::Int64(next_id), Value::Int64(next_id % 7)})
+          .status()
+          .CheckOK();
+      ++next_id;
+      if (rng.Next() % 4 == 0) {
+        int64_t group = static_cast<int64_t>(rng.Next() % 8);
+        int64_t offset = static_cast<int64_t>(rng.Next() % kRowGroupSize);
+        RowId id =
+            MakeCompressedRowId(group, offset, table->generation(group));
+        Status st = table->Delete(id);
+        ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.emplace_back(active_queries_reader, 0);
+  readers.emplace_back(slow_queries_reader, 1);
+  std::thread pump_thread(query_pump);
+  std::thread churn_thread(churner);
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  pump_thread.join();
+  churn_thread.join();
+  ASSERT_TRUE(mover.Stop().ok());
+
+  // Post-quiescence: nothing is left in the registry, and the slow-query
+  // log captured the pump's traced executions with honest accounting.
+  EXPECT_TRUE(ActiveQueryRegistry::Global().List().empty());
+  auto entries = SlowQueryLog::Global().Snapshot();
+  ASSERT_FALSE(entries.empty());
+  for (const auto& e : entries) {
+    EXPECT_GT(e.query_id, 0u);
+    EXPECT_GE(e.elapsed_us, 0);
+    EXPECT_FALSE(e.trace_json.empty());
+  }
+  // The pump's fingerprint aggregated wait breakdowns without tearing.
+  auto stats = QueryStore::Global().Snapshot();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_GE(stats[0].counters.wait_lock_us, 0);
+
+  SlowQueryLog::Global().set_threshold_us(100 * 1000);
+  SlowQueryLog::Global().ResetForTesting();
+}
+
+}  // namespace
+}  // namespace vstore

@@ -39,10 +39,11 @@ run_one() {
     # adds cross-shard updates and per-shard movers under scatter-gather
     # scans, and the system-views test that materializes DMVs under churn)
     # plus everything exercising the exchange, the relaxed-atomic metrics
-    # registry, and the Query Store's shared fingerprint map; add "$@" to
-    # widen.
+    # registry, the Query Store's shared fingerprint map, and the query
+    # tracer (lock-free span append from fragment threads, the active-query
+    # registry, the slow-query ring); add "$@" to widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded|wal|durable' "$@"
+        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded|wal|durable|trace' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
     # The expression fuzzer is single-threaded, but the bytecode program
     # cache it hits is the one shared across parallel fragments — keep the
