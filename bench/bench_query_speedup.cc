@@ -205,6 +205,68 @@ int main() {
     }
   }
 
+  // --- Memory-accounting overhead (acceptance: <3% on batch-mode TPC-H) ---
+  // Same discipline as the tracer gate above: memory tracking is on by
+  // default, so the relaxed-atomic charge path (arena blocks, hash-table
+  // bucket arrays, sort buffers, exchange queues) must also stay in the
+  // noise. Arms are interleaved per query, best-of across two rounds.
+  {
+    auto best_ms = [&](const PlanPtr& plan, bool track_on) {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.track_memory = track_on;
+      QueryExecutor exec(&catalog, options);
+      return bench::TimeMs(
+          [&] { exec.Execute(plan).status().CheckOK(); }, 5);
+    };
+    double off_ms = 0;
+    double on_ms = 0;
+    for (const auto& named : tpch::AllQueries(catalog)) {
+      double off = best_ms(named.plan, false);
+      double on = best_ms(named.plan, true);
+      off = std::min(off, best_ms(named.plan, false));
+      on = std::min(on, best_ms(named.plan, true));
+      off_ms += off;
+      on_ms += on;
+    }
+    double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    std::printf(
+        "\nmemory-accounting overhead: track-off %.2f ms, track-on %.2f ms "
+        "-> %.2f%% (target < 3%%)\n",
+        off_ms, on_ms, overhead_pct);
+    if (bench::ProfileJsonEnabled()) {
+      std::printf(
+          "PROFILE_JSON {\"label\":\"mem_overhead\",\"mem_off_ms\":%.3f,"
+          "\"mem_on_ms\":%.3f,\"mem_overhead_pct\":%.2f}\n",
+          off_ms, on_ms, overhead_pct);
+    }
+  }
+
+  // --- Per-query peak memory (VSTORE_BENCH_METRICS=1) ---------------------
+  // The memory-attribution columns: per-query tracker peak and spill
+  // bytes at dop 1 and dop 4, the numbers sys.query_stats folds per
+  // fingerprint.
+  if (bench::MetricsJsonEnabled()) {
+    std::printf("\n%-5s %14s %14s %12s\n", "query", "peak dop1", "peak dop4",
+                "spill");
+    for (const auto& named : tpch::AllQueries(catalog)) {
+      int64_t peak[2] = {0, 0};
+      int64_t spill = 0;
+      for (int i = 0; i < 2; ++i) {
+        QueryOptions options;
+        options.mode = ExecutionMode::kBatch;
+        options.dop = i == 0 ? 1 : 4;
+        QueryExecutor exec(&catalog, options);
+        QueryResult result = exec.Execute(named.plan).ValueOrDie();
+        peak[i] = result.peak_memory_bytes;
+        spill += result.spill_bytes;
+      }
+      std::printf("%-5s %12.2fMB %12.2fMB %10lldB\n", named.name.c_str(),
+                  bench::MiB(peak[0]), bench::MiB(peak[1]),
+                  static_cast<long long>(spill));
+    }
+  }
+
   // --- Span-tree export (VSTORE_BENCH_TRACE=1) ----------------------------
   // Dumps the Chrome-trace span tree of the dop-4 join query: one line to
   // redirect into a .json and load in chrome://tracing (see README). The

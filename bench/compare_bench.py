@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Bench baseline harness: compare PROFILE_JSON lines against a committed
+baseline and enforce the overhead gates.
+
+The benches emit one machine-readable line per measured configuration when
+VSTORE_BENCH_PROFILE=1:
+
+    PROFILE_JSON {"label":"q1/batch","elapsed_ms":12.345,...}
+    PROFILE_JSON {"label":"trace_overhead","trace_overhead_pct":0.8,...}
+    PROFILE_JSON {"label":"mem_overhead","mem_overhead_pct":1.1,...}
+
+Typical use (from the repo root, after building into build/):
+
+    # Record a baseline (commits BENCH_BASELINE.json):
+    VSTORE_BENCH_PROFILE=1 build/bench_query_speedup > /tmp/bench.out
+    VSTORE_BENCH_PROFILE=1 build/bench_operators   >> /tmp/bench.out
+    bench/compare_bench.py --update /tmp/bench.out
+
+    # Compare a fresh run against the committed baseline:
+    bench/compare_bench.py /tmp/bench.out
+
+Latency comparisons are advisory by default (wall-clock numbers shift with
+the host; the committed baseline mainly documents the shape) and become
+failing with --max-regress. The overhead gates are always enforced: the
+tracer and memory-accounting arms are self-relative on the same host in
+the same run, so they are machine-independent and must stay under
+--max-overhead-pct (default 3, the acceptance threshold).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__) or ".",
+                                "BENCH_BASELINE.json")
+
+# Labels whose PROFILE_JSON line carries a self-relative overhead
+# percentage instead of a latency; always enforced.
+OVERHEAD_GATES = {
+    "trace_overhead": "trace_overhead_pct",
+    "mem_overhead": "mem_overhead_pct",
+}
+
+
+def parse_profile_lines(stream):
+    """Returns {label: record} for every PROFILE_JSON line in stream."""
+    records = {}
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("PROFILE_JSON "):
+            continue
+        try:
+            record = json.loads(line[len("PROFILE_JSON "):])
+        except json.JSONDecodeError as err:
+            print(f"warning: unparseable PROFILE_JSON line: {err}",
+                  file=sys.stderr)
+            continue
+        label = record.get("label")
+        if label:
+            records[label] = record
+    return records
+
+
+def baseline_entry(record):
+    """The stable subset of a record worth committing."""
+    entry = {}
+    for key in ("elapsed_ms", "dop_scaling", "trace_overhead_pct",
+                "mem_overhead_pct"):
+        if key in record:
+            entry[key] = record[key]
+    return entry
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run_output", nargs="?", default="-",
+                        help="bench stdout to parse (default: stdin)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--max-overhead-pct", type=float, default=3.0,
+                        help="overhead-gate ceiling, percent (default 3)")
+    parser.add_argument("--max-regress", type=float, default=None,
+                        metavar="PCT",
+                        help="fail when a label's elapsed_ms regresses more "
+                             "than PCT%% vs baseline (off by default: "
+                             "wall-clock baselines are host-relative)")
+    args = parser.parse_args()
+
+    if args.run_output == "-":
+        records = parse_profile_lines(sys.stdin)
+    else:
+        with open(args.run_output, encoding="utf-8") as f:
+            records = parse_profile_lines(f)
+    if not records:
+        print("error: no PROFILE_JSON lines found "
+              "(run the bench with VSTORE_BENCH_PROFILE=1)", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    # Overhead gates: always enforced, baseline or not.
+    for label, key in OVERHEAD_GATES.items():
+        record = records.get(label)
+        if record is None or key not in record:
+            print(f"note: no {label} line in this run")
+            continue
+        pct = record[key]
+        verdict = "OK" if pct < args.max_overhead_pct else "FAIL"
+        print(f"{label}: {pct:.2f}% (limit {args.max_overhead_pct:.1f}%) "
+              f"{verdict}")
+        if pct >= args.max_overhead_pct:
+            failures.append(f"{label} {pct:.2f}% >= "
+                            f"{args.max_overhead_pct:.1f}%")
+
+    if args.update:
+        baseline = {label: baseline_entry(record)
+                    for label, record in sorted(records.items())}
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {len(baseline)} labels to {args.baseline}")
+        return 1 if failures else 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"error: no baseline at {args.baseline} "
+              "(record one with --update)", file=sys.stderr)
+        return 2
+
+    regressed = 0
+    improved = 0
+    missing = [label for label in baseline if label not in records]
+    for label in sorted(records):
+        base = baseline.get(label)
+        if base is None or "elapsed_ms" not in base:
+            continue
+        now_ms = records[label].get("elapsed_ms")
+        if now_ms is None:
+            continue
+        base_ms = base["elapsed_ms"]
+        delta_pct = (now_ms - base_ms) / base_ms * 100.0 if base_ms else 0.0
+        marker = ""
+        if args.max_regress is not None and delta_pct > args.max_regress:
+            marker = "  REGRESSION"
+            failures.append(f"{label} +{delta_pct:.1f}% "
+                            f"(limit +{args.max_regress:.1f}%)")
+        if delta_pct > 0:
+            regressed += 1
+        elif delta_pct < 0:
+            improved += 1
+        print(f"{label}: {base_ms:.3f} ms -> {now_ms:.3f} ms "
+              f"({delta_pct:+.1f}%){marker}")
+
+    print(f"\n{improved} faster, {regressed} slower vs baseline; "
+          f"{len(missing)} baseline labels missing from this run")
+    if missing:
+        print("missing: " + ", ".join(sorted(missing)))
+    if failures:
+        print("\nFAILED:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "common/memory_tracker.h"
+
 namespace vstore {
+
+Arena::~Arena() {
+  if (tracker_ != nullptr && bytes_reserved_ > 0) {
+    tracker_->Release(static_cast<int64_t>(bytes_reserved_));
+  }
+}
+
+void Arena::SetMemoryTracker(MemoryTracker* tracker) {
+  if (tracker == tracker_) return;
+  if (tracker_ != nullptr && bytes_reserved_ > 0) {
+    tracker_->Release(static_cast<int64_t>(bytes_reserved_));
+  }
+  tracker_ = tracker;
+  if (tracker_ != nullptr && bytes_reserved_ > 0) {
+    tracker_->Charge(static_cast<int64_t>(bytes_reserved_));
+  }
+}
 
 uint8_t* Arena::Allocate(size_t size, size_t alignment) {
   VSTORE_DCHECK((alignment & (alignment - 1)) == 0);
@@ -26,18 +45,27 @@ uint8_t* Arena::Allocate(size_t size, size_t alignment) {
   size_t offset = (alignment - (base & (alignment - 1))) & (alignment - 1);
   block.used = offset + size;
   bytes_allocated_ += size;
+  bytes_reserved_ += block_size;
+  if (tracker_ != nullptr) {
+    tracker_->Charge(static_cast<int64_t>(block_size));
+  }
   uint8_t* out = block.data.get() + offset;
   blocks_.push_back(std::move(block));
   return out;
 }
 
 void Arena::Reset() {
+  size_t kept = blocks_.empty() ? 0 : blocks_.front().size;
   if (blocks_.size() > 1) {
     Block first = std::move(blocks_.front());
     blocks_.clear();
     blocks_.push_back(std::move(first));
   }
   if (!blocks_.empty()) blocks_.front().used = 0;
+  if (tracker_ != nullptr && bytes_reserved_ > kept) {
+    tracker_->Release(static_cast<int64_t>(bytes_reserved_ - kept));
+  }
+  bytes_reserved_ = kept;
   bytes_allocated_ = 0;
 }
 

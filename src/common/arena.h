@@ -12,15 +12,28 @@
 
 namespace vstore {
 
+class MemoryTracker;
+
 // Bump allocator for short-lived, variable-length data (string payloads in
 // batches, hash-table build rows). Memory is freed all at once on Reset()
 // or destruction. Not thread-safe; each operator owns its own arena.
+//
+// With a MemoryTracker attached, whole blocks are charged as they are
+// malloc'd and released on Reset()/destruction — block granularity keeps
+// the per-Allocate fast path free of accounting.
 class Arena {
  public:
   explicit Arena(size_t initial_block_size = 64 * 1024)
       : next_block_size_(initial_block_size) {}
+  ~Arena();
 
   VSTORE_DISALLOW_COPY_AND_ASSIGN(Arena);
+
+  // Attaches (or detaches, with nullptr) the tracker charged for this
+  // arena's blocks; bytes already held migrate to the new tracker. The
+  // tracker must outlive the arena.
+  void SetMemoryTracker(MemoryTracker* tracker);
+  MemoryTracker* memory_tracker() const { return tracker_; }
 
   // Allocates `size` bytes aligned to `alignment` (power of two).
   uint8_t* Allocate(size_t size, size_t alignment = 8);
@@ -37,6 +50,8 @@ class Arena {
   void Reset();
 
   size_t bytes_allocated() const { return bytes_allocated_; }
+  // Total malloc'd block bytes (what the tracker is charged).
+  size_t bytes_reserved() const { return bytes_reserved_; }
 
  private:
   struct Block {
@@ -48,6 +63,8 @@ class Arena {
   std::vector<Block> blocks_;
   size_t next_block_size_;
   size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+  MemoryTracker* tracker_ = nullptr;
 };
 
 }  // namespace vstore

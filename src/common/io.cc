@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "common/memory_tracker.h"
 #include <mutex>
 
 namespace vstore {
@@ -186,6 +188,7 @@ Status File::Close() {
 MappedFile::~MappedFile() {
   if (data_ != nullptr && size_ > 0) {
     ::munmap(const_cast<uint8_t*>(data_), static_cast<size_t>(size_));
+    MappedMemoryTracker()->Release(size_);
   }
 }
 
@@ -210,6 +213,10 @@ Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
       return err;
     }
     mapped->data_ = static_cast<const uint8_t*>(addr);
+    // Mapped checkpoint bytes are a distinct accounting class: resident at
+    // the kernel's discretion, not heap, so they get their own tracker
+    // node rather than a table/operator charge.
+    MappedMemoryTracker()->Charge(mapped->size_);
   }
   ::close(fd);  // the mapping keeps the file contents pinned
   return mapped;

@@ -1,0 +1,216 @@
+#include "common/memory_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/metrics.h"
+
+namespace vstore {
+
+namespace {
+
+Counter* BudgetExceededCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("vstore_mem_budget_exceeded_total");
+  return c;
+}
+
+Counter* SpillBytesCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("vstore_spill_bytes_total");
+  return c;
+}
+
+}  // namespace
+
+MemoryTracker::MemoryTracker(std::string name, std::string category,
+                             MemoryTracker* parent, std::string table,
+                             std::string shard)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      table_(std::move(table)),
+      shard_(std::move(shard)),
+      parent_(parent) {
+  if (parent_ != nullptr) {
+    std::lock_guard<std::mutex> lock(parent_->children_mu_);
+    parent_->children_.push_back(this);
+  }
+}
+
+MemoryTracker::~MemoryTracker() {
+  // Children must not outlive their parent; by this point current_ is the
+  // residual this node still holds (== local_ when the invariant held).
+  // Hand it back so a leaked charge (e.g. an arena destroyed without
+  // Reset) never wedges the ancestors' totals.
+  int64_t residual = current_.load(std::memory_order_relaxed);
+  if (residual != 0) {
+    for (MemoryTracker* node = parent_; node != nullptr;
+         node = node->parent_) {
+      node->current_.fetch_sub(residual, std::memory_order_relaxed);
+    }
+  }
+  if (parent_ != nullptr) {
+    std::lock_guard<std::mutex> lock(parent_->children_mu_);
+    auto it =
+        std::find(parent_->children_.begin(), parent_->children_.end(), this);
+    if (it != parent_->children_.end()) parent_->children_.erase(it);
+  }
+}
+
+MemoryTracker* MemoryTracker::Process() {
+  static MemoryTracker* root =
+      new MemoryTracker("process", "process", nullptr);
+  return root;
+}
+
+void MemoryTracker::UpdatePeak(int64_t current) {
+  int64_t observed = peak_.load(std::memory_order_relaxed);
+  while (current > observed &&
+         !peak_.compare_exchange_weak(observed, current,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::CheckBudget(int64_t prev, int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t b = budget_.load(std::memory_order_relaxed);
+  if (b <= 0) return;
+  // Fire only on the charge that crosses the line, not on every charge
+  // above it — listeners see one pressure edge per excursion.
+  if (prev <= b && prev + bytes > b) {
+    budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    BudgetExceededCounter()->Increment();
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    for (const auto& entry : listeners_) entry.second();
+  }
+}
+
+void MemoryTracker::Charge(int64_t bytes) {
+  if (bytes == 0) return;
+  local_.fetch_add(bytes, std::memory_order_relaxed);
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    int64_t prev = node->current_.fetch_add(bytes, std::memory_order_relaxed);
+    if (bytes > 0) {
+      node->UpdatePeak(prev + bytes);
+      node->CheckBudget(prev, bytes);
+    }
+  }
+}
+
+void MemoryTracker::SyncLocal(int64_t bytes) {
+  // Single-writer per node (storage refresh points run under the table
+  // lock), so exchange-then-charge-the-delta is race-free here.
+  int64_t prev = local_.load(std::memory_order_relaxed);
+  Charge(bytes - prev);
+}
+
+MemoryTracker* MemoryTracker::BudgetScope() {
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    if (node->budget_.load(std::memory_order_relaxed) > 0) return node;
+  }
+  return this;
+}
+
+int MemoryTracker::AddPressureListener(PressureListener listener) {
+  MemoryTracker* scope = BudgetScope();
+  std::lock_guard<std::mutex> lock(scope->listeners_mu_);
+  int id = scope->next_listener_id_++;
+  scope->listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void MemoryTracker::RemovePressureListener(int id) {
+  MemoryTracker* scope = BudgetScope();
+  std::lock_guard<std::mutex> lock(scope->listeners_mu_);
+  for (auto it = scope->listeners_.begin(); it != scope->listeners_.end();
+       ++it) {
+    if (it->first == id) {
+      scope->listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void MemoryTracker::Collect(std::vector<NodeStats>* out, int depth) const {
+  NodeStats stats;
+  stats.name = name_;
+  stats.category = category_;
+  stats.table = table_;
+  stats.shard = shard_;
+  stats.depth = depth;
+  stats.local_bytes = local();
+  stats.current_bytes = current();
+  stats.peak_bytes = peak();
+  out->push_back(std::move(stats));
+  std::lock_guard<std::mutex> lock(children_mu_);
+  for (const MemoryTracker* child : children_) {
+    child->Collect(out, depth + 1);
+  }
+}
+
+void MemoryReservation::Reset(MemoryTracker* tracker) {
+  if (tracker == tracker_) return;
+  int64_t held = bytes_;
+  Clear();
+  tracker_ = tracker;
+  Set(held);
+}
+
+void MemoryReservation::Set(int64_t bytes) {
+  if (bytes < 0) bytes = 0;
+  if (tracker_ != nullptr && bytes != bytes_) {
+    tracker_->Charge(bytes - bytes_);
+  }
+  bytes_ = bytes;
+}
+
+MemoryTracker* MappedMemoryTracker() {
+  static MemoryTracker* mapped =
+      new MemoryTracker("mapped", "mapped", MemoryTracker::Process());
+  return mapped;
+}
+
+void AddGlobalSpillBytes(int64_t bytes) {
+  if (bytes > 0) SpillBytesCounter()->Increment(bytes);
+}
+
+int64_t GlobalSpillBytes() { return SpillBytesCounter()->Value(); }
+
+int64_t ReadProcessRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long vm_pages = 0;
+  long long rss_pages = 0;
+  int matched = std::fscanf(f, "%lld %lld", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return static_cast<int64_t>(rss_pages) * 4096;
+}
+
+void PublishMemoryGauges() {
+  std::vector<MemoryTracker::NodeStats> nodes;
+  MemoryTracker::Process()->Collect(&nodes);
+  std::map<std::string, int64_t> by_category;
+  for (const auto& node : nodes) {
+    by_category[node.category] += node.local_bytes;
+  }
+  // Categories that vanish (all queries finished) must read 0, not their
+  // last sampled value — remember every category ever published.
+  static std::mutex mu;
+  static std::set<std::string>* seen = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& entry : by_category) seen->insert(entry.first);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const std::string& category : *seen) {
+    auto it = by_category.find(category);
+    registry.GetGauge("vstore_mem_bytes", "category", category)
+        ->Set(it != by_category.end() ? it->second : 0);
+  }
+  registry.GetGauge("vstore_process_rss_bytes")->Set(ReadProcessRssBytes());
+  registry.GetGauge("vstore_mapped_bytes")
+      ->Set(MappedMemoryTracker()->current());
+}
+
+}  // namespace vstore

@@ -1,0 +1,239 @@
+#ifndef VSTORE_COMMON_MEMORY_TRACKER_H_
+#define VSTORE_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vstore {
+
+// Hierarchical memory accounting: process root -> per-query tracker ->
+// per-operator / per-fragment children, with a parallel storage subtree
+// (one node per table, component children for delta stores, dictionaries,
+// delete bitmaps, and mmap'd checkpoint segments as a separate "mapped"
+// class). PR 9 attributed every query's *time* (spans + wait points); this
+// is the same story for *bytes*.
+//
+// Counters and the reconciliation invariant: every node keeps
+//
+//   local    — bytes charged directly at this node,
+//   current  — inclusive total: local plus every descendant's current,
+//   peak     — high-water mark of current (CAS-max),
+//
+// all relaxed atomics. Charge(n) adds to local here and to current on this
+// node and every ancestor, so at every level
+//
+//   current == local + sum(children.current)
+//
+// holds whenever no charge is in flight (the quiescent reconciliation the
+// tests assert). Reads taken mid-charge are never torn but may be mutually
+// inconsistent — the standard relaxed-metrics contract.
+//
+// Budgets and pressure: a node may carry a soft budget. The charge that
+// crosses it (upward) increments vstore_mem_budget_exceeded_total and
+// fires the node's pressure listeners on the charging thread. Listeners
+// must be trivial — set a flag, never allocate tracked memory. Spilling
+// operators register a listener on the query tracker and poll the flag at
+// their existing spill decision points, so memory pressure turns into
+// *policy-driven* spill with bit-identical results (only spill placement
+// changes). over_budget() is also directly pollable.
+//
+// Lifetime: children unregister from their parent on destruction and must
+// not outlive it. The process root is a never-destroyed singleton; query
+// trackers are shared_ptrs owned by the executor frame (operators, which
+// hold child trackers, are destroyed first).
+class MemoryTracker {
+ public:
+  using PressureListener = std::function<void()>;
+
+  // Creates a node under `parent` (nullptr for detached roots in tests).
+  // `category` groups sys.memory rows ("query", "operator", "delta",
+  // "dictionary", "bitmap", "segments", "mapped", ...); table/shard label
+  // storage nodes.
+  MemoryTracker(std::string name, std::string category, MemoryTracker* parent,
+                std::string table = std::string(),
+                std::string shard = std::string());
+  ~MemoryTracker();
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(MemoryTracker);
+
+  // The process-wide root every other tracker descends from.
+  static MemoryTracker* Process();
+
+  // Adds `bytes` (may be negative) to this node's local count and to the
+  // inclusive count of this node and every ancestor.
+  void Charge(int64_t bytes);
+  void Release(int64_t bytes) { Charge(-bytes); }
+
+  // Reconciliation-style update: makes this node's local count exactly
+  // `bytes`, charging or releasing the difference. Storage components call
+  // this from their existing MemoryBytes() refresh points.
+  void SyncLocal(int64_t bytes);
+
+  int64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t local() const { return local_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& category() const { return category_; }
+  const std::string& table() const { return table_; }
+  const std::string& shard() const { return shard_; }
+  MemoryTracker* parent() const { return parent_; }
+
+  // --- Soft budget ---------------------------------------------------------
+
+  // <= 0 means unlimited (the default).
+  void SetBudget(int64_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  int64_t budget() const { return budget_.load(std::memory_order_relaxed); }
+  // True when this node or any ancestor is over its budget — fragment and
+  // operator trackers therefore observe the query-level budget too.
+  bool over_budget() const {
+    for (const MemoryTracker* node = this; node != nullptr;
+         node = node->parent_) {
+      int64_t b = node->budget_.load(std::memory_order_relaxed);
+      if (b > 0 && node->current_.load(std::memory_order_relaxed) > b) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // Number of upward budget crossings observed at this node.
+  int64_t budget_exceeded_count() const {
+    return budget_exceeded_.load(std::memory_order_relaxed);
+  }
+
+  // Listeners fire on the charging thread at every upward budget crossing.
+  // They must be cheap and must not charge tracked memory. Registration is
+  // delegated to BudgetScope() — the nearest budgeted self-or-ancestor,
+  // where crossings actually fire — so operators under a per-fragment
+  // tracker still hear the query budget. Returns an id for
+  // RemovePressureListener (same delegation); listeners must be removed
+  // before anything they capture dies, and budgets must not move between a
+  // listener's add and remove.
+  int AddPressureListener(PressureListener listener);
+  void RemovePressureListener(int id);
+  // Nearest self-or-ancestor with a budget set; `this` when none is.
+  MemoryTracker* BudgetScope();
+
+  // --- Tree walk (sys.memory) ----------------------------------------------
+
+  struct NodeStats {
+    std::string name;
+    std::string category;
+    std::string table;
+    std::string shard;
+    int depth = 0;
+    int64_t local_bytes = 0;    // exclusive: SUM over all rows == root total
+    int64_t current_bytes = 0;  // inclusive subtree total
+    int64_t peak_bytes = 0;
+  };
+  // Preorder snapshot of this subtree. Rows report both local (exclusive)
+  // and current (inclusive) bytes; summing local over every row of a
+  // subtree yields that subtree root's current — the sys.memory
+  // reconciliation check.
+  void Collect(std::vector<NodeStats>* out, int depth = 0) const;
+
+ private:
+  void UpdatePeak(int64_t current);
+  void CheckBudget(int64_t prev, int64_t bytes);
+
+  const std::string name_;
+  const std::string category_;
+  const std::string table_;
+  const std::string shard_;
+  MemoryTracker* const parent_;
+
+  std::atomic<int64_t> local_{0};
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> budget_{0};
+  std::atomic<int64_t> budget_exceeded_{0};
+
+  mutable std::mutex children_mu_;  // guards children_ shape only
+  std::vector<MemoryTracker*> children_;
+
+  std::mutex listeners_mu_;
+  std::vector<std::pair<int, PressureListener>> listeners_;
+  int next_listener_id_ = 1;
+};
+
+// RAII charge against one tracker: Set()/Add() adjust the held amount, the
+// destructor releases whatever remains. A default-constructed or
+// null-tracker reservation is a no-op throughout, which is the cheap
+// "tracking disabled" path.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(MemoryTracker* tracker) : tracker_(tracker) {}
+  ~MemoryReservation() { Clear(); }
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  VSTORE_DISALLOW_COPY_AND_ASSIGN(MemoryReservation);
+
+  // Points the reservation at `tracker`, migrating any held bytes.
+  void Reset(MemoryTracker* tracker);
+
+  void Set(int64_t bytes);
+  void Add(int64_t delta) { Set(bytes_ + delta); }
+  void Clear() { Set(0); }
+
+  int64_t bytes() const { return bytes_; }
+  MemoryTracker* tracker() const { return tracker_; }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+// --- Process-level accounting helpers --------------------------------------
+
+// The "mapped" memory class: mmap'd checkpoint segments, charged by
+// MappedFile. A lazily-created child of the process root.
+MemoryTracker* MappedMemoryTracker();
+
+// Process-wide spill-byte accounting (vstore_spill_bytes_total). Operators
+// add the payload bytes they write to spill partition files.
+void AddGlobalSpillBytes(int64_t bytes);
+int64_t GlobalSpillBytes();
+
+// Resident-set size from /proc/self/statm (0 where unavailable).
+int64_t ReadProcessRssBytes();
+
+// Samples the tracker tree into the metrics registry:
+// vstore_mem_bytes{category=...} (exclusive per-category sums),
+// vstore_process_rss_bytes, vstore_mapped_bytes. Called at
+// Catalog::StatsReport() and when sys.memory materializes — scrape-time
+// sampling, same cadence as the storage gauges.
+void PublishMemoryGauges();
+
+}  // namespace vstore
+
+#endif  // VSTORE_COMMON_MEMORY_TRACKER_H_

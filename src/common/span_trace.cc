@@ -403,6 +403,11 @@ std::vector<ActiveQueryRegistry::Snapshot> ActiveQueryRegistry::List() const {
     s.elapsed_us = std::max<int64_t>(0, now_us - query->start_us);
     s.rows_produced = query->rows_produced.load(std::memory_order_relaxed);
     s.rows_scanned = query->rows_scanned.load(std::memory_order_relaxed);
+    s.mem_current_bytes =
+        query->mem_current_bytes.load(std::memory_order_relaxed);
+    s.mem_peak_bytes = query->mem_peak_bytes.load(std::memory_order_relaxed);
+    s.mem_budget_bytes =
+        query->mem_budget_bytes.load(std::memory_order_relaxed);
     for (int p = 0; p < kNumWaitPoints; ++p) {
       s.wait_us[static_cast<size_t>(p)] =
           query->wait_ns[static_cast<size_t>(p)].load(

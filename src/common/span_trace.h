@@ -304,6 +304,11 @@ struct ActiveQuery {
   std::atomic<int64_t> rows_scanned{0};   // rows decoded by scans
   std::atomic<int> current_wait{-1};      // WaitPoint, -1 when running
   std::array<std::atomic<int64_t>, kNumWaitPoints> wait_ns{};
+  // Live memory attribution (0 when the query runs without tracking):
+  // refreshed from the query's MemoryTracker as batches flow.
+  std::atomic<int64_t> mem_current_bytes{0};
+  std::atomic<int64_t> mem_peak_bytes{0};
+  std::atomic<int64_t> mem_budget_bytes{0};  // 0 = unlimited
 
   void SetPlanSummary(std::string summary) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -343,6 +348,9 @@ class ActiveQueryRegistry {
     int64_t elapsed_us = 0;
     int64_t rows_produced = 0;
     int64_t rows_scanned = 0;
+    int64_t mem_current_bytes = 0;
+    int64_t mem_peak_bytes = 0;
+    int64_t mem_budget_bytes = 0;
     std::array<int64_t, kNumWaitPoints> wait_us{};
   };
   // All live queries, ordered by query id (registration order).

@@ -50,6 +50,16 @@ class ColumnVector {
   // adapter reuses vectors across schemas.
   void ResetType(DataType type);
 
+  // Resident bytes of the typed array + validity mask (string payloads
+  // live in the batch arena, accounted separately).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(ints_.capacity() * sizeof(int64_t) +
+                                doubles_.capacity() * sizeof(double) +
+                                strings_.capacity() *
+                                    sizeof(std::string_view) +
+                                validity_.capacity());
+  }
+
  private:
   DataType type_;
   int64_t capacity_;
@@ -99,6 +109,15 @@ class Batch {
 
   // Clears row content for reuse (does not shrink allocations).
   void Reset();
+
+  // Approximate resident bytes: column storage + active mask + the string
+  // arena. Used by the exchange queue's memory reservation.
+  int64_t MemoryBytes() const {
+    int64_t total = static_cast<int64_t>(active_.capacity());
+    for (const auto& col : columns_) total += col->MemoryBytes();
+    total += static_cast<int64_t>(arena_.bytes_allocated());
+    return total;
+  }
 
   std::vector<Value> GetActiveRow(int64_t i) const;
 

@@ -36,7 +36,14 @@ Status ExchangeOperator::OpenImpl() {
   rows_exchanged_ = 0;
   first_error_ = Status::OK();
   active_producers_ = degree_;
+  if (ctx_->memory_tracker != nullptr && mem_ == nullptr) {
+    mem_ = std::make_unique<MemoryTracker>(name(), "operator",
+                                           ctx_->memory_tracker);
+  }
+  queue_reservation_.Reset(mem_.get());
+  queued_bytes_ = 0;
   fragment_ctxs_.clear();
+  fragment_trackers_.clear();
   for (int i = 0; i < degree_; ++i) {
     auto fctx = std::make_unique<ExecContext>();
     fctx->batch_size = ctx_->batch_size;
@@ -44,6 +51,11 @@ Status ExchangeOperator::OpenImpl() {
     fctx->compile_expressions = ctx_->compile_expressions;
     fctx->trace_recorder = ctx_->trace_recorder;
     fctx->active_query = ctx_->active_query;
+    if (mem_ != nullptr) {
+      fragment_trackers_.push_back(std::make_unique<MemoryTracker>(
+          "fragment:" + std::to_string(i), "fragment", mem_.get()));
+      fctx->memory_tracker = fragment_trackers_.back().get();
+    }
     fragment_ctxs_.push_back(std::move(fctx));
   }
   workers_.reserve(static_cast<size_t>(degree_));
@@ -66,6 +78,8 @@ void ExchangeOperator::Push(std::unique_ptr<Batch> batch) {
     queue_space_.wait(lock, has_space);
   }
   if (cancelled_) return;
+  queued_bytes_ += batch->MemoryBytes();
+  queue_reservation_.Set(queued_bytes_);
   queue_.push(std::move(batch));
   queue_ready_.notify_one();
 }
@@ -148,6 +162,8 @@ Result<Batch*> ExchangeOperator::NextImpl() {
   if (queue_.empty()) return static_cast<Batch*>(nullptr);
   current_ = std::move(queue_.front());
   queue_.pop();
+  queued_bytes_ -= current_->MemoryBytes();
+  queue_reservation_.Set(queued_bytes_);
   rows_exchanged_ += current_->active_count();
   queue_space_.notify_one();
   return current_.get();
@@ -166,6 +182,11 @@ void ExchangeOperator::CloseImpl() {
   workers_.clear();
   std::queue<std::unique_ptr<Batch>>().swap(queue_);
   current_.reset();
+  // Workers are joined: every fragment operator (and its child tracker) is
+  // gone, so the exchange tracker now reflects only residuals.
+  RecordMemoryTracker(mem_.get());
+  queued_bytes_ = 0;
+  queue_reservation_.Clear();
 }
 
 void ExchangeOperator::AppendProfileCounters(OperatorProfile* node) const {

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/operator.h"
 
 namespace vstore {
@@ -71,6 +72,16 @@ class ExchangeOperator final : public BatchOperator {
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<ExecContext>> fragment_ctxs_;
+
+  // Exchange-level tracker (null when tracking is off) with one child per
+  // fragment: operators inside a fragment hang off the fragment tracker,
+  // so the exchange's peak covers the queue plus every fragment subtree.
+  // Declared before the fragment trackers and the queue reservation so
+  // both release into a live parent on destruction.
+  std::unique_ptr<MemoryTracker> mem_;
+  std::vector<std::unique_ptr<MemoryTracker>> fragment_trackers_;
+  MemoryReservation queue_reservation_;  // queued batch copies, under mu_
+  int64_t queued_bytes_ = 0;             // guarded by mu_
 
   std::mutex mu_;
   std::condition_variable queue_ready_;   // consumer waits

@@ -696,13 +696,20 @@ ExprFrame::ExprFrame(std::shared_ptr<const ExprProgram> program)
   slots_.resize(program_->regs().size(), nullptr);
 }
 
+void ExprFrame::SetMemoryTracker(MemoryTracker* tracker) {
+  reservation_.Reset(tracker);
+}
+
 void ExprFrame::EnsureCapacity(int64_t n) {
   if (n <= capacity_) return;
   const std::vector<ExprRegister>& regs = program_->regs();
+  int64_t scratch_bytes = 0;
   for (size_t i = 0; i < regs.size(); ++i) {
     if (regs[i].source == ExprRegister::Source::kColumn) continue;
     own_[i] = std::make_unique<ColumnVector>(regs[i].type, n);
+    scratch_bytes += own_[i]->MemoryBytes();
   }
+  reservation_.Set(scratch_bytes);
   capacity_ = n;
   consts_filled_ = 0;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "exec/batch.h"
 #include "exec/expression.h"
@@ -127,6 +128,10 @@ class ExprFrame {
  public:
   explicit ExprFrame(std::shared_ptr<const ExprProgram> program);
 
+  // Charges the frame's temp/const scratch vectors against `tracker`
+  // (query or fragment tracker; must outlive the frame).
+  void SetMemoryTracker(MemoryTracker* tracker);
+
   // Evaluates every row of `in` (active or not, like Expr::EvalBatch).
   Status Run(const Batch& in);
 
@@ -141,6 +146,7 @@ class ExprFrame {
   void FillConsts(int64_t n);
 
   std::shared_ptr<const ExprProgram> program_;
+  MemoryReservation reservation_;  // scratch vector bytes
   int64_t capacity_ = 0;
   int64_t consts_filled_ = 0;
   // Indexed by register id; null where the register is a batch column.

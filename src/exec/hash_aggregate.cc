@@ -160,6 +160,38 @@ HashAggregateOperator::HashAggregateOperator(BatchOperatorPtr input,
                        ? partial_schema_
                        : Schema(std::move(out_fields));
   key_format_ = std::make_unique<RowFormat>(key_schema_);
+  if (ctx_ != nullptr && ctx_->memory_tracker != nullptr) {
+    mem_ = std::make_unique<MemoryTracker>(name(), "operator",
+                                           ctx_->memory_tracker);
+    pressure_listener_ = ctx_->memory_tracker->AddPressureListener(
+        [this] { pressure_.store(true, std::memory_order_relaxed); });
+  }
+}
+
+HashAggregateOperator::~HashAggregateOperator() {
+  Close();
+  if (pressure_listener_ != 0) {
+    ctx_->memory_tracker->RemovePressureListener(pressure_listener_);
+  }
+}
+
+void HashAggregateOperator::ResetAggState(int64_t expected_rows) {
+  entries_.clear();
+  arena_ = std::make_unique<Arena>();
+  arena_->SetMemoryTracker(mem_.get());
+  table_ = std::make_unique<SerializedRowHashTable>(expected_rows);
+  table_->SetMemoryTracker(mem_.get());
+}
+
+bool HashAggregateOperator::UnderMemoryPressure(int64_t local_budget) const {
+  if (local_budget > 0 &&
+      static_cast<int64_t>(arena_->bytes_allocated()) > local_budget) {
+    return true;
+  }
+  MemoryTracker* query = ctx_ != nullptr ? ctx_->memory_tracker : nullptr;
+  if (query == nullptr) return false;
+  if (pressure_.exchange(false, std::memory_order_relaxed)) return true;
+  return query->over_budget();
 }
 
 std::string HashAggregateOperator::name() const {
@@ -451,15 +483,16 @@ Status HashAggregateOperator::FlushToPartitions() {
     }
     AppendPartialValues(entry_state(entry), &row);
     int p = static_cast<int>(hash >> shift);
+    int64_t bytes = 0;
     VSTORE_RETURN_IF_ERROR(
         WriteSpillRow(partition_files_[static_cast<size_t>(p)],
-                      partial_schema_, row));
+                      partial_schema_, row, &bytes));
+    RecordSpillBytes(bytes);
+    AddGlobalSpillBytes(bytes);
     ++ctx_->stats.build_rows_spilled;
     ++rows_spilled_;
   }
-  entries_.clear();
-  arena_ = std::make_unique<Arena>();
-  table_ = std::make_unique<SerializedRowHashTable>(1024);
+  ResetAggState(1024);
   spilled_ = true;
   return Status::OK();
 }
@@ -488,8 +521,7 @@ Status HashAggregateOperator::ConsumeInput() {
         UpdateStateFromBatch(entry_state(entry), *batch, i);
       }
       RecordPeakMemory(static_cast<int64_t>(arena_->bytes_allocated()));
-      if (budget > 0 &&
-          static_cast<int64_t>(arena_->bytes_allocated()) > budget) {
+      if (!entries_.empty() && UnderMemoryPressure(budget)) {
         VSTORE_RETURN_IF_ERROR(FlushToPartitions());
       }
     }
@@ -676,9 +708,9 @@ Status HashAggregateOperator::EmitEntries() {
 }
 
 Status HashAggregateOperator::OpenImpl() {
-  arena_ = std::make_unique<Arena>();
-  table_ = std::make_unique<SerializedRowHashTable>(1024);
-  entries_.clear();
+  ResetAggState(1024);
+  if (mem_ != nullptr) mem_->ResetPeak();
+  pressure_.store(false, std::memory_order_relaxed);
   spilled_ = false;
   rows_aggregated_ = 0;
   groups_ = 0;
@@ -720,9 +752,7 @@ Result<Batch*> HashAggregateOperator::NextImpl() {
       return static_cast<Batch*>(nullptr);
     }
     // Merge the next spilled partition and emit it.
-    entries_.clear();
-    arena_ = std::make_unique<Arena>();
-    table_ = std::make_unique<SerializedRowHashTable>(1024);
+    ResetAggState(1024);
     emit_pos_ = 0;
     VSTORE_RETURN_IF_ERROR(LoadPartition(drain_partition_));
     ++drain_partition_;
@@ -730,6 +760,7 @@ Result<Batch*> HashAggregateOperator::NextImpl() {
 }
 
 void HashAggregateOperator::CloseImpl() {
+  RecordMemoryTracker(mem_.get());
   for (std::FILE* f : partition_files_) {
     if (f != nullptr) std::fclose(f);
   }

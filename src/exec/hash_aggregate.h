@@ -1,10 +1,12 @@
 #ifndef VSTORE_EXEC_HASH_AGGREGATE_H_
 #define VSTORE_EXEC_HASH_AGGREGATE_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/aggregate.h"
 #include "exec/hash_table.h"
 #include "exec/operator.h"
@@ -48,7 +50,7 @@ class HashAggregateOperator final : public BatchOperator {
   // must point at its $value column.
   HashAggregateOperator(BatchOperatorPtr input, Options options,
                         ExecContext* ctx);
-  ~HashAggregateOperator() override { Close(); }
+  ~HashAggregateOperator() override;
 
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override;
@@ -89,6 +91,10 @@ class HashAggregateOperator final : public BatchOperator {
   Status FlushToPartitions();
   Status LoadPartition(int p);
   Status EmitEntries();
+  // Resets the state arena + group table, re-attaching the tracker.
+  void ResetAggState(int64_t expected_rows);
+  // Local operator budget exceeded, or query-level budget pressure.
+  bool UnderMemoryPressure(int64_t local_budget) const;
   // Writes one aggregate's partial (value, count) into `row` (spill path).
   void AppendPartialValues(const uint8_t* state, std::vector<Value>* row) const;
 
@@ -106,6 +112,14 @@ class HashAggregateOperator final : public BatchOperator {
   std::unique_ptr<Arena> arena_;
   std::unique_ptr<SerializedRowHashTable> table_;
   std::vector<uint8_t*> entries_;
+
+  // Per-operator tracker under the query tracker (null when tracking is
+  // off); the state arena and group table charge here. The pressure flag
+  // is set by the query tracker's budget-crossing listener and consumed at
+  // the existing flush decision point.
+  std::unique_ptr<MemoryTracker> mem_;
+  mutable std::atomic<bool> pressure_{false};
+  int pressure_listener_ = 0;
 
   bool spilled_ = false;
   std::vector<std::FILE*> partition_files_;

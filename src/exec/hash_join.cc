@@ -118,9 +118,37 @@ HashJoinOperator::HashJoinOperator(BatchOperatorPtr probe,
       probe_->output_schema(), build_->output_schema(), options_.join_type);
   partition_shift_ =
       64 - std::countr_zero(static_cast<unsigned>(options_.num_partitions));
+  if (ctx_ != nullptr && ctx_->memory_tracker != nullptr) {
+    mem_ = std::make_unique<MemoryTracker>(name(), "operator",
+                                           ctx_->memory_tracker);
+    pressure_listener_ = ctx_->memory_tracker->AddPressureListener(
+        [this] { pressure_.store(true, std::memory_order_relaxed); });
+  }
 }
 
-HashJoinOperator::~HashJoinOperator() { Close(); }
+HashJoinOperator::~HashJoinOperator() {
+  Close();
+  if (pressure_listener_ != 0) {
+    ctx_->memory_tracker->RemovePressureListener(pressure_listener_);
+  }
+}
+
+Status HashJoinOperator::SpillRow(std::FILE* f, const Schema& schema,
+                                  const std::vector<Value>& row) {
+  int64_t bytes = 0;
+  VSTORE_RETURN_IF_ERROR(WriteSpillRow(f, schema, row, &bytes));
+  RecordSpillBytes(bytes);
+  AddGlobalSpillBytes(bytes);
+  return Status::OK();
+}
+
+bool HashJoinOperator::UnderMemoryPressure(int64_t local_budget) const {
+  if (local_budget > 0 && total_build_bytes_ > local_budget) return true;
+  MemoryTracker* query = ctx_ != nullptr ? ctx_->memory_tracker : nullptr;
+  if (query == nullptr) return false;
+  if (pressure_.exchange(false, std::memory_order_relaxed)) return true;
+  return query->over_budget();
+}
 
 std::string HashJoinOperator::name() const {
   return std::string("HashJoin(") + JoinTypeName(options_.join_type) + ")";
@@ -157,7 +185,7 @@ Status HashJoinOperator::SpillPartition(int p) {
     for (int c = 0; c < schema.num_columns(); ++c) {
       row[static_cast<size_t>(c)] = build_format_.GetValue(payload, c);
     }
-    VSTORE_RETURN_IF_ERROR(WriteSpillRow(part.build_file, schema, row));
+    VSTORE_RETURN_IF_ERROR(SpillRow(part.build_file, schema, row));
     ++part.build_rows_on_disk;
     ++ctx_->stats.build_rows_spilled;
     ++build_rows_spilled_;
@@ -166,6 +194,7 @@ Status HashJoinOperator::SpillPartition(int p) {
   part.rows.clear();
   part.rows.shrink_to_fit();
   part.arena = std::make_unique<Arena>();
+  part.arena->SetMemoryTracker(mem_.get());
   part.bytes = 0;
   part.spilled = true;
   ++ctx_->stats.spill_partitions;
@@ -212,7 +241,7 @@ Status HashJoinOperator::RunBuildPhase() {
       int p = PartitionOf(hash);
       Partition& part = partitions_[static_cast<size_t>(p)];
       if (part.spilled) {
-        VSTORE_RETURN_IF_ERROR(WriteSpillRow(
+        VSTORE_RETURN_IF_ERROR(SpillRow(
             part.build_file, build_->output_schema(), batch->GetActiveRow(i)));
         ++part.build_rows_on_disk;
         ++ctx_->stats.build_rows_spilled;
@@ -230,10 +259,12 @@ Status HashJoinOperator::RunBuildPhase() {
       total_build_bytes_ += grew;
       RecordPeakMemory(total_build_bytes_);
 
-      if (budget > 0 && total_build_bytes_ > budget) {
-        // Spill the largest resident partition.
+      if (UnderMemoryPressure(budget)) {
+        // Spill the largest resident partition. Under query-level pressure
+        // every resident partition may already be gone (other operators
+        // hold the budget) — then there is nothing left to shed.
         int victim = -1;
-        int64_t victim_bytes = -1;
+        int64_t victim_bytes = 0;
         for (int q = 0; q < options_.num_partitions; ++q) {
           const Partition& cand = partitions_[static_cast<size_t>(q)];
           if (!cand.spilled && cand.bytes > victim_bytes) {
@@ -241,8 +272,9 @@ Status HashJoinOperator::RunBuildPhase() {
             victim_bytes = cand.bytes;
           }
         }
-        VSTORE_CHECK(victim >= 0);
-        VSTORE_RETURN_IF_ERROR(SpillPartition(victim));
+        if (victim >= 0) {
+          VSTORE_RETURN_IF_ERROR(SpillPartition(victim));
+        }
       }
     }
   }
@@ -281,6 +313,7 @@ Status HashJoinOperator::BuildInMemoryTables() {
     if (part.spilled) continue;
     part.table = std::make_unique<SerializedRowHashTable>(
         static_cast<int64_t>(part.rows.size()));
+    part.table->SetMemoryTracker(mem_.get());
     for (uint8_t* entry : part.rows) {
       part.table->Insert(entry, SerializedRowHashTable::EntryHash(entry));
     }
@@ -291,7 +324,13 @@ Status HashJoinOperator::BuildInMemoryTables() {
 Status HashJoinOperator::OpenImpl() {
   partitions_.clear();
   partitions_.resize(static_cast<size_t>(options_.num_partitions));
-  for (Partition& p : partitions_) p.arena = std::make_unique<Arena>();
+  for (Partition& p : partitions_) {
+    p.arena = std::make_unique<Arena>();
+    p.arena->SetMemoryTracker(mem_.get());
+  }
+  drain_arena_.SetMemoryTracker(mem_.get());
+  if (mem_ != nullptr) mem_->ResetPeak();
+  pressure_.store(false, std::memory_order_relaxed);
   total_build_bytes_ = 0;
   build_rows_ = 0;
   probe_rows_ = 0;
@@ -318,6 +357,7 @@ Status HashJoinOperator::OpenImpl() {
 }
 
 void HashJoinOperator::CloseImpl() {
+  RecordMemoryTracker(mem_.get());
   for (Partition& part : partitions_) {
     if (part.build_file != nullptr) {
       std::fclose(part.build_file);
@@ -366,8 +406,8 @@ Result<bool> HashJoinOperator::PumpProbe() {
 
       if (part.spilled) {
         VSTORE_RETURN_IF_ERROR(
-            WriteSpillRow(part.probe_file, probe_->output_schema(),
-                          probe_batch_->GetActiveRow(probe_row_)));
+            SpillRow(part.probe_file, probe_->output_schema(),
+                     probe_batch_->GetActiveRow(probe_row_)));
         ++part.probe_rows_on_disk;
         ++ctx_->stats.probe_rows_spilled;
         ++probe_rows_spilled_;
@@ -439,6 +479,7 @@ Result<bool> HashJoinOperator::PumpSpill() {
       std::rewind(part.build_file);
       part.table = std::make_unique<SerializedRowHashTable>(
           std::max<int64_t>(part.build_rows_on_disk, 1));
+      part.table->SetMemoryTracker(mem_.get());
       const size_t entry_size =
           SerializedRowHashTable::kHeaderSize + build_format_.row_size();
       std::vector<Value> row;

@@ -1,10 +1,12 @@
 #ifndef VSTORE_EXEC_HASH_JOIN_H_
 #define VSTORE_EXEC_HASH_JOIN_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/bloom_filter.h"
 #include "exec/hash_table.h"
 #include "exec/operator.h"
@@ -121,6 +123,14 @@ class HashJoinOperator final : public BatchOperator {
   Status SpillPartition(int p);
   Status BuildInMemoryTables();
 
+  // WriteSpillRow plus per-operator and global spill-byte accounting.
+  Status SpillRow(std::FILE* f, const Schema& schema,
+                  const std::vector<Value>& row);
+  // True when the build should shed a partition: local operator budget
+  // exceeded, or the query-level tracker crossed its budget (pressure
+  // listener edge or steady-state over_budget poll).
+  bool UnderMemoryPressure(int64_t local_budget) const;
+
   // Probe-streaming phase; returns true when a full/final batch is ready.
   Result<bool> PumpProbe();
   // Spill-drain phase; returns true when a batch is ready, false at EOS.
@@ -141,6 +151,13 @@ class HashJoinOperator final : public BatchOperator {
   std::vector<Partition> partitions_;
   int partition_shift_ = 60;
   int64_t total_build_bytes_ = 0;
+
+  // Per-operator tracker under the query tracker (null when tracking is
+  // off); partition arenas and tables charge here. The pressure flag is
+  // set by the query tracker's budget-crossing listener.
+  std::unique_ptr<MemoryTracker> mem_;
+  mutable std::atomic<bool> pressure_{false};
+  int pressure_listener_ = 0;
 
   std::unique_ptr<Batch> output_;
   int64_t out_rows_ = 0;

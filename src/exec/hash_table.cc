@@ -341,6 +341,7 @@ void SerializedRowHashTable::Insert(uint8_t* entry, uint64_t hash) {
 void SerializedRowHashTable::Grow() {
   std::vector<uint8_t*> old = std::move(buckets_);
   buckets_.assign(old.size() * 2, nullptr);
+  reservation_.Set(bucket_bytes());
   for (uint8_t* entry : old) {
     while (entry != nullptr) {
       uint8_t* next;

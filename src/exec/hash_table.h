@@ -8,6 +8,7 @@
 #include "common/arena.h"
 #include "common/hash.h"
 #include "common/macros.h"
+#include "common/memory_tracker.h"
 #include "exec/batch.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -159,11 +160,23 @@ class SerializedRowHashTable {
 
   int64_t num_entries() const { return num_entries_; }
 
+  // Charges the bucket array against `tracker` (rows are charged through
+  // the caller's arena). Re-charged on Grow.
+  void SetMemoryTracker(MemoryTracker* tracker) {
+    reservation_.Reset(tracker);
+    reservation_.Set(bucket_bytes());
+  }
+
+  int64_t bucket_bytes() const {
+    return static_cast<int64_t>(buckets_.size() * sizeof(uint8_t*));
+  }
+
  private:
   void Grow();
 
   std::vector<uint8_t*> buckets_;
   int64_t num_entries_ = 0;
+  MemoryReservation reservation_;
 };
 
 }  // namespace vstore

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/span_trace.h"
 
@@ -36,6 +37,8 @@ Status BatchOperator::Open() {
   profile_batches_ = 0;
   profile_rows_ = 0;
   profile_peak_memory_ = 0;
+  profile_mem_current_ = 0;
+  profile_spill_bytes_ = 0;
   // One trace span per execution, opened here and closed by Close(). The
   // SpanGuard makes it the thread's current span across each protocol
   // hook, so child operators opened inside OpenImpl and waits hit inside
@@ -81,6 +84,12 @@ void BatchOperator::Close() {
   }
 }
 
+void BatchOperator::RecordMemoryTracker(const MemoryTracker* tracker) {
+  if (tracker == nullptr) return;
+  RecordPeakMemory(tracker->peak());
+  profile_mem_current_ = tracker->current();
+}
+
 void BatchOperator::AppendProfileChildren(OperatorProfile* node) const {
   for (const BatchOperator* input : ProfileInputs()) {
     node->children.push_back(input->BuildProfile());
@@ -96,6 +105,8 @@ OperatorProfile BatchOperator::BuildProfile() const {
   node.batches_produced = profile_batches_;
   node.rows_produced = profile_rows_;
   node.peak_memory_bytes = profile_peak_memory_;
+  node.mem_current_bytes = profile_mem_current_;
+  node.spill_bytes = profile_spill_bytes_;
   AppendProfileCounters(&node);
   AppendProfileChildren(&node);
   return node;
@@ -169,7 +180,10 @@ FilterOperator::FilterOperator(BatchOperatorPtr input, ExprPtr predicate,
     : input_(std::move(input)), predicate_(std::move(predicate)), ctx_(ctx) {
   if (ctx_ == nullptr || ctx_->compile_expressions) {
     program_ = ExprProgramCache::Global().GetOrCompile({predicate_});
-    if (program_ != nullptr) frame_ = std::make_unique<ExprFrame>(program_);
+    if (program_ != nullptr) {
+      frame_ = std::make_unique<ExprFrame>(program_);
+      if (ctx_ != nullptr) frame_->SetMemoryTracker(ctx_->memory_tracker);
+    }
   }
 }
 
@@ -220,7 +234,10 @@ ProjectOperator::ProjectOperator(BatchOperatorPtr input,
   schema_ = Schema(std::move(fields));
   if (ctx_ == nullptr || ctx_->compile_expressions) {
     program_ = ExprProgramCache::Global().GetOrCompile(exprs_);
-    if (program_ != nullptr) frame_ = std::make_unique<ExprFrame>(program_);
+    if (program_ != nullptr) {
+      frame_ = std::make_unique<ExprFrame>(program_);
+      if (ctx_ != nullptr) frame_->SetMemoryTracker(ctx_->memory_tracker);
+    }
   }
 }
 

@@ -41,6 +41,7 @@ struct ExecStats {
 
 class ThreadPool;
 class QuerySpanRecorder;
+class MemoryTracker;
 struct ActiveQuery;
 struct TraceSpan;
 
@@ -62,6 +63,11 @@ struct ExecContext {
   // counters read by sys.active_queries.
   QuerySpanRecorder* trace_recorder = nullptr;
   ActiveQuery* active_query = nullptr;
+  // This query's memory tracker (null when tracking is off). Stateful
+  // operators hang per-operator child trackers off it and poll its budget
+  // pressure at their spill decision points; the exchange threads it into
+  // fragment contexts like the trace hooks above.
+  MemoryTracker* memory_tracker = nullptr;
   ExecStats stats;
 };
 
@@ -109,6 +115,13 @@ class BatchOperator {
     profile_peak_memory_ = std::max(profile_peak_memory_, bytes);
   }
 
+  // Folds a tracker snapshot into this node's profile: peak takes the max,
+  // mem_current is the latest resident reading. No-op on nullptr.
+  void RecordMemoryTracker(const MemoryTracker* tracker);
+
+  // Bytes this operator wrote to spill files (profile spill_bytes column).
+  void RecordSpillBytes(int64_t bytes) { profile_spill_bytes_ += bytes; }
+
   // This operator's span in the current query's trace (opened by Open(),
   // closed by Close(); null when the query runs untraced). The exchange
   // parents its fragment spans here from worker threads.
@@ -122,6 +135,8 @@ class BatchOperator {
   int64_t profile_batches_ = 0;
   int64_t profile_rows_ = 0;
   int64_t profile_peak_memory_ = 0;
+  int64_t profile_mem_current_ = 0;
+  int64_t profile_spill_bytes_ = 0;
   bool opened_ = false;
 };
 

@@ -53,10 +53,27 @@ SharedHashJoinBuild::SharedHashJoinBuild(Schema build_schema,
 }
 
 SharedHashJoinBuild::~SharedHashJoinBuild() {
+  if (pressure_listener_ != 0) {
+    query_tracker_->RemovePressureListener(pressure_listener_);
+  }
   for (auto& part : partitions_) {
     if (part->build_file != nullptr) std::fclose(part->build_file);
     if (part->probe_file != nullptr) std::fclose(part->probe_file);
   }
+}
+
+bool SharedHashJoinBuild::QueryMemoryPressure() const {
+  if (pressure_.exchange(false, std::memory_order_relaxed)) return true;
+  return query_tracker_ != nullptr && query_tracker_->over_budget();
+}
+
+Status SharedHashJoinBuild::SpillRowLocked(std::FILE* f, const Schema& schema,
+                                           const std::vector<Value>& row) {
+  int64_t bytes = 0;
+  VSTORE_RETURN_IF_ERROR(WriteSpillRow(f, schema, row, &bytes));
+  spill_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  AddGlobalSpillBytes(bytes);
+  return Status::OK();
 }
 
 Status SharedHashJoinBuild::EnsureBuilt(ExecContext* caller_ctx) {
@@ -71,11 +88,19 @@ Status SharedHashJoinBuild::EnsureBuilt(ExecContext* caller_ctx) {
 
 Status SharedHashJoinBuild::RunBuild(ExecContext* caller_ctx) {
   auto build_start = Now();
+  if (caller_ctx->memory_tracker != nullptr && mem_ == nullptr) {
+    query_tracker_ = caller_ctx->memory_tracker;
+    mem_ = std::make_unique<MemoryTracker>("SharedHashJoinBuild", "operator",
+                                           query_tracker_);
+    pressure_listener_ = query_tracker_->AddPressureListener(
+        [this] { pressure_.store(true, std::memory_order_relaxed); });
+  }
   partitions_.clear();
   partitions_.reserve(static_cast<size_t>(options_.num_partitions));
   for (int p = 0; p < options_.num_partitions; ++p) {
     auto part = std::make_unique<Partition>();
     part->arena = std::make_unique<Arena>();
+    part->arena->SetMemoryTracker(mem_.get());
     partitions_.push_back(std::move(part));
   }
   fragment_build_rows_.assign(static_cast<size_t>(build_dop_), 0);
@@ -89,6 +114,7 @@ Status SharedHashJoinBuild::RunBuild(ExecContext* caller_ctx) {
     auto fctx = std::make_unique<ExecContext>();
     fctx->batch_size = caller_ctx->batch_size;
     fctx->operator_memory_budget = caller_ctx->operator_memory_budget;
+    fctx->memory_tracker = caller_ctx->memory_tracker;
     fctxs.push_back(std::move(fctx));
   }
   std::vector<Status> statuses(static_cast<size_t>(build_dop_));
@@ -198,6 +224,7 @@ Status SharedHashJoinBuild::BuildFragment(int fragment, ExecContext* fctx) {
           build_format_.HashKeysFromBatch(*batch, i, options_.build_keys);
       Partition& part = *partitions_[static_cast<size_t>(PartitionOf(hash))];
       bool over_budget = false;
+      bool query_pressure = false;
       {
         // try_lock first so only contended acquisitions pay for (and show
         // up in) the lock-wait timer.
@@ -208,8 +235,8 @@ Status SharedHashJoinBuild::BuildFragment(int fragment, ExecContext* fctx) {
           lock_wait_ns += ElapsedNs(wait_start);
         }
         if (part.spilled) {
-          status = WriteSpillRow(part.build_file, build_schema_,
-                                 batch->GetActiveRow(i));
+          status = SpillRowLocked(part.build_file, build_schema_,
+                                  batch->GetActiveRow(i));
           if (status.ok()) {
             ++part.build_rows_on_disk;
             ++fctx->stats.build_rows_spilled;
@@ -232,12 +259,18 @@ Status SharedHashJoinBuild::BuildFragment(int fragment, ExecContext* fctx) {
                                      peak, total, std::memory_order_relaxed)) {
           }
           over_budget = memory_budget_ > 0 && total > memory_budget_;
+          if (!over_budget) {
+            query_pressure = QueryMemoryPressure();
+            over_budget = query_pressure;
+          }
         }
       }
       // Spill outside the partition lock: MaybeSpill acquires spill_mu_
       // first and then a victim partition's lock, so holding a partition
       // lock here would invert the order.
-      if (status.ok() && over_budget) status = MaybeSpill(fctx);
+      if (status.ok() && over_budget) {
+        status = MaybeSpill(fctx, query_pressure);
+      }
     }
   }
   op->Close();
@@ -258,10 +291,14 @@ Status SharedHashJoinBuild::BuildFragment(int fragment, ExecContext* fctx) {
   return status;
 }
 
-Status SharedHashJoinBuild::MaybeSpill(ExecContext* fctx) {
+Status SharedHashJoinBuild::MaybeSpill(ExecContext* fctx,
+                                       bool query_pressure) {
   std::lock_guard<std::mutex> spill_lock(spill_mu_);
-  // Another thread may have flushed a partition while we waited.
-  if (total_bytes_.load(std::memory_order_relaxed) <= memory_budget_) {
+  // Another thread may have flushed a partition while we waited. A query
+  // budget crossing always sheds one victim — the build cannot observe
+  // whether an unrelated release has since taken the query back under.
+  if (!query_pressure &&
+      total_bytes_.load(std::memory_order_relaxed) <= memory_budget_) {
     return Status::OK();
   }
   // `spilled` only flips under spill_mu_ (plus the partition lock), so this
@@ -297,7 +334,8 @@ Status SharedHashJoinBuild::SpillPartitionLocked(Partition* part,
     for (int c = 0; c < build_schema_.num_columns(); ++c) {
       row[static_cast<size_t>(c)] = build_format_.GetValue(payload, c);
     }
-    VSTORE_RETURN_IF_ERROR(WriteSpillRow(part->build_file, build_schema_, row));
+    VSTORE_RETURN_IF_ERROR(
+        SpillRowLocked(part->build_file, build_schema_, row));
     ++part->build_rows_on_disk;
     ++fctx->stats.build_rows_spilled;
   }
@@ -306,6 +344,7 @@ Status SharedHashJoinBuild::SpillPartitionLocked(Partition* part,
   part->rows.clear();
   part->rows.shrink_to_fit();
   part->arena = std::make_unique<Arena>();
+  part->arena->SetMemoryTracker(mem_.get());
   part->bytes.store(0, std::memory_order_relaxed);
   part->spilled = true;
   ++fctx->stats.spill_partitions;
@@ -326,6 +365,7 @@ Status SharedHashJoinBuild::FinalizeStripe(int stripe, int64_t total_rows) {
     if (!part.spilled) {
       part.table = std::make_unique<SerializedRowHashTable>(
           static_cast<int64_t>(part.rows.size()));
+      part.table->SetMemoryTracker(mem_.get());
       for (uint8_t* entry : part.rows) {
         uint64_t hash = SerializedRowHashTable::EntryHash(entry);
         part.table->Insert(entry, hash);
@@ -363,7 +403,7 @@ Status SharedHashJoinBuild::SpillProbeRow(int p, const std::vector<Value>& row,
                                           ExecContext* fctx) {
   Partition& part = *partitions_[static_cast<size_t>(p)];
   std::lock_guard<std::mutex> lock(part.mu);
-  VSTORE_RETURN_IF_ERROR(WriteSpillRow(part.probe_file, probe_schema_, row));
+  VSTORE_RETURN_IF_ERROR(SpillRowLocked(part.probe_file, probe_schema_, row));
   ++part.probe_rows_on_disk;
   ++fctx->stats.probe_rows_spilled;
   return Status::OK();
@@ -446,6 +486,10 @@ Status HashJoinProbeOperator::OpenImpl() {
   // The build is the memory-heavy half; attribute its high-water mark to
   // one fragment so the exchange's max-merge reports it once.
   if (fragment_ == 0) RecordPeakMemory(shared_->peak_bytes());
+  // Spill-drain arenas charge the shared build tracker: the drain reloads
+  // spilled build partitions, which is build-side memory.
+  drain_build_arena_.SetMemoryTracker(shared_->memory_tracker());
+  drain_arena_.SetMemoryTracker(shared_->memory_tracker());
   // Open the probe chain only now: a pushed Bloom filter is populated by
   // the build above and the probe-side scan reads it during Open().
   VSTORE_RETURN_IF_ERROR(probe_->Open());
@@ -462,6 +506,12 @@ Status HashJoinProbeOperator::OpenImpl() {
 }
 
 void HashJoinProbeOperator::CloseImpl() {
+  // One fragment reports the shared build's tracker + spill bytes so the
+  // exchange merge (sum across fragments) counts them once.
+  if (fragment_ == 0) {
+    RecordMemoryTracker(shared_->memory_tracker());
+    RecordSpillBytes(shared_->spill_bytes());
+  }
   output_.reset();
   drain_table_.reset();
   if (phase_ != Phase::kInit) probe_->Close();
@@ -599,6 +649,7 @@ Result<bool> HashJoinProbeOperator::PumpSpill() {
       drain_build_arena_.Reset();
       drain_table_ = std::make_unique<SerializedRowHashTable>(
           std::max<int64_t>(part.build_rows_on_disk, 1));
+      drain_table_->SetMemoryTracker(shared_->memory_tracker());
       const size_t entry_size =
           SerializedRowHashTable::kHeaderSize + build_format.row_size();
       std::vector<Value> row;

@@ -112,6 +112,13 @@ class SharedHashJoinBuild {
   int64_t peak_bytes() const {
     return peak_bytes_.load(std::memory_order_relaxed);
   }
+  int64_t spill_bytes() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+  // Non-null once RunBuild has started under a tracking query; fragment 0's
+  // probe operator folds its peak into the profile, and the draining
+  // fragment attaches its reload arenas here.
+  MemoryTracker* memory_tracker() const { return mem_.get(); }
 
  private:
   Status RunBuild(ExecContext* caller_ctx);
@@ -119,9 +126,16 @@ class SharedHashJoinBuild {
   // Builds partition tables and a thread-private Bloom filter for the
   // partitions striped to finalize thread `stripe`.
   Status FinalizeStripe(int stripe, int64_t total_rows);
-  // Flushes the largest resident partition if still over budget.
-  Status MaybeSpill(ExecContext* fctx);
+  // Flushes the largest resident partition if still over budget (always
+  // when `query_pressure`: the query-level tracker crossed its budget, so
+  // shed the largest partition regardless of the local budget).
+  Status MaybeSpill(ExecContext* fctx, bool query_pressure);
   Status SpillPartitionLocked(Partition* part, ExecContext* fctx);
+  // WriteSpillRow plus shared + global spill-byte accounting.
+  Status SpillRowLocked(std::FILE* f, const Schema& schema,
+                        const std::vector<Value>& row);
+  // Consumes the budget-crossing edge / polls the query tracker.
+  bool QueryMemoryPressure() const;
 
   Schema build_schema_;
   Schema probe_schema_;
@@ -131,6 +145,15 @@ class SharedHashJoinBuild {
   int64_t memory_budget_;
   RowFormat build_format_;
   int partition_shift_;
+
+  // Shared build tracker under the query tracker (created in RunBuild when
+  // the caller's context carries one); declared before partitions_ so the
+  // partition arenas/tables release into a live tracker on destruction.
+  std::unique_ptr<MemoryTracker> mem_;
+  MemoryTracker* query_tracker_ = nullptr;
+  mutable std::atomic<bool> pressure_{false};
+  int pressure_listener_ = 0;
+  std::atomic<int64_t> spill_bytes_{0};
 
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::atomic<int64_t> total_bytes_{0};

@@ -35,6 +35,8 @@ void OperatorProfile::MergeFrom(const OperatorProfile& other) {
   batches_produced += other.batches_produced;
   rows_produced += other.rows_produced;
   peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+  mem_current_bytes += other.mem_current_bytes;
+  spill_bytes += other.spill_bytes;
   fragments += other.fragments;
   MergeCounters(&counters, other.counters);
   size_t common = std::min(children.size(), other.children.size());
@@ -62,6 +64,14 @@ int64_t OperatorProfile::CounterDeep(const std::string& counter_name) const {
   return total;
 }
 
+int64_t OperatorProfile::SpillBytesDeep() const {
+  int64_t total = spill_bytes;
+  for (const OperatorProfile& child : children) {
+    total += child.SpillBytesDeep();
+  }
+  return total;
+}
+
 namespace {
 
 struct ProfileRow {
@@ -70,7 +80,9 @@ struct ProfileRow {
   std::string batches;
   std::string total_ms;
   std::string self_ms;
-  std::string memory;
+  std::string memory;    // peak (tracker-backed high-water mark)
+  std::string mem_cur;   // tracker-resident bytes at profile time
+  std::string spill;     // bytes written to spill files
   std::string detail;    // operator-specific counters
 };
 
@@ -122,6 +134,8 @@ void Flatten(const OperatorProfile& node, int depth,
   }
   row.self_ms = FmtMs(std::max<int64_t>(node.TotalNs() - child_ns, 0));
   row.memory = FmtMemory(node.peak_memory_bytes);
+  row.mem_cur = FmtMemory(node.mem_current_bytes);
+  row.spill = FmtMemory(node.spill_bytes);
   for (const auto& [name, value] : node.counters) {
     if (!row.detail.empty()) row.detail += ' ';
     row.detail += name + "=" + std::to_string(value);
@@ -139,10 +153,10 @@ std::string FormatProfile(const OperatorProfile& root) {
   std::vector<ProfileRow> rows;
   Flatten(root, 0, &rows);
 
-  const char* headers[] = {"operator", "rows", "batches", "total_ms",
-                           "self_ms", "memory"};
-  size_t widths[6];
-  for (int c = 0; c < 6; ++c) widths[c] = std::string(headers[c]).size();
+  const char* headers[] = {"operator", "rows",   "batches", "total_ms",
+                           "self_ms",  "memory", "mem_cur", "spill"};
+  size_t widths[8];
+  for (int c = 0; c < 8; ++c) widths[c] = std::string(headers[c]).size();
   auto measure = [&](const ProfileRow& r) {
     // std::string_view-free width bookkeeping; op column counts the
     // UTF-8 tree glyph as one display cell.
@@ -159,6 +173,8 @@ std::string FormatProfile(const OperatorProfile& root) {
     widths[3] = std::max(widths[3], r.total_ms.size());
     widths[4] = std::max(widths[4], r.self_ms.size());
     widths[5] = std::max(widths[5], r.memory.size());
+    widths[6] = std::max(widths[6], r.mem_cur.size());
+    widths[7] = std::max(widths[7], r.spill.size());
   };
   for (const ProfileRow& r : rows) measure(r);
 
@@ -178,7 +194,7 @@ std::string FormatProfile(const OperatorProfile& root) {
   };
 
   out += pad_right(headers[0], widths[0], std::string(headers[0]).size());
-  for (int c = 1; c < 6; ++c) {
+  for (int c = 1; c < 8; ++c) {
     out += "  " + pad_left(headers[c], widths[c]);
   }
   out += "\n";
@@ -189,6 +205,8 @@ std::string FormatProfile(const OperatorProfile& root) {
     out += "  " + pad_left(r.total_ms, widths[3]);
     out += "  " + pad_left(r.self_ms, widths[4]);
     out += "  " + pad_left(r.memory, widths[5]);
+    out += "  " + pad_left(r.mem_cur, widths[6]);
+    out += "  " + pad_left(r.spill, widths[7]);
     if (!r.detail.empty()) {
       out += "  [" + r.detail + "]";
     }
@@ -218,6 +236,16 @@ void AppendJson(const OperatorProfile& node, std::string* out) {
   if (node.peak_memory_bytes > 0) {
     std::snprintf(buf, sizeof(buf), ",\"peak_memory_bytes\":%lld",
                   static_cast<long long>(node.peak_memory_bytes));
+    *out += buf;
+  }
+  if (node.mem_current_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"mem_current_bytes\":%lld",
+                  static_cast<long long>(node.mem_current_bytes));
+    *out += buf;
+  }
+  if (node.spill_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"spill_bytes\":%lld",
+                  static_cast<long long>(node.spill_bytes));
     *out += buf;
   }
   if (node.fragments > 0) {

@@ -34,7 +34,14 @@ struct OperatorProfile {
 
   // High-water memory for stateful operators (hash join build side, hash
   // aggregation state, sort working set). 0 for streaming operators.
+  // Tracker-backed when the query ran with memory tracking (the default);
+  // operators without a tracker fall back to their local estimates.
   int64_t peak_memory_bytes = 0;
+  // Tracker-resident bytes when the profile was built (non-zero only for
+  // snapshots taken mid-flight or for state that outlives Close).
+  int64_t mem_current_bytes = 0;
+  // Bytes this operator wrote to spill partition files.
+  int64_t spill_bytes = 0;
 
   // Number of parallel fragments merged into this node (> 0 only on the
   // fragment subtree below an Exchange).
@@ -57,6 +64,11 @@ struct OperatorProfile {
 
   // Sum of `name` counters over this node and all descendants.
   int64_t CounterDeep(const std::string& name) const;
+
+  // Sum of spill_bytes over this node and all descendants (the query's
+  // total spill volume; fragments are merged node-wise so each byte counts
+  // once).
+  int64_t SpillBytesDeep() const;
 };
 
 // Renders the profile tree as an aligned text table (EXPLAIN ANALYZE

@@ -36,10 +36,23 @@ int CompareRowsOnKeys(const std::vector<Value>& a, const std::vector<Value>& b,
   return 0;
 }
 
+int64_t SortOperator::MaterializedBytes() const {
+  return static_cast<int64_t>(
+      rows_.size() * sizeof(std::vector<Value>) +
+      rows_.size() *
+          static_cast<size_t>(input_->output_schema().num_columns()) *
+          sizeof(Value));
+}
+
 Status SortOperator::OpenImpl() {
   rows_.clear();
   rows_sorted_ = 0;
   emit_pos_ = 0;
+  if (mem_ == nullptr && ctx_->memory_tracker != nullptr) {
+    mem_ = std::make_unique<MemoryTracker>(name(), "operator",
+                                           ctx_->memory_tracker);
+  }
+  reservation_.Reset(mem_.get());
   output_ = std::make_unique<Batch>(input_->output_schema(), ctx_->batch_size);
   VSTORE_RETURN_IF_ERROR(input_->Open());
 
@@ -66,18 +79,25 @@ Status SortOperator::OpenImpl() {
         rows_.resize(static_cast<size_t>(limit_));
       }
     }
+    reservation_.Set(MaterializedBytes());
   }
 
-  RecordPeakMemory(static_cast<int64_t>(
-      rows_.size() * sizeof(std::vector<Value>) +
-      rows_.size() * static_cast<size_t>(
-                         input_->output_schema().num_columns()) *
-          sizeof(Value)));
+  RecordPeakMemory(MaterializedBytes());
   std::sort(rows_.begin(), rows_.end(), less);
   if (limit_ >= 0 && static_cast<int64_t>(rows_.size()) > limit_) {
     rows_.resize(static_cast<size_t>(limit_));
   }
+  reservation_.Set(MaterializedBytes());
   return Status::OK();
+}
+
+void SortOperator::CloseImpl() {
+  RecordMemoryTracker(mem_.get());
+  rows_.clear();
+  rows_.shrink_to_fit();
+  reservation_.Clear();
+  output_.reset();
+  input_->Close();
 }
 
 Result<Batch*> SortOperator::NextImpl() {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/operator.h"
 
 namespace vstore {
@@ -34,7 +35,7 @@ class SortOperator final : public BatchOperator {
  protected:
   Status OpenImpl() override;
   Result<Batch*> NextImpl() override;
-  void CloseImpl() override { input_->Close(); }
+  void CloseImpl() override;
   std::vector<const BatchOperator*> ProfileInputs() const override {
     return {input_.get()};
   }
@@ -43,10 +44,19 @@ class SortOperator final : public BatchOperator {
   }
 
  private:
+  // Estimated bytes held by the materialized rows (headers + Value slots;
+  // string payloads are not itemized).
+  int64_t MaterializedBytes() const;
+
   BatchOperatorPtr input_;
   std::vector<SortKey> keys_;
   int64_t limit_;
   ExecContext* ctx_;
+
+  // Per-operator tracker (null when tracking is off); declared before the
+  // reservation so the reservation releases into a live tracker.
+  std::unique_ptr<MemoryTracker> mem_;
+  MemoryReservation reservation_;
 
   std::vector<std::vector<Value>> rows_;
   size_t emit_pos_ = 0;

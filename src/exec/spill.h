@@ -17,13 +17,20 @@ namespace vstore {
 // and hash aggregates. Files come from std::tmpfile() (unlinked on
 // creation, reclaimed on fclose/exit).
 
+// `bytes_written`, when non-null, accumulates the on-disk record size —
+// callers feed it into per-operator spill_bytes accounting and the global
+// vstore_spill_bytes_total counter.
 inline Status WriteSpillRow(std::FILE* f, const Schema& schema,
-                            const std::vector<Value>& row) {
+                            const std::vector<Value>& row,
+                            int64_t* bytes_written = nullptr) {
   std::string bytes = EncodeRow(schema, row);
   uint32_t len = static_cast<uint32_t>(bytes.size());
   if (std::fwrite(&len, sizeof(len), 1, f) != 1 ||
       (len > 0 && std::fwrite(bytes.data(), 1, len, f) != len)) {
     return Status::Internal("spill write failed");
+  }
+  if (bytes_written != nullptr) {
+    *bytes_written += static_cast<int64_t>(sizeof(len)) + len;
   }
   return Status::OK();
 }

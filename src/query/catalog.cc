@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "query/system_views.h"
 
@@ -222,6 +223,9 @@ std::string Catalog::StatsReport() const {
       AppendLine(&out, "total_bytes", sizes.Total());
     }
   }
+  // Publish tracker/RSS/mapped gauges so the metrics dump below carries
+  // fresh vstore_mem_bytes{category=...} values.
+  PublishMemoryGauges();
   out += "\n== metrics ==\n";
   out += MetricsToText();
   return out;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/span_trace.h"
 #include "exec/profile.h"
@@ -139,12 +140,32 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
     active.get()->SetPlanSummary(PlanShapeSummary(*result.optimized_plan));
   }
 
+  // Per-query memory tracker under the process root. Declared before the
+  // physical plan so every operator (whose child trackers and pressure
+  // listeners point here) is destroyed first. The soft budget turns
+  // crossings into pressure edges that spilling operators consume at their
+  // existing spill decision points.
+  std::unique_ptr<MemoryTracker> query_tracker;
+  if (options_.track_memory) {
+    query_tracker = std::make_unique<MemoryTracker>(
+        "query:" + std::to_string(result.query_id), "query",
+        MemoryTracker::Process());
+    if (options_.query_memory_budget > 0) {
+      query_tracker->SetBudget(options_.query_memory_budget);
+    }
+    if (active.get() != nullptr) {
+      active.get()->mem_budget_bytes.store(options_.query_memory_budget,
+                                           std::memory_order_relaxed);
+    }
+  }
+
   ExecContext ctx;
   ctx.batch_size = options_.batch_size;
   ctx.operator_memory_budget = options_.operator_memory_budget;
   ctx.compile_expressions = options_.compile_expressions;
   ctx.trace_recorder = recorder.get();
   ctx.active_query = active.get();
+  ctx.memory_tracker = query_tracker.get();
 
   PhysicalPlanOptions planner_options;
   planner_options.mode = options_.mode;
@@ -182,6 +203,13 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
       if (active.get() != nullptr) {
         active.get()->rows_produced.fetch_add(batch->active_count(),
                                               std::memory_order_relaxed);
+        if (query_tracker != nullptr) {
+          // Live memory usage for sys.active_queries, refreshed per batch.
+          active.get()->mem_current_bytes.store(query_tracker->current(),
+                                                std::memory_order_relaxed);
+          active.get()->mem_peak_bytes.store(query_tracker->peak(),
+                                             std::memory_order_relaxed);
+        }
       }
       if (options_.materialize) {
         const uint8_t* active_rows = batch->active();
@@ -195,6 +223,16 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
   if (recorder != nullptr) recorder->EndSpan(phase_span);
   active.SetPhase(QueryPhase::kDone);
   result.profile = physical.root->BuildProfile();
+  if (query_tracker != nullptr) {
+    result.peak_memory_bytes = query_tracker->peak();
+    if (active.get() != nullptr) {
+      active.get()->mem_current_bytes.store(query_tracker->current(),
+                                            std::memory_order_relaxed);
+      active.get()->mem_peak_bytes.store(result.peak_memory_bytes,
+                                         std::memory_order_relaxed);
+    }
+  }
+  result.spill_bytes = result.profile.SpillBytesDeep();
   auto end = std::chrono::steady_clock::now();
 
   result.elapsed_ms =
@@ -258,6 +296,8 @@ Result<QueryResult> QueryExecutor::Execute(const PlanPtr& plan) const {
     qc.bloom_rows_dropped = bloom_rows_dropped;
     qc.spill_partitions = spill_partitions;
     qc.rows_spilled = build_rows_spilled + probe_rows_spilled;
+    qc.peak_mem_bytes = result.peak_memory_bytes;
+    qc.spill_bytes = result.spill_bytes;
     if (result.trace.valid) {
       qc.wait_queue_us =
           result.trace.wait_ns[static_cast<size_t>(WaitPoint::kQueue)] / 1000;

@@ -32,6 +32,18 @@ struct QueryOptions {
   // thread-local pointer swap per protocol call; benchmarks gate the
   // overhead at <3%. Turn off for the tightest micro-measurements.
   bool trace = true;
+  // Hierarchical memory accounting: a per-query MemoryTracker under the
+  // process root, with per-operator / per-fragment children charged by
+  // arenas, hash tables, sort runs, exchange queues and expression
+  // scratch. Feeds EXPLAIN ANALYZE memory columns, sys.active_queries,
+  // sys.query_stats and sys.memory. On by default; the bench gates the
+  // overhead at <3%.
+  bool track_memory = true;
+  // Soft per-query memory budget in bytes (0 = unlimited). The charge that
+  // crosses it fires pressure listeners, turning budget excess into
+  // policy-driven spill in hash join/aggregate — results are unchanged,
+  // only spill placement moves. Requires track_memory.
+  int64_t query_memory_budget = 0;
 };
 
 struct QueryResult {
@@ -46,6 +58,10 @@ struct QueryResult {
   OperatorProfile profile;
   // Registry id this execution ran under (0 when tracing was off).
   uint64_t query_id = 0;
+  // Per-query tracker high-water mark / spill volume (0 when track_memory
+  // was off; spill bytes are summed from the operator profiles).
+  int64_t peak_memory_bytes = 0;
+  int64_t spill_bytes = 0;
   // Span tree + exact wait totals (trace.valid only when tracing was on):
   // render with TraceToChromeJson().
   QueryTrace trace;

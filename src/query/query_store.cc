@@ -216,6 +216,9 @@ void QueryStore::Record(const LogicalPlan& plan, int64_t elapsed_us,
   e.counters.bloom_rows_dropped += counters.bloom_rows_dropped;
   e.counters.spill_partitions += counters.spill_partitions;
   e.counters.rows_spilled += counters.rows_spilled;
+  e.counters.peak_mem_bytes =
+      std::max(e.counters.peak_mem_bytes, counters.peak_mem_bytes);
+  e.counters.spill_bytes += counters.spill_bytes;
   e.counters.wait_queue_us += counters.wait_queue_us;
   e.counters.wait_fsync_us += counters.wait_fsync_us;
   e.counters.wait_lock_us += counters.wait_lock_us;
@@ -321,6 +324,8 @@ std::string QueryStore::TopFingerprintsJson(int64_t top_n) const {
     field("rows_returned", fs.counters.rows_returned);
     field("segments_scanned", fs.counters.segments_scanned);
     field("segments_eliminated", fs.counters.segments_eliminated);
+    field("peak_mem_bytes", fs.counters.peak_mem_bytes);
+    field("spill_bytes", fs.counters.spill_bytes);
     field("wait_queue_us", fs.counters.wait_queue_us);
     field("wait_fsync_us", fs.counters.wait_fsync_us);
     field("wait_lock_us", fs.counters.wait_lock_us);

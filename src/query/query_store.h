@@ -57,6 +57,11 @@ class QueryStore {
     int64_t bloom_rows_dropped = 0;
     int64_t spill_partitions = 0;
     int64_t rows_spilled = 0;  // build + probe rows spilled
+    // Memory attribution from the per-query tracker. Folding takes the max
+    // of peak_mem_bytes (a fingerprint's high-water mark across runs) and
+    // sums spill_bytes.
+    int64_t peak_mem_bytes = 0;
+    int64_t spill_bytes = 0;
     // Wait-time breakdown from the span tracer (stall composition per
     // plan shape, not just latency): time blocked at each of the four
     // instrumented contention points.

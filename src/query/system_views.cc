@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/span_trace.h"
 #include "query/catalog.h"
@@ -510,6 +511,8 @@ class QueryStatsView final : public BuiltinView {
                             {"bloom_rows_dropped", DataType::kInt64, false},
                             {"spill_partitions", DataType::kInt64, false},
                             {"rows_spilled", DataType::kInt64, false},
+                            {"peak_mem_bytes", DataType::kInt64, false},
+                            {"spill_bytes", DataType::kInt64, false},
                             {"wait_queue_us", DataType::kInt64, false},
                             {"wait_fsync_us", DataType::kInt64, false},
                             {"wait_lock_us", DataType::kInt64, false},
@@ -531,6 +534,8 @@ class QueryStatsView final : public BuiltinView {
                       I(fs.counters.bloom_rows_dropped),
                       I(fs.counters.spill_partitions),
                       I(fs.counters.rows_spilled),
+                      I(fs.counters.peak_mem_bytes),
+                      I(fs.counters.spill_bytes),
                       I(fs.counters.wait_queue_us),
                       I(fs.counters.wait_fsync_us),
                       I(fs.counters.wait_lock_us),
@@ -556,6 +561,9 @@ class ActiveQueriesView final : public BuiltinView {
                             {"elapsed_us", DataType::kInt64, false},
                             {"rows_produced", DataType::kInt64, false},
                             {"rows_scanned", DataType::kInt64, false},
+                            {"mem_current_bytes", DataType::kInt64, false},
+                            {"mem_peak_bytes", DataType::kInt64, false},
+                            {"mem_budget_bytes", DataType::kInt64, false},
                             {"wait_point", DataType::kString, true},
                             {"wait_queue_us", DataType::kInt64, false},
                             {"wait_fsync_us", DataType::kInt64, false},
@@ -574,12 +582,56 @@ class ActiveQueriesView final : public BuiltinView {
            q.fingerprint == 0 ? NullS() : S(fp), S(q.phase),
            q.plan_summary.empty() ? NullS() : S(q.plan_summary),
            I(q.elapsed_us), I(q.rows_produced), I(q.rows_scanned),
+           I(q.mem_current_bytes), I(q.mem_peak_bytes), I(q.mem_budget_bytes),
            q.wait_point.empty() ? NullS() : S(q.wait_point),
            I(q.wait_us[static_cast<size_t>(WaitPoint::kQueue)]),
            I(q.wait_us[static_cast<size_t>(WaitPoint::kFsync)]),
            I(q.wait_us[static_cast<size_t>(WaitPoint::kLock)]),
            I(q.wait_us[static_cast<size_t>(WaitPoint::kReorgConflict)])});
     }
+    return data;
+  }
+};
+
+// --- sys.memory ----------------------------------------------------------
+
+// One row per MemoryTracker node (preorder walk of the process tree), plus
+// a synthetic "process"-category RSS row. `bytes` is the node's *local*
+// (exclusive) count, so SUM(bytes) over the tracker rows equals the
+// process root's inclusive total — the reconciliation invariant the tests
+// assert. `current_bytes` is the inclusive subtree total.
+class MemoryView final : public BuiltinView {
+ public:
+  MemoryView()
+      : BuiltinView("sys.memory",
+                    Schema({{"name", DataType::kString, false},
+                            {"category", DataType::kString, false},
+                            {"table_name", DataType::kString, true},
+                            {"shard", DataType::kString, true},
+                            {"depth", DataType::kInt64, false},
+                            {"bytes", DataType::kInt64, false},
+                            {"current_bytes", DataType::kInt64, false},
+                            {"peak_bytes", DataType::kInt64, false}})) {}
+
+  Result<TableData> Materialize(const Catalog& catalog) const override {
+    // Refresh the gauges on the same cadence as a scrape: reading
+    // sys.memory is the SQL-side scrape.
+    PublishMemoryGauges();
+    TableData data(schema());
+    std::vector<MemoryTracker::NodeStats> nodes;
+    MemoryTracker::Process()->Collect(&nodes);
+    for (const MemoryTracker::NodeStats& node : nodes) {
+      data.AppendRow({S(node.name), S(node.category),
+                      node.table.empty() ? NullS() : S(node.table),
+                      node.shard.empty() ? NullS() : S(node.shard),
+                      I(node.depth), I(node.local_bytes),
+                      I(node.current_bytes), I(node.peak_bytes)});
+    }
+    // RSS as seen by the kernel — category "process", excluded from the
+    // tracker-sum reconciliation (it counts code, stacks, allocator slack).
+    int64_t rss = ReadProcessRssBytes();
+    data.AppendRow({S("rss"), S("process"), NullS(), NullS(), I(0), I(rss),
+                    I(rss), I(rss)});
     return data;
   }
 };
@@ -638,6 +690,7 @@ void RegisterBuiltinSystemViews(Catalog* catalog) {
   (void)catalog->RegisterSystemView(std::make_unique<TracesView>());
   (void)catalog->RegisterSystemView(std::make_unique<QueryStatsView>());
   (void)catalog->RegisterSystemView(std::make_unique<ActiveQueriesView>());
+  (void)catalog->RegisterSystemView(std::make_unique<MemoryView>());
   (void)catalog->RegisterSystemView(std::make_unique<SlowQueriesView>());
 }
 

@@ -79,6 +79,23 @@ ColumnStoreTable::ColumnStoreTable(std::string name, Schema schema,
       lock_waits_(GetWaitStats(metric_table_label_, WaitPoint::kLock)),
       reorg_waits_(
           GetWaitStats(metric_table_label_, WaitPoint::kReorgConflict)) {
+  mem_ = std::make_unique<MemoryTracker>(
+      "table:" + metric_table_label_ +
+          (options_.metric_shard.empty() ? "" : ":" + options_.metric_shard),
+      "table", MemoryTracker::Process(), metric_table_label_,
+      options_.metric_shard);
+  mem_segments_ = std::make_unique<MemoryTracker>(
+      "segments", "segments", mem_.get(), metric_table_label_,
+      options_.metric_shard);
+  mem_dicts_ = std::make_unique<MemoryTracker>(
+      "dictionaries", "dictionary", mem_.get(), metric_table_label_,
+      options_.metric_shard);
+  mem_bitmaps_ = std::make_unique<MemoryTracker>(
+      "delete_bitmaps", "bitmap", mem_.get(), metric_table_label_,
+      options_.metric_shard);
+  mem_delta_ = std::make_unique<MemoryTracker>(
+      "delta_stores", "delta", mem_.get(), metric_table_label_,
+      options_.metric_shard);
   primary_dicts_.resize(static_cast<size_t>(schema_.num_columns()));
   for (int c = 0; c < schema_.num_columns(); ++c) {
     if (PhysicalTypeOf(schema_.field(c).type) == PhysicalType::kString) {
@@ -630,6 +647,12 @@ void ColumnStoreTable::RefreshStorageGauges() const {
   metrics_.segment_bytes->Set(sizes.segment_bytes);
   metrics_.dictionary_bytes->Set(sizes.dictionary_bytes);
   metrics_.delete_bitmap_bytes->Set(sizes.delete_bitmap_bytes);
+  // Reconcile the storage tracker subtree from the same SizeBreakdown the
+  // gauges publish — component trackers are sync'd, never charged inline.
+  mem_segments_->SyncLocal(sizes.segment_bytes);
+  mem_dicts_->SyncLocal(sizes.dictionary_bytes);
+  mem_bitmaps_->SyncLocal(sizes.delete_bitmap_bytes);
+  mem_delta_->SyncLocal(sizes.delta_store_bytes);
 }
 
 // --- Durability and recovery ---------------------------------------------

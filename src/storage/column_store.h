@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/span_trace.h"
 #include "common/status.h"
@@ -444,6 +445,17 @@ class ColumnStoreTable {
   std::vector<std::shared_ptr<StringDictionary>> primary_dicts_;
   uint64_t next_delta_seq_ = 0;
   int64_t next_delta_id_ = 0;
+
+  // Storage-side memory accounting: one node per table under the process
+  // root, with a child per component class, synced from Sizes() at every
+  // RefreshStorageGauges(). The table node is declared before its
+  // component children (children unregister from their parent on
+  // destruction).
+  std::unique_ptr<MemoryTracker> mem_;
+  std::unique_ptr<MemoryTracker> mem_segments_;
+  std::unique_ptr<MemoryTracker> mem_dicts_;
+  std::unique_ptr<MemoryTracker> mem_bitmaps_;
+  std::unique_ptr<MemoryTracker> mem_delta_;
 
   TableMetrics metrics_;
   // Wait-metric handles for this table, resolved once at construction:

@@ -1,0 +1,214 @@
+// ThreadSanitizer-targeted stress test for hierarchical memory
+// accounting: budgeted parallel queries (charging, spilling, and firing
+// pressure listeners from fragment threads) race a DML churner, a live
+// TupleMover (reorg republishes storage-component syncs), and readers
+// polling sys.memory, while raw charge/release traffic hammers one shared
+// subtree from many threads. Counters are relaxed atomics and child
+// registration is mutex-guarded, so every read must be untorn and the
+// tree must reconcile exactly once the racers quiesce. Build with
+// -DVSTORE_SANITIZE=thread; the ctest label "stress" schedules it with
+// the other sanitizer suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "query/executor.h"
+#include "storage/column_store.h"
+#include "storage/tuple_mover.h"
+
+namespace vstore {
+namespace {
+
+constexpr int64_t kInitialRows = 4000;
+constexpr int64_t kRowGroupSize = 500;
+
+int RunsPerThread() {
+  const char* v = std::getenv("VSTORE_STRESS_REPEATS");
+  int n = v == nullptr ? 25 : std::atoi(v);
+  return n > 0 ? n : 25;
+}
+
+struct StressFixture {
+  Catalog catalog;
+  ColumnStoreTable* table = nullptr;
+
+  StressFixture() {
+    Schema schema({{"id", DataType::kInt64, false},
+                   {"v", DataType::kInt64, false}});
+    TableData data(schema);
+    for (int64_t id = 0; id < kInitialRows; ++id) {
+      data.column(0).AppendInt64(id);
+      data.column(1).AppendInt64(id % 7);
+    }
+    ColumnStoreTable::Options options;
+    options.row_group_size = kRowGroupSize;
+    options.min_compress_rows = 50;
+    auto cs = std::make_unique<ColumnStoreTable>("mem_stress_tbl", schema,
+                                                 options);
+    cs->BulkLoad(data).CheckOK();
+    catalog.AddColumnStore(std::move(cs)).CheckOK();
+    table = catalog.GetColumnStore("mem_stress_tbl");
+  }
+};
+
+// Raw tracker traffic: many threads charge/release through one shared
+// subtree (the hot path every operator takes), with listeners firing on
+// budget crossings from whichever thread lands the crossing charge. Every
+// thread balances its charges, so the tree must read exactly zero at join.
+TEST(MemoryStressTest, ConcurrentChargesReconcileToZero) {
+  MemoryTracker root("stress_root", "test", nullptr);
+  root.SetBudget(1 << 20);
+  std::atomic<int64_t> pressure_fired{0};
+  int listener =
+      root.AddPressureListener([&] { pressure_fired.fetch_add(1); });
+
+  constexpr int kThreads = 8;
+  const int rounds = RunsPerThread() * 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MemoryTracker op("op:" + std::to_string(t), "test", &root);
+      Random rng(static_cast<uint64_t>(t) + 1);
+      for (int r = 0; r < rounds; ++r) {
+        int64_t bytes = static_cast<int64_t>(rng.Uniform(1, 64 * 1024));
+        op.Charge(bytes);
+        MemoryReservation res(&op);
+        res.Set(static_cast<int64_t>(rng.Uniform(0, 4096)));
+        (void)op.over_budget();  // racing reads must be untorn
+        res.Clear();
+        op.Release(bytes);
+      }
+      // Balanced traffic: this operator subtree ends exactly empty.
+      ASSERT_EQ(op.current(), 0);
+      ASSERT_EQ(op.local(), 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  root.RemovePressureListener(listener);
+  EXPECT_EQ(root.current(), 0);
+  EXPECT_GE(root.peak(), 0);
+  EXPECT_GE(pressure_fired.load(), 0);
+}
+
+TEST(MemoryStressTest, BudgetedQueriesRaceDmlAndStayAccounted) {
+  StressFixture f;
+  ColumnStoreTable* table = f.table;
+  std::atomic<bool> stop{false};
+
+  TupleMover::Options mover_options;
+  mover_options.rebuild_deleted_fraction = 0.2;
+  TupleMover mover(table, mover_options);
+  mover.Start(std::chrono::milliseconds(2));
+
+  const int runs = RunsPerThread();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+
+  // --- Query pump: budgeted parallel joins that spill under pressure ----
+  auto query_pump = [&] {
+    // Self-join on the unique key: the build side is the whole table (big
+    // enough to blow the 64 KiB budget and spill) but the output stays
+    // O(n), so pump iterations remain fast while the churner grows n.
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, "mem_stress_tbl");
+    b.Join(JoinType::kInner,
+           PlanBuilder::Scan(f.catalog, "mem_stress_tbl").Build(), {"id"},
+           {"id"});
+    b.Aggregate({}, {{AggFn::kCountStar, "", "cnt"}});
+    PlanPtr plan = b.Build();
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      QueryOptions options;
+      options.mode = ExecutionMode::kBatch;
+      options.dop = (i % 2 == 0) ? 1 : 2;
+      // Alternate unbudgeted / tightly budgeted so pressure listeners
+      // fire from fragment threads on some runs and never on others.
+      options.query_memory_budget = (i++ % 2 == 0) ? 0 : 64 * 1024;
+      QueryExecutor exec(&f.catalog, options);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      ASSERT_EQ(result.rows_returned, 1);
+      ASSERT_GE(result.peak_memory_bytes, 0);
+      ASSERT_GE(result.spill_bytes, 0);
+    }
+  };
+
+  // --- sys.memory readers: untorn rows while queries charge underneath --
+  auto memory_reader = [&](int which) {
+    PlanPtr plan = PlanBuilder::Scan(f.catalog, "sys.memory").Build();
+    for (int r = 0; r < runs || std::chrono::steady_clock::now() < deadline;
+         ++r) {
+      QueryExecutor exec(&f.catalog);
+      QueryResult result = exec.Execute(plan).ValueOrDie();
+      const Schema& schema = result.schema;
+      int cat_col = schema.IndexOf("category");
+      int bytes_col = schema.IndexOf("bytes");
+      int peak_col = schema.IndexOf("peak_bytes");
+      ASSERT_GE(result.rows_returned, 1) << "reader " << which << " run " << r;
+      bool saw_process = false;
+      for (int64_t i = 0; i < result.data.num_rows(); ++i) {
+        if (result.data.column(cat_col).GetValue(i).ToString() == "process") {
+          saw_process = true;
+        }
+        // Mid-flight values may be mutually inconsistent but never torn
+        // or negative for storage/process rows' peaks.
+        ASSERT_GE(result.data.column(peak_col).GetInt64(i), 0);
+        (void)result.data.column(bytes_col).GetInt64(i);
+      }
+      ASSERT_TRUE(saw_process) << "reader " << which << " run " << r;
+    }
+  };
+
+  // --- Churner: DML forcing storage growth + mover republish ------------
+  auto churner = [&] {
+    Random rng(404);
+    int64_t next_id = 1000000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      table->Insert({Value::Int64(next_id), Value::Int64(next_id % 7)})
+          .status()
+          .CheckOK();
+      ++next_id;
+      if (rng.Next() % 4 == 0) {
+        int64_t group = static_cast<int64_t>(rng.Next() % 8);
+        int64_t offset = static_cast<int64_t>(rng.Next() % kRowGroupSize);
+        RowId id =
+            MakeCompressedRowId(group, offset, table->generation(group));
+        Status st = table->Delete(id);
+        ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.emplace_back(memory_reader, 0);
+  readers.emplace_back(memory_reader, 1);
+  std::thread pump_thread(query_pump);
+  std::thread churn_thread(churner);
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  pump_thread.join();
+  churn_thread.join();
+  ASSERT_TRUE(mover.Stop().ok());
+
+  // Post-quiescence reconciliation: with no query in flight, the process
+  // total is exactly the sum of exclusive bytes across the tree (storage
+  // subtrees plus the mapped class — every query tracker is gone).
+  table->RefreshStorageGauges();
+  std::vector<MemoryTracker::NodeStats> nodes;
+  MemoryTracker::Process()->Collect(&nodes);
+  int64_t sum_local = 0;
+  for (const auto& node : nodes) sum_local += node.local_bytes;
+  EXPECT_EQ(sum_local, MemoryTracker::Process()->current());
+  for (const auto& node : nodes) {
+    EXPECT_NE(node.category, "query") << node.name << " leaked past teardown";
+  }
+}
+
+}  // namespace
+}  // namespace vstore

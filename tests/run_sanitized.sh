@@ -41,9 +41,11 @@ run_one() {
     # plus everything exercising the exchange, the relaxed-atomic metrics
     # registry, the Query Store's shared fingerprint map, and the query
     # tracer (lock-free span append from fragment threads, the active-query
-    # registry, the slow-query ring); add "$@" to widen.
+    # registry, the slow-query ring), and the memory tracker (relaxed
+    # charge/release from fragment threads, pressure listeners firing on
+    # whichever thread lands the crossing charge); add "$@" to widen.
     ctest --test-dir "$dir" --output-on-failure \
-        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded|wal|durable|trace' "$@"
+        -R 'exchange|executor|integration|tpch|parallel|metrics|system|query_store|sharded|wal|durable|trace|memory' "$@"
     ctest --test-dir "$dir" --output-on-failure -L stress "$@"
     # The expression fuzzer is single-threaded, but the bytecode program
     # cache it hits is the one shared across parallel fragments — keep the

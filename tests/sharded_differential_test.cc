@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "query/executor.h"
@@ -110,9 +111,11 @@ struct ShardedDiffFixture {
     }
   }
 
-  QueryResult Run(const PlanPtr& plan, int dop = 1) {
+  QueryResult Run(const PlanPtr& plan, int dop = 1,
+                  int64_t memory_budget = 0) {
     QueryOptions options;
     options.dop = dop;
+    options.query_memory_budget = memory_budget;
     QueryExecutor exec(&catalog, options);
     return exec.Execute(plan).ValueOrDie();
   }
@@ -294,6 +297,50 @@ TEST(ShardedDifferentialTest, RowModeAgreesWithBatchMode) {
       QueryExecutor(&f.catalog, row_options).Execute(plan).ValueOrDie();
   EXPECT_EQ(Rows(batch), Rows(row));
   EXPECT_EQ(batch.rows_returned, 500);
+}
+
+// Scatter-gather under a tiny per-query budget: the budget crossing fires
+// on whichever fragment charges past it, every fragment observes it
+// through the tracker hierarchy, and the gathered result must still be
+// bit-identical to the unbudgeted unsharded run.
+TEST(ShardedDifferentialTest, TinyMemoryBudgetIsBitIdenticalAcrossShards) {
+  ShardedDiffFixture f;
+  constexpr int64_t kTinyBudget = 64 * 1024;
+  int64_t spill_before = GlobalSpillBytes();
+
+  auto join_agg_plan = [&](const std::string& t) {
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, t);
+    b.Join(JoinType::kInner, PlanBuilder::Scan(f.catalog, "flat").Build(),
+           {"bucket"}, {"bucket"});
+    b.Aggregate({"bucket"}, {{AggFn::kCountStar, "", "cnt"},
+                             {AggFn::kSum, "id", "id_sum"}});
+    return b.Build();
+  };
+  auto group_plan = [&](const std::string& t) {
+    PlanBuilder b = PlanBuilder::Scan(f.catalog, t);
+    b.Aggregate({"bucket"}, {{AggFn::kCountStar, "", "cnt"},
+                             {AggFn::kSum, "id", "id_sum"},
+                             {AggFn::kMin, "amount", "lo"},
+                             {AggFn::kMax, "amount", "hi"}});
+    return b.Build();
+  };
+
+  for (const auto& make_plan : {std::function<PlanPtr(const std::string&)>(
+                                    join_agg_plan),
+                                std::function<PlanPtr(const std::string&)>(
+                                    group_plan)}) {
+    std::vector<std::vector<Value>> expected =
+        Rows(f.Run(make_plan("flat"), /*dop=*/1));
+    for (const std::string& table : {std::string("s1"), std::string("s8")}) {
+      for (int dop : {1, 4}) {
+        QueryResult got = f.Run(make_plan(table), dop, kTinyBudget);
+        EXPECT_EQ(Rows(got), expected)
+            << table << " dop=" << dop << " diverged under budget";
+      }
+    }
+  }
+  EXPECT_GT(GlobalSpillBytes(), spill_before)
+      << "tiny budget forced no spill in the sharded suite";
 }
 
 TEST(ShardedDifferentialTest, SysShardsViewMatchesStorage) {
